@@ -1,0 +1,40 @@
+//! Wall-clock microbenchmarks of the compression substrate (real host
+//! time, complementing the modeled-figure binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zc_compress::{Compressor, ErrorBound, SzCompressor, ZfpLikeCompressor};
+use zc_data::{AppDataset, GenOptions};
+
+fn bench_compressors(c: &mut Criterion) {
+    let field = AppDataset::Miranda.generate_field(0, &GenOptions::scaled(8));
+    let bytes = field.data.nbytes() as u64;
+
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(bytes));
+    for eb in [1e-2, 1e-4] {
+        let sz = SzCompressor::new(ErrorBound::Rel(eb));
+        group.bench_with_input(BenchmarkId::new("sz-like", format!("rel={eb:.0e}")), &sz, |b, sz| {
+            b.iter(|| sz.compress(&field.data))
+        });
+    }
+    for rate in [4.0, 16.0] {
+        let zfp = ZfpLikeCompressor::new(rate);
+        group.bench_with_input(BenchmarkId::new("zfp-like", format!("rate={rate}")), &zfp, |b, z| {
+            b.iter(|| z.compress(&field.data))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
+    let sz_out = sz.compress(&field.data);
+    group.bench_function("sz-like/rel=1e-3", |b| b.iter(|| sz.decompress(&sz_out).unwrap()));
+    let zfp = ZfpLikeCompressor::new(8.0);
+    let zfp_out = zfp.compress(&field.data);
+    group.bench_function("zfp-like/rate=8", |b| b.iter(|| zfp.decompress(&zfp_out).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_compressors);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Wall-clock benchmarks of the dataset substrate: fBm synthesis per
+//! application recipe, GRF spectral synthesis, and the two RNG streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zc_data::spectral::{gaussian_random_field, GrfSpec};
+use zc_data::{AppDataset, GenOptions, Rng64};
+use zc_tensor::Shape;
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_synthesis");
+    group.sample_size(10);
+    for ds in AppDataset::ALL {
+        let shape = ds.shape(&GenOptions::scaled(8));
+        group.throughput(Throughput::Bytes(shape.len() as u64 * 4));
+        group.bench_with_input(BenchmarkId::new("fbm", ds.name()), &ds, |b, &ds| {
+            b.iter(|| ds.generate_field(0, &GenOptions::scaled(8)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("grf_synthesis");
+    group.sample_size(10);
+    let shape = Shape::d3(64, 64, 64);
+    group.throughput(Throughput::Bytes(shape.len() as u64 * 4));
+    group.bench_function("kolmogorov_64cubed", |b| {
+        b.iter(|| gaussian_random_field(&GrfSpec::kolmogorov(3), shape))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("xoshiro_normal_1M", |b| {
+        b.iter(|| {
+            let mut r = Rng64::new(7);
+            let mut acc = 0.0;
+            for _ in 0..1_000_000 {
+                acc += r.normal();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

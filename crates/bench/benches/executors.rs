@@ -1,0 +1,57 @@
+//! Wall-clock benchmarks of the assessment executors: the rayon CPU path
+//! (the one a downstream user actually runs for values) and the two
+//! simulated-GPU paths (whose wall time is the simulator's own cost).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use zc_compress::{Compressor, ErrorBound, SzCompressor};
+use zc_core::exec::Executor;
+use zc_core::metrics::{MetricSelection, Pattern};
+use zc_core::{AssessConfig, CuZc, MoZc, OmpZc, SerialZc};
+use zc_data::{AppDataset, GenOptions};
+
+fn bench_executors(c: &mut Criterion) {
+    let field = AppDataset::Hurricane.generate_field(9, &GenOptions::scaled(8));
+    let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
+    let (dec, _) = sz.roundtrip(&field.data).unwrap();
+    let bytes = field.data.nbytes() as u64;
+    let cfg = AssessConfig { max_lag: 4, ..Default::default() };
+
+    let mut group = c.benchmark_group("assess_full");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("serial", |b| {
+        b.iter(|| SerialZc.assess(&field.data, &dec, &cfg).unwrap())
+    });
+    group.bench_function("ompZC(rayon)", |b| {
+        let ex = OmpZc::default();
+        b.iter(|| ex.assess(&field.data, &dec, &cfg).unwrap())
+    });
+    group.bench_function("cuZC(sim)", |b| {
+        let ex = CuZc::default();
+        b.iter(|| ex.assess(&field.data, &dec, &cfg).unwrap())
+    });
+    group.bench_function("moZC(sim)", |b| {
+        let ex = MoZc::default();
+        b.iter(|| ex.assess(&field.data, &dec, &cfg).unwrap())
+    });
+    group.finish();
+
+    // Per-pattern cost of the production (rayon) path.
+    let mut group = c.benchmark_group("assess_pattern_rayon");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+    for (name, pattern) in [
+        ("p1", Pattern::GlobalReduction),
+        ("p2", Pattern::Stencil),
+        ("p3_ssim", Pattern::SlidingWindow),
+    ] {
+        let mut pc = cfg.clone();
+        pc.metrics = MetricSelection::pattern(pattern);
+        let ex = OmpZc::default();
+        group.bench_function(name, |b| b.iter(|| ex.assess(&field.data, &dec, &pc).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executors);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Wall-clock benchmarks of the individual simulated pattern kernels and
+//! the substrate primitives (simulator overhead per element).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use zc_data::{AppDataset, GenOptions};
+use zc_gpusim::GpuSim;
+use zc_kernels::p3::{SsimFusedKernel, SsimParams};
+use zc_kernels::{FieldPair, P1FusedKernel, P1HistKernel, P2FusedKernel};
+
+fn bench_kernels(c: &mut Criterion) {
+    let field = AppDataset::Miranda.generate_field(0, &GenOptions::scaled(8));
+    let dec = field.data.map(|v| v + 1e-4);
+    let bytes = field.data.nbytes() as u64;
+    let sim = GpuSim::v100();
+
+    let mut group = c.benchmark_group("sim_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function("p1_fused", |b| {
+        b.iter(|| {
+            let k = P1FusedKernel { fields: FieldPair::new(&field.data, &dec) };
+            sim.launch(&k, k.grid())
+        })
+    });
+    let scalars = {
+        let k = P1FusedKernel { fields: FieldPair::new(&field.data, &dec) };
+        sim.launch(&k, k.grid()).output
+    };
+    group.bench_function("p1_hist", |b| {
+        b.iter(|| {
+            let k = P1HistKernel { fields: FieldPair::new(&field.data, &dec), scalars, bins: 256 };
+            sim.launch(&k, k.grid())
+        })
+    });
+    group.bench_function("p2_stride1", |b| {
+        b.iter(|| {
+            let k = P2FusedKernel {
+                fields: FieldPair::new(&field.data, &dec),
+                stride: 1,
+                mean_e: scalars.mean_e(),
+                max_lag: 1,
+                derivatives: true,
+                autocorr: true,
+                cooperative: true,
+            };
+            sim.launch(&k, k.grid())
+        })
+    });
+    group.bench_function("p3_ssim_fifo", |b| {
+        b.iter(|| {
+            let k = SsimFusedKernel {
+                fields: FieldPair::new(&field.data, &dec),
+                params: SsimParams::paper_defaults(scalars.value_range()),
+                fifo_in_shared: true,
+            };
+            sim.launch(&k, k.grid())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! §VI future work — multi-GPU scaling model: the assessment time of a
+//! full-metric cuZC run split over K devices with z decomposition, halo
+//! exchange for pattern 2/3 and a final all-reduce of scalar partials.
+
+use zc_bench::fullscale::remodel_full;
+use zc_bench::HarnessOpts;
+use zc_compress::{Compressor, ErrorBound, SzCompressor};
+use zc_core::exec::Executor;
+use zc_core::CuZc;
+use zc_data::{AppDataset, GenOptions};
+use zc_gpusim::cost::{Bound, CpuModel, ModeledTime};
+use zc_gpusim::{GpuSim, MultiGpuModel};
+
+fn main() {
+    let opts = match HarnessOpts::from_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("multigpu: {e}\nusage: multigpu [--scale N]");
+            std::process::exit(2);
+        }
+    };
+    let sim = GpuSim::v100();
+    let cpu = CpuModel::xeon_6148();
+    println!("Multi-GPU scaling model (paper SVI future work)\n");
+    println!(
+        "{:<12} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "dataset", "GPUs", "NVLink (s)", "PCIe (s)", "ideal (s)", "NVLink eff"
+    );
+    for ds in AppDataset::ALL {
+        let gen = GenOptions::scaled_xy(opts.scale);
+        let field = ds.generate_field(0, &gen);
+        let sz = SzCompressor::new(ErrorBound::Rel(opts.rel_bound));
+        let (dec, _) = sz.roundtrip(&field.data).unwrap();
+        let a = CuZc::default().assess(&field.data, &dec, &opts.cfg).unwrap();
+        let scaled = ds.shape(&gen);
+        let full = ds.full_shape();
+        let single_total: f64 = a
+            .runs
+            .iter()
+            .map(|r| remodel_full(r, scaled, full, &opts.cfg, &sim, &cpu))
+            .sum();
+        let single = ModeledTime {
+            mem_s: single_total,
+            compute_s: 0.0,
+            smem_s: 0.0,
+            overhead_s: 50.0e-6,
+            total_s: single_total,
+            bound: Bound::Compute,
+            utilization: 1.0,
+        };
+        // Halo: one slab of both fields per neighbour (pattern-2/3 ghost
+        // exchange); all-reduce payload: the pattern-1 partial set.
+        let halo_bytes = (full.slab_len() * 2 * 4) as u64;
+        let partial_bytes = 19 * 8;
+        for gpus in [1u32, 2, 4, 8] {
+            let nv = MultiGpuModel::nvlink(gpus).scale(&single, halo_bytes, partial_bytes);
+            let pcie = MultiGpuModel::pcie(gpus).scale(&single, halo_bytes, partial_bytes);
+            println!(
+                "{:<12} {:>6} {:>12.4} {:>12.4} {:>12.4} {:>9.1}%",
+                if gpus == 1 { ds.name() } else { "" },
+                gpus,
+                nv.total_s,
+                pcie.total_s,
+                single_total / gpus as f64,
+                nv.efficiency * 100.0
+            );
+        }
+    }
+}

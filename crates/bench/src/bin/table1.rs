@@ -1,0 +1,8 @@
+//! Table I — the pattern-oriented metrics classification, emitted from the
+//! live metric registry (so the table can never drift from the code).
+
+use zc_core::metrics::classification_table;
+
+fn main() {
+    print!("{}", classification_table());
+}

@@ -1,0 +1,66 @@
+//! Table II — cuZC runtime profiling: Regs/TB, SMem/TB, Iters/thread and
+//! TB(concurrent)/SM per pattern per dataset, at the full paper shapes.
+//!
+//! Regs/TB and SMem/TB come from the kernels' resource declarations (they
+//! are shape-independent, as in the paper); Iters/thread uses the analytic
+//! full-shape formulas that the test suite validates against measured
+//! counters; TB/SM columns come from the occupancy calculator and grid
+//! geometry.
+
+use zc_bench::fullscale::{full_grid_blocks, full_iters_per_thread};
+use zc_bench::HarnessOpts;
+use zc_core::{AssessConfig, CuZc, Executor, Pattern};
+use zc_data::{AppDataset, GenOptions};
+use zc_gpusim::GpuSim;
+
+fn main() {
+    let opts = match HarnessOpts::from_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("table2: {e}\nusage: table2 [--scale N]");
+            std::process::exit(2);
+        }
+    };
+    let cfg: AssessConfig = opts.cfg.clone();
+    let sim = GpuSim::v100();
+    println!("Table II — cuZC runtime profiling (full paper shapes)\n");
+    for (title, pattern, idx) in [
+        ("Pattern-1", Pattern::GlobalReduction, 0usize),
+        ("Pattern-2", Pattern::Stencil, 1),
+        ("Pattern-3", Pattern::SlidingWindow, 2),
+    ] {
+        println!("{title}");
+        println!(
+            "{:<12} {:>9} {:>9} {:>13} {:>14}",
+            "", "Regs/TB", "SMem/TB", "Iters/thread", "TB(cncr.)/SM"
+        );
+        for ds in AppDataset::ALL {
+            // One tiny functional run yields the per-pattern resource
+            // declarations (identical at any scale).
+            let gen = GenOptions::scaled_xy(16);
+            let field = ds.generate_field(0, &gen);
+            let dec = field.data.map(|v| v + 1e-4);
+            let a = CuZc::default().assess(&field.data, &dec, &cfg).expect("assess");
+            let p = &a.profiles[idx];
+            assert_eq!(p.pattern, pattern);
+            let full = ds.full_shape();
+            let iters = full_iters_per_thread(pattern, full, &cfg);
+            let grid = full_grid_blocks(pattern, full, &cfg);
+            // Concurrent TBs per SM: occupancy limit, capped by assignment.
+            let assigned = grid.div_ceil(sim.dev.sms as usize) as u32;
+            let cncr = p.blocks_per_sm.min(assigned.max(1));
+            println!(
+                "{:<12} {:>8.1}k {:>8.1}KB {:>13} {:>8}({})",
+                ds.name(),
+                p.regs_per_tb as f64 / 1000.0,
+                p.smem_per_tb as f64 / 1024.0,
+                iters,
+                assigned,
+                cncr
+            );
+        }
+        println!();
+    }
+    println!("paper reference rows: p1 14k/0.4KB, p2 2.3k/17KB, p3 11k/16KB;");
+    println!("p1 iters 977/1k/6.3k/576; p3 deepest for NYX (z=512).");
+}

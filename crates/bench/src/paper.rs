@@ -1,0 +1,93 @@
+//! The paper's reported result bands (§IV), used to annotate regenerated
+//! figures with paper-vs-measured comparisons and by the shape-fidelity
+//! integration tests.
+
+/// An inclusive numeric band.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Band {
+    /// Lower edge.
+    pub lo: f64,
+    /// Upper edge.
+    pub hi: f64,
+}
+
+impl Band {
+    /// Construct.
+    pub const fn new(lo: f64, hi: f64) -> Self {
+        Band { lo, hi }
+    }
+
+    /// Whether `v` lies inside the band.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Whether `v` lies inside the band widened by `slack` (multiplicative:
+    /// `[lo/slack, hi*slack]`) — the shape-fidelity criterion.
+    pub fn contains_loose(&self, v: f64, slack: f64) -> bool {
+        v >= self.lo / slack && v <= self.hi * slack
+    }
+}
+
+/// Fig. 10: overall cuZC speedup over ompZC (22.6–31.2×).
+pub const OVERALL_VS_OMPZC: Band = Band::new(22.6, 31.2);
+/// Fig. 10: overall cuZC speedup over moZC (1.49–1.7×).
+pub const OVERALL_VS_MOZC: Band = Band::new(1.49, 1.7);
+
+/// Fig. 11(a): pattern-1 throughput, cuZC (103–137 GB/s).
+pub const P1_CUZC_GBS: Band = Band::new(103.0, 137.0);
+/// Fig. 11(a): pattern-1 throughput, moZC (17–31 GB/s).
+pub const P1_MOZC_GBS: Band = Band::new(17.0, 31.0);
+/// Fig. 11(a): pattern-1 throughput, ompZC (0.44–0.51 GB/s).
+pub const P1_OMPZC_GBS: Band = Band::new(0.44, 0.51);
+/// Fig. 11(c): pattern-3 throughput, cuZC (497–758 MB/s).
+pub const P3_CUZC_GBS: Band = Band::new(0.497, 0.758);
+/// Fig. 11(c): pattern-3 throughput, moZC (351–514 MB/s).
+pub const P3_MOZC_GBS: Band = Band::new(0.351, 0.514);
+/// Fig. 11(c): pattern-3 throughput, ompZC (24.8–26.6 MB/s).
+pub const P3_OMPZC_GBS: Band = Band::new(0.0248, 0.0266);
+
+/// Fig. 12(a): pattern-1 speedup vs ompZC (227–268×).
+pub const P1_VS_OMPZC: Band = Band::new(227.0, 268.0);
+/// Fig. 12(a): pattern-1 speedup vs moZC (3.49–6.38×).
+pub const P1_VS_MOZC: Band = Band::new(3.49, 6.38);
+/// Fig. 12(b): pattern-2 speedup vs ompZC (17.1–47.4×).
+pub const P2_VS_OMPZC: Band = Band::new(17.1, 47.4);
+/// Fig. 12(b): pattern-2 speedup vs moZC (1.79–1.86×).
+pub const P2_VS_MOZC: Band = Band::new(1.79, 1.86);
+/// Fig. 12(c): pattern-3 speedup vs ompZC (19.2–28.5×).
+pub const P3_VS_OMPZC: Band = Band::new(19.2, 28.5);
+/// Fig. 12(c): pattern-3 speedup vs moZC (1.42–1.63×).
+pub const P3_VS_MOZC: Band = Band::new(1.42, 1.63);
+
+/// Format a value with its paper band and an in/out marker.
+pub fn against(v: f64, band: Band) -> String {
+    let mark = if band.contains(v) {
+        "within"
+    } else if band.contains_loose(v, 2.0) {
+        "near"
+    } else {
+        "OUTSIDE"
+    };
+    format!("{v:8.2} (paper {:.2}–{:.2}, {mark})", band.lo, band.hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_membership() {
+        assert!(OVERALL_VS_OMPZC.contains(25.0));
+        assert!(!OVERALL_VS_OMPZC.contains(10.0));
+        assert!(OVERALL_VS_OMPZC.contains_loose(12.0, 2.0));
+        assert!(!OVERALL_VS_OMPZC.contains_loose(5.0, 2.0));
+    }
+
+    #[test]
+    fn against_renders_markers() {
+        assert!(against(25.0, OVERALL_VS_OMPZC).contains("within"));
+        assert!(against(12.0, OVERALL_VS_OMPZC).contains("near"));
+        assert!(against(2.0, OVERALL_VS_OMPZC).contains("OUTSIDE"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Bit grooming: precision-trimming plus entropy coding.
+//!
+//! A widely used climate-science baseline (NCO's "number of significant
+//! digits" trimming): round every f32 mantissa to its top `keep_bits`
+//! fractional bits, then entropy-code the now highly redundant byte planes
+//! with the same canonical Huffman stage the other codecs use. The result
+//! is a *pointwise-relative* error bound of `2^(-keep_bits)` — the natural
+//! foil for the `max_pwr_err` metric and the third compression philosophy
+//! next to error-bounded (SZ) and fixed-rate (ZFP) coding.
+
+use crate::lossless::LosslessCompressor;
+use crate::stats::CompressionStats;
+use crate::{CodecError, Compressed, Compressor};
+use zc_tensor::Tensor;
+
+/// Mantissa-rounding compressor with a relative error bound.
+#[derive(Clone, Copy, Debug)]
+pub struct BitGroomCompressor {
+    keep_bits: u32,
+}
+
+impl BitGroomCompressor {
+    /// Keep `keep_bits` mantissa bits (1..=23). The pointwise relative
+    /// error is at most `2^(-keep_bits)` for normal values.
+    pub fn new(keep_bits: u32) -> Self {
+        assert!((1..=23).contains(&keep_bits), "keep_bits must be 1..=23");
+        BitGroomCompressor { keep_bits }
+    }
+
+    /// The guaranteed pointwise-relative error bound.
+    pub fn relative_bound(&self) -> f64 {
+        (2.0f64).powi(-(self.keep_bits as i32))
+    }
+
+    /// Round one value's mantissa to `keep_bits` bits (round-to-nearest,
+    /// ties away from zero via the carry; NaN/Inf pass through).
+    #[inline]
+    pub fn groom(&self, v: f32) -> f32 {
+        if !v.is_finite() {
+            return v;
+        }
+        let drop = 23 - self.keep_bits;
+        let bits = v.to_bits();
+        let half = 1u32 << (drop - 1).min(31);
+        let mask = !((1u32 << drop) - 1);
+        // Add half-ulp then truncate; mantissa carry correctly bumps the
+        // exponent (that is how IEEE-754 rounding composes).
+        let rounded = bits.wrapping_add(half) & mask;
+        let out = f32::from_bits(rounded);
+        if out.is_finite() {
+            out
+        } else {
+            v // overflowed to Inf at f32::MAX; keep the original
+        }
+    }
+}
+
+impl Compressor for BitGroomCompressor {
+    fn name(&self) -> &'static str {
+        "bitgroom"
+    }
+
+    fn compress(&self, t: &Tensor<f32>) -> Compressed {
+        let t0 = std::time::Instant::now();
+        let groomed = t.map(|v| self.groom(v));
+        // The groomed field's byte planes are highly repetitive — the
+        // lossless stage does the actual size reduction.
+        let mut out = LosslessCompressor::new().compress(&groomed);
+        out.stats = CompressionStats {
+            original_bytes: t.nbytes(),
+            compressed_bytes: out.bytes.len(),
+            compress_seconds: t0.elapsed().as_secs_f64(),
+            decompress_seconds: 0.0,
+            outliers: 0,
+        };
+        out
+    }
+
+    fn decompress(&self, c: &Compressed) -> Result<Tensor<f32>, CodecError> {
+        LosslessCompressor::new().decompress(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_tensor::Shape;
+
+    fn field() -> Tensor<f32> {
+        Tensor::from_fn(Shape::d3(24, 20, 12), |[x, y, z, _]| {
+            1000.0 * ((x as f32 * 0.21).sin() + (y as f32 * 0.13).cos()) + z as f32
+        })
+    }
+
+    #[test]
+    fn relative_bound_holds_for_normals() {
+        for keep in [4u32, 8, 12, 16] {
+            let bg = BitGroomCompressor::new(keep);
+            let bound = bg.relative_bound();
+            let t = field();
+            let (rec, _) = bg.roundtrip(&t).unwrap();
+            for (&a, &b) in t.iter().zip(rec.iter()) {
+                if a != 0.0 {
+                    let rel = ((a - b) / a).abs() as f64;
+                    assert!(rel <= bound * (1.0 + 1e-6), "keep={keep}: rel {rel} > {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_bits_compress_better() {
+        let t = field();
+        let coarse = BitGroomCompressor::new(4).compress(&t).stats.ratio();
+        let fine = BitGroomCompressor::new(16).compress(&t).stats.ratio();
+        assert!(coarse > fine, "coarse {coarse} !> fine {fine}");
+        assert!(coarse > 2.0, "4-bit grooming should beat 2x, got {coarse}");
+    }
+
+    #[test]
+    fn grooming_is_idempotent() {
+        let bg = BitGroomCompressor::new(8);
+        for v in [1.0f32, -3.7e8, 2.5e-12, 1234.567] {
+            let once = bg.groom(v);
+            assert_eq!(bg.groom(once), once, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn special_values_pass_through() {
+        let bg = BitGroomCompressor::new(6);
+        assert!(bg.groom(f32::NAN).is_nan());
+        assert_eq!(bg.groom(f32::INFINITY), f32::INFINITY);
+        assert_eq!(bg.groom(0.0), 0.0);
+        assert_eq!(bg.groom(f32::MAX), f32::MAX); // no overflow to Inf
+    }
+
+    #[test]
+    fn roundtrip_is_exact_on_the_groomed_field() {
+        let bg = BitGroomCompressor::new(10);
+        let t = field();
+        let groomed = t.map(|v| bg.groom(v));
+        let (rec, _) = bg.roundtrip(&t).unwrap();
+        assert_eq!(rec.as_slice(), groomed.as_slice());
+    }
+}

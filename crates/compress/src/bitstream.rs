@@ -1,0 +1,184 @@
+//! LSB-first bit-level I/O used by the Huffman and ZFP-like codecs.
+
+use crate::CodecError;
+
+/// Append-only bit sink. Bits are packed least-significant-bit-first within
+/// each byte, so short writes of `n` bits store the low `n` bits of `value`.
+#[derive(Default, Debug, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Unused bit capacity remaining in the final byte (0 = full/absent).
+    used: u32,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `n` bits of `value` (n ≤ 64).
+    pub fn write_bits(&mut self, mut value: u64, mut n: u32) {
+        debug_assert!(n <= 64);
+        if n < 64 {
+            value &= (1u64 << n) - 1;
+        }
+        while n > 0 {
+            if self.used == 0 {
+                self.bytes.push(0);
+                self.used = 8; // capacity remaining in the new byte
+            }
+            let take = n.min(self.used);
+            let shift = 8 - self.used;
+            if let Some(b) = self.bytes.last_mut() {
+                *b |= ((value & ((1u64 << take) - 1)) as u8) << shift;
+            }
+            value >>= take;
+            self.used -= take;
+            n -= take;
+        }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 - self.used as usize
+    }
+
+    /// Finish, returning the packed bytes (final partial byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Bit-level reader matching [`BitWriter`]'s packing.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos_bits: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos_bits
+    }
+
+    /// Read `n` bits (n ≤ 64) as the low bits of the result.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, CodecError> {
+        debug_assert!(n <= 64);
+        if (n as usize) > self.remaining() {
+            return Err(CodecError::Corrupt("bitstream exhausted"));
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let byte = self.bytes[self.pos_bits / 8];
+            let off = (self.pos_bits % 8) as u32;
+            let avail = 8 - off;
+            let take = (n - got).min(avail);
+            let chunk = ((byte >> off) as u64) & ((1u64 << take) - 1);
+            out |= chunk << got;
+            got += take;
+            self.pos_bits += take as usize;
+        }
+        Ok(out)
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Current bit offset from the start.
+    pub fn position(&self) -> usize {
+        self.pos_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_bit(true);
+        w.write_bits(0x1FFF, 13);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(13).unwrap(), 0x1FFF);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 5);
+        assert_eq!(w.bit_len(), 5);
+        w.write_bits(0, 8);
+        assert_eq!(w.bit_len(), 13);
+        assert_eq!(w.into_bytes().len(), 2);
+    }
+
+    #[test]
+    fn masked_high_bits_do_not_leak() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 4); // only low 4 bits should land
+        w.write_bits(0, 4);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x0F]);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut w = BitWriter::new();
+        w.write_bits(3, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bits(8).is_ok()); // padded byte is readable
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn many_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern: Vec<bool> = (0..257).map(|i| i % 3 == 0).collect();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(r.read_bit().unwrap(), b, "bit {i}");
+        }
+    }
+}

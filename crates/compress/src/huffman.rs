@@ -1,0 +1,408 @@
+//! Canonical Huffman coding over `u32` symbols.
+//!
+//! This is the entropy stage of the SZ-like compressor (SZ 1.4 and cuSZ both
+//! Huffman-encode their quantization codes). The codec is *canonical*: only
+//! the code lengths are serialized, and both sides rebuild identical
+//! codebooks, which keeps headers small and decode tables simple.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::CodecError;
+use std::collections::BinaryHeap;
+
+/// Errors specific to Huffman coding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// Encoder was given a symbol that was absent from the frequency table.
+    UnknownSymbol(u32),
+    /// The serialized codebook is malformed.
+    BadCodebook,
+    /// The bit stream does not decode to the declared symbol count.
+    BadStream,
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffmanError::UnknownSymbol(s) => write!(f, "symbol {s} not in codebook"),
+            HuffmanError::BadCodebook => write!(f, "malformed codebook"),
+            HuffmanError::BadStream => write!(f, "malformed huffman stream"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+/// Maximum admitted code length. Length-limiting keeps decode state machine
+/// small; 48 bits is far beyond what quantization-code distributions need.
+const MAX_CODE_LEN: u32 = 48;
+
+/// A canonical Huffman codebook for a dense symbol alphabet `0..n`.
+#[derive(Debug, Clone)]
+pub struct HuffmanCodec {
+    /// Code length per symbol (0 = symbol unused).
+    lengths: Vec<u32>,
+    /// Canonical code per symbol (valid where length > 0).
+    codes: Vec<u64>,
+    /// Symbols sorted by (length, symbol) — decode order.
+    sorted_symbols: Vec<u32>,
+    /// `count[l]` = number of symbols with code length `l`.
+    count: Vec<u64>,
+    /// `first_code[l]` = canonical code of the first length-`l` symbol.
+    first_code: Vec<u64>,
+    /// `first_index[l]` = index into `sorted_symbols` of that symbol.
+    first_index: Vec<usize>,
+}
+
+impl HuffmanCodec {
+    /// Build a codebook from symbol frequencies (index = symbol).
+    ///
+    /// Symbols with zero frequency get no code. At least one symbol must
+    /// have a non-zero frequency.
+    pub fn from_frequencies(freqs: &[u64]) -> Result<Self, HuffmanError> {
+        let n_used = freqs.iter().filter(|&&f| f > 0).count();
+        if n_used == 0 {
+            return Err(HuffmanError::BadCodebook);
+        }
+        let mut lengths = vec![0u32; freqs.len()];
+        if n_used == 1 {
+            // Degenerate alphabet: give the single symbol a 1-bit code.
+            let sym = freqs.iter().position(|&f| f > 0).unwrap();
+            lengths[sym] = 1;
+        } else {
+            // Standard heap-based Huffman over the used symbols.
+            #[derive(PartialEq, Eq)]
+            struct Node {
+                weight: u64,
+                id: usize,
+            }
+            impl Ord for Node {
+                fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                    // Min-heap by weight (ties by id for determinism).
+                    o.weight.cmp(&self.weight).then(o.id.cmp(&self.id))
+                }
+            }
+            impl PartialOrd for Node {
+                fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                    Some(self.cmp(o))
+                }
+            }
+            // Tree stored as parent links; leaves are 0..n, internal after.
+            let mut parents: Vec<usize> = Vec::new();
+            let mut weights: Vec<u64> = Vec::new();
+            let mut heap = BinaryHeap::new();
+            let mut id_of_leaf = vec![usize::MAX; freqs.len()];
+            for (s, &f) in freqs.iter().enumerate() {
+                if f > 0 {
+                    let id = weights.len();
+                    id_of_leaf[s] = id;
+                    weights.push(f);
+                    parents.push(usize::MAX);
+                    heap.push(Node { weight: f, id });
+                }
+            }
+            while heap.len() > 1 {
+                let a = heap.pop().unwrap();
+                let b = heap.pop().unwrap();
+                let id = weights.len();
+                weights.push(a.weight + b.weight);
+                parents.push(usize::MAX);
+                parents[a.id] = id;
+                parents[b.id] = id;
+                heap.push(Node { weight: a.weight + b.weight, id });
+            }
+            for (s, &leaf) in id_of_leaf.iter().enumerate() {
+                if leaf == usize::MAX {
+                    continue;
+                }
+                let mut d = 0u32;
+                let mut cur = leaf;
+                while parents[cur] != usize::MAX {
+                    cur = parents[cur];
+                    d += 1;
+                }
+                lengths[s] = d;
+            }
+            limit_lengths(&mut lengths, MAX_CODE_LEN);
+        }
+        Self::from_lengths(lengths)
+    }
+
+    /// Rebuild a codebook from code lengths (the canonical construction).
+    pub fn from_lengths(lengths: Vec<u32>) -> Result<Self, HuffmanError> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len == 0 || max_len > MAX_CODE_LEN {
+            return Err(HuffmanError::BadCodebook);
+        }
+        // Kraft check.
+        let kraft: u128 =
+            lengths.iter().filter(|&&l| l > 0).map(|&l| 1u128 << (MAX_CODE_LEN - l)).sum();
+        if kraft > 1u128 << MAX_CODE_LEN {
+            return Err(HuffmanError::BadCodebook);
+        }
+        let mut sorted_symbols: Vec<u32> =
+            (0..lengths.len() as u32).filter(|&s| lengths[s as usize] > 0).collect();
+        sorted_symbols.sort_by_key(|&s| (lengths[s as usize], s));
+
+        // Standard canonical construction over per-length symbol counts.
+        let nl = (max_len + 1) as usize;
+        let mut count = vec![0u64; nl];
+        for &l in lengths.iter().filter(|&&l| l > 0) {
+            count[l as usize] += 1;
+        }
+        let mut first_code = vec![0u64; nl];
+        let mut first_index = vec![0usize; nl];
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for l in 1..nl {
+            first_code[l] = code;
+            first_index[l] = index;
+            code = (code + count[l]) << 1;
+            index += count[l] as usize;
+        }
+        let mut codes = vec![0u64; lengths.len()];
+        let mut next = first_code.clone();
+        for &s in &sorted_symbols {
+            let l = lengths[s as usize] as usize;
+            codes[s as usize] = next[l];
+            next[l] += 1;
+        }
+        Ok(HuffmanCodec { lengths, codes, sorted_symbols, count, first_code, first_index })
+    }
+
+    /// Number of symbols in the (dense) alphabet.
+    pub fn alphabet_len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Code length of `symbol` (0 if it has no code).
+    pub fn length_of(&self, symbol: u32) -> u32 {
+        self.lengths.get(symbol as usize).copied().unwrap_or(0)
+    }
+
+    /// Encode a symbol sequence onto a bit writer.
+    pub fn encode(&self, symbols: &[u32], w: &mut BitWriter) -> Result<(), HuffmanError> {
+        for &s in symbols {
+            let l = self.length_of(s);
+            if l == 0 {
+                return Err(HuffmanError::UnknownSymbol(s));
+            }
+            // Canonical codes are MSB-first; emit bits accordingly.
+            let code = self.codes[s as usize];
+            for i in (0..l).rev() {
+                w.write_bit((code >> i) & 1 == 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode exactly `count` symbols from a bit reader.
+    pub fn decode(&self, r: &mut BitReader<'_>, count: usize) -> Result<Vec<u32>, CodecError> {
+        let max_len = *self.lengths.iter().max().unwrap() as usize;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut code = 0u64;
+            let mut len = 0usize;
+            loop {
+                code = (code << 1) | r.read_bit()? as u64;
+                len += 1;
+                if len > max_len {
+                    return Err(CodecError::Huffman(HuffmanError::BadStream));
+                }
+                // A valid length-`len` code satisfies
+                // first_code[len] <= code < first_code[len] + count[len].
+                let fc = self.first_code[len];
+                if code >= fc && code - fc < self.count[len] {
+                    let idx = self.first_index[len] + (code - fc) as usize;
+                    out.push(self.sorted_symbols[idx]);
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serialize the codebook sparsely: alphabet size, used-symbol count,
+    /// then `(symbol, length)` pairs. Quantization-code alphabets are huge
+    /// (SZ default: 65537 symbols) but only a few hundred are typically
+    /// used, so sparse headers are orders of magnitude smaller than dense.
+    pub fn write_codebook(&self, w: &mut BitWriter) {
+        w.write_bits(self.lengths.len() as u64, 32);
+        w.write_bits(self.sorted_symbols.len() as u64, 32);
+        for &s in &self.sorted_symbols {
+            w.write_bits(s as u64, 32);
+            w.write_bits(self.lengths[s as usize] as u64, 6);
+        }
+    }
+
+    /// Deserialize a codebook written by [`HuffmanCodec::write_codebook`].
+    pub fn read_codebook(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let n = r.read_bits(32)? as usize;
+        if n == 0 || n > (1 << 26) {
+            return Err(CodecError::Huffman(HuffmanError::BadCodebook));
+        }
+        let n_used = r.read_bits(32)? as usize;
+        if n_used == 0 || n_used > n {
+            return Err(CodecError::Huffman(HuffmanError::BadCodebook));
+        }
+        let mut lengths = vec![0u32; n];
+        for _ in 0..n_used {
+            let s = r.read_bits(32)? as usize;
+            let l = r.read_bits(6)? as u32;
+            if s >= n || l == 0 {
+                return Err(CodecError::Huffman(HuffmanError::BadCodebook));
+            }
+            lengths[s] = l;
+        }
+        Ok(Self::from_lengths(lengths)?)
+    }
+
+    /// Shannon-optimal size estimate in bits for a frequency table — used by
+    /// compression-ratio diagnostics.
+    pub fn entropy_bits(freqs: &[u64]) -> f64 {
+        let total: u64 = freqs.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let tf = total as f64;
+        freqs
+            .iter()
+            .filter(|&&f| f > 0)
+            .map(|&f| {
+                let p = f as f64 / tf;
+                -(f as f64) * p.log2()
+            })
+            .sum()
+    }
+}
+
+/// Limit code lengths to `max` by shallowing over-deep leaves and repairing
+/// the Kraft sum (simple heuristic, adequate for quantization codes).
+fn limit_lengths(lengths: &mut [u32], max: u32) {
+    if lengths.iter().all(|&l| l <= max) {
+        return;
+    }
+    // Clamp, then fix Kraft by deepening the shallowest leaves as needed.
+    for l in lengths.iter_mut() {
+        if *l > max {
+            *l = max;
+        }
+    }
+    let unit = |l: u32| 1u128 << (max - l);
+    let budget = 1u128 << max;
+    let mut kraft: u128 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit(l)).sum();
+    while kraft > budget {
+        // Deepen the shallowest deepenable symbol.
+        let (idx, _) = lengths
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0 && l < max)
+            .min_by_key(|(_, &l)| l)
+            .expect("kraft violation must be repairable");
+        kraft -= unit(lengths[idx]) - unit(lengths[idx] + 1);
+        lengths[idx] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32], alphabet: usize) {
+        let mut freqs = vec![0u64; alphabet];
+        for &s in symbols {
+            freqs[s as usize] += 1;
+        }
+        let codec = HuffmanCodec::from_frequencies(&freqs).unwrap();
+        let mut w = BitWriter::new();
+        codec.write_codebook(&mut w);
+        codec.encode(symbols, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let codec2 = HuffmanCodec::read_codebook(&mut r).unwrap();
+        let decoded = codec2.decode(&mut r, symbols.len()).unwrap();
+        assert_eq!(decoded, symbols);
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        roundtrip(&[0, 1, 2, 1, 0, 0, 0, 3, 2, 1, 0], 4);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol_alphabet() {
+        roundtrip(&[5; 100], 8);
+    }
+
+    #[test]
+    fn roundtrip_skewed_distribution() {
+        let mut syms = vec![7u32; 10_000];
+        for i in 0..100 {
+            syms[i * 97] = (i % 30) as u32;
+        }
+        roundtrip(&syms, 32);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        let mut freqs = vec![0u64; 16];
+        freqs[0] = 1_000_000;
+        for f in freqs.iter_mut().skip(1) {
+            *f = 10;
+        }
+        let codec = HuffmanCodec::from_frequencies(&freqs).unwrap();
+        assert_eq!(codec.length_of(0), 1);
+        let total: u64 = freqs.iter().sum();
+        let coded_bits: u64 =
+            freqs.iter().enumerate().map(|(s, &f)| f * codec.length_of(s as u32) as u64).sum();
+        assert!((coded_bits as f64) < 1.1 * total as f64, "should be ~1 bit/symbol");
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let codec = HuffmanCodec::from_frequencies(&[5, 5, 0]).unwrap();
+        let mut w = BitWriter::new();
+        assert_eq!(codec.encode(&[2], &mut w), Err(HuffmanError::UnknownSymbol(2)));
+    }
+
+    #[test]
+    fn empty_frequency_table_rejected() {
+        assert!(HuffmanCodec::from_frequencies(&[0, 0, 0]).is_err());
+        assert!(HuffmanCodec::from_frequencies(&[]).is_err());
+    }
+
+    #[test]
+    fn entropy_matches_uniform() {
+        let bits = HuffmanCodec::entropy_bits(&[1, 1, 1, 1]);
+        assert!((bits - 8.0).abs() < 1e-9); // 4 symbols × 2 bits
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs = [50u64, 30, 10, 5, 3, 1, 1];
+        let codec = HuffmanCodec::from_frequencies(&freqs).unwrap();
+        for a in 0..freqs.len() as u32 {
+            for b in 0..freqs.len() as u32 {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (codec.length_of(a), codec.length_of(b));
+                if la == 0 || lb == 0 || la > lb {
+                    continue;
+                }
+                let prefix = codec.codes[b as usize] >> (lb - la);
+                assert_ne!(prefix, codec.codes[a as usize], "code {a} prefixes {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_limiting_repairs_kraft() {
+        let mut lengths = vec![60u32, 60, 2, 3, 3];
+        limit_lengths(&mut lengths, 8);
+        assert!(lengths.iter().all(|&l| l <= 8));
+        let kraft: u128 = lengths.iter().map(|&l| 1u128 << (8 - l)).sum();
+        assert!(kraft <= 1 << 8);
+        // And the codebook still builds.
+        assert!(HuffmanCodec::from_lengths(lengths).is_ok());
+    }
+}

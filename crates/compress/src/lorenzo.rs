@@ -1,0 +1,139 @@
+//! The Lorenzo predictor used by SZ 1.4 / cuSZ.
+//!
+//! The order-1 Lorenzo predictor estimates a value from its already-visited
+//! neighbours (the corner of the inclusion–exclusion cube):
+//!
+//! * 1D: `p = f(x-1)`
+//! * 2D: `p = f(x-1,y) + f(x,y-1) - f(x-1,y-1)`
+//! * 3D: `p = f(x-1) + f(y-1) + f(z-1) - f(x-1,y-1) - f(x-1,z-1)
+//!        - f(y-1,z-1) + f(x-1,y-1,z-1)`
+//!
+//! Out-of-domain neighbours contribute zero, matching SZ's behaviour at the
+//! low faces. Prediction must run over the *reconstructed* field during
+//! compression so the decompressor (which only has reconstructed data)
+//! forms identical predictions — this is what makes the error bound hold.
+
+use zc_tensor::Shape;
+
+/// Order-1 Lorenzo predictor over a scan-ordered reconstruction buffer.
+///
+/// The buffer layout matches [`Shape`]'s linearization (x fastest). The
+/// predictor only ever reads already-written (lower-index) entries.
+#[derive(Clone, Copy, Debug)]
+pub struct LorenzoPredictor {
+    shape: Shape,
+}
+
+impl LorenzoPredictor {
+    /// Predictor over fields of this shape.
+    pub fn new(shape: Shape) -> Self {
+        LorenzoPredictor { shape }
+    }
+
+    /// Predict the value at `(x, y, z, w)` from the reconstruction `rec`.
+    ///
+    /// Applies the 1D/2D/3D corner formula according to `shape.ndim()`
+    /// (4D fields are predicted per 3D sub-volume, matching SZ).
+    #[inline]
+    pub fn predict(&self, rec: &[f32], x: usize, y: usize, z: usize, w: usize) -> f32 {
+        let s = &self.shape;
+        let at = |xx: usize, yy: usize, zz: usize| -> f64 {
+            rec[s.linear([xx, yy, zz, w])] as f64
+        };
+        let fx = x > 0;
+        let fy = y > 0 && s.ndim() >= 2;
+        let fz = z > 0 && s.ndim() >= 3;
+        let mut p = 0f64;
+        if fx {
+            p += at(x - 1, y, z);
+        }
+        if fy {
+            p += at(x, y - 1, z);
+        }
+        if fz {
+            p += at(x, y, z - 1);
+        }
+        if fx && fy {
+            p -= at(x - 1, y - 1, z);
+        }
+        if fx && fz {
+            p -= at(x - 1, y, z - 1);
+        }
+        if fy && fz {
+            p -= at(x, y - 1, z - 1);
+        }
+        if fx && fy && fz {
+            p += at(x - 1, y - 1, z - 1);
+        }
+        p as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_tensor::{Shape, Tensor};
+
+    #[test]
+    fn first_element_predicts_zero() {
+        let s = Shape::d3(4, 4, 4);
+        let rec = vec![9.0f32; s.len()];
+        let p = LorenzoPredictor::new(s);
+        assert_eq!(p.predict(&rec, 0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn lorenzo_is_exact_for_trilinear_fields() {
+        // f(x,y,z) = a + bx + cy + dz + exy + fxz + gyz + hxyz is exactly
+        // reproduced by the order-1 3D Lorenzo corner formula... only the
+        // affine part is exact; verify with f = 1 + 2x + 3y + 4z.
+        let s = Shape::d3(6, 5, 4);
+        let t = Tensor::from_fn(s, |[x, y, z, _]| 1.0 + 2.0 * x as f32 + 3.0 * y as f32 + 4.0 * z as f32);
+        let p = LorenzoPredictor::new(s);
+        let rec = t.as_slice();
+        for z in 1..4 {
+            for y in 1..5 {
+                for x in 1..6 {
+                    let pred = p.predict(rec, x, y, z, 0);
+                    let truth = t.at3(x, y, z);
+                    assert!((pred - truth).abs() < 1e-4, "({x},{y},{z}): {pred} vs {truth}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dimensionality_controls_formula() {
+        // For a 1D shape only the x neighbour is used.
+        let s = Shape::d1(8);
+        let rec: Vec<f32> = (0..8).map(|v| v as f32 * v as f32).collect();
+        let p = LorenzoPredictor::new(s);
+        assert_eq!(p.predict(&rec, 5, 0, 0, 0), 16.0);
+    }
+
+    #[test]
+    fn d2_formula_uses_three_neighbours() {
+        let s = Shape::d2(4, 4);
+        // f = x*y → pred(x,y) = (x-1)y + x(y-1) - (x-1)(y-1) = xy - ... let's
+        // just check one point numerically: pred(2,2) = 2 + 2 - 1 = 3; true 4.
+        let t = Tensor::from_fn(s, |[x, y, ..]| (x * y) as f32);
+        let p = LorenzoPredictor::new(s);
+        assert_eq!(p.predict(t.as_slice(), 2, 2, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn prediction_reads_only_past_elements() {
+        // Poison all future elements; prediction at (1,1,1) must not change.
+        let s = Shape::d3(3, 3, 3);
+        let t = Tensor::from_fn(s, |[x, y, z, _]| (x + y + z) as f32);
+        let p = LorenzoPredictor::new(s);
+        let clean = p.predict(t.as_slice(), 1, 1, 1, 0);
+        let mut poisoned = t.clone();
+        let cut = s.linear([1, 1, 1, 0]);
+        for i in cut..s.len() {
+            poisoned.as_mut_slice()[i] = f32::NAN;
+        }
+        let dirty = p.predict(poisoned.as_slice(), 1, 1, 1, 0);
+        assert_eq!(clean, dirty);
+    }
+}

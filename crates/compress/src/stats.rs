@@ -1,0 +1,122 @@
+//! Compression performance bookkeeping.
+//!
+//! These are the compression-related metrics Z-checker reports directly:
+//! compression ratio, bit rate, and compression/decompression throughput.
+
+/// Statistics for one compression run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompressionStats {
+    /// Bytes of the original tensor.
+    pub original_bytes: usize,
+    /// Bytes of the compressed stream.
+    pub compressed_bytes: usize,
+    /// Wall-clock seconds spent compressing.
+    pub compress_seconds: f64,
+    /// Wall-clock seconds spent decompressing (0 until measured).
+    pub decompress_seconds: f64,
+    /// Number of elements stored verbatim (unpredictable outliers);
+    /// always 0 for fixed-rate codecs.
+    pub outliers: usize,
+}
+
+impl CompressionStats {
+    /// Compression ratio (original / compressed).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            0.0
+        } else {
+            self.original_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+
+    /// Bit rate in bits per element for `elem_bytes`-sized elements.
+    pub fn bit_rate(&self, elem_bytes: usize) -> f64 {
+        if self.original_bytes == 0 {
+            return 0.0;
+        }
+        let n = self.original_bytes / elem_bytes;
+        self.compressed_bytes as f64 * 8.0 / n as f64
+    }
+
+    /// Compression throughput in GB/s of original data.
+    pub fn compress_throughput_gbs(&self) -> f64 {
+        if self.compress_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.original_bytes as f64 / self.compress_seconds / 1e9
+    }
+
+    /// Decompression throughput in GB/s of original data.
+    pub fn decompress_throughput_gbs(&self) -> f64 {
+        if self.decompress_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.original_bytes as f64 / self.decompress_seconds / 1e9
+    }
+}
+
+/// A labelled collection of rate/distortion points, used by the
+/// compressor-comparison example and the rate-distortion sweeps.
+#[derive(Clone, Debug, Default)]
+pub struct RateSummary {
+    /// `(label, bit_rate, psnr_db, ratio)` rows.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+impl RateSummary {
+    /// Add one sweep point.
+    pub fn push(&mut self, label: impl Into<String>, bit_rate: f64, psnr_db: f64, ratio: f64) {
+        self.rows.push((label.into(), bit_rate, psnr_db, ratio));
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>10} {:>10} {:>10}\n",
+            "config", "bits/elem", "PSNR(dB)", "ratio"
+        );
+        for (label, rate, psnr, ratio) in &self.rows {
+            out.push_str(&format!("{label:<24} {rate:>10.3} {psnr:>10.2} {ratio:>10.2}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_bit_rate() {
+        let s = CompressionStats {
+            original_bytes: 4000,
+            compressed_bytes: 400,
+            ..Default::default()
+        };
+        assert!((s.ratio() - 10.0).abs() < 1e-12);
+        // 1000 f32 elements → 400*8/1000 = 3.2 bits/elem.
+        assert!((s.bit_rate(4) - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_guards_zero_time() {
+        let s = CompressionStats { original_bytes: 1 << 30, ..Default::default() };
+        assert_eq!(s.compress_throughput_gbs(), 0.0);
+        assert_eq!(s.decompress_throughput_gbs(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = CompressionStats::default();
+        assert_eq!(s.ratio(), 0.0);
+        assert_eq!(s.bit_rate(4), 0.0);
+    }
+
+    #[test]
+    fn summary_table_contains_rows() {
+        let mut r = RateSummary::default();
+        r.push("sz eb=1e-3", 2.5, 62.1, 12.8);
+        let t = r.to_table();
+        assert!(t.contains("sz eb=1e-3") && t.contains("62.10"));
+    }
+}

@@ -1,0 +1,451 @@
+//! A ZFP-style fixed-rate block-transform codec (the cuZFP stand-in).
+//!
+//! Like ZFP's fixed-rate mode, the codec partitions the field into 4×4×4
+//! blocks and spends an identical bit budget on every block:
+//!
+//! 1. **Block floating point** — all 64 values share the block's maximum
+//!    exponent and are converted to fixed point.
+//! 2. **Separable integer lifting transform** — a two-level S-transform
+//!    (Haar lifting) applied along each axis. Unlike ZFP's modified
+//!    Hadamard-like transform, the S-transform is *exactly* invertible in
+//!    integers, which gives us crisp property tests; the decorrelation
+//!    behaviour (energy compaction into low-sequency coefficients) is the
+//!    same in kind.
+//! 3. **Static bit allocation** — the per-block budget is water-filled over
+//!    coefficients by sequency (low-frequency coefficients get more bits),
+//!    and each coefficient is truncated to its budget.
+//!
+//! Consequences faithful to cuZFP's fixed-rate mode: the rate is exact and
+//! data-independent, there is **no error bound**, and hard-to-compress
+//! blocks silently lose accuracy — exactly the compression-quality hazard
+//! the paper motivates assessing (§I: fixed-rate trades quality for GPU
+//! efficiency). Non-finite values are flushed to zero (documented
+//! difference from ZFP, which would propagate payload garbage).
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::stats::CompressionStats;
+use crate::{CodecError, Compressed, Compressor};
+use zc_tensor::{Shape, Tensor};
+
+/// Block side length (fixed, as in ZFP).
+const BS: usize = 4;
+/// Values per block.
+const BLOCK_LEN: usize = BS * BS * BS;
+/// Fixed-point precision of the block-floating-point stage.
+const P: u32 = 26;
+/// Worst-case coefficient width after the 3-axis transform (sign included).
+const W: u32 = P + 4;
+/// Exponent sentinel for an all-zero block.
+const ZERO_BLOCK: i64 = i16::MIN as i64;
+
+/// ZFP-like fixed-rate compressor.
+#[derive(Clone, Debug)]
+pub struct ZfpLikeCompressor {
+    /// Coefficient payload bits per value (header adds 16 bits per block).
+    rate: f64,
+    budgets: [u32; BLOCK_LEN],
+}
+
+impl ZfpLikeCompressor {
+    /// Codec storing `rate` coefficient bits per value (0 < rate ≤ 30).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 30.0, "rate must be in (0, 30]");
+        let total = (rate * BLOCK_LEN as f64).round() as u32;
+        ZfpLikeCompressor { rate, budgets: allocate_bits(total) }
+    }
+
+    /// The configured rate in coefficient bits per value.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Total bits per block including the 16-bit exponent header.
+    pub fn bits_per_block(&self) -> u32 {
+        16 + self.budgets.iter().sum::<u32>()
+    }
+}
+
+/// Sequency (sum of per-axis Haar levels, 0..=6) of each coefficient slot.
+fn sequency(i: usize) -> u32 {
+    // After two S-transform levels along an axis the slot order is
+    // [ll, lh, h0, h1] with levels [0, 1, 2, 2].
+    const LEVEL: [u32; BS] = [0, 1, 2, 2];
+    let x = i % BS;
+    let y = (i / BS) % BS;
+    let z = i / (BS * BS);
+    LEVEL[x] + LEVEL[y] + LEVEL[z]
+}
+
+/// Water-fill `total` bits over the 64 coefficient slots, low sequency
+/// first. Deterministic; each slot is capped at the full width `W`.
+fn allocate_bits(total: u32) -> [u32; BLOCK_LEN] {
+    let mut budgets = [0u32; BLOCK_LEN];
+    // Priority = already-allocated bits + 2·sequency; repeatedly feed the
+    // hungriest (lowest-priority) slot. Ties resolve by slot index.
+    let mut remaining = total.min(BLOCK_LEN as u32 * W);
+    while remaining > 0 {
+        let mut best = usize::MAX;
+        let mut best_p = u32::MAX;
+        for (i, &b) in budgets.iter().enumerate() {
+            if b >= W {
+                continue;
+            }
+            let p = b + 2 * sequency(i);
+            if p < best_p {
+                best_p = p;
+                best = i;
+            }
+        }
+        if best == usize::MAX {
+            break;
+        }
+        budgets[best] += 1;
+        remaining -= 1;
+    }
+    budgets
+}
+
+/// One S-transform lifting step over a stride-`s` quadruple in `v`.
+///
+/// Two levels of the exactly-invertible S-transform:
+/// `(a,b) -> (l,h)` with `l = (a+b)>>1`, `h = a-b`;
+/// inverse `a = l + ((h+1)>>1)`, `b = a - h`.
+fn fwd_lift(v: &mut [i64], base: usize, s: usize) {
+    let (a, b, c, d) = (v[base], v[base + s], v[base + 2 * s], v[base + 3 * s]);
+    let l0 = (a + b) >> 1;
+    let h0 = a - b;
+    let l1 = (c + d) >> 1;
+    let h1 = c - d;
+    let ll = (l0 + l1) >> 1;
+    let lh = l0 - l1;
+    v[base] = ll;
+    v[base + s] = lh;
+    v[base + 2 * s] = h0;
+    v[base + 3 * s] = h1;
+}
+
+/// Exact inverse of [`fwd_lift`].
+fn inv_lift(v: &mut [i64], base: usize, s: usize) {
+    let (ll, lh, h0, h1) = (v[base], v[base + s], v[base + 2 * s], v[base + 3 * s]);
+    let l0 = ll + ((lh + 1) >> 1);
+    let l1 = l0 - lh;
+    let a = l0 + ((h0 + 1) >> 1);
+    let b = a - h0;
+    let c = l1 + ((h1 + 1) >> 1);
+    let d = c - h1;
+    v[base] = a;
+    v[base + s] = b;
+    v[base + 2 * s] = c;
+    v[base + 3 * s] = d;
+}
+
+/// Apply the lifting along all three axes of a 4×4×4 block.
+fn fwd_transform(v: &mut [i64; BLOCK_LEN]) {
+    for z in 0..BS {
+        for y in 0..BS {
+            fwd_lift(v, y * BS + z * BS * BS, 1); // x axis
+        }
+    }
+    for z in 0..BS {
+        for x in 0..BS {
+            fwd_lift(v, x + z * BS * BS, BS); // y axis
+        }
+    }
+    for y in 0..BS {
+        for x in 0..BS {
+            fwd_lift(v, x + y * BS, BS * BS); // z axis
+        }
+    }
+}
+
+/// Exact inverse of [`fwd_transform`].
+fn inv_transform(v: &mut [i64; BLOCK_LEN]) {
+    for y in 0..BS {
+        for x in 0..BS {
+            inv_lift(v, x + y * BS, BS * BS);
+        }
+    }
+    for z in 0..BS {
+        for x in 0..BS {
+            inv_lift(v, x + z * BS * BS, BS);
+        }
+    }
+    for z in 0..BS {
+        for y in 0..BS {
+            inv_lift(v, y * BS + z * BS * BS, 1);
+        }
+    }
+}
+
+/// Exponent `e` such that `|v| < 2^e`, from the f32 bit pattern.
+fn exponent_of(maxabs: f32) -> i64 {
+    debug_assert!(maxabs > 0.0);
+    let bits = maxabs.to_bits();
+    let biased = ((bits >> 23) & 0xFF) as i64;
+    biased - 127 + 1
+}
+
+impl Compressor for ZfpLikeCompressor {
+    fn name(&self) -> &'static str {
+        "zfp-like"
+    }
+
+    fn compress(&self, t: &Tensor<f32>) -> Compressed {
+        let t0 = std::time::Instant::now();
+        let shape = t.shape();
+        let [nx, ny, nz, nw] = shape.dims();
+        let bx = nx.div_ceil(BS);
+        let by = ny.div_ceil(BS);
+        let bz = nz.div_ceil(BS);
+        let mut w = BitWriter::new();
+        let mut block = [0f32; BLOCK_LEN];
+        let mut coeffs = [0i64; BLOCK_LEN];
+        for hw in 0..nw {
+            for cz in 0..bz {
+                for cy in 0..by {
+                    for cx in 0..bx {
+                        // Gather (edge blocks replicate the nearest sample).
+                        for lz in 0..BS {
+                            for ly in 0..BS {
+                                for lx in 0..BS {
+                                    let x = (cx * BS + lx).min(nx - 1);
+                                    let y = (cy * BS + ly).min(ny - 1);
+                                    let z = (cz * BS + lz).min(nz - 1);
+                                    let mut v = t.at([x, y, z, hw]);
+                                    if !v.is_finite() {
+                                        v = 0.0;
+                                    }
+                                    block[lx + ly * BS + lz * BS * BS] = v;
+                                }
+                            }
+                        }
+                        let maxabs = block.iter().fold(0f32, |m, &v| m.max(v.abs()));
+                        if maxabs == 0.0 {
+                            w.write_bits((ZERO_BLOCK as u16) as u64, 16);
+                            continue;
+                        }
+                        let e = exponent_of(maxabs);
+                        w.write_bits((e as i16 as u16) as u64, 16);
+                        // Block floating point: scale by 2^(P-1-e).
+                        let scale = (P as i64 - 1 - e) as i32;
+                        for (c, &v) in coeffs.iter_mut().zip(block.iter()) {
+                            *c = ((v as f64) * (2f64).powi(scale)).round() as i64;
+                        }
+                        fwd_transform(&mut coeffs);
+                        for (i, &c) in coeffs.iter().enumerate() {
+                            let b = self.budgets[i];
+                            if b == 0 {
+                                continue;
+                            }
+                            let s = W - b;
+                            w.write_bits((c >> s) as u64, b);
+                        }
+                    }
+                }
+            }
+        }
+        let bytes = w.into_bytes();
+        let stats = CompressionStats {
+            original_bytes: t.nbytes(),
+            compressed_bytes: bytes.len(),
+            compress_seconds: t0.elapsed().as_secs_f64(),
+            decompress_seconds: 0.0,
+            outliers: 0,
+        };
+        Compressed { bytes, shape, stats }
+    }
+
+    fn decompress(&self, c: &Compressed) -> Result<Tensor<f32>, CodecError> {
+        let shape: Shape = c.shape;
+        let [nx, ny, nz, nw] = shape.dims();
+        let bx = nx.div_ceil(BS);
+        let by = ny.div_ceil(BS);
+        let bz = nz.div_ceil(BS);
+        let mut out = Tensor::<f32>::zeros(shape);
+        let mut r = BitReader::new(&c.bytes);
+        let mut coeffs = [0i64; BLOCK_LEN];
+        for hw in 0..nw {
+            for cz in 0..bz {
+                for cy in 0..by {
+                    for cx in 0..bx {
+                        let e = r.read_bits(16)? as u16 as i16 as i64;
+                        if e == ZERO_BLOCK {
+                            // Block is exactly zero; tensor is pre-zeroed.
+                            continue;
+                        }
+                        for (i, cf) in coeffs.iter_mut().enumerate() {
+                            let b = self.budgets[i];
+                            if b == 0 {
+                                *cf = 0;
+                                continue;
+                            }
+                            let s = W - b;
+                            let raw = r.read_bits(b)?;
+                            // Sign-extend the b-bit two's-complement field.
+                            let shifted = (raw << (64 - b)) as i64 >> (64 - b);
+                            // Mid-tread reconstruction of the truncated tail.
+                            *cf = (shifted << s) + if s > 0 { 1 << (s - 1) } else { 0 };
+                        }
+                        inv_transform(&mut coeffs);
+                        let scale = (e - (P as i64 - 1)) as i32;
+                        let factor = (2f64).powi(scale);
+                        for lz in 0..BS {
+                            for ly in 0..BS {
+                                for lx in 0..BS {
+                                    let x = cx * BS + lx;
+                                    let y = cy * BS + ly;
+                                    let z = cz * BS + lz;
+                                    if x < nx && y < ny && z < nz {
+                                        let v = coeffs[lx + ly * BS + lz * BS * BS] as f64
+                                            * factor;
+                                        out.set([x, y, z, hw], v as f32);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_tensor::Shape;
+
+    #[test]
+    fn lift_roundtrip_is_exact() {
+        let mut vals = [0i64; BLOCK_LEN];
+        let mut seed = 12345u64;
+        for trial in 0..200 {
+            for v in vals.iter_mut() {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = (seed as i64) >> 38; // ~26-bit signed values
+            }
+            let orig = vals;
+            fwd_transform(&mut vals);
+            inv_transform(&mut vals);
+            assert_eq!(vals, orig, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn transform_compacts_energy_for_smooth_blocks() {
+        let mut v = [0i64; BLOCK_LEN];
+        for z in 0..BS {
+            for y in 0..BS {
+                for x in 0..BS {
+                    v[x + y * BS + z * BS * BS] = (1000 + 10 * x + 7 * y + 3 * z) as i64;
+                }
+            }
+        }
+        fwd_transform(&mut v);
+        // The DC coefficient should dwarf the high-sequency ones.
+        let dc = v[0].abs();
+        let hi: i64 = (0..BLOCK_LEN).filter(|&i| sequency(i) >= 4).map(|i| v[i].abs()).sum();
+        assert!(dc > 20 * hi.max(1), "dc={dc} hi={hi}");
+    }
+
+    #[test]
+    fn allocation_spends_exact_budget_and_favours_low_sequency() {
+        let b = allocate_bits(512);
+        assert_eq!(b.iter().sum::<u32>(), 512);
+        assert!(b[0] >= b[BLOCK_LEN - 1]);
+        assert!(b[0] > 0);
+        // Same-sequency slots differ by at most one bit.
+        let s2: Vec<u32> =
+            (0..BLOCK_LEN).filter(|&i| sequency(i) == 2).map(|i| b[i]).collect();
+        let (mn, mx) = (s2.iter().min().unwrap(), s2.iter().max().unwrap());
+        assert!(mx - mn <= 1);
+    }
+
+    #[test]
+    fn fixed_rate_is_exact() {
+        let codec = ZfpLikeCompressor::new(8.0);
+        let t = Tensor::from_fn(Shape::d3(16, 16, 16), |[x, y, z, _]| {
+            (x as f32).sin() + (y as f32 * 0.5).cos() * z as f32
+        });
+        let out = codec.compress(&t);
+        let blocks = 4 * 4 * 4;
+        let expect_bits = blocks * codec.bits_per_block() as usize;
+        assert_eq!(out.bytes.len(), expect_bits.div_ceil(8));
+    }
+
+    #[test]
+    fn high_rate_gives_accurate_reconstruction() {
+        let codec = ZfpLikeCompressor::new(24.0);
+        let t = Tensor::from_fn(Shape::d3(12, 12, 12), |[x, y, z, _]| {
+            100.0 * ((x as f32 * 0.4).sin() + (y as f32 * 0.3).cos() + z as f32 * 0.02)
+        });
+        let (rec, _) = codec.roundtrip(&t).unwrap();
+        let (mn, mx) = t.min_max().unwrap();
+        let range = (mx - mn) as f64;
+        for (a, b) in t.iter().zip(rec.iter()) {
+            assert!(
+                ((a - b).abs() as f64) < 1e-3 * range,
+                "|{a} - {b}| too large for 24-bit rate"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_rate_reduces_error() {
+        let t = Tensor::from_fn(Shape::d3(16, 16, 16), |[x, y, z, _]| {
+            ((x * 31 + y * 17 + z * 7) % 101) as f32
+        });
+        let mse = |rate: f64| {
+            let codec = ZfpLikeCompressor::new(rate);
+            let (rec, _) = codec.roundtrip(&t).unwrap();
+            t.iter().zip(rec.iter()).map(|(a, b)| ((a - b) as f64).powi(2)).sum::<f64>()
+        };
+        let coarse = mse(4.0);
+        let fine = mse(16.0);
+        assert!(fine < coarse * 0.5, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn zero_field_is_exact_and_tiny() {
+        let codec = ZfpLikeCompressor::new(8.0);
+        let t = Tensor::<f32>::zeros(Shape::d3(8, 8, 8));
+        let out = codec.compress(&t);
+        let rec = codec.decompress(&out).unwrap();
+        assert!(rec.iter().all(|&v| v == 0.0));
+        // Only 16-bit headers per block.
+        assert_eq!(out.bytes.len(), 8 * 2);
+    }
+
+    #[test]
+    fn non_finite_values_are_flushed_to_zero() {
+        let mut t = Tensor::full(Shape::d3(4, 4, 4), 1.0f32);
+        t.set([1, 1, 1, 0], f32::NAN);
+        let codec = ZfpLikeCompressor::new(16.0);
+        let (rec, _) = codec.roundtrip(&t).unwrap();
+        assert!(!rec.has_non_finite());
+        assert!(rec.at3(1, 1, 1).abs() < 0.6); // the NaN slot decodes near 0
+    }
+
+    #[test]
+    fn non_multiple_of_four_shapes_roundtrip() {
+        let codec = ZfpLikeCompressor::new(20.0);
+        let t = Tensor::from_fn(Shape::d3(9, 7, 5), |[x, y, z, _]| {
+            (x + y + z) as f32 * 0.25
+        });
+        let (rec, _) = codec.roundtrip(&t).unwrap();
+        assert_eq!(rec.shape(), t.shape());
+        for (a, b) in t.iter().zip(rec.iter()) {
+            assert!((a - b).abs() < 0.05, "|{a}-{b}|");
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let codec = ZfpLikeCompressor::new(8.0);
+        let t = Tensor::full(Shape::d3(8, 8, 8), 3.0f32);
+        let mut out = codec.compress(&t);
+        out.bytes.truncate(4);
+        assert!(codec.decompress(&out).is_err());
+    }
+}

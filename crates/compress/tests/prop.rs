@@ -1,0 +1,127 @@
+//! Property-based tests for the compression substrate.
+
+use proptest::prelude::*;
+use zc_compress::{
+    BitReader, BitWriter, Compressor, ErrorBound, HuffmanCodec, SzCompressor, ZfpLikeCompressor,
+};
+use zc_tensor::{Shape, Tensor};
+
+/// Arbitrary small-ish 1–3D shapes.
+fn shapes() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (1usize..200).prop_map(Shape::d1),
+        ((1usize..24), (1usize..24)).prop_map(|(x, y)| Shape::d2(x, y)),
+        ((1usize..12), (1usize..12), (1usize..12)).prop_map(|(x, y, z)| Shape::d3(x, y, z)),
+    ]
+}
+
+/// A tensor with values drawn from a mix of smooth and rough signals.
+fn tensors() -> impl Strategy<Value = Tensor<f32>> {
+    (shapes(), -1.0e3f32..1.0e3, 0.01f32..2.0, any::<u32>()).prop_map(
+        |(shape, offset, freq, seed)| {
+            Tensor::from_fn(shape, |[x, y, z, _]| {
+                let s = seed as f32 * 1e-4;
+                offset
+                    + ((x as f32 + s) * freq).sin() * 50.0
+                    + (y as f32 * freq * 0.7).cos() * 20.0
+                    + z as f32 * 0.5
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sz_absolute_bound_always_holds(t in tensors(), eb_exp in -6i32..-1) {
+        let eb = 10f64.powi(eb_exp);
+        let sz = SzCompressor::new(ErrorBound::Abs(eb));
+        let (rec, _) = sz.roundtrip(&t).unwrap();
+        for (a, b) in t.iter().zip(rec.iter()) {
+            prop_assert!(
+                ((a - b).abs() as f64) <= eb * (1.0 + 1e-9) + 1e-12,
+                "eb={eb}: |{a} - {b}|"
+            );
+        }
+    }
+
+    #[test]
+    fn sz_relative_bound_always_holds(t in tensors(), rel_exp in -5i32..-2) {
+        let rel = 10f64.powi(rel_exp);
+        let (mn, mx) = t.min_max().unwrap();
+        let range = (mx - mn) as f64;
+        let bound = if range > 0.0 { rel * range } else { rel };
+        let sz = SzCompressor::new(ErrorBound::Rel(rel));
+        let (rec, _) = sz.roundtrip(&t).unwrap();
+        for (a, b) in t.iter().zip(rec.iter()) {
+            prop_assert!(((a - b).abs() as f64) <= bound * (1.0 + 1e-9) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zfp_stream_size_is_rate_exact(t in tensors(), rate in 1u32..24) {
+        let zfp = ZfpLikeCompressor::new(rate as f64);
+        let out = zfp.compress(&t);
+        let s = t.shape();
+        let blocks = s.nx().div_ceil(4) * s.ny().div_ceil(4) * s.nz().div_ceil(4) * s.nw();
+        // Non-zero blocks spend exactly bits_per_block; zero blocks only the
+        // header — so the stream never exceeds the fixed-rate budget.
+        let max_bits = blocks * zfp.bits_per_block() as usize;
+        prop_assert!(out.bytes.len() <= max_bits.div_ceil(8));
+        // And decompression always succeeds with the right shape.
+        let rec = zfp.decompress(&out).unwrap();
+        prop_assert_eq!(rec.shape(), t.shape());
+        prop_assert!(!rec.has_non_finite());
+    }
+
+    #[test]
+    fn huffman_roundtrips_arbitrary_streams(
+        symbols in proptest::collection::vec(0u32..500, 1..2000)
+    ) {
+        let mut freqs = vec![0u64; 500];
+        for &s in &symbols {
+            freqs[s as usize] += 1;
+        }
+        let codec = HuffmanCodec::from_frequencies(&freqs).unwrap();
+        let mut w = BitWriter::new();
+        codec.write_codebook(&mut w);
+        codec.encode(&symbols, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let codec2 = HuffmanCodec::read_codebook(&mut r).unwrap();
+        let decoded = codec2.decode(&mut r, symbols.len()).unwrap();
+        prop_assert_eq!(decoded, symbols);
+    }
+
+    #[test]
+    fn bitstream_roundtrips_mixed_width_writes(
+        fields in proptest::collection::vec((any::<u64>(), 1u32..64), 1..200)
+    ) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            prop_assert_eq!(r.read_bits(n).unwrap(), v & mask);
+        }
+    }
+
+    #[test]
+    fn sz_decompression_never_panics_on_corruption(
+        t in tensors(), flip in any::<u64>(), trunc in 0.0f64..1.0
+    ) {
+        let sz = SzCompressor::new(ErrorBound::Abs(1e-3));
+        let mut out = sz.compress(&t);
+        // Corrupt: truncate and flip a byte.
+        let keep = ((out.bytes.len() as f64) * trunc) as usize;
+        out.bytes.truncate(keep.max(1));
+        let idx = (flip as usize) % out.bytes.len();
+        out.bytes[idx] ^= 0x5A;
+        // Must return (Ok or Err) without panicking.
+        let _ = sz.decompress(&out);
+    }
+}

@@ -1,0 +1,18 @@
+use zc_core::config::AssessConfig;
+use zc_core::exec::{CuZc, Executor, MoZc, OmpZc};
+use zc_tensor::{Shape, Tensor};
+
+fn main() {
+    let orig = Tensor::from_fn(Shape::d3(64, 64, 48), |[x, y, z, _]| {
+        (x as f32 * 0.22).cos() + (y as f32 * 0.31).sin() * (z as f32 * 0.12).cos()
+    });
+    let dec = orig.map(|v| v + 0.006 * (v * 29.0).sin());
+    let cfg = AssessConfig::default();
+    for ex in [&CuZc::default() as &dyn Executor, &MoZc::default(), &OmpZc::default()] {
+        let a = ex.assess(&orig, &dec, &cfg).unwrap();
+        println!(
+            "{:8} p1={:.3e} p2={:.3e} p3={:.3e} total={:.3e}",
+            ex.name(), a.pattern_times.p1, a.pattern_times.p2, a.pattern_times.p3, a.modeled_seconds
+        );
+    }
+}

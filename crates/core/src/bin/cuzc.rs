@@ -1,0 +1,251 @@
+//! `cuzc` — the cuZ-Checker command-line tool.
+//!
+//! Assess a raw binary scientific field against its decompressed version
+//! (or compress it on the fly with the configured codec):
+//!
+//! ```text
+//! cuzc --input data.f32 --shape 100x500x500 --decompressed data.dec.f32
+//! cuzc --input data.f32 --shape 512x512x512 --config run.cfg
+//! cuzc --demo                        # self-contained demo on synthetic data
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use zc_compress::{BitGroomCompressor, Compressor, LosslessCompressor, SzCompressor, ZfpLikeCompressor};
+use zc_core::config::{parse, CompressorChoice, RunConfig};
+use zc_core::exec::make_executor;
+use zc_core::io::{read_raw, write_pgm_slice, Endianness};
+use zc_core::output::{autocorr_csv, histogram_csv, scalars_csv};
+use zc_tensor::{Shape, Tensor};
+
+struct Args {
+    input: Option<PathBuf>,
+    decompressed: Option<PathBuf>,
+    shape: Option<Shape>,
+    config: Option<PathBuf>,
+    big_endian: bool,
+    csv_dir: Option<PathBuf>,
+    pgm: Option<PathBuf>,
+    html: Option<PathBuf>,
+    trace: bool,
+    demo: bool,
+}
+
+const USAGE: &str = "usage: cuzc [options]
+  --input <file>          raw binary f32 field (original)
+  --shape NXxNYxNZ[xNW]   field dimensions (x fastest-varying)
+  --decompressed <file>   raw binary f32 field to assess against
+  --config <file>         run configuration (Z-checker ini dialect)
+  --big-endian            input files are big-endian
+  --csv-dir <dir>         also write scalars/pdf/autocorr CSVs there
+  --pgm <file>            also write a mid-depth PGM slice of the input
+  --html <file>           also write an HTML dashboard report
+  --trace                 print profiler-style per-pattern launch summaries
+  --demo                  run on built-in synthetic data (no files needed)";
+
+fn parse_shape(s: &str) -> Result<Shape, String> {
+    let dims: Result<Vec<usize>, _> = s.split('x').map(|p| p.parse::<usize>()).collect();
+    let dims = dims.map_err(|_| format!("bad shape '{s}'"))?;
+    Shape::new(&dims).map_err(|e| format!("bad shape '{s}': {e}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        decompressed: None,
+        shape: None,
+        config: None,
+        big_endian: false,
+        csv_dir: None,
+        pgm: None,
+        html: None,
+        trace: false,
+        demo: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--input" => args.input = Some(PathBuf::from(val()?)),
+            "--decompressed" => args.decompressed = Some(PathBuf::from(val()?)),
+            "--shape" => args.shape = Some(parse_shape(&val()?)?),
+            "--config" => args.config = Some(PathBuf::from(val()?)),
+            "--big-endian" => args.big_endian = true,
+            "--csv-dir" => args.csv_dir = Some(PathBuf::from(val()?)),
+            "--pgm" => args.pgm = Some(PathBuf::from(val()?)),
+            "--html" => args.html = Some(PathBuf::from(val()?)),
+            "--trace" => args.trace = true,
+            "--demo" => args.demo = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_config(args: &Args) -> Result<RunConfig, String> {
+    match &args.config {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+        }
+        None => Ok(RunConfig {
+            assess: zc_core::AssessConfig::default(),
+            executor: zc_core::ExecutorKind::CuZc,
+            compressor: Some(CompressorChoice::Sz(zc_compress::ErrorBound::Rel(1e-3))),
+        }),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let run = load_config(&args)?;
+    let endian = if args.big_endian { Endianness::Big } else { Endianness::Little };
+
+    // Acquire the original field.
+    let orig: Tensor<f32> = if args.demo {
+        use zc_data::{AppDataset, GenOptions};
+        let f = AppDataset::Miranda.generate_field(0, &GenOptions::scaled(8));
+        eprintln!("demo: synthetic MIRANDA {} field {}", f.name, f.data.shape());
+        f.data
+    } else {
+        let input = args.input.as_ref().ok_or_else(|| format!("--input required\n{USAGE}"))?;
+        let shape = args.shape.ok_or_else(|| format!("--shape required\n{USAGE}"))?;
+        read_raw(input, shape, endian).map_err(|e| format!("{}: {e}", input.display()))?
+    };
+
+    // Acquire the decompressed field (from disk, or via the configured
+    // compressor).
+    let (dec, comp_stats) = match &args.decompressed {
+        Some(path) => {
+            let t = read_raw(path, orig.shape(), endian)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            (t, None)
+        }
+        None => {
+            let choice = run.compressor.ok_or_else(|| {
+                "no --decompressed file and no [compressor] in config".to_string()
+            })?;
+            let (t, stats) = match choice {
+                CompressorChoice::Sz(bound) => SzCompressor::new(bound)
+                    .roundtrip(&orig)
+                    .map_err(|e| format!("sz: {e}"))?,
+                CompressorChoice::Zfp(rate) => ZfpLikeCompressor::new(rate)
+                    .roundtrip(&orig)
+                    .map_err(|e| format!("zfp: {e}"))?,
+                CompressorChoice::BitGroom(keep) => BitGroomCompressor::new(keep)
+                    .roundtrip(&orig)
+                    .map_err(|e| format!("bitgroom: {e}"))?,
+                CompressorChoice::Lossless => LosslessCompressor::new()
+                    .roundtrip(&orig)
+                    .map_err(|e| format!("lossless: {e}"))?,
+            };
+            eprintln!(
+                "compressed with {:?}: ratio {:.2}x ({:.3} bits/value)",
+                choice,
+                stats.ratio(),
+                stats.bit_rate(4)
+            );
+            (t, Some(stats))
+        }
+    };
+
+    // Assess.
+    let executor = make_executor(run.executor);
+    let mut a = executor
+        .assess(&orig, &dec, &run.assess)
+        .map_err(|e| format!("assessment failed: {e}"))?;
+    if let Some(stats) = comp_stats {
+        a.report = a.report.with_compression(stats);
+    }
+
+    // Report.
+    println!("cuZ-Checker ({} executor)", executor.name());
+    print!("{}", a.report.render(&run.assess.metrics));
+    if a.modeled_seconds > 0.0 {
+        println!(
+            "modeled platform time: {:.4} ms (p1 {:.3e}s, p2 {:.3e}s, p3 {:.3e}s)",
+            a.modeled_seconds * 1e3,
+            a.pattern_times.p1,
+            a.pattern_times.p2,
+            a.pattern_times.p3
+        );
+    }
+    for p in &a.profiles {
+        println!(
+            "profile {:?}: Regs/TB={} SMem/TB={}B Iters/thread={} concTB/SM={}",
+            p.pattern, p.regs_per_tb, p.smem_per_tb, p.iters_per_thread, p.blocks_per_sm
+        );
+    }
+    if args.trace {
+        use zc_gpusim::cost::gpu_time;
+        use zc_gpusim::{launch_summary, occupancy, GpuSim};
+        let sim = GpuSim::v100();
+        println!();
+        for run in &a.runs {
+            if let Some(res) = run.resources {
+                let occ = occupancy(&sim.dev, &res);
+                let t = gpu_time(
+                    &sim.dev,
+                    &sim.calib,
+                    &run.counters,
+                    &occ,
+                    run.grid_blocks.max(1),
+                    run.class,
+                );
+                print!(
+                    "{}",
+                    launch_summary(
+                        &format!("{:?}", run.pattern),
+                        run.grid_blocks,
+                        &run.counters,
+                        &occ,
+                        &t
+                    )
+                );
+            }
+        }
+    }
+
+    // Optional artifacts.
+    if let Some(dir) = &args.csv_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let w = |name: &str, text: String| -> Result<(), String> {
+            let p = dir.join(name);
+            std::fs::write(&p, text).map_err(|e| format!("{}: {e}", p.display()))?;
+            eprintln!("wrote {}", p.display());
+            Ok(())
+        };
+        w("scalars.csv", scalars_csv(&a, &run.assess.metrics))?;
+        if let Some(h) = &a.report.histograms {
+            w("err_pdf.csv", histogram_csv(&h.err_pdf))?;
+            w("pwr_err_pdf.csv", histogram_csv(&h.rel_pdf))?;
+            w("value_hist.csv", histogram_csv(&h.value_hist))?;
+        }
+        if let Some(st) = &a.report.stencil {
+            w("autocorr.csv", autocorr_csv(&st.autocorr.values))?;
+        }
+    }
+    if let Some(html) = &args.html {
+        let doc = zc_core::viz::html_report("cuZ-Checker report", &a, &run.assess.metrics);
+        std::fs::write(html, doc).map_err(|e| format!("{}: {e}", html.display()))?;
+        eprintln!("wrote {}", html.display());
+    }
+    if let Some(pgm) = &args.pgm {
+        let z = orig.shape().nz() / 2;
+        write_pgm_slice(pgm, &orig, z).map_err(|e| format!("{}: {e}", pgm.display()))?;
+        eprintln!("wrote {} (slice z={z})", pgm.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

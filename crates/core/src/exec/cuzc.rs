@@ -1,0 +1,280 @@
+//! The cuZC executor — the paper's pattern-oriented GPU assessment system.
+//!
+//! This is the "GPU module coordinator" of §III-A: it classifies the
+//! requested metrics by pattern and invokes the corresponding *fused*
+//! kernel once per pattern (pattern 2: once per stride, the stride-1 launch
+//! carrying the derivative metrics), collecting counters, occupancy
+//! profiles (Table II) and modeled times (Figs. 10–12).
+
+use super::{validate, AssessError, Assessment, Executor, PatternProfile, PatternRun, PatternTimes};
+use crate::config::AssessConfig;
+use crate::metrics::Pattern;
+use crate::report::AnalysisReport;
+use std::time::Instant;
+use zc_gpusim::{BlockKernel, Counters, GpuSim, LaunchResult};
+use zc_kernels::p3::SsimParams;
+use zc_kernels::{FieldPair, P1FusedKernel, P1HistKernel, P2FusedKernel, P2Stats, SsimFusedKernel};
+
+/// The pattern-oriented GPU executor.
+#[derive(Clone, Debug)]
+pub struct CuZc {
+    /// The simulated device.
+    pub sim: GpuSim,
+}
+
+impl Default for CuZc {
+    fn default() -> Self {
+        CuZc { sim: GpuSim::v100() }
+    }
+}
+
+/// Accumulates one pattern's launches into a Table-II profile row.
+pub(crate) struct PatternAcc {
+    pattern: Pattern,
+    regs: u32,
+    smem: u32,
+    iters: u64,
+    blocks_per_sm: u32,
+    tbs_per_sm: u32,
+    seconds: f64,
+    counters: Counters,
+    grid_blocks: usize,
+    resources: Option<zc_gpusim::KernelResources>,
+    class: zc_gpusim::KernelClass,
+}
+
+impl PatternAcc {
+    pub(crate) fn new(pattern: Pattern) -> Self {
+        PatternAcc {
+            pattern,
+            regs: 0,
+            smem: 0,
+            iters: 0,
+            blocks_per_sm: 0,
+            tbs_per_sm: 0,
+            seconds: 0.0,
+            counters: Counters::default(),
+            grid_blocks: 0,
+            resources: None,
+            class: zc_gpusim::KernelClass::Generic,
+        }
+    }
+
+    pub(crate) fn add<O>(&mut self, sim: &GpuSim, k: &impl BlockKernel, r: &LaunchResult<O>) {
+        let res = k.resources();
+        self.iters = self.iters.max(r.counters.iters_per_thread);
+        self.tbs_per_sm =
+            self.tbs_per_sm.max(r.grid_blocks.div_ceil(sim.dev.sms as usize) as u32);
+        self.seconds += r.modeled.total_s;
+        self.counters.merge(&r.counters);
+        // Table II reports the pattern's *dominant* kernel (the fused
+        // scalar/stencil/SSIM one — always the largest register user), not
+        // a max over auxiliary launches.
+        if res.regs_per_block() >= self.regs || self.resources.is_none() {
+            self.regs = res.regs_per_block();
+            self.smem = self.smem.max(res.smem_per_block);
+            self.blocks_per_sm = r.occupancy.blocks_per_sm;
+            self.resources = Some(res);
+            self.grid_blocks = r.grid_blocks;
+            self.class = k.class();
+        }
+    }
+
+    pub(crate) fn run(&self) -> PatternRun {
+        PatternRun {
+            pattern: self.pattern,
+            counters: self.counters,
+            grid_blocks: self.grid_blocks,
+            resources: self.resources,
+            class: self.class,
+        }
+    }
+
+    pub(crate) fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    pub(crate) fn profile(&self) -> PatternProfile {
+        PatternProfile {
+            pattern: self.pattern,
+            regs_per_tb: self.regs,
+            smem_per_tb: self.smem,
+            iters_per_thread: self.iters,
+            blocks_per_sm: self.blocks_per_sm,
+            tbs_per_sm: self.tbs_per_sm,
+            modeled_seconds: self.seconds,
+        }
+    }
+}
+
+impl Executor for CuZc {
+    fn name(&self) -> &'static str {
+        "cuZC"
+    }
+
+    fn assess(
+        &self,
+        orig: &zc_tensor::Tensor<f32>,
+        dec: &zc_tensor::Tensor<f32>,
+        cfg: &AssessConfig,
+    ) -> Result<Assessment, AssessError> {
+        let non_finite = validate(orig, dec, cfg)?;
+        let t0 = Instant::now();
+        let f = FieldPair::new(orig, dec);
+        let sel = &cfg.metrics;
+        let mut counters = Counters::default();
+        let mut times = PatternTimes::default();
+        let mut profiles = Vec::new();
+        let mut runs = Vec::new();
+
+        // ---- pattern 1: one fused scalar kernel (+ fused histograms) ----
+        // Always launched: μ/σ² feed pattern 2 and the dynamic range feeds
+        // pattern 3, exactly as in the real coordinator.
+        let mut acc1 = PatternAcc::new(Pattern::GlobalReduction);
+        let k_scalar = P1FusedKernel { fields: f };
+        let r_scalar = self.sim.launch(&k_scalar, k_scalar.grid());
+        acc1.add(&self.sim, &k_scalar, &r_scalar);
+        counters.merge(&r_scalar.counters);
+        let p1 = r_scalar.output;
+        let hists = if sel.needs(Pattern::GlobalReduction) {
+            let k_hist = P1HistKernel { fields: f, scalars: p1, bins: cfg.bins };
+            let r_hist = self.sim.launch(&k_hist, k_hist.grid());
+            acc1.add(&self.sim, &k_hist, &r_hist);
+            counters.merge(&r_hist.counters);
+            Some(r_hist.output)
+        } else {
+            None
+        };
+        times.p1 = acc1.seconds();
+        profiles.push(acc1.profile());
+        runs.push(acc1.run());
+
+        // ---- pattern 2: one fused stencil launch per stride --------------
+        let p2 = if sel.needs(Pattern::Stencil) {
+            let mut acc2 = PatternAcc::new(Pattern::Stencil);
+            let mut stats = P2Stats::identity(cfg.max_lag);
+            for stride in 1..=cfg.max_lag {
+                let k = P2FusedKernel {
+                    fields: f,
+                    stride,
+                    mean_e: p1.mean_e(),
+                    max_lag: cfg.max_lag,
+                    derivatives: stride == 1,
+                    autocorr: true,
+                    cooperative: true,
+                };
+                let r = self.sim.launch(&k, k.grid());
+                acc2.add(&self.sim, &k, &r);
+                counters.merge(&r.counters);
+                stats.combine(&r.output);
+            }
+            times.p2 = acc2.seconds();
+            profiles.push(acc2.profile());
+            runs.push(acc2.run());
+            Some(stats)
+        } else {
+            None
+        };
+
+        // ---- pattern 3: the FIFO SSIM kernel ------------------------------
+        let ssim = if sel.needs(Pattern::SlidingWindow) {
+            let mut acc3 = PatternAcc::new(Pattern::SlidingWindow);
+            let params = SsimParams {
+                wsize: cfg.ssim.window,
+                step: cfg.ssim.step,
+                k1: cfg.ssim.k1,
+                k2: cfg.ssim.k2,
+                range: p1.value_range(),
+            };
+            let k = SsimFusedKernel { fields: f, params, fifo_in_shared: true };
+            let r = self.sim.launch(&k, k.grid());
+            acc3.add(&self.sim, &k, &r);
+            counters.merge(&r.counters);
+            times.p3 = acc3.seconds();
+            profiles.push(acc3.profile());
+            runs.push(acc3.run());
+            Some(r.output)
+        } else {
+            None
+        };
+
+        let report =
+            AnalysisReport::assemble(orig.shape(), non_finite, p1, hists, p2.as_ref(), ssim, cfg);
+        Ok(Assessment {
+            report,
+            counters,
+            modeled_seconds: times.total(),
+            pattern_times: times,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            profiles,
+            runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SerialZc;
+    use zc_tensor::{Shape, Tensor};
+
+    fn fields() -> (Tensor<f32>, Tensor<f32>) {
+        let orig = Tensor::from_fn(Shape::d3(40, 24, 16), |[x, y, z, _]| {
+            (x as f32 * 0.27).sin() * (y as f32 * 0.33).cos() + z as f32 * 0.05
+        });
+        let dec = orig.map(|v| v + 0.003 * (v * 41.0).cos());
+        (orig, dec)
+    }
+
+    #[test]
+    fn cuzc_matches_serial_reference_on_every_section() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig::default();
+        let s = SerialZc.assess(&orig, &dec, &cfg).unwrap();
+        let c = CuZc::default().assess(&orig, &dec, &cfg).unwrap();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-30);
+        assert_eq!(c.report.p1.n, s.report.p1.n);
+        assert!(close(c.report.p1.psnr_db(), s.report.p1.psnr_db()));
+        assert!(close(c.report.p1.pearson(), s.report.p1.pearson()));
+        // Histograms bit-identical.
+        let (ch, sh) = (c.report.histograms.unwrap(), s.report.histograms.unwrap());
+        assert_eq!(ch.err_pdf.counts(), sh.err_pdf.counts());
+        // Stencil.
+        let (cst, sst) = (c.report.stencil.unwrap(), s.report.stencil.unwrap());
+        assert!(close(cst.avg_gradient_orig, sst.avg_gradient_orig));
+        for (a, b) in cst.autocorr.values.iter().zip(sst.autocorr.values.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // SSIM.
+        let (cs, ss) = (c.report.ssim.unwrap(), s.report.ssim.unwrap());
+        assert_eq!(cs.windows, ss.windows);
+        assert!(close(cs.mean_ssim, ss.mean_ssim));
+    }
+
+    #[test]
+    fn profiles_cover_all_three_patterns() {
+        let (orig, dec) = fields();
+        let a = CuZc::default().assess(&orig, &dec, &AssessConfig::default()).unwrap();
+        assert_eq!(a.profiles.len(), 3);
+        let p1 = &a.profiles[0];
+        assert_eq!(p1.pattern, Pattern::GlobalReduction);
+        assert!(p1.regs_per_tb >= 14_000, "paper: 14k regs/TB, got {}", p1.regs_per_tb);
+        let p3 = &a.profiles[2];
+        assert_eq!(p3.regs_per_tb, 11_008);
+        assert!(a.modeled_seconds > 0.0);
+    }
+
+    #[test]
+    fn pattern_selection_prunes_launches() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig {
+            metrics: crate::metrics::MetricSelection::pattern(Pattern::SlidingWindow),
+            ..Default::default()
+        };
+        let a = CuZc::default().assess(&orig, &dec, &cfg).unwrap();
+        assert!(a.report.stencil.is_none());
+        assert!(a.report.ssim.is_some());
+        assert!(a.pattern_times.p2 == 0.0);
+        assert!(a.pattern_times.p3 > 0.0);
+    }
+}

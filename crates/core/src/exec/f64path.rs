@@ -1,0 +1,269 @@
+//! Double-precision assessment (CPU reference path).
+//!
+//! Z-checker analyzes both single- and double-precision fields. The GPU
+//! kernels of the paper (and of this reproduction) are single-precision —
+//! the four evaluation datasets all ship f32 — but the CPU reference must
+//! handle f64 too. All accumulators already carry f64 internally, so this
+//! module is a thin generic traversal over [`zc_tensor::Element`] data.
+
+use super::{AssessError, Assessment, PatternTimes};
+use crate::config::AssessConfig;
+use crate::metrics::Pattern;
+use crate::report::AnalysisReport;
+use std::time::Instant;
+use zc_gpusim::Counters;
+use zc_kernels::acc::{deriv1_nd, deriv2_nd};
+use zc_kernels::p3::SsimAcc;
+use zc_kernels::{Histogram, P1Histograms, P1Scalars, P2Stats, WindowMoments};
+use zc_tensor::{Element, Tensor};
+
+/// Assess a double-precision (or any [`Element`]) field pair with the
+/// serial reference semantics. Returns the same [`Assessment`] shape as the
+/// f32 executors (no cost model: this is the reference path).
+pub fn assess_generic<T: Element>(
+    orig: &Tensor<T>,
+    dec: &Tensor<T>,
+    cfg: &AssessConfig,
+) -> Result<Assessment, AssessError> {
+    if orig.shape() != dec.shape() {
+        return Err(AssessError::ShapeMismatch);
+    }
+    cfg.validate().map_err(|e| AssessError::BadConfig(e.to_string()))?;
+    let non_finite = orig.iter().filter(|v| v.is_non_finite()).count()
+        + dec.iter().filter(|v| v.is_non_finite()).count();
+    let t0 = Instant::now();
+    let s = orig.shape();
+    let sel = &cfg.metrics;
+
+    // Pattern 1 scalars.
+    let mut p1 = P1Scalars::identity();
+    for (&x, &y) in orig.iter().zip(dec.iter()) {
+        p1.absorb(x.to_f64(), y.to_f64());
+    }
+
+    // Histograms.
+    let hists = if sel.needs(Pattern::GlobalReduction) {
+        let mut h = P1Histograms {
+            err_pdf: Histogram::new(p1.min_e, p1.max_e, cfg.bins),
+            rel_pdf: Histogram::new(
+                0.0,
+                if p1.n_rel > 0 { p1.max_rel } else { 0.0 },
+                cfg.bins,
+            ),
+            value_hist: Histogram::new(p1.min_x, p1.max_x, cfg.bins),
+        };
+        for (&x, &y) in orig.iter().zip(dec.iter()) {
+            let (x, y) = (x.to_f64(), y.to_f64());
+            h.err_pdf.insert(x - y);
+            h.value_hist.insert(x);
+            if x != 0.0 {
+                h.rel_pdf.insert(((x - y) / x).abs());
+            }
+        }
+        Some(h)
+    } else {
+        None
+    };
+
+    // Pattern 2 (dimension-aware: stencils extend along declared axes).
+    let p2 = if sel.needs(Pattern::Stencil) {
+        let ndim = s.ndim();
+        let mu = p1.mean_e();
+        let mut st = P2Stats::identity(cfg.max_lag);
+        let (nx, ny, nz) = (s.nx(), s.ny(), s.nz());
+        let at = |t: &Tensor<T>, x: usize, y: usize, z: usize, w: usize| {
+            t.at([x, y, z, w]).to_f64()
+        };
+        let (y_lo, y_hi) = if ndim >= 2 { (1, ny.saturating_sub(1)) } else { (0, ny) };
+        let (z_lo, z_hi) = if ndim >= 3 { (1, nz.saturating_sub(1)) } else { (0, nz) };
+        for w4 in 0..s.nw() {
+            if nx >= 3 && (ndim < 2 || ny >= 3) && (ndim < 3 || nz >= 3) {
+                for z in z_lo..z_hi {
+                    for y in y_lo..y_hi {
+                        for x in 1..nx - 1 {
+                            let fo = |dx: isize, dy: isize, dz: isize| {
+                                at(
+                                    orig,
+                                    (x as isize + dx) as usize,
+                                    (y as isize + dy) as usize,
+                                    (z as isize + dz) as usize,
+                                    w4,
+                                )
+                            };
+                            let fd = |dx: isize, dy: isize, dz: isize| {
+                                at(
+                                    dec,
+                                    (x as isize + dx) as usize,
+                                    (y as isize + dy) as usize,
+                                    (z as isize + dz) as usize,
+                                    w4,
+                                )
+                            };
+                            st.absorb_deriv(
+                                deriv1_nd(fo, ndim),
+                                deriv1_nd(fd, ndim),
+                                deriv2_nd(fo, ndim),
+                                deriv2_nd(fd, ndim),
+                            );
+                        }
+                    }
+                }
+            }
+            for lag in 1..=cfg.max_lag {
+                if nx <= lag || (ndim >= 2 && ny <= lag) || (ndim >= 3 && nz <= lag) {
+                    continue;
+                }
+                let y_max = if ndim >= 2 { ny - lag } else { ny };
+                let z_max = if ndim >= 3 { nz - lag } else { nz };
+                for z in 0..z_max {
+                    for y in 0..y_max {
+                        for x in 0..nx - lag {
+                            let e = |x: usize, y: usize, z: usize| {
+                                at(orig, x, y, z, w4) - at(dec, x, y, z, w4) - mu
+                            };
+                            let mut nb = [0.0f64; 3];
+                            let mut k = 0;
+                            nb[k] = e(x + lag, y, z);
+                            k += 1;
+                            if ndim >= 2 {
+                                nb[k] = e(x, y + lag, z);
+                                k += 1;
+                            }
+                            if ndim >= 3 {
+                                nb[k] = e(x, y, z + lag);
+                                k += 1;
+                            }
+                            st.absorb_ac_nd(lag, e(x, y, z), &nb[..k]);
+                        }
+                    }
+                }
+            }
+        }
+        Some(st)
+    } else {
+        None
+    };
+
+    // Pattern 3 (brute-force windows; the reference path favours clarity).
+    let ssim = if sel.needs(Pattern::SlidingWindow) {
+        let (wsize, step) = (cfg.ssim.window, cfg.ssim.step);
+        let sides = [
+            wsize,
+            if s.ndim() >= 2 { wsize } else { 1 },
+            if s.ndim() >= 3 { wsize } else { 1 },
+        ];
+        let pos = |n: usize, w: usize| if n < w { 0 } else { (n - w) / step + 1 };
+        let range = p1.value_range();
+        let mut acc = SsimAcc::default();
+        for w4 in 0..s.nw() {
+            for wz in 0..pos(s.nz(), sides[2]) {
+                for wy in 0..pos(s.ny(), sides[1]) {
+                    for wx in 0..pos(s.nx(), sides[0]) {
+                        let mut m = WindowMoments::default();
+                        for dz in 0..sides[2] {
+                            for dy in 0..sides[1] {
+                                for dx in 0..sides[0] {
+                                    let c = [
+                                        wx * step + dx,
+                                        wy * step + dy,
+                                        wz * step + dz,
+                                        w4,
+                                    ];
+                                    m.absorb(orig.at(c).to_f64(), dec.at(c).to_f64());
+                                }
+                            }
+                        }
+                        acc.sum += m.ssim(range, cfg.ssim.k1, cfg.ssim.k2);
+                        acc.windows += 1;
+                    }
+                }
+            }
+        }
+        Some(acc)
+    } else {
+        None
+    };
+
+    let report = AnalysisReport::assemble(
+        s,
+        non_finite as u64,
+        p1,
+        hists,
+        p2.as_ref(),
+        ssim,
+        cfg,
+    );
+    Ok(Assessment {
+        report,
+        counters: Counters::default(),
+        modeled_seconds: 0.0,
+        pattern_times: PatternTimes::default(),
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        profiles: Vec::new(),
+        runs: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Executor, SerialZc};
+    use crate::metrics::Metric;
+    use zc_tensor::Shape;
+
+    fn f64_fields() -> (Tensor<f64>, Tensor<f64>) {
+        let orig = Tensor::from_fn(Shape::d3(16, 14, 10), |[x, y, z, _]| {
+            (x as f64 * 0.31).sin() * 1e8 + (y as f64 * 0.2).cos() * 1e7 + z as f64
+        });
+        let dec = orig.map(|v| v + 1.0); // absolute error 1.0 on ~1e8 values
+        (orig, dec)
+    }
+
+    #[test]
+    fn f64_assessment_produces_all_sections() {
+        let (orig, dec) = f64_fields();
+        let cfg = AssessConfig { max_lag: 2, ..Default::default() };
+        let a = assess_generic(&orig, &dec, &cfg).unwrap();
+        assert!((a.report.p1.avg_abs_e() - 1.0).abs() < 1e-9);
+        assert!(a.report.scalar(Metric::Psnr).unwrap() > 100.0);
+        assert!(a.report.histograms.is_some());
+        assert!(a.report.stencil.is_some());
+        assert!(a.report.ssim.unwrap().windows > 0);
+    }
+
+    #[test]
+    fn f64_precision_is_not_squashed_to_f32() {
+        // An error of 1 part in 1e12 — invisible in f32, visible in f64.
+        let orig = Tensor::from_fn(Shape::d2(32, 32), |[x, ..]| 1.0 + x as f64 * 1e-12);
+        let dec = orig.map(|v| v + 1e-13);
+        let cfg = AssessConfig { max_lag: 1, ..Default::default() };
+        let a = assess_generic(&orig, &dec, &cfg).unwrap();
+        let mse = a.report.scalar(Metric::Mse).unwrap();
+        assert!((mse - 1e-26).abs() < 1e-28, "mse {mse}");
+    }
+
+    #[test]
+    fn f32_generic_path_matches_the_f32_executor() {
+        let orig = Tensor::from_fn(Shape::d3(20, 16, 12), |[x, y, z, _]| {
+            (x as f32 * 0.3).sin() + y as f32 * 0.01 + (z as f32 * 0.2).cos()
+        });
+        let dec = orig.map(|v| v + 0.001);
+        let cfg = AssessConfig { max_lag: 2, ..Default::default() };
+        let generic = assess_generic(&orig, &dec, &cfg).unwrap();
+        let serial = SerialZc.assess(&orig, &dec, &cfg).unwrap();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-30);
+        assert!(close(generic.report.p1.mse(), serial.report.p1.mse()));
+        assert_eq!(
+            generic.report.ssim.unwrap().windows,
+            serial.report.ssim.unwrap().windows
+        );
+        assert!(close(
+            generic.report.ssim.unwrap().mean_ssim,
+            serial.report.ssim.unwrap().mean_ssim
+        ));
+        assert!(close(
+            generic.report.stencil.as_ref().unwrap().avg_gradient_orig,
+            serial.report.stencil.as_ref().unwrap().avg_gradient_orig
+        ));
+    }
+}

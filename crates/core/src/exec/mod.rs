@@ -1,0 +1,217 @@
+//! Executors — the "execution model + module coordinator" of Fig. 2.
+//!
+//! Four implementations of the same assessment contract:
+//!
+//! | name | paper role | engine |
+//! |---|---|---|
+//! | [`SerialZc`] | ground-truth reference (§IV-B correctness check) | scalar loops |
+//! | [`OmpZc`] | multithreaded CPU baseline "ompZC" | rayon + Xeon cost model |
+//! | [`MoZc`] | metric-oriented GPU baseline "moZC" | per-metric kernels on `zc-gpusim` |
+//! | [`CuZc`] | the paper's pattern-oriented "cuZC" | fused pattern kernels on `zc-gpusim` |
+//!
+//! All four produce the same metric *values* (to floating-point reduction
+//! tolerance); they differ in the counted work and the modeled time — which
+//! is exactly what Figs. 10–12 compare.
+
+pub mod cpu_ref;
+mod cuzc;
+pub mod f64path;
+mod mozc;
+mod multigpu;
+mod ompzc;
+mod serial;
+
+pub use cuzc::CuZc;
+pub use f64path::assess_generic;
+pub use mozc::MoZc;
+pub use multigpu::MultiCuZc;
+pub use ompzc::OmpZc;
+pub use serial::SerialZc;
+
+use crate::config::{AssessConfig, ExecutorKind};
+use crate::metrics::Pattern;
+use crate::report::AnalysisReport;
+use std::fmt;
+use zc_gpusim::{Counters, KernelClass, KernelResources};
+use zc_tensor::Tensor;
+
+/// One pattern's aggregated execution record: the merged counters plus the
+/// dominant launch geometry — enough for the benchmark harness to re-model
+/// the pattern's time at a different scale (full paper-shape figures are
+/// regenerated from reduced-scale functional runs this way).
+#[derive(Clone, Debug)]
+pub struct PatternRun {
+    /// Which pattern.
+    pub pattern: Pattern,
+    /// Merged counters of all this pattern's launches/passes.
+    pub counters: Counters,
+    /// Grid size of the dominant launch (0 for CPU executors).
+    pub grid_blocks: usize,
+    /// Resource declaration of the dominant kernel (GPU executors).
+    pub resources: Option<KernelResources>,
+    /// Cost-model class.
+    pub class: KernelClass,
+}
+
+/// Per-pattern execution profile — one row of the paper's Table II.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PatternProfile {
+    /// Which pattern.
+    pub pattern: Pattern,
+    /// Registers per thread block (Regs/TB).
+    pub regs_per_tb: u32,
+    /// Shared memory per thread block in bytes (SMem/TB).
+    pub smem_per_tb: u32,
+    /// Deepest sequential per-thread iteration count (Iters/thread).
+    pub iters_per_thread: u64,
+    /// Concurrent thread blocks per SM (TB(cncr.)/SM).
+    pub blocks_per_sm: u32,
+    /// Thread blocks assigned per SM for the largest launch (TB/SM).
+    pub tbs_per_sm: u32,
+    /// Modeled seconds spent in this pattern's launches.
+    pub modeled_seconds: f64,
+}
+
+/// Modeled per-pattern times (drives Fig. 11/12 regeneration).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PatternTimes {
+    /// Pattern-1 seconds.
+    pub p1: f64,
+    /// Pattern-2 seconds.
+    pub p2: f64,
+    /// Pattern-3 seconds.
+    pub p3: f64,
+}
+
+impl PatternTimes {
+    /// Sum over patterns.
+    pub fn total(&self) -> f64 {
+        self.p1 + self.p2 + self.p3
+    }
+
+    /// Time of one pattern.
+    pub fn of(&self, p: Pattern) -> f64 {
+        match p {
+            Pattern::GlobalReduction => self.p1,
+            Pattern::Stencil => self.p2,
+            Pattern::SlidingWindow => self.p3,
+            Pattern::CompressionMeta => 0.0,
+        }
+    }
+}
+
+/// The result of one assessment run.
+#[derive(Clone, Debug)]
+pub struct Assessment {
+    /// Metric values.
+    pub report: AnalysisReport,
+    /// Merged execution counters (what work was actually performed).
+    pub counters: Counters,
+    /// Modeled execution time on the executor's platform model.
+    pub modeled_seconds: f64,
+    /// Modeled time per pattern.
+    pub pattern_times: PatternTimes,
+    /// Wall-clock seconds this simulation run took (host-side, for
+    /// information only — figures use the modeled times).
+    pub wall_seconds: f64,
+    /// Per-pattern launch profiles (GPU executors only — Table II).
+    pub profiles: Vec<PatternProfile>,
+    /// Per-pattern execution records (all executors — figure harness).
+    pub runs: Vec<PatternRun>,
+}
+
+impl Assessment {
+    /// Modeled assessment throughput in GB/s over one field's payload
+    /// (the y-axis of Fig. 11).
+    pub fn throughput_gbs(&self, pattern: Option<Pattern>) -> f64 {
+        let bytes = self.report.shape.len() as f64 * 4.0;
+        let secs = match pattern {
+            Some(p) => self.pattern_times.of(p),
+            None => self.modeled_seconds,
+        };
+        if secs <= 0.0 {
+            0.0
+        } else {
+            bytes / secs / 1e9
+        }
+    }
+}
+
+/// Assessment errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AssessError {
+    /// Original and decompressed shapes differ.
+    ShapeMismatch,
+    /// The configuration failed validation.
+    BadConfig(String),
+}
+
+impl fmt::Display for AssessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssessError::ShapeMismatch => write!(f, "original/decompressed shape mismatch"),
+            AssessError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AssessError {}
+
+/// The assessment contract every executor implements.
+pub trait Executor {
+    /// Executor name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Assess a field pair under a configuration.
+    fn assess(
+        &self,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+    ) -> Result<Assessment, AssessError>;
+}
+
+/// Instantiate an executor by configuration kind.
+pub fn make_executor(kind: ExecutorKind) -> Box<dyn Executor> {
+    match kind {
+        ExecutorKind::CuZc => Box::new(CuZc::default()),
+        ExecutorKind::MoZc => Box::new(MoZc::default()),
+        ExecutorKind::OmpZc => Box::new(OmpZc::default()),
+        ExecutorKind::Serial => Box::new(SerialZc),
+    }
+}
+
+/// Divide a counter set's additive quantities by `g` (per-device share of
+/// a grid-partitioned launch; launch structure is preserved by the caller).
+pub(crate) fn scale_div(c: &Counters, g: u64) -> Counters {
+    let d = |v: u64| v.div_ceil(g);
+    Counters {
+        global_read_bytes: d(c.global_read_bytes),
+        global_write_bytes: d(c.global_write_bytes),
+        global_scatter_bytes: d(c.global_scatter_bytes),
+        shared_accesses: d(c.shared_accesses),
+        lane_flops: d(c.lane_flops),
+        special_ops: d(c.special_ops),
+        shuffles: d(c.shuffles),
+        ballots: d(c.ballots),
+        syncs: d(c.syncs),
+        launches: c.launches,
+        grid_syncs: c.grid_syncs,
+        iters_per_thread: c.iters_per_thread,
+    }
+}
+
+/// Common validation performed by every executor.
+pub(crate) fn validate(
+    orig: &Tensor<f32>,
+    dec: &Tensor<f32>,
+    cfg: &AssessConfig,
+) -> Result<u64, AssessError> {
+    if orig.shape() != dec.shape() {
+        return Err(AssessError::ShapeMismatch);
+    }
+    cfg.validate().map_err(|e| AssessError::BadConfig(e.to_string()))?;
+    let nf = orig.iter().filter(|v| !v.is_finite()).count()
+        + dec.iter().filter(|v| !v.is_finite()).count();
+    Ok(nf as u64)
+}

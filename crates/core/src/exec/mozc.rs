@@ -1,0 +1,219 @@
+//! The moZC executor — the paper's metric-oriented GPU baseline.
+//!
+//! Every metric is its own kernel: ten CUB-style pattern-1 reductions,
+//! per-axis derivative passes plus a combine kernel, one stencil launch per
+//! autocorrelation lag, and the no-FIFO SSIM. The values are identical to
+//! cuZC's; the traffic and launch counts are the metric-oriented design's.
+
+use super::cuzc::PatternAcc;
+use super::{validate, AssessError, Assessment, Executor, PatternTimes};
+use crate::config::AssessConfig;
+use crate::metrics::Pattern;
+use crate::report::AnalysisReport;
+use std::time::Instant;
+use zc_gpusim::{Counters, GpuSim};
+use zc_kernels::mo::{MoAutocorrKernel, MoDerivKernel, MoHistKernel, MoHistKind, MoP1Kernel, MoP1Metric};
+use zc_kernels::p3::SsimParams;
+use zc_kernels::{FieldPair, P1Histograms, P2Stats, SsimFusedKernel};
+
+/// The metric-oriented GPU executor.
+#[derive(Clone, Debug)]
+pub struct MoZc {
+    /// The simulated device.
+    pub sim: GpuSim,
+}
+
+impl Default for MoZc {
+    fn default() -> Self {
+        MoZc { sim: GpuSim::v100() }
+    }
+}
+
+impl Executor for MoZc {
+    fn name(&self) -> &'static str {
+        "moZC"
+    }
+
+    fn assess(
+        &self,
+        orig: &zc_tensor::Tensor<f32>,
+        dec: &zc_tensor::Tensor<f32>,
+        cfg: &AssessConfig,
+    ) -> Result<Assessment, AssessError> {
+        let non_finite = validate(orig, dec, cfg)?;
+        let t0 = Instant::now();
+        let f = FieldPair::new(orig, dec);
+        let sel = &cfg.metrics;
+        let mut counters = Counters::default();
+        let mut times = PatternTimes::default();
+        let mut profiles = Vec::new();
+        let mut runs = Vec::new();
+
+        // ---- pattern 1: one kernel per metric ----------------------------
+        // The scalar moments are always needed (μ/σ²/range feed the other
+        // patterns); moZC obtains them from its per-metric kernels.
+        let mut acc1 = PatternAcc::new(Pattern::GlobalReduction);
+        let mut p1 = None;
+        for metric in MoP1Metric::SCALARS {
+            let k = MoP1Kernel { fields: f, metric };
+            let r = self.sim.launch(&k, k.grid());
+            acc1.add(&self.sim, &k, &r);
+            counters.merge(&r.counters);
+            p1 = Some(r.output);
+        }
+        let p1 = p1.expect("at least one scalar kernel ran");
+        let hists = if sel.needs(Pattern::GlobalReduction) {
+            let mut outs = Vec::new();
+            for kind in [MoHistKind::ErrPdf, MoHistKind::PwrPdf, MoHistKind::ValueHist] {
+                let k = MoHistKernel { fields: f, scalars: p1, kind, bins: cfg.bins };
+                let r = self.sim.launch(&k, k.grid());
+                acc1.add(&self.sim, &k, &r);
+                counters.merge(&r.counters);
+                outs.push(r.output);
+            }
+            let value_hist = outs.pop().expect("three histogram kernels");
+            let rel_pdf = outs.pop().expect("three histogram kernels");
+            let err_pdf = outs.pop().expect("three histogram kernels");
+            Some(P1Histograms { err_pdf, rel_pdf, value_hist })
+        } else {
+            None
+        };
+        times.p1 = acc1.seconds();
+        profiles.push(acc1.profile());
+        runs.push(acc1.run());
+
+        // ---- pattern 2: per-axis derivative passes + per-lag stencils ----
+        let p2 = if sel.needs(Pattern::Stencil) {
+            let mut acc2 = PatternAcc::new(Pattern::Stencil);
+            // Two derivative kernels (order 1 and 2), each re-staging the
+            // neighbourhood the fused kernel stages once.
+            let mut stats = P2Stats::identity(cfg.max_lag);
+            for order in [1usize, 2] {
+                let k = MoDerivKernel { fields: f, order, max_lag: cfg.max_lag };
+                let r = self.sim.launch(&k, k.grid());
+                acc2.add(&self.sim, &k, &r);
+                counters.merge(&r.counters);
+                stats.combine(&r.output);
+            }
+            // One direct-global stencil kernel per autocorrelation lag.
+            for lag in 1..=cfg.max_lag {
+                let k = MoAutocorrKernel {
+                    fields: f,
+                    lag,
+                    mean_e: p1.mean_e(),
+                    max_lag: cfg.max_lag,
+                };
+                let r = self.sim.launch(&k, k.grid());
+                acc2.add(&self.sim, &k, &r);
+                counters.merge(&r.counters);
+                stats.combine(&r.output);
+            }
+            times.p2 = acc2.seconds();
+            profiles.push(acc2.profile());
+            runs.push(acc2.run());
+            Some(stats)
+        } else {
+            None
+        };
+
+        // ---- pattern 3: SSIM without the FIFO buffer ----------------------
+        let ssim = if sel.needs(Pattern::SlidingWindow) {
+            let mut acc3 = PatternAcc::new(Pattern::SlidingWindow);
+            let params = SsimParams {
+                wsize: cfg.ssim.window,
+                step: cfg.ssim.step,
+                k1: cfg.ssim.k1,
+                k2: cfg.ssim.k2,
+                range: p1.value_range(),
+            };
+            let k = SsimFusedKernel { fields: f, params, fifo_in_shared: false };
+            let r = self.sim.launch(&k, k.grid());
+            acc3.add(&self.sim, &k, &r);
+            counters.merge(&r.counters);
+            times.p3 = acc3.seconds();
+            profiles.push(acc3.profile());
+            runs.push(acc3.run());
+            Some(r.output)
+        } else {
+            None
+        };
+
+        let report =
+            AnalysisReport::assemble(orig.shape(), non_finite, p1, hists, p2.as_ref(), ssim, cfg);
+        Ok(Assessment {
+            report,
+            counters,
+            modeled_seconds: times.total(),
+            pattern_times: times,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            profiles,
+            runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{CuZc, Executor};
+    use zc_tensor::{Shape, Tensor};
+
+    fn fields() -> (Tensor<f32>, Tensor<f32>) {
+        let orig = Tensor::from_fn(Shape::d3(36, 20, 15), |[x, y, z, _]| {
+            (x as f32 * 0.22).cos() + (y as f32 * 0.31).sin() * (z as f32 * 0.12).cos()
+        });
+        let dec = orig.map(|v| v + 0.006 * (v * 29.0).sin());
+        (orig, dec)
+    }
+
+    #[test]
+    fn mozc_values_equal_cuzc_values() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig::default();
+        let cu = CuZc::default().assess(&orig, &dec, &cfg).unwrap();
+        let mo = MoZc::default().assess(&orig, &dec, &cfg).unwrap();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-30);
+        assert!(close(mo.report.p1.mse(), cu.report.p1.mse()));
+        assert_eq!(
+            mo.report.histograms.as_ref().unwrap().err_pdf.counts(),
+            cu.report.histograms.as_ref().unwrap().err_pdf.counts()
+        );
+        let (ms, cs) = (mo.report.stencil.unwrap(), cu.report.stencil.unwrap());
+        assert!(close(ms.avg_gradient_orig, cs.avg_gradient_orig));
+        assert!(close(ms.autocorr.values[2], cs.autocorr.values[2]));
+        assert_eq!(mo.report.ssim.unwrap().windows, cu.report.ssim.unwrap().windows);
+        assert!(close(mo.report.ssim.unwrap().mean_ssim, cu.report.ssim.unwrap().mean_ssim));
+    }
+
+    #[test]
+    fn mozc_is_modeled_slower_than_cuzc() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig::default();
+        let cu = CuZc::default().assess(&orig, &dec, &cfg).unwrap();
+        let mo = MoZc::default().assess(&orig, &dec, &cfg).unwrap();
+        assert!(
+            mo.modeled_seconds > cu.modeled_seconds,
+            "moZC {} !> cuZC {}",
+            mo.modeled_seconds,
+            cu.modeled_seconds
+        );
+        // Per pattern too.
+        assert!(mo.pattern_times.p1 > cu.pattern_times.p1);
+        assert!(mo.pattern_times.p2 > cu.pattern_times.p2);
+        assert!(mo.pattern_times.p3 > cu.pattern_times.p3);
+    }
+
+    #[test]
+    fn mozc_launches_many_more_kernels() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig::default();
+        let cu = CuZc::default().assess(&orig, &dec, &cfg).unwrap();
+        let mo = MoZc::default().assess(&orig, &dec, &cfg).unwrap();
+        assert!(
+            mo.counters.launches > 2 * cu.counters.launches,
+            "mo {} vs cu {}",
+            mo.counters.launches,
+            cu.counters.launches
+        );
+    }
+}

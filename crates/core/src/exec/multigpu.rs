@@ -1,0 +1,165 @@
+//! Multi-GPU cuZC — the paper's §VI future-work extension, made runnable.
+//!
+//! The field's thread-block grid is partitioned across `gpus` devices along
+//! the launch dimension (z planes for patterns 1–2, y-window groups for
+//! pattern 3). Because the single-GPU kernels already communicate only at
+//! the cooperative fold, the functional result is *identical* to the
+//! single-GPU executor by construction; what changes is the performance
+//! model: per-device launch times (smaller grids → utilization effects),
+//! neighbour halo exchange for the stencil/window patterns, and a ring
+//! all-reduce of the scalar partials — the paper's "fine-grained
+//! inter-GPU synchronization and communication".
+
+use super::{validate, AssessError, Assessment, Executor, PatternTimes};
+use crate::config::AssessConfig;
+use crate::exec::CuZc;
+use crate::metrics::Pattern;
+use zc_gpusim::cost::gpu_time;
+use zc_gpusim::{occupancy, MultiGpuModel};
+use zc_tensor::Tensor;
+
+/// The multi-device pattern-oriented executor.
+#[derive(Clone, Debug)]
+pub struct MultiCuZc {
+    /// Number of devices (1 = identical to [`CuZc`]).
+    pub gpus: u32,
+    /// Interconnect model.
+    pub link: MultiGpuModel,
+    /// The per-device executor.
+    pub inner: CuZc,
+}
+
+impl MultiCuZc {
+    /// NVLink-connected V100s.
+    pub fn nvlink(gpus: u32) -> Self {
+        MultiCuZc { gpus, link: MultiGpuModel::nvlink(gpus), inner: CuZc::default() }
+    }
+
+    /// PCIe-connected V100s.
+    pub fn pcie(gpus: u32) -> Self {
+        MultiCuZc { gpus, link: MultiGpuModel::pcie(gpus), inner: CuZc::default() }
+    }
+
+    /// Halo bytes a device exchanges with one neighbour for a pattern.
+    fn halo_bytes(&self, pattern: Pattern, shape: zc_tensor::Shape, cfg: &AssessConfig) -> u64 {
+        let slab = shape.slab_len() as u64 * 4 * 2; // both fields
+        match pattern {
+            Pattern::GlobalReduction => 0,
+            // Stencil needs the largest lag's worth of neighbour slices.
+            Pattern::Stencil => slab * cfg.max_lag as u64,
+            // SSIM blocks own y ranges; neighbours share window ghost rows.
+            Pattern::SlidingWindow => {
+                (shape.nx() * shape.nz()) as u64 * 4 * 2 * (cfg.ssim.window as u64 - 1)
+            }
+            Pattern::CompressionMeta => 0,
+        }
+    }
+}
+
+impl Executor for MultiCuZc {
+    fn name(&self) -> &'static str {
+        "cuZC-multi"
+    }
+
+    fn assess(
+        &self,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+    ) -> Result<Assessment, AssessError> {
+        validate(orig, dec, cfg)?;
+        let mut a = self.inner.assess(orig, dec, cfg)?;
+        if self.gpus <= 1 {
+            return Ok(a);
+        }
+        let g = self.gpus as u64;
+        let sim = &self.inner.sim;
+        let mut times = PatternTimes::default();
+        for run in &a.runs {
+            let Some(res) = run.resources else { continue };
+            // Each device executes its share of the grid: the makespan
+            // device holds ceil(grid / g) blocks and ~1/g of the counters.
+            let grid_d = (run.grid_blocks as u64).div_ceil(g) as usize;
+            let mut c = super::scale_div(&run.counters, g);
+            c.launches = run.counters.launches;
+            c.grid_syncs = run.counters.grid_syncs;
+            let occ = occupancy(&sim.dev, &res);
+            let t = gpu_time(&sim.dev, &sim.calib, &c, &occ, grid_d.max(1), run.class);
+            // Communication: halo exchange with up to two neighbours plus
+            // the ring all-reduce of scalar partials.
+            let halo = self.halo_bytes(run.pattern, orig.shape(), cfg);
+            let comm_s = if halo > 0 {
+                2.0 * (self.link.link_latency_s + halo as f64 / (self.link.link_bw_gbs * 1e9))
+            } else {
+                0.0
+            } + 2.0 * (g - 1) as f64 * self.link.link_latency_s;
+            let total = t.total_s + comm_s;
+            match run.pattern {
+                Pattern::GlobalReduction => times.p1 += total,
+                Pattern::Stencil => times.p2 += total,
+                Pattern::SlidingWindow => times.p3 += total,
+                Pattern::CompressionMeta => {}
+            }
+        }
+        a.pattern_times = times;
+        a.modeled_seconds = times.total();
+        Ok(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metric;
+    use zc_tensor::Shape;
+
+    fn fields() -> (Tensor<f32>, Tensor<f32>) {
+        let orig = Tensor::from_fn(Shape::d3(48, 40, 32), |[x, y, z, _]| {
+            (x as f32 * 0.2).sin() + (y as f32 * 0.15).cos() + z as f32 * 0.01
+        });
+        let dec = orig.map(|v| v + 0.002 * (v * 7.0).cos());
+        (orig, dec)
+    }
+
+    #[test]
+    fn values_identical_to_single_gpu() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig::default();
+        let single = CuZc::default().assess(&orig, &dec, &cfg).unwrap();
+        let multi = MultiCuZc::nvlink(4).assess(&orig, &dec, &cfg).unwrap();
+        for m in [Metric::Psnr, Metric::Ssim, Metric::Autocorrelation, Metric::Mse] {
+            assert_eq!(single.report.scalar(m), multi.report.scalar(m), "{m}");
+        }
+    }
+
+    #[test]
+    fn more_gpus_reduce_modeled_time() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig::default();
+        let t1 = MultiCuZc::nvlink(1).assess(&orig, &dec, &cfg).unwrap().modeled_seconds;
+        let t2 = MultiCuZc::nvlink(2).assess(&orig, &dec, &cfg).unwrap().modeled_seconds;
+        let t4 = MultiCuZc::nvlink(4).assess(&orig, &dec, &cfg).unwrap().modeled_seconds;
+        assert!(t2 < t1, "2 GPUs {t2} !< 1 GPU {t1}");
+        assert!(t4 < t2, "4 GPUs {t4} !< 2 GPUs {t2}");
+        // But never better than the ideal split.
+        assert!(t4 > t1 / 4.0 * 0.5, "suspiciously superlinear");
+    }
+
+    #[test]
+    fn one_gpu_degenerates_to_cuzc() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig::default();
+        let single = CuZc::default().assess(&orig, &dec, &cfg).unwrap();
+        let multi = MultiCuZc::nvlink(1).assess(&orig, &dec, &cfg).unwrap();
+        assert_eq!(single.modeled_seconds, multi.modeled_seconds);
+    }
+
+    #[test]
+    fn slower_interconnect_costs_more() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig::default();
+        let nv = MultiCuZc::nvlink(8).assess(&orig, &dec, &cfg).unwrap().modeled_seconds;
+        let pcie = MultiCuZc::pcie(8).assess(&orig, &dec, &cfg).unwrap().modeled_seconds;
+        assert!(pcie >= nv);
+    }
+}

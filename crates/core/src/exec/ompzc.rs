@@ -1,0 +1,214 @@
+//! The ompZC executor — the paper's multithreaded CPU baseline.
+//!
+//! Functionally it computes every metric with rayon (real, fast values);
+//! for the figures it *charges* the metric-oriented cost of the original
+//! OpenMP Z-checker — one pass over the arrays per metric, scalar
+//! arithmetic per element — and converts the counters into modeled
+//! dual-socket-Xeon-6148 time via [`zc_gpusim::cost::CpuModel`].
+
+use super::{cpu_ref, validate, AssessError, Assessment, Executor, PatternRun, PatternTimes};
+use crate::config::AssessConfig;
+use crate::metrics::Pattern;
+use crate::report::AnalysisReport;
+use std::time::Instant;
+use zc_gpusim::cost::CpuModel;
+use zc_gpusim::{Counters, KernelClass};
+use zc_kernels::FieldPair;
+use zc_tensor::Tensor;
+
+/// The multithreaded CPU executor.
+#[derive(Clone, Debug)]
+pub struct OmpZc {
+    /// Host cost model (defaults to the paper's Xeon Gold 6148).
+    pub model: CpuModel,
+}
+
+impl Default for OmpZc {
+    fn default() -> Self {
+        OmpZc { model: CpuModel::xeon_6148() }
+    }
+}
+
+/// Scalar metric passes Z-checker's CPU path performs for pattern 1
+/// (13 category-I metrics + Pearson, metric-at-a-time).
+const P1_SCALAR_PASSES: u64 = 14;
+/// Histogram passes (error PDF, pwr PDF, value distribution).
+const P1_HIST_PASSES: u64 = 3;
+
+impl OmpZc {
+    fn p1_counters(&self, n: u64) -> Counters {
+        Counters {
+            global_read_bytes: (P1_SCALAR_PASSES + P1_HIST_PASSES) * 8 * n,
+            lane_flops: P1_SCALAR_PASSES * 6 * n + P1_HIST_PASSES * 8 * n,
+            special_ops: 4 * n, // the pwr-error passes divide
+            launches: P1_SCALAR_PASSES + P1_HIST_PASSES,
+            ..Default::default()
+        }
+    }
+
+    fn p2_counters(&self, n: u64, max_lag: u64) -> Counters {
+        Counters {
+            // Two derivative passes + one pass per autocorrelation lag.
+            // Scalar per-point cost includes the strided neighbour gathers
+            // (address arithmetic + loads), which dominate Z-checker's CPU
+            // stencil loops: ~40 ops per derivative point, ~20 per
+            // autocorrelation point.
+            global_read_bytes: (2 + max_lag) * 8 * n,
+            lane_flops: 2 * 40 * n + max_lag * 20 * n,
+            special_ops: 2 * 2 * n,
+            launches: 2 + max_lag,
+            ..Default::default()
+        }
+    }
+
+    fn p3_counters(&self, n: u64, windows: u64, wsize: u64) -> Counters {
+        Counters {
+            global_read_bytes: 8 * n,
+            // The naive per-window triple loop Z-checker runs.
+            lane_flops: windows * wsize * wsize * wsize * 8,
+            special_ops: windows * 6,
+            launches: 1,
+            ..Default::default()
+        }
+    }
+}
+
+impl Executor for OmpZc {
+    fn name(&self) -> &'static str {
+        "ompZC"
+    }
+
+    fn assess(
+        &self,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+    ) -> Result<Assessment, AssessError> {
+        let non_finite = validate(orig, dec, cfg)?;
+        let t0 = Instant::now();
+        let f = FieldPair::new(orig, dec);
+        let sel = &cfg.metrics;
+        let n = f.len() as u64;
+
+        let mut counters = Counters::default();
+        let mut times = PatternTimes::default();
+        let mut runs = Vec::new();
+
+        let p1 = cpu_ref::p1_scan_par(&f);
+        let hists = if sel.needs(Pattern::GlobalReduction) {
+            let c = self.p1_counters(n);
+            times.p1 = self.model.time(&c).total_s;
+            counters.merge(&c);
+            runs.push(PatternRun {
+                pattern: Pattern::GlobalReduction,
+                counters: c,
+                grid_blocks: 0,
+                resources: None,
+                class: KernelClass::GlobalReduction,
+            });
+            Some(cpu_ref::histograms_par(&f, &p1, cfg.bins))
+        } else {
+            None
+        };
+        let p2 = if sel.needs(Pattern::Stencil) {
+            let c = self.p2_counters(n, cfg.max_lag as u64);
+            times.p2 = self.model.time(&c).total_s;
+            counters.merge(&c);
+            runs.push(PatternRun {
+                pattern: Pattern::Stencil,
+                counters: c,
+                grid_blocks: 0,
+                resources: None,
+                class: KernelClass::Stencil,
+            });
+            Some(cpu_ref::p2_scan_par(&f, p1.mean_e(), cfg.max_lag))
+        } else {
+            None
+        };
+        let ssim = if sel.needs(Pattern::SlidingWindow) {
+            let acc = cpu_ref::ssim_scan(&f, &cfg.ssim, p1.value_range(), true);
+            let c = self.p3_counters(n, acc.windows, cfg.ssim.window as u64);
+            times.p3 = self.model.time(&c).total_s;
+            counters.merge(&c);
+            runs.push(PatternRun {
+                pattern: Pattern::SlidingWindow,
+                counters: c,
+                grid_blocks: 0,
+                resources: None,
+                class: KernelClass::SlidingWindow,
+            });
+            Some(acc)
+        } else {
+            None
+        };
+
+        let report =
+            AnalysisReport::assemble(orig.shape(), non_finite, p1, hists, p2.as_ref(), ssim, cfg);
+        Ok(Assessment {
+            report,
+            counters,
+            modeled_seconds: times.total(),
+            pattern_times: times,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            profiles: Vec::new(),
+            runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SerialZc;
+    use zc_tensor::Shape;
+
+    fn fields() -> (Tensor<f32>, Tensor<f32>) {
+        let orig = Tensor::from_fn(Shape::d3(20, 18, 14), |[x, y, z, _]| {
+            (x as f32 * 0.3).sin() * (y as f32 * 0.21).cos() + z as f32 * 0.03
+        });
+        let dec = orig.map(|v| v + 0.004 * (v * 23.0).sin());
+        (orig, dec)
+    }
+
+    #[test]
+    fn values_match_serial_reference() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig::default();
+        let s = SerialZc.assess(&orig, &dec, &cfg).unwrap();
+        let o = OmpZc::default().assess(&orig, &dec, &cfg).unwrap();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-30);
+        assert!(close(o.report.p1.mse(), s.report.p1.mse()));
+        assert_eq!(o.report.p1.min_e, s.report.p1.min_e);
+        let (os, ss) = (o.report.ssim.unwrap(), s.report.ssim.unwrap());
+        assert_eq!(os.windows, ss.windows);
+        assert!(close(os.mean_ssim, ss.mean_ssim));
+        let (ost, sst) = (o.report.stencil.unwrap(), s.report.stencil.unwrap());
+        assert!(close(ost.avg_gradient_orig, sst.avg_gradient_orig));
+        assert!(close(ost.autocorr.values[0], sst.autocorr.values[0]));
+    }
+
+    #[test]
+    fn modeled_time_is_positive_and_pattern3_dominates() {
+        // Needs a non-toy field: at tiny sizes per-pass overhead dominates
+        // and pattern 1's 17 passes outweigh SSIM.
+        let orig = Tensor::from_fn(Shape::d3(48, 48, 48), |[x, y, z, _]| {
+            (x as f32 * 0.2).sin() + (y as f32 * 0.15).cos() + z as f32 * 0.01
+        });
+        let dec = orig.map(|v| v + 0.001);
+        let a = OmpZc::default().assess(&orig, &dec, &AssessConfig::default()).unwrap();
+        assert!(a.modeled_seconds > 0.0);
+        // SSIM is the most expensive pattern on the CPU (paper Fig. 11).
+        assert!(a.pattern_times.p3 > a.pattern_times.p1);
+        assert!(a.pattern_times.p3 > a.pattern_times.p2);
+    }
+
+    #[test]
+    fn counters_reflect_metric_at_a_time_passes() {
+        let (orig, dec) = fields();
+        let a = OmpZc::default().assess(&orig, &dec, &AssessConfig::default()).unwrap();
+        // 17 p1 passes + 12 p2 passes + 1 p3 pass.
+        assert_eq!(a.counters.launches, 17 + 12 + 1);
+        let n = orig.len() as u64;
+        assert!(a.counters.global_read_bytes > 17 * 8 * n);
+    }
+}

@@ -1,0 +1,139 @@
+//! The scalar reference executor — Z-checker's single-threaded semantics.
+//!
+//! No cost model: it exists as ground truth for the §IV-B correctness
+//! claim ("cuZ-Checker has the correct calculation on all assessment
+//! metrics by comparing it with the Z-checker's output").
+
+use super::{cpu_ref, validate, AssessError, Assessment, Executor, PatternTimes};
+use crate::config::AssessConfig;
+use crate::metrics::Pattern;
+use crate::report::AnalysisReport;
+use std::time::Instant;
+use zc_gpusim::Counters;
+use zc_kernels::FieldPair;
+use zc_tensor::Tensor;
+
+/// The serial reference executor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialZc;
+
+impl Executor for SerialZc {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn assess(
+        &self,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+    ) -> Result<Assessment, AssessError> {
+        let non_finite = validate(orig, dec, cfg)?;
+        let t0 = Instant::now();
+        let f = FieldPair::new(orig, dec);
+        let sel = &cfg.metrics;
+
+        // The scalar pass always runs: every derived metric and both other
+        // patterns (autocorrelation's μ/σ², SSIM's dynamic range) need it.
+        let p1 = cpu_ref::p1_scan(&f);
+        let hists = if sel.needs(Pattern::GlobalReduction) {
+            Some(cpu_ref::histograms(&f, &p1, cfg.bins))
+        } else {
+            None
+        };
+        let p2 = if sel.needs(Pattern::Stencil) {
+            Some(cpu_ref::p2_scan(&f, p1.mean_e(), cfg.max_lag))
+        } else {
+            None
+        };
+        let ssim = if sel.needs(Pattern::SlidingWindow) {
+            Some(cpu_ref::ssim_scan(&f, &cfg.ssim, p1.value_range(), false))
+        } else {
+            None
+        };
+
+        let report =
+            AnalysisReport::assemble(orig.shape(), non_finite, p1, hists, p2.as_ref(), ssim, cfg);
+        Ok(Assessment {
+            report,
+            counters: Counters::default(),
+            modeled_seconds: 0.0,
+            pattern_times: PatternTimes::default(),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            profiles: Vec::new(),
+            runs: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Metric, MetricSelection};
+    use zc_tensor::Shape;
+
+    #[test]
+    fn full_assessment_produces_all_sections() {
+        let orig = Tensor::from_fn(Shape::d3(16, 16, 12), |[x, y, z, _]| {
+            (x as f32 * 0.4).sin() + y as f32 * 0.02 + (z as f32 * 0.3).cos()
+        });
+        let dec = orig.map(|v| v + 0.002);
+        let a = SerialZc.assess(&orig, &dec, &AssessConfig::default()).unwrap();
+        assert!(a.report.histograms.is_some());
+        assert!(a.report.stencil.is_some());
+        assert!(a.report.ssim.is_some());
+        // Constant error of 0.002.
+        assert!((a.report.p1.avg_abs_e() - 0.002).abs() < 1e-6);
+        assert!(a.report.scalar(Metric::Psnr).unwrap() > 30.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Tensor::<f32>::zeros(Shape::d2(4, 4));
+        let b = Tensor::<f32>::zeros(Shape::d2(4, 5));
+        assert_eq!(
+            SerialZc.assess(&a, &b, &AssessConfig::default()).unwrap_err(),
+            AssessError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let t = Tensor::<f32>::zeros(Shape::d2(4, 4));
+        let cfg = AssessConfig {
+            ssim: crate::config::SsimSettings { window: 1, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(matches!(
+            SerialZc.assess(&t, &t, &cfg).unwrap_err(),
+            AssessError::BadConfig(_)
+        ));
+    }
+
+    #[test]
+    fn pattern_selection_skips_passes() {
+        let orig = Tensor::from_fn(Shape::d3(12, 12, 12), |[x, ..]| x as f32);
+        let dec = orig.clone();
+        let cfg = AssessConfig {
+            metrics: MetricSelection::pattern(Pattern::GlobalReduction),
+            ..Default::default()
+        };
+        let a = SerialZc.assess(&orig, &dec, &cfg).unwrap();
+        assert!(a.report.stencil.is_none());
+        assert!(a.report.ssim.is_none());
+        assert!(a.report.histograms.is_some());
+    }
+
+    #[test]
+    fn nan_inputs_are_counted() {
+        let mut orig = Tensor::<f32>::zeros(Shape::d2(8, 8));
+        orig.set([1, 1, 0, 0], f32::NAN);
+        let dec = Tensor::<f32>::zeros(Shape::d2(8, 8));
+        let cfg = AssessConfig {
+            metrics: MetricSelection::pattern(Pattern::GlobalReduction),
+            ..Default::default()
+        };
+        let a = SerialZc.assess(&orig, &dec, &cfg).unwrap();
+        assert_eq!(a.report.non_finite, 1);
+    }
+}

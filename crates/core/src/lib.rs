@@ -1,0 +1,53 @@
+//! # zc-core
+//!
+//! The cuZ-Checker assessment system — the paper's primary contribution.
+//!
+//! This crate ties the substrates together into the architecture of the
+//! paper's Fig. 2:
+//!
+//! * [`metrics`] — the metric registry and the pattern classification
+//!   (Table I);
+//! * [`config`] — the configuration parser (Z-checker ini dialect);
+//! * [`exec`] — the execution models / module coordinator: the serial
+//!   reference, the multithreaded-CPU `ompZC`, the metric-oriented GPU
+//!   `moZC`, and the pattern-oriented GPU `cuZC`;
+//! * [`report`] — the analysis report (every metric value);
+//! * [`io`] / [`output`] — the input and output engines (raw binary
+//!   fields, PGM visualization slices, CSV series);
+//! * [`viz`] — the visualization engine: standalone HTML dashboards with
+//!   inline SVG charts (the Z-server substitute).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use zc_core::config::AssessConfig;
+//! use zc_core::exec::{CuZc, Executor};
+//! use zc_core::metrics::Metric;
+//! use zc_tensor::{Shape, Tensor};
+//!
+//! let orig = Tensor::from_fn(Shape::d3(32, 32, 16), |[x, y, z, _]| {
+//!     (x as f32 * 0.2).sin() + (y as f32 * 0.1).cos() + z as f32 * 0.01
+//! });
+//! let dec = orig.map(|v| v + 1e-3);
+//! let result = CuZc::default().assess(&orig, &dec, &AssessConfig::default()).unwrap();
+//! assert!(result.report.scalar(Metric::Psnr).unwrap() > 40.0);
+//! assert!(result.report.scalar(Metric::Ssim).unwrap() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod exec;
+pub mod io;
+pub mod metrics;
+pub mod output;
+pub mod pipeline;
+pub mod recommend;
+pub mod report;
+pub mod viz;
+
+pub use config::{AssessConfig, ExecutorKind, RunConfig, SsimSettings};
+pub use exec::{Assessment, CuZc, Executor, MoZc, MultiCuZc, OmpZc, PatternProfile, SerialZc};
+pub use metrics::{Metric, MetricSelection, Pattern};
+pub use pipeline::assess_compression;
+pub use report::AnalysisReport;

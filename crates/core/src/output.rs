@@ -1,0 +1,64 @@
+//! Output engine: CSV emitters for analysis results (the counterpart of
+//! Z-checker's output engine that feeds its visualization layer).
+
+use crate::exec::Assessment;
+use crate::metrics::MetricSelection;
+use zc_kernels::Histogram;
+
+/// Render a histogram as `bin_center,probability` CSV rows.
+pub fn histogram_csv(h: &Histogram) -> String {
+    let (lo, hi) = h.range();
+    let nb = h.bin_count();
+    let width = if hi > lo { (hi - lo) / nb as f64 } else { 0.0 };
+    let mut out = String::from("bin_center,probability\n");
+    for (i, p) in h.pdf().iter().enumerate() {
+        let c = lo + width * (i as f64 + 0.5);
+        out.push_str(&format!("{c:.9e},{p:.9e}\n"));
+    }
+    out
+}
+
+/// Render the autocorrelation series as `lag,value` CSV.
+pub fn autocorr_csv(values: &[f64]) -> String {
+    let mut out = String::from("lag,autocorr\n");
+    for (i, v) in values.iter().enumerate() {
+        out.push_str(&format!("{},{v:.9e}\n", i + 1));
+    }
+    out
+}
+
+/// Render all scalar metrics of an assessment as `metric,value` CSV.
+pub fn scalars_csv(a: &Assessment, sel: &MetricSelection) -> String {
+    let mut out = String::from("metric,value\n");
+    for m in sel.iter() {
+        if let Some(v) = a.report.scalar(m) {
+            out.push_str(&format!("{},{v:.9e}\n", m.key()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_csv_rows_match_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..8 {
+            h.insert(i as f64 / 8.0);
+        }
+        let csv = histogram_csv(&h);
+        assert_eq!(csv.lines().count(), 5); // header + 4 bins
+        assert!(csv.starts_with("bin_center,probability"));
+        // First bin centre at 0.125.
+        assert!(csv.contains("1.250000000e-1"));
+    }
+
+    #[test]
+    fn autocorr_csv_is_one_indexed() {
+        let csv = autocorr_csv(&[0.9, 0.5, 0.1]);
+        assert!(csv.contains("1,9.000000000e-1"));
+        assert!(csv.contains("3,1.000000000e-1"));
+    }
+}

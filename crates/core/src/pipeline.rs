@@ -1,0 +1,93 @@
+//! Seamless compression + assessment — the paper's second §VI plan
+//! ("incorporate cuZ-Checker with cuSZ to make the assessment more
+//! seamless"): one call compresses, decompresses and fully assesses,
+//! attaching the compression-performance metrics to the report.
+
+use crate::config::AssessConfig;
+use crate::exec::{AssessError, Assessment, Executor};
+use zc_compress::{CodecError, Compressor};
+use zc_tensor::Tensor;
+
+/// Errors from the integrated pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Compressor round-trip failed.
+    Codec(CodecError),
+    /// Assessment failed.
+    Assess(AssessError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Codec(e) => write!(f, "codec: {e}"),
+            PipelineError::Assess(e) => write!(f, "assess: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Compress, decompress and assess in one step. The returned assessment's
+/// report carries the compression-performance metrics (ratio and both
+/// throughputs), so `report.scalar(Metric::CompressionRatio)` etc. work.
+pub fn assess_compression(
+    orig: &Tensor<f32>,
+    compressor: &dyn Compressor,
+    executor: &dyn Executor,
+    cfg: &AssessConfig,
+) -> Result<Assessment, PipelineError> {
+    let (dec, stats) = compressor.roundtrip(orig).map_err(PipelineError::Codec)?;
+    let mut a = executor.assess(orig, &dec, cfg).map_err(PipelineError::Assess)?;
+    a.report = a.report.with_compression(stats);
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::CuZc;
+    use crate::metrics::Metric;
+    use zc_compress::{ErrorBound, SzCompressor};
+    use zc_tensor::Shape;
+
+    #[test]
+    fn one_call_yields_quality_and_performance_metrics() {
+        let t = Tensor::from_fn(Shape::d3(24, 20, 16), |[x, y, z, _]| {
+            (x as f32 * 0.3).sin() + y as f32 * 0.02 + (z as f32 * 0.4).cos()
+        });
+        let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
+        let a = assess_compression(&t, &sz, &CuZc::default(), &AssessConfig::default()).unwrap();
+        assert!(a.report.scalar(Metric::Psnr).unwrap() > 40.0);
+        assert!(a.report.scalar(Metric::CompressionRatio).unwrap() > 1.0);
+        assert!(a.report.scalar(Metric::CompressionThroughput).unwrap() > 0.0);
+        assert!(a.report.scalar(Metric::DecompressionThroughput).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn codec_failures_surface_as_pipeline_errors() {
+        // A compressor whose decompression always fails.
+        struct Broken;
+        impl Compressor for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn compress(&self, t: &Tensor<f32>) -> zc_compress::Compressed {
+                zc_compress::Compressed {
+                    bytes: vec![],
+                    shape: t.shape(),
+                    stats: Default::default(),
+                }
+            }
+            fn decompress(
+                &self,
+                _c: &zc_compress::Compressed,
+            ) -> Result<Tensor<f32>, CodecError> {
+                Err(CodecError::Corrupt("always broken"))
+            }
+        }
+        let t = Tensor::<f32>::zeros(Shape::d2(8, 8));
+        let r = assess_compression(&t, &Broken, &CuZc::default(), &AssessConfig::default());
+        assert!(matches!(r, Err(PipelineError::Codec(_))));
+    }
+}

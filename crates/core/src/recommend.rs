@@ -1,0 +1,280 @@
+//! Best-fit compressor selection — the decision the paper's introduction
+//! says assessment exists for: "comprehensively understanding the
+//! compression quality ... is critical to selecting the best-fit
+//! compressors and using them properly".
+//!
+//! Give [`recommend`] a field, a set of candidate compressor
+//! configurations and your quality criteria; every candidate is
+//! round-tripped and fully assessed, criteria are checked, and passing
+//! candidates are ranked by compression ratio.
+
+use crate::config::AssessConfig;
+use crate::exec::{AssessError, Executor};
+use crate::metrics::Metric;
+use zc_compress::{CodecError, Compressor};
+use zc_tensor::Tensor;
+
+/// Quality requirements a compressor configuration must satisfy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QualityCriteria {
+    /// Minimum PSNR in dB.
+    pub min_psnr_db: Option<f64>,
+    /// Minimum mean SSIM.
+    pub min_ssim: Option<f64>,
+    /// Maximum |autocorrelation| at lag 1 (white-noise-error requirement).
+    pub max_autocorr_abs: Option<f64>,
+    /// Maximum pointwise-relative error.
+    pub max_pwr_error: Option<f64>,
+    /// Maximum absolute error as a fraction of the value range.
+    pub max_rel_range_error: Option<f64>,
+}
+
+impl QualityCriteria {
+    /// A sensible visualization-grade default: PSNR ≥ 60 dB, SSIM ≥ 0.99.
+    pub fn visualization() -> Self {
+        QualityCriteria {
+            min_psnr_db: Some(60.0),
+            min_ssim: Some(0.99),
+            ..Default::default()
+        }
+    }
+
+    /// Strict analysis-grade criteria including error whiteness.
+    pub fn analysis() -> Self {
+        QualityCriteria {
+            min_psnr_db: Some(80.0),
+            min_ssim: Some(0.999),
+            max_autocorr_abs: Some(0.1),
+            max_rel_range_error: Some(1e-3),
+            ..Default::default()
+        }
+    }
+}
+
+/// The outcome of assessing one candidate.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Candidate label.
+    pub name: String,
+    /// Compression ratio achieved.
+    pub ratio: f64,
+    /// Bits per value.
+    pub bit_rate: f64,
+    /// PSNR (dB).
+    pub psnr_db: f64,
+    /// Mean SSIM.
+    pub ssim: f64,
+    /// Lag-1 error autocorrelation.
+    pub autocorr1: f64,
+    /// Whether every criterion passed.
+    pub passes: bool,
+    /// Human-readable criterion failures.
+    pub failures: Vec<String>,
+}
+
+/// Errors from the recommendation pipeline.
+#[derive(Debug)]
+pub enum RecommendError {
+    /// A candidate's decompression failed.
+    Codec(String, CodecError),
+    /// Assessment failed.
+    Assess(AssessError),
+}
+
+impl std::fmt::Display for RecommendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecommendError::Codec(name, e) => write!(f, "candidate '{name}': {e}"),
+            RecommendError::Assess(e) => write!(f, "assessment: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecommendError {}
+
+/// Assess every candidate and rank them: passing candidates first, by
+/// descending compression ratio; failing candidates after, also by ratio.
+pub fn recommend(
+    orig: &Tensor<f32>,
+    candidates: &[(&str, &dyn Compressor)],
+    criteria: &QualityCriteria,
+    cfg: &AssessConfig,
+    executor: &dyn Executor,
+) -> Result<Vec<Verdict>, RecommendError> {
+    let mut verdicts = Vec::with_capacity(candidates.len());
+    for (name, compressor) in candidates {
+        let (dec, stats) = compressor
+            .roundtrip(orig)
+            .map_err(|e| RecommendError::Codec(name.to_string(), e))?;
+        let a = executor.assess(orig, &dec, cfg).map_err(RecommendError::Assess)?;
+        let get = |m: Metric| a.report.scalar(m).unwrap_or(f64::NAN);
+        let psnr = get(Metric::Psnr);
+        let ssim = get(Metric::Ssim);
+        let ac1 = get(Metric::Autocorrelation);
+        let range = get(Metric::ValueRange).max(1e-300);
+        let mut failures = Vec::new();
+        // NaN metric values must count as failures, hence the ordering.
+        let fails_min = |v: f64, min: f64| v.is_nan() || v < min;
+        let fails_max = |v: f64, max: f64| v.is_nan() || v > max;
+        if let Some(min) = criteria.min_psnr_db {
+            if fails_min(psnr, min) {
+                failures.push(format!("PSNR {psnr:.2} < {min:.2} dB"));
+            }
+        }
+        if let Some(min) = criteria.min_ssim {
+            if fails_min(ssim, min) {
+                failures.push(format!("SSIM {ssim:.5} < {min}"));
+            }
+        }
+        if let Some(max) = criteria.max_autocorr_abs {
+            if fails_max(ac1.abs(), max) {
+                failures.push(format!("|autocorr(1)| {:.4} > {max}", ac1.abs()));
+            }
+        }
+        if let Some(max) = criteria.max_pwr_error {
+            let pwr = get(Metric::MaxPwrError);
+            if fails_max(pwr, max) {
+                failures.push(format!("max pwr err {pwr:.3e} > {max:.3e}"));
+            }
+        }
+        if let Some(max) = criteria.max_rel_range_error {
+            let rel = get(Metric::MaxAbsError) / range;
+            if fails_max(rel, max) {
+                failures.push(format!("max|e|/range {rel:.3e} > {max:.3e}"));
+            }
+        }
+        verdicts.push(Verdict {
+            name: name.to_string(),
+            ratio: stats.ratio(),
+            bit_rate: stats.bit_rate(4),
+            psnr_db: psnr,
+            ssim,
+            autocorr1: ac1,
+            passes: failures.is_empty(),
+            failures,
+        });
+    }
+    verdicts.sort_by(|a, b| {
+        b.passes
+            .cmp(&a.passes)
+            .then(b.ratio.partial_cmp(&a.ratio).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    Ok(verdicts)
+}
+
+/// Render the ranking as an aligned text table.
+pub fn render_ranking(verdicts: &[Verdict]) -> String {
+    let mut out = format!(
+        "{:<24} {:>8} {:>10} {:>10} {:>10} {:>8}  notes\n",
+        "candidate", "ratio", "bits/val", "PSNR(dB)", "SSIM", "pass"
+    );
+    for v in verdicts {
+        out.push_str(&format!(
+            "{:<24} {:>7.1}x {:>10.3} {:>10.2} {:>10.6} {:>8}  {}\n",
+            v.name,
+            v.ratio,
+            v.bit_rate,
+            v.psnr_db,
+            v.ssim,
+            if v.passes { "yes" } else { "NO" },
+            v.failures.join("; ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SerialZc;
+    use zc_compress::{ErrorBound, SzCompressor, ZfpLikeCompressor};
+    use zc_tensor::Shape;
+
+    fn field() -> Tensor<f32> {
+        Tensor::from_fn(Shape::d3(32, 28, 16), |[x, y, z, _]| {
+            (x as f32 * 0.25).sin() * 4.0 + (y as f32 * 0.2).cos() + z as f32 * 0.05
+        })
+    }
+
+    #[test]
+    fn ranking_prefers_passing_high_ratio() {
+        let f = field();
+        let loose = SzCompressor::new(ErrorBound::Rel(1e-2));
+        let tight = SzCompressor::new(ErrorBound::Rel(1e-5));
+        let coarse = ZfpLikeCompressor::new(2.0);
+        let cands: Vec<(&str, &dyn Compressor)> = vec![
+            ("sz rel=1e-2", &loose),
+            ("sz rel=1e-5", &tight),
+            ("zfp rate=2", &coarse),
+        ];
+        let criteria = QualityCriteria { min_psnr_db: Some(60.0), ..Default::default() };
+        let v = recommend(&f, &cands, &criteria, &AssessConfig::default(), &SerialZc).unwrap();
+        // The coarse fixed-rate codec must fail the PSNR bar.
+        let zfp = v.iter().find(|x| x.name.starts_with("zfp")).unwrap();
+        assert!(!zfp.passes, "zfp rate=2 should fail: psnr {}", zfp.psnr_db);
+        assert!(!zfp.failures.is_empty());
+        // Winners are passing, ordered by ratio.
+        assert!(v[0].passes);
+        let passing: Vec<_> = v.iter().filter(|x| x.passes).collect();
+        for w in passing.windows(2) {
+            assert!(w[0].ratio >= w[1].ratio);
+        }
+        // Failing candidates sort after passing ones.
+        let first_fail = v.iter().position(|x| !x.passes);
+        if let Some(i) = first_fail {
+            assert!(v[i..].iter().all(|x| !x.passes));
+        }
+    }
+
+    #[test]
+    fn empty_criteria_pass_everything() {
+        let f = field();
+        let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
+        let cands: Vec<(&str, &dyn Compressor)> = vec![("sz", &sz)];
+        let v = recommend(
+            &f,
+            &cands,
+            &QualityCriteria::default(),
+            &AssessConfig::default(),
+            &SerialZc,
+        )
+        .unwrap();
+        assert!(v[0].passes);
+        assert!(v[0].failures.is_empty());
+    }
+
+    #[test]
+    fn whiteness_criterion_is_enforced() {
+        let f = field();
+        // ZFP at low rate produces correlated blocky errors.
+        let zfp = ZfpLikeCompressor::new(6.0);
+        let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
+        let cands: Vec<(&str, &dyn Compressor)> = vec![("zfp", &zfp), ("sz", &sz)];
+        let criteria =
+            QualityCriteria { max_autocorr_abs: Some(0.2), ..Default::default() };
+        let v = recommend(&f, &cands, &criteria, &AssessConfig::default(), &SerialZc).unwrap();
+        let sz_v = v.iter().find(|x| x.name == "sz").unwrap();
+        assert!(
+            sz_v.passes,
+            "sz errors are near-white on this field: ac1 = {}",
+            sz_v.autocorr1
+        );
+    }
+
+    #[test]
+    fn table_renders_failures() {
+        let verdicts = vec![Verdict {
+            name: "x".into(),
+            ratio: 5.0,
+            bit_rate: 6.4,
+            psnr_db: 50.0,
+            ssim: 0.9,
+            autocorr1: 0.2,
+            passes: false,
+            failures: vec!["PSNR 50.00 < 60.00 dB".into()],
+        }];
+        let t = render_ranking(&verdicts);
+        assert!(t.contains("NO"));
+        assert!(t.contains("PSNR 50.00"));
+    }
+}

@@ -1,0 +1,241 @@
+//! The analysis report: every metric value an assessment run produces.
+
+use crate::config::AssessConfig;
+use crate::metrics::{Metric, MetricSelection};
+use zc_compress::CompressionStats;
+use zc_kernels::{P1Histograms, P1Scalars, P2Stats};
+use zc_kernels::p3::SsimAcc;
+use zc_tensor::Shape;
+
+/// Autocorrelation results for lags `1..=max_lag`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AutocorrSeries {
+    /// `value[i]` is AC(lag i+1).
+    pub values: Vec<f64>,
+}
+
+/// Pattern-2 (stencil) metric values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StencilReport {
+    /// Mean gradient magnitude of the original field.
+    pub avg_gradient_orig: f64,
+    /// Mean gradient magnitude of the decompressed field.
+    pub avg_gradient_dec: f64,
+    /// Max gradient magnitude of the original field.
+    pub max_gradient_orig: f64,
+    /// MSE between the two fields' gradient magnitudes.
+    pub gradient_mse: f64,
+    /// Mean divergence of original / decompressed.
+    pub avg_divergence: (f64, f64),
+    /// Mean |Laplacian| of original / decompressed.
+    pub avg_laplacian: (f64, f64),
+    /// Error-field autocorrelation per lag.
+    pub autocorr: AutocorrSeries,
+}
+
+/// Pattern-3 (SSIM) values.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SsimReport {
+    /// Mean structural similarity.
+    pub mean_ssim: f64,
+    /// Windows folded.
+    pub windows: u64,
+}
+
+/// The full analysis report of one field pair.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Shape assessed.
+    pub shape: Shape,
+    /// Non-finite elements found in either input (validation pre-pass).
+    pub non_finite: u64,
+    /// Fused pattern-1 raw moments (all scalar metrics derive from this).
+    pub p1: P1Scalars,
+    /// Error/pwr-error/value histograms (when pattern 1 PDFs enabled).
+    pub histograms: Option<P1Histograms>,
+    /// Stencil metrics (when pattern 2 enabled).
+    pub stencil: Option<StencilReport>,
+    /// SSIM (when pattern 3 enabled).
+    pub ssim: Option<SsimReport>,
+    /// Compression-performance metrics (when assessing a compressor run).
+    pub compression: Option<CompressionStats>,
+}
+
+impl AnalysisReport {
+    /// Assemble from the executors' accumulator outputs.
+    pub fn assemble(
+        shape: Shape,
+        non_finite: u64,
+        p1: P1Scalars,
+        hists: Option<P1Histograms>,
+        p2: Option<&P2Stats>,
+        ssim: Option<SsimAcc>,
+        cfg: &AssessConfig,
+    ) -> Self {
+        let stencil = p2.map(|st| {
+            let n = st.n_interior.max(1) as f64;
+            StencilReport {
+                avg_gradient_orig: st.sum_grad_x / n,
+                avg_gradient_dec: st.sum_grad_y / n,
+                max_gradient_orig: st.max_grad_x,
+                gradient_mse: st.sum_grad_err2 / n,
+                avg_divergence: (st.sum_div_x / n, st.sum_div_y / n),
+                avg_laplacian: (st.sum_lap_x / n, st.sum_lap_y / n),
+                autocorr: AutocorrSeries {
+                    values: (1..=st.max_lag())
+                        .map(|lag| st.autocorr(lag, p1.var_e()))
+                        .collect(),
+                },
+            }
+        });
+        let ssim = ssim.map(|a| SsimReport { mean_ssim: a.mean(), windows: a.windows });
+        let _ = cfg;
+        AnalysisReport { shape, non_finite, p1, histograms: hists, stencil, ssim, compression: None }
+    }
+
+    /// Attach compression statistics.
+    pub fn with_compression(mut self, stats: CompressionStats) -> Self {
+        self.compression = Some(stats);
+        self
+    }
+
+    /// Shannon entropy of the value distribution, if histograms were built.
+    pub fn entropy_bits(&self) -> Option<f64> {
+        self.histograms.as_ref().map(|h| h.value_hist.entropy_bits())
+    }
+
+    /// Look up a scalar metric value by registry entry (`None` for
+    /// distribution metrics or disabled passes).
+    pub fn scalar(&self, m: Metric) -> Option<f64> {
+        use Metric::*;
+        let p1 = &self.p1;
+        Some(match m {
+            MinValue => p1.min_x,
+            MaxValue => p1.max_x,
+            ValueRange => p1.value_range(),
+            MeanValue => p1.mean_x(),
+            Variance => p1.var_x(),
+            Entropy => return self.entropy_bits(),
+            MinError => p1.min_e,
+            MaxError => p1.max_e,
+            AvgError => p1.avg_abs_e(),
+            MaxAbsError => p1.max_abs_e,
+            MinPwrError => p1.min_rel,
+            MaxPwrError => p1.max_rel,
+            AvgPwrError => p1.avg_rel(),
+            Mse => p1.mse(),
+            Rmse => p1.rmse(),
+            Nrmse => p1.nrmse(),
+            Snr => p1.snr_db(),
+            Psnr => p1.psnr_db(),
+            PearsonCorrelation => p1.pearson(),
+            Derivative1 => return self.stencil.as_ref().map(|s| s.avg_gradient_orig),
+            Derivative2 => return self.stencil.as_ref().map(|s| s.avg_laplacian.0),
+            Divergence => return self.stencil.as_ref().map(|s| s.avg_divergence.0),
+            Laplacian => return self.stencil.as_ref().map(|s| s.avg_laplacian.0),
+            Autocorrelation => {
+                return self
+                    .stencil
+                    .as_ref()
+                    .and_then(|s| s.autocorr.values.first().copied())
+            }
+            DerivativeMse => return self.stencil.as_ref().map(|s| s.gradient_mse),
+            Ssim => return self.ssim.map(|s| s.mean_ssim),
+            ErrorPdf | PwrErrorPdf => return None,
+            CompressionRatio => return self.compression.map(|c| c.ratio()),
+            CompressionThroughput => {
+                return self.compression.map(|c| c.compress_throughput_gbs())
+            }
+            DecompressionThroughput => {
+                return self.compression.map(|c| c.decompress_throughput_gbs())
+            }
+        })
+    }
+
+    /// Render a Z-checker-style text report of the enabled metrics.
+    pub fn render(&self, selection: &MetricSelection) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("shape: {}   elements: {}\n", self.shape, self.shape.len()));
+        if self.non_finite > 0 {
+            out.push_str(&format!("WARNING: {} non-finite input elements\n", self.non_finite));
+        }
+        for m in selection.iter() {
+            if let Some(v) = self.scalar(m) {
+                out.push_str(&format!("{:<26} = {v:.6e}\n", m.key()));
+            }
+        }
+        if let (true, Some(st)) = (selection.contains(Metric::Autocorrelation), &self.stencil) {
+            for (i, v) in st.autocorr.values.iter().enumerate() {
+                out.push_str(&format!("autocorr(lag={:<2})            = {v:.6e}\n", i + 1));
+            }
+        }
+        if let (true, Some(ss)) = (selection.contains(Metric::Ssim), &self.ssim) {
+            out.push_str(&format!("ssim windows               = {}\n", ss.windows));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AssessConfig;
+
+    fn p1_fixture() -> P1Scalars {
+        let mut a = P1Scalars::identity();
+        for i in 0..100 {
+            a.absorb(i as f64 * 0.1, i as f64 * 0.1 + 0.01);
+        }
+        a
+    }
+
+    #[test]
+    fn assemble_and_lookup_scalars() {
+        let r = AnalysisReport::assemble(
+            Shape::d3(10, 5, 2),
+            0,
+            p1_fixture(),
+            None,
+            None,
+            Some(SsimAcc { sum: 1.8, windows: 2 }),
+            &AssessConfig::default(),
+        );
+        assert_eq!(r.scalar(Metric::MinValue), Some(0.0));
+        assert!((r.scalar(Metric::AvgError).unwrap() - 0.01).abs() < 1e-9);
+        assert!((r.scalar(Metric::Ssim).unwrap() - 0.9).abs() < 1e-12);
+        assert_eq!(r.scalar(Metric::Derivative1), None); // no stencil pass
+        assert_eq!(r.scalar(Metric::CompressionRatio), None);
+    }
+
+    #[test]
+    fn render_lists_enabled_metrics_only() {
+        let r = AnalysisReport::assemble(
+            Shape::d2(10, 10),
+            0,
+            p1_fixture(),
+            None,
+            None,
+            None,
+            &AssessConfig::default(),
+        );
+        let sel = MetricSelection::none().with(Metric::Psnr).with(Metric::Mse);
+        let text = r.render(&sel);
+        assert!(text.contains("psnr"));
+        assert!(text.contains("mse"));
+        assert!(!text.contains("pearson"));
+    }
+
+    #[test]
+    fn non_finite_warning_appears() {
+        let r = AnalysisReport::assemble(
+            Shape::d1(4),
+            3,
+            p1_fixture(),
+            None,
+            None,
+            None,
+            &AssessConfig::default(),
+        );
+        assert!(r.render(&MetricSelection::all()).contains("WARNING: 3 non-finite"));
+    }
+}

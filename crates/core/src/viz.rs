@@ -1,0 +1,327 @@
+//! Visualization engine: self-contained HTML dashboards with inline SVG —
+//! the stand-in for Z-checker's data-visualization engine and Z-server
+//! web view (Fig. 1/2 of the paper). No JavaScript, no external assets;
+//! the emitted file renders in any browser.
+
+use crate::exec::Assessment;
+use crate::metrics::{Metric, MetricSelection};
+use zc_kernels::Histogram;
+
+/// Chart geometry shared by all plots.
+const W: f64 = 560.0;
+const H: f64 = 240.0;
+const ML: f64 = 62.0; // left margin (y labels)
+const MB: f64 = 34.0; // bottom margin (x labels)
+const MT: f64 = 14.0;
+const MR: f64 = 16.0;
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// An inline SVG line/area chart over `(x, y)` points.
+pub fn svg_line_chart(title: &str, xs: &[f64], ys: &[f64], x_label: &str) -> String {
+    assert_eq!(xs.len(), ys.len());
+    if xs.is_empty() {
+        return format!("<p>{} — no data</p>", esc(title));
+    }
+    let (x0, x1) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+        (a.min(v), b.max(v))
+    });
+    let (mut y0, mut y1) = ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+        (a.min(v), b.max(v))
+    });
+    if y1 <= y0 || y1.is_nan() || y0.is_nan() {
+        y0 -= 0.5;
+        y1 += 0.5;
+    }
+    let xr = if x1 > x0 { x1 - x0 } else { 1.0 };
+    let sx = |v: f64| ML + (v - x0) / xr * (W - ML - MR);
+    let sy = |v: f64| H - MB - (v - y0) / (y1 - y0) * (H - MB - MT);
+    let pts: Vec<String> =
+        xs.iter().zip(ys.iter()).map(|(&x, &y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<figure><figcaption>{}</figcaption><svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\">",
+        esc(title)
+    ));
+    // Axes.
+    out.push_str(&format!(
+        "<line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{}\" stroke=\"#888\"/>",
+        H - MB
+    ));
+    out.push_str(&format!(
+        "<line x1=\"{ML}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#888\"/>",
+        H - MB,
+        W - MR,
+        H - MB
+    ));
+    // Y ticks.
+    for i in 0..=4 {
+        let v = y0 + (y1 - y0) * i as f64 / 4.0;
+        let y = sy(v);
+        out.push_str(&format!(
+            "<text x=\"{:.0}\" y=\"{y:.0}\" font-size=\"10\" text-anchor=\"end\" fill=\"#444\">{}</text>",
+            ML - 6.0,
+            fmt_tick(v)
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{ML}\" y1=\"{y:.1}\" x2=\"{}\" y2=\"{y:.1}\" stroke=\"#eee\"/>",
+            W - MR
+        ));
+    }
+    // X ticks (ends + middle).
+    for v in [x0, (x0 + x1) / 2.0, x1] {
+        out.push_str(&format!(
+            "<text x=\"{:.0}\" y=\"{:.0}\" font-size=\"10\" text-anchor=\"middle\" fill=\"#444\">{}</text>",
+            sx(v),
+            H - MB + 14.0,
+            fmt_tick(v)
+        ));
+    }
+    out.push_str(&format!(
+        "<text x=\"{:.0}\" y=\"{:.0}\" font-size=\"10\" text-anchor=\"middle\" fill=\"#444\">{}</text>",
+        (ML + W - MR) / 2.0,
+        H - 4.0,
+        esc(x_label)
+    ));
+    out.push_str(&format!(
+        "<polyline fill=\"none\" stroke=\"#2563ab\" stroke-width=\"1.5\" points=\"{}\"/>",
+        pts.join(" ")
+    ));
+    out.push_str("</svg></figure>");
+    out
+}
+
+/// A stem/bar chart for small series (autocorrelation lags, speedups).
+pub fn svg_bar_chart(title: &str, labels: &[String], ys: &[f64]) -> String {
+    assert_eq!(labels.len(), ys.len());
+    if ys.is_empty() {
+        return format!("<p>{} — no data</p>", esc(title));
+    }
+    let y1 = ys.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    let y0 = ys.iter().cloned().fold(0.0f64, f64::min).min(0.0);
+    let sy = |v: f64| H - MB - (v - y0) / (y1 - y0) * (H - MB - MT);
+    let bw = (W - ML - MR) / ys.len() as f64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<figure><figcaption>{}</figcaption><svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\">",
+        esc(title)
+    ));
+    let zero_y = sy(0.0);
+    out.push_str(&format!(
+        "<line x1=\"{ML}\" y1=\"{zero_y:.1}\" x2=\"{}\" y2=\"{zero_y:.1}\" stroke=\"#888\"/>",
+        W - MR
+    ));
+    for i in 0..=4 {
+        let v = y0 + (y1 - y0) * i as f64 / 4.0;
+        out.push_str(&format!(
+            "<text x=\"{:.0}\" y=\"{:.0}\" font-size=\"10\" text-anchor=\"end\" fill=\"#444\">{}</text>",
+            ML - 6.0,
+            sy(v),
+            fmt_tick(v)
+        ));
+    }
+    for (i, (&y, label)) in ys.iter().zip(labels.iter()).enumerate() {
+        let x = ML + bw * i as f64 + bw * 0.15;
+        let (top, h) = if y >= 0.0 { (sy(y), zero_y - sy(y)) } else { (zero_y, sy(y) - zero_y) };
+        out.push_str(&format!(
+            "<rect x=\"{x:.1}\" y=\"{top:.1}\" width=\"{:.1}\" height=\"{h:.1}\" fill=\"#2563ab\"/>",
+            bw * 0.7
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.0}\" font-size=\"9\" text-anchor=\"middle\" fill=\"#444\">{}</text>",
+            x + bw * 0.35,
+            H - MB + 14.0,
+            esc(label)
+        ));
+    }
+    out.push_str("</svg></figure>");
+    out
+}
+
+fn histogram_chart(title: &str, h: &Histogram, x_label: &str) -> String {
+    let (lo, hi) = h.range();
+    let nb = h.bin_count();
+    let width = if hi > lo { (hi - lo) / nb as f64 } else { 1.0 };
+    let xs: Vec<f64> = (0..nb).map(|i| lo + width * (i as f64 + 0.5)).collect();
+    svg_line_chart(title, &xs, &h.pdf(), x_label)
+}
+
+/// Render one assessment as a complete standalone HTML document.
+pub fn html_report(title: &str, a: &Assessment, sel: &MetricSelection) -> String {
+    let mut body = String::new();
+    body.push_str(&format!(
+        "<h1>{}</h1><p class=\"meta\">shape {} · {} elements · executor report \
+         generated by cuZ-Checker</p>",
+        esc(title),
+        a.report.shape,
+        a.report.shape.len()
+    ));
+    if a.report.non_finite > 0 {
+        body.push_str(&format!(
+            "<p class=\"warn\">⚠ {} non-finite input elements</p>",
+            a.report.non_finite
+        ));
+    }
+
+    // Scalar metric table.
+    body.push_str("<h2>Metrics</h2><table><tr><th>metric</th><th>value</th></tr>");
+    for m in sel.iter() {
+        if let Some(v) = a.report.scalar(m) {
+            body.push_str(&format!(
+                "<tr><td>{}</td><td class=\"num\">{v:.6e}</td></tr>",
+                m.key()
+            ));
+        }
+    }
+    body.push_str("</table>");
+
+    // Distribution charts.
+    if let Some(h) = &a.report.histograms {
+        body.push_str("<h2>Distributions</h2>");
+        body.push_str(&histogram_chart("Compression error PDF", &h.err_pdf, "error"));
+        if h.rel_pdf.total() > 0 {
+            body.push_str(&histogram_chart(
+                "Pointwise-relative error PDF",
+                &h.rel_pdf,
+                "|error / value|",
+            ));
+        }
+        body.push_str(&histogram_chart("Value distribution", &h.value_hist, "value"));
+    }
+
+    // Autocorrelation stems.
+    if let (true, Some(st)) = (sel.contains(Metric::Autocorrelation), &a.report.stencil) {
+        let labels: Vec<String> =
+            (1..=st.autocorr.values.len()).map(|l| l.to_string()).collect();
+        body.push_str("<h2>Error autocorrelation</h2>");
+        body.push_str(&svg_bar_chart(
+            "Autocorrelation by spatial lag",
+            &labels,
+            &st.autocorr.values,
+        ));
+    }
+
+    // Modeled execution summary.
+    if a.modeled_seconds > 0.0 {
+        body.push_str(&format!(
+            "<h2>Modeled execution</h2><p>total {:.4} ms — pattern 1: {:.3e} s, \
+             pattern 2: {:.3e} s, pattern 3: {:.3e} s · {} launches, {} grid syncs</p>",
+            a.modeled_seconds * 1e3,
+            a.pattern_times.p1,
+            a.pattern_times.p2,
+            a.pattern_times.p3,
+            a.counters.launches,
+            a.counters.grid_syncs
+        ));
+        if !a.profiles.is_empty() {
+            body.push_str(
+                "<table><tr><th>pattern</th><th>Regs/TB</th><th>SMem/TB</th>\
+                 <th>Iters/thread</th><th>conc TB/SM</th></tr>",
+            );
+            for p in &a.profiles {
+                body.push_str(&format!(
+                    "<tr><td>{:?}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
+                    p.pattern, p.regs_per_tb, p.smem_per_tb, p.iters_per_thread, p.blocks_per_sm
+                ));
+            }
+            body.push_str("</table>");
+        }
+    }
+
+    wrap_html(title, &body)
+}
+
+/// Wrap a body in the dashboard chrome.
+pub fn wrap_html(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>{}</title><style>{}</style></head><body>{}</body></html>",
+        esc(title),
+        CSS,
+        body
+    )
+}
+
+const CSS: &str = "body{font-family:system-ui,sans-serif;max-width:72rem;margin:2rem auto;\
+padding:0 1rem;color:#1a1a2e}h1{border-bottom:2px solid #2563ab}\
+table{border-collapse:collapse;margin:0.6rem 0}td,th{border:1px solid #ccc;\
+padding:0.25rem 0.7rem;text-align:left}td.num{text-align:right;\
+font-variant-numeric:tabular-nums}figure{margin:1rem 0}\
+figcaption{font-weight:600;margin-bottom:0.3rem}.meta{color:#555}\
+.warn{color:#a33;font-weight:600}";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AssessConfig;
+    use crate::exec::Executor;
+    use crate::CuZc;
+    use zc_tensor::{Shape, Tensor};
+
+    fn assessment() -> Assessment {
+        let orig = Tensor::from_fn(Shape::d3(24, 20, 12), |[x, y, z, _]| {
+            (x as f32 * 0.3).sin() + y as f32 * 0.02 + (z as f32 * 0.5).cos()
+        });
+        let dec = orig.map(|v| v + 0.002 * (v * 9.0).sin());
+        CuZc::default().assess(&orig, &dec, &AssessConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn report_is_a_complete_document_with_charts() {
+        let a = assessment();
+        let html = html_report("demo", &a, &MetricSelection::all());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("</html>"));
+        // One SVG per distribution + the autocorrelation stems.
+        assert!(html.matches("<svg").count() >= 4, "{}", html.matches("<svg").count());
+        assert!(html.contains("psnr"));
+        assert!(html.contains("Autocorrelation"));
+        assert!(html.contains("Regs/TB"));
+    }
+
+    #[test]
+    fn selection_controls_report_content() {
+        let a = assessment();
+        let sel = MetricSelection::none().with(Metric::Psnr);
+        let html = html_report("demo", &a, &sel);
+        assert!(html.contains("psnr"));
+        assert!(!html.contains("<td>pearson</td>"));
+        assert!(!html.contains("Autocorrelation by spatial lag"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let a = assessment();
+        let html = html_report("<script>alert(1)</script>", &a, &MetricSelection::all());
+        assert!(!html.contains("<script>"));
+        assert!(html.contains("&lt;script&gt;"));
+    }
+
+    #[test]
+    fn line_chart_handles_degenerate_series() {
+        let c = svg_line_chart("flat", &[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0], "x");
+        assert!(c.contains("<polyline"));
+        let empty = svg_line_chart("empty", &[], &[], "x");
+        assert!(empty.contains("no data"));
+    }
+
+    #[test]
+    fn bar_chart_handles_negative_values() {
+        let labels: Vec<String> = (1..=3).map(|i| i.to_string()).collect();
+        let c = svg_bar_chart("ac", &labels, &[0.5, -0.3, 0.1]);
+        assert_eq!(c.matches("<rect").count(), 3);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the dataset substrate.
+
+use proptest::prelude::*;
+use zc_data::{fbm3, AppDataset, GenOptions, NoiseSpec, Rng64};
+
+proptest! {
+    #[test]
+    fn rng_streams_are_deterministic_and_uniform(seed in any::<u64>()) {
+        let mut a = Rng64::new(seed);
+        let mut b = Rng64::new(seed);
+        let mut lo = 0usize;
+        for _ in 0..256 {
+            let u = a.uniform();
+            prop_assert_eq!(u, b.uniform());
+            prop_assert!((0.0..1.0).contains(&u));
+            if u < 0.5 {
+                lo += 1;
+            }
+        }
+        // Crude uniformity: the halves are not wildly unbalanced.
+        prop_assert!((64..=192).contains(&lo), "lo = {}", lo);
+    }
+
+    #[test]
+    fn fbm_is_bounded_everywhere(
+        seed in any::<u64>(),
+        freq in 0.01f64..10.0,
+        oct in 1u32..8,
+        x in -100.0f64..100.0,
+        y in -100.0f64..100.0,
+        z in -100.0f64..100.0,
+    ) {
+        let v = fbm3(&NoiseSpec::new(seed, freq, oct), x, y, z);
+        prop_assert!((-1.0..=1.0).contains(&v), "fbm = {}", v);
+        // Deterministic.
+        prop_assert_eq!(v, fbm3(&NoiseSpec::new(seed, freq, oct), x, y, z));
+    }
+
+    #[test]
+    fn generated_fields_are_finite_and_in_catalog_shape(
+        seed in any::<u64>(),
+        ds_idx in 0usize..4,
+        field_frac in 0.0f64..1.0,
+    ) {
+        let ds = AppDataset::ALL[ds_idx];
+        let field_idx = ((ds.field_count() - 1) as f64 * field_frac) as usize;
+        let opts = GenOptions::scaled(32).with_seed(seed);
+        let f = ds.generate_field(field_idx, &opts);
+        prop_assert_eq!(f.data.shape(), ds.shape(&opts));
+        prop_assert!(!f.data.has_non_finite());
+        // Fields have nonzero content (not all equal).
+        let (mn, mx) = f.data.min_max().unwrap();
+        prop_assert!(mx > mn, "degenerate field {}", f.name);
+    }
+
+    #[test]
+    fn seeds_decorrelate_instances(seed in 1u64..u64::MAX) {
+        let a = AppDataset::Nyx
+            .generate_field(0, &GenOptions::scaled(64))
+            .data;
+        let b = AppDataset::Nyx
+            .generate_field(0, &GenOptions::scaled(64).with_seed(seed))
+            .data;
+        prop_assert_ne!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,241 @@
+//! Per-block execution context: instrumented memory and warp primitives.
+
+use crate::counters::Counters;
+use crate::lanes::{ballot, Lanes, WARP};
+
+/// Shared memory buffer owned by one simulated thread block.
+///
+/// Allocate through [`BlockCtx::shared_alloc`] so the footprint is tracked
+/// against the kernel's declared shared-memory usage.
+#[derive(Clone, Debug)]
+pub struct SharedBuf<T> {
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> SharedBuf<T> {
+    /// Length in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Execution context of one thread block.
+///
+/// Every memory access and arithmetic operation a kernel performs goes
+/// through these methods so that [`Counters`] mirror the real kernel's
+/// event counts. The context is handed to [`crate::BlockKernel::run_block`]
+/// once per block and merged by the launcher afterwards.
+#[derive(Debug, Default)]
+pub struct BlockCtx {
+    /// Counters charged by this block (merged across blocks at launch end).
+    pub counters: Counters,
+    shared_bytes: usize,
+}
+
+impl BlockCtx {
+    /// Fresh context (used by the launcher; kernels never construct one).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared-memory bytes allocated so far by this block.
+    pub fn shared_bytes(&self) -> usize {
+        self.shared_bytes
+    }
+
+    // ---- global memory -------------------------------------------------
+
+    /// Read one `f32` from global memory.
+    #[inline]
+    pub fn g_read(&mut self, data: &[f32], i: usize) -> f32 {
+        self.counters.global_read_bytes += 4;
+        data[i]
+    }
+
+    /// Read 32 lanes from global memory: lane `l` gets `data[base + l*stride]`;
+    /// out-of-range lanes receive `fill`. One coalesced transaction when
+    /// `stride == 1`.
+    pub fn g_read_lanes(&mut self, data: &[f32], base: usize, stride: usize, fill: f32) -> Lanes<f32> {
+        let mut n = 0u64;
+        let l = Lanes::from_fn(|i| {
+            let idx = base + i * stride;
+            if idx < data.len() {
+                n += 1;
+                data[idx]
+            } else {
+                fill
+            }
+        });
+        self.counters.global_read_bytes += 4 * n;
+        l
+    }
+
+    /// Write one `f32` to global memory.
+    #[inline]
+    pub fn g_write(&mut self, data: &mut [f32], i: usize, v: f32) {
+        self.counters.global_write_bytes += 4;
+        data[i] = v;
+    }
+
+    /// Charge a raw global write of `bytes` (for f64 partials etc.).
+    #[inline]
+    pub fn g_write_raw(&mut self, bytes: u64) {
+        self.counters.global_write_bytes += bytes;
+    }
+
+    /// Charge a raw global read of `bytes`.
+    #[inline]
+    pub fn g_read_raw(&mut self, bytes: u64) {
+        self.counters.global_read_bytes += bytes;
+    }
+
+    /// Charge `bytes` of scattered (uncoalesced) global traffic.
+    #[inline]
+    pub fn g_scatter(&mut self, bytes: u64) {
+        self.counters.global_scatter_bytes += bytes;
+    }
+
+    // ---- shared memory -------------------------------------------------
+
+    /// Allocate a shared-memory buffer of `len` elements.
+    pub fn shared_alloc<T: Copy + Default>(&mut self, len: usize) -> SharedBuf<T> {
+        self.shared_bytes += len * std::mem::size_of::<T>();
+        SharedBuf { data: vec![T::default(); len] }
+    }
+
+    /// Read an element of shared memory.
+    #[inline]
+    pub fn sh_read<T: Copy + Default>(&mut self, buf: &SharedBuf<T>, i: usize) -> T {
+        self.counters.shared_accesses += 1;
+        buf.data[i]
+    }
+
+    /// Write an element of shared memory.
+    #[inline]
+    pub fn sh_write<T: Copy + Default>(&mut self, buf: &mut SharedBuf<T>, i: usize, v: T) {
+        self.counters.shared_accesses += 1;
+        buf.data[i] = v;
+    }
+
+    // ---- warp primitives -------------------------------------------------
+
+    /// `__shfl_down_sync` with cost accounting (one shuffle instruction).
+    #[inline]
+    pub fn shfl_down<T: Copy + Default>(&mut self, l: &Lanes<T>, mask: u32, delta: usize) -> Lanes<T> {
+        self.counters.shuffles += 1;
+        l.shfl_down(mask, delta)
+    }
+
+    /// `__shfl_up_sync` with cost accounting.
+    #[inline]
+    pub fn shfl_up<T: Copy + Default>(&mut self, l: &Lanes<T>, mask: u32, delta: usize) -> Lanes<T> {
+        self.counters.shuffles += 1;
+        l.shfl_up(mask, delta)
+    }
+
+    /// `__shfl_xor_sync` with cost accounting.
+    #[inline]
+    pub fn shfl_xor<T: Copy + Default>(&mut self, l: &Lanes<T>, mask: u32, lane_mask: usize) -> Lanes<T> {
+        self.counters.shuffles += 1;
+        l.shfl_xor(mask, lane_mask)
+    }
+
+    /// `__ballot_sync` with cost accounting.
+    #[inline]
+    pub fn ballot(&mut self, mask: u32, pred: impl FnMut(usize) -> bool) -> u32 {
+        self.counters.ballots += 1;
+        ballot(mask, pred)
+    }
+
+    /// `__syncthreads()` — a block barrier. (Blocks are simulated
+    /// warp-synchronously so this is purely a cost event.)
+    #[inline]
+    pub fn sync_threads(&mut self) {
+        self.counters.syncs += 1;
+    }
+
+    // ---- arithmetic charging ---------------------------------------------
+
+    /// Charge `n` ALU lane-operations.
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.counters.lane_flops += n;
+    }
+
+    /// Charge one full-warp ALU operation (32 lane-ops).
+    #[inline]
+    pub fn warp_op(&mut self) {
+        self.counters.lane_flops += WARP as u64;
+    }
+
+    /// Charge `n` special-function lane-operations (div/sqrt/log/exp).
+    #[inline]
+    pub fn special(&mut self, n: u64) {
+        self.counters.special_ops += n;
+    }
+
+    /// Record `n` additional sequential iterations of the per-thread loop
+    /// (Table II's Iters/thread).
+    #[inline]
+    pub fn note_iters(&mut self, n: u64) {
+        self.counters.iters_per_thread += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_reads_charge_bytes() {
+        let mut ctx = BlockCtx::new();
+        let data = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(ctx.g_read(&data, 1), 2.0);
+        assert_eq!(ctx.counters.global_read_bytes, 4);
+        let lanes = ctx.g_read_lanes(&data, 0, 1, 0.0);
+        assert_eq!(lanes.lane(0), 1.0);
+        assert_eq!(lanes.lane(2), 3.0);
+        assert_eq!(lanes.lane(3), 0.0); // fill
+        assert_eq!(ctx.counters.global_read_bytes, 4 + 12); // only 3 valid lanes
+    }
+
+    #[test]
+    fn shared_alloc_tracks_footprint() {
+        let mut ctx = BlockCtx::new();
+        let mut buf: SharedBuf<f32> = ctx.shared_alloc(1024);
+        assert_eq!(ctx.shared_bytes(), 4096);
+        ctx.sh_write(&mut buf, 7, 1.5);
+        assert_eq!(ctx.sh_read(&buf, 7), 1.5);
+        assert_eq!(ctx.counters.shared_accesses, 2);
+    }
+
+    #[test]
+    fn warp_primitives_charge_counters() {
+        let mut ctx = BlockCtx::new();
+        let l = Lanes::<f32>::from_fn(|i| i as f32);
+        let _ = ctx.shfl_down(&l, u32::MAX, 1);
+        let _ = ctx.shfl_xor(&l, u32::MAX, 2);
+        let _ = ctx.ballot(u32::MAX, |i| i < 4);
+        ctx.sync_threads();
+        assert_eq!(ctx.counters.shuffles, 2);
+        assert_eq!(ctx.counters.ballots, 1);
+        assert_eq!(ctx.counters.syncs, 1);
+    }
+
+    #[test]
+    fn flop_charging() {
+        let mut ctx = BlockCtx::new();
+        ctx.flops(10);
+        ctx.warp_op();
+        ctx.special(3);
+        ctx.note_iters(5);
+        assert_eq!(ctx.counters.lane_flops, 42);
+        assert_eq!(ctx.counters.special_ops, 3);
+        assert_eq!(ctx.counters.iters_per_thread, 5);
+    }
+}

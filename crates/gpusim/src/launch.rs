@@ -1,0 +1,270 @@
+//! Kernel launching: parallel functional execution + cost assembly.
+
+use crate::block::BlockCtx;
+use crate::cost::{gpu_time, GpuCalib, ModeledTime};
+use crate::counters::Counters;
+use crate::occupancy::{occupancy, KernelResources, Occupancy};
+use crate::spec::DeviceSpec;
+use rayon::prelude::*;
+
+/// The computational-pattern class of a kernel (Table I of the paper),
+/// selecting the calibrated achieved-efficiency band in the cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelClass {
+    /// Pattern 1: global reductions.
+    GlobalReduction,
+    /// Pattern 2: stencil-like (shared-memory cubes).
+    Stencil,
+    /// Pattern 3: sliding-window (SSIM).
+    SlidingWindow,
+    /// Anything else.
+    Generic,
+}
+
+/// A simulated CUDA kernel.
+///
+/// `run_block` executes one thread block's work (called once per block in
+/// the grid, in parallel, each with a private [`BlockCtx`]); `finalize`
+/// models the cooperative-grid phase that folds per-block partials (the
+/// `cg::sync(grid)` + block-0 loop of the paper's Algorithm 1).
+pub trait BlockKernel: Sync {
+    /// Per-block result type.
+    type Partial: Send;
+    /// Final kernel output.
+    type Output;
+
+    /// Compile-time resource usage (drives occupancy — Table II).
+    fn resources(&self) -> KernelResources;
+
+    /// Pattern class for the cost model.
+    fn class(&self) -> KernelClass;
+
+    /// Whether the kernel uses cooperative-groups grid sync (true, as in
+    /// cuZC's pattern-1) or needs a second launch for the final fold
+    /// (false — the moZC/CUB style).
+    fn cooperative(&self) -> bool {
+        true
+    }
+
+    /// Execute one thread block.
+    fn run_block(&self, block_idx: usize, ctx: &mut BlockCtx) -> Self::Partial;
+
+    /// Fold the per-block partials (grid-level reduction phase).
+    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<Self::Partial>) -> Self::Output;
+}
+
+/// Result of a simulated launch.
+#[derive(Clone, Debug)]
+pub struct LaunchResult<O> {
+    /// The kernel's functional output.
+    pub output: O,
+    /// Merged execution counters.
+    pub counters: Counters,
+    /// Occupancy achieved by the kernel's resource declaration.
+    pub occupancy: Occupancy,
+    /// Grid size used.
+    pub grid_blocks: usize,
+    /// Modeled execution time.
+    pub modeled: ModeledTime,
+}
+
+/// The simulated GPU device.
+#[derive(Clone, Debug)]
+pub struct GpuSim {
+    /// Hardware description.
+    pub dev: DeviceSpec,
+    /// Cost-model calibration.
+    pub calib: GpuCalib,
+}
+
+impl GpuSim {
+    /// A V100 with default calibration (the paper's platform).
+    pub fn v100() -> Self {
+        GpuSim { dev: DeviceSpec::v100(), calib: GpuCalib::default() }
+    }
+
+    /// Launch `kernel` over `grid_blocks` thread blocks.
+    ///
+    /// Blocks run in parallel (functionally exact; block interleaving
+    /// cannot be observed because cross-block communication happens only at
+    /// the finalize phase). Counters are merged across blocks; the modeled
+    /// time is assembled from the merged counters, the occupancy result and
+    /// the grid geometry.
+    pub fn launch<K: BlockKernel>(&self, kernel: &K, grid_blocks: usize) -> LaunchResult<K::Output> {
+        assert!(grid_blocks > 0, "empty grid");
+        let mut results: Vec<(Counters, K::Partial)> = (0..grid_blocks)
+            .into_par_iter()
+            .map(|b| {
+                let mut ctx = BlockCtx::new();
+                let partial = kernel.run_block(b, &mut ctx);
+                debug_assert!(
+                    ctx.shared_bytes() <= kernel.resources().smem_per_block as usize,
+                    "block used {} shared bytes but declared {}",
+                    ctx.shared_bytes(),
+                    kernel.resources().smem_per_block
+                );
+                (ctx.counters, partial)
+            })
+            .collect();
+
+        let mut counters = Counters { launches: 1, ..Default::default() };
+        let mut partials = Vec::with_capacity(grid_blocks);
+        for (c, p) in results.drain(..) {
+            counters.merge(&c);
+            partials.push(p);
+        }
+
+        // Grid-level fold phase.
+        let mut fctx = BlockCtx::new();
+        let output = kernel.finalize(&mut fctx, partials);
+        counters.merge(&fctx.counters);
+        if kernel.cooperative() {
+            counters.grid_syncs += 1;
+        } else {
+            counters.launches += 1;
+        }
+
+        let occ = occupancy(&self.dev, &kernel.resources());
+        let modeled = gpu_time(&self.dev, &self.calib, &counters, &occ, grid_blocks, kernel.class());
+        LaunchResult { output, counters, occupancy: occ, grid_blocks, modeled }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::{Lanes, WARP};
+
+    /// Toy kernel: each block sums a contiguous chunk of the input via a
+    /// warp shuffle tree, then finalize folds the per-block sums.
+    struct ChunkSum<'a> {
+        data: &'a [f32],
+        chunk: usize,
+    }
+
+    impl BlockKernel for ChunkSum<'_> {
+        type Partial = f64;
+        type Output = f64;
+
+        fn resources(&self) -> KernelResources {
+            KernelResources { regs_per_thread: 24, smem_per_block: 128, threads_per_block: 32 }
+        }
+
+        fn class(&self) -> KernelClass {
+            KernelClass::GlobalReduction
+        }
+
+        fn run_block(&self, b: usize, ctx: &mut BlockCtx) -> f64 {
+            let start = b * self.chunk;
+            let end = ((b + 1) * self.chunk).min(self.data.len());
+            let mut acc = Lanes::<f64>::splat(0.0);
+            let mut i = start;
+            while i < end {
+                let lanes = ctx.g_read_lanes(self.data, i, 1, 0.0);
+                // Guard the tail: lanes beyond `end` must not contribute.
+                let valid = end - i;
+                acc = Lanes::from_fn(|l| {
+                    acc.lane(l) + if l < valid { lanes.lane(l) as f64 } else { 0.0 }
+                });
+                ctx.warp_op();
+                ctx.note_iters(1);
+                i += WARP;
+            }
+            let mut offset = WARP / 2;
+            while offset > 0 {
+                let sh = ctx.shfl_down(&acc, u32::MAX, offset);
+                acc = acc.zip_with(&sh, |a, b| a + b);
+                ctx.warp_op();
+                offset /= 2;
+            }
+            acc.lane(0)
+        }
+
+        fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<f64>) -> f64 {
+            ctx.flops(partials.len() as u64);
+            partials.into_iter().sum()
+        }
+    }
+
+    #[test]
+    fn functional_result_is_exact() {
+        let data: Vec<f32> = (0..10_000).map(|i| (i % 7) as f32).collect();
+        let expect: f64 = data.iter().map(|&v| v as f64).sum();
+        let sim = GpuSim::v100();
+        let k = ChunkSum { data: &data, chunk: 1024 };
+        let r = sim.launch(&k, data.len().div_ceil(1024));
+        assert_eq!(r.output, expect);
+    }
+
+    #[test]
+    fn counters_match_expected_traffic() {
+        let data: Vec<f32> = vec![1.0; 4096];
+        let sim = GpuSim::v100();
+        let k = ChunkSum { data: &data, chunk: 1024 };
+        let r = sim.launch(&k, 4);
+        // Every element read exactly once.
+        assert_eq!(r.counters.global_read_bytes, 4096 * 4);
+        // 5 shuffle steps per block.
+        assert_eq!(r.counters.shuffles, 4 * 5);
+        assert_eq!(r.counters.launches, 1);
+        assert_eq!(r.counters.grid_syncs, 1);
+        // 1024/32 = 32 sequential iterations per thread.
+        assert_eq!(r.counters.iters_per_thread, 32);
+    }
+
+    #[test]
+    fn launch_is_deterministic_despite_parallelism() {
+        let data: Vec<f32> = (0..50_000).map(|i| (i as f32 * 0.001).sin()).collect();
+        let sim = GpuSim::v100();
+        let k = ChunkSum { data: &data, chunk: 2048 };
+        let r1 = sim.launch(&k, data.len().div_ceil(2048));
+        let r2 = sim.launch(&k, data.len().div_ceil(2048));
+        assert_eq!(r1.output, r2.output);
+        assert_eq!(r1.counters, r2.counters);
+        assert_eq!(r1.modeled.total_s, r2.modeled.total_s);
+    }
+
+    #[test]
+    fn modeled_time_is_positive_and_bounded() {
+        let data: Vec<f32> = vec![0.5; 1 << 20];
+        let sim = GpuSim::v100();
+        let k = ChunkSum { data: &data, chunk: 4096 };
+        let r = sim.launch(&k, data.len() / 4096);
+        assert!(r.modeled.total_s > 0.0);
+        // 4 MiB cannot take longer than a millisecond on a V100 model.
+        assert!(r.modeled.total_s < 1e-3, "{}", r.modeled.total_s);
+    }
+
+    #[test]
+    fn non_cooperative_kernel_pays_second_launch() {
+        struct NonCoop<'a>(ChunkSum<'a>);
+        impl BlockKernel for NonCoop<'_> {
+            type Partial = f64;
+            type Output = f64;
+            fn resources(&self) -> KernelResources {
+                self.0.resources()
+            }
+            fn class(&self) -> KernelClass {
+                KernelClass::GlobalReduction
+            }
+            fn cooperative(&self) -> bool {
+                false
+            }
+            fn run_block(&self, b: usize, ctx: &mut BlockCtx) -> f64 {
+                self.0.run_block(b, ctx)
+            }
+            fn finalize(&self, ctx: &mut BlockCtx, p: Vec<f64>) -> f64 {
+                self.0.finalize(ctx, p)
+            }
+        }
+        let data: Vec<f32> = vec![1.0; 8192];
+        let sim = GpuSim::v100();
+        let coop = sim.launch(&ChunkSum { data: &data, chunk: 1024 }, 8);
+        let non = sim.launch(&NonCoop(ChunkSum { data: &data, chunk: 1024 }), 8);
+        assert_eq!(coop.counters.launches, 1);
+        assert_eq!(coop.counters.grid_syncs, 1);
+        assert_eq!(non.counters.launches, 2);
+        assert_eq!(non.counters.grid_syncs, 0);
+        assert_eq!(coop.output, non.output);
+    }
+}

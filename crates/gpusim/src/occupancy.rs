@@ -1,0 +1,157 @@
+//! The CUDA occupancy calculation (Table II's `TB(cncr.)/SM` column).
+
+use crate::spec::DeviceSpec;
+
+/// Per-launch resource declaration of a kernel — what a CUDA compiler would
+/// report as register and shared-memory usage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Static + dynamic shared memory per block, bytes.
+    pub smem_per_block: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl KernelResources {
+    /// Registers per thread block (Table II's `Regs/TB`).
+    pub fn regs_per_block(&self) -> u32 {
+        self.regs_per_thread * self.threads_per_block
+    }
+
+    /// Warps per block (rounded up).
+    pub fn warps_per_block(&self, warp: u32) -> u32 {
+        self.threads_per_block.div_ceil(warp)
+    }
+}
+
+/// What capped the concurrent block count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Limiter {
+    /// Register file exhausted first.
+    Registers,
+    /// Shared memory exhausted first.
+    SharedMemory,
+    /// Resident-thread limit hit first.
+    Threads,
+    /// Hardware max-blocks-per-SM limit hit first.
+    Blocks,
+}
+
+/// Result of the occupancy calculation for one kernel on one device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Blocks that can be *concurrently* resident on one SM.
+    pub blocks_per_sm: u32,
+    /// Active warps per SM at that residency.
+    pub active_warps_per_sm: u32,
+    /// Fraction of the device's maximum resident warps.
+    pub fraction: f64,
+    /// Which resource was the binding constraint.
+    pub limiter: Limiter,
+}
+
+/// Compute occupancy exactly as the CUDA occupancy calculator does:
+/// the concurrent blocks per SM is the minimum over the register, shared
+/// memory, thread and block-count constraints.
+pub fn occupancy(dev: &DeviceSpec, res: &KernelResources) -> Occupancy {
+    assert!(res.threads_per_block > 0, "empty thread block");
+    // Unconstrained resources report "no limit" so they never win the
+    // limiter attribution by coincidence.
+    let by_regs = dev.regs_per_sm.checked_div(res.regs_per_block()).unwrap_or(u32::MAX);
+    let by_smem = dev.smem_per_sm.checked_div(res.smem_per_block).unwrap_or(u32::MAX);
+    // Thread slots are allocated at warp granularity: a 673-thread block
+    // occupies 22 warps, so the resident-thread limit is warps-based.
+    let max_warps = dev.max_threads_per_sm / dev.warp_size;
+    let by_threads = max_warps / res.warps_per_block(dev.warp_size);
+    let by_blocks = dev.max_blocks_per_sm;
+
+    let (mut blocks, mut limiter) = (by_regs, Limiter::Registers);
+    for (cand, lim) in [
+        (by_smem, Limiter::SharedMemory),
+        (by_threads, Limiter::Threads),
+        (by_blocks, Limiter::Blocks),
+    ] {
+        if cand < blocks {
+            blocks = cand;
+            limiter = lim;
+        }
+    }
+    let warps = blocks * res.warps_per_block(dev.warp_size);
+    let max_warps = dev.max_threads_per_sm / dev.warp_size;
+    Occupancy {
+        blocks_per_sm: blocks,
+        active_warps_per_sm: warps,
+        fraction: warps as f64 / max_warps as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pattern1_register_limit() {
+        // Table II discussion: pattern-1 uses 14k regs/TB; 64k/14k → at most
+        // 4 concurrent TBs per SM (paper §IV-C observation (i)).
+        let dev = DeviceSpec::v100();
+        let res = KernelResources {
+            regs_per_thread: 56, // 56 × 256 threads ≈ 14.3k regs/TB
+            smem_per_block: 410,
+            threads_per_block: 256,
+        };
+        let occ = occupancy(&dev, &res);
+        assert_eq!(occ.blocks_per_sm, 4);
+        assert_eq!(occ.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn shared_memory_can_be_the_limit() {
+        let dev = DeviceSpec::v100();
+        let res = KernelResources {
+            regs_per_thread: 16,
+            smem_per_block: 40 * 1024,
+            threads_per_block: 128,
+        };
+        let occ = occupancy(&dev, &res);
+        assert_eq!(occ.blocks_per_sm, 2); // 96K / 40K
+        assert_eq!(occ.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn thread_limit_applies_to_big_blocks() {
+        let dev = DeviceSpec::v100();
+        let res = KernelResources {
+            regs_per_thread: 8,
+            smem_per_block: 0,
+            threads_per_block: 1024,
+        };
+        let occ = occupancy(&dev, &res);
+        assert_eq!(occ.blocks_per_sm, 2); // 2048 / 1024
+        assert_eq!(occ.limiter, Limiter::Threads);
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_limit_for_tiny_blocks() {
+        let dev = DeviceSpec::v100();
+        let res =
+            KernelResources { regs_per_thread: 4, smem_per_block: 0, threads_per_block: 32 };
+        let occ = occupancy(&dev, &res);
+        assert_eq!(occ.blocks_per_sm, 32);
+        assert_eq!(occ.limiter, Limiter::Blocks);
+        assert!(occ.fraction < 0.6);
+    }
+
+    #[test]
+    fn regs_per_block_matches_table_ii_units() {
+        let res = KernelResources {
+            regs_per_thread: 43,
+            smem_per_block: 16 * 1024,
+            threads_per_block: 256,
+        };
+        assert_eq!(res.regs_per_block(), 11_008); // ≈ the paper's "11k"
+    }
+}

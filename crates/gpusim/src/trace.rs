@@ -1,0 +1,134 @@
+//! Human-readable launch summaries — what `nvprof`/Nsight would show for a
+//! real kernel, assembled from the simulator's counters and cost breakdown.
+
+use crate::cost::{Bound, ModeledTime};
+use crate::counters::Counters;
+use crate::occupancy::{Limiter, Occupancy};
+
+/// Format a byte count with a binary-prefix unit.
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+/// Format seconds with an adaptive unit.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A profiler-style multi-line summary of one launch.
+pub fn launch_summary(
+    name: &str,
+    grid_blocks: usize,
+    counters: &Counters,
+    occ: &Occupancy,
+    modeled: &ModeledTime,
+) -> String {
+    let limiter = match occ.limiter {
+        Limiter::Registers => "registers",
+        Limiter::SharedMemory => "shared memory",
+        Limiter::Threads => "threads",
+        Limiter::Blocks => "block slots",
+    };
+    let bound = match modeled.bound {
+        Bound::Memory => "global-memory bandwidth",
+        Bound::Compute => "ALU throughput",
+        Bound::SharedMemory => "shared-memory bandwidth",
+    };
+    format!(
+        "kernel {name}\n\
+         \x20 grid {grid_blocks} blocks · occupancy {}/SM ({:.0}% warps, limited by {limiter})\n\
+         \x20 global: {} read, {} written{}\n\
+         \x20 shared: {} accesses · shuffles {} · syncs {} · grid-syncs {}\n\
+         \x20 alu: {} lane-ops + {} special · iters/thread {}\n\
+         \x20 modeled {} (bound: {bound}; mem {}, compute {}, smem {}, overhead {}) · util {:.2}\n",
+        occ.blocks_per_sm,
+        occ.fraction * 100.0,
+        fmt_bytes(counters.global_read_bytes),
+        fmt_bytes(counters.global_write_bytes),
+        if counters.global_scatter_bytes > 0 {
+            format!(" (+{} scattered)", fmt_bytes(counters.global_scatter_bytes))
+        } else {
+            String::new()
+        },
+        counters.shared_accesses,
+        counters.shuffles,
+        counters.syncs,
+        counters.grid_syncs,
+        counters.lane_flops,
+        counters.special_ops,
+        counters.iters_per_thread,
+        fmt_seconds(modeled.total_s),
+        fmt_seconds(modeled.mem_s),
+        fmt_seconds(modeled.compute_s),
+        fmt_seconds(modeled.smem_s),
+        fmt_seconds(modeled.overhead_s),
+        modeled.utilization,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{gpu_time, GpuCalib};
+    use crate::occupancy::{occupancy, KernelResources};
+    use crate::spec::DeviceSpec;
+    use crate::KernelClass;
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
+        assert_eq!(fmt_seconds(2.5), "2.500 s");
+        assert_eq!(fmt_seconds(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_seconds(5.0e-9), "5.0 ns");
+    }
+
+    #[test]
+    fn summary_contains_the_essentials() {
+        let dev = DeviceSpec::v100();
+        let res = KernelResources {
+            regs_per_thread: 56,
+            smem_per_block: 1024,
+            threads_per_block: 256,
+        };
+        let occ = occupancy(&dev, &res);
+        let counters = Counters {
+            global_read_bytes: 1 << 20,
+            lane_flops: 1 << 22,
+            shuffles: 500,
+            launches: 1,
+            grid_syncs: 1,
+            iters_per_thread: 977,
+            ..Default::default()
+        };
+        let t = gpu_time(&dev, &GpuCalib::default(), &counters, &occ, 100,
+            KernelClass::GlobalReduction);
+        let s = launch_summary("p1_fused", 100, &counters, &occ, &t);
+        assert!(s.contains("p1_fused"));
+        assert!(s.contains("grid 100 blocks"));
+        assert!(s.contains("1.00 MiB read"));
+        assert!(s.contains("registers"));
+        assert!(s.contains("iters/thread 977"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the simulator primitives: shuffle semantics,
+//! occupancy arithmetic and cost-model monotonicity.
+
+use proptest::prelude::*;
+use zc_gpusim::cost::{gpu_time, CpuModel, GpuCalib};
+use zc_gpusim::{occupancy, Counters, DeviceSpec, KernelClass, KernelResources, Lanes, WARP};
+
+fn lanes() -> impl Strategy<Value = Lanes<f32>> {
+    proptest::collection::vec(-1.0e6f32..1.0e6, WARP)
+        .prop_map(|v| Lanes::from_fn(|i| v[i]))
+}
+
+proptest! {
+    #[test]
+    fn shfl_xor_is_involutive(l in lanes(), m in 1usize..32) {
+        let twice = l.shfl_xor(u32::MAX, m).shfl_xor(u32::MAX, m);
+        prop_assert_eq!(twice, l);
+    }
+
+    #[test]
+    fn shfl_down_then_up_restores_interior(l in lanes(), d in 1usize..16) {
+        // For lanes in [d, 32-d), down(d) moves lane i+d into i; up(d)
+        // moves it back.
+        let roundtrip = l.shfl_down(u32::MAX, d).shfl_up(u32::MAX, d);
+        for i in d..(WARP - d) {
+            prop_assert_eq!(roundtrip.lane(i), l.lane(i));
+        }
+    }
+
+    #[test]
+    fn shuffle_reduction_tree_sums_all_lanes(l in lanes()) {
+        // f64 butterfly: exact (no fp reordering issues at f64 for 32 f32s).
+        let mut acc = l.map(|v| v as f64);
+        let mut offset = WARP / 2;
+        while offset > 0 {
+            let sh = acc.shfl_down(u32::MAX, offset);
+            acc = acc.zip_with(&sh, |a, b| a + b);
+            offset /= 2;
+        }
+        let direct: f64 = (0..WARP).map(|i| l.lane(i) as f64).sum();
+        prop_assert!((acc.lane(0) - direct).abs() <= 1e-9 * direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_hardware_limits(
+        regs in 1u32..256,
+        smem in 0u32..(96 * 1024),
+        threads in 32u32..1025,
+    ) {
+        let dev = DeviceSpec::v100();
+        let res = KernelResources {
+            regs_per_thread: regs,
+            smem_per_block: smem,
+            threads_per_block: threads,
+        };
+        let occ = occupancy(&dev, &res);
+        prop_assert!(occ.blocks_per_sm <= dev.max_blocks_per_sm);
+        prop_assert!(occ.blocks_per_sm * threads <= dev.max_threads_per_sm + threads);
+        prop_assert!(occ.fraction <= 1.0 + 1e-12);
+        // Resource accounting: the resident blocks actually fit.
+        if occ.blocks_per_sm > 0 {
+            prop_assert!(occ.blocks_per_sm * res.regs_per_block() <= dev.regs_per_sm);
+            prop_assert!(occ.blocks_per_sm * smem <= dev.smem_per_sm);
+        }
+    }
+
+    #[test]
+    fn more_registers_never_increase_occupancy(
+        regs in 8u32..128,
+        threads_pow in 5u32..11,
+    ) {
+        let dev = DeviceSpec::v100();
+        let threads = 1u32 << threads_pow;
+        let mk = |r| occupancy(&dev, &KernelResources {
+            regs_per_thread: r,
+            smem_per_block: 0,
+            threads_per_block: threads,
+        });
+        prop_assert!(mk(regs + 8).blocks_per_sm <= mk(regs).blocks_per_sm);
+    }
+
+    #[test]
+    fn gpu_time_is_monotone_in_every_counter(
+        bytes in 1u64..1 << 32,
+        flops in 1u64..1 << 34,
+        grid in 1usize..10_000,
+    ) {
+        let dev = DeviceSpec::v100();
+        let calib = GpuCalib::default();
+        let occ = occupancy(&dev, &KernelResources {
+            regs_per_thread: 32,
+            smem_per_block: 0,
+            threads_per_block: 256,
+        });
+        let base = Counters {
+            global_read_bytes: bytes,
+            lane_flops: flops,
+            launches: 1,
+            ..Default::default()
+        };
+        let t0 = gpu_time(&dev, &calib, &base, &occ, grid, KernelClass::Generic);
+        let mut more = base;
+        more.global_read_bytes *= 2;
+        more.lane_flops *= 2;
+        more.shuffles = 1000;
+        let t1 = gpu_time(&dev, &calib, &more, &occ, grid, KernelClass::Generic);
+        prop_assert!(t1.total_s >= t0.total_s);
+        prop_assert!(t0.total_s > 0.0 && t0.total_s.is_finite());
+    }
+
+    #[test]
+    fn cpu_time_is_monotone(ops in 1u64..1 << 36, passes in 1u64..64) {
+        let cpu = CpuModel::xeon_6148();
+        let mk = |o: u64, p: u64| cpu.time(&Counters {
+            lane_flops: o,
+            global_read_bytes: o / 2,
+            launches: p,
+            ..Default::default()
+        }).total_s;
+        prop_assert!(mk(ops * 2, passes) >= mk(ops, passes));
+        prop_assert!(mk(ops, passes + 1) >= mk(ops, passes));
+    }
+}

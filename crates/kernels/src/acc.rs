@@ -1,0 +1,628 @@
+//! Accumulator math shared by every executor (scalar reference, rayon
+//! "ompZC", metric-oriented "moZC", pattern-oriented "cuZC").
+//!
+//! Keeping the raw-moment bookkeeping in one place guarantees all four
+//! executors compute the *same* metric definitions — the cross-executor
+//! equality tests then validate traversal/kernel logic, not formula drift.
+
+/// Raw moments for every pattern-1 (global reduction) metric, fused exactly
+/// as cuZC's pattern-1 kernel fuses them: one absorb per element feeds all
+/// 14+ metrics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct P1Scalars {
+    /// Elements absorbed.
+    pub n: u64,
+    /// Min/max of the original data.
+    pub min_x: f64,
+    /// Max of the original data.
+    pub max_x: f64,
+    /// Min of the decompressed data.
+    pub min_y: f64,
+    /// Max of the decompressed data.
+    pub max_y: f64,
+    /// Σx (original).
+    pub sum_x: f64,
+    /// Σx².
+    pub sum_x2: f64,
+    /// Σy (decompressed).
+    pub sum_y: f64,
+    /// Σy².
+    pub sum_y2: f64,
+    /// Σxy (Pearson numerator).
+    pub sum_xy: f64,
+    /// Min signed error (x−y).
+    pub min_e: f64,
+    /// Max signed error.
+    pub max_e: f64,
+    /// Σe.
+    pub sum_e: f64,
+    /// Σ|e|.
+    pub sum_abs_e: f64,
+    /// Max |e|.
+    pub max_abs_e: f64,
+    /// Σe² (MSE numerator).
+    pub sum_e2: f64,
+    /// Min pointwise-relative ("pwr") error |e/x| over x ≠ 0.
+    pub min_rel: f64,
+    /// Max pwr error.
+    pub max_rel: f64,
+    /// Σ pwr error.
+    pub sum_rel: f64,
+    /// Elements with x ≠ 0 contributing to pwr stats.
+    pub n_rel: u64,
+}
+
+impl P1Scalars {
+    /// The reduction identity.
+    pub fn identity() -> Self {
+        P1Scalars {
+            n: 0,
+            min_x: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            min_y: f64::INFINITY,
+            max_y: f64::NEG_INFINITY,
+            sum_x: 0.0,
+            sum_x2: 0.0,
+            sum_y: 0.0,
+            sum_y2: 0.0,
+            sum_xy: 0.0,
+            min_e: f64::INFINITY,
+            max_e: f64::NEG_INFINITY,
+            sum_e: 0.0,
+            sum_abs_e: 0.0,
+            max_abs_e: 0.0,
+            sum_e2: 0.0,
+            min_rel: f64::INFINITY,
+            max_rel: f64::NEG_INFINITY,
+            sum_rel: 0.0,
+            n_rel: 0,
+        }
+    }
+
+    /// Absorb one `(original, decompressed)` pair.
+    #[inline]
+    pub fn absorb(&mut self, x: f64, y: f64) {
+        let e = x - y;
+        self.n += 1;
+        self.min_x = self.min_x.min(x);
+        self.max_x = self.max_x.max(x);
+        self.min_y = self.min_y.min(y);
+        self.max_y = self.max_y.max(y);
+        self.sum_x += x;
+        self.sum_x2 += x * x;
+        self.sum_y += y;
+        self.sum_y2 += y * y;
+        self.sum_xy += x * y;
+        self.min_e = self.min_e.min(e);
+        self.max_e = self.max_e.max(e);
+        self.sum_e += e;
+        self.sum_abs_e += e.abs();
+        self.max_abs_e = self.max_abs_e.max(e.abs());
+        self.sum_e2 += e * e;
+        if x != 0.0 {
+            let r = (e / x).abs();
+            self.min_rel = self.min_rel.min(r);
+            self.max_rel = self.max_rel.max(r);
+            self.sum_rel += r;
+            self.n_rel += 1;
+        }
+    }
+
+    /// Combine two partial reductions (associative and commutative up to
+    /// floating-point rounding).
+    pub fn combine(&mut self, o: &P1Scalars) {
+        self.n += o.n;
+        self.min_x = self.min_x.min(o.min_x);
+        self.max_x = self.max_x.max(o.max_x);
+        self.min_y = self.min_y.min(o.min_y);
+        self.max_y = self.max_y.max(o.max_y);
+        self.sum_x += o.sum_x;
+        self.sum_x2 += o.sum_x2;
+        self.sum_y += o.sum_y;
+        self.sum_y2 += o.sum_y2;
+        self.sum_xy += o.sum_xy;
+        self.min_e = self.min_e.min(o.min_e);
+        self.max_e = self.max_e.max(o.max_e);
+        self.sum_e += o.sum_e;
+        self.sum_abs_e += o.sum_abs_e;
+        self.max_abs_e = self.max_abs_e.max(o.max_abs_e);
+        self.sum_e2 += o.sum_e2;
+        self.min_rel = self.min_rel.min(o.min_rel);
+        self.max_rel = self.max_rel.max(o.max_rel);
+        self.sum_rel += o.sum_rel;
+        self.n_rel += o.n_rel;
+    }
+
+    /// Number of distinct f64 quantities a warp reduction must shuffle
+    /// (used by the kernels to charge shuffle counts faithfully).
+    pub const QUANTITIES: u64 = 19;
+
+    // ---- derived metrics ---------------------------------------------------
+
+    /// Value range of the original data.
+    pub fn value_range(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Mean of the original data.
+    pub fn mean_x(&self) -> f64 {
+        self.sum_x / self.n.max(1) as f64
+    }
+
+    /// Biased variance of the original data.
+    pub fn var_x(&self) -> f64 {
+        let m = self.mean_x();
+        (self.sum_x2 / self.n.max(1) as f64 - m * m).max(0.0)
+    }
+
+    /// Mean signed error.
+    pub fn mean_e(&self) -> f64 {
+        self.sum_e / self.n.max(1) as f64
+    }
+
+    /// Biased variance of the error field (autocorrelation's σ²).
+    pub fn var_e(&self) -> f64 {
+        let m = self.mean_e();
+        (self.sum_e2 / self.n.max(1) as f64 - m * m).max(0.0)
+    }
+
+    /// Mean absolute error.
+    pub fn avg_abs_e(&self) -> f64 {
+        self.sum_abs_e / self.n.max(1) as f64
+    }
+
+    /// Mean squared error.
+    pub fn mse(&self) -> f64 {
+        self.sum_e2 / self.n.max(1) as f64
+    }
+
+    /// Root mean squared error.
+    pub fn rmse(&self) -> f64 {
+        self.mse().sqrt()
+    }
+
+    /// RMSE normalized by the original value range.
+    pub fn nrmse(&self) -> f64 {
+        let r = self.value_range();
+        if r > 0.0 {
+            self.rmse() / r
+        } else if self.rmse() == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Signal-to-noise ratio in dB (signal = variance of original data).
+    pub fn snr_db(&self) -> f64 {
+        let mse = self.mse();
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (self.var_x() / mse).log10()
+        }
+    }
+
+    /// Peak signal-to-noise ratio in dB (peak = value range, as Z-checker
+    /// defines it for scientific data).
+    pub fn psnr_db(&self) -> f64 {
+        let mse = self.mse();
+        let r = self.value_range();
+        if mse == 0.0 {
+            f64::INFINITY
+        } else if r == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            20.0 * r.log10() - 10.0 * mse.log10()
+        }
+    }
+
+    /// Mean pointwise-relative error (over x ≠ 0 elements).
+    pub fn avg_rel(&self) -> f64 {
+        if self.n_rel == 0 {
+            0.0
+        } else {
+            self.sum_rel / self.n_rel as f64
+        }
+    }
+
+    /// Pearson correlation coefficient between original and decompressed.
+    pub fn pearson(&self) -> f64 {
+        let n = self.n.max(1) as f64;
+        let cov = self.sum_xy / n - (self.sum_x / n) * (self.sum_y / n);
+        let vx = (self.sum_x2 / n - (self.sum_x / n).powi(2)).max(0.0);
+        let vy = (self.sum_y2 / n - (self.sum_y / n).powi(2)).max(0.0);
+        let denom = (vx * vy).sqrt();
+        if denom == 0.0 {
+            if self.sum_e2 == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (cov / denom).clamp(-1.0, 1.0)
+        }
+    }
+}
+
+/// Per-window raw moments for SSIM (pattern 3). The paper's Fig. 5 local
+/// reductions produce exactly these for both fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WindowMoments {
+    /// Σx over the window (original field).
+    pub sum_x: f64,
+    /// Σx².
+    pub sum_x2: f64,
+    /// Σy (decompressed field).
+    pub sum_y: f64,
+    /// Σy².
+    pub sum_y2: f64,
+    /// Σxy.
+    pub sum_xy: f64,
+    /// Window element count.
+    pub n: u64,
+}
+
+impl WindowMoments {
+    /// Absorb one co-located pair.
+    #[inline]
+    pub fn absorb(&mut self, x: f64, y: f64) {
+        self.sum_x += x;
+        self.sum_x2 += x * x;
+        self.sum_y += y;
+        self.sum_y2 += y * y;
+        self.sum_xy += x * y;
+        self.n += 1;
+    }
+
+    /// Combine two disjoint-window partial sums.
+    #[inline]
+    pub fn combine(&mut self, o: &WindowMoments) {
+        self.sum_x += o.sum_x;
+        self.sum_x2 += o.sum_x2;
+        self.sum_y += o.sum_y;
+        self.sum_y2 += o.sum_y2;
+        self.sum_xy += o.sum_xy;
+        self.n += o.n;
+    }
+
+    /// f64 quantities a warp shuffle reduction moves per step.
+    pub const QUANTITIES: u64 = 5;
+
+    /// The local SSIM of this window (Wang et al. 2004), given the dynamic
+    /// range `l` of the data and the standard constants `k1`, `k2`.
+    pub fn ssim(&self, l: f64, k1: f64, k2: f64) -> f64 {
+        let n = self.n.max(1) as f64;
+        let mx = self.sum_x / n;
+        let my = self.sum_y / n;
+        let vx = (self.sum_x2 / n - mx * mx).max(0.0);
+        let vy = (self.sum_y2 / n - my * my).max(0.0);
+        let cov = self.sum_xy / n - mx * my;
+        let c1 = (k1 * l).powi(2);
+        let c2 = (k2 * l).powi(2);
+        let num = (2.0 * mx * my + c1) * (2.0 * cov + c2);
+        let den = (mx * mx + my * my + c1) * (vx + vy + c2);
+        if den == 0.0 {
+            1.0
+        } else {
+            num / den
+        }
+    }
+}
+
+/// First-order derivative components at an interior point via central
+/// differences (the paper's Eq. 1 family).
+#[inline]
+pub fn deriv1(get: impl FnMut(isize, isize, isize) -> f64) -> [f64; 3] {
+    deriv1_nd(get, 3)
+}
+
+/// Dimension-aware first derivative: axes beyond `ndim` contribute zero and
+/// are never sampled (1D/2D fields have no z neighbours to read).
+#[inline]
+pub fn deriv1_nd(mut get: impl FnMut(isize, isize, isize) -> f64, ndim: usize) -> [f64; 3] {
+    [
+        (get(1, 0, 0) - get(-1, 0, 0)) / 2.0,
+        if ndim >= 2 { (get(0, 1, 0) - get(0, -1, 0)) / 2.0 } else { 0.0 },
+        if ndim >= 3 { (get(0, 0, 1) - get(0, 0, -1)) / 2.0 } else { 0.0 },
+    ]
+}
+
+/// Second-order derivative components (1D Laplacian stencils per axis).
+#[inline]
+pub fn deriv2(get: impl FnMut(isize, isize, isize) -> f64) -> [f64; 3] {
+    deriv2_nd(get, 3)
+}
+
+/// Dimension-aware second derivative (see [`deriv1_nd`]).
+#[inline]
+pub fn deriv2_nd(mut get: impl FnMut(isize, isize, isize) -> f64, ndim: usize) -> [f64; 3] {
+    let c = get(0, 0, 0);
+    [
+        get(1, 0, 0) - 2.0 * c + get(-1, 0, 0),
+        if ndim >= 2 { get(0, 1, 0) - 2.0 * c + get(0, -1, 0) } else { 0.0 },
+        if ndim >= 3 { get(0, 0, 1) - 2.0 * c + get(0, 0, -1) } else { 0.0 },
+    ]
+}
+
+/// Euclidean magnitude of a 3-component derivative.
+#[inline]
+pub fn grad_mag(d: [f64; 3]) -> f64 {
+    (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+}
+
+/// Stencil-metric accumulators for one field pair (pattern 2), covering
+/// derivatives, divergence, Laplacian, derivative distortion, and the
+/// per-lag autocorrelation numerators.
+#[derive(Clone, Debug, PartialEq)]
+pub struct P2Stats {
+    /// Interior points visited by the derivative stencil.
+    pub n_interior: u64,
+    /// Σ|∇x| (original gradient magnitude).
+    pub sum_grad_x: f64,
+    /// max|∇x|.
+    pub max_grad_x: f64,
+    /// Σ|∇y| (decompressed).
+    pub sum_grad_y: f64,
+    /// max|∇y|.
+    pub max_grad_y: f64,
+    /// Σ(|∇x|−|∇y|)² — derivative-magnitude distortion (MSE).
+    pub sum_grad_err2: f64,
+    /// Σ divergence (Σ of first-derivative components) of original.
+    pub sum_div_x: f64,
+    /// Σ divergence of decompressed.
+    pub sum_div_y: f64,
+    /// Σ|Laplacian| of original.
+    pub sum_lap_x: f64,
+    /// Σ|Laplacian| of decompressed.
+    pub sum_lap_y: f64,
+    /// Per-lag autocorrelation numerators: Σ (1/3)(e−μ)(Σ_axes e₊τ−μ).
+    pub ac_num: Vec<f64>,
+    /// Per-lag element counts `ne`.
+    pub ac_n: Vec<u64>,
+}
+
+impl P2Stats {
+    /// Identity for `max_lag` autocorrelation lags (1..=max_lag).
+    pub fn identity(max_lag: usize) -> Self {
+        P2Stats {
+            n_interior: 0,
+            sum_grad_x: 0.0,
+            max_grad_x: 0.0,
+            sum_grad_y: 0.0,
+            max_grad_y: 0.0,
+            sum_grad_err2: 0.0,
+            sum_div_x: 0.0,
+            sum_div_y: 0.0,
+            sum_lap_x: 0.0,
+            sum_lap_y: 0.0,
+            ac_num: vec![0.0; max_lag],
+            ac_n: vec![0; max_lag],
+        }
+    }
+
+    /// Number of lags tracked.
+    pub fn max_lag(&self) -> usize {
+        self.ac_num.len()
+    }
+
+    /// Absorb one interior point's derivative information.
+    #[inline]
+    pub fn absorb_deriv(&mut self, d1x: [f64; 3], d1y: [f64; 3], d2x: [f64; 3], d2y: [f64; 3]) {
+        let gx = grad_mag(d1x);
+        let gy = grad_mag(d1y);
+        self.n_interior += 1;
+        self.sum_grad_x += gx;
+        self.max_grad_x = self.max_grad_x.max(gx);
+        self.sum_grad_y += gy;
+        self.max_grad_y = self.max_grad_y.max(gy);
+        self.sum_grad_err2 += (gx - gy) * (gx - gy);
+        self.sum_div_x += d1x[0] + d1x[1] + d1x[2];
+        self.sum_div_y += d1y[0] + d1y[1] + d1y[2];
+        self.sum_lap_x += (d2x[0] + d2x[1] + d2x[2]).abs();
+        self.sum_lap_y += (d2y[0] + d2y[1] + d2y[2]).abs();
+    }
+
+    /// Absorb one point's lag-`lag` autocorrelation term. `e` is the
+    /// centred error at the point; `e_nb` the three `+lag` neighbour errors
+    /// (centred) along x, y, z.
+    #[inline]
+    pub fn absorb_ac(&mut self, lag: usize, e: f64, e_nb: [f64; 3]) {
+        self.absorb_ac_nd(lag, e, &e_nb);
+    }
+
+    /// Dimension-aware variant of [`P2Stats::absorb_ac`]: Eq. 2 averages the
+    /// neighbour products over however many axes the field declares
+    /// (1 for 1D, 2 for 2D, 3 for 3D).
+    #[inline]
+    pub fn absorb_ac_nd(&mut self, lag: usize, e: f64, e_nb: &[f64]) {
+        debug_assert!(!e_nb.is_empty());
+        let sum: f64 = e_nb.iter().sum();
+        self.ac_num[lag - 1] += e * sum / e_nb.len() as f64;
+        self.ac_n[lag - 1] += 1;
+    }
+
+    /// Combine partials.
+    pub fn combine(&mut self, o: &P2Stats) {
+        assert_eq!(self.max_lag(), o.max_lag());
+        self.n_interior += o.n_interior;
+        self.sum_grad_x += o.sum_grad_x;
+        self.max_grad_x = self.max_grad_x.max(o.max_grad_x);
+        self.sum_grad_y += o.sum_grad_y;
+        self.max_grad_y = self.max_grad_y.max(o.max_grad_y);
+        self.sum_grad_err2 += o.sum_grad_err2;
+        self.sum_div_x += o.sum_div_x;
+        self.sum_div_y += o.sum_div_y;
+        self.sum_lap_x += o.sum_lap_x;
+        self.sum_lap_y += o.sum_lap_y;
+        for i in 0..self.ac_num.len() {
+            self.ac_num[i] += o.ac_num[i];
+            self.ac_n[i] += o.ac_n[i];
+        }
+    }
+
+    /// Autocorrelation at `lag` (Eq. 2), given the error field's variance.
+    pub fn autocorr(&self, lag: usize, var_e: f64) -> f64 {
+        let i = lag - 1;
+        if self.ac_n[i] == 0 || var_e == 0.0 {
+            0.0
+        } else {
+            self.ac_num[i] / self.ac_n[i] as f64 / var_e
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p1_absorb_matches_hand_computation() {
+        let mut a = P1Scalars::identity();
+        a.absorb(1.0, 0.5);
+        a.absorb(-2.0, -2.25);
+        assert_eq!(a.n, 2);
+        assert_eq!(a.min_x, -2.0);
+        assert_eq!(a.max_x, 1.0);
+        assert_eq!(a.min_e, 0.25);
+        assert_eq!(a.max_e, 0.5);
+        assert!((a.mse() - (0.25 + 0.0625) / 2.0).abs() < 1e-15);
+        assert!((a.avg_abs_e() - 0.375).abs() < 1e-15);
+        // rel errors: 0.5/1 = 0.5; 0.25/2 = 0.125.
+        assert_eq!(a.n_rel, 2);
+        assert!((a.max_rel - 0.5).abs() < 1e-15);
+        assert!((a.min_rel - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn p1_combine_equals_sequential_absorb() {
+        let pairs: Vec<(f64, f64)> =
+            (0..100).map(|i| (i as f64 * 0.7 - 30.0, i as f64 * 0.69 - 30.0)).collect();
+        let mut whole = P1Scalars::identity();
+        for &(x, y) in &pairs {
+            whole.absorb(x, y);
+        }
+        let mut left = P1Scalars::identity();
+        let mut right = P1Scalars::identity();
+        for &(x, y) in &pairs[..40] {
+            left.absorb(x, y);
+        }
+        for &(x, y) in &pairs[40..] {
+            right.absorb(x, y);
+        }
+        left.combine(&right);
+        assert_eq!(left.n, whole.n);
+        assert!((left.sum_e2 - whole.sum_e2).abs() < 1e-9 * whole.sum_e2.abs().max(1.0));
+        assert_eq!(left.min_e, whole.min_e);
+        assert_eq!(left.max_abs_e, whole.max_abs_e);
+    }
+
+    #[test]
+    fn psnr_of_identical_data_is_infinite() {
+        let mut a = P1Scalars::identity();
+        for i in 0..10 {
+            a.absorb(i as f64, i as f64);
+        }
+        assert_eq!(a.psnr_db(), f64::INFINITY);
+        assert_eq!(a.pearson(), 1.0);
+        assert_eq!(a.nrmse(), 0.0);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // Range 10, constant error 0.1 → PSNR = 20 log10(10/0.1) = 40 dB.
+        let mut a = P1Scalars::identity();
+        for i in 0..=10 {
+            a.absorb(i as f64, i as f64 - 0.1);
+        }
+        assert!((a.psnr_db() - 40.0).abs() < 1e-9, "{}", a.psnr_db());
+        assert!((a.rmse() - 0.1).abs() < 1e-12);
+        assert!((a.nrmse() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_detects_anticorrelation() {
+        let mut a = P1Scalars::identity();
+        for i in 0..50 {
+            a.absorb(i as f64, -(i as f64));
+        }
+        assert!((a.pearson() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_of_identical_windows_is_one() {
+        let mut w = WindowMoments::default();
+        for i in 0..64 {
+            let v = (i as f64 * 0.37).sin();
+            w.absorb(v, v);
+        }
+        assert!((w.ssim(2.0, 0.01, 0.03) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_degrades_with_noise_and_stays_in_range() {
+        let mut clean = WindowMoments::default();
+        let mut noisy = WindowMoments::default();
+        for i in 0..512 {
+            let v = (i as f64 * 0.21).sin();
+            clean.absorb(v, v);
+            noisy.absorb(v, v + if i % 2 == 0 { 0.4 } else { -0.4 });
+        }
+        let s_clean = clean.ssim(2.0, 0.01, 0.03);
+        let s_noisy = noisy.ssim(2.0, 0.01, 0.03);
+        assert!(s_noisy < s_clean);
+        assert!((-1.0..=1.0).contains(&s_noisy));
+    }
+
+    #[test]
+    fn derivatives_of_linear_field_are_exact() {
+        // f = 3x + 5y - 2z → ∇ = (3, 5, -2), Laplacian components 0.
+        let f = |dx: isize, dy: isize, dz: isize| 3.0 * dx as f64 + 5.0 * dy as f64 - 2.0 * dz as f64;
+        let d1 = deriv1(f);
+        assert_eq!(d1, [3.0, 5.0, -2.0]);
+        let d2 = deriv2(f);
+        assert_eq!(d2, [0.0, 0.0, 0.0]);
+        assert!((grad_mag(d1) - (9.0f64 + 25.0 + 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_derivative_of_quadratic() {
+        // f = x² → d²/dx² = 2 via the stencil (exactly).
+        let f = |dx: isize, _: isize, _: isize| (dx as f64) * (dx as f64);
+        assert_eq!(deriv2(f)[0], 2.0);
+    }
+
+    #[test]
+    fn autocorr_of_constant_error_is_handled() {
+        let mut p = P2Stats::identity(3);
+        for _ in 0..10 {
+            p.absorb_ac(1, 0.0, [0.0; 3]);
+        }
+        assert_eq!(p.autocorr(1, 0.0), 0.0); // zero variance guard
+    }
+
+    #[test]
+    fn autocorr_of_perfectly_correlated_errors() {
+        // e ≡ μ + c at every point: centred values all equal c; numerator
+        // per point = c², variance = c² → AC = 1.
+        let mut p = P2Stats::identity(1);
+        let c = 0.7;
+        for _ in 0..100 {
+            p.absorb_ac(1, c, [c; 3]);
+        }
+        assert!((p.autocorr(1, c * c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_combine_matches_sequential() {
+        let mut a = P2Stats::identity(2);
+        let mut b = P2Stats::identity(2);
+        a.absorb_deriv([1.0, 0.0, 0.0], [0.9, 0.0, 0.0], [0.1; 3], [0.1; 3]);
+        b.absorb_deriv([0.0, 2.0, 0.0], [0.0, 2.2, 0.0], [0.2; 3], [0.2; 3]);
+        b.absorb_ac(2, 0.5, [0.1, 0.2, 0.3]);
+        a.combine(&b);
+        assert_eq!(a.n_interior, 2);
+        assert_eq!(a.max_grad_x, 2.0);
+        assert_eq!(a.ac_n, vec![0, 1]);
+    }
+}

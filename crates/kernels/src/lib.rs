@@ -1,0 +1,73 @@
+//! # zc-kernels
+//!
+//! The cuZ-Checker GPU kernels, implemented against the [`zc_gpusim`]
+//! simulator:
+//!
+//! * [`P1FusedKernel`] / [`P1HistKernel`] — pattern 1, the fused global
+//!   reduction of Algorithm 1 (all 14+ scalar metrics from one read, plus
+//!   the fused three-histogram pass);
+//! * [`P2FusedKernel`] — pattern 2, the shared-memory stencil cubes of
+//!   Algorithm 2 (derivatives + divergence + Laplacian + autocorrelation
+//!   from one cube load per stride);
+//! * [`SsimFusedKernel`] — pattern 3, the sliding-window SSIM of
+//!   Algorithm 3 with the shared-memory **FIFO buffer** (every z-slice read
+//!   from global memory exactly once);
+//! * [`mo`] — the *metric-oriented* (moZC) counterparts the paper builds
+//!   as its GPU baseline: one kernel per metric, CUB-style two-launch
+//!   reductions, per-axis derivative passes, and the no-FIFO SSIM ablation.
+//!
+//! The shared accumulator math lives in [`acc`] so every executor agrees on
+//! metric definitions.
+
+#![warn(missing_docs)]
+
+pub mod acc;
+pub mod hist;
+pub mod mo;
+pub mod p1;
+pub mod p2;
+pub mod p3;
+
+pub use acc::{P1Scalars, P2Stats, WindowMoments};
+pub use hist::Histogram;
+pub use p1::{P1FusedKernel, P1HistKernel, P1Histograms};
+pub use p2::P2FusedKernel;
+pub use p3::{SsimFusedKernel, SsimParams};
+
+use zc_tensor::{Shape, Tensor};
+
+/// A borrowed `(original, decompressed)` field pair — the input of every
+/// assessment kernel.
+#[derive(Clone, Copy)]
+pub struct FieldPair<'a> {
+    /// The original field's backing storage.
+    pub orig: &'a [f32],
+    /// The decompressed field's backing storage.
+    pub dec: &'a [f32],
+    /// Common shape.
+    pub shape: Shape,
+}
+
+impl<'a> FieldPair<'a> {
+    /// Pair two congruent tensors (panics on shape mismatch — callers
+    /// validate shapes at the API boundary).
+    pub fn new(orig: &'a Tensor<f32>, dec: &'a Tensor<f32>) -> Self {
+        assert_eq!(orig.shape(), dec.shape(), "field pair must be congruent");
+        FieldPair { orig: orig.as_slice(), dec: dec.as_slice(), shape: orig.shape() }
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Always false (shapes are non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Payload bytes of one field.
+    pub fn field_bytes(&self) -> u64 {
+        self.shape.len() as u64 * 4
+    }
+}

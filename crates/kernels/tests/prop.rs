@@ -1,0 +1,148 @@
+//! Property-based tests: the GPU kernels agree with scalar reference math
+//! on arbitrary inputs, and the accumulators behave like proper monoids.
+
+use proptest::prelude::*;
+use zc_gpusim::GpuSim;
+use zc_kernels::p3::{SsimFusedKernel, SsimParams};
+use zc_kernels::{FieldPair, P1FusedKernel, P1Scalars, WindowMoments};
+use zc_tensor::{Shape, Tensor, WindowSpec, Windows};
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    ((4usize..40), (3usize..24), (2usize..16)).prop_map(|(x, y, z)| Shape::d3(x, y, z))
+}
+
+fn field_pairs() -> impl Strategy<Value = (Tensor<f32>, Tensor<f32>)> {
+    (shapes(), any::<u32>(), 0.0f32..0.3).prop_map(|(shape, seed, noise)| {
+        let s = seed as f32 * 1e-5;
+        let orig = Tensor::from_fn(shape, |[x, y, z, _]| {
+            ((x as f32 + s) * 0.37).sin() * 10.0 + (y as f32 * 0.21).cos() - z as f32 * 0.4
+        });
+        let dec = orig.map(|v| v + noise * (v * 31.7).sin());
+        (orig, dec)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn p1_kernel_equals_scalar_reference((orig, dec) in field_pairs()) {
+        let sim = GpuSim::v100();
+        let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+        let got = sim.launch(&k, k.grid()).output;
+        let mut want = P1Scalars::identity();
+        for (&x, &y) in orig.iter().zip(dec.iter()) {
+            want.absorb(x as f64, y as f64);
+        }
+        prop_assert_eq!(got.n, want.n);
+        prop_assert_eq!(got.min_x, want.min_x);
+        prop_assert_eq!(got.max_abs_e, want.max_abs_e);
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-30);
+        prop_assert!(close(got.sum_e2, want.sum_e2));
+        prop_assert!(close(got.sum_xy, want.sum_xy));
+        prop_assert!(close(got.pearson(), want.pearson()));
+    }
+
+    #[test]
+    fn p1_combine_is_associative_within_tolerance(
+        vals in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..200),
+        split in 1usize..100
+    ) {
+        let split = split.min(vals.len() - 1);
+        let mut whole = P1Scalars::identity();
+        for &(x, y) in &vals {
+            whole.absorb(x, y);
+        }
+        let mut a = P1Scalars::identity();
+        let mut b = P1Scalars::identity();
+        for &(x, y) in &vals[..split] {
+            a.absorb(x, y);
+        }
+        for &(x, y) in &vals[split..] {
+            b.absorb(x, y);
+        }
+        a.combine(&b);
+        prop_assert_eq!(a.n, whole.n);
+        prop_assert_eq!(a.min_e, whole.min_e);
+        prop_assert!((a.sum_e2 - whole.sum_e2).abs() <= 1e-9 * whole.sum_e2.abs().max(1e-20));
+    }
+
+    #[test]
+    fn ssim_kernel_equals_window_reference(
+        (orig, dec) in field_pairs(),
+        wsize in 2usize..9,
+        step in 1usize..4,
+    ) {
+        let range = {
+            let (mn, mx) = orig.min_max().unwrap();
+            (mx - mn) as f64
+        };
+        let p = SsimParams { wsize, step, k1: 0.01, k2: 0.03, range };
+        let sim = GpuSim::v100();
+        let k = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: true };
+        let got = sim.launch(&k, k.grid()).output;
+        // Brute-force reference.
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for [ox, oy, oz] in Windows::over(orig.shape(), WindowSpec::new(wsize, step)) {
+            let mut m = WindowMoments::default();
+            for dz in 0..wsize {
+                for dy in 0..wsize {
+                    for dx in 0..wsize {
+                        m.absorb(
+                            orig.at3(ox + dx, oy + dy, oz + dz) as f64,
+                            dec.at3(ox + dx, oy + dy, oz + dz) as f64,
+                        );
+                    }
+                }
+            }
+            sum += m.ssim(range, 0.01, 0.03);
+            count += 1;
+        }
+        prop_assert_eq!(got.windows, count, "window count for w={} s={}", wsize, step);
+        if count > 0 {
+            prop_assert!((got.mean() - sum / count as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ssim_is_bounded_and_one_for_identical((orig, _) in field_pairs()) {
+        let range = {
+            let (mn, mx) = orig.min_max().unwrap();
+            ((mx - mn) as f64).max(1e-9)
+        };
+        let p = SsimParams::paper_defaults(range);
+        let sim = GpuSim::v100();
+        let k = SsimFusedKernel { fields: FieldPair::new(&orig, &orig), params: p, fifo_in_shared: true };
+        let got = sim.launch(&k, k.grid()).output;
+        prop_assert!((got.mean() - 1.0).abs() < 1e-12);
+        if got.windows > 0 {
+            prop_assert!(got.sum <= got.windows as f64 * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn window_moments_combine_matches_sequential(
+        vals in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..100),
+        split in 1usize..50
+    ) {
+        let split = split.min(vals.len() - 1);
+        let mut whole = WindowMoments::default();
+        for &(x, y) in &vals {
+            whole.absorb(x, y);
+        }
+        let mut a = WindowMoments::default();
+        let mut b = WindowMoments::default();
+        for &(x, y) in &vals[..split] {
+            a.absorb(x, y);
+        }
+        for &(x, y) in &vals[split..] {
+            b.absorb(x, y);
+        }
+        a.combine(&b);
+        prop_assert_eq!(a.n, whole.n);
+        prop_assert!((a.sum_xy - whole.sum_xy).abs() < 1e-9 * whole.sum_xy.abs().max(1e-20));
+        // And the SSIM from combined moments matches.
+        prop_assert!((a.ssim(20.0, 0.01, 0.03) - whole.ssim(20.0, 0.01, 0.03)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! The scalar element trait implemented by `f32` and `f64`.
+
+/// Floating-point element types a tensor (and every assessment metric) can
+/// hold. Z-checker supports single and double precision; so do we.
+///
+/// The trait is deliberately small: just the conversions and primitive math
+/// the metric kernels need, so that all statistics can be accumulated in
+/// `f64` regardless of the storage precision (as Z-checker does).
+pub trait Element:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + std::fmt::Debug
+    + std::fmt::Display
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of one element in bytes (4 or 8).
+    const BYTES: usize;
+    /// Short type tag used in reports and file headers ("f32" / "f64").
+    const TAG: &'static str;
+
+    /// Widen to `f64` (lossless for both supported types).
+    fn to_f64(self) -> f64;
+    /// Narrow from `f64` (rounds for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// True if the value is NaN or infinite.
+    fn is_non_finite(self) -> bool;
+    /// Raw little-endian bytes of the value.
+    fn to_le_bytes_vec(self) -> Vec<u8>;
+    /// Parse from little-endian bytes (must be exactly `BYTES` long).
+    fn from_le_slice(bytes: &[u8]) -> Self;
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+    const TAG: &'static str = "f32";
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn is_non_finite(self) -> bool {
+        !self.is_finite()
+    }
+    fn to_le_bytes_vec(self) -> Vec<u8> {
+        self.to_le_bytes().to_vec()
+    }
+    fn from_le_slice(bytes: &[u8]) -> Self {
+        f32::from_le_bytes(bytes.try_into().expect("need 4 bytes for f32"))
+    }
+}
+
+impl Element for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+    const TAG: &'static str = "f64";
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn is_non_finite(self) -> bool {
+        !self.is_finite()
+    }
+    fn to_le_bytes_vec(self) -> Vec<u8> {
+        self.to_le_bytes().to_vec()
+    }
+    fn from_le_slice(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes.try_into().expect("need 8 bytes for f64"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrips_through_bytes() {
+        let v = -123.456f32;
+        assert_eq!(f32::from_le_slice(&v.to_le_bytes_vec()), v);
+    }
+
+    #[test]
+    fn f64_roundtrips_through_bytes() {
+        let v = 1.0e-300f64;
+        assert_eq!(f64::from_le_slice(&v.to_le_bytes_vec()), v);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(f32::NAN.is_non_finite());
+        assert!(f64::INFINITY.is_non_finite());
+        assert!(!0.0f32.is_non_finite());
+    }
+
+    #[test]
+    fn tags_and_sizes() {
+        assert_eq!(f32::TAG, "f32");
+        assert_eq!(f64::BYTES, 8);
+    }
+}

@@ -1,0 +1,201 @@
+//! Borrowed sub-region views: z-slabs and cubes.
+//!
+//! These mirror the two data decompositions the paper's GPU kernels use:
+//! pattern 1 assigns one contiguous z-slab per thread block (Fig. 6), and
+//! pattern 2 loads overlapping 3D cubes into shared memory (Fig. 7).
+
+use crate::{Element, Shape, ShapeError, Tensor};
+
+/// A borrowed `(x, y)` plane of a 3D/4D tensor — one contiguous slab.
+#[derive(Clone, Copy, Debug)]
+pub struct SlabView<'a, T> {
+    data: &'a [T],
+    nx: usize,
+    ny: usize,
+}
+
+impl<'a, T: Element> SlabView<'a, T> {
+    /// The slab at depth `z` (and hyper-index `w`) of `t`.
+    pub fn of(t: &'a Tensor<T>, z: usize, w: usize) -> Result<Self, ShapeError> {
+        let s = t.shape();
+        if z >= s.nz() || w >= s.nw() {
+            return Err(ShapeError::OutOfBounds);
+        }
+        let start = s.linear([0, 0, z, w]);
+        let len = s.slab_len();
+        Ok(SlabView { data: &t.as_slice()[start..start + len], nx: s.nx(), ny: s.ny() })
+    }
+
+    /// Slab extent along x.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Slab extent along y.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Element at `(x, y)` within the slab.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> T {
+        debug_assert!(x < self.nx && y < self.ny);
+        self.data[x + y * self.nx]
+    }
+
+    /// The slab's contiguous backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [T] {
+        self.data
+    }
+}
+
+/// A borrowed axis-aligned box `[x0, x0+sx) × [y0, y0+sy) × [z0, z0+sz)` of a
+/// tensor (w fixed). Non-contiguous in general.
+#[derive(Clone, Copy)]
+pub struct CubeView<'a, T> {
+    t: &'a Tensor<T>,
+    origin: [usize; 3],
+    size: [usize; 3],
+    w: usize,
+}
+
+impl<'a, T: Element> CubeView<'a, T> {
+    /// The cube of extent `size` anchored at `origin` within `t` (hyper-index
+    /// `w`). Fails if the box pokes outside the tensor.
+    pub fn of(
+        t: &'a Tensor<T>,
+        origin: [usize; 3],
+        size: [usize; 3],
+        w: usize,
+    ) -> Result<Self, ShapeError> {
+        let s = t.shape();
+        if size.contains(&0) {
+            return Err(ShapeError::ZeroExtent);
+        }
+        let fits = origin[0] + size[0] <= s.nx()
+            && origin[1] + size[1] <= s.ny()
+            && origin[2] + size[2] <= s.nz()
+            && w < s.nw();
+        if !fits {
+            return Err(ShapeError::OutOfBounds);
+        }
+        Ok(CubeView { t, origin, size, w })
+    }
+
+    /// Cube extents `[sx, sy, sz]`.
+    #[inline]
+    pub fn size(&self) -> [usize; 3] {
+        self.size
+    }
+
+    /// Cube anchor in the parent tensor.
+    #[inline]
+    pub fn origin(&self) -> [usize; 3] {
+        self.origin
+    }
+
+    /// Number of elements in the cube.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.size.iter().product()
+    }
+
+    /// Always `false`; zero-sized cubes are rejected at construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Element at cube-local coordinates.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize, z: usize) -> T {
+        debug_assert!(x < self.size[0] && y < self.size[1] && z < self.size[2]);
+        self.t.at([self.origin[0] + x, self.origin[1] + y, self.origin[2] + z, self.w])
+    }
+
+    /// Copy the cube into a contiguous buffer (simulating the global→shared
+    /// memory staging of the paper's pattern-2 kernel).
+    pub fn to_contiguous(&self) -> Vec<T> {
+        let [sx, sy, sz] = self.size;
+        let mut out = Vec::with_capacity(self.len());
+        for z in 0..sz {
+            for y in 0..sy {
+                for x in 0..sx {
+                    out.push(self.at(x, y, z));
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate over `(local_coord, value)` pairs in memory order.
+    pub fn iter(&self) -> impl Iterator<Item = ([usize; 3], T)> + '_ {
+        let [sx, sy, sz] = self.size;
+        let me = *self;
+        (0..sz).flat_map(move |z| {
+            (0..sy).flat_map(move |y| (0..sx).map(move |x| ([x, y, z], me.at(x, y, z))))
+        })
+    }
+
+    /// Shape of the cube as a standalone [`Shape`].
+    pub fn shape(&self) -> Shape {
+        Shape::d3(self.size[0], self.size[1], self.size[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    fn ramp() -> Tensor<f32> {
+        Tensor::from_fn(Shape::d3(5, 4, 3), |[x, y, z, _]| (x + 10 * y + 100 * z) as f32)
+    }
+
+    #[test]
+    fn slab_view_is_the_right_plane() {
+        let t = ramp();
+        let s = SlabView::of(&t, 2, 0).unwrap();
+        assert_eq!(s.at(0, 0), 200.0);
+        assert_eq!(s.at(4, 3), 234.0);
+        assert_eq!(s.as_slice().len(), 20);
+    }
+
+    #[test]
+    fn slab_out_of_bounds() {
+        let t = ramp();
+        assert!(SlabView::of(&t, 3, 0).is_err());
+        assert!(SlabView::of(&t, 0, 1).is_err());
+    }
+
+    #[test]
+    fn cube_view_reads_correct_region() {
+        let t = ramp();
+        let c = CubeView::of(&t, [1, 1, 1], [2, 2, 2], 0).unwrap();
+        assert_eq!(c.at(0, 0, 0), 111.0);
+        assert_eq!(c.at(1, 1, 1), 222.0);
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn cube_bounds_enforced() {
+        let t = ramp();
+        assert!(CubeView::of(&t, [4, 0, 0], [2, 1, 1], 0).is_err());
+        assert!(CubeView::of(&t, [0, 0, 0], [0, 1, 1], 0).is_err());
+        assert!(CubeView::of(&t, [0, 0, 0], [5, 4, 3], 0).is_ok());
+    }
+
+    #[test]
+    fn to_contiguous_matches_iter_order() {
+        let t = ramp();
+        let c = CubeView::of(&t, [2, 1, 0], [3, 2, 2], 0).unwrap();
+        let flat = c.to_contiguous();
+        let via_iter: Vec<f32> = c.iter().map(|(_, v)| v).collect();
+        assert_eq!(flat, via_iter);
+        assert_eq!(flat.len(), 12);
+        assert_eq!(flat[0], 12.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Sliding-window and cube-block iteration.
+//!
+//! [`Windows`] enumerates the overlapping SSIM scan positions of pattern 3
+//! (Fig. 5 of the paper): a `wsize`-sided window stepped by `step` along
+//! every declared axis. [`CubeBlocks`] enumerates the overlapping
+//! shared-memory cubes of pattern 2 (Fig. 7): blocks of side `ssize` whose
+//! interiors tile the stencil-valid region, adjacent blocks overlapping by
+//! `stride` (the halo).
+
+use crate::{CubeView, Element, Shape, ShapeError, Tensor};
+
+/// Parameters of a sliding-window scan (SSIM).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window side length along each scanned axis (paper default: 8).
+    pub size: usize,
+    /// Sliding step length (paper default: 1).
+    pub step: usize,
+}
+
+impl WindowSpec {
+    /// A window spec; panics on zero size or step.
+    pub fn new(size: usize, step: usize) -> Self {
+        assert!(size > 0 && step > 0, "window size and step must be positive");
+        WindowSpec { size, step }
+    }
+
+    /// Number of scan positions along an axis of extent `n`
+    /// (`0` when the window does not fit).
+    #[inline]
+    pub fn positions(&self, n: usize) -> usize {
+        if n < self.size {
+            0
+        } else {
+            (n - self.size) / self.step + 1
+        }
+    }
+}
+
+impl Default for WindowSpec {
+    /// The paper's evaluation settings: window side 8, step 1.
+    fn default() -> Self {
+        WindowSpec { size: 8, step: 1 }
+    }
+}
+
+/// Iterator over all sliding-window origins of a shape.
+///
+/// Windows scan every *declared* axis; for a 3D tensor the window is a cube,
+/// for 2D a square, for 1D an interval. Yields the origin `[x, y, z]`
+/// (w fixed at 0 — 4D fields are scanned per 3D sub-volume by callers).
+#[derive(Clone, Debug)]
+pub struct Windows {
+    spec: WindowSpec,
+    counts: [usize; 3],
+    next: Option<[usize; 3]>,
+}
+
+impl Windows {
+    /// Windows of `spec` over `shape`. Axes beyond `shape.ndim()` are not
+    /// scanned (their count is 1 at origin 0).
+    pub fn over(shape: Shape, spec: WindowSpec) -> Self {
+        let scan = |axis: usize, n: usize| -> usize {
+            if axis < shape.ndim() {
+                spec.positions(n)
+            } else {
+                1
+            }
+        };
+        let counts = [scan(0, shape.nx()), scan(1, shape.ny()), scan(2, shape.nz())];
+        let next = if counts.contains(&0) { None } else { Some([0, 0, 0]) };
+        Windows { spec, counts, next }
+    }
+
+    /// Total number of scan positions.
+    pub fn count_total(&self) -> usize {
+        self.counts.iter().product()
+    }
+}
+
+impl Iterator for Windows {
+    type Item = [usize; 3];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let pos = self.next?;
+        let item = [pos[0] * self.spec.step, pos[1] * self.spec.step, pos[2] * self.spec.step];
+        // Advance odometer x → y → z.
+        let mut p = pos;
+        p[0] += 1;
+        if p[0] == self.counts[0] {
+            p[0] = 0;
+            p[1] += 1;
+            if p[1] == self.counts[1] {
+                p[1] = 0;
+                p[2] += 1;
+            }
+        }
+        self.next = if p[2] == self.counts[2] { None } else { Some(p) };
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Conservative: exact count requires odometer math; upper bound is fine.
+        (0, Some(self.count_total()))
+    }
+}
+
+/// Iterator over the overlapping pattern-2 cube blocks of a 3D tensor.
+///
+/// Each yielded [`CubeView`] has side ≤ `ssize`; consecutive blocks along an
+/// axis overlap by `stride` so that every interior point (those at least
+/// `stride/2` from a face, for centred stencils) appears in the interior of
+/// exactly one block — mirroring Algorithm 2's `ssize' = ssize - stride`
+/// advance.
+pub struct CubeBlocks<'a, T> {
+    t: &'a Tensor<T>,
+    ssize: usize,
+    w: usize,
+    origins: Vec<[usize; 3]>,
+    pos: usize,
+}
+
+impl<'a, T: Element> CubeBlocks<'a, T> {
+    /// Blocks of side `ssize` with halo `stride` over `t` (hyper-index `w`).
+    ///
+    /// Fails when `stride >= ssize` (no interior would remain) or when the
+    /// tensor is smaller than one stencil neighbourhood.
+    pub fn over(
+        t: &'a Tensor<T>,
+        ssize: usize,
+        stride: usize,
+        w: usize,
+    ) -> Result<Self, ShapeError> {
+        if ssize == 0 || stride >= ssize {
+            return Err(ShapeError::OutOfBounds);
+        }
+        let s = t.shape();
+        let interior = ssize - stride;
+        let starts = |n: usize| -> Vec<usize> {
+            if n == 0 {
+                return vec![];
+            }
+            let mut v = Vec::new();
+            let mut i = 0usize;
+            loop {
+                v.push(i.min(n.saturating_sub(1)));
+                if i + ssize >= n + stride {
+                    break;
+                }
+                i += interior;
+            }
+            v
+        };
+        let xs = starts(s.nx());
+        let ys = starts(s.ny());
+        let zs = starts(s.nz());
+        let mut origins = Vec::with_capacity(xs.len() * ys.len() * zs.len());
+        for &z in &zs {
+            for &y in &ys {
+                for &x in &xs {
+                    origins.push([x, y, z]);
+                }
+            }
+        }
+        Ok(CubeBlocks { t, ssize, w, origins, pos: 0 })
+    }
+
+    /// Total number of blocks.
+    pub fn count_total(&self) -> usize {
+        self.origins.len()
+    }
+}
+
+impl<'a, T: Element> Iterator for CubeBlocks<'a, T> {
+    type Item = CubeView<'a, T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let s = self.t.shape();
+        let origin = *self.origins.get(self.pos)?;
+        self.pos += 1;
+        let size = [
+            self.ssize.min(s.nx() - origin[0]),
+            self.ssize.min(s.ny() - origin[1]),
+            self.ssize.min(s.nz() - origin[2]),
+        ];
+        Some(CubeView::of(self.t, origin, size, self.w).expect("origins are in-bounds"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn window_positions_arithmetic() {
+        let spec = WindowSpec::new(8, 1);
+        assert_eq!(spec.positions(8), 1);
+        assert_eq!(spec.positions(10), 3);
+        assert_eq!(spec.positions(7), 0);
+        let strided = WindowSpec::new(8, 4);
+        assert_eq!(strided.positions(16), 3); // origins 0, 4, 8
+    }
+
+    #[test]
+    fn windows_enumerate_all_origins() {
+        let shape = Shape::d3(10, 9, 8);
+        let w: Vec<_> = Windows::over(shape, WindowSpec::new(8, 1)).collect();
+        assert_eq!(w.len(), (3 * 2));
+        assert_eq!(w[0], [0, 0, 0]);
+        assert_eq!(*w.last().unwrap(), [2, 1, 0]);
+    }
+
+    #[test]
+    fn windows_respect_step() {
+        let shape = Shape::d2(12, 12);
+        let w: Vec<_> = Windows::over(shape, WindowSpec::new(4, 4)).collect();
+        // 3 positions per axis, z not scanned for 2D.
+        assert_eq!(w.len(), 9);
+        assert!(w.contains(&[8, 8, 0]));
+        assert!(w.iter().all(|o| o[2] == 0));
+    }
+
+    #[test]
+    fn window_too_big_yields_nothing() {
+        let shape = Shape::d3(4, 4, 4);
+        let mut w = Windows::over(shape, WindowSpec::new(8, 1));
+        assert_eq!(w.next(), None);
+        assert_eq!(w.count_total(), 0);
+    }
+
+    #[test]
+    fn cube_blocks_cover_interior_once() {
+        // Every point at distance >= stride/2... simpler check: union of
+        // block interiors (excluding the `stride`-wide trailing border of
+        // each block) covers the stencil-valid region exactly once.
+        let t = Tensor::from_fn(Shape::d3(20, 20, 20), |[x, ..]| x as f32);
+        let stride = 2usize;
+        let ssize = 8usize;
+        let mut seen = vec![0u32; t.len()];
+        for cube in CubeBlocks::over(&t, ssize, stride, 0).unwrap() {
+            let [sx, sy, sz] = cube.size();
+            let o = cube.origin();
+            // Interior points of this block: locals in [0, s-stride) per axis,
+            // clamped to blocks that actually have that many points.
+            for z in 0..sz.saturating_sub(stride) {
+                for y in 0..sy.saturating_sub(stride) {
+                    for x in 0..sx.saturating_sub(stride) {
+                        let idx =
+                            t.shape().linear([o[0] + x, o[1] + y, o[2] + z, 0]);
+                        seen[idx] += 1;
+                    }
+                }
+            }
+        }
+        // Points with coordinate < n - stride on every axis must be covered
+        // exactly once.
+        let s = t.shape();
+        for z in 0..s.nz() - stride {
+            for y in 0..s.ny() - stride {
+                for x in 0..s.nx() - stride {
+                    let c = seen[s.linear([x, y, z, 0])];
+                    assert_eq!(c, 1, "point ({x},{y},{z}) covered {c} times");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cube_blocks_reject_bad_params() {
+        let t = Tensor::<f32>::zeros(Shape::d3(8, 8, 8));
+        assert!(CubeBlocks::over(&t, 4, 4, 0).is_err());
+        assert!(CubeBlocks::over(&t, 0, 0, 0).is_err());
+        assert!(CubeBlocks::over(&t, 4, 1, 0).is_ok());
+    }
+}

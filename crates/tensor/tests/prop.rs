@@ -1,0 +1,113 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use zc_tensor::{CubeBlocks, Shape, Tensor, WindowSpec, Windows};
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (1usize..500).prop_map(Shape::d1),
+        ((1usize..40), (1usize..40)).prop_map(|(x, y)| Shape::d2(x, y)),
+        ((1usize..20), (1usize..20), (1usize..20)).prop_map(|(x, y, z)| Shape::d3(x, y, z)),
+        ((1usize..10), (1usize..10), (1usize..10), (1usize..6))
+            .prop_map(|(x, y, z, w)| Shape::d4(x, y, z, w)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn linear_unlinear_roundtrip(shape in shapes(), frac in 0.0f64..1.0) {
+        let lin = ((shape.len() - 1) as f64 * frac) as usize;
+        let idx = shape.unlinear(lin);
+        prop_assert_eq!(shape.linear(idx), lin);
+        prop_assert!(shape.contains(idx));
+    }
+
+    #[test]
+    fn coords_visit_each_linear_offset_once(shape in shapes()) {
+        prop_assume!(shape.len() <= 4096);
+        let mut seen = vec![false; shape.len()];
+        for c in shape.coords() {
+            let lin = shape.linear(c);
+            prop_assert!(!seen[lin], "offset {lin} visited twice");
+            seen[lin] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn from_fn_agrees_with_at(shape in shapes()) {
+        prop_assume!(shape.len() <= 4096);
+        let t = Tensor::from_fn(shape, |[x, y, z, w]| {
+            (x + 7 * y + 31 * z + 101 * w) as f32
+        });
+        for c in shape.coords() {
+            prop_assert_eq!(t.at(c), (c[0] + 7 * c[1] + 31 * c[2] + 101 * c[3]) as f32);
+        }
+    }
+
+    #[test]
+    fn windows_count_matches_closed_form(
+        (nx, ny, nz) in ((1usize..40), (1usize..40), (1usize..40)),
+        size in 1usize..10,
+        step in 1usize..5,
+    ) {
+        let shape = Shape::d3(nx, ny, nz);
+        let spec = WindowSpec::new(size, step);
+        let count = Windows::over(shape, spec).count();
+        let pos = |n: usize| if n < size { 0 } else { (n - size) / step + 1 };
+        prop_assert_eq!(count, pos(nx) * pos(ny) * pos(nz));
+    }
+
+    #[test]
+    fn windows_fit_inside_the_shape(
+        (nx, ny, nz) in ((4usize..30), (4usize..30), (4usize..30)),
+        size in 2usize..8,
+        step in 1usize..4,
+    ) {
+        let shape = Shape::d3(nx, ny, nz);
+        for [ox, oy, oz] in Windows::over(shape, WindowSpec::new(size, step)) {
+            prop_assert!(ox + size <= nx && oy + size <= ny && oz + size <= nz);
+            prop_assert!(ox % step == 0 && oy % step == 0 && oz % step == 0);
+        }
+    }
+
+    #[test]
+    fn cube_blocks_interiors_tile_exactly_once(
+        (n, ssize, stride) in (8usize..24, 4usize..10, 1usize..4)
+    ) {
+        prop_assume!(stride < ssize);
+        let shape = Shape::d3(n, n, n);
+        let t = Tensor::<f32>::zeros(shape);
+        let mut covered = vec![0u8; shape.len()];
+        for cube in CubeBlocks::over(&t, ssize, stride, 0).unwrap() {
+            let [sx, sy, sz] = cube.size();
+            let o = cube.origin();
+            for z in 0..sz.saturating_sub(stride) {
+                for y in 0..sy.saturating_sub(stride) {
+                    for x in 0..sx.saturating_sub(stride) {
+                        covered[shape.linear([o[0] + x, o[1] + y, o[2] + z, 0])] += 1;
+                    }
+                }
+            }
+        }
+        for z in 0..n - stride {
+            for y in 0..n - stride {
+                for x in 0..n - stride {
+                    prop_assert_eq!(covered[shape.linear([x, y, z, 0])], 1,
+                        "({},{},{})", x, y, z);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zip_map_is_elementwise(shape in shapes()) {
+        prop_assume!(shape.len() <= 4096);
+        let a = Tensor::from_fn(shape, |[x, ..]| x as f32);
+        let b = Tensor::from_fn(shape, |[_, y, ..]| y as f32 * 2.0);
+        let c = a.zip_map(&b, |u, v| u + v).unwrap();
+        for coord in shape.coords() {
+            prop_assert_eq!(c.at(coord), coord[0] as f32 + coord[1] as f32 * 2.0);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Best-fit compressor selection: sweep candidate configurations over a
+//! field, enforce quality criteria, rank the survivors by ratio — the
+//! paper's §I "select the best-fit compressors" workflow, automated.
+//!
+//! ```text
+//! cargo run --release --example best_fit
+//! ```
+
+use cuz_checker::compress::{Compressor, ErrorBound, SzCompressor, ZfpLikeCompressor};
+use cuz_checker::core::config::AssessConfig;
+use cuz_checker::core::recommend::{recommend, render_ranking, QualityCriteria};
+use cuz_checker::core::CuZc;
+use cuz_checker::data::{AppDataset, GenOptions};
+
+fn main() {
+    let field = AppDataset::Hurricane.generate_field(9, &GenOptions::scaled(8)); // TC
+    println!("field: Hurricane {} at 1/8 scale\n", field.name);
+
+    let sz2 = SzCompressor::new(ErrorBound::Rel(1e-2));
+    let sz3 = SzCompressor::new(ErrorBound::Rel(1e-3));
+    let sz4 = SzCompressor::new(ErrorBound::Rel(1e-4));
+    let zfp8 = ZfpLikeCompressor::new(8.0);
+    let zfp12 = ZfpLikeCompressor::new(12.0);
+    let zfp16 = ZfpLikeCompressor::new(16.0);
+    let candidates: Vec<(&str, &dyn Compressor)> = vec![
+        ("sz-like rel=1e-2", &sz2),
+        ("sz-like rel=1e-3", &sz3),
+        ("sz-like rel=1e-4", &sz4),
+        ("zfp-like rate=8", &zfp8),
+        ("zfp-like rate=12", &zfp12),
+        ("zfp-like rate=16", &zfp16),
+    ];
+
+    for (label, criteria) in [
+        ("visualization-grade (PSNR ≥ 60 dB, SSIM ≥ 0.99)", QualityCriteria::visualization()),
+        ("analysis-grade (PSNR ≥ 80 dB, SSIM ≥ 0.999, white errors)", QualityCriteria::analysis()),
+    ] {
+        println!("criteria: {label}");
+        let ranking = recommend(&field.data, &candidates, &criteria, &AssessConfig::default(), &CuZc::default())
+            .expect("recommendation pipeline");
+        print!("{}", render_ranking(&ranking));
+        match ranking.iter().find(|v| v.passes) {
+            Some(best) => println!("→ best fit: {} at {:.1}x\n", best.name, best.ratio),
+            None => println!("→ no candidate satisfies the criteria\n"),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 9 — dataset visualization: write a PGM image of a representative
+//! mid-depth slice of one field from each of the four applications.
+//!
+//! ```text
+//! cargo run --release --example dataset_gallery
+//! # images land in ./gallery/
+//! ```
+
+use cuz_checker::core::io::write_pgm_slice;
+use cuz_checker::data::{AppDataset, GenOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir = PathBuf::from("gallery");
+    std::fs::create_dir_all(&out_dir).expect("create gallery dir");
+    // Representative fields, mirroring the paper's Fig. 9 picks.
+    let picks = [
+        (AppDataset::Hurricane, 5usize), // QVAPOR
+        (AppDataset::Nyx, 0),            // baryon_density
+        (AppDataset::ScaleLetkf, 3),     // QR (rain)
+        (AppDataset::Miranda, 0),        // density
+        (AppDataset::CesmAtm, 0),        // CLDHGH (2D bonus)
+    ];
+    for (ds, idx) in picks {
+        let field = ds.generate_field(idx, &GenOptions::scaled(4));
+        let z = field.data.shape().nz() / 2;
+        let path = out_dir.join(format!(
+            "{}_{}.pgm",
+            ds.name().to_lowercase().replace('-', "_"),
+            field.name.to_lowercase()
+        ));
+        write_pgm_slice(&path, &field.data, z).expect("write pgm");
+        println!(
+            "{:<12} {:<20} slice z={z:<4} {} -> {}",
+            ds.name(),
+            field.name,
+            field.data.shape(),
+            path.display()
+        );
+    }
+    println!("\nview with any PGM-capable viewer (or `magick x.pgm x.png`).");
+}

@@ -1,0 +1,56 @@
+//! Error whiteness: use the autocorrelation metric to test whether a
+//! compressor's errors look like white noise — the §III-B2 use case
+//! ("particularly useful for applications that require the compression
+//! errors to be uncorrelated").
+//!
+//! ```text
+//! cargo run --release --example error_whiteness
+//! ```
+
+use cuz_checker::compress::{Compressor, ErrorBound, SzCompressor, ZfpLikeCompressor};
+use cuz_checker::core::config::AssessConfig;
+use cuz_checker::core::exec::Executor;
+use cuz_checker::core::metrics::{MetricSelection, Pattern};
+use cuz_checker::core::output::autocorr_csv;
+use cuz_checker::core::CuZc;
+use cuz_checker::data::{AppDataset, GenOptions};
+use cuz_checker::tensor::Tensor;
+
+fn autocorr_of(orig: &Tensor<f32>, dec: &Tensor<f32>) -> Vec<f64> {
+    let cfg = AssessConfig {
+        metrics: MetricSelection::pattern(Pattern::Stencil),
+        max_lag: 10,
+        ..Default::default()
+    };
+    let a = CuZc::default().assess(orig, dec, &cfg).expect("assess");
+    a.report.stencil.unwrap().autocorr.values
+}
+
+fn main() {
+    let field = AppDataset::Miranda.generate_field(3, &GenOptions::scaled(8)); // velocityx
+    println!("error autocorrelation, {} velocityx (lags 1..10)\n", AppDataset::Miranda.name());
+
+    let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
+    let (dec_sz, _) = sz.roundtrip(&field.data).unwrap();
+    let ac_sz = autocorr_of(&field.data, &dec_sz);
+
+    let zfp = ZfpLikeCompressor::new(8.0);
+    let (dec_zfp, _) = zfp.roundtrip(&field.data).unwrap();
+    let ac_zfp = autocorr_of(&field.data, &dec_zfp);
+
+    println!("{:<6} {:>12} {:>12}", "lag", "sz-like", "zfp-like");
+    for lag in 0..10 {
+        println!("{:<6} {:>12.5} {:>12.5}", lag + 1, ac_sz[lag], ac_zfp[lag]);
+    }
+
+    let verdict = |ac: &[f64]| {
+        if ac.iter().all(|v| v.abs() < 0.2) {
+            "≈ white noise"
+        } else {
+            "spatially correlated"
+        }
+    };
+    println!("\nsz-like errors:  {}", verdict(&ac_sz));
+    println!("zfp-like errors: {}", verdict(&ac_zfp));
+    println!("\nCSV (sz-like):\n{}", autocorr_csv(&ac_sz));
+}

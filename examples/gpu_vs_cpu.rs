@@ -1,0 +1,72 @@
+//! All four executors on the same Hurricane-like field: verify they agree
+//! on every metric value (the paper's §IV-B correctness check) and compare
+//! their modeled platform times (a miniature Fig. 10 + Table II).
+//!
+//! ```text
+//! cargo run --release --example gpu_vs_cpu
+//! ```
+
+use cuz_checker::compress::{Compressor, ErrorBound, SzCompressor};
+use cuz_checker::core::config::AssessConfig;
+use cuz_checker::core::exec::{Assessment, Executor};
+use cuz_checker::core::{CuZc, Metric, MoZc, OmpZc, SerialZc};
+use cuz_checker::data::{AppDataset, GenOptions};
+
+fn main() {
+    let field = AppDataset::Hurricane.generate_field(10, &GenOptions::scaled(8)); // "U" wind
+    let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
+    let (dec, _) = sz.roundtrip(&field.data).expect("compress");
+    let cfg = AssessConfig::default();
+
+    let executors: Vec<(&str, Assessment)> = vec![
+        ("serial", SerialZc.assess(&field.data, &dec, &cfg).unwrap()),
+        ("ompZC", OmpZc::default().assess(&field.data, &dec, &cfg).unwrap()),
+        ("moZC", MoZc::default().assess(&field.data, &dec, &cfg).unwrap()),
+        ("cuZC", CuZc::default().assess(&field.data, &dec, &cfg).unwrap()),
+    ];
+
+    // Metric agreement across executors.
+    println!("metric agreement (field {} at 1/8 scale):", field.name);
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12}",
+        "executor", "PSNR(dB)", "SSIM", "autocorr(1)", "avg|e|"
+    );
+    for (name, a) in &executors {
+        println!(
+            "{name:<12} {:>14.8} {:>14.10} {:>12.8} {:>12.6e}",
+            a.report.scalar(Metric::Psnr).unwrap(),
+            a.report.scalar(Metric::Ssim).unwrap(),
+            a.report.scalar(Metric::Autocorrelation).unwrap(),
+            a.report.scalar(Metric::AvgError).unwrap(),
+        );
+    }
+
+    // Modeled platform times (CPU model for ompZC, V100 model for *ZC).
+    println!("\nmodeled platform time at this (reduced) size:");
+    for (name, a) in &executors[1..] {
+        println!(
+            "{name:<12} p1={:.3e}s p2={:.3e}s p3={:.3e}s total={:.3e}s (wall {:.0} ms)",
+            a.pattern_times.p1,
+            a.pattern_times.p2,
+            a.pattern_times.p3,
+            a.modeled_seconds,
+            a.wall_seconds * 1e3,
+        );
+    }
+    let omp = executors[1].1.modeled_seconds;
+    let cu = executors[3].1.modeled_seconds;
+    println!("\ncuZC speedup over ompZC at this size: {:.1}x", omp / cu);
+
+    // Table-II style profile of the cuZC run.
+    println!("\ncuZC launch profile:");
+    for p in &executors[3].1.profiles {
+        println!(
+            "  {:<18} Regs/TB={:<6} SMem/TB={:<6} Iters/thread={:<6} conc TB/SM={}",
+            format!("{:?}", p.pattern),
+            p.regs_per_tb,
+            p.smem_per_tb,
+            p.iters_per_thread,
+            p.blocks_per_sm
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: generate a scientific field, compress it with the SZ-like
+//! error-bounded compressor, and assess the result with cuZ-Checker.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cuz_checker::compress::{Compressor, ErrorBound, SzCompressor};
+use cuz_checker::core::config::AssessConfig;
+use cuz_checker::core::exec::Executor;
+use cuz_checker::core::{CuZc, Metric, MetricSelection};
+use cuz_checker::data::{AppDataset, GenOptions};
+
+fn main() {
+    // 1. A Miranda-like turbulence field at 1/8 scale per axis.
+    let field = AppDataset::Miranda.generate_field(0, &GenOptions::scaled(8));
+    println!(
+        "field: {} {} ({} elements, {:.1} MB)",
+        AppDataset::Miranda.name(),
+        field.name,
+        field.data.len(),
+        field.data.nbytes() as f64 / 1e6
+    );
+
+    // 2. Compress with a value-range-relative error bound of 1e-3.
+    let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
+    let (decompressed, stats) = sz.roundtrip(&field.data).expect("compression roundtrip");
+    println!(
+        "compressed {:.1} KB -> {:.1} KB (ratio {:.1}x, {:.2} bits/value)",
+        stats.original_bytes as f64 / 1e3,
+        stats.compressed_bytes as f64 / 1e3,
+        stats.ratio(),
+        stats.bit_rate(4)
+    );
+
+    // 3. Assess with the pattern-oriented GPU executor (simulated V100).
+    let cfg = AssessConfig::default();
+    let result = CuZc::default()
+        .assess(&field.data, &decompressed, &cfg)
+        .expect("assessment");
+
+    // 4. Report.
+    println!("\n--- analysis report ---");
+    print!("{}", result.report.render(&MetricSelection::all()));
+    println!("\nheadline metrics:");
+    for m in [Metric::Psnr, Metric::Nrmse, Metric::Ssim, Metric::PearsonCorrelation] {
+        println!("  {:<10} = {:.6}", m.key(), result.report.scalar(m).unwrap());
+    }
+    println!(
+        "\nmodeled V100 assessment time: {:.3} ms ({} kernel launches, {} grid syncs)",
+        result.modeled_seconds * 1e3,
+        result.counters.launches,
+        result.counters.grid_syncs
+    );
+}

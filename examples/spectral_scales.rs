@@ -1,0 +1,43 @@
+//! Spectrum-controlled assessment: synthesize Gaussian random fields with
+//! prescribed power spectra and see how the spectral slope changes both
+//! compressibility and the *structure* of compression errors — the kind of
+//! study cuZ-Checker's derivative/autocorrelation metrics exist for.
+//!
+//! ```text
+//! cargo run --release --example spectral_scales
+//! ```
+
+use cuz_checker::compress::{Compressor, ErrorBound, SzCompressor};
+use cuz_checker::core::config::AssessConfig;
+use cuz_checker::core::exec::Executor;
+use cuz_checker::core::{CuZc, Metric};
+use cuz_checker::data::{gaussian_random_field, GrfSpec};
+use cuz_checker::tensor::Shape;
+
+fn main() {
+    let shape = Shape::d3(64, 64, 48);
+    let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
+    let cfg = AssessConfig::default();
+
+    println!("Gaussian random fields, P(k) ∝ k^α, shape {shape}\n");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>12} {:>12}",
+        "α", "ratio", "PSNR(dB)", "SSIM", "autocorr(1)", "avg|∇|"
+    );
+    for alpha in [-1.0, -2.0, -11.0 / 3.0, -5.0] {
+        let field = gaussian_random_field(&GrfSpec { seed: 77, alpha, k_min: 1.0 }, shape);
+        let (dec, stats) = sz.roundtrip(&field).unwrap();
+        let a = CuZc::default().assess(&field, &dec, &cfg).unwrap();
+        println!(
+            "{alpha:>6.2} {:>7.1}x {:>10.2} {:>10.6} {:>12.5} {:>12.5}",
+            stats.ratio(),
+            a.report.scalar(Metric::Psnr).unwrap(),
+            a.report.scalar(Metric::Ssim).unwrap(),
+            a.report.scalar(Metric::Autocorrelation).unwrap(),
+            a.report.stencil.as_ref().unwrap().avg_gradient_orig,
+        );
+    }
+    println!("\nreading: steeper spectra (more negative α) are smoother fields —");
+    println!("the Lorenzo predictor captures them better (higher ratio at the same");
+    println!("relative bound) and the residual errors lose spatial correlation.");
+}

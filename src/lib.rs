@@ -1,0 +1,10 @@
+//! Workspace facade for the cuZ-Checker reproduction.
+//!
+//! Re-exports every sub-crate under one roof so examples and integration
+//! tests can `use cuz_checker::...` without tracking individual crates.
+pub use zc_compress as compress;
+pub use zc_core as core;
+pub use zc_data as data;
+pub use zc_gpusim as gpusim;
+pub use zc_kernels as kernels;
+pub use zc_tensor as tensor;

@@ -1,0 +1,195 @@
+//! End-to-end pipelines: generate → (disk) → compress → assess → report,
+//! exercising the whole public surface the way a downstream user would.
+
+use cuz_checker::compress::{Compressor, ErrorBound, SzCompressor, ZfpLikeCompressor};
+use cuz_checker::core::config::{parse, AssessConfig, CompressorChoice, ExecutorKind};
+use cuz_checker::core::exec::{make_executor, Executor};
+use cuz_checker::core::io::{read_raw, write_raw, Endianness};
+use cuz_checker::core::output::{histogram_csv, scalars_csv};
+use cuz_checker::core::{CuZc, Metric, MetricSelection};
+use cuz_checker::data::{AppDataset, GenOptions};
+use cuz_checker::tensor::Tensor;
+
+#[test]
+fn sz_pipeline_bound_is_visible_in_the_assessment() {
+    // The assessment itself must confirm the compressor's contract:
+    // max |error| <= eb, and PSNR >= 20·log10(range/(2·eb)).
+    let field = AppDataset::Miranda.generate_field(2, &GenOptions::scaled(16));
+    let (mn, mx) = field.data.min_max().unwrap();
+    let range = (mx - mn) as f64;
+    let rel = 1e-3;
+    let sz = SzCompressor::new(ErrorBound::Rel(rel));
+    let (dec, stats) = sz.roundtrip(&field.data).unwrap();
+    assert!(stats.ratio() > 1.0);
+
+    let a = CuZc::default().assess(&field.data, &dec, &AssessConfig::default()).unwrap();
+    let max_abs = a.report.scalar(Metric::MaxAbsError).unwrap();
+    assert!(max_abs <= rel * range * (1.0 + 1e-6), "bound violated: {max_abs}");
+    let psnr = a.report.scalar(Metric::Psnr).unwrap();
+    let floor = 20.0 * (1.0 / (2.0 * rel)).log10();
+    assert!(psnr >= floor, "psnr {psnr} below worst-case floor {floor}");
+}
+
+#[test]
+fn zfp_pipeline_degrades_gracefully_with_rate() {
+    let field = AppDataset::Hurricane.generate_field(9, &GenOptions::scaled(16));
+    let cfg = AssessConfig::default();
+    let mut last_psnr = f64::NEG_INFINITY;
+    for rate in [4.0, 10.0, 16.0] {
+        let zfp = ZfpLikeCompressor::new(rate);
+        let (dec, stats) = zfp.roundtrip(&field.data).unwrap();
+        let a = CuZc::default().assess(&field.data, &dec, &cfg).unwrap();
+        let psnr = a.report.scalar(Metric::Psnr).unwrap();
+        assert!(psnr > last_psnr, "rate {rate}: psnr {psnr} <= {last_psnr}");
+        last_psnr = psnr;
+        // Fixed rate: the measured bit rate tracks the requested one, up to
+        // the 16-bit per-block exponent header and edge-block padding
+        // (this shape is not a multiple of 4 on every axis).
+        let br = stats.bit_rate(4);
+        assert!(br >= rate && br <= rate * 1.6 + 1.0, "bit rate {br} for rate {rate}");
+    }
+}
+
+#[test]
+fn disk_roundtrip_preserves_assessment_exactly() {
+    let field = AppDataset::ScaleLetkf.generate_field(0, &GenOptions::scaled(16));
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("zc_e2e_{}.f32", std::process::id()));
+    write_raw(&path, &field.data, Endianness::Big).unwrap();
+    let loaded: Tensor<f32> = read_raw(&path, field.data.shape(), Endianness::Big).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.as_slice(), field.data.as_slice());
+
+    let sz = SzCompressor::new(ErrorBound::Abs(1e-4));
+    let (dec, _) = sz.roundtrip(&loaded).unwrap();
+    let cfg = AssessConfig::default();
+    let from_disk = CuZc::default().assess(&loaded, &dec, &cfg).unwrap();
+    let from_mem = CuZc::default().assess(&field.data, &dec, &cfg).unwrap();
+    assert_eq!(
+        from_disk.report.scalar(Metric::Psnr),
+        from_mem.report.scalar(Metric::Psnr)
+    );
+}
+
+#[test]
+fn config_document_drives_the_full_run() {
+    let doc = r#"
+        [assess]
+        executor = mozc
+        metrics  = psnr, ssim, autocorr, err_pdf
+        bins     = 64
+        max_lag  = 3
+        [compressor]
+        kind      = zfp
+        rate      = 12
+    "#;
+    let run = parse(doc).unwrap();
+    assert_eq!(run.executor, ExecutorKind::MoZc);
+    let field = AppDataset::Nyx.generate_field(3, &GenOptions::scaled(16));
+    let (dec, stats) = match run.compressor.unwrap() {
+        CompressorChoice::Zfp(rate) => {
+            ZfpLikeCompressor::new(rate).roundtrip(&field.data).unwrap()
+        }
+        CompressorChoice::Sz(b) => SzCompressor::new(b).roundtrip(&field.data).unwrap(),
+        other => panic!("unexpected compressor {other:?}"),
+    };
+    let ex = make_executor(run.executor);
+    let mut a = ex.assess(&field.data, &dec, &run.assess).unwrap();
+    a.report = a.report.with_compression(stats);
+
+    // The configured metrics appear in the outputs; others do not.
+    let csv = scalars_csv(&a, &run.assess.metrics);
+    assert!(csv.contains("psnr,"));
+    assert!(csv.contains("ssim,"));
+    assert!(!csv.contains("pearson,"));
+    let h = a.report.histograms.as_ref().unwrap();
+    assert_eq!(h.err_pdf.bin_count(), 64);
+    let hist_csv = histogram_csv(&h.err_pdf);
+    assert_eq!(hist_csv.lines().count(), 65);
+    // Compression metrics attached.
+    assert!(a.report.scalar(Metric::CompressionRatio).unwrap() > 1.0);
+}
+
+#[test]
+fn four_dimensional_fields_assess_end_to_end() {
+    use cuz_checker::tensor::Shape;
+    // 4D (e.g. time-series of 3D states): pattern-1 handles the whole
+    // hyper-volume, stencil/SSIM run per 3D sub-volume.
+    let t = Tensor::from_fn(Shape::d4(24, 20, 12, 3), |[x, y, z, w]| {
+        (x as f32 * 0.3).sin() + (y as f32 * 0.2).cos() + z as f32 * 0.01 + w as f32
+    });
+    let sz = SzCompressor::new(ErrorBound::Abs(1e-3));
+    let (dec, _) = sz.roundtrip(&t).unwrap();
+    let a = CuZc::default().assess(&t, &dec, &AssessConfig::default()).unwrap();
+    assert!(a.report.scalar(Metric::Psnr).unwrap() > 40.0);
+    assert!(a.report.ssim.unwrap().windows > 0);
+}
+
+#[test]
+fn one_and_two_dimensional_fields_assess_end_to_end() {
+    use cuz_checker::tensor::Shape;
+    let cfg = AssessConfig::default();
+    for shape in [Shape::d1(4096), Shape::d2(96, 80)] {
+        let t = Tensor::from_fn(shape, |[x, y, ..]| {
+            (x as f32 * 0.05).sin() + y as f32 * 0.01
+        });
+        let sz = SzCompressor::new(ErrorBound::Abs(1e-4));
+        let (dec, _) = sz.roundtrip(&t).unwrap();
+        let mut c = cfg.clone();
+        c.metrics = MetricSelection::all();
+        let a = CuZc::default().assess(&t, &dec, &c).unwrap();
+        assert!(a.report.scalar(Metric::Psnr).unwrap() > 40.0, "{shape:?}");
+    }
+}
+
+#[test]
+fn empty_metric_selection_is_effectively_a_noop_run() {
+    use cuz_checker::core::metrics::MetricSelection;
+    use cuz_checker::tensor::Shape;
+    let t = Tensor::from_fn(Shape::d3(16, 16, 8), |[x, ..]| x as f32);
+    let dec = t.map(|v| v + 1e-3);
+    let cfg = AssessConfig { metrics: MetricSelection::none(), ..Default::default() };
+    let a = CuZc::default().assess(&t, &dec, &cfg).unwrap();
+    // The scalar pass always runs (it feeds everything else), but no
+    // histograms, stencil, or SSIM work happens.
+    assert!(a.report.histograms.is_none());
+    assert!(a.report.stencil.is_none());
+    assert!(a.report.ssim.is_none());
+    assert_eq!(a.pattern_times.p2, 0.0);
+    assert_eq!(a.pattern_times.p3, 0.0);
+}
+
+#[test]
+fn seamless_pipeline_matches_manual_composition() {
+    use cuz_checker::core::pipeline::assess_compression;
+    let field = AppDataset::Miranda.generate_field(1, &GenOptions::scaled(16));
+    let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
+    let cfg = AssessConfig::default();
+    let one_call = assess_compression(&field.data, &sz, &CuZc::default(), &cfg).unwrap();
+    let (dec, stats) = sz.roundtrip(&field.data).unwrap();
+    let manual = CuZc::default().assess(&field.data, &dec, &cfg).unwrap();
+    assert_eq!(
+        one_call.report.scalar(Metric::Psnr),
+        manual.report.scalar(Metric::Psnr)
+    );
+    // Ratio is deterministic; throughputs are wall-clock and only checked
+    // for presence.
+    assert_eq!(
+        one_call.report.scalar(Metric::CompressionRatio).unwrap(),
+        stats.ratio()
+    );
+}
+
+#[test]
+fn four_d_grids_partition_by_hyperslab() {
+    use cuz_checker::tensor::{Shape, Tensor};
+    // The launch grid for 4D fields is nz x nw; verify the profile agrees.
+    let t = Tensor::from_fn(Shape::d4(16, 12, 6, 4), |[x, y, z, w]| {
+        (x + y) as f32 * 0.1 + z as f32 + w as f32 * 10.0
+    });
+    let dec = t.map(|v| v + 1e-3);
+    let a = CuZc::default().assess(&t, &dec, &AssessConfig::default()).unwrap();
+    let p1 = a.runs.iter().find(|r| r.pattern == cuz_checker::core::Pattern::GlobalReduction)
+        .unwrap();
+    assert_eq!(p1.grid_blocks, 6 * 4);
+}

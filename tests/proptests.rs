@@ -1,0 +1,108 @@
+//! Cross-crate property tests: executor equivalence and assessment-level
+//! invariants hold on arbitrary generated inputs, not just fixtures.
+
+use cuz_checker::compress::{Compressor, ErrorBound, SzCompressor};
+use cuz_checker::core::config::AssessConfig;
+use cuz_checker::core::exec::Executor;
+use cuz_checker::core::{CuZc, Metric, MoZc, OmpZc, SerialZc};
+use cuz_checker::tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    ((8usize..32), (8usize..24), (8usize..16)).prop_map(|(x, y, z)| Shape::d3(x, y, z))
+}
+
+fn fields() -> impl Strategy<Value = Tensor<f32>> {
+    (shapes(), any::<u32>(), -100.0f32..100.0).prop_map(|(shape, seed, offset)| {
+        let s = seed as f32 * 1e-6;
+        Tensor::from_fn(shape, |[x, y, z, _]| {
+            offset + ((x as f32 + s) * 0.31).sin() * 8.0 + (y as f32 * 0.17).cos() * 3.0
+                - (z as f32 * 0.23).sin()
+        })
+    })
+}
+
+fn small_cfg() -> AssessConfig {
+    AssessConfig { max_lag: 3, bins: 32, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn executors_agree_on_arbitrary_fields(orig in fields(), eb_exp in -5i32..-2) {
+        let eb = 10f64.powi(eb_exp);
+        let sz = SzCompressor::new(ErrorBound::Rel(eb));
+        let (dec, _) = sz.roundtrip(&orig).unwrap();
+        let cfg = small_cfg();
+        let s = SerialZc.assess(&orig, &dec, &cfg).unwrap();
+        for ex in [
+            Box::new(OmpZc::default()) as Box<dyn Executor>,
+            Box::new(MoZc::default()),
+            Box::new(CuZc::default()),
+        ] {
+            let a = ex.assess(&orig, &dec, &cfg).unwrap();
+            for m in [Metric::Psnr, Metric::Mse, Metric::Ssim, Metric::AvgError,
+                      Metric::MaxAbsError, Metric::PearsonCorrelation, Metric::Autocorrelation] {
+                let (r, v) = (s.report.scalar(m).unwrap(), a.report.scalar(m).unwrap());
+                let ok = (r == v) || (r - v).abs() <= 1e-6 * r.abs().max(1e-20);
+                prop_assert!(ok, "{}: {m} = {v} vs serial {r}", ex.name());
+            }
+        }
+    }
+
+    #[test]
+    fn assessment_invariants_hold(orig in fields(), eb_exp in -5i32..-2) {
+        let eb = 10f64.powi(eb_exp);
+        let sz = SzCompressor::new(ErrorBound::Rel(eb));
+        let (dec, _) = sz.roundtrip(&orig).unwrap();
+        let a = CuZc::default().assess(&orig, &dec, &small_cfg()).unwrap();
+        let rep = &a.report;
+        // Structural invariants of any valid assessment:
+        prop_assert!(rep.scalar(Metric::Mse).unwrap() >= 0.0);
+        prop_assert!(rep.scalar(Metric::MinError).unwrap()
+            <= rep.scalar(Metric::MaxError).unwrap());
+        prop_assert!(rep.scalar(Metric::AvgError).unwrap()
+            <= rep.scalar(Metric::MaxAbsError).unwrap() + 1e-15);
+        let ssim = rep.scalar(Metric::Ssim).unwrap();
+        prop_assert!((-1.0..=1.0 + 1e-12).contains(&ssim), "ssim {ssim}");
+        let pearson = rep.scalar(Metric::PearsonCorrelation).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&pearson));
+        let nrmse = rep.scalar(Metric::Nrmse).unwrap();
+        prop_assert!(nrmse >= 0.0);
+        // Error PDF mass equals element count.
+        let h = rep.histograms.as_ref().unwrap();
+        prop_assert_eq!(h.err_pdf.total(), orig.len() as u64);
+        // Entropy of a 32-bin histogram is at most 5 bits.
+        prop_assert!(rep.entropy_bits().unwrap() <= 5.0 + 1e-12);
+    }
+
+    #[test]
+    fn tighter_bounds_never_reduce_psnr(orig in fields()) {
+        let cfg = small_cfg();
+        let mut prev = f64::NEG_INFINITY;
+        for eb in [1e-2, 1e-3, 1e-4] {
+            let sz = SzCompressor::new(ErrorBound::Rel(eb));
+            let (dec, _) = sz.roundtrip(&orig).unwrap();
+            let a = SerialZc.assess(&orig, &dec, &cfg).unwrap();
+            let psnr = a.report.scalar(Metric::Psnr).unwrap();
+            prop_assert!(psnr >= prev - 1e-9, "eb {eb}: psnr {psnr} < {prev}");
+            prev = psnr;
+        }
+    }
+
+    #[test]
+    fn counters_scale_with_metric_selection(orig in fields()) {
+        use cuz_checker::core::metrics::{MetricSelection, Pattern};
+        let dec = orig.map(|v| v + 1e-3);
+        let full = CuZc::default().assess(&orig, &dec, &small_cfg()).unwrap();
+        let p1_only = AssessConfig {
+            metrics: MetricSelection::pattern(Pattern::GlobalReduction),
+            ..small_cfg()
+        };
+        let partial = CuZc::default().assess(&orig, &dec, &p1_only).unwrap();
+        prop_assert!(partial.counters.launches < full.counters.launches);
+        prop_assert!(partial.counters.global_read_bytes < full.counters.global_read_bytes);
+        prop_assert!(partial.modeled_seconds < full.modeled_seconds);
+    }
+}
