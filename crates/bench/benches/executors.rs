@@ -1,4 +1,4 @@
-//! Wall-clock benchmarks of the assessment executors: the rayon CPU path
+//! Wall-clock benchmarks of the assessment executors: the threaded CPU path
 //! (the one a downstream user actually runs for values) and the two
 //! simulated-GPU paths (whose wall time is the simulator's own cost).
 
@@ -22,7 +22,7 @@ fn bench_executors(c: &mut Criterion) {
     group.bench_function("serial", |b| {
         b.iter(|| SerialZc.assess(&field.data, &dec, &cfg).unwrap())
     });
-    group.bench_function("ompZC(rayon)", |b| {
+    group.bench_function("ompZC(threads)", |b| {
         let ex = OmpZc::default();
         b.iter(|| ex.assess(&field.data, &dec, &cfg).unwrap())
     });
@@ -36,8 +36,8 @@ fn bench_executors(c: &mut Criterion) {
     });
     group.finish();
 
-    // Per-pattern cost of the production (rayon) path.
-    let mut group = c.benchmark_group("assess_pattern_rayon");
+    // Per-pattern cost of the production (threaded) path.
+    let mut group = c.benchmark_group("assess_pattern_threads");
     group.sample_size(10);
     group.throughput(Throughput::Bytes(bytes));
     for (name, pattern) in [

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use zc_data::{AppDataset, GenOptions};
 use zc_gpusim::GpuSim;
 use zc_kernels::p3::{SsimFusedKernel, SsimParams};
-use zc_kernels::{FieldPair, P1FusedKernel, P1HistKernel, P2FusedKernel};
+use zc_kernels::{FieldPair, P1FusedKernel, P1HistKernel, P2FusedKernel, Reference};
 
 fn bench_kernels(c: &mut Criterion) {
     let field = AppDataset::Miranda.generate_field(0, &GenOptions::scaled(8));
@@ -55,6 +55,75 @@ fn bench_kernels(c: &mut Criterion) {
                 fifo_in_shared: true,
             };
             sim.launch(&k, k.grid())
+        })
+    });
+    group.finish();
+
+    // SoA fast path vs. scalar reference path, per kernel. Results and
+    // counters are asserted identical in crates/kernels/tests/fastpath.rs;
+    // these measure what the batched lane emulation is worth in wall-clock.
+    let mut group = c.benchmark_group("lane_paths");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function("p1_fused_fast", |b| {
+        b.iter(|| {
+            let k = P1FusedKernel { fields: FieldPair::new(&field.data, &dec) };
+            sim.launch(&k, k.grid())
+        })
+    });
+    group.bench_function("p1_fused_reference", |b| {
+        b.iter(|| {
+            let k = P1FusedKernel { fields: FieldPair::new(&field.data, &dec) };
+            sim.launch(&Reference(&k), k.grid())
+        })
+    });
+    group.bench_function("p2_stride1_fast", |b| {
+        b.iter(|| {
+            let k = P2FusedKernel {
+                fields: FieldPair::new(&field.data, &dec),
+                stride: 1,
+                mean_e: scalars.mean_e(),
+                max_lag: 1,
+                derivatives: true,
+                autocorr: true,
+                cooperative: true,
+            };
+            sim.launch(&k, k.grid())
+        })
+    });
+    group.bench_function("p2_stride1_reference", |b| {
+        b.iter(|| {
+            let k = P2FusedKernel {
+                fields: FieldPair::new(&field.data, &dec),
+                stride: 1,
+                mean_e: scalars.mean_e(),
+                max_lag: 1,
+                derivatives: true,
+                autocorr: true,
+                cooperative: true,
+            };
+            sim.launch(&Reference(&k), k.grid())
+        })
+    });
+    group.bench_function("p3_ssim_fast", |b| {
+        b.iter(|| {
+            let k = SsimFusedKernel {
+                fields: FieldPair::new(&field.data, &dec),
+                params: SsimParams::paper_defaults(scalars.value_range()),
+                fifo_in_shared: true,
+            };
+            sim.launch(&k, k.grid())
+        })
+    });
+    group.bench_function("p3_ssim_reference", |b| {
+        b.iter(|| {
+            let k = SsimFusedKernel {
+                fields: FieldPair::new(&field.data, &dec),
+                params: SsimParams::paper_defaults(scalars.value_range()),
+                fifo_in_shared: true,
+            };
+            sim.launch(&Reference(&k), k.grid())
         })
     });
     group.finish();

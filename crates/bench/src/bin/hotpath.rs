@@ -1,0 +1,95 @@
+//! Host-side hot-path benchmark: wall-clock seconds of the four executors
+//! on a fixed synthetic field, plus the SoA fast path vs. the scalar
+//! reference path of the cuZC kernels on a large (≥256³) field.
+//!
+//! Emits `BENCH_hotpath.json` at the repository root (hand-rolled JSON, no
+//! serde) so before/after numbers can be compared across commits.
+//!
+//! Usage: `hotpath [--scale N]` — `--scale` divides the executor-comparison
+//! field's x/y extents (the fast-vs-reference field is fixed at 256³).
+
+use std::time::Instant;
+use zc_bench::HarnessOpts;
+use zc_core::exec::Executor;
+use zc_core::{AssessConfig, CuZc, MoZc, OmpZc, SerialZc};
+use zc_tensor::{Shape, Tensor};
+
+/// Deterministic synthetic pair: smooth signal + small structured error.
+fn make_fields(shape: Shape) -> (Tensor<f32>, Tensor<f32>) {
+    let orig = Tensor::from_fn(shape, |[x, y, z, _]| {
+        (x as f32 * 0.021).sin() * (y as f32 * 0.017).cos() + (z as f32 * 0.013).sin()
+    });
+    let dec = orig.map(|v| v + 0.002 * (v * 37.0).sin());
+    (orig, dec)
+}
+
+fn time_assess(ex: &dyn Executor, orig: &Tensor<f32>, dec: &Tensor<f32>, cfg: &AssessConfig) -> f64 {
+    let t0 = Instant::now();
+    let a = ex.assess(orig, dec, cfg).expect("assessment failed");
+    let dt = t0.elapsed().as_secs_f64();
+    // Keep the optimizer honest.
+    assert!(a.report.p1.n > 0);
+    dt
+}
+
+fn main() {
+    let opts = match HarnessOpts::from_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hotpath: {e}\nusage: hotpath [--scale N]");
+            std::process::exit(2);
+        }
+    };
+
+    // ---- 1. executor comparison on a moderate field ----------------------
+    // SerialZc pays the full O(windows × window³) SSIM cost, so this field
+    // stays moderate; the max-lag is trimmed to keep the stencil sweep from
+    // dominating what is a lane-emulation benchmark.
+    let exec_shape = Shape::d3((256 / opts.scale).max(32), (256 / opts.scale).max(32), 64);
+    let (orig, dec) = make_fields(exec_shape);
+    let mut cfg = AssessConfig::default();
+    cfg.max_lag = 4;
+    eprintln!("executor comparison on {exec_shape} ({} elems)", exec_shape.len());
+    let serial_s = time_assess(&SerialZc, &orig, &dec, &cfg);
+    eprintln!("  serialZC {serial_s:.3} s");
+    let omp_s = time_assess(&OmpZc::default(), &orig, &dec, &cfg);
+    eprintln!("  ompZC    {omp_s:.3} s");
+    let mozc_s = time_assess(&MoZc::default(), &orig, &dec, &cfg);
+    eprintln!("  moZC     {mozc_s:.3} s");
+    let cuzc_s = time_assess(&CuZc::default(), &orig, &dec, &cfg);
+    eprintln!("  cuZC     {cuzc_s:.3} s");
+
+    // ---- 2. SoA fast path vs scalar reference path on 256³ ---------------
+    let big_shape = Shape::d3(256, 256, 256);
+    let (borig, bdec) = make_fields(big_shape);
+    let mut bcfg = AssessConfig::default();
+    bcfg.max_lag = 4;
+    eprintln!("fast vs reference on {big_shape} ({} elems)", big_shape.len());
+    let fast = CuZc::default();
+    let refr = CuZc { reference_path: true, ..Default::default() };
+    // Warm-up (page in both fields), then best of two timed passes each —
+    // wall-clock noise only ever inflates a measurement, so min is the
+    // honest estimator.
+    let _ = time_assess(&fast, &borig, &bdec, &bcfg);
+    let fast_s = time_assess(&fast, &borig, &bdec, &bcfg)
+        .min(time_assess(&fast, &borig, &bdec, &bcfg));
+    eprintln!("  cuZC fast      {fast_s:.3} s");
+    let ref_s = time_assess(&refr, &borig, &bdec, &bcfg)
+        .min(time_assess(&refr, &borig, &bdec, &bcfg));
+    eprintln!("  cuZC reference {ref_s:.3} s");
+    let speedup = ref_s / fast_s;
+    eprintln!("  speedup        {speedup:.2}x");
+
+    // ---- 3. emit BENCH_hotpath.json at the repo root ---------------------
+    let out = format!(
+        "{{\n  \"executors\": {{\n    \"shape\": \"{exec_shape}\",\n    \"elements\": {},\n    \"max_lag\": {},\n    \"serialzc_wall_s\": {serial_s:.6},\n    \"ompzc_wall_s\": {omp_s:.6},\n    \"mozc_wall_s\": {mozc_s:.6},\n    \"cuzc_wall_s\": {cuzc_s:.6}\n  }},\n  \"fastpath\": {{\n    \"shape\": \"{big_shape}\",\n    \"elements\": {},\n    \"max_lag\": {},\n    \"cuzc_fast_wall_s\": {fast_s:.6},\n    \"cuzc_reference_wall_s\": {ref_s:.6},\n    \"speedup\": {speedup:.4}\n  }}\n}}\n",
+        exec_shape.len(),
+        cfg.max_lag,
+        big_shape.len(),
+        bcfg.max_lag,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    std::fs::write(path, &out).expect("write BENCH_hotpath.json");
+    println!("{out}");
+    eprintln!("wrote {path}");
+}

@@ -1,66 +1,99 @@
-//! Property-based tests for the compression substrate.
+//! Property-based tests for the compression substrate, driven by a
+//! deterministic inline RNG (no external property-testing dependency).
 
-use proptest::prelude::*;
 use zc_compress::{
     BitReader, BitWriter, Compressor, ErrorBound, HuffmanCodec, SzCompressor, ZfpLikeCompressor,
 };
 use zc_tensor::{Shape, Tensor};
 
-/// Arbitrary small-ish 1–3D shapes.
-fn shapes() -> impl Strategy<Value = Shape> {
-    prop_oneof![
-        (1usize..200).prop_map(Shape::d1),
-        ((1usize..24), (1usize..24)).prop_map(|(x, y)| Shape::d2(x, y)),
-        ((1usize..12), (1usize..12), (1usize..12)).prop_map(|(x, y, z)| Shape::d3(x, y, z)),
-    ]
-}
+/// Deterministic splitmix64 case generator.
+struct Rng(u64);
 
-/// A tensor with values drawn from a mix of smooth and rough signals.
-fn tensors() -> impl Strategy<Value = Tensor<f32>> {
-    (shapes(), -1.0e3f32..1.0e3, 0.01f32..2.0, any::<u32>()).prop_map(
-        |(shape, offset, freq, seed)| {
-            Tensor::from_fn(shape, |[x, y, z, _]| {
-                let s = seed as f32 * 1e-4;
-                offset
-                    + ((x as f32 + s) * freq).sin() * 50.0
-                    + (y as f32 * freq * 0.7).cos() * 20.0
-                    + z as f32 * 0.5
-            })
-        },
-    )
-}
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
 
-    #[test]
-    fn sz_absolute_bound_always_holds(t in tensors(), eb_exp in -6i32..-1) {
-        let eb = 10f64.powi(eb_exp);
-        let sz = SzCompressor::new(ErrorBound::Abs(eb));
-        let (rec, _) = sz.roundtrip(&t).unwrap();
-        for (a, b) in t.iter().zip(rec.iter()) {
-            prop_assert!(
-                ((a - b).abs() as f64) <= eb * (1.0 + 1e-9) + 1e-12,
-                "eb={eb}: |{a} - {b}|"
-            );
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        self.f64(lo as f64, hi as f64) as f32
+    }
+
+    /// Arbitrary small-ish 1–3D shapes.
+    fn shape(&mut self) -> Shape {
+        match self.next() % 3 {
+            0 => Shape::d1(self.usize(1, 200)),
+            1 => Shape::d2(self.usize(1, 24), self.usize(1, 24)),
+            _ => Shape::d3(self.usize(1, 12), self.usize(1, 12), self.usize(1, 12)),
         }
     }
 
-    #[test]
-    fn sz_relative_bound_always_holds(t in tensors(), rel_exp in -5i32..-2) {
-        let rel = 10f64.powi(rel_exp);
+    /// A tensor with values drawn from a mix of smooth and rough signals.
+    fn tensor(&mut self) -> Tensor<f32> {
+        let shape = self.shape();
+        let offset = self.f32(-1.0e3, 1.0e3);
+        let freq = self.f32(0.01, 2.0);
+        let s = (self.next() as u32) as f32 * 1e-4;
+        Tensor::from_fn(shape, |[x, y, z, _]| {
+            offset
+                + ((x as f32 + s) * freq).sin() * 50.0
+                + (y as f32 * freq * 0.7).cos() * 20.0
+                + z as f32 * 0.5
+        })
+    }
+}
+
+#[test]
+fn sz_absolute_bound_always_holds() {
+    let mut rng = Rng(0xab5);
+    for case in 0..64 {
+        let t = rng.tensor();
+        let eb = 10f64.powi(-(rng.usize(2, 7) as i32));
+        let sz = SzCompressor::new(ErrorBound::Abs(eb));
+        let (rec, _) = sz.roundtrip(&t).unwrap();
+        for (a, b) in t.iter().zip(rec.iter()) {
+            assert!(
+                ((a - b).abs() as f64) <= eb * (1.0 + 1e-9) + 1e-12,
+                "case {case} eb={eb}: |{a} - {b}|"
+            );
+        }
+    }
+}
+
+#[test]
+fn sz_relative_bound_always_holds() {
+    let mut rng = Rng(0x7e1);
+    for case in 0..64 {
+        let t = rng.tensor();
+        let rel = 10f64.powi(-(rng.usize(3, 6) as i32));
         let (mn, mx) = t.min_max().unwrap();
         let range = (mx - mn) as f64;
         let bound = if range > 0.0 { rel * range } else { rel };
         let sz = SzCompressor::new(ErrorBound::Rel(rel));
         let (rec, _) = sz.roundtrip(&t).unwrap();
         for (a, b) in t.iter().zip(rec.iter()) {
-            prop_assert!(((a - b).abs() as f64) <= bound * (1.0 + 1e-9) + 1e-12);
+            assert!(((a - b).abs() as f64) <= bound * (1.0 + 1e-9) + 1e-12, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn zfp_stream_size_is_rate_exact(t in tensors(), rate in 1u32..24) {
+#[test]
+fn zfp_stream_size_is_rate_exact() {
+    let mut rng = Rng(0x2f9);
+    for case in 0..64 {
+        let t = rng.tensor();
+        let rate = rng.usize(1, 24) as u32;
         let zfp = ZfpLikeCompressor::new(rate as f64);
         let out = zfp.compress(&t);
         let s = t.shape();
@@ -68,17 +101,20 @@ proptest! {
         // Non-zero blocks spend exactly bits_per_block; zero blocks only the
         // header — so the stream never exceeds the fixed-rate budget.
         let max_bits = blocks * zfp.bits_per_block() as usize;
-        prop_assert!(out.bytes.len() <= max_bits.div_ceil(8));
+        assert!(out.bytes.len() <= max_bits.div_ceil(8), "case {case}");
         // And decompression always succeeds with the right shape.
         let rec = zfp.decompress(&out).unwrap();
-        prop_assert_eq!(rec.shape(), t.shape());
-        prop_assert!(!rec.has_non_finite());
+        assert_eq!(rec.shape(), t.shape(), "case {case}");
+        assert!(!rec.has_non_finite(), "case {case}");
     }
+}
 
-    #[test]
-    fn huffman_roundtrips_arbitrary_streams(
-        symbols in proptest::collection::vec(0u32..500, 1..2000)
-    ) {
+#[test]
+fn huffman_roundtrips_arbitrary_streams() {
+    let mut rng = Rng(0x4ff);
+    for case in 0..64 {
+        let n = rng.usize(1, 2000);
+        let symbols: Vec<u32> = (0..n).map(|_| rng.usize(0, 500) as u32).collect();
         let mut freqs = vec![0u64; 500];
         for &s in &symbols {
             freqs[s as usize] += 1;
@@ -91,13 +127,17 @@ proptest! {
         let mut r = BitReader::new(&bytes);
         let codec2 = HuffmanCodec::read_codebook(&mut r).unwrap();
         let decoded = codec2.decode(&mut r, symbols.len()).unwrap();
-        prop_assert_eq!(decoded, symbols);
+        assert_eq!(decoded, symbols, "case {case}");
     }
+}
 
-    #[test]
-    fn bitstream_roundtrips_mixed_width_writes(
-        fields in proptest::collection::vec((any::<u64>(), 1u32..64), 1..200)
-    ) {
+#[test]
+fn bitstream_roundtrips_mixed_width_writes() {
+    let mut rng = Rng(0xb175);
+    for case in 0..64 {
+        let n = rng.usize(1, 200);
+        let fields: Vec<(u64, u32)> =
+            (0..n).map(|_| (rng.next(), rng.usize(1, 64) as u32)).collect();
         let mut w = BitWriter::new();
         for &(v, n) in &fields {
             w.write_bits(v, n);
@@ -106,20 +146,22 @@ proptest! {
         let mut r = BitReader::new(&bytes);
         for &(v, n) in &fields {
             let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-            prop_assert_eq!(r.read_bits(n).unwrap(), v & mask);
+            assert_eq!(r.read_bits(n).unwrap(), v & mask, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn sz_decompression_never_panics_on_corruption(
-        t in tensors(), flip in any::<u64>(), trunc in 0.0f64..1.0
-    ) {
+#[test]
+fn sz_decompression_never_panics_on_corruption() {
+    let mut rng = Rng(0xdead);
+    for _ in 0..64 {
+        let t = rng.tensor();
         let sz = SzCompressor::new(ErrorBound::Abs(1e-3));
         let mut out = sz.compress(&t);
         // Corrupt: truncate and flip a byte.
-        let keep = ((out.bytes.len() as f64) * trunc) as usize;
+        let keep = ((out.bytes.len() as f64) * rng.f64(0.0, 1.0)) as usize;
         out.bytes.truncate(keep.max(1));
-        let idx = (flip as usize) % out.bytes.len();
+        let idx = (rng.next() as usize) % out.bytes.len();
         out.bytes[idx] ^= 0x5A;
         // Must return (Ok or Err) without panicking.
         let _ = sz.decompress(&out);

@@ -1,12 +1,12 @@
-//! Shared CPU computation paths (serial + rayon) for all metric passes.
+//! Shared CPU computation paths (serial + threaded) for all metric passes.
 //!
 //! The serial versions are the ground-truth reference the paper's §IV-B
 //! correctness check compares against; the `_par` versions are the
-//! functional engine of the ompZC executor. Both produce values matching
-//! the GPU kernels to floating-point reduction tolerance.
+//! functional engine of the ompZC executor, parallelized with `zc_par`'s
+//! deterministic fork/join. Both produce values matching the GPU kernels
+//! to floating-point reduction tolerance.
 
 use crate::config::SsimSettings;
-use rayon::prelude::*;
 use zc_kernels::acc::{deriv1_nd, deriv2_nd};
 use zc_kernels::p3::SsimAcc;
 use zc_kernels::{FieldPair, Histogram, P1Histograms, P1Scalars, P2Stats, WindowMoments};
@@ -23,20 +23,20 @@ pub fn p1_scan(f: &FieldPair<'_>) -> P1Scalars {
 /// Parallel fused pattern-1 scan (one task per z-slab).
 pub fn p1_scan_par(f: &FieldPair<'_>) -> P1Scalars {
     let slab = f.shape.slab_len();
-    f.orig
-        .par_chunks(slab)
-        .zip(f.dec.par_chunks(slab))
-        .map(|(xs, ys)| {
-            let mut acc = P1Scalars::identity();
-            for (&x, &y) in xs.iter().zip(ys.iter()) {
-                acc.absorb(x as f64, y as f64);
-            }
-            acc
-        })
-        .reduce(P1Scalars::identity, |mut a, b| {
-            a.combine(&b);
-            a
-        })
+    let parts = zc_par::par_map(f.orig.len().div_ceil(slab), |i| {
+        let lo = i * slab;
+        let hi = (lo + slab).min(f.orig.len());
+        let mut acc = P1Scalars::identity();
+        for (&x, &y) in f.orig[lo..hi].iter().zip(f.dec[lo..hi].iter()) {
+            acc.absorb(x as f64, y as f64);
+        }
+        acc
+    });
+    let mut acc = P1Scalars::identity();
+    for p in &parts {
+        acc.combine(p);
+    }
+    acc
 }
 
 fn make_histograms(scalars: &P1Scalars, bins: usize) -> P1Histograms {
@@ -68,30 +68,27 @@ pub fn histograms(f: &FieldPair<'_>, scalars: &P1Scalars, bins: usize) -> P1Hist
 /// Parallel histogram pass.
 pub fn histograms_par(f: &FieldPair<'_>, scalars: &P1Scalars, bins: usize) -> P1Histograms {
     let slab = f.shape.slab_len();
-    f.orig
-        .par_chunks(slab)
-        .zip(f.dec.par_chunks(slab))
-        .map(|(xs, ys)| {
-            let mut h = make_histograms(scalars, bins);
-            for (&x, &y) in xs.iter().zip(ys.iter()) {
-                let (x, y) = (x as f64, y as f64);
-                h.err_pdf.insert(x - y);
-                h.value_hist.insert(x);
-                if x != 0.0 {
-                    h.rel_pdf.insert(((x - y) / x).abs());
-                }
+    let parts = zc_par::par_map(f.orig.len().div_ceil(slab), |i| {
+        let lo = i * slab;
+        let hi = (lo + slab).min(f.orig.len());
+        let mut h = make_histograms(scalars, bins);
+        for (&x, &y) in f.orig[lo..hi].iter().zip(f.dec[lo..hi].iter()) {
+            let (x, y) = (x as f64, y as f64);
+            h.err_pdf.insert(x - y);
+            h.value_hist.insert(x);
+            if x != 0.0 {
+                h.rel_pdf.insert(((x - y) / x).abs());
             }
-            h
-        })
-        .reduce(
-            || make_histograms(scalars, bins),
-            |mut a, b| {
-                a.err_pdf.merge(&b.err_pdf);
-                a.rel_pdf.merge(&b.rel_pdf);
-                a.value_hist.merge(&b.value_hist);
-                a
-            },
-        )
+        }
+        h
+    });
+    let mut acc = make_histograms(scalars, bins);
+    for h in &parts {
+        acc.err_pdf.merge(&h.err_pdf);
+        acc.rel_pdf.merge(&h.rel_pdf);
+        acc.value_hist.merge(&h.value_hist);
+    }
+    acc
 }
 
 fn p2_plane(f: &FieldPair<'_>, mean_e: f64, max_lag: usize, z: usize, w4: usize) -> P2Stats {
@@ -178,16 +175,15 @@ pub fn p2_scan_par(f: &FieldPair<'_>, mean_e: f64, max_lag: usize) -> P2Stats {
     let s = f.shape;
     let planes: Vec<(usize, usize)> =
         (0..s.nw()).flat_map(|w| (0..s.nz()).map(move |z| (z, w))).collect();
-    planes
-        .into_par_iter()
-        .map(|(z, w4)| p2_plane(f, mean_e, max_lag, z, w4))
-        .reduce(
-            || P2Stats::identity(max_lag),
-            |mut a, b| {
-                a.combine(&b);
-                a
-            },
-        )
+    let parts = zc_par::par_map(planes.len(), |i| {
+        let (z, w4) = planes[i];
+        p2_plane(f, mean_e, max_lag, z, w4)
+    });
+    let mut acc = P2Stats::identity(max_lag);
+    for p in &parts {
+        acc.combine(p);
+    }
+    acc
 }
 
 /// Summed-volume tables for the five SSIM moment quantities, enabling
@@ -286,13 +282,10 @@ pub fn ssim_scan(f: &FieldPair<'_>, ssim: &SsimSettings, range: f64, parallel: b
             local
         };
         let sub = if parallel {
-            (0..cz)
-                .into_par_iter()
-                .map(fold_z)
-                .reduce(SsimAcc::default, |a, b| SsimAcc {
-                    sum: a.sum + b.sum,
-                    windows: a.windows + b.windows,
-                })
+            zc_par::par_map(cz, fold_z).into_iter().fold(SsimAcc::default(), |a, b| SsimAcc {
+                sum: a.sum + b.sum,
+                windows: a.windows + b.windows,
+            })
         } else {
             let mut a = SsimAcc::default();
             for wz in 0..cz {

@@ -13,18 +13,36 @@ use crate::report::AnalysisReport;
 use std::time::Instant;
 use zc_gpusim::{BlockKernel, Counters, GpuSim, LaunchResult};
 use zc_kernels::p3::SsimParams;
-use zc_kernels::{FieldPair, P1FusedKernel, P1HistKernel, P2FusedKernel, P2Stats, SsimFusedKernel};
+use zc_kernels::{
+    FieldPair, HasReferencePath, P1FusedKernel, P1HistKernel, P2FusedKernel, P2Stats, Reference,
+    SsimFusedKernel,
+};
 
 /// The pattern-oriented GPU executor.
 #[derive(Clone, Debug)]
 pub struct CuZc {
     /// The simulated device.
     pub sim: GpuSim,
+    /// Launch every kernel through its scalar reference path instead of the
+    /// SoA fast path (differential testing / benchmarking; results and
+    /// counters must be identical).
+    pub reference_path: bool,
 }
 
 impl Default for CuZc {
     fn default() -> Self {
-        CuZc { sim: GpuSim::v100() }
+        CuZc { sim: GpuSim::v100(), reference_path: false }
+    }
+}
+
+impl CuZc {
+    /// Launch a kernel through the configured lane path.
+    fn launch<K: HasReferencePath>(&self, k: &K, grid: usize) -> LaunchResult<K::Output> {
+        if self.reference_path {
+            self.sim.launch(&Reference(k), grid)
+        } else {
+            self.sim.launch(k, grid)
+        }
     }
 }
 
@@ -132,13 +150,13 @@ impl Executor for CuZc {
         // pattern 3, exactly as in the real coordinator.
         let mut acc1 = PatternAcc::new(Pattern::GlobalReduction);
         let k_scalar = P1FusedKernel { fields: f };
-        let r_scalar = self.sim.launch(&k_scalar, k_scalar.grid());
+        let r_scalar = self.launch(&k_scalar, k_scalar.grid());
         acc1.add(&self.sim, &k_scalar, &r_scalar);
         counters.merge(&r_scalar.counters);
         let p1 = r_scalar.output;
         let hists = if sel.needs(Pattern::GlobalReduction) {
             let k_hist = P1HistKernel { fields: f, scalars: p1, bins: cfg.bins };
-            let r_hist = self.sim.launch(&k_hist, k_hist.grid());
+            let r_hist = self.launch(&k_hist, k_hist.grid());
             acc1.add(&self.sim, &k_hist, &r_hist);
             counters.merge(&r_hist.counters);
             Some(r_hist.output)
@@ -163,7 +181,7 @@ impl Executor for CuZc {
                     autocorr: true,
                     cooperative: true,
                 };
-                let r = self.sim.launch(&k, k.grid());
+                let r = self.launch(&k, k.grid());
                 acc2.add(&self.sim, &k, &r);
                 counters.merge(&r.counters);
                 stats.combine(&r.output);
@@ -187,7 +205,7 @@ impl Executor for CuZc {
                 range: p1.value_range(),
             };
             let k = SsimFusedKernel { fields: f, params, fifo_in_shared: true };
-            let r = self.sim.launch(&k, k.grid());
+            let r = self.launch(&k, k.grid());
             acc3.add(&self.sim, &k, &r);
             counters.merge(&r.counters);
             times.p3 = acc3.seconds();
@@ -262,6 +280,26 @@ mod tests {
         let p3 = &a.profiles[2];
         assert_eq!(p3.regs_per_tb, 11_008);
         assert!(a.modeled_seconds > 0.0);
+    }
+
+    #[test]
+    fn reference_path_executor_is_identical() {
+        let (orig, dec) = fields();
+        let cfg = AssessConfig::default();
+        let fast = CuZc::default().assess(&orig, &dec, &cfg).unwrap();
+        let refr = CuZc { reference_path: true, ..Default::default() }
+            .assess(&orig, &dec, &cfg)
+            .unwrap();
+        // Same outputs, same counters, same modeled time — only the host
+        // wall-clock may differ.
+        assert_eq!(fast.counters, refr.counters);
+        assert_eq!(fast.modeled_seconds, refr.modeled_seconds);
+        assert_eq!(fast.report.p1.psnr_db().to_bits(), refr.report.p1.psnr_db().to_bits());
+        let (fh, rh) = (fast.report.histograms.unwrap(), refr.report.histograms.unwrap());
+        assert_eq!(fh.err_pdf.counts(), rh.err_pdf.counts());
+        let (fs, rs) = (fast.report.ssim.unwrap(), refr.report.ssim.unwrap());
+        assert_eq!(fs.windows, rs.windows);
+        assert_eq!(fs.mean_ssim.to_bits(), rs.mean_ssim.to_bits());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! | name | paper role | engine |
 //! |---|---|---|
 //! | [`SerialZc`] | ground-truth reference (§IV-B correctness check) | scalar loops |
-//! | [`OmpZc`] | multithreaded CPU baseline "ompZC" | rayon + Xeon cost model |
+//! | [`OmpZc`] | multithreaded CPU baseline "ompZC" | zc-par threads + Xeon cost model |
 //! | [`MoZc`] | metric-oriented GPU baseline "moZC" | per-metric kernels on `zc-gpusim` |
 //! | [`CuZc`] | the paper's pattern-oriented "cuZC" | fused pattern kernels on `zc-gpusim` |
 //!

@@ -1,6 +1,6 @@
 //! The ompZC executor — the paper's multithreaded CPU baseline.
 //!
-//! Functionally it computes every metric with rayon (real, fast values);
+//! Functionally it computes every metric with zc-par threads (real, fast values);
 //! for the figures it *charges* the metric-oriented cost of the original
 //! OpenMP Z-checker — one pass over the arrays per metric, scalar
 //! arithmetic per element — and converts the counters into modeled

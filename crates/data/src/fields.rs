@@ -126,8 +126,7 @@ pub fn synthesize_evolving(
     let slab = shape.slab_len();
 
     // One contiguous (x, y) slab per parallel task.
-    use rayon::prelude::*;
-    data.par_chunks_mut(slab).enumerate().for_each(|(zi, chunk)| {
+    zc_par::par_chunks_mut(&mut data, slab, |zi, chunk| {
         let z = zi % nz;
         let w4 = zi / nz; // hyper-slab index for 4D fields
         let (wseed, t_off) = match drift {

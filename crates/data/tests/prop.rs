@@ -1,66 +1,92 @@
-//! Property-based tests for the dataset substrate.
+//! Property-based tests for the dataset substrate, driven by a
+//! deterministic inline RNG (no external property-testing dependency).
 
-use proptest::prelude::*;
 use zc_data::{fbm3, AppDataset, GenOptions, NoiseSpec, Rng64};
 
-proptest! {
-    #[test]
-    fn rng_streams_are_deterministic_and_uniform(seed in any::<u64>()) {
+/// Deterministic splitmix64 case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+#[test]
+fn rng_streams_are_deterministic_and_uniform() {
+    let mut rng = Rng(0xd57e);
+    for case in 0..64 {
+        let seed = rng.next();
         let mut a = Rng64::new(seed);
         let mut b = Rng64::new(seed);
         let mut lo = 0usize;
         for _ in 0..256 {
             let u = a.uniform();
-            prop_assert_eq!(u, b.uniform());
-            prop_assert!((0.0..1.0).contains(&u));
+            assert_eq!(u, b.uniform(), "case {case}");
+            assert!((0.0..1.0).contains(&u), "case {case}");
             if u < 0.5 {
                 lo += 1;
             }
         }
         // Crude uniformity: the halves are not wildly unbalanced.
-        prop_assert!((64..=192).contains(&lo), "lo = {}", lo);
+        assert!((64..=192).contains(&lo), "case {case}: lo = {lo}");
     }
+}
 
-    #[test]
-    fn fbm_is_bounded_everywhere(
-        seed in any::<u64>(),
-        freq in 0.01f64..10.0,
-        oct in 1u32..8,
-        x in -100.0f64..100.0,
-        y in -100.0f64..100.0,
-        z in -100.0f64..100.0,
-    ) {
+#[test]
+fn fbm_is_bounded_everywhere() {
+    let mut rng = Rng(0xfb3);
+    for case in 0..256 {
+        let seed = rng.next();
+        let freq = rng.f64(0.01, 10.0);
+        let oct = rng.usize(1, 8) as u32;
+        let x = rng.f64(-100.0, 100.0);
+        let y = rng.f64(-100.0, 100.0);
+        let z = rng.f64(-100.0, 100.0);
         let v = fbm3(&NoiseSpec::new(seed, freq, oct), x, y, z);
-        prop_assert!((-1.0..=1.0).contains(&v), "fbm = {}", v);
+        assert!((-1.0..=1.0).contains(&v), "case {case}: fbm = {v}");
         // Deterministic.
-        prop_assert_eq!(v, fbm3(&NoiseSpec::new(seed, freq, oct), x, y, z));
+        assert_eq!(v, fbm3(&NoiseSpec::new(seed, freq, oct), x, y, z), "case {case}");
     }
+}
 
-    #[test]
-    fn generated_fields_are_finite_and_in_catalog_shape(
-        seed in any::<u64>(),
-        ds_idx in 0usize..4,
-        field_frac in 0.0f64..1.0,
-    ) {
-        let ds = AppDataset::ALL[ds_idx];
-        let field_idx = ((ds.field_count() - 1) as f64 * field_frac) as usize;
+#[test]
+fn generated_fields_are_finite_and_in_catalog_shape() {
+    let mut rng = Rng(0x6f1e1d);
+    for case in 0..16 {
+        let seed = rng.next();
+        let ds = AppDataset::ALL[rng.usize(0, 4)];
+        let field_idx =
+            ((ds.field_count() - 1) as f64 * rng.f64(0.0, 1.0)) as usize;
         let opts = GenOptions::scaled(32).with_seed(seed);
         let f = ds.generate_field(field_idx, &opts);
-        prop_assert_eq!(f.data.shape(), ds.shape(&opts));
-        prop_assert!(!f.data.has_non_finite());
+        assert_eq!(f.data.shape(), ds.shape(&opts), "case {case}");
+        assert!(!f.data.has_non_finite(), "case {case}");
         // Fields have nonzero content (not all equal).
         let (mn, mx) = f.data.min_max().unwrap();
-        prop_assert!(mx > mn, "degenerate field {}", f.name);
+        assert!(mx > mn, "case {case}: degenerate field {}", f.name);
     }
+}
 
-    #[test]
-    fn seeds_decorrelate_instances(seed in 1u64..u64::MAX) {
-        let a = AppDataset::Nyx
-            .generate_field(0, &GenOptions::scaled(64))
-            .data;
-        let b = AppDataset::Nyx
-            .generate_field(0, &GenOptions::scaled(64).with_seed(seed))
-            .data;
-        prop_assert_ne!(a.as_slice(), b.as_slice());
+#[test]
+fn seeds_decorrelate_instances() {
+    let mut rng = Rng(0x5eed);
+    for case in 0..8 {
+        let seed = rng.next().max(1);
+        let a = AppDataset::Nyx.generate_field(0, &GenOptions::scaled(64)).data;
+        let b = AppDataset::Nyx.generate_field(0, &GenOptions::scaled(64).with_seed(seed)).data;
+        assert_ne!(a.as_slice(), b.as_slice(), "case {case}");
     }
 }

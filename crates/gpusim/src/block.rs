@@ -22,6 +22,22 @@ impl<T: Copy + Default> SharedBuf<T> {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Direct view of the backing storage for bulk fast paths. Accesses
+    /// through the slice are **not** charged — callers must account for
+    /// them with [`BlockCtx::charge_shared`] so counter totals stay
+    /// identical to the per-access [`BlockCtx::sh_read`]/[`BlockCtx::sh_write`]
+    /// reference path.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view (same charging contract as [`SharedBuf::as_slice`]).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
 }
 
 /// Execution context of one thread block.
@@ -61,6 +77,16 @@ impl BlockCtx {
     /// out-of-range lanes receive `fill`. One coalesced transaction when
     /// `stride == 1`.
     pub fn g_read_lanes(&mut self, data: &[f32], base: usize, stride: usize, fill: f32) -> Lanes<f32> {
+        // Stride-1 fully-in-bounds reads — the interior of every row walk —
+        // take a contiguous fast path: one slice copy the compiler can
+        // vectorize and a single 128-byte counter add (the same total the
+        // per-lane path below charges as 32 unit adds).
+        if stride == 1 && base + WARP <= data.len() {
+            let mut a = [0.0f32; WARP];
+            a.copy_from_slice(&data[base..base + WARP]);
+            self.counters.global_read_bytes += (4 * WARP) as u64;
+            return Lanes::from_array(a);
+        }
         let mut n = 0u64;
         let l = Lanes::from_fn(|i| {
             let idx = base + i * stride;
@@ -98,6 +124,41 @@ impl BlockCtx {
     #[inline]
     pub fn g_scatter(&mut self, bytes: u64) {
         self.counters.global_scatter_bytes += bytes;
+    }
+
+    // ---- batched charging ------------------------------------------------
+    //
+    // Bulk fast paths move data through plain slices and settle the
+    // accounting in one add per row/tile instead of one per access. Each
+    // helper must be fed the exact access count its per-access counterpart
+    // would have charged, so totals stay identical between paths.
+
+    /// Charge `n` coalesced 4-byte global lane reads in one accounting op
+    /// (the batched form of [`BlockCtx::g_read`]).
+    #[inline]
+    pub fn charge_lane_reads(&mut self, n: u64) {
+        self.counters.global_read_bytes += 4 * n;
+    }
+
+    /// Charge `n` coalesced 4-byte global lane writes in one accounting op
+    /// (the batched form of [`BlockCtx::g_write`]).
+    #[inline]
+    pub fn charge_lane_writes(&mut self, n: u64) {
+        self.counters.global_write_bytes += 4 * n;
+    }
+
+    /// Charge `n` shared-memory word accesses in one accounting op (the
+    /// batched form of [`BlockCtx::sh_read`]/[`BlockCtx::sh_write`]).
+    #[inline]
+    pub fn charge_shared(&mut self, n: u64) {
+        self.counters.shared_accesses += n;
+    }
+
+    /// Charge `n` warp shuffles in one accounting op (the batched form of
+    /// the [`BlockCtx::shfl_down`] family).
+    #[inline]
+    pub fn charge_shuffles(&mut self, n: u64) {
+        self.counters.shuffles += n;
     }
 
     // ---- shared memory -------------------------------------------------
@@ -202,6 +263,56 @@ mod tests {
         assert_eq!(lanes.lane(2), 3.0);
         assert_eq!(lanes.lane(3), 0.0); // fill
         assert_eq!(ctx.counters.global_read_bytes, 4 + 12); // only 3 valid lanes
+    }
+
+    #[test]
+    fn lane_read_fast_path_matches_general_path() {
+        // A stride-1 fully-in-bounds read takes the slice-copy fast path;
+        // values and charged bytes must equal the per-lane general path.
+        let data: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        let mut fast = BlockCtx::new();
+        let got = fast.g_read_lanes(&data, 17, 1, -1.0);
+        let mut general = BlockCtx::new();
+        let want = Lanes::from_fn(|i| {
+            general.counters.global_read_bytes += 4;
+            data[17 + i]
+        });
+        assert_eq!(got, want);
+        assert_eq!(fast.counters.global_read_bytes, general.counters.global_read_bytes);
+        // Strided and tail reads stay on the general path (charging only
+        // in-bounds lanes).
+        let tail = fast.g_read_lanes(&data, 90, 1, 0.0);
+        assert_eq!(tail.lane(9), data[99]);
+        assert_eq!(tail.lane(10), 0.0);
+        assert_eq!(fast.counters.global_read_bytes, 128 + 40);
+    }
+
+    #[test]
+    fn batched_charges_match_per_access_totals() {
+        let mut a = BlockCtx::new();
+        let mut b = BlockCtx::new();
+        for _ in 0..37 {
+            a.counters.global_read_bytes += 4;
+            a.counters.shared_accesses += 1;
+            a.counters.shuffles += 1;
+            a.counters.global_write_bytes += 4;
+        }
+        b.charge_lane_reads(37);
+        b.charge_shared(37);
+        b.charge_shuffles(37);
+        b.charge_lane_writes(37);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn shared_buf_slices_expose_storage_uncharged() {
+        let mut ctx = BlockCtx::new();
+        let mut buf: SharedBuf<f32> = ctx.shared_alloc(8);
+        buf.as_mut_slice()[3] = 2.5;
+        assert_eq!(buf.as_slice()[3], 2.5);
+        assert_eq!(ctx.counters.shared_accesses, 0); // caller charges in bulk
+        ctx.charge_shared(2);
+        assert_eq!(ctx.counters.shared_accesses, 2);
     }
 
     #[test]

@@ -36,6 +36,19 @@ impl<T: Copy + Default> Lanes<T> {
         self.0[i]
     }
 
+    /// Borrow the lanes as a plain array — the struct-of-arrays fast paths
+    /// index this directly instead of going through per-lane closures.
+    #[inline]
+    pub fn as_array(&self) -> &[T; WARP] {
+        &self.0
+    }
+
+    /// Wrap a plain array as a lane vector.
+    #[inline]
+    pub fn from_array(a: [T; WARP]) -> Self {
+        Lanes(a)
+    }
+
     /// Set lane `i`.
     #[inline]
     pub fn set_lane(&mut self, i: usize, v: T) {

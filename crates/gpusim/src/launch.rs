@@ -5,7 +5,6 @@ use crate::cost::{gpu_time, GpuCalib, ModeledTime};
 use crate::counters::Counters;
 use crate::occupancy::{occupancy, KernelResources, Occupancy};
 use crate::spec::DeviceSpec;
-use rayon::prelude::*;
 
 /// The computational-pattern class of a kernel (Table I of the paper),
 /// selecting the calibrated achieved-efficiency band in the cost model.
@@ -53,6 +52,33 @@ pub trait BlockKernel: Sync {
     fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<Self::Partial>) -> Self::Output;
 }
 
+// A reference to a kernel is itself a kernel, so adapters (e.g. a
+// reference-path wrapper) can borrow instead of consuming the kernel.
+impl<K: BlockKernel> BlockKernel for &K {
+    type Partial = K::Partial;
+    type Output = K::Output;
+
+    fn resources(&self) -> KernelResources {
+        (**self).resources()
+    }
+
+    fn class(&self) -> KernelClass {
+        (**self).class()
+    }
+
+    fn cooperative(&self) -> bool {
+        (**self).cooperative()
+    }
+
+    fn run_block(&self, block_idx: usize, ctx: &mut BlockCtx) -> Self::Partial {
+        (**self).run_block(block_idx, ctx)
+    }
+
+    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<Self::Partial>) -> Self::Output {
+        (**self).finalize(ctx, partials)
+    }
+}
+
 /// Result of a simulated launch.
 #[derive(Clone, Debug)]
 pub struct LaunchResult<O> {
@@ -92,20 +118,17 @@ impl GpuSim {
     /// the grid geometry.
     pub fn launch<K: BlockKernel>(&self, kernel: &K, grid_blocks: usize) -> LaunchResult<K::Output> {
         assert!(grid_blocks > 0, "empty grid");
-        let mut results: Vec<(Counters, K::Partial)> = (0..grid_blocks)
-            .into_par_iter()
-            .map(|b| {
-                let mut ctx = BlockCtx::new();
-                let partial = kernel.run_block(b, &mut ctx);
-                debug_assert!(
-                    ctx.shared_bytes() <= kernel.resources().smem_per_block as usize,
-                    "block used {} shared bytes but declared {}",
-                    ctx.shared_bytes(),
-                    kernel.resources().smem_per_block
-                );
-                (ctx.counters, partial)
-            })
-            .collect();
+        let mut results: Vec<(Counters, K::Partial)> = zc_par::par_map(grid_blocks, |b| {
+            let mut ctx = BlockCtx::new();
+            let partial = kernel.run_block(b, &mut ctx);
+            debug_assert!(
+                ctx.shared_bytes() <= kernel.resources().smem_per_block as usize,
+                "block used {} shared bytes but declared {}",
+                ctx.shared_bytes(),
+                kernel.resources().smem_per_block
+            );
+            (ctx.counters, partial)
+        });
 
         let mut counters = Counters { launches: 1, ..Default::default() };
         let mut partials = Vec::with_capacity(grid_blocks);

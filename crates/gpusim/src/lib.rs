@@ -12,7 +12,7 @@
 //!    `shfl_down`/`shfl_up`/`shfl_xor`/`ballot` semantics, block-level
 //!    [`SharedBuf`] shared memory with `sync_threads` barriers, and a
 //!    cooperative-grid finalize phase (the `cg::sync(grid)` of the paper's
-//!    Algorithm 1). Blocks execute in parallel with rayon; results are
+//!    Algorithm 1). Blocks execute in parallel on scoped threads; results are
 //!    deterministic because inter-block communication only happens at the
 //!    phase boundary, exactly as in a real cooperative kernel.
 //!

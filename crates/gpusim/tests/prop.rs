@@ -1,34 +1,71 @@
 //! Property-based tests for the simulator primitives: shuffle semantics,
-//! occupancy arithmetic and cost-model monotonicity.
+//! occupancy arithmetic and cost-model monotonicity. Cases come from a
+//! deterministic inline RNG (no external property-testing dependency).
 
-use proptest::prelude::*;
 use zc_gpusim::cost::{gpu_time, CpuModel, GpuCalib};
 use zc_gpusim::{occupancy, Counters, DeviceSpec, KernelClass, KernelResources, Lanes, WARP};
 
-fn lanes() -> impl Strategy<Value = Lanes<f32>> {
-    proptest::collection::vec(-1.0e6f32..1.0e6, WARP)
-        .prop_map(|v| Lanes::from_fn(|i| v[i]))
-}
+/// Deterministic splitmix64 case generator.
+struct Rng(u64);
 
-proptest! {
-    #[test]
-    fn shfl_xor_is_involutive(l in lanes(), m in 1usize..32) {
-        let twice = l.shfl_xor(u32::MAX, m).shfl_xor(u32::MAX, m);
-        prop_assert_eq!(twice, l);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn shfl_down_then_up_restores_interior(l in lanes(), d in 1usize..16) {
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    fn u64r(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * (((self.next() >> 11) as f64 / (1u64 << 53) as f64) as f32)
+    }
+
+    fn lanes(&mut self) -> Lanes<f32> {
+        let v: Vec<f32> = (0..WARP).map(|_| self.f32(-1.0e6, 1.0e6)).collect();
+        Lanes::from_fn(|i| v[i])
+    }
+}
+
+#[test]
+fn shfl_xor_is_involutive() {
+    let mut rng = Rng(0x5f1);
+    for case in 0..256 {
+        let l = rng.lanes();
+        let m = rng.usize(1, 32);
+        let twice = l.shfl_xor(u32::MAX, m).shfl_xor(u32::MAX, m);
+        assert_eq!(twice, l, "case {case}");
+    }
+}
+
+#[test]
+fn shfl_down_then_up_restores_interior() {
+    let mut rng = Rng(0x5f2);
+    for case in 0..256 {
+        let l = rng.lanes();
+        let d = rng.usize(1, 16);
         // For lanes in [d, 32-d), down(d) moves lane i+d into i; up(d)
         // moves it back.
         let roundtrip = l.shfl_down(u32::MAX, d).shfl_up(u32::MAX, d);
         for i in d..(WARP - d) {
-            prop_assert_eq!(roundtrip.lane(i), l.lane(i));
+            assert_eq!(roundtrip.lane(i), l.lane(i), "case {case} lane {i}");
         }
     }
+}
 
-    #[test]
-    fn shuffle_reduction_tree_sums_all_lanes(l in lanes()) {
+#[test]
+fn shuffle_reduction_tree_sums_all_lanes() {
+    let mut rng = Rng(0x5f3);
+    for case in 0..256 {
+        let l = rng.lanes();
         // f64 butterfly: exact (no fp reordering issues at f64 for 32 f32s).
         let mut acc = l.map(|v| v as f64);
         let mut offset = WARP / 2;
@@ -38,15 +75,17 @@ proptest! {
             offset /= 2;
         }
         let direct: f64 = (0..WARP).map(|i| l.lane(i) as f64).sum();
-        prop_assert!((acc.lane(0) - direct).abs() <= 1e-9 * direct.abs().max(1.0));
+        assert!((acc.lane(0) - direct).abs() <= 1e-9 * direct.abs().max(1.0), "case {case}");
     }
+}
 
-    #[test]
-    fn occupancy_never_exceeds_hardware_limits(
-        regs in 1u32..256,
-        smem in 0u32..(96 * 1024),
-        threads in 32u32..1025,
-    ) {
+#[test]
+fn occupancy_never_exceeds_hardware_limits() {
+    let mut rng = Rng(0x0cc);
+    for case in 0..256 {
+        let regs = rng.usize(1, 256) as u32;
+        let smem = rng.usize(0, 96 * 1024) as u32;
+        let threads = rng.usize(32, 1025) as u32;
         let dev = DeviceSpec::v100();
         let res = KernelResources {
             regs_per_thread: regs,
@@ -54,44 +93,51 @@ proptest! {
             threads_per_block: threads,
         };
         let occ = occupancy(&dev, &res);
-        prop_assert!(occ.blocks_per_sm <= dev.max_blocks_per_sm);
-        prop_assert!(occ.blocks_per_sm * threads <= dev.max_threads_per_sm + threads);
-        prop_assert!(occ.fraction <= 1.0 + 1e-12);
+        assert!(occ.blocks_per_sm <= dev.max_blocks_per_sm, "case {case}");
+        assert!(occ.blocks_per_sm * threads <= dev.max_threads_per_sm + threads, "case {case}");
+        assert!(occ.fraction <= 1.0 + 1e-12, "case {case}");
         // Resource accounting: the resident blocks actually fit.
         if occ.blocks_per_sm > 0 {
-            prop_assert!(occ.blocks_per_sm * res.regs_per_block() <= dev.regs_per_sm);
-            prop_assert!(occ.blocks_per_sm * smem <= dev.smem_per_sm);
+            assert!(occ.blocks_per_sm * res.regs_per_block() <= dev.regs_per_sm, "case {case}");
+            assert!(occ.blocks_per_sm * smem <= dev.smem_per_sm, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn more_registers_never_increase_occupancy(
-        regs in 8u32..128,
-        threads_pow in 5u32..11,
-    ) {
+#[test]
+fn more_registers_never_increase_occupancy() {
+    let mut rng = Rng(0x0cd);
+    for case in 0..256 {
+        let regs = rng.usize(8, 128) as u32;
+        let threads = 1u32 << rng.usize(5, 11);
         let dev = DeviceSpec::v100();
-        let threads = 1u32 << threads_pow;
-        let mk = |r| occupancy(&dev, &KernelResources {
-            regs_per_thread: r,
-            smem_per_block: 0,
-            threads_per_block: threads,
-        });
-        prop_assert!(mk(regs + 8).blocks_per_sm <= mk(regs).blocks_per_sm);
+        let mk = |r| {
+            occupancy(
+                &dev,
+                &KernelResources {
+                    regs_per_thread: r,
+                    smem_per_block: 0,
+                    threads_per_block: threads,
+                },
+            )
+        };
+        assert!(mk(regs + 8).blocks_per_sm <= mk(regs).blocks_per_sm, "case {case}");
     }
+}
 
-    #[test]
-    fn gpu_time_is_monotone_in_every_counter(
-        bytes in 1u64..1 << 32,
-        flops in 1u64..1 << 34,
-        grid in 1usize..10_000,
-    ) {
+#[test]
+fn gpu_time_is_monotone_in_every_counter() {
+    let mut rng = Rng(0x6e7);
+    for case in 0..256 {
+        let bytes = rng.u64r(1, 1 << 32);
+        let flops = rng.u64r(1, 1 << 34);
+        let grid = rng.usize(1, 10_000);
         let dev = DeviceSpec::v100();
         let calib = GpuCalib::default();
-        let occ = occupancy(&dev, &KernelResources {
-            regs_per_thread: 32,
-            smem_per_block: 0,
-            threads_per_block: 256,
-        });
+        let occ = occupancy(
+            &dev,
+            &KernelResources { regs_per_thread: 32, smem_per_block: 0, threads_per_block: 256 },
+        );
         let base = Counters {
             global_read_bytes: bytes,
             lane_flops: flops,
@@ -104,20 +150,28 @@ proptest! {
         more.lane_flops *= 2;
         more.shuffles = 1000;
         let t1 = gpu_time(&dev, &calib, &more, &occ, grid, KernelClass::Generic);
-        prop_assert!(t1.total_s >= t0.total_s);
-        prop_assert!(t0.total_s > 0.0 && t0.total_s.is_finite());
+        assert!(t1.total_s >= t0.total_s, "case {case}");
+        assert!(t0.total_s > 0.0 && t0.total_s.is_finite(), "case {case}");
     }
+}
 
-    #[test]
-    fn cpu_time_is_monotone(ops in 1u64..1 << 36, passes in 1u64..64) {
+#[test]
+fn cpu_time_is_monotone() {
+    let mut rng = Rng(0xc70);
+    for case in 0..256 {
+        let ops = rng.u64r(1, 1 << 36);
+        let passes = rng.u64r(1, 64);
         let cpu = CpuModel::xeon_6148();
-        let mk = |o: u64, p: u64| cpu.time(&Counters {
-            lane_flops: o,
-            global_read_bytes: o / 2,
-            launches: p,
-            ..Default::default()
-        }).total_s;
-        prop_assert!(mk(ops * 2, passes) >= mk(ops, passes));
-        prop_assert!(mk(ops, passes + 1) >= mk(ops, passes));
+        let mk = |o: u64, p: u64| {
+            cpu.time(&Counters {
+                lane_flops: o,
+                global_read_bytes: o / 2,
+                launches: p,
+                ..Default::default()
+            })
+            .total_s
+        };
+        assert!(mk(ops * 2, passes) >= mk(ops, passes), "case {case}");
+        assert!(mk(ops, passes + 1) >= mk(ops, passes), "case {case}");
     }
 }

@@ -1,4 +1,4 @@
-//! Accumulator math shared by every executor (scalar reference, rayon
+//! Accumulator math shared by every executor (scalar reference, threaded
 //! "ompZC", metric-oriented "moZC", pattern-oriented "cuZC").
 //!
 //! Keeping the raw-moment bookkeeping in one place guarantees all four
@@ -242,6 +242,224 @@ impl P1Scalars {
         } else {
             (cov / denom).clamp(-1.0, 1.0)
         }
+    }
+}
+
+/// Struct-of-arrays form of 32 per-lane [`P1Scalars`] accumulators.
+///
+/// The fused pattern-1 kernel's hot loop absorbs one `(x, y)` pair per lane
+/// per iteration. Holding the warp's accumulators as `[P1Scalars; 32]`
+/// defeats autovectorization — each statistic's update strides over a
+/// ~150-byte struct layout. Holding one `[f64; 32]` per *statistic* turns
+/// every update into a unit-stride loop over a flat array.
+///
+/// Equivalence guarantees, relied on by the differential tests:
+/// * each lane's update sequence is identical to repeated
+///   [`P1Scalars::absorb`] calls (statistics are mutually independent, so
+///   regrouping by statistic cannot change any value);
+/// * [`LaneAccum::warp_reduce`] replays the exact `shfl_down` butterfly the
+///   scalar path folds with (offsets 16, 8, 4, 2, 1).
+///
+/// The folded result is therefore bit-identical, not merely close.
+#[derive(Clone)]
+pub struct LaneAccum {
+    n: [u64; LANES],
+    min_x: [f64; LANES],
+    max_x: [f64; LANES],
+    min_y: [f64; LANES],
+    max_y: [f64; LANES],
+    sum_x: [f64; LANES],
+    sum_x2: [f64; LANES],
+    sum_y: [f64; LANES],
+    sum_y2: [f64; LANES],
+    sum_xy: [f64; LANES],
+    min_e: [f64; LANES],
+    max_e: [f64; LANES],
+    sum_e: [f64; LANES],
+    sum_abs_e: [f64; LANES],
+    max_abs_e: [f64; LANES],
+    sum_e2: [f64; LANES],
+    min_rel: [f64; LANES],
+    max_rel: [f64; LANES],
+    sum_rel: [f64; LANES],
+    n_rel: [u64; LANES],
+}
+
+/// Warp width the SoA accumulator is sized for (= [`zc_gpusim::WARP`]).
+const LANES: usize = zc_gpusim::WARP;
+
+impl LaneAccum {
+    /// All 32 lanes at the reduction identity.
+    pub fn identity() -> Self {
+        LaneAccum {
+            n: [0; LANES],
+            min_x: [f64::INFINITY; LANES],
+            max_x: [f64::NEG_INFINITY; LANES],
+            min_y: [f64::INFINITY; LANES],
+            max_y: [f64::NEG_INFINITY; LANES],
+            sum_x: [0.0; LANES],
+            sum_x2: [0.0; LANES],
+            sum_y: [0.0; LANES],
+            sum_y2: [0.0; LANES],
+            sum_xy: [0.0; LANES],
+            min_e: [f64::INFINITY; LANES],
+            max_e: [f64::NEG_INFINITY; LANES],
+            sum_e: [0.0; LANES],
+            sum_abs_e: [0.0; LANES],
+            max_abs_e: [0.0; LANES],
+            sum_e2: [0.0; LANES],
+            min_rel: [f64::INFINITY; LANES],
+            max_rel: [f64::NEG_INFINITY; LANES],
+            sum_rel: [0.0; LANES],
+            n_rel: [0; LANES],
+        }
+    }
+
+    /// Absorb one pair per lane for lanes `0..valid`. Tail rows pass
+    /// `valid < 32`; the trailing lanes keep their identity values, exactly
+    /// like the predicated-off threads of the real kernel.
+    #[inline]
+    pub fn absorb_lanes(&mut self, xs: &[f32; LANES], ys: &[f32; LANES], valid: usize) {
+        if valid >= LANES {
+            // Full-warp call: the constant trip count lets the per-statistic
+            // loops vectorize without tail handling.
+            self.absorb_n(xs, ys, LANES);
+        } else {
+            self.absorb_n(xs, ys, valid);
+        }
+    }
+
+    #[inline(always)]
+    fn absorb_n(&mut self, xs: &[f32; LANES], ys: &[f32; LANES], n: usize) {
+        let mut x = [0.0f64; LANES];
+        let mut y = [0.0f64; LANES];
+        let mut e = [0.0f64; LANES];
+        for l in 0..n {
+            x[l] = xs[l] as f64;
+            y[l] = ys[l] as f64;
+            e[l] = x[l] - y[l];
+        }
+        for l in 0..n {
+            self.n[l] += 1;
+        }
+        for l in 0..n {
+            self.min_x[l] = self.min_x[l].min(x[l]);
+        }
+        for l in 0..n {
+            self.max_x[l] = self.max_x[l].max(x[l]);
+        }
+        for l in 0..n {
+            self.min_y[l] = self.min_y[l].min(y[l]);
+        }
+        for l in 0..n {
+            self.max_y[l] = self.max_y[l].max(y[l]);
+        }
+        for l in 0..n {
+            self.sum_x[l] += x[l];
+        }
+        for l in 0..n {
+            self.sum_x2[l] += x[l] * x[l];
+        }
+        for l in 0..n {
+            self.sum_y[l] += y[l];
+        }
+        for l in 0..n {
+            self.sum_y2[l] += y[l] * y[l];
+        }
+        for l in 0..n {
+            self.sum_xy[l] += x[l] * y[l];
+        }
+        for l in 0..n {
+            self.min_e[l] = self.min_e[l].min(e[l]);
+        }
+        for l in 0..n {
+            self.max_e[l] = self.max_e[l].max(e[l]);
+        }
+        for l in 0..n {
+            self.sum_e[l] += e[l];
+        }
+        for l in 0..n {
+            self.sum_abs_e[l] += e[l].abs();
+        }
+        for l in 0..n {
+            self.max_abs_e[l] = self.max_abs_e[l].max(e[l].abs());
+        }
+        for l in 0..n {
+            self.sum_e2[l] += e[l] * e[l];
+        }
+        // Pointwise-relative stats keep the scalar path's `x != 0` guard,
+        // which preserves values exactly (a zero lane contributes nothing,
+        // the same as skipping the division entirely).
+        for l in 0..n {
+            if x[l] != 0.0 {
+                let r = (e[l] / x[l]).abs();
+                self.min_rel[l] = self.min_rel[l].min(r);
+                self.max_rel[l] = self.max_rel[l].max(r);
+                self.sum_rel[l] += r;
+                self.n_rel[l] += 1;
+            }
+        }
+    }
+
+    /// Extract lane `l` as a standalone [`P1Scalars`].
+    pub fn lane(&self, l: usize) -> P1Scalars {
+        P1Scalars {
+            n: self.n[l],
+            min_x: self.min_x[l],
+            max_x: self.max_x[l],
+            min_y: self.min_y[l],
+            max_y: self.max_y[l],
+            sum_x: self.sum_x[l],
+            sum_x2: self.sum_x2[l],
+            sum_y: self.sum_y[l],
+            sum_y2: self.sum_y2[l],
+            sum_xy: self.sum_xy[l],
+            min_e: self.min_e[l],
+            max_e: self.max_e[l],
+            sum_e: self.sum_e[l],
+            sum_abs_e: self.sum_abs_e[l],
+            max_abs_e: self.max_abs_e[l],
+            sum_e2: self.sum_e2[l],
+            min_rel: self.min_rel[l],
+            max_rel: self.max_rel[l],
+            sum_rel: self.sum_rel[l],
+            n_rel: self.n_rel[l],
+        }
+    }
+
+    /// Fold the 32 lanes with the exact butterfly tree the scalar path uses
+    /// — `lanes[l].combine(&lanes[l + offset])` for offsets 16, 8, 4, 2, 1
+    /// — so the result is bit-identical to reducing `[P1Scalars; 32]`.
+    pub fn warp_reduce(&self) -> P1Scalars {
+        let mut a = self.clone();
+        let mut offset = LANES / 2;
+        while offset > 0 {
+            for l in 0..offset {
+                let s = l + offset;
+                a.n[l] += a.n[s];
+                a.min_x[l] = a.min_x[l].min(a.min_x[s]);
+                a.max_x[l] = a.max_x[l].max(a.max_x[s]);
+                a.min_y[l] = a.min_y[l].min(a.min_y[s]);
+                a.max_y[l] = a.max_y[l].max(a.max_y[s]);
+                a.sum_x[l] += a.sum_x[s];
+                a.sum_x2[l] += a.sum_x2[s];
+                a.sum_y[l] += a.sum_y[s];
+                a.sum_y2[l] += a.sum_y2[s];
+                a.sum_xy[l] += a.sum_xy[s];
+                a.min_e[l] = a.min_e[l].min(a.min_e[s]);
+                a.max_e[l] = a.max_e[l].max(a.max_e[s]);
+                a.sum_e[l] += a.sum_e[s];
+                a.sum_abs_e[l] += a.sum_abs_e[s];
+                a.max_abs_e[l] = a.max_abs_e[l].max(a.max_abs_e[s]);
+                a.sum_e2[l] += a.sum_e2[s];
+                a.min_rel[l] = a.min_rel[l].min(a.min_rel[s]);
+                a.max_rel[l] = a.max_rel[l].max(a.max_rel[s]);
+                a.sum_rel[l] += a.sum_rel[s];
+                a.n_rel[l] += a.n_rel[s];
+            }
+            offset /= 2;
+        }
+        a.lane(0)
     }
 }
 
@@ -547,6 +765,75 @@ mod tests {
             a.absorb(i as f64, -(i as f64));
         }
         assert!((a.pearson() + 1.0).abs() < 1e-12);
+    }
+
+    /// Reference for the SoA accumulator: 32 scalar accumulators absorbed
+    /// per lane and folded with the kernel's butterfly tree.
+    fn scalar_lanes_reduce(rows: &[([f32; 32], [f32; 32], usize)]) -> P1Scalars {
+        let mut lanes = [P1Scalars::identity(); 32];
+        for (xs, ys, valid) in rows {
+            for (l, acc) in lanes.iter_mut().enumerate().take(*valid) {
+                acc.absorb(xs[l] as f64, ys[l] as f64);
+            }
+        }
+        let mut offset = 16;
+        while offset > 0 {
+            for l in 0..offset {
+                let other = lanes[l + offset];
+                lanes[l].combine(&other);
+            }
+            offset /= 2;
+        }
+        lanes[0]
+    }
+
+    #[test]
+    fn lane_accum_is_bit_identical_to_scalar_lanes() {
+        // Irregular values (incl. exact zeros for the rel-stat guard) and a
+        // ragged tail row: the SoA path must match the scalar path to the
+        // last bit on every field.
+        let mut rows: Vec<([f32; 32], [f32; 32], usize)> = Vec::new();
+        for r in 0..9 {
+            let mut xs = [0f32; 32];
+            let mut ys = [0f32; 32];
+            for l in 0..32 {
+                let t = (r * 32 + l) as f32;
+                xs[l] = if (r + l) % 7 == 0 { 0.0 } else { (t * 0.37).sin() * 31.0 };
+                ys[l] = xs[l] + 0.01 * (t * 1.3).cos();
+            }
+            rows.push((xs, ys, if r == 8 { 13 } else { 32 }));
+        }
+        let mut soa = LaneAccum::identity();
+        for (xs, ys, valid) in &rows {
+            soa.absorb_lanes(xs, ys, *valid);
+        }
+        let got = soa.warp_reduce();
+        let want = scalar_lanes_reduce(&rows);
+        assert_eq!(got, want); // PartialEq on f64 fields → bit-level check
+        assert_eq!(got.sum_e2.to_bits(), want.sum_e2.to_bits());
+        assert_eq!(got.sum_rel.to_bits(), want.sum_rel.to_bits());
+        assert_eq!(got.n_rel, want.n_rel);
+    }
+
+    #[test]
+    fn lane_accum_per_lane_matches_scalar_absorb() {
+        let mut soa = LaneAccum::identity();
+        let mut xs = [0f32; 32];
+        let mut ys = [0f32; 32];
+        for l in 0..32 {
+            xs[l] = l as f32 - 15.5;
+            ys[l] = xs[l] * 1.001;
+        }
+        soa.absorb_lanes(&xs, &ys, 32);
+        for l in 0..32 {
+            let mut want = P1Scalars::identity();
+            want.absorb(xs[l] as f64, ys[l] as f64);
+            assert_eq!(soa.lane(l), want, "lane {l}");
+        }
+        // Lanes past `valid` stay at the identity.
+        let mut tail = LaneAccum::identity();
+        tail.absorb_lanes(&xs, &ys, 5);
+        assert_eq!(tail.lane(5), P1Scalars::identity());
     }
 
     #[test]

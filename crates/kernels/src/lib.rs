@@ -28,13 +28,63 @@ pub mod p1;
 pub mod p2;
 pub mod p3;
 
-pub use acc::{P1Scalars, P2Stats, WindowMoments};
+pub use acc::{LaneAccum, P1Scalars, P2Stats, WindowMoments};
 pub use hist::Histogram;
 pub use p1::{P1FusedKernel, P1HistKernel, P1Histograms};
 pub use p2::P2FusedKernel;
 pub use p3::{SsimFusedKernel, SsimParams};
 
+use zc_gpusim::{BlockCtx, BlockKernel, KernelClass, KernelResources};
 use zc_tensor::{Shape, Tensor};
+
+/// Kernels that keep their pre-SoA scalar implementation alongside the
+/// vectorizable fast path.
+///
+/// `run_block` is the production path (struct-of-arrays lane emulation,
+/// batched counter accounting); `run_block_reference` is the original
+/// per-lane/per-access implementation. Both must produce the same partial
+/// and charge the same counter totals — the differential property tests
+/// launch each kernel through [`Reference`] and compare.
+pub trait HasReferencePath: BlockKernel {
+    /// Run one block through the scalar reference implementation.
+    fn run_block_reference(&self, block: usize, ctx: &mut BlockCtx) -> Self::Partial;
+}
+
+impl<K: HasReferencePath> HasReferencePath for &K {
+    fn run_block_reference(&self, block: usize, ctx: &mut BlockCtx) -> Self::Partial {
+        (**self).run_block_reference(block, ctx)
+    }
+}
+
+/// Adapter that launches a kernel through its scalar reference path:
+/// `sim.launch(&Reference(&k), grid)` runs the pre-SoA baseline of
+/// `sim.launch(&k, grid)` with identical outputs and counters.
+pub struct Reference<K>(pub K);
+
+impl<K: HasReferencePath> BlockKernel for Reference<K> {
+    type Partial = K::Partial;
+    type Output = K::Output;
+
+    fn resources(&self) -> KernelResources {
+        self.0.resources()
+    }
+
+    fn class(&self) -> KernelClass {
+        self.0.class()
+    }
+
+    fn cooperative(&self) -> bool {
+        self.0.cooperative()
+    }
+
+    fn run_block(&self, block: usize, ctx: &mut BlockCtx) -> Self::Partial {
+        self.0.run_block_reference(block, ctx)
+    }
+
+    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<Self::Partial>) -> Self::Output {
+        self.0.finalize(ctx, partials)
+    }
+}
 
 /// A borrowed `(original, decompressed)` field pair — the input of every
 /// assessment kernel.

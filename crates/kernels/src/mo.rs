@@ -15,7 +15,7 @@
 
 use crate::acc::P1Scalars;
 use crate::hist::Histogram;
-use crate::FieldPair;
+use crate::{FieldPair, HasReferencePath};
 use zc_gpusim::{BlockCtx, BlockKernel, KernelClass, KernelResources, WARP};
 
 /// The ten pattern-1 metric kernels of moZC.
@@ -120,11 +120,14 @@ impl BlockKernel for MoP1Kernel<'_> {
         let base = block * slab;
         let mut acc = P1Scalars::identity();
         ctx.note_iters(slab.div_ceil(256) as u64);
-        for i in base..base + slab {
-            let x = ctx.g_read(self.fields.orig, i) as f64;
-            let y = ctx.g_read(self.fields.dec, i) as f64;
-            acc.absorb(x, y);
+        // Fast path: walk the slab as two contiguous slices (same absorb
+        // order as the reference) and charge the read traffic in bulk.
+        let xs = &self.fields.orig[base..base + slab];
+        let ys = &self.fields.dec[base..base + slab];
+        for (&x, &y) in xs.iter().zip(ys) {
+            acc.absorb(x as f64, y as f64);
         }
+        ctx.charge_lane_reads(2 * slab as u64);
         ctx.flops(self.metric.flops_per_elem() * slab as u64);
         if self.metric.divides() {
             ctx.special(slab as u64);
@@ -144,6 +147,31 @@ impl BlockKernel for MoP1Kernel<'_> {
         for p in &partials {
             acc.combine(p);
         }
+        acc
+    }
+}
+
+impl HasReferencePath for MoP1Kernel<'_> {
+    // Per-element implementation: every element is two charged `g_read`s.
+    fn run_block_reference(&self, block: usize, ctx: &mut BlockCtx) -> P1Scalars {
+        let s = self.fields.shape;
+        let slab = s.slab_len();
+        let base = block * slab;
+        let mut acc = P1Scalars::identity();
+        ctx.note_iters(slab.div_ceil(256) as u64);
+        for i in base..base + slab {
+            let x = ctx.g_read(self.fields.orig, i) as f64;
+            let y = ctx.g_read(self.fields.dec, i) as f64;
+            acc.absorb(x, y);
+        }
+        ctx.flops(self.metric.flops_per_elem() * slab as u64);
+        if self.metric.divides() {
+            ctx.special(slab as u64);
+        }
+        ctx.counters.shuffles += 5 + 3;
+        ctx.flops((5 + 3) * WARP as u64);
+        ctx.sync_threads();
+        ctx.g_write_raw(8);
         acc
     }
 }
@@ -220,6 +248,64 @@ impl BlockKernel for MoHistKernel<'_> {
         let mut h = self.make();
         let _shared: zc_gpusim::SharedBuf<u32> = ctx.shared_alloc(self.bins);
         ctx.note_iters(slab.div_ceil(256) as u64);
+        // Fast path: one contiguous pass per kind with bulk charging —
+        // ValueHist reads one field, the error PDFs read both.
+        let xs = &self.fields.orig[base..base + slab];
+        match self.kind {
+            MoHistKind::ValueHist => {
+                for &x in xs {
+                    h.insert(x as f64);
+                }
+                ctx.charge_lane_reads(slab as u64);
+            }
+            MoHistKind::ErrPdf => {
+                let ys = &self.fields.dec[base..base + slab];
+                for (&x, &y) in xs.iter().zip(ys) {
+                    h.insert(x as f64 - y as f64);
+                }
+                ctx.charge_lane_reads(2 * slab as u64);
+            }
+            MoHistKind::PwrPdf => {
+                let ys = &self.fields.dec[base..base + slab];
+                let mut n_rel: u64 = 0;
+                for (&xf, &y) in xs.iter().zip(ys) {
+                    let x = xf as f64;
+                    if x != 0.0 {
+                        h.insert(((x - y as f64) / x).abs());
+                        n_rel += 1;
+                    }
+                }
+                ctx.charge_lane_reads(2 * slab as u64);
+                ctx.special(n_rel);
+            }
+        }
+        ctx.flops(4 * slab as u64);
+        ctx.charge_shared(slab as u64);
+        ctx.sync_threads();
+        ctx.g_write_raw(self.bins as u64 * 4);
+        h
+    }
+
+    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<Histogram>) -> Histogram {
+        ctx.g_read_raw(partials.len() as u64 * self.bins as u64 * 4);
+        ctx.flops(partials.len() as u64 * self.bins as u64);
+        let mut acc = self.make();
+        for p in &partials {
+            acc.merge(p);
+        }
+        acc
+    }
+}
+
+impl HasReferencePath for MoHistKernel<'_> {
+    // Per-element implementation with individually charged accesses.
+    fn run_block_reference(&self, block: usize, ctx: &mut BlockCtx) -> Histogram {
+        let s = self.fields.shape;
+        let slab = s.slab_len();
+        let base = block * slab;
+        let mut h = self.make();
+        let _shared: zc_gpusim::SharedBuf<u32> = ctx.shared_alloc(self.bins);
+        ctx.note_iters(slab.div_ceil(256) as u64);
         for i in base..base + slab {
             let x = ctx.g_read(self.fields.orig, i) as f64;
             match self.kind {
@@ -242,16 +328,6 @@ impl BlockKernel for MoHistKernel<'_> {
         ctx.sync_threads();
         ctx.g_write_raw(self.bins as u64 * 4);
         h
-    }
-
-    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<Histogram>) -> Histogram {
-        ctx.g_read_raw(partials.len() as u64 * self.bins as u64 * 4);
-        ctx.flops(partials.len() as u64 * self.bins as u64);
-        let mut acc = self.make();
-        for p in &partials {
-            acc.merge(p);
-        }
-        acc
     }
 }
 
@@ -327,23 +403,19 @@ impl BlockKernel for MoDerivKernel<'_> {
             return stats;
         }
         let (y_lo, y_hi) = if ndim >= 2 { (1, ny - 1) } else { (0, ny) };
+        // Hoisted addressing: the stencil gets resolve by stride arithmetic
+        // from the row base instead of a full linear() per neighbour.
+        let sy = nx as isize;
+        let sz = (nx * ny) as isize;
         for y in y_lo..y_hi {
+            let row = s.linear([0, y, z, w4]) as isize;
             for x in 1..nx - 1 {
+                let c = row + x as isize;
                 let fo = |dx: isize, dy: isize, dz: isize| {
-                    self.fields.orig[s.linear([
-                        (x as isize + dx) as usize,
-                        (y as isize + dy) as usize,
-                        (z as isize + dz) as usize,
-                        w4,
-                    ])] as f64
+                    self.fields.orig[(c + dx + dy * sy + dz * sz) as usize] as f64
                 };
                 let fd = |dx: isize, dy: isize, dz: isize| {
-                    self.fields.dec[s.linear([
-                        (x as isize + dx) as usize,
-                        (y as isize + dy) as usize,
-                        (z as isize + dz) as usize,
-                        w4,
-                    ])] as f64
+                    self.fields.dec[(c + dx + dy * sy + dz * sz) as usize] as f64
                 };
                 stats.absorb_deriv(
                     deriv1_nd(fo, ndim),
@@ -425,6 +497,70 @@ impl BlockKernel for MoAutocorrKernel<'_> {
         }
         ctx.note_iters(s.slab_len().div_ceil(256) as u64);
         let y_max = if ndim >= 2 { ny - lag } else { ny };
+        // Fast path: hoisted stride addressing and bulk charging — the
+        // point count fixes the totals (44 read bytes + 12 flops each, as
+        // the reference charges per point).
+        let sy = nx;
+        let sz = nx * ny;
+        for y in 0..y_max {
+            let row = s.linear([0, y, z, w4]);
+            for x in 0..nx - lag {
+                let e = |i: usize| {
+                    self.fields.orig[i] as f64 - self.fields.dec[i] as f64 - self.mean_e
+                };
+                let mut nb = [0.0f64; 3];
+                let mut k = 0;
+                nb[k] = e(row + x + lag);
+                k += 1;
+                if ndim >= 2 {
+                    nb[k] = e(row + lag * sy + x);
+                    k += 1;
+                }
+                if ndim >= 3 {
+                    nb[k] = e(row + lag * sz + x);
+                    k += 1;
+                }
+                stats.absorb_ac_nd(lag, e(row + x), &nb[..k]);
+            }
+        }
+        let pts = (y_max * (nx - lag)) as u64;
+        ctx.g_read_raw(44 * pts);
+        ctx.flops(12 * pts);
+        ctx.g_write_raw((2 * self.max_lag as u64) * 8);
+        stats
+    }
+
+    fn finalize(
+        &self,
+        ctx: &mut BlockCtx,
+        partials: Vec<crate::acc::P2Stats>,
+    ) -> crate::acc::P2Stats {
+        let words = 2 * self.max_lag as u64;
+        ctx.g_read_raw(partials.len() as u64 * words * 8);
+        let mut acc = crate::acc::P2Stats::identity(self.max_lag);
+        for p in &partials {
+            acc.combine(p);
+        }
+        acc
+    }
+}
+
+impl HasReferencePath for MoAutocorrKernel<'_> {
+    // Per-point implementation: full linear() addressing and per-point
+    // traffic charges.
+    fn run_block_reference(&self, block: usize, ctx: &mut BlockCtx) -> crate::acc::P2Stats {
+        let s = self.fields.shape;
+        let ndim = s.ndim();
+        let (nx, ny, nz) = (s.nx(), s.ny(), s.nz());
+        let z = block % nz;
+        let w4 = block / nz;
+        let lag = self.lag;
+        let mut stats = crate::acc::P2Stats::identity(self.max_lag);
+        if (ndim >= 3 && z + lag >= nz) || nx <= lag || (ndim >= 2 && ny <= lag) {
+            return stats;
+        }
+        ctx.note_iters(s.slab_len().div_ceil(256) as u64);
+        let y_max = if ndim >= 2 { ny - lag } else { ny };
         for y in 0..y_max {
             for x in 0..nx - lag {
                 let e = |x: usize, y: usize, z: usize| {
@@ -453,20 +589,6 @@ impl BlockKernel for MoAutocorrKernel<'_> {
         }
         ctx.g_write_raw((2 * self.max_lag as u64) * 8);
         stats
-    }
-
-    fn finalize(
-        &self,
-        ctx: &mut BlockCtx,
-        partials: Vec<crate::acc::P2Stats>,
-    ) -> crate::acc::P2Stats {
-        let words = 2 * self.max_lag as u64;
-        ctx.g_read_raw(partials.len() as u64 * words * 8);
-        let mut acc = crate::acc::P2Stats::identity(self.max_lag);
-        for p in &partials {
-            acc.combine(p);
-        }
-        acc
     }
 }
 

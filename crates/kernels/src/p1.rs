@@ -9,9 +9,9 @@
 //! each element feeds all 14+ metrics**, which is the entire point of the
 //! pattern-oriented design.
 
-use crate::acc::P1Scalars;
+use crate::acc::{LaneAccum, P1Scalars};
 use crate::hist::Histogram;
-use crate::FieldPair;
+use crate::{FieldPair, HasReferencePath};
 use zc_gpusim::{BlockCtx, BlockKernel, KernelClass, KernelResources, WARP};
 
 /// Warps (rows of 32 threads) per pattern-1 block.
@@ -62,8 +62,80 @@ impl BlockKernel for P1FusedKernel<'_> {
         let base = block * slab;
 
         // Per-thread fused accumulation: thread (lane, warp) visits
-        // x ≡ lane (mod 32), y ≡ warp (mod 8). We keep the per-lane
-        // accumulators of one warp as an array and walk warps in turn.
+        // x ≡ lane (mod 32), y ≡ warp (mod 8). The warp's 32 accumulators
+        // live in struct-of-arrays form ([`LaneAccum`]) so the absorb loop
+        // vectorizes; values and charge totals are identical to
+        // [`HasReferencePath::run_block_reference`].
+        let mut warp_partials = [P1Scalars::identity(); P1_WARPS];
+        let thread_iters = nx.div_ceil(WARP) as u64 * ny.div_ceil(P1_WARPS) as u64;
+        ctx.note_iters(thread_iters);
+        for (w, wp) in warp_partials.iter_mut().enumerate() {
+            let mut lanes = LaneAccum::identity();
+            let mut y = w;
+            while y < ny {
+                let row = base + y * nx;
+                let mut x0 = 0;
+                while x0 < nx {
+                    let xs = ctx.g_read_lanes(self.fields.orig, row + x0, 1, 0.0);
+                    let ys = ctx.g_read_lanes(self.fields.dec, row + x0, 1, 0.0);
+                    let valid = (nx - x0).min(WARP);
+                    lanes.absorb_lanes(xs.as_array(), ys.as_array(), valid);
+                    ctx.flops(ABSORB_FLOPS * WARP as u64);
+                    ctx.special(WARP as u64); // the pwr-error division
+                    x0 += WARP;
+                }
+                y += P1_WARPS;
+            }
+            // Warp-level reduction: a shfl_down tree per fused quantity
+            // (Algorithm 1, lines 7-8). The SoA fold replays the same
+            // butterfly; the five tree steps are charged in bulk.
+            ctx.charge_shuffles(5 * P1Scalars::QUANTITIES);
+            ctx.flops(5 * P1Scalars::QUANTITIES * WARP as u64);
+            *wp = lanes.warp_reduce();
+        }
+
+        // Cross-warp reduction through shared memory (Algorithm 1,
+        // lines 9-15): each warp's lane 0 stages its 19 quantities and
+        // warp 0 reads them all back after the barrier — charged as one
+        // batched write + read total.
+        let _staging: zc_gpusim::SharedBuf<f64> =
+            ctx.shared_alloc(P1_WARPS * P1Scalars::QUANTITIES as usize);
+        ctx.charge_shared(2 * P1_WARPS as u64 * P1Scalars::QUANTITIES);
+        ctx.sync_threads();
+        let mut block_acc = P1Scalars::identity();
+        for wp in &warp_partials {
+            block_acc.combine(wp);
+        }
+        ctx.charge_shuffles(3 * P1Scalars::QUANTITIES); // log2(8) steps
+        // Block partial goes to global memory for the cooperative fold
+        // (Algorithm 1, line 16).
+        ctx.g_write_raw(P1Scalars::QUANTITIES * 8);
+        block_acc
+    }
+
+    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<P1Scalars>) -> P1Scalars {
+        // Cooperative grid phase: block 0 re-reads every block's partial
+        // (Algorithm 1, lines 18-23).
+        ctx.g_read_raw(partials.len() as u64 * P1Scalars::QUANTITIES * 8);
+        ctx.flops(partials.len() as u64 * P1Scalars::QUANTITIES);
+        let mut acc = P1Scalars::identity();
+        for p in &partials {
+            acc.combine(p);
+        }
+        acc
+    }
+}
+
+impl HasReferencePath for P1FusedKernel<'_> {
+    // The pre-SoA per-lane implementation: an array of 32 scalar
+    // accumulators per warp, absorbed one lane at a time, with every
+    // shuffle / shared access charged individually.
+    fn run_block_reference(&self, block: usize, ctx: &mut BlockCtx) -> P1Scalars {
+        let s = self.fields.shape;
+        let (nx, ny) = (s.nx(), s.ny());
+        let slab = s.slab_len();
+        let base = block * slab;
+
         let mut warp_partials = [P1Scalars::identity(); P1_WARPS];
         let thread_iters = nx.div_ceil(WARP) as u64 * ny.div_ceil(P1_WARPS) as u64;
         ctx.note_iters(thread_iters);
@@ -126,18 +198,6 @@ impl BlockKernel for P1FusedKernel<'_> {
         // (Algorithm 1, line 16).
         ctx.g_write_raw(P1Scalars::QUANTITIES * 8);
         block_acc
-    }
-
-    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<P1Scalars>) -> P1Scalars {
-        // Cooperative grid phase: block 0 re-reads every block's partial
-        // (Algorithm 1, lines 18-23).
-        ctx.g_read_raw(partials.len() as u64 * P1Scalars::QUANTITIES * 8);
-        ctx.flops(partials.len() as u64 * P1Scalars::QUANTITIES);
-        let mut acc = P1Scalars::identity();
-        for p in &partials {
-            acc.combine(p);
-        }
-        acc
     }
 }
 
@@ -208,6 +268,69 @@ impl BlockKernel for P1HistKernel<'_> {
         let mut h = self.make_histograms();
         let _shared: zc_gpusim::SharedBuf<u32> = ctx.shared_alloc(3 * self.bins);
         ctx.note_iters(slab.div_ceil(WARP * P1_WARPS) as u64);
+        // Fast path: walk the slab as two contiguous slices, charging
+        // traffic in bulk — the reference charges the same totals one
+        // access at a time.
+        let xs = &self.fields.orig[base..base + slab];
+        let ys = &self.fields.dec[base..base + slab];
+        let mut n_rel: u64 = 0;
+        // Chunked staging: the value/error conversions vectorize, the
+        // pointwise-relative values are compressed past the zero guard,
+        // and each histogram ingests its chunk in element order — the same
+        // per-histogram insertion sequence as one element at a time.
+        let (mut vals, mut errs, mut rels) = ([0f64; 64], [0f64; 64], [0f64; 64]);
+        for (cxs, cys) in xs.chunks(64).zip(ys.chunks(64)) {
+            let n = cxs.len();
+            for i in 0..n {
+                let x = cxs[i] as f64;
+                vals[i] = x;
+                errs[i] = x - cys[i] as f64;
+            }
+            let mut m = 0usize;
+            for i in 0..n {
+                if vals[i] != 0.0 {
+                    rels[m] = (errs[i] / vals[i]).abs();
+                    m += 1;
+                }
+            }
+            h.err_pdf.insert_many(&errs[..n]);
+            h.value_hist.insert_many(&vals[..n]);
+            h.rel_pdf.insert_many(&rels[..m]);
+            n_rel += m as u64;
+        }
+        ctx.charge_lane_reads(2 * slab as u64);
+        ctx.flops(10 * slab as u64); // binning arithmetic for three inserts
+        ctx.charge_shared(3 * slab as u64); // shared-memory atomics
+        ctx.special(n_rel);
+        ctx.sync_threads();
+        // Per-block histograms flush to global for the grid fold.
+        ctx.g_write_raw(3 * self.bins as u64 * 4);
+        h
+    }
+
+    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<P1Histograms>) -> P1Histograms {
+        ctx.g_read_raw(partials.len() as u64 * 3 * self.bins as u64 * 4);
+        ctx.flops(partials.len() as u64 * 3 * self.bins as u64);
+        let mut acc = self.make_histograms();
+        for p in &partials {
+            acc.err_pdf.merge(&p.err_pdf);
+            acc.rel_pdf.merge(&p.rel_pdf);
+            acc.value_hist.merge(&p.value_hist);
+        }
+        acc
+    }
+}
+
+impl HasReferencePath for P1HistKernel<'_> {
+    // Per-element implementation: one charged `g_read` per access, flops and
+    // shared atomics charged per element.
+    fn run_block_reference(&self, block: usize, ctx: &mut BlockCtx) -> P1Histograms {
+        let s = self.fields.shape;
+        let slab = s.slab_len();
+        let base = block * slab;
+        let mut h = self.make_histograms();
+        let _shared: zc_gpusim::SharedBuf<u32> = ctx.shared_alloc(3 * self.bins);
+        ctx.note_iters(slab.div_ceil(WARP * P1_WARPS) as u64);
         for i in base..base + slab {
             let x = ctx.g_read(self.fields.orig, i) as f64;
             let y = ctx.g_read(self.fields.dec, i) as f64;
@@ -225,18 +348,6 @@ impl BlockKernel for P1HistKernel<'_> {
         // Per-block histograms flush to global for the grid fold.
         ctx.g_write_raw(3 * self.bins as u64 * 4);
         h
-    }
-
-    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<P1Histograms>) -> P1Histograms {
-        ctx.g_read_raw(partials.len() as u64 * 3 * self.bins as u64 * 4);
-        ctx.flops(partials.len() as u64 * 3 * self.bins as u64);
-        let mut acc = self.make_histograms();
-        for p in &partials {
-            acc.err_pdf.merge(&p.err_pdf);
-            acc.rel_pdf.merge(&p.rel_pdf);
-            acc.value_hist.merge(&p.value_hist);
-        }
-        acc
     }
 }
 

@@ -16,8 +16,8 @@
 //! also carries the derivative metrics (the paper's `stride` doubles as
 //! derivative order and autocorrelation gap).
 
-use crate::acc::{deriv1_nd, deriv2_nd, P2Stats};
-use crate::FieldPair;
+use crate::acc::{deriv1_nd, deriv2_nd, grad_mag, P2Stats};
+use crate::{FieldPair, HasReferencePath};
 use zc_gpusim::{BlockCtx, BlockKernel, KernelClass, KernelResources, SharedBuf};
 
 /// Tile side length (threads per block = TILE²).
@@ -101,6 +101,237 @@ impl BlockKernel for P2FusedKernel<'_> {
     }
 
     fn run_block(&self, block: usize, ctx: &mut BlockCtx) -> P2Stats {
+        let s = self.fields.shape;
+        let ndim = s.ndim();
+        let (nx, ny, nz) = (s.nx(), s.ny(), s.nz());
+        let z0 = block % nz;
+        let w4 = block / nz;
+        let tau = self.stride;
+        let offs = self.slice_offsets();
+        let wdt = self.tile_width();
+        let mut stats = P2Stats::identity(self.max_lag);
+
+        let deriv_plane = self.derivatives && (ndim < 3 || (z0 >= 1 && z0 + 1 < nz));
+        let ac_plane = self.autocorr && (ndim < 3 || z0 + tau < nz);
+        if !deriv_plane && !ac_plane {
+            return stats;
+        }
+
+        // Active stencil axes (x, then y for 2-D, then z for 3-D): the
+        // per-point shared-read totals charged in bulk below depend on it.
+        let axes = ndim.min(3) as u64;
+
+        // The real kernel stages tiles into shared memory. The fast path
+        // keeps the allocation (footprint parity) and charges the exact
+        // per-element staging traffic in closed form below, but reads the
+        // very same f32 values straight from the global arrays — identical
+        // inputs, so bit-identical results, without the physical copies.
+        let _shared: SharedBuf<f32> = ctx.shared_alloc(2 * offs.len() * wdt * wdt);
+
+        let tiles_x = nx.div_ceil(TILE);
+        let tiles_y = ny.div_ceil(TILE);
+        ctx.note_iters((tiles_x * tiles_y * (offs.len() + 1)) as u64);
+
+        // Global row base of (y, z).
+        let grow = |y: usize, z: usize| s.linear([0, y, z, w4]);
+
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                // Tile anchor: coverage is [tx0-1, tx0+TILE+hi) per axis.
+                let tx0 = tx * TILE;
+                let ty0 = ty * TILE;
+
+                // ---- shared-staging accounting (no physical copy) ------
+                // Every staged element's traffic, in closed form: the valid
+                // x-run is the same for every row of the tile, the valid
+                // rows and slices depend only on (ty0, z0), and fresh global
+                // columns are everything for the row's first tile, at most
+                // TILE new columns afterwards (sliding-tile halo reuse) —
+                // identical totals to the reference's per-element charges.
+                let n_slices = offs
+                    .iter()
+                    .filter(|&&dz| {
+                        let z = z0 as isize + dz;
+                        z >= 0 && z < nz as isize
+                    })
+                    .count() as u64;
+                let n_rows = {
+                    let lo = if ty0 == 0 { 1 } else { 0 };
+                    let hi = wdt.min(ny + 1 - ty0);
+                    hi.saturating_sub(lo) as u64
+                };
+                let valid = {
+                    let lo = if tx0 == 0 { 1 } else { 0 };
+                    let hi = wdt.min(nx + 1 - tx0);
+                    hi.saturating_sub(lo) as u64
+                };
+                let fresh = if tx == 0 { valid } else { valid.min(TILE as u64) };
+                ctx.charge_shared(2 * n_slices * n_rows * valid);
+                ctx.g_read_raw(2 * 4 * n_slices * n_rows * fresh);
+                ctx.sync_threads();
+
+                // ---- per-point computation from global memory ----------
+                // Same f32 inputs the staged tile would hold; the
+                // shared-get, flop and special-unit totals are charged in
+                // bulk per tile from the deriv/ac point counts. Derivative
+                // and autocorr points form contiguous x-runs, so the two
+                // families split into separate row loops with hoisted row
+                // bases — each statistic still absorbs its points in the
+                // same (y, x) order as the reference, keeping values
+                // bit-identical (absorb_deriv and absorb_ac_nd touch
+                // disjoint fields).
+                let (mut n_deriv, mut n_ac) = (0u64, 0u64);
+                if deriv_plane {
+                    // Interior x-run of this tile: x ∈ [1, nx−1).
+                    let lx_lo = if tx0 == 0 { 1 } else { 0 };
+                    let lx_hi = TILE.min(nx - 1 - tx0);
+                    for ly in 0..TILE {
+                        let y = ty0 + ly;
+                        if y >= ny {
+                            break;
+                        }
+                        if ndim >= 2 && (y < 1 || y + 1 >= ny) {
+                            continue;
+                        }
+                        // Neighbour rows only sampled (and thus only
+                        // computed) on axes the stencil actually has.
+                        let rc = grow(y, z0);
+                        let ru = if ndim >= 2 { grow(y - 1, z0) } else { rc };
+                        let rd = if ndim >= 2 { grow(y + 1, z0) } else { rc };
+                        let rzm = if ndim >= 3 { grow(y, z0 - 1) } else { rc };
+                        let rzp = if ndim >= 3 { grow(y, z0 + 1) } else { rc };
+                        // Two passes per row: an elementwise pass (stencil
+                        // reads, derivative arithmetic, the two sqrts) that
+                        // has no loop-carried dependency and vectorizes,
+                        // then a scalar in-order accumulation — each of
+                        // `absorb_deriv`'s accumulators still receives the
+                        // identical term sequence, so the sums, maxes and
+                        // squared errors stay bit-identical.
+                        let cnt = lx_hi.saturating_sub(lx_lo);
+                        let mut gq = [[0f64; TILE]; 2];
+                        let mut dvq = [[0f64; TILE]; 2];
+                        let mut lpq = [[0f64; TILE]; 2];
+                        for (f, arr) in
+                            [self.fields.orig, self.fields.dec].into_iter().enumerate()
+                        {
+                            for i in 0..cnt {
+                                let x = tx0 + lx_lo + i;
+                                // Constant (dx, dy, dz) fold the base select
+                                // once `deriv{1,2}_nd` inline.
+                                let sl = |dx: isize, dy: isize, dz: isize| {
+                                    let r = if dz < 0 {
+                                        rzm
+                                    } else if dz > 0 {
+                                        rzp
+                                    } else if dy < 0 {
+                                        ru
+                                    } else if dy > 0 {
+                                        rd
+                                    } else {
+                                        rc
+                                    };
+                                    arr[((r + x) as isize + dx) as usize] as f64
+                                };
+                                let d1 = deriv1_nd(sl, ndim);
+                                let d2v = deriv2_nd(sl, ndim);
+                                gq[f][i] = grad_mag(d1);
+                                dvq[f][i] = d1[0] + d1[1] + d1[2];
+                                lpq[f][i] = (d2v[0] + d2v[1] + d2v[2]).abs();
+                            }
+                        }
+                        stats.n_interior += cnt as u64;
+                        for i in 0..cnt {
+                            let (gx, gy) = (gq[0][i], gq[1][i]);
+                            stats.sum_grad_x += gx;
+                            stats.max_grad_x = stats.max_grad_x.max(gx);
+                            stats.sum_grad_y += gy;
+                            stats.max_grad_y = stats.max_grad_y.max(gy);
+                            stats.sum_grad_err2 += (gx - gy) * (gx - gy);
+                            stats.sum_div_x += dvq[0][i];
+                            stats.sum_div_y += dvq[1][i];
+                            stats.sum_lap_x += lpq[0][i];
+                            stats.sum_lap_y += lpq[1][i];
+                        }
+                        n_deriv += cnt as u64;
+                    }
+                }
+                if ac_plane {
+                    // Autocorr x-run of this tile: x + τ < nx.
+                    let lx_hi = TILE.min((nx - tx0).saturating_sub(tau));
+                    for ly in 0..TILE {
+                        let y = ty0 + ly;
+                        if y >= ny {
+                            break;
+                        }
+                        if ndim >= 2 && y + tau >= ny {
+                            continue;
+                        }
+                        let r0 = grow(y, z0);
+                        let ry = if ndim >= 2 { grow(y + tau, z0) } else { r0 };
+                        let rz = if ndim >= 3 { grow(y, z0 + tau) } else { r0 };
+                        // Elementwise pass, then in-order accumulation (see
+                        // the derivative loop). The neighbour sum starts
+                        // from 0.0 and adds x, y, z in that order — the
+                        // exact association `absorb_ac_nd`'s `iter().sum()`
+                        // uses, so every term is bit-identical.
+                        let og = self.fields.orig;
+                        let dg = self.fields.dec;
+                        let kf = axes as f64;
+                        let mut terms = [0f64; TILE];
+                        for (i, t) in terms[..lx_hi].iter_mut().enumerate() {
+                            let x = tx0 + i;
+                            let e = |r: usize| og[r + x] as f64 - dg[r + x] as f64 - self.mean_e;
+                            let e0 = e(r0);
+                            let mut sum = 0.0 + e(r0 + tau);
+                            if ndim >= 2 {
+                                sum += e(ry);
+                            }
+                            if ndim >= 3 {
+                                sum += e(rz);
+                            }
+                            *t = e0 * sum / kf;
+                        }
+                        for &t in &terms[..lx_hi] {
+                            stats.ac_num[tau - 1] += t;
+                        }
+                        stats.ac_n[tau - 1] += lx_hi as u64;
+                        n_ac += lx_hi as u64;
+                    }
+                }
+                // Bulk charges: a deriv point makes 2 fields × (4·axes + 1)
+                // shared gets, 54 flops and 2 sqrt; an ac point makes
+                // 2·(1 + axes) shared gets and 12 flops — exactly what the
+                // reference charges one access at a time.
+                ctx.charge_shared(n_deriv * 2 * (4 * axes + 1));
+                ctx.flops(n_deriv * (2 * (6 + 9) + 24));
+                ctx.special(n_deriv * 2);
+                ctx.charge_shared(n_ac * 2 * (1 + axes));
+                ctx.flops(n_ac * 12);
+                ctx.sync_threads();
+            }
+        }
+
+        // Block partial to global for the grid fold.
+        ctx.g_write_raw((10 + 2 * self.max_lag as u64) * 8);
+        stats
+    }
+
+    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<P2Stats>) -> P2Stats {
+        let words = 10 + 2 * self.max_lag as u64;
+        ctx.g_read_raw(partials.len() as u64 * words * 8);
+        ctx.flops(partials.len() as u64 * words);
+        let mut acc = P2Stats::identity(self.max_lag);
+        for p in &partials {
+            acc.combine(p);
+        }
+        acc
+    }
+}
+
+impl HasReferencePath for P2FusedKernel<'_> {
+    // Per-access implementation: every staged element is an individually
+    // charged `sh_write`, every stencil get an `sh_read`.
+    fn run_block_reference(&self, block: usize, ctx: &mut BlockCtx) -> P2Stats {
         let s = self.fields.shape;
         let ndim = s.ndim();
         let (nx, ny, nz) = (s.nx(), s.ny(), s.nz());
@@ -260,17 +491,6 @@ impl BlockKernel for P2FusedKernel<'_> {
         // Block partial to global for the grid fold.
         ctx.g_write_raw((10 + 2 * self.max_lag as u64) * 8);
         stats
-    }
-
-    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<P2Stats>) -> P2Stats {
-        let words = 10 + 2 * self.max_lag as u64;
-        ctx.g_read_raw(partials.len() as u64 * words * 8);
-        ctx.flops(partials.len() as u64 * words);
-        let mut acc = P2Stats::identity(self.max_lag);
-        for p in &partials {
-            acc.combine(p);
-        }
-        acc
     }
 }
 

@@ -15,7 +15,7 @@
 //! ... but without the FIFO buffer" baseline costs.
 
 use crate::acc::WindowMoments;
-use crate::FieldPair;
+use crate::{FieldPair, HasReferencePath};
 use zc_gpusim::{BlockCtx, BlockKernel, KernelClass, KernelResources, SharedBuf, WARP};
 
 /// Window rows per thread block along y.
@@ -144,6 +144,66 @@ impl BlockKernel for SsimFusedKernel<'_> {
     }
 
     fn run_block(&self, block: usize, ctx: &mut BlockCtx) -> SsimAcc {
+        self.run_block_impl(block, ctx, true)
+    }
+
+    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<SsimAcc>) -> SsimAcc {
+        ctx.g_read_raw(partials.len() as u64 * 16);
+        ctx.flops(partials.len() as u64 * 2);
+        let mut acc = SsimAcc::default();
+        for p in &partials {
+            acc.sum += p.sum;
+            acc.windows += p.windows;
+        }
+        acc
+    }
+}
+
+impl HasReferencePath for SsimFusedKernel<'_> {
+    fn run_block_reference(&self, block: usize, ctx: &mut BlockCtx) -> SsimAcc {
+        self.run_block_impl(block, ctx, false)
+    }
+}
+
+/// `dst[w] = Σ_r rows[r][w]`, adding rows in ascending order.
+///
+/// Each window's accumulator receives its terms in exactly the given row
+/// order, so the result is bit-identical to a per-window scalar loop — but
+/// windows are processed eight at a time in register accumulators over
+/// unit-stride sources, which vectorizes.
+#[inline]
+fn sum_rows_into<'a>(dst: &mut [f64], nrows: usize, row: impl Fn(usize) -> &'a [f64]) {
+    const CH: usize = 8;
+    let n = dst.len();
+    let mut w0 = 0;
+    while w0 + CH <= n {
+        let mut acc = [0f64; CH];
+        for r in 0..nrows {
+            let src = &row(r)[w0..w0 + CH];
+            for (a, s) in acc.iter_mut().zip(src) {
+                *a += s;
+            }
+        }
+        dst[w0..w0 + CH].copy_from_slice(&acc);
+        w0 += CH;
+    }
+    for w in w0..n {
+        let mut a = 0.0;
+        for r in 0..nrows {
+            a += row(r)[w];
+        }
+        dst[w] = a;
+    }
+}
+
+impl SsimFusedKernel<'_> {
+    // The fast and reference paths share all geometry, charging and FIFO
+    // logic; they differ only in how the per-row sliding window sums are
+    // computed. `fast` stages each lane's products once into unit-stride
+    // arrays (vectorizable, each product computed once); the reference
+    // recomputes products per window. Both add the same values in the same
+    // per-statistic order, so results are bit-identical.
+    fn run_block_impl(&self, block: usize, ctx: &mut BlockCtx, fast: bool) -> SsimAcc {
         let s = self.fields.shape;
         let (nx, ny, nz) = (s.nx(), s.ny(), s.nz());
         let p = self.params;
@@ -166,10 +226,13 @@ impl BlockKernel for SsimFusedKernel<'_> {
         let row_hi = y_wins.last().unwrap() * step + wy_size; // exclusive
         let n_rows = row_hi - row_lo;
 
-        // The FIFO: [slot][ywin][lane] × 5 quantities. Values are carried in
-        // f64 for numeric parity with the reference; the footprint and
-        // traffic are charged at the f32 width the real kernel stores.
-        let mut fifo = vec![[0f64; WindowMoments::QUANTITIES as usize]; self.fifo_entries()];
+        // The FIFO, stored SoA: one plane per moment quantity, each plane
+        // laid out [slot][ywin][lane] — folds then run unit-stride across
+        // windows. Values are carried in f64 for numeric parity with the
+        // reference; the footprint and traffic are charged at the f32 width
+        // the real kernel stores.
+        let fplane = self.fifo_entries() / WindowMoments::QUANTITIES as usize;
+        let mut fifo = vec![0f64; self.fifo_entries()];
         let fifo_idx = |slot: usize, t: usize, lane: usize| (slot * Y_NUM + t) * x_num + lane;
         let _shared: SharedBuf<f32> = if self.fifo_in_shared {
             ctx.shared_alloc(self.fifo_entries())
@@ -178,12 +241,17 @@ impl BlockKernel for SsimFusedKernel<'_> {
         };
 
         let mut acc = SsimAcc::default();
+        // Per-quantity fold scratch; fully overwritten before each use.
+        let mut folded = [[0f64; WARP]; 5];
         // Windows per x-sweep iteration: origins i, i+step, ... within the
         // 32-lane data span (equals x_num when step = 1).
         let wins_per_iter = (WARP - wsize) / step + 1;
         let adv = wins_per_iter * step;
-        // Per-row sliding x-sums of this slice: [row][window][quantity].
-        let mut row_sums = vec![[0f64; 5]; n_rows * x_num];
+        // Per-row sliding x-sums of this slice, SoA: one plane per quantity,
+        // each plane [row][window] — the y reduction runs unit-stride
+        // across windows.
+        let rplane = n_rows * x_num;
+        let mut row_sums = vec![0f64; 5 * rplane];
 
         let mut i = 0usize;
         while i + wsize <= nx {
@@ -203,19 +271,71 @@ impl BlockKernel for SsimFusedKernel<'_> {
                     ctx.flops(3 * WARP as u64);
                     ctx.counters.shuffles += (wsize as u64 - 1) * q;
                     ctx.flops((wsize as u64 - 1) * q * WARP as u64);
-                    for w in 0..wins_valid {
-                        let lane = w * step;
-                        let mut sums = [0f64; 5];
-                        for dx in 0..wsize {
-                            let x = self.fields.orig[base + lane + dx] as f64;
-                            let y = self.fields.dec[base + lane + dx] as f64;
-                            sums[0] += x;
-                            sums[1] += x * x;
-                            sums[2] += y;
-                            sums[3] += y * y;
-                            sums[4] += x * y;
+                    // Every touched index is < valid: the furthest access is
+                    // (wins_valid-1)·step + wsize - 1 ≤ nx - i - 1.
+                    if fast {
+                        let xs = &self.fields.orig[base..base + valid];
+                        let ys = &self.fields.dec[base..base + valid];
+                        let mut xa = [0f64; WARP];
+                        let mut x2a = [0f64; WARP];
+                        let mut ya = [0f64; WARP];
+                        let mut y2a = [0f64; WARP];
+                        let mut xya = [0f64; WARP];
+                        for l in 0..valid {
+                            let x = xs[l] as f64;
+                            let y = ys[l] as f64;
+                            xa[l] = x;
+                            x2a[l] = x * x;
+                            ya[l] = y;
+                            y2a[l] = y * y;
+                            xya[l] = x * y;
                         }
-                        row_sums[r * x_num + w] = sums;
+                        // Window-innermost accumulation: each window still
+                        // adds its terms in ascending-dx order (bit-identical
+                        // to the reference), but the inner loop runs across
+                        // independent windows at stride `step` — unit stride
+                        // for the paper's step = 1, so it vectorizes.
+                        for (qi, arr) in
+                            [&xa, &x2a, &ya, &y2a, &xya].into_iter().enumerate()
+                        {
+                            let rb = qi * rplane + r * x_num;
+                            if step == 1 {
+                                // Window w sums arr[w + dx] for ascending dx;
+                                // (wins_valid−1)·step + wsize ≤ WARP keeps
+                                // every row slice in bounds.
+                                sum_rows_into(
+                                    &mut row_sums[rb..rb + wins_valid],
+                                    wsize,
+                                    |dx| &arr[dx..dx + wins_valid],
+                                );
+                            } else {
+                                for w in 0..wins_valid {
+                                    let lane = w * step;
+                                    let mut sum = 0.0;
+                                    for dx in 0..wsize {
+                                        sum += arr[lane + dx];
+                                    }
+                                    row_sums[rb + w] = sum;
+                                }
+                            }
+                        }
+                    } else {
+                        for w in 0..wins_valid {
+                            let lane = w * step;
+                            let mut sums = [0f64; 5];
+                            for dx in 0..wsize {
+                                let x = self.fields.orig[base + lane + dx] as f64;
+                                let y = self.fields.dec[base + lane + dx] as f64;
+                                sums[0] += x;
+                                sums[1] += x * x;
+                                sums[2] += y;
+                                sums[3] += y * y;
+                                sums[4] += x * y;
+                            }
+                            for (qi, &v) in sums.iter().enumerate() {
+                                row_sums[qi * rplane + r * x_num + w] = v;
+                            }
+                        }
                     }
                 }
                 // ---- y reduction per window row-group -------------------
@@ -225,15 +345,14 @@ impl BlockKernel for SsimFusedKernel<'_> {
                 let slot = k % wz_size;
                 for (t, &wy) in y_wins.iter().enumerate() {
                     let r0 = wy * step - row_lo;
-                    for w in 0..wins_valid {
-                        let mut sums = [0f64; 5];
-                        for dy in 0..wy_size {
-                            let rs = row_sums[(r0 + dy) * x_num + w];
-                            for (a, b) in sums.iter_mut().zip(rs.iter()) {
-                                *a += b;
-                            }
-                        }
-                        fifo[fifo_idx(slot, t, w)] = sums;
+                    // Each (quantity, window) accumulator folds its rows in
+                    // ascending-dy order, windows unit-stride innermost.
+                    for qi in 0..5 {
+                        let fb = qi * fplane + fifo_idx(slot, t, 0);
+                        sum_rows_into(&mut fifo[fb..fb + wins_valid], wy_size, |dy| {
+                            let rb = qi * rplane + (r0 + dy) * x_num;
+                            &row_sums[rb..rb + wins_valid]
+                        });
                     }
                 }
                 ctx.flops((y_wins.len() * wins_valid) as u64 * q * wy_size as u64);
@@ -256,17 +375,24 @@ impl BlockKernel for SsimFusedKernel<'_> {
                     ctx.flops(fold + (y_wins.len() * wins_valid) as u64 * 30);
                     ctx.special(2 * (y_wins.len() * wins_valid) as u64);
                     for t in 0..y_wins.len() {
+                        // Fold the FIFO slots per (quantity, window) in
+                        // ascending-slot order, windows innermost
+                        // (unit-stride), then score each window.
+                        for (qi, f) in folded.iter_mut().enumerate() {
+                            sum_rows_into(&mut f[..wins_valid], wz_size, |slot| {
+                                let fb = qi * fplane + fifo_idx(slot, t, 0);
+                                &fifo[fb..fb + wins_valid]
+                            });
+                        }
                         for w in 0..wins_valid {
-                            let mut m = WindowMoments::default();
-                            for slot in 0..wz_size {
-                                let sums = fifo[fifo_idx(slot, t, w)];
-                                m.sum_x += sums[0];
-                                m.sum_x2 += sums[1];
-                                m.sum_y += sums[2];
-                                m.sum_y2 += sums[3];
-                                m.sum_xy += sums[4];
-                            }
-                            m.n = (wsize * wy_size * wz_size) as u64;
+                            let m = WindowMoments {
+                                sum_x: folded[0][w],
+                                sum_x2: folded[1][w],
+                                sum_y: folded[2][w],
+                                sum_y2: folded[3][w],
+                                sum_xy: folded[4][w],
+                                n: (wsize * wy_size * wz_size) as u64,
+                            };
                             acc.sum += m.ssim(p.range, p.k1, p.k2);
                             acc.windows += 1;
                         }
@@ -277,17 +403,6 @@ impl BlockKernel for SsimFusedKernel<'_> {
         }
         // Block partial (sum + count) to global for the grid fold.
         ctx.g_write_raw(16);
-        acc
-    }
-
-    fn finalize(&self, ctx: &mut BlockCtx, partials: Vec<SsimAcc>) -> SsimAcc {
-        ctx.g_read_raw(partials.len() as u64 * 16);
-        ctx.flops(partials.len() as u64 * 2);
-        let mut acc = SsimAcc::default();
-        for p in &partials {
-            acc.sum += p.sum;
-            acc.windows += p.windows;
-        }
         acc
     }
 }

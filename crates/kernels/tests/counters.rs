@@ -139,7 +139,7 @@ fn p3_no_fifo_scatter_matches_moment_count() {
 
 #[test]
 fn counters_are_independent_of_block_execution_order() {
-    // Launch twice; rayon schedules blocks differently but merged counters
+    // Launch twice; worker threads interleave differently but merged counters
     // must be identical (they are per-block sums).
     let shape = Shape::d3(48, 48, 12);
     let (orig, dec) = pair(shape);

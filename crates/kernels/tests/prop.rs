@@ -1,32 +1,58 @@
 //! Property-based tests: the GPU kernels agree with scalar reference math
 //! on arbitrary inputs, and the accumulators behave like proper monoids.
+//! Cases come from a deterministic inline RNG (no external
+//! property-testing dependency).
 
-use proptest::prelude::*;
 use zc_gpusim::GpuSim;
 use zc_kernels::p3::{SsimFusedKernel, SsimParams};
 use zc_kernels::{FieldPair, P1FusedKernel, P1Scalars, WindowMoments};
 use zc_tensor::{Shape, Tensor, WindowSpec, Windows};
 
-fn shapes() -> impl Strategy<Value = Shape> {
-    ((4usize..40), (3usize..24), (2usize..16)).prop_map(|(x, y, z)| Shape::d3(x, y, z))
-}
+/// Deterministic splitmix64 case generator.
+struct Rng(u64);
 
-fn field_pairs() -> impl Strategy<Value = (Tensor<f32>, Tensor<f32>)> {
-    (shapes(), any::<u32>(), 0.0f32..0.3).prop_map(|(shape, seed, noise)| {
-        let s = seed as f32 * 1e-5;
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        self.f64(lo as f64, hi as f64) as f32
+    }
+
+    fn shape(&mut self) -> Shape {
+        Shape::d3(self.usize(4, 40), self.usize(3, 24), self.usize(2, 16))
+    }
+
+    fn field_pair(&mut self) -> (Tensor<f32>, Tensor<f32>) {
+        let shape = self.shape();
+        let s = (self.next() as u32) as f32 * 1e-5;
+        let noise = self.f32(0.0, 0.3);
         let orig = Tensor::from_fn(shape, |[x, y, z, _]| {
             ((x as f32 + s) * 0.37).sin() * 10.0 + (y as f32 * 0.21).cos() - z as f32 * 0.4
         });
         let dec = orig.map(|v| v + noise * (v * 31.7).sin());
         (orig, dec)
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn p1_kernel_equals_scalar_reference((orig, dec) in field_pairs()) {
+#[test]
+fn p1_kernel_equals_scalar_reference() {
+    let mut rng = Rng(0x9101);
+    for case in 0..48 {
+        let (orig, dec) = rng.field_pair();
         let sim = GpuSim::v100();
         let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
         let got = sim.launch(&k, k.grid()).output;
@@ -34,21 +60,24 @@ proptest! {
         for (&x, &y) in orig.iter().zip(dec.iter()) {
             want.absorb(x as f64, y as f64);
         }
-        prop_assert_eq!(got.n, want.n);
-        prop_assert_eq!(got.min_x, want.min_x);
-        prop_assert_eq!(got.max_abs_e, want.max_abs_e);
+        assert_eq!(got.n, want.n, "case {case}");
+        assert_eq!(got.min_x, want.min_x, "case {case}");
+        assert_eq!(got.max_abs_e, want.max_abs_e, "case {case}");
         let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-30);
-        prop_assert!(close(got.sum_e2, want.sum_e2));
-        prop_assert!(close(got.sum_xy, want.sum_xy));
-        prop_assert!(close(got.pearson(), want.pearson()));
+        assert!(close(got.sum_e2, want.sum_e2), "case {case}");
+        assert!(close(got.sum_xy, want.sum_xy), "case {case}");
+        assert!(close(got.pearson(), want.pearson()), "case {case}");
     }
+}
 
-    #[test]
-    fn p1_combine_is_associative_within_tolerance(
-        vals in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..200),
-        split in 1usize..100
-    ) {
-        let split = split.min(vals.len() - 1);
+#[test]
+fn p1_combine_is_associative_within_tolerance() {
+    let mut rng = Rng(0x9102);
+    for case in 0..48 {
+        let n = rng.usize(3, 200);
+        let vals: Vec<(f64, f64)> =
+            (0..n).map(|_| (rng.f64(-100.0, 100.0), rng.f64(-100.0, 100.0))).collect();
+        let split = rng.usize(1, 100).min(vals.len() - 1);
         let mut whole = P1Scalars::identity();
         for &(x, y) in &vals {
             whole.absorb(x, y);
@@ -62,24 +91,33 @@ proptest! {
             b.absorb(x, y);
         }
         a.combine(&b);
-        prop_assert_eq!(a.n, whole.n);
-        prop_assert_eq!(a.min_e, whole.min_e);
-        prop_assert!((a.sum_e2 - whole.sum_e2).abs() <= 1e-9 * whole.sum_e2.abs().max(1e-20));
+        assert_eq!(a.n, whole.n, "case {case}");
+        assert_eq!(a.min_e, whole.min_e, "case {case}");
+        assert!(
+            (a.sum_e2 - whole.sum_e2).abs() <= 1e-9 * whole.sum_e2.abs().max(1e-20),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn ssim_kernel_equals_window_reference(
-        (orig, dec) in field_pairs(),
-        wsize in 2usize..9,
-        step in 1usize..4,
-    ) {
+#[test]
+fn ssim_kernel_equals_window_reference() {
+    let mut rng = Rng(0x9103);
+    for case in 0..24 {
+        let (orig, dec) = rng.field_pair();
+        let wsize = rng.usize(2, 9);
+        let step = rng.usize(1, 4);
         let range = {
             let (mn, mx) = orig.min_max().unwrap();
             (mx - mn) as f64
         };
         let p = SsimParams { wsize, step, k1: 0.01, k2: 0.03, range };
         let sim = GpuSim::v100();
-        let k = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: true };
+        let k = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+            params: p,
+            fifo_in_shared: true,
+        };
         let got = sim.launch(&k, k.grid()).output;
         // Brute-force reference.
         let mut sum = 0.0;
@@ -99,34 +137,45 @@ proptest! {
             sum += m.ssim(range, 0.01, 0.03);
             count += 1;
         }
-        prop_assert_eq!(got.windows, count, "window count for w={} s={}", wsize, step);
+        assert_eq!(got.windows, count, "case {case}: window count for w={wsize} s={step}");
         if count > 0 {
-            prop_assert!((got.mean() - sum / count as f64).abs() < 1e-9);
+            assert!((got.mean() - sum / count as f64).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn ssim_is_bounded_and_one_for_identical((orig, _) in field_pairs()) {
+#[test]
+fn ssim_is_bounded_and_one_for_identical() {
+    let mut rng = Rng(0x9104);
+    for case in 0..24 {
+        let (orig, _) = rng.field_pair();
         let range = {
             let (mn, mx) = orig.min_max().unwrap();
             ((mx - mn) as f64).max(1e-9)
         };
         let p = SsimParams::paper_defaults(range);
         let sim = GpuSim::v100();
-        let k = SsimFusedKernel { fields: FieldPair::new(&orig, &orig), params: p, fifo_in_shared: true };
+        let k = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &orig),
+            params: p,
+            fifo_in_shared: true,
+        };
         let got = sim.launch(&k, k.grid()).output;
-        prop_assert!((got.mean() - 1.0).abs() < 1e-12);
+        assert!((got.mean() - 1.0).abs() < 1e-12, "case {case}");
         if got.windows > 0 {
-            prop_assert!(got.sum <= got.windows as f64 * (1.0 + 1e-12));
+            assert!(got.sum <= got.windows as f64 * (1.0 + 1e-12), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn window_moments_combine_matches_sequential(
-        vals in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..100),
-        split in 1usize..50
-    ) {
-        let split = split.min(vals.len() - 1);
+#[test]
+fn window_moments_combine_matches_sequential() {
+    let mut rng = Rng(0x9105);
+    for case in 0..48 {
+        let n = rng.usize(2, 100);
+        let vals: Vec<(f64, f64)> =
+            (0..n).map(|_| (rng.f64(-10.0, 10.0), rng.f64(-10.0, 10.0))).collect();
+        let split = rng.usize(1, 50).min(vals.len() - 1);
         let mut whole = WindowMoments::default();
         for &(x, y) in &vals {
             whole.absorb(x, y);
@@ -140,9 +189,15 @@ proptest! {
             b.absorb(x, y);
         }
         a.combine(&b);
-        prop_assert_eq!(a.n, whole.n);
-        prop_assert!((a.sum_xy - whole.sum_xy).abs() < 1e-9 * whole.sum_xy.abs().max(1e-20));
+        assert_eq!(a.n, whole.n, "case {case}");
+        assert!(
+            (a.sum_xy - whole.sum_xy).abs() < 1e-9 * whole.sum_xy.abs().max(1e-20),
+            "case {case}"
+        );
         // And the SSIM from combined moments matches.
-        prop_assert!((a.ssim(20.0, 0.01, 0.03) - whole.ssim(20.0, 0.01, 0.03)).abs() < 1e-9);
+        assert!(
+            (a.ssim(20.0, 0.01, 0.03) - whole.ssim(20.0, 0.01, 0.03)).abs() < 1e-9,
+            "case {case}"
+        );
     }
 }

@@ -1,0 +1,150 @@
+//! # zc-par
+//!
+//! Minimal fork/join data parallelism on `std::thread::scope` — the
+//! workspace's stand-in for an external thread-pool crate, so the build
+//! has zero registry dependencies and works in fully offline environments.
+//!
+//! Unlike work-stealing pools, the partitioning here is *static and
+//! contiguous*: index range `0..n` is split into one contiguous span per
+//! worker and results are concatenated in index order. That makes every
+//! caller deterministic by construction (same inputs → same output order →
+//! same floating-point reduction order), which the simulator's
+//! "deterministic despite parallelism" tests rely on.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Number of worker threads used by [`par_map`] / [`par_chunks_mut`]
+/// (the machine's available parallelism, cached; at least 1).
+pub fn max_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    })
+}
+
+/// Map `f` over `0..n` in parallel, returning results in index order.
+///
+/// `f` runs on scoped worker threads over contiguous index spans; the
+/// output is exactly `(0..n).map(f).collect()` regardless of thread count.
+pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let span = n.div_ceil(threads);
+    let f = &f;
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * span;
+                let hi = ((t + 1) * span).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("zc-par worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Apply `f(chunk_index, chunk)` to consecutive `chunk`-sized mutable
+/// chunks of `data` in parallel (the last chunk may be shorter).
+///
+/// Chunk indices match `data.chunks_mut(chunk).enumerate()`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let n_chunks = data.len().div_ceil(chunk);
+    let threads = max_threads().min(n_chunks);
+    if threads <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let per_worker = n_chunks.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut next_chunk = 0usize;
+        while !rest.is_empty() {
+            let take = (per_worker * chunk).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let first = next_chunk;
+            next_chunk += head.len().div_ceil(chunk);
+            s.spawn(move || {
+                for (j, c) in head.chunks_mut(chunk).enumerate() {
+                    f(first + j, c);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let v = par_map(1000, |i| i * 3);
+        assert_eq!(v, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_sizes() {
+        assert!(par_map(0, |i| i).is_empty());
+        assert_eq!(par_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_fp_reduction_is_deterministic() {
+        let f = |i: usize| ((i as f64) * 0.1).sin();
+        let a: f64 = par_map(10_000, f).iter().sum();
+        let b: f64 = par_map(10_000, f).iter().sum();
+        let serial: f64 = (0..10_000).map(f).sum();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(a.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let mut data = vec![0u32; 1013]; // deliberately not a chunk multiple
+        let calls = AtomicUsize::new(0);
+        par_chunks_mut(&mut data, 64, |i, c| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            for v in c.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1013usize.div_ceil(64));
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 64) as u32 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_chunk_larger_than_data() {
+        let mut data = vec![1u8; 5];
+        par_chunks_mut(&mut data, 100, |i, c| {
+            assert_eq!(i, 0);
+            assert_eq!(c.len(), 5);
+            c.fill(9);
+        });
+        assert_eq!(data, vec![9u8; 5]);
+    }
+}

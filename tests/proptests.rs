@@ -1,37 +1,55 @@
 //! Cross-crate property tests: executor equivalence and assessment-level
 //! invariants hold on arbitrary generated inputs, not just fixtures.
+//! Cases come from a deterministic inline RNG (no external
+//! property-testing dependency).
 
 use cuz_checker::compress::{Compressor, ErrorBound, SzCompressor};
 use cuz_checker::core::config::AssessConfig;
 use cuz_checker::core::exec::Executor;
 use cuz_checker::core::{CuZc, Metric, MoZc, OmpZc, SerialZc};
 use cuz_checker::tensor::{Shape, Tensor};
-use proptest::prelude::*;
 
-fn shapes() -> impl Strategy<Value = Shape> {
-    ((8usize..32), (8usize..24), (8usize..16)).prop_map(|(x, y, z)| Shape::d3(x, y, z))
-}
+/// Deterministic splitmix64 case generator.
+struct Rng(u64);
 
-fn fields() -> impl Strategy<Value = Tensor<f32>> {
-    (shapes(), any::<u32>(), -100.0f32..100.0).prop_map(|(shape, seed, offset)| {
-        let s = seed as f32 * 1e-6;
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * (((self.next() >> 11) as f64 / (1u64 << 53) as f64) as f32)
+    }
+
+    fn field(&mut self) -> Tensor<f32> {
+        let shape = Shape::d3(self.usize(8, 32), self.usize(8, 24), self.usize(8, 16));
+        let s = (self.next() as u32) as f32 * 1e-6;
+        let offset = self.f32(-100.0, 100.0);
         Tensor::from_fn(shape, |[x, y, z, _]| {
             offset + ((x as f32 + s) * 0.31).sin() * 8.0 + (y as f32 * 0.17).cos() * 3.0
                 - (z as f32 * 0.23).sin()
         })
-    })
+    }
 }
 
 fn small_cfg() -> AssessConfig {
     AssessConfig { max_lag: 3, bins: 32, ..Default::default() }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn executors_agree_on_arbitrary_fields(orig in fields(), eb_exp in -5i32..-2) {
-        let eb = 10f64.powi(eb_exp);
+#[test]
+fn executors_agree_on_arbitrary_fields() {
+    let mut rng = Rng(0xe8a9);
+    for case in 0..8 {
+        let orig = rng.field();
+        let eb = 10f64.powi(-(rng.usize(3, 6) as i32));
         let sz = SzCompressor::new(ErrorBound::Rel(eb));
         let (dec, _) = sz.roundtrip(&orig).unwrap();
         let cfg = small_cfg();
@@ -42,43 +60,63 @@ proptest! {
             Box::new(CuZc::default()),
         ] {
             let a = ex.assess(&orig, &dec, &cfg).unwrap();
-            for m in [Metric::Psnr, Metric::Mse, Metric::Ssim, Metric::AvgError,
-                      Metric::MaxAbsError, Metric::PearsonCorrelation, Metric::Autocorrelation] {
+            for m in [
+                Metric::Psnr,
+                Metric::Mse,
+                Metric::Ssim,
+                Metric::AvgError,
+                Metric::MaxAbsError,
+                Metric::PearsonCorrelation,
+                Metric::Autocorrelation,
+            ] {
                 let (r, v) = (s.report.scalar(m).unwrap(), a.report.scalar(m).unwrap());
                 let ok = (r == v) || (r - v).abs() <= 1e-6 * r.abs().max(1e-20);
-                prop_assert!(ok, "{}: {m} = {v} vs serial {r}", ex.name());
+                assert!(ok, "case {case} {}: {m} = {v} vs serial {r}", ex.name());
             }
         }
     }
+}
 
-    #[test]
-    fn assessment_invariants_hold(orig in fields(), eb_exp in -5i32..-2) {
-        let eb = 10f64.powi(eb_exp);
+#[test]
+fn assessment_invariants_hold() {
+    let mut rng = Rng(0x1457);
+    for case in 0..8 {
+        let orig = rng.field();
+        let eb = 10f64.powi(-(rng.usize(3, 6) as i32));
         let sz = SzCompressor::new(ErrorBound::Rel(eb));
         let (dec, _) = sz.roundtrip(&orig).unwrap();
         let a = CuZc::default().assess(&orig, &dec, &small_cfg()).unwrap();
         let rep = &a.report;
         // Structural invariants of any valid assessment:
-        prop_assert!(rep.scalar(Metric::Mse).unwrap() >= 0.0);
-        prop_assert!(rep.scalar(Metric::MinError).unwrap()
-            <= rep.scalar(Metric::MaxError).unwrap());
-        prop_assert!(rep.scalar(Metric::AvgError).unwrap()
-            <= rep.scalar(Metric::MaxAbsError).unwrap() + 1e-15);
+        assert!(rep.scalar(Metric::Mse).unwrap() >= 0.0, "case {case}");
+        assert!(
+            rep.scalar(Metric::MinError).unwrap() <= rep.scalar(Metric::MaxError).unwrap(),
+            "case {case}"
+        );
+        assert!(
+            rep.scalar(Metric::AvgError).unwrap()
+                <= rep.scalar(Metric::MaxAbsError).unwrap() + 1e-15,
+            "case {case}"
+        );
         let ssim = rep.scalar(Metric::Ssim).unwrap();
-        prop_assert!((-1.0..=1.0 + 1e-12).contains(&ssim), "ssim {ssim}");
+        assert!((-1.0..=1.0 + 1e-12).contains(&ssim), "case {case}: ssim {ssim}");
         let pearson = rep.scalar(Metric::PearsonCorrelation).unwrap();
-        prop_assert!((-1.0..=1.0).contains(&pearson));
+        assert!((-1.0..=1.0).contains(&pearson), "case {case}");
         let nrmse = rep.scalar(Metric::Nrmse).unwrap();
-        prop_assert!(nrmse >= 0.0);
+        assert!(nrmse >= 0.0, "case {case}");
         // Error PDF mass equals element count.
         let h = rep.histograms.as_ref().unwrap();
-        prop_assert_eq!(h.err_pdf.total(), orig.len() as u64);
+        assert_eq!(h.err_pdf.total(), orig.len() as u64, "case {case}");
         // Entropy of a 32-bin histogram is at most 5 bits.
-        prop_assert!(rep.entropy_bits().unwrap() <= 5.0 + 1e-12);
+        assert!(rep.entropy_bits().unwrap() <= 5.0 + 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn tighter_bounds_never_reduce_psnr(orig in fields()) {
+#[test]
+fn tighter_bounds_never_reduce_psnr() {
+    let mut rng = Rng(0x7169);
+    for case in 0..8 {
+        let orig = rng.field();
         let cfg = small_cfg();
         let mut prev = f64::NEG_INFINITY;
         for eb in [1e-2, 1e-3, 1e-4] {
@@ -86,14 +124,18 @@ proptest! {
             let (dec, _) = sz.roundtrip(&orig).unwrap();
             let a = SerialZc.assess(&orig, &dec, &cfg).unwrap();
             let psnr = a.report.scalar(Metric::Psnr).unwrap();
-            prop_assert!(psnr >= prev - 1e-9, "eb {eb}: psnr {psnr} < {prev}");
+            assert!(psnr >= prev - 1e-9, "case {case} eb {eb}: psnr {psnr} < {prev}");
             prev = psnr;
         }
     }
+}
 
-    #[test]
-    fn counters_scale_with_metric_selection(orig in fields()) {
-        use cuz_checker::core::metrics::{MetricSelection, Pattern};
+#[test]
+fn counters_scale_with_metric_selection() {
+    use cuz_checker::core::metrics::{MetricSelection, Pattern};
+    let mut rng = Rng(0xc583);
+    for case in 0..8 {
+        let orig = rng.field();
         let dec = orig.map(|v| v + 1e-3);
         let full = CuZc::default().assess(&orig, &dec, &small_cfg()).unwrap();
         let p1_only = AssessConfig {
@@ -101,8 +143,11 @@ proptest! {
             ..small_cfg()
         };
         let partial = CuZc::default().assess(&orig, &dec, &p1_only).unwrap();
-        prop_assert!(partial.counters.launches < full.counters.launches);
-        prop_assert!(partial.counters.global_read_bytes < full.counters.global_read_bytes);
-        prop_assert!(partial.modeled_seconds < full.modeled_seconds);
+        assert!(partial.counters.launches < full.counters.launches, "case {case}");
+        assert!(
+            partial.counters.global_read_bytes < full.counters.global_read_bytes,
+            "case {case}"
+        );
+        assert!(partial.modeled_seconds < full.modeled_seconds, "case {case}");
     }
 }
