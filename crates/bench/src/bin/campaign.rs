@@ -1,0 +1,119 @@
+//! Campaign throughput bench: modeled multi-field batch-assessment
+//! throughput of the simulated GPU fleet — jobs/sec and assessed GB/s at
+//! 1/2/4/8 devices, NVLink vs PCIe.
+//!
+//! The campaign is the (catalog × compressor-sweep) cross product over the
+//! paper's four datasets; jobs execute **once** and are re-sharded and
+//! re-aggregated per fleet (`CampaignSpec::run_on_fleets`), so the sweep
+//! costs one functional pass. Emits `BENCH_campaign.json` at the repo
+//! root (hand-rolled JSON, no serde).
+//!
+//! Usage: `campaign [--scale N] [--fields K] [--rel-bound X]` — scale
+//! defaults to 4 (axes divided by 4), fields to 2 per dataset.
+
+use zc_bench::HarnessOpts;
+use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, LinkKind};
+use zc_core::AssessConfig;
+use zc_compress::{CompressorSpec, ErrorBound};
+use zc_data::{catalog_fields, AppDataset, GenOptions};
+
+fn main() {
+    let opts = match HarnessOpts::from_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("campaign: {e}\nusage: campaign [--scale N] [--fields K] [--rel-bound X]");
+            std::process::exit(2);
+        }
+    };
+    let per_dataset = opts.max_fields.unwrap_or(2);
+    let gen = GenOptions::scaled_xy(opts.scale);
+    let fields: Vec<FieldRef> = catalog_fields(&AppDataset::ALL)
+        .filter(|&(_, index, _)| index < per_dataset)
+        .map(|(dataset, index, _)| FieldRef { dataset, index, opts: gen })
+        .collect();
+    let compressors = vec![
+        CompressorSpec::Sz(ErrorBound::Rel(opts.rel_bound)),
+        CompressorSpec::Zfp(12.0),
+    ];
+    let cfg = AssessConfig { max_lag: 4, ..opts.cfg };
+    let spec = CampaignSpec {
+        fields,
+        compressors: compressors.clone(),
+        cfg,
+        fleet: FleetSpec::nvlink(1),
+    };
+    let n_jobs = spec.jobs().len();
+    eprintln!(
+        "campaign: {} fields x {} configs = {n_jobs} jobs (scale {})",
+        spec.fields.len(),
+        compressors.len(),
+        opts.scale
+    );
+
+    let gpu_counts = [1u32, 2, 4, 8];
+    let links = [LinkKind::NvLink, LinkKind::Pcie];
+    let fleets: Vec<FleetSpec> = links
+        .iter()
+        .flat_map(|&link| {
+            gpu_counts.iter().map(move |&gpus| FleetSpec { gpus, gpus_per_job: 1, link })
+        })
+        .collect();
+    let reports = spec.run_on_fleets(&fleets).expect("campaign run");
+
+    // Per-field metrics table from the single-GPU NVLink report.
+    println!("{}", reports[0].render_table());
+    println!(
+        "{:<8} {:>5} {:>12} {:>14} {:>13} {:>12}",
+        "link", "GPUs", "jobs/sec", "assessed GB/s", "makespan (s)", "utilization"
+    );
+    let mut fleet_json = Vec::new();
+    for (fleet, report) in fleets.iter().zip(&reports) {
+        let f = &report.fleet;
+        println!(
+            "{:<8} {:>5} {:>12.3} {:>14.3} {:>13.5} {:>11.1}%",
+            fleet.link.label(),
+            fleet.gpus,
+            f.jobs_per_sec,
+            f.assessed_gbs,
+            f.makespan_s,
+            f.utilization * 100.0
+        );
+        fleet_json.push(format!(
+            "    {{\"link\": \"{}\", \"gpus\": {}, \"jobs_per_sec\": {:.6}, \"assessed_gbs\": {:.6}, \"makespan_s\": {:.8}, \"utilization\": {:.6}, \"completed\": {}, \"failed\": {}}}",
+            fleet.link.label(),
+            fleet.gpus,
+            f.jobs_per_sec,
+            f.assessed_gbs,
+            f.makespan_s,
+            f.utilization,
+            report.completed(),
+            report.failures().len(),
+        ));
+    }
+
+    // Sanity: throughput must scale monotonically 1 -> 4 GPUs per link.
+    for (li, link) in links.iter().enumerate() {
+        let jps: Vec<f64> =
+            reports[li * gpu_counts.len()..(li + 1) * gpu_counts.len()]
+                .iter()
+                .map(|r| r.fleet.jobs_per_sec)
+                .collect();
+        assert!(
+            jps[0] < jps[1] && jps[1] < jps[2],
+            "{}: jobs/sec must scale monotonically 1->4 GPUs: {jps:?}",
+            link.label()
+        );
+    }
+
+    let out = format!(
+        "{{\n  \"scale\": {},\n  \"fields_per_dataset\": {per_dataset},\n  \"jobs\": {n_jobs},\n  \"compressors\": [{}],\n  \"max_lag\": {},\n  \"fleets\": [\n{}\n  ]\n}}\n",
+        opts.scale,
+        compressors.iter().map(|c| format!("\"{}\"", c.label())).collect::<Vec<_>>().join(", "),
+        spec.cfg.max_lag,
+        fleet_json.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, &out).expect("write BENCH_campaign.json");
+    println!("{out}");
+    eprintln!("wrote {path}");
+}

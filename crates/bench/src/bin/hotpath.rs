@@ -47,8 +47,7 @@ fn main() {
     // dominating what is a lane-emulation benchmark.
     let exec_shape = Shape::d3((256 / opts.scale).max(32), (256 / opts.scale).max(32), 64);
     let (orig, dec) = make_fields(exec_shape);
-    let mut cfg = AssessConfig::default();
-    cfg.max_lag = 4;
+    let cfg = AssessConfig { max_lag: 4, ..Default::default() };
     eprintln!("executor comparison on {exec_shape} ({} elems)", exec_shape.len());
     let serial_s = time_assess(&SerialZc, &orig, &dec, &cfg);
     eprintln!("  serialZC {serial_s:.3} s");
@@ -62,8 +61,7 @@ fn main() {
     // ---- 2. SoA fast path vs scalar reference path on 256³ ---------------
     let big_shape = Shape::d3(256, 256, 256);
     let (borig, bdec) = make_fields(big_shape);
-    let mut bcfg = AssessConfig::default();
-    bcfg.max_lag = 4;
+    let bcfg = AssessConfig { max_lag: 4, ..Default::default() };
     eprintln!("fast vs reference on {big_shape} ({} elems)", big_shape.len());
     let fast = CuZc::default();
     let refr = CuZc { reference_path: true, ..Default::default() };

@@ -46,6 +46,7 @@ mod huffman;
 mod lorenzo;
 mod lossless;
 mod quantizer;
+mod spec;
 mod stats;
 mod sz;
 mod zfp_like;
@@ -56,6 +57,7 @@ pub use huffman::{HuffmanCodec, HuffmanError};
 pub use lorenzo::LorenzoPredictor;
 pub use lossless::LosslessCompressor;
 pub use quantizer::{LinearQuantizer, Quantized};
+pub use spec::CompressorSpec;
 pub use stats::{CompressionStats, RateSummary};
 pub use sz::{ErrorBound, SzCompressor};
 pub use zfp_like::ZfpLikeCompressor;

@@ -1,0 +1,122 @@
+//! Declarative compressor configurations — the enumerable "compressor
+//! config" axis of a batch-assessment campaign.
+//!
+//! Z-checker's original use case (Di et al., IJHPCA 2017) is assessing
+//! whole archives of fields under *many* compressor configurations; a
+//! campaign needs those configurations as plain data (clonable, hashable
+//! into job keys, buildable on demand) rather than as live trait objects.
+//! [`CompressorSpec`] is that data form: one variant per compressor family,
+//! [`build`](CompressorSpec::build) instantiates the codec.
+
+use crate::{
+    BitGroomCompressor, CodecError, Compressed, Compressor, ErrorBound, LosslessCompressor,
+    SzCompressor, ZfpLikeCompressor,
+};
+use zc_tensor::Tensor;
+
+/// A compressor configuration as plain data.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CompressorSpec {
+    /// SZ-like error-bounded compression.
+    Sz(ErrorBound),
+    /// ZFP-like fixed rate (bits per value).
+    Zfp(f64),
+    /// Bit grooming keeping N mantissa bits.
+    BitGroom(u32),
+    /// Lossless byte-plane Huffman.
+    Lossless,
+    /// Fault injection: compresses normally (as lossless) but always fails
+    /// to decompress. Used by campaign failure-isolation tests — a campaign
+    /// containing one such job must complete every other job.
+    FailDecode,
+}
+
+impl CompressorSpec {
+    /// Instantiate the configured codec.
+    pub fn build(&self) -> Box<dyn Compressor> {
+        match *self {
+            CompressorSpec::Sz(b) => Box::new(SzCompressor::new(b)),
+            CompressorSpec::Zfp(rate) => Box::new(ZfpLikeCompressor::new(rate)),
+            CompressorSpec::BitGroom(bits) => Box::new(BitGroomCompressor::new(bits)),
+            CompressorSpec::Lossless => Box::new(LosslessCompressor::new()),
+            CompressorSpec::FailDecode => Box::new(FailDecode),
+        }
+    }
+
+    /// Stable human-readable label for job keys and report tables.
+    pub fn label(&self) -> String {
+        match *self {
+            CompressorSpec::Sz(ErrorBound::Abs(e)) => format!("sz(abs={e:e})"),
+            CompressorSpec::Sz(ErrorBound::Rel(e)) => format!("sz(rel={e:e})"),
+            CompressorSpec::Zfp(rate) => format!("zfp(rate={rate})"),
+            CompressorSpec::BitGroom(bits) => format!("bitgroom(bits={bits})"),
+            CompressorSpec::Lossless => "lossless".to_string(),
+            CompressorSpec::FailDecode => "fail-decode".to_string(),
+        }
+    }
+
+    /// The standard campaign sweep: three SZ relative bounds spanning the
+    /// paper's evaluation range plus a fixed-rate ZFP point — the typical
+    /// "which configuration should I archive with?" comparison.
+    pub fn standard_sweep() -> Vec<CompressorSpec> {
+        vec![
+            CompressorSpec::Sz(ErrorBound::Rel(1e-2)),
+            CompressorSpec::Sz(ErrorBound::Rel(1e-3)),
+            CompressorSpec::Sz(ErrorBound::Rel(1e-4)),
+            CompressorSpec::Zfp(12.0),
+        ]
+    }
+}
+
+/// The fault-injection codec behind [`CompressorSpec::FailDecode`].
+struct FailDecode;
+
+impl Compressor for FailDecode {
+    fn name(&self) -> &'static str {
+        "fail-decode"
+    }
+
+    fn compress(&self, t: &Tensor<f32>) -> Compressed {
+        let mut c = LosslessCompressor::new().compress(t);
+        c.stats = Default::default();
+        c
+    }
+
+    fn decompress(&self, _c: &Compressed) -> Result<Tensor<f32>, CodecError> {
+        Err(CodecError::Corrupt("fault-injection codec never decodes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_tensor::{Shape, Tensor};
+
+    fn field() -> Tensor<f32> {
+        Tensor::from_fn(Shape::d3(8, 8, 8), |[x, y, z, _]| {
+            (x as f32 * 0.3).sin() + y as f32 * 0.05 - (z as f32 * 0.2).cos()
+        })
+    }
+
+    #[test]
+    fn every_spec_builds_and_labels() {
+        let mut specs = CompressorSpec::standard_sweep();
+        specs.push(CompressorSpec::BitGroom(8));
+        specs.push(CompressorSpec::Lossless);
+        let mut labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), specs.len(), "labels must be distinct");
+        for spec in &specs {
+            let c = spec.build();
+            let rec = c.decompress(&c.compress(&field())).expect("roundtrip");
+            assert_eq!(rec.shape(), field().shape());
+        }
+    }
+
+    #[test]
+    fn fail_decode_compresses_but_never_decodes() {
+        let c = CompressorSpec::FailDecode.build();
+        let out = c.compress(&field());
+        assert!(c.decompress(&out).is_err());
+    }
+}

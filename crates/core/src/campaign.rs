@@ -1,0 +1,259 @@
+//! Campaign engine — sharded multi-field batch assessment over the
+//! simulated multi-GPU fleet.
+//!
+//! Z-checker's original production shape (Di et al., IJHPCA 2017) is not
+//! "assess one field": it is "assess a whole archive of fields under every
+//! candidate compressor configuration and pick the best one". The paper's
+//! §VI future-work plan is the matching hardware story: a multi-node
+//! multi-GPU cuZ-Checker. This module joins the two: a **campaign** is the
+//! cross product of a field catalog ([`zc_data::catalog`]) and a set of
+//! compressor configurations ([`zc_compress::CompressorSpec`]), sharded
+//! across `N` simulated devices with *static deterministic* partitioning
+//! and executed with host-side parallelism from `zc-par`.
+//!
+//! Design invariants (locked down by the differential/golden/determinism
+//! test tiers — see `tests/README.md`):
+//!
+//! * **Determinism** — job order, shard assignment, and every metric value
+//!   are independent of the host worker count (`zc-par` static spans +
+//!   per-job isolation); campaign results are bit-identical at 1, 2, or
+//!   max threads.
+//! * **Failure isolation** — a codec or assessment error in one job is
+//!   recorded in its [`JobRecord`] and never aborts the rest of the
+//!   campaign.
+//! * **Counter-merge invariant** — campaign-level per-pattern counters are
+//!   the [`zc_gpusim::Counters::merge`] fold of every completed job's
+//!   pattern runs (sums everywhere, `max` for the serial iteration depth),
+//!   so fleet totals stay consistent with single-job accounting.
+
+mod job;
+mod report;
+mod shard;
+
+pub use job::{FieldRef, JobMetrics, JobOutcome, JobRecord, JobSpec};
+pub use report::{CampaignReport, FleetUtilization, PatternTotals};
+pub use shard::{FleetSpec, LinkKind, ShardPlan};
+
+use crate::config::AssessConfig;
+use zc_compress::CompressorSpec;
+use zc_data::{AppDataset, GenOptions};
+
+/// A full campaign description: *what* to assess (field catalog), *under
+/// which configurations* (compressor sweep), *how* (assessment config),
+/// and *on what fleet* (shard/fleet spec).
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// The fields to assess.
+    pub fields: Vec<FieldRef>,
+    /// The compressor configurations to sweep.
+    pub compressors: Vec<CompressorSpec>,
+    /// Assessment configuration shared by every job.
+    pub cfg: AssessConfig,
+    /// The simulated GPU fleet.
+    pub fleet: FleetSpec,
+}
+
+/// Campaign-level errors (per-job failures are *not* errors — they are
+/// recorded in the report; see [`JobOutcome`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignError {
+    /// The fleet description is inconsistent.
+    BadFleet(String),
+    /// The shared assessment configuration failed validation.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::BadFleet(m) => write!(f, "bad fleet spec: {m}"),
+            CampaignError::BadConfig(m) => write!(f, "bad assess config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl CampaignSpec {
+    /// Campaign over every field of the given datasets.
+    pub fn over_datasets(
+        datasets: &[AppDataset],
+        opts: GenOptions,
+        compressors: Vec<CompressorSpec>,
+        cfg: AssessConfig,
+        fleet: FleetSpec,
+    ) -> Self {
+        let fields = zc_data::catalog_fields(datasets)
+            .map(|(dataset, index, _)| FieldRef { dataset, index, opts })
+            .collect();
+        CampaignSpec { fields, compressors, cfg, fleet }
+    }
+
+    /// The job list: the (field × compressor) cross product in
+    /// field-major order. Job ids are list positions; the shard plan and
+    /// all result ordering key off them, so the list is deterministic by
+    /// construction.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut out = Vec::with_capacity(self.fields.len() * self.compressors.len());
+        for (fi, field) in self.fields.iter().enumerate() {
+            for compressor in &self.compressors {
+                out.push(JobSpec {
+                    id: out.len(),
+                    field_index: fi,
+                    field: field.clone(),
+                    compressor: *compressor,
+                });
+            }
+        }
+        out
+    }
+
+    /// Execute the campaign: shard jobs over the fleet, run every job
+    /// (isolating failures), and aggregate the report.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        let mut reports = self.run_on_fleets(std::slice::from_ref(&self.fleet))?;
+        Ok(reports.pop().expect("one fleet in, one report out"))
+    }
+
+    /// Execute the campaign's jobs **once** and aggregate the outcomes
+    /// under each of several fleets — the fleet-size sweep a capacity
+    /// planner asks for ("how does this archive scale at 1/2/4/8 GPUs?")
+    /// without re-running the functional work per fleet.
+    ///
+    /// Per-job modeled times transfer between fleets only when the job
+    /// executor is identical, so every fleet must share `self.fleet`'s
+    /// `gpus_per_job`, and (when jobs are ganged, i.e. `gpus_per_job > 1`,
+    /// which makes the intra-group link part of the job model) its link
+    /// kind as well.
+    pub fn run_on_fleets(
+        &self,
+        fleets: &[FleetSpec],
+    ) -> Result<Vec<CampaignReport>, CampaignError> {
+        self.fleet.validate().map_err(CampaignError::BadFleet)?;
+        self.cfg.validate().map_err(|e| CampaignError::BadConfig(e.to_string()))?;
+        for fleet in fleets {
+            fleet.validate().map_err(CampaignError::BadFleet)?;
+            if fleet.gpus_per_job != self.fleet.gpus_per_job {
+                return Err(CampaignError::BadFleet(format!(
+                    "fleet sweep must share gpus_per_job (campaign: {}, fleet: {})",
+                    self.fleet.gpus_per_job, fleet.gpus_per_job
+                )));
+            }
+            if self.fleet.gpus_per_job > 1 && fleet.link != self.fleet.link {
+                return Err(CampaignError::BadFleet(
+                    "ganged jobs embed the link in the job model; \
+                     fleet sweep must share the link kind"
+                        .into(),
+                ));
+            }
+        }
+        let jobs = self.jobs();
+        // Generate each field once up front (host-parallel, index-ordered),
+        // not once per compressor config.
+        let fields = zc_par::par_map(self.fields.len(), |i| self.fields[i].generate());
+        let executor = self.fleet.executor();
+        let outcomes = zc_par::par_map(jobs.len(), |i| {
+            job::run_job(&fields[jobs[i].field_index].data, &jobs[i], &executor, &self.cfg)
+        });
+        Ok(fleets
+            .iter()
+            .map(|fleet| {
+                let plan = ShardPlan::round_robin(jobs.len(), fleet.groups());
+                let records = jobs
+                    .iter()
+                    .zip(&outcomes)
+                    .enumerate()
+                    .map(|(i, (spec, outcome))| JobRecord {
+                        spec: spec.clone(),
+                        group: plan.group_of(i),
+                        outcome: outcome.clone(),
+                    })
+                    .collect();
+                CampaignReport::aggregate(records, fleet, &self.cfg)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_compress::ErrorBound;
+
+    fn tiny_spec(gpus: u32) -> CampaignSpec {
+        CampaignSpec::over_datasets(
+            &[AppDataset::Nyx],
+            GenOptions::scaled(32),
+            vec![
+                CompressorSpec::Sz(ErrorBound::Rel(1e-3)),
+                CompressorSpec::Zfp(12.0),
+            ],
+            AssessConfig { max_lag: 3, bins: 32, ..Default::default() },
+            FleetSpec::nvlink(gpus),
+        )
+    }
+
+    #[test]
+    fn cross_product_is_field_major_and_stable() {
+        let spec = tiny_spec(2);
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 6 * 2);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i);
+            assert_eq!(j.field_index, i / 2);
+        }
+        assert_eq!(jobs[0].field.qualified_name(), jobs[1].field.qualified_name());
+        assert_ne!(jobs[0].compressor.label(), jobs[1].compressor.label());
+    }
+
+    #[test]
+    fn campaign_completes_every_job() {
+        let report = tiny_spec(2).run().unwrap();
+        assert_eq!(report.jobs.len(), 12);
+        assert_eq!(report.completed(), 12);
+        assert!(report.failures().is_empty());
+        assert!(report.fleet.makespan_s > 0.0);
+        assert!(report.fleet.jobs_per_sec > 0.0);
+        // Round-robin over 2 groups: both devices got work.
+        assert!(report.fleet.busy_s.iter().all(|&b| b > 0.0));
+    }
+
+    #[test]
+    fn bad_fleet_is_rejected() {
+        let mut spec = tiny_spec(2);
+        spec.fleet.gpus = 0;
+        assert!(matches!(spec.run(), Err(CampaignError::BadFleet(_))));
+        let mut spec = tiny_spec(4);
+        spec.fleet.gpus_per_job = 3; // does not divide 4
+        assert!(matches!(spec.run(), Err(CampaignError::BadFleet(_))));
+    }
+
+    #[test]
+    fn fleet_sweep_matches_direct_runs_and_scales() {
+        let spec = tiny_spec(1);
+        let fleets = [FleetSpec::nvlink(1), FleetSpec::nvlink(2), FleetSpec::nvlink(4)];
+        let reports = spec.run_on_fleets(&fleets).unwrap();
+        assert!(reports[1].fleet.jobs_per_sec > reports[0].fleet.jobs_per_sec);
+        assert!(reports[2].fleet.jobs_per_sec > reports[1].fleet.jobs_per_sec);
+        // The sweep entry is bit-identical to a direct run on that fleet.
+        let direct =
+            CampaignSpec { fleet: FleetSpec::nvlink(2), ..tiny_spec(2) }.run().unwrap();
+        assert_eq!(direct.fleet.jobs_per_sec, reports[1].fleet.jobs_per_sec);
+        assert_eq!(direct.fleet.busy_s, reports[1].fleet.busy_s);
+        assert_eq!(direct.totals, reports[1].totals);
+    }
+
+    #[test]
+    fn fleet_sweep_rejects_mismatched_gang_size() {
+        let spec = tiny_spec(1);
+        let bad = [FleetSpec::nvlink(4).ganged(2)];
+        assert!(matches!(spec.run_on_fleets(&bad), Err(CampaignError::BadFleet(_))));
+    }
+
+    #[test]
+    fn bad_config_is_rejected() {
+        let mut spec = tiny_spec(1);
+        spec.cfg.max_lag = 0;
+        assert!(matches!(spec.run(), Err(CampaignError::BadConfig(_))));
+    }
+}

@@ -1,0 +1,179 @@
+//! Campaign jobs: one (field, compressor-config) pair, its execution, and
+//! its isolated outcome.
+
+use crate::config::AssessConfig;
+use crate::exec::{Executor, MultiCuZc, PatternRun, PatternTimes};
+use crate::metrics::Metric;
+use zc_compress::CompressorSpec;
+use zc_data::{AppDataset, Field, GenOptions};
+use zc_tensor::Tensor;
+
+/// A catalog field by reference: dataset + roster index + generation
+/// options. Cheap to clone; the data is synthesized on demand.
+#[derive(Clone, Debug)]
+pub struct FieldRef {
+    /// Source dataset.
+    pub dataset: AppDataset,
+    /// Roster index within the dataset.
+    pub index: usize,
+    /// Generation options (scale, seed).
+    pub opts: GenOptions,
+}
+
+impl FieldRef {
+    /// Field name within the dataset roster.
+    pub fn name(&self) -> &'static str {
+        self.dataset.field_name(self.index)
+    }
+
+    /// `dataset/field` display name (e.g. `NYX/temperature`).
+    pub fn qualified_name(&self) -> String {
+        format!("{}/{}", self.dataset.name(), self.name())
+    }
+
+    /// Synthesize the field data.
+    pub fn generate(&self) -> Field {
+        self.dataset.generate_field(self.index, &self.opts)
+    }
+}
+
+/// One schedulable unit of a campaign.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Position in the campaign job list (shard key).
+    pub id: usize,
+    /// Index into the campaign's field list (shared field data).
+    pub field_index: usize,
+    /// The field under assessment.
+    pub field: FieldRef,
+    /// The compressor configuration under assessment.
+    pub compressor: CompressorSpec,
+}
+
+/// The metric snapshot a completed job contributes to the campaign table.
+#[derive(Clone, Debug)]
+pub struct JobMetrics {
+    /// Peak signal-to-noise ratio (dB).
+    pub psnr: f64,
+    /// Mean structural similarity.
+    pub ssim: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Pearson correlation original↔decompressed.
+    pub pearson: f64,
+    /// Lag-1 error autocorrelation (None if pattern 2 disabled).
+    pub autocorr1: Option<f64>,
+    /// Compression ratio achieved by the job's codec.
+    pub compression_ratio: f64,
+    /// Modeled single-job assessment seconds on the job's device group.
+    pub modeled_seconds: f64,
+    /// Modeled per-pattern split of `modeled_seconds`.
+    pub pattern_times: PatternTimes,
+    /// Per-pattern execution records (feed the campaign counter merge).
+    pub runs: Vec<PatternRun>,
+}
+
+/// What happened to a job. Failures are data, not control flow: one failed
+/// codec round-trip or assessment must never abort the campaign.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The job completed and produced metrics.
+    Done(Box<JobMetrics>),
+    /// The job failed; the message records which stage and why.
+    Failed(String),
+}
+
+/// A job plus its shard assignment and outcome.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The job that ran.
+    pub spec: JobSpec,
+    /// Device-group index the job was assigned to.
+    pub group: u32,
+    /// Result.
+    pub outcome: JobOutcome,
+}
+
+impl JobRecord {
+    /// The metrics, if the job completed.
+    pub fn metrics(&self) -> Option<&JobMetrics> {
+        match &self.outcome {
+            JobOutcome::Done(m) => Some(m),
+            JobOutcome::Failed(_) => None,
+        }
+    }
+}
+
+/// Execute one job: codec round-trip, then assessment on the group
+/// executor. Every error is captured into the outcome.
+pub(super) fn run_job(
+    orig: &Tensor<f32>,
+    spec: &JobSpec,
+    executor: &MultiCuZc,
+    cfg: &AssessConfig,
+) -> JobOutcome {
+    let codec = spec.compressor.build();
+    let (dec, stats) = match codec.roundtrip(orig) {
+        Ok(r) => r,
+        Err(e) => return JobOutcome::Failed(format!("codec: {e}")),
+    };
+    let a = match executor.assess(orig, &dec, cfg) {
+        Ok(a) => a,
+        Err(e) => return JobOutcome::Failed(format!("assess: {e}")),
+    };
+    let report = a.report.with_compression(stats);
+    JobOutcome::Done(Box::new(JobMetrics {
+        psnr: report.scalar(Metric::Psnr).unwrap_or(f64::NAN),
+        ssim: report.scalar(Metric::Ssim).unwrap_or(f64::NAN),
+        mse: report.scalar(Metric::Mse).unwrap_or(f64::NAN),
+        pearson: report.scalar(Metric::PearsonCorrelation).unwrap_or(f64::NAN),
+        autocorr1: report.scalar(Metric::Autocorrelation),
+        compression_ratio: report.scalar(Metric::CompressionRatio).unwrap_or(0.0),
+        modeled_seconds: a.modeled_seconds,
+        pattern_times: a.pattern_times,
+        runs: a.runs,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_compress::ErrorBound;
+
+    fn job(compressor: CompressorSpec) -> (Field, JobSpec) {
+        let field = FieldRef {
+            dataset: AppDataset::Miranda,
+            index: 0,
+            opts: GenOptions::scaled(32),
+        };
+        let data = field.generate();
+        (data, JobSpec { id: 0, field_index: 0, field, compressor })
+    }
+
+    #[test]
+    fn successful_job_produces_metrics() {
+        let (f, spec) = job(CompressorSpec::Sz(ErrorBound::Rel(1e-3)));
+        let cfg = AssessConfig { max_lag: 3, bins: 32, ..Default::default() };
+        let out = run_job(&f.data, &spec, &MultiCuZc::nvlink(1), &cfg);
+        let JobOutcome::Done(m) = out else { panic!("job failed") };
+        assert!(m.psnr > 30.0);
+        assert!(m.compression_ratio > 1.0);
+        assert!(m.modeled_seconds > 0.0);
+        assert!(!m.runs.is_empty());
+    }
+
+    #[test]
+    fn codec_failure_is_captured_not_propagated() {
+        let (f, spec) = job(CompressorSpec::FailDecode);
+        let cfg = AssessConfig::default();
+        let out = run_job(&f.data, &spec, &MultiCuZc::nvlink(1), &cfg);
+        let JobOutcome::Failed(msg) = out else { panic!("expected failure") };
+        assert!(msg.contains("codec"), "{msg}");
+    }
+
+    #[test]
+    fn qualified_names_are_stable() {
+        let (_, spec) = job(CompressorSpec::Lossless);
+        assert_eq!(spec.field.qualified_name(), "MIRANDA/density");
+    }
+}

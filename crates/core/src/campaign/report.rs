@@ -1,0 +1,233 @@
+//! Campaign-level aggregation: merged counters, fleet utilization, and the
+//! per-field metrics table.
+
+use super::job::JobRecord;
+use super::shard::FleetSpec;
+use crate::config::AssessConfig;
+use crate::exec::PatternRun;
+use crate::metrics::Pattern;
+use zc_gpusim::Counters;
+
+/// Campaign-wide counters, merged per pattern across every completed job
+/// with the [`Counters::merge`] invariant (sums everywhere, `max` for the
+/// per-thread serial depth).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PatternTotals {
+    /// Pattern-1 (global reduction) totals.
+    pub p1: Counters,
+    /// Pattern-2 (stencil) totals.
+    pub p2: Counters,
+    /// Pattern-3 (sliding window) totals.
+    pub p3: Counters,
+}
+
+impl PatternTotals {
+    /// Merge one job's pattern runs into the totals.
+    pub fn absorb(&mut self, runs: &[PatternRun]) {
+        for run in runs {
+            match run.pattern {
+                Pattern::GlobalReduction => self.p1.merge(&run.counters),
+                Pattern::Stencil => self.p2.merge(&run.counters),
+                Pattern::SlidingWindow => self.p3.merge(&run.counters),
+                Pattern::CompressionMeta => {}
+            }
+        }
+    }
+
+    /// Everything merged into one counter set.
+    pub fn combined(&self) -> Counters {
+        Counters::merged([&self.p1, &self.p2, &self.p3])
+    }
+}
+
+/// Modeled fleet-level throughput summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetUtilization {
+    /// Total simulated devices.
+    pub gpus: u32,
+    /// Independent device groups (shard targets).
+    pub groups: u32,
+    /// Modeled busy seconds per group (assessment + per-job result gather).
+    pub busy_s: Vec<f64>,
+    /// Modeled campaign makespan: the busiest group's seconds.
+    pub makespan_s: f64,
+    /// Mean busy fraction across groups at the makespan (1.0 = perfectly
+    /// balanced static shard).
+    pub utilization: f64,
+    /// Completed jobs per modeled second.
+    pub jobs_per_sec: f64,
+    /// Assessed field payload per modeled second, in GB/s.
+    pub assessed_gbs: f64,
+}
+
+/// The aggregate result of a campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Every job with its shard assignment and outcome, in job-id order.
+    pub jobs: Vec<JobRecord>,
+    /// Campaign-wide per-pattern counter totals (completed jobs only).
+    pub totals: PatternTotals,
+    /// Fleet utilization / modeled throughput.
+    pub fleet: FleetUtilization,
+}
+
+/// Bytes of result payload gathered from a device group per completed job:
+/// the scalar set, the autocorrelation series, and the three histograms.
+fn result_bytes(cfg: &AssessConfig) -> u64 {
+    (19 + cfg.max_lag as u64 + 3 * cfg.bins as u64) * 8
+}
+
+impl CampaignReport {
+    /// Aggregate job records into the campaign report.
+    pub(super) fn aggregate(
+        jobs: Vec<JobRecord>,
+        fleet: &FleetSpec,
+        cfg: &AssessConfig,
+    ) -> CampaignReport {
+        let groups = fleet.groups() as usize;
+        let link = fleet.link.model(fleet.gpus);
+        let gather_s =
+            link.link_latency_s + result_bytes(cfg) as f64 / (link.link_bw_gbs * 1e9);
+        let mut busy_s = vec![0.0f64; groups];
+        let mut totals = PatternTotals::default();
+        let mut completed = 0usize;
+        let mut payload_bytes = 0u64;
+        for r in &jobs {
+            if let Some(m) = r.metrics() {
+                busy_s[r.group as usize] += m.modeled_seconds + gather_s;
+                totals.absorb(&m.runs);
+                completed += 1;
+                payload_bytes += r.spec.field.dataset.shape(&r.spec.field.opts).len() as u64 * 4;
+            }
+        }
+        let makespan_s = busy_s.iter().copied().fold(0.0, f64::max);
+        let (utilization, jobs_per_sec, assessed_gbs) = if makespan_s > 0.0 {
+            (
+                busy_s.iter().sum::<f64>() / (groups as f64 * makespan_s),
+                completed as f64 / makespan_s,
+                payload_bytes as f64 / makespan_s / 1e9,
+            )
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+        CampaignReport {
+            jobs,
+            totals,
+            fleet: FleetUtilization {
+                gpus: fleet.gpus,
+                groups: groups as u32,
+                busy_s,
+                makespan_s,
+                utilization,
+                jobs_per_sec,
+                assessed_gbs,
+            },
+        }
+    }
+
+    /// Number of completed jobs.
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.metrics().is_some()).count()
+    }
+
+    /// The failed jobs with their error messages.
+    pub fn failures(&self) -> Vec<(&JobRecord, &str)> {
+        self.jobs
+            .iter()
+            .filter_map(|j| match &j.outcome {
+                super::job::JobOutcome::Failed(msg) => Some((j, msg.as_str())),
+                super::job::JobOutcome::Done(_) => None,
+            })
+            .collect()
+    }
+
+    /// Render the per-field metrics table plus the fleet summary.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:<18} {:>4} {:>9} {:>8} {:>8} {:>11}\n",
+            "field", "compressor", "dev", "psnr", "ssim", "ratio", "modeled(s)"
+        ));
+        for j in &self.jobs {
+            match &j.outcome {
+                super::job::JobOutcome::Done(m) => out.push_str(&format!(
+                    "{:<28} {:<18} {:>4} {:>9.3} {:>8.5} {:>8.2} {:>11.5}\n",
+                    j.spec.field.qualified_name(),
+                    j.spec.compressor.label(),
+                    j.group,
+                    m.psnr,
+                    m.ssim,
+                    m.compression_ratio,
+                    m.modeled_seconds,
+                )),
+                super::job::JobOutcome::Failed(msg) => out.push_str(&format!(
+                    "{:<28} {:<18} {:>4} FAILED: {msg}\n",
+                    j.spec.field.qualified_name(),
+                    j.spec.compressor.label(),
+                    j.group,
+                )),
+            }
+        }
+        let f = &self.fleet;
+        out.push_str(&format!(
+            "fleet: {} GPUs in {} groups | makespan {:.5} s | utilization {:.1}% | {:.2} jobs/s | {:.2} GB/s\n",
+            f.gpus,
+            f.groups,
+            f.makespan_s,
+            f.utilization * 100.0,
+            f.jobs_per_sec,
+            f.assessed_gbs,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{CampaignSpec, FleetSpec};
+    use crate::config::AssessConfig;
+    use zc_compress::{CompressorSpec, ErrorBound};
+    use zc_data::{AppDataset, GenOptions};
+
+    fn spec(fleet: FleetSpec) -> CampaignSpec {
+        CampaignSpec::over_datasets(
+            &[AppDataset::ScaleLetkf],
+            GenOptions::scaled(32),
+            vec![CompressorSpec::Sz(ErrorBound::Rel(1e-3))],
+            AssessConfig { max_lag: 3, bins: 32, ..Default::default() },
+            fleet,
+        )
+    }
+
+    #[test]
+    fn totals_merge_all_completed_runs() {
+        let report = spec(FleetSpec::nvlink(2)).run().unwrap();
+        let t = report.totals;
+        assert!(t.p1.global_read_bytes > 0);
+        assert!(t.p2.global_read_bytes > 0);
+        assert!(t.p3.global_read_bytes > 0);
+        assert!(t.combined().global_read_bytes >= t.p1.global_read_bytes);
+        // Launch counts accumulate across all 6 jobs.
+        assert!(t.combined().launches >= 6);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction_and_makespan_bounds_busy() {
+        let report = spec(FleetSpec::nvlink(4)).run().unwrap();
+        let f = &report.fleet;
+        assert!(f.utilization > 0.0 && f.utilization <= 1.0);
+        for &b in &f.busy_s {
+            assert!(b <= f.makespan_s + 1e-12);
+        }
+        assert!(f.assessed_gbs > 0.0);
+    }
+
+    #[test]
+    fn render_table_lists_every_job_and_summary() {
+        let report = spec(FleetSpec::pcie(2)).run().unwrap();
+        let table = report.render_table();
+        assert_eq!(table.matches("SCALE-LETKF/").count(), 6);
+        assert!(table.contains("fleet: 2 GPUs"));
+        assert!(table.contains("jobs/s"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Fleet description and the static shard plan.
+//!
+//! Sharding policy: the fleet's `gpus` devices are partitioned into
+//! `gpus / gpus_per_job` fixed device groups; campaign jobs are assigned
+//! round-robin by job id (`group = id % groups`). The plan is a pure
+//! function of `(job count, fleet)` — no load feedback, no work stealing —
+//! so a campaign schedules identically on every run and at every host
+//! worker count. Static partitioning costs some balance when job times
+//! vary, which the fleet-utilization section of the report makes visible
+//! instead of hiding.
+
+use crate::exec::{CuZc, MultiCuZc};
+use zc_gpusim::MultiGpuModel;
+
+/// Interconnect family of the simulated fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkKind {
+    /// NVLink-class links (≈25 GB/s, 10 µs).
+    NvLink,
+    /// PCIe-class links (≈12 GB/s, 20 µs).
+    Pcie,
+}
+
+impl LinkKind {
+    /// The interconnect model over `gpus` devices.
+    pub fn model(self, gpus: u32) -> MultiGpuModel {
+        match self {
+            LinkKind::NvLink => MultiGpuModel::nvlink(gpus),
+            LinkKind::Pcie => MultiGpuModel::pcie(gpus),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::NvLink => "nvlink",
+            LinkKind::Pcie => "pcie",
+        }
+    }
+}
+
+/// The simulated GPU fleet a campaign runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Total simulated devices.
+    pub gpus: u32,
+    /// Devices ganged per job (1 = every job is single-GPU; >1 runs each
+    /// job as a [`MultiCuZc`] over one device group). Must divide `gpus`.
+    pub gpus_per_job: u32,
+    /// Interconnect family (drives intra-group halo/all-reduce costs and
+    /// the per-job result-gather cost).
+    pub link: LinkKind,
+}
+
+impl FleetSpec {
+    /// Single-GPU-per-job fleet over NVLink.
+    pub fn nvlink(gpus: u32) -> Self {
+        FleetSpec { gpus, gpus_per_job: 1, link: LinkKind::NvLink }
+    }
+
+    /// Single-GPU-per-job fleet over PCIe.
+    pub fn pcie(gpus: u32) -> Self {
+        FleetSpec { gpus, gpus_per_job: 1, link: LinkKind::Pcie }
+    }
+
+    /// Gang `per_job` devices per job.
+    pub fn ganged(mut self, per_job: u32) -> Self {
+        self.gpus_per_job = per_job;
+        self
+    }
+
+    /// Consistency check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.gpus == 0 {
+            return Err("fleet needs at least one GPU".into());
+        }
+        if self.gpus_per_job == 0 {
+            return Err("gpus_per_job must be >= 1".into());
+        }
+        if !self.gpus.is_multiple_of(self.gpus_per_job) {
+            return Err(format!(
+                "gpus_per_job {} must divide fleet size {}",
+                self.gpus_per_job, self.gpus
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of independent device groups (shard targets).
+    pub fn groups(&self) -> u32 {
+        (self.gpus / self.gpus_per_job).max(1)
+    }
+
+    /// The per-group executor: a [`MultiCuZc`] over `gpus_per_job` devices
+    /// (degenerates to plain [`CuZc`] modeling at 1).
+    pub fn executor(&self) -> MultiCuZc {
+        MultiCuZc {
+            gpus: self.gpus_per_job,
+            link: self.link.model(self.gpus_per_job),
+            inner: CuZc::default(),
+        }
+    }
+}
+
+/// The static job → device-group assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    groups: u32,
+    assignments: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Deterministic round-robin: job `i` runs on group `i % groups`.
+    pub fn round_robin(jobs: usize, groups: u32) -> ShardPlan {
+        assert!(groups >= 1, "shard plan needs at least one group");
+        ShardPlan {
+            groups,
+            assignments: (0..jobs).map(|i| (i % groups as usize) as u32).collect(),
+        }
+    }
+
+    /// Group of job `i`.
+    pub fn group_of(&self, i: usize) -> u32 {
+        self.assignments[i]
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> u32 {
+        self.groups
+    }
+
+    /// Jobs assigned to each group.
+    pub fn per_group_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.groups as usize];
+        for &g in &self.assignments {
+            counts[g as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_balanced_and_deterministic() {
+        let plan = ShardPlan::round_robin(10, 4);
+        assert_eq!(plan, ShardPlan::round_robin(10, 4));
+        assert_eq!(plan.per_group_counts(), vec![3, 3, 2, 2]);
+        assert_eq!(plan.group_of(0), 0);
+        assert_eq!(plan.group_of(5), 1);
+    }
+
+    #[test]
+    fn empty_plan_is_fine() {
+        let plan = ShardPlan::round_robin(0, 8);
+        assert_eq!(plan.per_group_counts(), vec![0; 8]);
+    }
+
+    #[test]
+    fn fleet_validation() {
+        assert!(FleetSpec::nvlink(4).validate().is_ok());
+        assert!(FleetSpec::nvlink(0).validate().is_err());
+        assert!(FleetSpec::nvlink(4).ganged(2).validate().is_ok());
+        assert!(FleetSpec::nvlink(4).ganged(3).validate().is_err());
+        assert!(FleetSpec::nvlink(4).ganged(0).validate().is_err());
+        assert_eq!(FleetSpec::nvlink(8).ganged(2).groups(), 4);
+    }
+
+    #[test]
+    fn ganged_executor_uses_group_size() {
+        let ex = FleetSpec::pcie(8).ganged(4).executor();
+        assert_eq!(ex.gpus, 4);
+        assert_eq!(ex.link.gpus, 4);
+    }
+}

@@ -12,6 +12,9 @@
 //!   reference, the multithreaded-CPU `ompZC`, the metric-oriented GPU
 //!   `moZC`, and the pattern-oriented GPU `cuZC`;
 //! * [`report`] — the analysis report (every metric value);
+//! * [`campaign`] — sharded multi-field batch assessment over the
+//!   simulated multi-GPU fleet (catalog × compressor sweep → aggregate
+//!   [`campaign::CampaignReport`]);
 //! * [`io`] / [`output`] — the input and output engines (raw binary
 //!   fields, PGM visualization slices, CSV series);
 //! * [`viz`] — the visualization engine: standalone HTML dashboards with
@@ -36,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod config;
 pub mod exec;
 pub mod io;
@@ -46,6 +50,7 @@ pub mod recommend;
 pub mod report;
 pub mod viz;
 
+pub use campaign::{CampaignReport, CampaignSpec, FieldRef, FleetSpec, LinkKind};
 pub use config::{AssessConfig, ExecutorKind, RunConfig, SsimSettings};
 pub use exec::{Assessment, CuZc, Executor, MoZc, MultiCuZc, OmpZc, PatternProfile, SerialZc};
 pub use metrics::{Metric, MetricSelection, Pattern};

@@ -1,0 +1,114 @@
+//! Failure-isolation tier: one bad job must never take down a campaign.
+//!
+//! A campaign is an archive-scale batch; in production one corrupt stream
+//! or one misconfigured codec per thousand jobs is the normal case, not
+//! the exception. The engine's contract is that per-job errors become
+//! [`JobOutcome::Failed`] records in the report while every other job
+//! completes — exercised here with the fault-injection codec
+//! (`CompressorSpec::FailDecode`), plus the empty-campaign edge cases.
+
+use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, JobOutcome};
+use zc_core::AssessConfig;
+use zc_compress::{CompressorSpec, ErrorBound};
+use zc_data::{AppDataset, GenOptions};
+
+fn fields(dataset: AppDataset, n: usize) -> Vec<FieldRef> {
+    (0..n.min(dataset.field_count()))
+        .map(|index| FieldRef { dataset, index, opts: GenOptions::scaled(32) })
+        .collect()
+}
+
+fn small_cfg() -> AssessConfig {
+    AssessConfig { max_lag: 3, bins: 32, ..Default::default() }
+}
+
+#[test]
+fn one_failing_codec_does_not_abort_the_campaign() {
+    let spec = CampaignSpec {
+        fields: fields(AppDataset::Hurricane, 3),
+        compressors: vec![
+            CompressorSpec::Sz(ErrorBound::Rel(1e-3)),
+            CompressorSpec::FailDecode,
+        ],
+        cfg: small_cfg(),
+        fleet: FleetSpec::nvlink(2),
+    };
+    let report = spec.run().unwrap();
+    assert_eq!(report.jobs.len(), 6);
+    // Every SZ job completed, every fault-injected job failed.
+    assert_eq!(report.completed(), 3);
+    let failures = report.failures();
+    assert_eq!(failures.len(), 3);
+    for (job, msg) in &failures {
+        assert_eq!(job.spec.compressor, CompressorSpec::FailDecode);
+        assert!(msg.contains("codec"), "failure must name the stage: {msg}");
+        assert!(
+            msg.contains("never decodes"),
+            "failure must carry the codec error: {msg}"
+        );
+    }
+    // Completed jobs carry real metrics; the failures contributed nothing
+    // to the fleet model or the counter totals.
+    for job in &report.jobs {
+        if let JobOutcome::Done(m) = &job.outcome {
+            assert!(m.psnr > 30.0);
+            assert!(m.modeled_seconds > 0.0);
+        }
+    }
+    assert!(report.fleet.makespan_s > 0.0);
+    assert!(report.fleet.jobs_per_sec > 0.0);
+    assert!(report.totals.combined().launches > 0);
+    // The report surfaces the failures in its rendered table too.
+    let table = report.render_table();
+    assert_eq!(table.matches("FAILED").count(), 3);
+}
+
+#[test]
+fn all_jobs_failing_still_produces_a_report() {
+    let spec = CampaignSpec {
+        fields: fields(AppDataset::Nyx, 2),
+        compressors: vec![CompressorSpec::FailDecode],
+        cfg: small_cfg(),
+        fleet: FleetSpec::nvlink(4),
+    };
+    let report = spec.run().unwrap();
+    assert_eq!(report.completed(), 0);
+    assert_eq!(report.failures().len(), 2);
+    // No completed work: the fleet model degenerates to zeros, not NaNs.
+    assert_eq!(report.fleet.makespan_s, 0.0);
+    assert_eq!(report.fleet.jobs_per_sec, 0.0);
+    assert_eq!(report.fleet.utilization, 0.0);
+}
+
+#[test]
+fn empty_catalog_campaign_is_a_clean_no_op() {
+    let spec = CampaignSpec {
+        fields: vec![],
+        compressors: vec![CompressorSpec::Sz(ErrorBound::Rel(1e-3))],
+        cfg: small_cfg(),
+        fleet: FleetSpec::nvlink(4),
+    };
+    let report = spec.run().unwrap();
+    assert!(report.jobs.is_empty());
+    assert_eq!(report.completed(), 0);
+    assert!(report.failures().is_empty());
+    assert_eq!(report.fleet.makespan_s, 0.0);
+    assert_eq!(report.fleet.jobs_per_sec, 0.0);
+    assert_eq!(report.fleet.utilization, 0.0);
+    assert_eq!(report.fleet.busy_s, vec![0.0; 4]);
+    // Renders a header + fleet summary without panicking.
+    assert!(report.render_table().contains("fleet: 4 GPUs"));
+}
+
+#[test]
+fn empty_compressor_sweep_is_a_clean_no_op() {
+    let spec = CampaignSpec {
+        fields: fields(AppDataset::Miranda, 2),
+        compressors: vec![],
+        cfg: small_cfg(),
+        fleet: FleetSpec::nvlink(1),
+    };
+    let report = spec.run().unwrap();
+    assert!(report.jobs.is_empty());
+    assert_eq!(report.fleet.jobs_per_sec, 0.0);
+}

@@ -1,0 +1,103 @@
+//! Golden-value regression tier: every scalar metric of the serial
+//! reference executor on a fixed seeded 32³ field, pinned to exact `f64`
+//! constants.
+//!
+//! Purpose: the differential tier (serial vs ompZC/moZC/cuZC/MultiCuZc)
+//! catches executors drifting *apart*, but not all of them drifting
+//! *together* — a kernel refactor that changes the math identically in
+//! every executor passes differential testing while silently changing
+//! metric values. This tier fails loudly on any such drift.
+//!
+//! The input pair is generated from the repo's own xoshiro256++ stream
+//! (integer mixing + f64 scaling only — no transcendental functions), so
+//! the *inputs* are bit-stable on every platform. The pinned outputs were
+//! produced on the reference CI platform; metrics that involve `log`/
+//! `sqrt` (entropy, SNR, PSNR) go through libm and are pinned to that
+//! platform's libm.
+//!
+//! If a change is *supposed* to alter metric values, regenerate the
+//! constant block with:
+//!
+//! ```text
+//! cargo test -p zc-core --test golden regen -- --ignored --nocapture
+//! ```
+
+use zc_core::exec::{Executor, SerialZc};
+use zc_core::{AssessConfig, Metric};
+use zc_data::Rng64;
+use zc_tensor::{Shape, Tensor};
+
+/// The fixed pair: a seeded uniform field in [-1, 1) and a decompressed
+/// twin offset by seeded uniform noise in [-1e-3, 1e-3).
+fn golden_pair() -> (Tensor<f32>, Tensor<f32>) {
+    let shape = Shape::d3(32, 32, 32);
+    let mut rng = Rng64::new(0x5EED_601D);
+    let orig: Vec<f32> =
+        (0..shape.len()).map(|_| rng.uniform_in(-1.0, 1.0) as f32).collect();
+    let dec: Vec<f32> = orig
+        .iter()
+        .map(|&v| v + rng.uniform_in(-1e-3, 1e-3) as f32)
+        .collect();
+    (
+        Tensor::from_vec(shape, orig).unwrap(),
+        Tensor::from_vec(shape, dec).unwrap(),
+    )
+}
+
+/// Every scalar metric pinned: (metric, exact serial value).
+const GOLDEN_SCALARS: &[(Metric, f64)] = &[
+    (Metric::MinValue, -0.9998397827148438),
+    (Metric::MaxValue, 0.9999521374702454),
+    (Metric::ValueRange, 1.9997919201850891),
+    (Metric::MeanValue, -0.005119646874905431),
+    (Metric::Variance, 0.33451547238736173),
+    (Metric::Entropy, 7.993707651013099),
+    (Metric::MinError, -0.0009999275207519531),
+    (Metric::MaxError, 0.0009999275207519531),
+    (Metric::AvgError, 0.0004969100299030138),
+    (Metric::MaxAbsError, 0.0009999275207519531),
+    (Metric::MinPwrError, 7.028925786844312e-8),
+    (Metric::MaxPwrError, 8.392319084363864),
+    (Metric::AvgPwrError, 0.005026079246094),
+    (Metric::Mse, 3.299744592914618e-7),
+    (Metric::Rmse, 0.0005744340338902822),
+    (Metric::Nrmse, 0.000287246902086251),
+    (Metric::Snr, 60.05935884163394),
+    (Metric::Psnr, 70.83489292827494),
+    (Metric::PearsonCorrelation, 0.9999995068009824),
+    (Metric::Derivative1, 0.664529723520768),
+    (Metric::Derivative2, 3.180843745380503),
+    (Metric::Divergence, -0.0005988601925812502),
+    (Metric::Laplacian, 3.180843745380503),
+    (Metric::Autocorrelation, 0.0009076035842160374),
+    (Metric::DerivativeMse, 1.6469943291395998e-7),
+    (Metric::Ssim, 0.9999988223690665),
+];
+
+#[test]
+fn serial_scalars_match_golden_constants_exactly() {
+    let (orig, dec) = golden_pair();
+    let a = SerialZc.assess(&orig, &dec, &AssessConfig::default()).unwrap();
+    for &(m, want) in GOLDEN_SCALARS {
+        let got = a.report.scalar(m).unwrap_or_else(|| panic!("{m} missing"));
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{m} drifted: got {got:?}, golden {want:?}"
+        );
+    }
+    assert_eq!(a.report.ssim.unwrap().windows, 15625);
+}
+
+#[test]
+#[ignore = "regenerates the golden constant block; run with --nocapture"]
+fn regen() {
+    let (orig, dec) = golden_pair();
+    let a = SerialZc.assess(&orig, &dec, &AssessConfig::default()).unwrap();
+    println!("const GOLDEN_SCALARS: &[(Metric, f64)] = &[");
+    for &(m, _) in GOLDEN_SCALARS {
+        println!("    (Metric::{m:?}, {:?}),", a.report.scalar(m).unwrap());
+    }
+    println!("];");
+    println!("ssim windows = {}", a.report.ssim.unwrap().windows);
+}

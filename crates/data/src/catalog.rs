@@ -188,6 +188,11 @@ impl AppDataset {
         self.roster().iter().map(|e| e.0).collect()
     }
 
+    /// Name of field `index` (panics if out of range).
+    pub fn field_name(self, index: usize) -> &'static str {
+        self.roster()[index].0
+    }
+
     /// Deterministic per-(dataset, field, seed) generation seed.
     fn field_seed(self, index: usize, opts: &GenOptions) -> u64 {
         let tag = match self {
@@ -232,6 +237,17 @@ impl AppDataset {
     pub fn generate_all(self, opts: &GenOptions) -> Vec<Field> {
         (0..self.field_count()).map(|i| self.generate_field(i, opts)).collect()
     }
+}
+
+/// Lazily enumerate `(dataset, field_index, field_name)` across a set of
+/// datasets, in roster order — the catalog axis of a batch-assessment
+/// campaign. Nothing is generated until the caller asks for the data.
+pub fn catalog_fields(
+    datasets: &[AppDataset],
+) -> impl Iterator<Item = (AppDataset, usize, &'static str)> + '_ {
+    datasets
+        .iter()
+        .flat_map(|&ds| (0..ds.field_count()).map(move |i| (ds, i, ds.field_name(i))))
 }
 
 #[cfg(test)]

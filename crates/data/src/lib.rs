@@ -27,7 +27,7 @@ mod noise;
 mod rng;
 pub mod spectral;
 
-pub use catalog::{AppDataset, Field, GenOptions};
+pub use catalog::{catalog_fields, AppDataset, Field, GenOptions};
 pub use fields::{synthesize_evolving, FieldKind};
 pub use noise::{fbm3, value_noise3, NoiseSpec};
 pub use rng::{Rng64, SplitMix64};

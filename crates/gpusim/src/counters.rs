@@ -60,6 +60,27 @@ impl Counters {
     pub fn global_bytes(&self) -> u64 {
         self.global_read_bytes + self.global_write_bytes
     }
+
+    /// Fold an iterator of counter sets into one (the campaign-level
+    /// aggregation: sums everywhere, max for the per-thread serial depth —
+    /// same invariant as [`Counters::merge`]).
+    pub fn merged<'a, I: IntoIterator<Item = &'a Counters>>(iter: I) -> Counters {
+        let mut acc = Counters::default();
+        for c in iter {
+            acc.merge(c);
+        }
+        acc
+    }
+}
+
+impl std::iter::Sum<Counters> for Counters {
+    fn sum<I: Iterator<Item = Counters>>(iter: I) -> Counters {
+        let mut acc = Counters::default();
+        for c in iter {
+            acc.merge(&c);
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +100,23 @@ mod tests {
         assert_eq!(a.global_read_bytes, 13);
         assert_eq!(a.global_bytes(), 20);
         assert_eq!(a.iters_per_thread, 5);
+    }
+
+    #[test]
+    fn merged_equals_pairwise_merge() {
+        let sets = [
+            Counters { global_read_bytes: 4, iters_per_thread: 9, ..Default::default() },
+            Counters { global_write_bytes: 6, launches: 2, ..Default::default() },
+            Counters { lane_flops: 11, iters_per_thread: 3, ..Default::default() },
+        ];
+        let m = Counters::merged(sets.iter());
+        let s: Counters = sets.iter().copied().sum();
+        assert_eq!(m, s);
+        assert_eq!(m.global_read_bytes, 4);
+        assert_eq!(m.global_write_bytes, 6);
+        assert_eq!(m.lane_flops, 11);
+        assert_eq!(m.launches, 2);
+        assert_eq!(m.iters_per_thread, 9);
+        assert_eq!(Counters::merged(std::iter::empty()), Counters::default());
     }
 }

@@ -187,12 +187,12 @@ fn sum_rows_into<'a>(dst: &mut [f64], nrows: usize, row: impl Fn(usize) -> &'a [
         dst[w0..w0 + CH].copy_from_slice(&acc);
         w0 += CH;
     }
-    for w in w0..n {
+    for (w, d) in dst.iter_mut().enumerate().skip(w0) {
         let mut a = 0.0;
         for r in 0..nrows {
             a += row(r)[w];
         }
-        dst[w] = a;
+        *d = a;
     }
 }
 
@@ -384,6 +384,9 @@ impl SsimFusedKernel<'_> {
                                 &fifo[fb..fb + wins_valid]
                             });
                         }
+                        // Indexed on purpose: `w` reads across all five
+                        // `folded` quantity slices at once.
+                        #[allow(clippy::needless_range_loop)]
                         for w in 0..wins_valid {
                             let m = WindowMoments {
                                 sum_x: folded[0][w],

@@ -43,7 +43,7 @@ fn fields(shape: Shape, rng: &mut Rng) -> (Tensor<f32>, Tensor<f32>) {
     let mut orig = Vec::with_capacity(n);
     let mut dec = Vec::with_capacity(n);
     for _ in 0..n {
-        let x = if rng.next() % 12 == 0 { 0.0 } else { rng.f32() * 2.0 - 1.0 };
+        let x = if rng.next().is_multiple_of(12) { 0.0 } else { rng.f32() * 2.0 - 1.0 };
         orig.push(x);
         dec.push(x + (rng.f32() - 0.5) * 0.01);
     }

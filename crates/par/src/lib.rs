@@ -18,7 +18,21 @@ use std::sync::OnceLock;
 
 /// Number of worker threads used by [`par_map`] / [`par_chunks_mut`]
 /// (the machine's available parallelism, cached; at least 1).
+///
+/// The `ZC_PAR_THREADS` environment variable overrides the detected count
+/// per call (any integer ≥ 1; other values are ignored). Partitioning is
+/// static, so results are identical at every worker count — the override
+/// exists so determinism tests can actually *run* the same workload at 1,
+/// 2, and max workers and assert bit-equality, and so operators can pin
+/// the host-side thread footprint of a campaign.
 pub fn max_threads() -> usize {
+    if let Some(n) = std::env::var("ZC_PAR_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
         std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
@@ -98,6 +112,24 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn env_override_controls_worker_count() {
+        // Other tests in this binary may run concurrently and observe the
+        // override while it is set — harmless, because results are
+        // worker-count-independent by construction.
+        std::env::set_var("ZC_PAR_THREADS", "3");
+        assert_eq!(max_threads(), 3);
+        let v = par_map(100, |i| i * 2);
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        // Unparsable or zero values fall back to detection.
+        std::env::set_var("ZC_PAR_THREADS", "zero");
+        assert!(max_threads() >= 1);
+        std::env::set_var("ZC_PAR_THREADS", "0");
+        assert!(max_threads() >= 1);
+        std::env::remove_var("ZC_PAR_THREADS");
+        assert!(max_threads() >= 1);
+    }
 
     #[test]
     fn par_map_preserves_index_order() {

@@ -5,7 +5,7 @@
 
 use cuz_checker::compress::{Compressor, ErrorBound, SzCompressor};
 use cuz_checker::core::config::AssessConfig;
-use cuz_checker::core::exec::{Assessment, Executor};
+use cuz_checker::core::exec::{Assessment, Executor, MultiCuZc};
 use cuz_checker::core::{CuZc, Metric, MoZc, OmpZc, SerialZc};
 use cuz_checker::data::{AppDataset, GenOptions};
 
@@ -27,6 +27,11 @@ fn assess_all(ds: AppDataset, field_idx: usize) -> Vec<(&'static str, Assessment
         ("ompZC", OmpZc::default().assess(&field.data, &dec, &cfg).unwrap()),
         ("moZC", MoZc::default().assess(&field.data, &dec, &cfg).unwrap()),
         ("cuZC", CuZc::default().assess(&field.data, &dec, &cfg).unwrap()),
+        // The §VI multi-GPU executor must stay value-equivalent at every
+        // device count (the grid partition may not change any metric).
+        ("cuZC-multi2", MultiCuZc::nvlink(2).assess(&field.data, &dec, &cfg).unwrap()),
+        ("cuZC-multi3", MultiCuZc::pcie(3).assess(&field.data, &dec, &cfg).unwrap()),
+        ("cuZC-multi4", MultiCuZc::nvlink(4).assess(&field.data, &dec, &cfg).unwrap()),
     ]
 }
 
@@ -104,6 +109,7 @@ fn identical_inputs_yield_perfect_scores_everywhere() {
         Box::new(OmpZc::default()),
         Box::new(MoZc::default()),
         Box::new(CuZc::default()),
+        Box::new(MultiCuZc::nvlink(3)),
     ] {
         let a = ex.assess(&field.data, &field.data, &cfg).unwrap();
         assert_eq!(a.report.scalar(Metric::Psnr).unwrap(), f64::INFINITY, "{}", ex.name());
