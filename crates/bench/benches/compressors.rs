@@ -13,15 +13,19 @@ fn bench_compressors(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(bytes));
     for eb in [1e-2, 1e-4] {
         let sz = SzCompressor::new(ErrorBound::Rel(eb));
-        group.bench_with_input(BenchmarkId::new("sz-like", format!("rel={eb:.0e}")), &sz, |b, sz| {
-            b.iter(|| sz.compress(&field.data))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sz-like", format!("rel={eb:.0e}")),
+            &sz,
+            |b, sz| b.iter(|| sz.compress(&field.data)),
+        );
     }
     for rate in [4.0, 16.0] {
         let zfp = ZfpLikeCompressor::new(rate);
-        group.bench_with_input(BenchmarkId::new("zfp-like", format!("rate={rate}")), &zfp, |b, z| {
-            b.iter(|| z.compress(&field.data))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("zfp-like", format!("rate={rate}")),
+            &zfp,
+            |b, z| b.iter(|| z.compress(&field.data)),
+        );
     }
     group.finish();
 
@@ -29,10 +33,14 @@ fn bench_compressors(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(bytes));
     let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
     let sz_out = sz.compress(&field.data);
-    group.bench_function("sz-like/rel=1e-3", |b| b.iter(|| sz.decompress(&sz_out).unwrap()));
+    group.bench_function("sz-like/rel=1e-3", |b| {
+        b.iter(|| sz.decompress(&sz_out).unwrap())
+    });
     let zfp = ZfpLikeCompressor::new(8.0);
     let zfp_out = zfp.compress(&field.data);
-    group.bench_function("zfp-like/rate=8", |b| b.iter(|| zfp.decompress(&zfp_out).unwrap()));
+    group.bench_function("zfp-like/rate=8", |b| {
+        b.iter(|| zfp.decompress(&zfp_out).unwrap())
+    });
     group.finish();
 }
 

@@ -14,7 +14,10 @@ fn bench_executors(c: &mut Criterion) {
     let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
     let (dec, _) = sz.roundtrip(&field.data).unwrap();
     let bytes = field.data.nbytes() as u64;
-    let cfg = AssessConfig { max_lag: 4, ..Default::default() };
+    let cfg = AssessConfig {
+        max_lag: 4,
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("assess_full");
     group.sample_size(10);
@@ -48,7 +51,9 @@ fn bench_executors(c: &mut Criterion) {
         let mut pc = cfg.clone();
         pc.metrics = MetricSelection::pattern(pattern);
         let ex = OmpZc::default();
-        group.bench_function(name, |b| b.iter(|| ex.assess(&field.data, &dec, &pc).unwrap()));
+        group.bench_function(name, |b| {
+            b.iter(|| ex.assess(&field.data, &dec, &pc).unwrap())
+        });
     }
     group.finish();
 }

@@ -19,17 +19,25 @@ fn bench_kernels(c: &mut Criterion) {
 
     group.bench_function("p1_fused", |b| {
         b.iter(|| {
-            let k = P1FusedKernel { fields: FieldPair::new(&field.data, &dec) };
+            let k = P1FusedKernel {
+                fields: FieldPair::new(&field.data, &dec),
+            };
             sim.launch(&k, k.grid())
         })
     });
     let scalars = {
-        let k = P1FusedKernel { fields: FieldPair::new(&field.data, &dec) };
+        let k = P1FusedKernel {
+            fields: FieldPair::new(&field.data, &dec),
+        };
         sim.launch(&k, k.grid()).output
     };
     group.bench_function("p1_hist", |b| {
         b.iter(|| {
-            let k = P1HistKernel { fields: FieldPair::new(&field.data, &dec), scalars, bins: 256 };
+            let k = P1HistKernel {
+                fields: FieldPair::new(&field.data, &dec),
+                scalars,
+                bins: 256,
+            };
             sim.launch(&k, k.grid())
         })
     });
@@ -68,13 +76,17 @@ fn bench_kernels(c: &mut Criterion) {
 
     group.bench_function("p1_fused_fast", |b| {
         b.iter(|| {
-            let k = P1FusedKernel { fields: FieldPair::new(&field.data, &dec) };
+            let k = P1FusedKernel {
+                fields: FieldPair::new(&field.data, &dec),
+            };
             sim.launch(&k, k.grid())
         })
     });
     group.bench_function("p1_fused_reference", |b| {
         b.iter(|| {
-            let k = P1FusedKernel { fields: FieldPair::new(&field.data, &dec) };
+            let k = P1FusedKernel {
+                fields: FieldPair::new(&field.data, &dec),
+            };
             sim.launch(&Reference(&k), k.grid())
         })
     });

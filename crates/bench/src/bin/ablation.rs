@@ -43,7 +43,12 @@ fn main() {
             .sum()
     };
 
-    println!("Ablations on {} (field {}, full shape {})\n", ds.name(), field.name, full);
+    println!(
+        "Ablations on {} (field {}, full shape {})\n",
+        ds.name(),
+        field.name,
+        full
+    );
 
     // 1. FIFO (cuZC SSIM) vs no-FIFO (moZC SSIM).
     let mut cfg = opts.cfg.clone();
@@ -52,7 +57,10 @@ fn main() {
     let without = time_of(&cfg, &MoZc::default(), Pattern::SlidingWindow);
     println!("FIFO buffer (pattern 3):");
     println!("  with FIFO    {with_fifo:10.4} s");
-    println!("  without FIFO {without:10.4} s   (x{:.2}; paper: ~1.5x)", without / with_fifo);
+    println!(
+        "  without FIFO {without:10.4} s   (x{:.2}; paper: ~1.5x)",
+        without / with_fifo
+    );
 
     // 2. Fused vs per-metric pattern-1.
     let mut cfg = opts.cfg.clone();
@@ -61,7 +69,10 @@ fn main() {
     let split = time_of(&cfg, &MoZc::default(), Pattern::GlobalReduction);
     println!("\nKernel fusion (pattern 1):");
     println!("  fused (1+1 kernels)   {fused:10.5} s");
-    println!("  per-metric (10+ kern) {split:10.5} s   (x{:.2}; paper: 3.5-6.4x)", split / fused);
+    println!(
+        "  per-metric (10+ kern) {split:10.5} s   (x{:.2}; paper: 3.5-6.4x)",
+        split / fused
+    );
 
     // 3. SSIM window sweep.
     println!("\nSSIM window sweep (cuZC, step 1):");

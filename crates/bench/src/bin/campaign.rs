@@ -12,9 +12,9 @@
 //! defaults to 4 (axes divided by 4), fields to 2 per dataset.
 
 use zc_bench::HarnessOpts;
+use zc_compress::{CompressorSpec, ErrorBound};
 use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, LinkKind};
 use zc_core::AssessConfig;
-use zc_compress::{CompressorSpec, ErrorBound};
 use zc_data::{catalog_fields, AppDataset, GenOptions};
 
 fn main() {
@@ -29,13 +29,20 @@ fn main() {
     let gen = GenOptions::scaled_xy(opts.scale);
     let fields: Vec<FieldRef> = catalog_fields(&AppDataset::ALL)
         .filter(|&(_, index, _)| index < per_dataset)
-        .map(|(dataset, index, _)| FieldRef { dataset, index, opts: gen })
+        .map(|(dataset, index, _)| FieldRef {
+            dataset,
+            index,
+            opts: gen,
+        })
         .collect();
     let compressors = vec![
         CompressorSpec::Sz(ErrorBound::Rel(opts.rel_bound)),
         CompressorSpec::Zfp(12.0),
     ];
-    let cfg = AssessConfig { max_lag: 4, ..opts.cfg };
+    let cfg = AssessConfig {
+        max_lag: 4,
+        ..opts.cfg
+    };
     let spec = CampaignSpec {
         fields,
         compressors: compressors.clone(),
@@ -55,7 +62,11 @@ fn main() {
     let fleets: Vec<FleetSpec> = links
         .iter()
         .flat_map(|&link| {
-            gpu_counts.iter().map(move |&gpus| FleetSpec { gpus, gpus_per_job: 1, link })
+            gpu_counts.iter().map(move |&gpus| FleetSpec {
+                gpus,
+                gpus_per_job: 1,
+                link,
+            })
         })
         .collect();
     let reports = spec.run_on_fleets(&fleets).expect("campaign run");
@@ -93,11 +104,10 @@ fn main() {
 
     // Sanity: throughput must scale monotonically 1 -> 4 GPUs per link.
     for (li, link) in links.iter().enumerate() {
-        let jps: Vec<f64> =
-            reports[li * gpu_counts.len()..(li + 1) * gpu_counts.len()]
-                .iter()
-                .map(|r| r.fleet.jobs_per_sec)
-                .collect();
+        let jps: Vec<f64> = reports[li * gpu_counts.len()..(li + 1) * gpu_counts.len()]
+            .iter()
+            .map(|r| r.fleet.jobs_per_sec)
+            .collect();
         assert!(
             jps[0] < jps[1] && jps[1] < jps[2],
             "{}: jobs/sec must scale monotonically 1->4 GPUs: {jps:?}",
@@ -116,4 +126,20 @@ fn main() {
     std::fs::write(path, &out).expect("write BENCH_campaign.json");
     println!("{out}");
     eprintln!("wrote {path}");
+
+    // Under ZC_SANITIZE=1 every simulated launch above ran checked; fail
+    // the bench (exit 3) if any kernel tripped the sanitizer.
+    if zc_gpusim::sanitizer::enabled() {
+        let s = zc_gpusim::sanitizer::drain();
+        for r in &s.reports {
+            eprint!("{}", r.render());
+        }
+        eprintln!(
+            "========= ZC SANITIZER: {} launch(es) checked, {} hazard(s)",
+            s.launches_checked, s.hazards
+        );
+        if !s.is_clean() {
+            std::process::exit(3);
+        }
+    }
 }

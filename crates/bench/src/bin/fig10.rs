@@ -17,7 +17,10 @@ fn main() {
         }
     };
     println!("Fig. 10 — overall cuZC speedups (all metrics, avg over fields)");
-    println!("functional scale: 1/{} per axis; modeled at full paper shapes\n", opts.scale);
+    println!(
+        "functional scale: 1/{} per axis; modeled at full paper shapes\n",
+        opts.scale
+    );
     println!(
         "{:<12} {:>7} {:>10} {:>34} {:>34}",
         "dataset", "fields", "ratio", "speedup vs ompZC", "speedup vs moZC"
@@ -56,7 +59,9 @@ fn main() {
         "dataset,fields,mean_ratio,speedup_vs_ompzc,speedup_vs_mozc,cuzc_s,mozc_s,ompzc_s",
         &csv_rows,
     );
-    println!("\nmeasured overall band vs ompZC: {worst_omp:.1}x – {best_omp:.1}x (paper: 22.6x – 31.2x)");
+    println!(
+        "\nmeasured overall band vs ompZC: {worst_omp:.1}x – {best_omp:.1}x (paper: 22.6x – 31.2x)"
+    );
 
     // The paper's S I in-situ motivation: CPU-side assessment of
     // GPU-resident data must first move both fields over PCIe.

@@ -25,8 +25,10 @@ fn main() {
         }
     };
     println!("Fig. 11 — per-pattern throughput (GB/s), modeled at full paper shapes\n");
-    let results: Vec<DatasetResult> =
-        AppDataset::ALL.iter().map(|&ds| assess_dataset(ds, &opts)).collect();
+    let results: Vec<DatasetResult> = AppDataset::ALL
+        .iter()
+        .map(|&ds| assess_dataset(ds, &opts))
+        .collect();
 
     for (title, pattern) in [
         ("(a) pattern-1 metrics", Pattern::GlobalReduction),
@@ -34,7 +36,10 @@ fn main() {
         ("(c) pattern-3 metrics (SSIM)", Pattern::SlidingWindow),
     ] {
         println!("{title}");
-        println!("{:<12} {:>12} {:>12} {:>12}", "dataset", "ompZC", "moZC", "cuZC");
+        println!(
+            "{:<12} {:>12} {:>12} {:>12}",
+            "dataset", "ompZC", "moZC", "cuZC"
+        );
         for r in &results {
             let (om, mo, cu) = row(r, pattern);
             println!("{:<12} {om:>12.3} {mo:>12.3} {cu:>12.3}", r.dataset.name());
@@ -45,8 +50,10 @@ fn main() {
     // Paper-band summary for the two patterns the paper quotes numerically.
     let span = |f: &dyn Fn(&DatasetResult) -> f64| {
         let vals: Vec<f64> = results.iter().map(f).collect();
-        (vals.iter().cloned().fold(f64::INFINITY, f64::min),
-         vals.iter().cloned().fold(0.0f64, f64::max))
+        (
+            vals.iter().cloned().fold(f64::INFINITY, f64::min),
+            vals.iter().cloned().fold(0.0f64, f64::max),
+        )
     };
     println!("paper-band check (min over datasets shown against each band):");
     let (p1_om, _) = span(&|r| r.throughput_gbs(&r.ompzc, Pattern::GlobalReduction));

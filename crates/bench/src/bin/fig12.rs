@@ -16,13 +16,25 @@ fn main() {
         }
     };
     println!("Fig. 12 — per-pattern cuZC speedups, modeled at full paper shapes\n");
-    let results: Vec<DatasetResult> =
-        AppDataset::ALL.iter().map(|&ds| assess_dataset(ds, &opts)).collect();
+    let results: Vec<DatasetResult> = AppDataset::ALL
+        .iter()
+        .map(|&ds| assess_dataset(ds, &opts))
+        .collect();
 
     let bands = [
-        ("(a) pattern-1", Pattern::GlobalReduction, P1_VS_OMPZC, P1_VS_MOZC),
+        (
+            "(a) pattern-1",
+            Pattern::GlobalReduction,
+            P1_VS_OMPZC,
+            P1_VS_MOZC,
+        ),
         ("(b) pattern-2", Pattern::Stencil, P2_VS_OMPZC, P2_VS_MOZC),
-        ("(c) pattern-3 (SSIM)", Pattern::SlidingWindow, P3_VS_OMPZC, P3_VS_MOZC),
+        (
+            "(c) pattern-3 (SSIM)",
+            Pattern::SlidingWindow,
+            P3_VS_OMPZC,
+            P3_VS_MOZC,
+        ),
     ];
     for (title, pattern, band_omp, band_mo) in bands {
         println!("{title}");

@@ -23,7 +23,12 @@ fn make_fields(shape: Shape) -> (Tensor<f32>, Tensor<f32>) {
     (orig, dec)
 }
 
-fn time_assess(ex: &dyn Executor, orig: &Tensor<f32>, dec: &Tensor<f32>, cfg: &AssessConfig) -> f64 {
+fn time_assess(
+    ex: &dyn Executor,
+    orig: &Tensor<f32>,
+    dec: &Tensor<f32>,
+    cfg: &AssessConfig,
+) -> f64 {
     let t0 = Instant::now();
     let a = ex.assess(orig, dec, cfg).expect("assessment failed");
     let dt = t0.elapsed().as_secs_f64();
@@ -47,8 +52,14 @@ fn main() {
     // dominating what is a lane-emulation benchmark.
     let exec_shape = Shape::d3((256 / opts.scale).max(32), (256 / opts.scale).max(32), 64);
     let (orig, dec) = make_fields(exec_shape);
-    let cfg = AssessConfig { max_lag: 4, ..Default::default() };
-    eprintln!("executor comparison on {exec_shape} ({} elems)", exec_shape.len());
+    let cfg = AssessConfig {
+        max_lag: 4,
+        ..Default::default()
+    };
+    eprintln!(
+        "executor comparison on {exec_shape} ({} elems)",
+        exec_shape.len()
+    );
     let serial_s = time_assess(&SerialZc, &orig, &dec, &cfg);
     eprintln!("  serialZC {serial_s:.3} s");
     let omp_s = time_assess(&OmpZc::default(), &orig, &dec, &cfg);
@@ -61,30 +72,57 @@ fn main() {
     // ---- 2. SoA fast path vs scalar reference path on 256³ ---------------
     let big_shape = Shape::d3(256, 256, 256);
     let (borig, bdec) = make_fields(big_shape);
-    let bcfg = AssessConfig { max_lag: 4, ..Default::default() };
-    eprintln!("fast vs reference on {big_shape} ({} elems)", big_shape.len());
+    let bcfg = AssessConfig {
+        max_lag: 4,
+        ..Default::default()
+    };
+    eprintln!(
+        "fast vs reference on {big_shape} ({} elems)",
+        big_shape.len()
+    );
     let fast = CuZc::default();
-    let refr = CuZc { reference_path: true, ..Default::default() };
+    let refr = CuZc {
+        reference_path: true,
+        ..Default::default()
+    };
     // Warm-up (page in both fields), then best of two timed passes each —
     // wall-clock noise only ever inflates a measurement, so min is the
     // honest estimator.
     let _ = time_assess(&fast, &borig, &bdec, &bcfg);
-    let fast_s = time_assess(&fast, &borig, &bdec, &bcfg)
-        .min(time_assess(&fast, &borig, &bdec, &bcfg));
+    let fast_s =
+        time_assess(&fast, &borig, &bdec, &bcfg).min(time_assess(&fast, &borig, &bdec, &bcfg));
     eprintln!("  cuZC fast      {fast_s:.3} s");
-    let ref_s = time_assess(&refr, &borig, &bdec, &bcfg)
-        .min(time_assess(&refr, &borig, &bdec, &bcfg));
+    let ref_s =
+        time_assess(&refr, &borig, &bdec, &bcfg).min(time_assess(&refr, &borig, &bdec, &bcfg));
     eprintln!("  cuZC reference {ref_s:.3} s");
     let speedup = ref_s / fast_s;
     eprintln!("  speedup        {speedup:.2}x");
 
-    // ---- 3. emit BENCH_hotpath.json at the repo root ---------------------
+    // ---- 3. sanitizer overhead on the executor-comparison field ----------
+    // Same CuZc assessment with every launch shadow-checked; the ratio is
+    // the cost of running zc-sancheck always-on.
+    zc_gpusim::sanitizer::set_enabled(true);
+    let san_s = time_assess(&fast, &orig, &dec, &cfg).min(time_assess(&fast, &orig, &dec, &cfg));
+    zc_gpusim::sanitizer::clear_override();
+    let san_summary = zc_gpusim::sanitizer::drain();
+    assert!(
+        san_summary.is_clean(),
+        "sanitizer flagged the production kernels: {san_summary:?}"
+    );
+    let san_overhead = san_s / cuzc_s;
+    eprintln!(
+        "  cuZC sanitized {san_s:.3} s ({san_overhead:.2}x plain, {} launches checked)",
+        san_summary.launches_checked
+    );
+
+    // ---- 4. emit BENCH_hotpath.json at the repo root ---------------------
     let out = format!(
-        "{{\n  \"executors\": {{\n    \"shape\": \"{exec_shape}\",\n    \"elements\": {},\n    \"max_lag\": {},\n    \"serialzc_wall_s\": {serial_s:.6},\n    \"ompzc_wall_s\": {omp_s:.6},\n    \"mozc_wall_s\": {mozc_s:.6},\n    \"cuzc_wall_s\": {cuzc_s:.6}\n  }},\n  \"fastpath\": {{\n    \"shape\": \"{big_shape}\",\n    \"elements\": {},\n    \"max_lag\": {},\n    \"cuzc_fast_wall_s\": {fast_s:.6},\n    \"cuzc_reference_wall_s\": {ref_s:.6},\n    \"speedup\": {speedup:.4}\n  }}\n}}\n",
+        "{{\n  \"executors\": {{\n    \"shape\": \"{exec_shape}\",\n    \"elements\": {},\n    \"max_lag\": {},\n    \"serialzc_wall_s\": {serial_s:.6},\n    \"ompzc_wall_s\": {omp_s:.6},\n    \"mozc_wall_s\": {mozc_s:.6},\n    \"cuzc_wall_s\": {cuzc_s:.6}\n  }},\n  \"fastpath\": {{\n    \"shape\": \"{big_shape}\",\n    \"elements\": {},\n    \"max_lag\": {},\n    \"cuzc_fast_wall_s\": {fast_s:.6},\n    \"cuzc_reference_wall_s\": {ref_s:.6},\n    \"speedup\": {speedup:.4}\n  }},\n  \"sanitizer\": {{\n    \"shape\": \"{exec_shape}\",\n    \"cuzc_sanitized_wall_s\": {san_s:.6},\n    \"overhead_vs_plain\": {san_overhead:.4},\n    \"launches_checked\": {}\n  }}\n}}\n",
         exec_shape.len(),
         cfg.max_lag,
         big_shape.len(),
         bcfg.max_lag,
+        san_summary.launches_checked,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
     std::fs::write(path, &out).expect("write BENCH_hotpath.json");

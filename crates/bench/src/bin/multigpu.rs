@@ -31,7 +31,9 @@ fn main() {
         let field = ds.generate_field(0, &gen);
         let sz = SzCompressor::new(ErrorBound::Rel(opts.rel_bound));
         let (dec, _) = sz.roundtrip(&field.data).unwrap();
-        let a = CuZc::default().assess(&field.data, &dec, &opts.cfg).unwrap();
+        let a = CuZc::default()
+            .assess(&field.data, &dec, &opts.cfg)
+            .unwrap();
         let scaled = ds.shape(&gen);
         let full = ds.full_shape();
         let single_total: f64 = a

@@ -22,9 +22,17 @@ fn main() {
         let full = ds.full_shape();
         let scaled = ds.shape(&gen);
         let ratio = full.len() as f64 / scaled.len() as f64;
-        println!("=== {} (full {}, bytes/field {:.0} MB) ===", ds.name(), full,
-            full.len() as f64 * 4.0 / 1e6);
-        for ex in [&CuZc::default() as &dyn Executor, &MoZc::default(), &OmpZc::default()] {
+        println!(
+            "=== {} (full {}, bytes/field {:.0} MB) ===",
+            ds.name(),
+            full,
+            full.len() as f64 * 4.0 / 1e6
+        );
+        for ex in [
+            &CuZc::default() as &dyn Executor,
+            &MoZc::default(),
+            &OmpZc::default(),
+        ] {
             let a = ex.assess(&field.data, &dec, &opts.cfg).unwrap();
             for r in &a.runs {
                 let c = scale_counters(&r.counters, ratio);
@@ -48,7 +56,12 @@ fn main() {
                         let t = cpu.time(&c);
                         println!(
                             "{:7} {:?}: total={:9.3e} mem={:9.3e} cmp={:9.3e} {:?}",
-                            ex.name(), r.pattern, t.total_s, t.mem_s, t.compute_s, t.bound
+                            ex.name(),
+                            r.pattern,
+                            t.total_s,
+                            t.mem_s,
+                            t.compute_s,
+                            t.bound
                         );
                     }
                 }

@@ -40,7 +40,9 @@ fn main() {
             let gen = GenOptions::scaled_xy(16);
             let field = ds.generate_field(0, &gen);
             let dec = field.data.map(|v| v + 1e-4);
-            let a = CuZc::default().assess(&field.data, &dec, &cfg).expect("assess");
+            let a = CuZc::default()
+                .assess(&field.data, &dec, &cfg)
+                .expect("assess");
             let p = &a.profiles[idx];
             assert_eq!(p.pattern, pattern);
             let full = ds.full_shape();

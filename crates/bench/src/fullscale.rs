@@ -160,17 +160,25 @@ mod tests {
         // Miranda pattern-1 row: 12 × 48 = 576 (exactly as printed).
         let cfg = AssessConfig::default();
         let miranda = AppDataset::Miranda.full_shape();
-        assert_eq!(full_iters_per_thread(Pattern::GlobalReduction, miranda, &cfg), 576);
+        assert_eq!(
+            full_iters_per_thread(Pattern::GlobalReduction, miranda, &cfg),
+            576
+        );
         // NYX pattern-1: 16 × 64 = 1024 ≈ the paper's "1k".
         let nyx = AppDataset::Nyx.full_shape();
-        assert_eq!(full_iters_per_thread(Pattern::GlobalReduction, nyx, &cfg), 1024);
+        assert_eq!(
+            full_iters_per_thread(Pattern::GlobalReduction, nyx, &cfg),
+            1024
+        );
         // NYX has the deepest pattern-3 loops (paper observation (iii)).
-        let others = [AppDataset::Hurricane, AppDataset::ScaleLetkf, AppDataset::Miranda];
+        let others = [
+            AppDataset::Hurricane,
+            AppDataset::ScaleLetkf,
+            AppDataset::Miranda,
+        ];
         let nyx_p3 = full_iters_per_thread(Pattern::SlidingWindow, nyx, &cfg);
         for d in others {
-            assert!(
-                nyx_p3 > full_iters_per_thread(Pattern::SlidingWindow, d.full_shape(), &cfg)
-            );
+            assert!(nyx_p3 > full_iters_per_thread(Pattern::SlidingWindow, d.full_shape(), &cfg));
         }
     }
 

@@ -26,6 +26,7 @@
 //! at a small fraction of the simulation cost. `--scale 1` runs the real
 //! thing end-to-end.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fullscale;

@@ -140,7 +140,15 @@ impl DatasetResult {
     }
 }
 
-fn accumulate(acc: &mut SystemTimes, runs: &[PatternRun], scaled: zc_tensor::Shape, full: zc_tensor::Shape, cfg: &AssessConfig, sim: &GpuSim, cpu: &CpuModel) {
+fn accumulate(
+    acc: &mut SystemTimes,
+    runs: &[PatternRun],
+    scaled: zc_tensor::Shape,
+    full: zc_tensor::Shape,
+    cfg: &AssessConfig,
+    sim: &GpuSim,
+    cpu: &CpuModel,
+) {
     for r in runs {
         let t = remodel_full(r, scaled, full, cfg, sim, cpu);
         match r.pattern {
@@ -175,7 +183,10 @@ pub fn assess_dataset(dataset: AppDataset, opts: &HarnessOpts) -> DatasetResult 
     let gen = GenOptions::scaled_xy(opts.scale);
     let scaled_shape = dataset.shape(&gen);
     let full_shape = dataset.full_shape();
-    let n_fields = opts.max_fields.unwrap_or(usize::MAX).min(dataset.field_count());
+    let n_fields = opts
+        .max_fields
+        .unwrap_or(usize::MAX)
+        .min(dataset.field_count());
     let sz = SzCompressor::new(ErrorBound::Rel(opts.rel_bound));
     let cuzc = CuZc::default();
     let mozc = MoZc::default();
@@ -198,12 +209,42 @@ pub fn assess_dataset(dataset: AppDataset, opts: &HarnessOpts) -> DatasetResult 
         let (dec, stats) = sz.roundtrip(&field.data).expect("compressor roundtrip");
         res.mean_ratio += stats.ratio();
 
-        let a_cu = cuzc.assess(&field.data, &dec, &opts.cfg).expect("cuZC assess");
-        let a_mo = mozc.assess(&field.data, &dec, &opts.cfg).expect("moZC assess");
-        let a_om = ompzc.assess(&field.data, &dec, &opts.cfg).expect("ompZC assess");
-        accumulate(&mut res.cuzc, &a_cu.runs, scaled_shape, full_shape, &opts.cfg, &sim, &cpu);
-        accumulate(&mut res.mozc, &a_mo.runs, scaled_shape, full_shape, &opts.cfg, &sim, &cpu);
-        accumulate(&mut res.ompzc, &a_om.runs, scaled_shape, full_shape, &opts.cfg, &sim, &cpu);
+        let a_cu = cuzc
+            .assess(&field.data, &dec, &opts.cfg)
+            .expect("cuZC assess");
+        let a_mo = mozc
+            .assess(&field.data, &dec, &opts.cfg)
+            .expect("moZC assess");
+        let a_om = ompzc
+            .assess(&field.data, &dec, &opts.cfg)
+            .expect("ompZC assess");
+        accumulate(
+            &mut res.cuzc,
+            &a_cu.runs,
+            scaled_shape,
+            full_shape,
+            &opts.cfg,
+            &sim,
+            &cpu,
+        );
+        accumulate(
+            &mut res.mozc,
+            &a_mo.runs,
+            scaled_shape,
+            full_shape,
+            &opts.cfg,
+            &sim,
+            &cpu,
+        );
+        accumulate(
+            &mut res.ompzc,
+            &a_om.runs,
+            scaled_shape,
+            full_shape,
+            &opts.cfg,
+            &sim,
+            &cpu,
+        );
         if i == 0 {
             res.cuzc_runs = a_cu.runs;
         }
@@ -235,18 +276,21 @@ mod tests {
         assert_eq!(o.max_fields, Some(2));
         assert!((o.rel_bound - 1e-4).abs() < 1e-18);
         assert!(HarnessOpts::from_args(["--bogus".to_string()].into_iter()).is_err());
-        let o = HarnessOpts::from_args(
-            ["--csv", "/tmp/x.csv"].iter().map(|s| s.to_string()),
-        )
-        .unwrap();
+        let o =
+            HarnessOpts::from_args(["--csv", "/tmp/x.csv"].iter().map(|s| s.to_string())).unwrap();
         assert_eq!(o.csv.as_deref(), Some(std::path::Path::new("/tmp/x.csv")));
-        assert!(HarnessOpts::from_args(["--scale".to_string(), "0".to_string()].into_iter())
-            .is_err());
+        assert!(
+            HarnessOpts::from_args(["--scale".to_string(), "0".to_string()].into_iter()).is_err()
+        );
     }
 
     #[test]
     fn one_dataset_one_field_runs_end_to_end() {
-        let opts = HarnessOpts { scale: 16, max_fields: Some(1), ..Default::default() };
+        let opts = HarnessOpts {
+            scale: 16,
+            max_fields: Some(1),
+            ..Default::default()
+        };
         let r = assess_dataset(AppDataset::Miranda, &opts);
         assert_eq!(r.fields, 1);
         assert!(r.mean_ratio > 1.0);

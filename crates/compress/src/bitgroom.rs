@@ -102,7 +102,10 @@ mod tests {
             for (&a, &b) in t.iter().zip(rec.iter()) {
                 if a != 0.0 {
                     let rel = ((a - b) / a).abs() as f64;
-                    assert!(rel <= bound * (1.0 + 1e-6), "keep={keep}: rel {rel} > {bound}");
+                    assert!(
+                        rel <= bound * (1.0 + 1e-6),
+                        "keep={keep}: rel {rel} > {bound}"
+                    );
                 }
             }
         }

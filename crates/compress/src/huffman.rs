@@ -108,7 +108,10 @@ impl HuffmanCodec {
                 parents.push(usize::MAX);
                 parents[a.id] = id;
                 parents[b.id] = id;
-                heap.push(Node { weight: a.weight + b.weight, id });
+                heap.push(Node {
+                    weight: a.weight + b.weight,
+                    id,
+                });
             }
             for (s, &leaf) in id_of_leaf.iter().enumerate() {
                 if leaf == usize::MAX {
@@ -134,13 +137,17 @@ impl HuffmanCodec {
             return Err(HuffmanError::BadCodebook);
         }
         // Kraft check.
-        let kraft: u128 =
-            lengths.iter().filter(|&&l| l > 0).map(|&l| 1u128 << (MAX_CODE_LEN - l)).sum();
+        let kraft: u128 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u128 << (MAX_CODE_LEN - l))
+            .sum();
         if kraft > 1u128 << MAX_CODE_LEN {
             return Err(HuffmanError::BadCodebook);
         }
-        let mut sorted_symbols: Vec<u32> =
-            (0..lengths.len() as u32).filter(|&s| lengths[s as usize] > 0).collect();
+        let mut sorted_symbols: Vec<u32> = (0..lengths.len() as u32)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
         sorted_symbols.sort_by_key(|&s| (lengths[s as usize], s));
 
         // Standard canonical construction over per-length symbol counts.
@@ -166,7 +173,14 @@ impl HuffmanCodec {
             codes[s as usize] = next[l];
             next[l] += 1;
         }
-        Ok(HuffmanCodec { lengths, codes, sorted_symbols, count, first_code, first_index })
+        Ok(HuffmanCodec {
+            lengths,
+            codes,
+            sorted_symbols,
+            count,
+            first_code,
+            first_index,
+        })
     }
 
     /// Number of symbols in the (dense) alphabet.
@@ -352,16 +366,25 @@ mod tests {
         let codec = HuffmanCodec::from_frequencies(&freqs).unwrap();
         assert_eq!(codec.length_of(0), 1);
         let total: u64 = freqs.iter().sum();
-        let coded_bits: u64 =
-            freqs.iter().enumerate().map(|(s, &f)| f * codec.length_of(s as u32) as u64).sum();
-        assert!((coded_bits as f64) < 1.1 * total as f64, "should be ~1 bit/symbol");
+        let coded_bits: u64 = freqs
+            .iter()
+            .enumerate()
+            .map(|(s, &f)| f * codec.length_of(s as u32) as u64)
+            .sum();
+        assert!(
+            (coded_bits as f64) < 1.1 * total as f64,
+            "should be ~1 bit/symbol"
+        );
     }
 
     #[test]
     fn unknown_symbol_rejected() {
         let codec = HuffmanCodec::from_frequencies(&[5, 5, 0]).unwrap();
         let mut w = BitWriter::new();
-        assert_eq!(codec.encode(&[2], &mut w), Err(HuffmanError::UnknownSymbol(2)));
+        assert_eq!(
+            codec.encode(&[2], &mut w),
+            Err(HuffmanError::UnknownSymbol(2))
+        );
     }
 
     #[test]

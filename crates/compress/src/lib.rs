@@ -38,6 +38,7 @@
 //! assert!(out.stats.ratio() > 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitgroom;

@@ -37,9 +37,7 @@ impl LorenzoPredictor {
     #[inline]
     pub fn predict(&self, rec: &[f32], x: usize, y: usize, z: usize, w: usize) -> f32 {
         let s = &self.shape;
-        let at = |xx: usize, yy: usize, zz: usize| -> f64 {
-            rec[s.linear([xx, yy, zz, w])] as f64
-        };
+        let at = |xx: usize, yy: usize, zz: usize| -> f64 { rec[s.linear([xx, yy, zz, w])] as f64 };
         let fx = x > 0;
         let fy = y > 0 && s.ndim() >= 2;
         let fz = z > 0 && s.ndim() >= 3;
@@ -88,7 +86,9 @@ mod tests {
         // reproduced by the order-1 3D Lorenzo corner formula... only the
         // affine part is exact; verify with f = 1 + 2x + 3y + 4z.
         let s = Shape::d3(6, 5, 4);
-        let t = Tensor::from_fn(s, |[x, y, z, _]| 1.0 + 2.0 * x as f32 + 3.0 * y as f32 + 4.0 * z as f32);
+        let t = Tensor::from_fn(s, |[x, y, z, _]| {
+            1.0 + 2.0 * x as f32 + 3.0 * y as f32 + 4.0 * z as f32
+        });
         let p = LorenzoPredictor::new(s);
         let rec = t.as_slice();
         for z in 1..4 {
@@ -96,7 +96,10 @@ mod tests {
                 for x in 1..6 {
                     let pred = p.predict(rec, x, y, z, 0);
                     let truth = t.at3(x, y, z);
-                    assert!((pred - truth).abs() < 1e-4, "({x},{y},{z}): {pred} vs {truth}");
+                    assert!(
+                        (pred - truth).abs() < 1e-4,
+                        "({x},{y},{z}): {pred} vs {truth}"
+                    );
                 }
             }
         }

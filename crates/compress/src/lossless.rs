@@ -44,8 +44,7 @@ impl Compressor for LosslessCompressor {
             }
             let codec = HuffmanCodec::from_frequencies(&freqs).expect("non-empty tensor");
             codec.write_codebook(&mut w);
-            let symbols: Vec<u32> =
-                t.iter().map(|&v| v.to_le_bytes()[plane] as u32).collect();
+            let symbols: Vec<u32> = t.iter().map(|&v| v.to_le_bytes()[plane] as u32).collect();
             codec.encode(&symbols, &mut w).expect("all symbols counted");
         }
         let bytes = w.into_bytes();
@@ -56,7 +55,11 @@ impl Compressor for LosslessCompressor {
             decompress_seconds: 0.0,
             outliers: 0,
         };
-        Compressed { bytes, shape: t.shape(), stats }
+        Compressed {
+            bytes,
+            shape: t.shape(),
+            stats,
+        }
     }
 
     fn decompress(&self, c: &Compressed) -> Result<Tensor<f32>, CodecError> {
@@ -134,7 +137,9 @@ mod tests {
     #[test]
     fn random_mantissas_are_nearly_incompressible() {
         let t = Tensor::from_fn(Shape::d2(64, 64), |[x, y, ..]| {
-            let mut h = (x as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(y as u64);
+            let mut h = (x as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(y as u64);
             h = (h ^ (h >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
             f32::from_bits(0x3F80_0000 | (h as u32 & 0x007F_FFFF))
         });

@@ -27,7 +27,10 @@ impl LinearQuantizer {
     /// Quantizer with bound `eb > 0` and the given code radius
     /// (SZ's default capacity is 65536 bins → radius 32768).
     pub fn new(eb: f64, radius: u32) -> Self {
-        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive and finite");
+        assert!(
+            eb > 0.0 && eb.is_finite(),
+            "error bound must be positive and finite"
+        );
         assert!(radius >= 1);
         LinearQuantizer { eb, radius }
     }

@@ -76,7 +76,9 @@ impl RateSummary {
             "config", "bits/elem", "PSNR(dB)", "ratio"
         );
         for (label, rate, psnr, ratio) in &self.rows {
-            out.push_str(&format!("{label:<24} {rate:>10.3} {psnr:>10.2} {ratio:>10.2}\n"));
+            out.push_str(&format!(
+                "{label:<24} {rate:>10.3} {psnr:>10.2} {ratio:>10.2}\n"
+            ));
         }
         out
     }
@@ -100,7 +102,10 @@ mod tests {
 
     #[test]
     fn throughput_guards_zero_time() {
-        let s = CompressionStats { original_bytes: 1 << 30, ..Default::default() };
+        let s = CompressionStats {
+            original_bytes: 1 << 30,
+            ..Default::default()
+        };
         assert_eq!(s.compress_throughput_gbs(), 0.0);
         assert_eq!(s.decompress_throughput_gbs(), 0.0);
     }

@@ -66,7 +66,10 @@ impl SzCompressor {
     /// Compressor with the default code radius (32768 bins each side,
     /// matching SZ's 65536-entry quantization capacity).
     pub fn new(bound: ErrorBound) -> Self {
-        SzCompressor { bound, radius: 32768 }
+        SzCompressor {
+            bound,
+            radius: 32768,
+        }
     }
 
     /// Override the quantization radius (power of two recommended).
@@ -165,7 +168,11 @@ impl Compressor for SzCompressor {
             decompress_seconds: 0.0,
             outliers: outliers.len(),
         };
-        Compressed { bytes, shape, stats }
+        Compressed {
+            bytes,
+            shape,
+            stats,
+        }
     }
 
     fn decompress(&self, c: &Compressed) -> Result<Tensor<f32>, CodecError> {
@@ -273,8 +280,14 @@ mod tests {
     #[test]
     fn tighter_bound_means_lower_ratio() {
         let t = smooth_field();
-        let loose = SzCompressor::new(ErrorBound::Abs(1e-2)).compress(&t).stats.ratio();
-        let tight = SzCompressor::new(ErrorBound::Abs(1e-5)).compress(&t).stats.ratio();
+        let loose = SzCompressor::new(ErrorBound::Abs(1e-2))
+            .compress(&t)
+            .stats
+            .ratio();
+        let tight = SzCompressor::new(ErrorBound::Abs(1e-5))
+            .compress(&t)
+            .stats
+            .ratio();
         assert!(loose > tight, "loose {loose} <= tight {tight}");
     }
 

@@ -51,7 +51,10 @@ impl ZfpLikeCompressor {
     pub fn new(rate: f64) -> Self {
         assert!(rate > 0.0 && rate <= 30.0, "rate must be in (0, 30]");
         let total = (rate * BLOCK_LEN as f64).round() as u32;
-        ZfpLikeCompressor { rate, budgets: allocate_bits(total) }
+        ZfpLikeCompressor {
+            rate,
+            budgets: allocate_bits(total),
+        }
     }
 
     /// The configured rate in coefficient bits per value.
@@ -252,7 +255,11 @@ impl Compressor for ZfpLikeCompressor {
             decompress_seconds: 0.0,
             outliers: 0,
         };
-        Compressed { bytes, shape, stats }
+        Compressed {
+            bytes,
+            shape,
+            stats,
+        }
     }
 
     fn decompress(&self, c: &Compressed) -> Result<Tensor<f32>, CodecError> {
@@ -296,8 +303,7 @@ impl Compressor for ZfpLikeCompressor {
                                     let y = cy * BS + ly;
                                     let z = cz * BS + lz;
                                     if x < nx && y < ny && z < nz {
-                                        let v = coeffs[lx + ly * BS + lz * BS * BS] as f64
-                                            * factor;
+                                        let v = coeffs[lx + ly * BS + lz * BS * BS] as f64 * factor;
                                         out.set([x, y, z, hw], v as f32);
                                     }
                                 }
@@ -322,7 +328,9 @@ mod tests {
         let mut seed = 12345u64;
         for trial in 0..200 {
             for v in vals.iter_mut() {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *v = (seed as i64) >> 38; // ~26-bit signed values
             }
             let orig = vals;
@@ -345,7 +353,10 @@ mod tests {
         fwd_transform(&mut v);
         // The DC coefficient should dwarf the high-sequency ones.
         let dc = v[0].abs();
-        let hi: i64 = (0..BLOCK_LEN).filter(|&i| sequency(i) >= 4).map(|i| v[i].abs()).sum();
+        let hi: i64 = (0..BLOCK_LEN)
+            .filter(|&i| sequency(i) >= 4)
+            .map(|i| v[i].abs())
+            .sum();
         assert!(dc > 20 * hi.max(1), "dc={dc} hi={hi}");
     }
 
@@ -356,8 +367,10 @@ mod tests {
         assert!(b[0] >= b[BLOCK_LEN - 1]);
         assert!(b[0] > 0);
         // Same-sequency slots differ by at most one bit.
-        let s2: Vec<u32> =
-            (0..BLOCK_LEN).filter(|&i| sequency(i) == 2).map(|i| b[i]).collect();
+        let s2: Vec<u32> = (0..BLOCK_LEN)
+            .filter(|&i| sequency(i) == 2)
+            .map(|i| b[i])
+            .collect();
         let (mn, mx) = (s2.iter().min().unwrap(), s2.iter().max().unwrap());
         assert!(mx - mn <= 1);
     }
@@ -399,7 +412,10 @@ mod tests {
         let mse = |rate: f64| {
             let codec = ZfpLikeCompressor::new(rate);
             let (rec, _) = codec.roundtrip(&t).unwrap();
-            t.iter().zip(rec.iter()).map(|(a, b)| ((a - b) as f64).powi(2)).sum::<f64>()
+            t.iter()
+                .zip(rec.iter())
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
         };
         let coarse = mse(4.0);
         let fine = mse(16.0);
@@ -430,9 +446,7 @@ mod tests {
     #[test]
     fn non_multiple_of_four_shapes_roundtrip() {
         let codec = ZfpLikeCompressor::new(20.0);
-        let t = Tensor::from_fn(Shape::d3(9, 7, 5), |[x, y, z, _]| {
-            (x + y + z) as f32 * 0.25
-        });
+        let t = Tensor::from_fn(Shape::d3(9, 7, 5), |[x, y, z, _]| (x + y + z) as f32 * 0.25);
         let (rec, _) = codec.roundtrip(&t).unwrap();
         assert_eq!(rec.shape(), t.shape());
         for (a, b) in t.iter().zip(rec.iter()) {

@@ -83,7 +83,10 @@ fn sz_relative_bound_always_holds() {
         let sz = SzCompressor::new(ErrorBound::Rel(rel));
         let (rec, _) = sz.roundtrip(&t).unwrap();
         for (a, b) in t.iter().zip(rec.iter()) {
-            assert!(((a - b).abs() as f64) <= bound * (1.0 + 1e-9) + 1e-12, "case {case}");
+            assert!(
+                ((a - b).abs() as f64) <= bound * (1.0 + 1e-9) + 1e-12,
+                "case {case}"
+            );
         }
     }
 }
@@ -136,8 +139,9 @@ fn bitstream_roundtrips_mixed_width_writes() {
     let mut rng = Rng(0xb175);
     for case in 0..64 {
         let n = rng.usize(1, 200);
-        let fields: Vec<(u64, u32)> =
-            (0..n).map(|_| (rng.next(), rng.usize(1, 64) as u32)).collect();
+        let fields: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.next(), rng.usize(1, 64) as u32))
+            .collect();
         let mut w = BitWriter::new();
         for &(v, n) in &fields {
             w.write_bits(v, n);

@@ -8,11 +8,19 @@ fn main() {
     });
     let dec = orig.map(|v| v + 0.006 * (v * 29.0).sin());
     let cfg = AssessConfig::default();
-    for ex in [&CuZc::default() as &dyn Executor, &MoZc::default(), &OmpZc::default()] {
+    for ex in [
+        &CuZc::default() as &dyn Executor,
+        &MoZc::default(),
+        &OmpZc::default(),
+    ] {
         let a = ex.assess(&orig, &dec, &cfg).unwrap();
         println!(
             "{:8} p1={:.3e} p2={:.3e} p3={:.3e} total={:.3e}",
-            ex.name(), a.pattern_times.p1, a.pattern_times.p2, a.pattern_times.p3, a.modeled_seconds
+            ex.name(),
+            a.pattern_times.p1,
+            a.pattern_times.p2,
+            a.pattern_times.p3,
+            a.modeled_seconds
         );
     }
 }

@@ -11,7 +11,9 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use zc_compress::{BitGroomCompressor, Compressor, LosslessCompressor, SzCompressor, ZfpLikeCompressor};
+use zc_compress::{
+    BitGroomCompressor, Compressor, LosslessCompressor, SzCompressor, ZfpLikeCompressor,
+};
 use zc_core::config::{parse, CompressorChoice, RunConfig};
 use zc_core::exec::make_executor;
 use zc_core::io::{read_raw, write_pgm_slice, Endianness};
@@ -28,6 +30,7 @@ struct Args {
     pgm: Option<PathBuf>,
     html: Option<PathBuf>,
     trace: bool,
+    sanitize: bool,
     demo: bool,
 }
 
@@ -41,6 +44,8 @@ const USAGE: &str = "usage: cuzc [options]
   --pgm <file>            also write a mid-depth PGM slice of the input
   --html <file>           also write an HTML dashboard report
   --trace                 print profiler-style per-pattern launch summaries
+  --sanitize              run simulated kernels under the zc-sancheck
+                          sanitizer (also: ZC_SANITIZE=1); exit 3 on hazards
   --demo                  run on built-in synthetic data (no files needed)";
 
 fn parse_shape(s: &str) -> Result<Shape, String> {
@@ -60,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         pgm: None,
         html: None,
         trace: false,
+        sanitize: false,
         demo: false,
     };
     let mut it = std::env::args().skip(1);
@@ -75,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
             "--pgm" => args.pgm = Some(PathBuf::from(val()?)),
             "--html" => args.html = Some(PathBuf::from(val()?)),
             "--trace" => args.trace = true,
+            "--sanitize" => args.sanitize = true,
             "--demo" => args.demo = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
@@ -98,20 +105,37 @@ fn load_config(args: &Args) -> Result<RunConfig, String> {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let run = load_config(&args)?;
-    let endian = if args.big_endian { Endianness::Big } else { Endianness::Little };
+    let endian = if args.big_endian {
+        Endianness::Big
+    } else {
+        Endianness::Little
+    };
+    if args.sanitize {
+        // ZC_SANITIZE=1 enables the same mode without the flag.
+        zc_gpusim::sanitizer::set_enabled(true);
+    }
 
     // Acquire the original field.
     let orig: Tensor<f32> = if args.demo {
         use zc_data::{AppDataset, GenOptions};
         let f = AppDataset::Miranda.generate_field(0, &GenOptions::scaled(8));
-        eprintln!("demo: synthetic MIRANDA {} field {}", f.name, f.data.shape());
+        eprintln!(
+            "demo: synthetic MIRANDA {} field {}",
+            f.name,
+            f.data.shape()
+        );
         f.data
     } else {
-        let input = args.input.as_ref().ok_or_else(|| format!("--input required\n{USAGE}"))?;
-        let shape = args.shape.ok_or_else(|| format!("--shape required\n{USAGE}"))?;
+        let input = args
+            .input
+            .as_ref()
+            .ok_or_else(|| format!("--input required\n{USAGE}"))?;
+        let shape = args
+            .shape
+            .ok_or_else(|| format!("--shape required\n{USAGE}"))?;
         read_raw(input, shape, endian).map_err(|e| format!("{}: {e}", input.display()))?
     };
 
@@ -237,12 +261,33 @@ fn run() -> Result<(), String> {
         write_pgm_slice(pgm, &orig, z).map_err(|e| format!("{}: {e}", pgm.display()))?;
         eprintln!("wrote {} (slice z={z})", pgm.display());
     }
-    Ok(())
+
+    // Sanitizer verdict: drain the global sink and fail loudly on hazards.
+    if zc_gpusim::sanitizer::enabled() {
+        let s = zc_gpusim::sanitizer::drain();
+        for r in &s.reports {
+            eprint!("{}", r.render());
+        }
+        if s.dropped_reports > 0 {
+            eprintln!(
+                "========= {} hazardous report(s) beyond the sink cap",
+                s.dropped_reports
+            );
+        }
+        eprintln!(
+            "========= ZC SANITIZER: {} launch(es) checked, {} hazard(s)",
+            s.launches_checked, s.hazards
+        );
+        if !s.is_clean() {
+            return Ok(ExitCode::from(3));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::from(2)

@@ -6,7 +6,7 @@
 //! candidate compressor configuration and pick the best one". The paper's
 //! §VI future-work plan is the matching hardware story: a multi-node
 //! multi-GPU cuZ-Checker. This module joins the two: a **campaign** is the
-//! cross product of a field catalog ([`zc_data::catalog`]) and a set of
+//! cross product of a field catalog ([`zc_data::catalog_fields`]) and a set of
 //! compressor configurations ([`zc_compress::CompressorSpec`]), sharded
 //! across `N` simulated devices with *static deterministic* partitioning
 //! and executed with host-side parallelism from `zc-par`.
@@ -84,9 +84,18 @@ impl CampaignSpec {
         fleet: FleetSpec,
     ) -> Self {
         let fields = zc_data::catalog_fields(datasets)
-            .map(|(dataset, index, _)| FieldRef { dataset, index, opts })
+            .map(|(dataset, index, _)| FieldRef {
+                dataset,
+                index,
+                opts,
+            })
             .collect();
-        CampaignSpec { fields, compressors, cfg, fleet }
+        CampaignSpec {
+            fields,
+            compressors,
+            cfg,
+            fleet,
+        }
     }
 
     /// The job list: the (field × compressor) cross product in
@@ -130,7 +139,9 @@ impl CampaignSpec {
         fleets: &[FleetSpec],
     ) -> Result<Vec<CampaignReport>, CampaignError> {
         self.fleet.validate().map_err(CampaignError::BadFleet)?;
-        self.cfg.validate().map_err(|e| CampaignError::BadConfig(e.to_string()))?;
+        self.cfg
+            .validate()
+            .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
         for fleet in fleets {
             fleet.validate().map_err(CampaignError::BadFleet)?;
             if fleet.gpus_per_job != self.fleet.gpus_per_job {
@@ -153,7 +164,12 @@ impl CampaignSpec {
         let fields = zc_par::par_map(self.fields.len(), |i| self.fields[i].generate());
         let executor = self.fleet.executor();
         let outcomes = zc_par::par_map(jobs.len(), |i| {
-            job::run_job(&fields[jobs[i].field_index].data, &jobs[i], &executor, &self.cfg)
+            job::run_job(
+                &fields[jobs[i].field_index].data,
+                &jobs[i],
+                &executor,
+                &self.cfg,
+            )
         });
         Ok(fleets
             .iter()
@@ -188,7 +204,11 @@ mod tests {
                 CompressorSpec::Sz(ErrorBound::Rel(1e-3)),
                 CompressorSpec::Zfp(12.0),
             ],
-            AssessConfig { max_lag: 3, bins: 32, ..Default::default() },
+            AssessConfig {
+                max_lag: 3,
+                bins: 32,
+                ..Default::default()
+            },
             FleetSpec::nvlink(gpus),
         )
     }
@@ -202,7 +222,10 @@ mod tests {
             assert_eq!(j.id, i);
             assert_eq!(j.field_index, i / 2);
         }
-        assert_eq!(jobs[0].field.qualified_name(), jobs[1].field.qualified_name());
+        assert_eq!(
+            jobs[0].field.qualified_name(),
+            jobs[1].field.qualified_name()
+        );
         assert_ne!(jobs[0].compressor.label(), jobs[1].compressor.label());
     }
 
@@ -231,13 +254,21 @@ mod tests {
     #[test]
     fn fleet_sweep_matches_direct_runs_and_scales() {
         let spec = tiny_spec(1);
-        let fleets = [FleetSpec::nvlink(1), FleetSpec::nvlink(2), FleetSpec::nvlink(4)];
+        let fleets = [
+            FleetSpec::nvlink(1),
+            FleetSpec::nvlink(2),
+            FleetSpec::nvlink(4),
+        ];
         let reports = spec.run_on_fleets(&fleets).unwrap();
         assert!(reports[1].fleet.jobs_per_sec > reports[0].fleet.jobs_per_sec);
         assert!(reports[2].fleet.jobs_per_sec > reports[1].fleet.jobs_per_sec);
         // The sweep entry is bit-identical to a direct run on that fleet.
-        let direct =
-            CampaignSpec { fleet: FleetSpec::nvlink(2), ..tiny_spec(2) }.run().unwrap();
+        let direct = CampaignSpec {
+            fleet: FleetSpec::nvlink(2),
+            ..tiny_spec(2)
+        }
+        .run()
+        .unwrap();
         assert_eq!(direct.fleet.jobs_per_sec, reports[1].fleet.jobs_per_sec);
         assert_eq!(direct.fleet.busy_s, reports[1].fleet.busy_s);
         assert_eq!(direct.totals, reports[1].totals);
@@ -247,7 +278,10 @@ mod tests {
     fn fleet_sweep_rejects_mismatched_gang_size() {
         let spec = tiny_spec(1);
         let bad = [FleetSpec::nvlink(4).ganged(2)];
-        assert!(matches!(spec.run_on_fleets(&bad), Err(CampaignError::BadFleet(_))));
+        assert!(matches!(
+            spec.run_on_fleets(&bad),
+            Err(CampaignError::BadFleet(_))
+        ));
     }
 
     #[test]

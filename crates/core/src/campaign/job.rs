@@ -126,7 +126,9 @@ pub(super) fn run_job(
         psnr: report.scalar(Metric::Psnr).unwrap_or(f64::NAN),
         ssim: report.scalar(Metric::Ssim).unwrap_or(f64::NAN),
         mse: report.scalar(Metric::Mse).unwrap_or(f64::NAN),
-        pearson: report.scalar(Metric::PearsonCorrelation).unwrap_or(f64::NAN),
+        pearson: report
+            .scalar(Metric::PearsonCorrelation)
+            .unwrap_or(f64::NAN),
         autocorr1: report.scalar(Metric::Autocorrelation),
         compression_ratio: report.scalar(Metric::CompressionRatio).unwrap_or(0.0),
         modeled_seconds: a.modeled_seconds,
@@ -147,15 +149,29 @@ mod tests {
             opts: GenOptions::scaled(32),
         };
         let data = field.generate();
-        (data, JobSpec { id: 0, field_index: 0, field, compressor })
+        (
+            data,
+            JobSpec {
+                id: 0,
+                field_index: 0,
+                field,
+                compressor,
+            },
+        )
     }
 
     #[test]
     fn successful_job_produces_metrics() {
         let (f, spec) = job(CompressorSpec::Sz(ErrorBound::Rel(1e-3)));
-        let cfg = AssessConfig { max_lag: 3, bins: 32, ..Default::default() };
+        let cfg = AssessConfig {
+            max_lag: 3,
+            bins: 32,
+            ..Default::default()
+        };
         let out = run_job(&f.data, &spec, &MultiCuZc::nvlink(1), &cfg);
-        let JobOutcome::Done(m) = out else { panic!("job failed") };
+        let JobOutcome::Done(m) = out else {
+            panic!("job failed")
+        };
         assert!(m.psnr > 30.0);
         assert!(m.compression_ratio > 1.0);
         assert!(m.modeled_seconds > 0.0);
@@ -167,7 +183,9 @@ mod tests {
         let (f, spec) = job(CompressorSpec::FailDecode);
         let cfg = AssessConfig::default();
         let out = run_job(&f.data, &spec, &MultiCuZc::nvlink(1), &cfg);
-        let JobOutcome::Failed(msg) = out else { panic!("expected failure") };
+        let JobOutcome::Failed(msg) = out else {
+            panic!("expected failure")
+        };
         assert!(msg.contains("codec"), "{msg}");
     }
 

@@ -86,8 +86,7 @@ impl CampaignReport {
     ) -> CampaignReport {
         let groups = fleet.groups() as usize;
         let link = fleet.link.model(fleet.gpus);
-        let gather_s =
-            link.link_latency_s + result_bytes(cfg) as f64 / (link.link_bw_gbs * 1e9);
+        let gather_s = link.link_latency_s + result_bytes(cfg) as f64 / (link.link_bw_gbs * 1e9);
         let mut busy_s = vec![0.0f64; groups];
         let mut totals = PatternTotals::default();
         let mut completed = 0usize;
@@ -194,7 +193,11 @@ mod tests {
             &[AppDataset::ScaleLetkf],
             GenOptions::scaled(32),
             vec![CompressorSpec::Sz(ErrorBound::Rel(1e-3))],
-            AssessConfig { max_lag: 3, bins: 32, ..Default::default() },
+            AssessConfig {
+                max_lag: 3,
+                bins: 32,
+                ..Default::default()
+            },
             fleet,
         )
     }

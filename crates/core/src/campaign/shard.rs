@@ -55,12 +55,20 @@ pub struct FleetSpec {
 impl FleetSpec {
     /// Single-GPU-per-job fleet over NVLink.
     pub fn nvlink(gpus: u32) -> Self {
-        FleetSpec { gpus, gpus_per_job: 1, link: LinkKind::NvLink }
+        FleetSpec {
+            gpus,
+            gpus_per_job: 1,
+            link: LinkKind::NvLink,
+        }
     }
 
     /// Single-GPU-per-job fleet over PCIe.
     pub fn pcie(gpus: u32) -> Self {
-        FleetSpec { gpus, gpus_per_job: 1, link: LinkKind::Pcie }
+        FleetSpec {
+            gpus,
+            gpus_per_job: 1,
+            link: LinkKind::Pcie,
+        }
     }
 
     /// Gang `per_job` devices per job.

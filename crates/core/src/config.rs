@@ -38,7 +38,12 @@ pub struct SsimSettings {
 
 impl Default for SsimSettings {
     fn default() -> Self {
-        SsimSettings { window: 8, step: 1, k1: 0.01, k2: 0.03 }
+        SsimSettings {
+            window: 8,
+            step: 1,
+            k1: 0.01,
+            k2: 0.03,
+        }
     }
 }
 
@@ -73,7 +78,9 @@ impl AssessConfig {
             return Err(ConfigError::Invalid("ssim window must be in 2..=32".into()));
         }
         if self.ssim.step == 0 || self.ssim.step > self.ssim.window {
-            return Err(ConfigError::Invalid("ssim step must be in 1..=window".into()));
+            return Err(ConfigError::Invalid(
+                "ssim step must be in 1..=window".into(),
+            ));
         }
         if self.bins == 0 || self.bins > 1 << 16 {
             return Err(ConfigError::Invalid("bins must be in 1..=65536".into()));
@@ -139,9 +146,12 @@ pub struct RunConfig {
 #[derive(Clone, Debug, PartialEq)]
 pub enum ConfigError {
     /// Syntax error at a line.
-    Syntax { /// 1-based line number.
-        line: usize, /// explanation.
-        msg: String },
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// explanation.
+        msg: String,
+    },
     /// Unknown key/section/value.
     Unknown(String),
     /// Semantically invalid parameter.
@@ -200,10 +210,12 @@ pub fn parse(text: &str) -> Result<RunConfig, ConfigError> {
         let key = key.trim();
         let value = value.trim();
         let num = |v: &str| -> Result<f64, ConfigError> {
-            v.parse::<f64>().map_err(|_| ConfigError::Invalid(format!("{key} = {v}")))
+            v.parse::<f64>()
+                .map_err(|_| ConfigError::Invalid(format!("{key} = {v}")))
         };
         let int = |v: &str| -> Result<usize, ConfigError> {
-            v.parse::<usize>().map_err(|_| ConfigError::Invalid(format!("{key} = {v}")))
+            v.parse::<usize>()
+                .map_err(|_| ConfigError::Invalid(format!("{key} = {v}")))
         };
         match (section.as_str(), key) {
             ("assess", "executor") => {
@@ -232,7 +244,9 @@ pub fn parse(text: &str) -> Result<RunConfig, ConfigError> {
             ("compressor", "rate") => rate = Some(num(value)?),
             ("compressor", "keep_bits") => keep_bits = Some(int(value)?),
             (sec, key) => {
-                return Err(ConfigError::Unknown(format!("key '{key}' in section [{sec}]")))
+                return Err(ConfigError::Unknown(format!(
+                    "key '{key}' in section [{sec}]"
+                )))
             }
         }
     }
@@ -244,7 +258,9 @@ pub fn parse(text: &str) -> Result<RunConfig, ConfigError> {
                 (Some(a), None) => ErrorBound::Abs(a),
                 (None, Some(r)) => ErrorBound::Rel(r),
                 (None, None) => {
-                    return Err(ConfigError::Invalid("sz needs abs_bound or rel_bound".into()))
+                    return Err(ConfigError::Invalid(
+                        "sz needs abs_bound or rel_bound".into(),
+                    ))
                 }
                 (Some(_), Some(_)) => {
                     return Err(ConfigError::Invalid(
@@ -268,8 +284,8 @@ pub fn parse(text: &str) -> Result<RunConfig, ConfigError> {
             Some(CompressorChoice::Zfp(r))
         }
         Some("bitgroom") => {
-            let k = keep_bits
-                .ok_or_else(|| ConfigError::Invalid("bitgroom needs keep_bits".into()))?;
+            let k =
+                keep_bits.ok_or_else(|| ConfigError::Invalid("bitgroom needs keep_bits".into()))?;
             if !(1..=23).contains(&k) {
                 return Err(ConfigError::Invalid("keep_bits must be in 1..=23".into()));
             }
@@ -337,7 +353,10 @@ mod tests {
         assert!(!c.assess.metrics.contains(Metric::Psnr));
         assert_eq!(c.assess.bins, 512);
         assert_eq!(c.assess.ssim.window, 16);
-        assert_eq!(c.compressor, Some(CompressorChoice::Sz(ErrorBound::Abs(1e-3))));
+        assert_eq!(
+            c.compressor,
+            Some(CompressorChoice::Sz(ErrorBound::Abs(1e-3)))
+        );
     }
 
     #[test]
@@ -373,9 +392,18 @@ mod tests {
     #[test]
     fn errors_are_informative() {
         assert!(matches!(parse("[bogus]\n"), Err(ConfigError::Unknown(_))));
-        assert!(matches!(parse("[assess]\nnot a kv line\n"), Err(ConfigError::Syntax { .. })));
-        assert!(matches!(parse("[assess]\nexecutor = gpuzc\n"), Err(ConfigError::Unknown(_))));
-        assert!(matches!(parse("[assess]\nbins = many\n"), Err(ConfigError::Invalid(_))));
+        assert!(matches!(
+            parse("[assess]\nnot a kv line\n"),
+            Err(ConfigError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse("[assess]\nexecutor = gpuzc\n"),
+            Err(ConfigError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse("[assess]\nbins = many\n"),
+            Err(ConfigError::Invalid(_))
+        ));
         assert!(matches!(
             parse("[compressor]\nkind = sz\n"),
             Err(ConfigError::Invalid(_))

@@ -44,7 +44,11 @@ fn make_histograms(scalars: &P1Scalars, bins: usize) -> P1Histograms {
         err_pdf: Histogram::new(scalars.min_e, scalars.max_e, bins),
         rel_pdf: Histogram::new(
             0.0,
-            if scalars.n_rel > 0 { scalars.max_rel } else { 0.0 },
+            if scalars.n_rel > 0 {
+                scalars.max_rel
+            } else {
+                0.0
+            },
             bins,
         ),
         value_hist: Histogram::new(scalars.min_x, scalars.max_x, bins),
@@ -99,7 +103,11 @@ fn p2_plane(f: &FieldPair<'_>, mean_e: f64, max_lag: usize, z: usize, w4: usize)
     let at = |arr: &[f32], x: usize, y: usize, z: usize| arr[s.linear([x, y, z, w4])] as f64;
     // Stencils only extend along declared axes (Z-checker's 1D/2D modes).
     let deriv_z_ok = ndim < 3 || (z >= 1 && z + 1 < nz);
-    let (y_lo, y_hi) = if ndim >= 2 { (1, ny.saturating_sub(1)) } else { (0, ny) };
+    let (y_lo, y_hi) = if ndim >= 2 {
+        (1, ny.saturating_sub(1))
+    } else {
+        (0, ny)
+    };
     if deriv_z_ok && nx >= 3 && (ndim < 2 || ny >= 3) {
         for y in y_lo..y_hi {
             for x in 1..nx - 1 {
@@ -138,7 +146,9 @@ fn p2_plane(f: &FieldPair<'_>, mean_e: f64, max_lag: usize, z: usize, w4: usize)
         let y_max = if ndim >= 2 { ny - lag } else { ny };
         for y in 0..y_max {
             for x in 0..nx - lag {
-                let e = |x: usize, y: usize, z: usize| at(f.orig, x, y, z) - at(f.dec, x, y, z) - mean_e;
+                let e = |x: usize, y: usize, z: usize| {
+                    at(f.orig, x, y, z) - at(f.dec, x, y, z) - mean_e
+                };
                 let mut nb = [0.0f64; 3];
                 let mut k = 0;
                 nb[k] = e(x + lag, y, z);
@@ -173,8 +183,9 @@ pub fn p2_scan(f: &FieldPair<'_>, mean_e: f64, max_lag: usize) -> P2Stats {
 /// Parallel pattern-2 scan (one task per z plane).
 pub fn p2_scan_par(f: &FieldPair<'_>, mean_e: f64, max_lag: usize) -> P2Stats {
     let s = f.shape;
-    let planes: Vec<(usize, usize)> =
-        (0..s.nw()).flat_map(|w| (0..s.nz()).map(move |z| (z, w))).collect();
+    let planes: Vec<(usize, usize)> = (0..s.nw())
+        .flat_map(|w| (0..s.nz()).map(move |z| (z, w)))
+        .collect();
     let parts = zc_par::par_map(planes.len(), |i| {
         let (z, w4) = planes[i];
         p2_plane(f, mean_e, max_lag, z, w4)
@@ -200,8 +211,7 @@ impl Svt {
         let s = f.shape;
         let (nx, ny, nz) = (s.nx(), s.ny(), s.nz());
         let (px, py) = (nx + 1, ny + 1);
-        let mut tables: [Vec<f64>; 5] =
-            std::array::from_fn(|_| vec![0.0; px * py * (nz + 1)]);
+        let mut tables: [Vec<f64>; 5] = std::array::from_fn(|_| vec![0.0; px * py * (nz + 1)]);
         let idx = |x: usize, y: usize, z: usize| (z * py + y) * px + x;
         for z in 1..=nz {
             for y in 1..=ny {
@@ -211,14 +221,12 @@ impl Svt {
                     let b = f.dec[lin] as f64;
                     let vals = [a, a * a, b, b * b, a * b];
                     for (t, v) in tables.iter_mut().zip(vals.iter()) {
-                        t[idx(x, y, z)] = v
-                            + t[idx(x - 1, y, z)]
-                            + t[idx(x, y - 1, z)]
-                            + t[idx(x, y, z - 1)]
-                            - t[idx(x - 1, y - 1, z)]
-                            - t[idx(x - 1, y, z - 1)]
-                            - t[idx(x, y - 1, z - 1)]
-                            + t[idx(x - 1, y - 1, z - 1)];
+                        t[idx(x, y, z)] =
+                            v + t[idx(x - 1, y, z)] + t[idx(x, y - 1, z)] + t[idx(x, y, z - 1)]
+                                - t[idx(x - 1, y - 1, z)]
+                                - t[idx(x - 1, y, z - 1)]
+                                - t[idx(x, y - 1, z - 1)]
+                                + t[idx(x - 1, y - 1, z - 1)];
                     }
                 }
             }
@@ -254,8 +262,11 @@ pub fn ssim_scan(f: &FieldPair<'_>, ssim: &SsimSettings, range: f64, parallel: b
         if s.ndim() >= 3 { wsize } else { 1 },
     ];
     let pos = |n: usize, w: usize| if n < w { 0 } else { (n - w) / step + 1 };
-    let (cx, cy, cz) =
-        (pos(s.nx(), sides[0]), pos(s.ny(), sides[1]), pos(s.nz(), sides[2]));
+    let (cx, cy, cz) = (
+        pos(s.nx(), sides[0]),
+        pos(s.ny(), sides[1]),
+        pos(s.nz(), sides[2]),
+    );
     if cx == 0 || cy == 0 || cz == 0 {
         return SsimAcc::default();
     }
@@ -282,10 +293,12 @@ pub fn ssim_scan(f: &FieldPair<'_>, ssim: &SsimSettings, range: f64, parallel: b
             local
         };
         let sub = if parallel {
-            zc_par::par_map(cz, fold_z).into_iter().fold(SsimAcc::default(), |a, b| SsimAcc {
-                sum: a.sum + b.sum,
-                windows: a.windows + b.windows,
-            })
+            zc_par::par_map(cz, fold_z)
+                .into_iter()
+                .fold(SsimAcc::default(), |a, b| SsimAcc {
+                    sum: a.sum + b.sum,
+                    windows: a.windows + b.windows,
+                })
         } else {
             let mut a = SsimAcc::default();
             for wz in 0..cz {
@@ -353,7 +366,12 @@ mod tests {
     fn svt_ssim_matches_brute_force() {
         let (orig, dec) = fields(Shape::d3(18, 14, 12));
         let f = FieldPair::new(&orig, &dec);
-        let settings = SsimSettings { window: 5, step: 2, k1: 0.01, k2: 0.03 };
+        let settings = SsimSettings {
+            window: 5,
+            step: 2,
+            k1: 0.01,
+            k2: 0.03,
+        };
         let got = ssim_scan(&f, &settings, 2.0, false);
         // Brute force.
         let mut want = SsimAcc::default();
@@ -378,7 +396,12 @@ mod tests {
             }
         }
         assert_eq!(got.windows, want.windows);
-        assert!((got.mean() - want.mean()).abs() < 1e-9, "{} vs {}", got.mean(), want.mean());
+        assert!(
+            (got.mean() - want.mean()).abs() < 1e-9,
+            "{} vs {}",
+            got.mean(),
+            want.mean()
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! carrying the derivative metrics), collecting counters, occupancy
 //! profiles (Table II) and modeled times (Figs. 10–12).
 
-use super::{validate, AssessError, Assessment, Executor, PatternProfile, PatternRun, PatternTimes};
+use super::{
+    validate, AssessError, Assessment, Executor, PatternProfile, PatternRun, PatternTimes,
+};
 use crate::config::AssessConfig;
 use crate::metrics::Pattern;
 use crate::report::AnalysisReport;
@@ -31,7 +33,10 @@ pub struct CuZc {
 
 impl Default for CuZc {
     fn default() -> Self {
-        CuZc { sim: GpuSim::v100(), reference_path: false }
+        CuZc {
+            sim: GpuSim::v100(),
+            reference_path: false,
+        }
     }
 }
 
@@ -81,8 +86,9 @@ impl PatternAcc {
     pub(crate) fn add<O>(&mut self, sim: &GpuSim, k: &impl BlockKernel, r: &LaunchResult<O>) {
         let res = k.resources();
         self.iters = self.iters.max(r.counters.iters_per_thread);
-        self.tbs_per_sm =
-            self.tbs_per_sm.max(r.grid_blocks.div_ceil(sim.dev.sms as usize) as u32);
+        self.tbs_per_sm = self
+            .tbs_per_sm
+            .max(r.grid_blocks.div_ceil(sim.dev.sms as usize) as u32);
         self.seconds += r.modeled.total_s;
         self.counters.merge(&r.counters);
         // Table II reports the pattern's *dominant* kernel (the fused
@@ -155,7 +161,11 @@ impl Executor for CuZc {
         counters.merge(&r_scalar.counters);
         let p1 = r_scalar.output;
         let hists = if sel.needs(Pattern::GlobalReduction) {
-            let k_hist = P1HistKernel { fields: f, scalars: p1, bins: cfg.bins };
+            let k_hist = P1HistKernel {
+                fields: f,
+                scalars: p1,
+                bins: cfg.bins,
+            };
             let r_hist = self.launch(&k_hist, k_hist.grid());
             acc1.add(&self.sim, &k_hist, &r_hist);
             counters.merge(&r_hist.counters);
@@ -204,7 +214,11 @@ impl Executor for CuZc {
                 k2: cfg.ssim.k2,
                 range: p1.value_range(),
             };
-            let k = SsimFusedKernel { fields: f, params, fifo_in_shared: true };
+            let k = SsimFusedKernel {
+                fields: f,
+                params,
+                fifo_in_shared: true,
+            };
             let r = self.launch(&k, k.grid());
             acc3.add(&self.sim, &k, &r);
             counters.merge(&r.counters);
@@ -272,11 +286,17 @@ mod tests {
     #[test]
     fn profiles_cover_all_three_patterns() {
         let (orig, dec) = fields();
-        let a = CuZc::default().assess(&orig, &dec, &AssessConfig::default()).unwrap();
+        let a = CuZc::default()
+            .assess(&orig, &dec, &AssessConfig::default())
+            .unwrap();
         assert_eq!(a.profiles.len(), 3);
         let p1 = &a.profiles[0];
         assert_eq!(p1.pattern, Pattern::GlobalReduction);
-        assert!(p1.regs_per_tb >= 14_000, "paper: 14k regs/TB, got {}", p1.regs_per_tb);
+        assert!(
+            p1.regs_per_tb >= 14_000,
+            "paper: 14k regs/TB, got {}",
+            p1.regs_per_tb
+        );
         let p3 = &a.profiles[2];
         assert_eq!(p3.regs_per_tb, 11_008);
         assert!(a.modeled_seconds > 0.0);
@@ -287,15 +307,24 @@ mod tests {
         let (orig, dec) = fields();
         let cfg = AssessConfig::default();
         let fast = CuZc::default().assess(&orig, &dec, &cfg).unwrap();
-        let refr = CuZc { reference_path: true, ..Default::default() }
-            .assess(&orig, &dec, &cfg)
-            .unwrap();
+        let refr = CuZc {
+            reference_path: true,
+            ..Default::default()
+        }
+        .assess(&orig, &dec, &cfg)
+        .unwrap();
         // Same outputs, same counters, same modeled time — only the host
         // wall-clock may differ.
         assert_eq!(fast.counters, refr.counters);
         assert_eq!(fast.modeled_seconds, refr.modeled_seconds);
-        assert_eq!(fast.report.p1.psnr_db().to_bits(), refr.report.p1.psnr_db().to_bits());
-        let (fh, rh) = (fast.report.histograms.unwrap(), refr.report.histograms.unwrap());
+        assert_eq!(
+            fast.report.p1.psnr_db().to_bits(),
+            refr.report.p1.psnr_db().to_bits()
+        );
+        let (fh, rh) = (
+            fast.report.histograms.unwrap(),
+            refr.report.histograms.unwrap(),
+        );
         assert_eq!(fh.err_pdf.counts(), rh.err_pdf.counts());
         let (fs, rs) = (fast.report.ssim.unwrap(), refr.report.ssim.unwrap());
         assert_eq!(fs.windows, rs.windows);

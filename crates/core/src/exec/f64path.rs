@@ -28,7 +28,8 @@ pub fn assess_generic<T: Element>(
     if orig.shape() != dec.shape() {
         return Err(AssessError::ShapeMismatch);
     }
-    cfg.validate().map_err(|e| AssessError::BadConfig(e.to_string()))?;
+    cfg.validate()
+        .map_err(|e| AssessError::BadConfig(e.to_string()))?;
     let non_finite = orig.iter().filter(|v| v.is_non_finite()).count()
         + dec.iter().filter(|v| v.is_non_finite()).count();
     let t0 = Instant::now();
@@ -45,11 +46,7 @@ pub fn assess_generic<T: Element>(
     let hists = if sel.needs(Pattern::GlobalReduction) {
         let mut h = P1Histograms {
             err_pdf: Histogram::new(p1.min_e, p1.max_e, cfg.bins),
-            rel_pdf: Histogram::new(
-                0.0,
-                if p1.n_rel > 0 { p1.max_rel } else { 0.0 },
-                cfg.bins,
-            ),
+            rel_pdf: Histogram::new(0.0, if p1.n_rel > 0 { p1.max_rel } else { 0.0 }, cfg.bins),
             value_hist: Histogram::new(p1.min_x, p1.max_x, cfg.bins),
         };
         for (&x, &y) in orig.iter().zip(dec.iter()) {
@@ -71,11 +68,18 @@ pub fn assess_generic<T: Element>(
         let mu = p1.mean_e();
         let mut st = P2Stats::identity(cfg.max_lag);
         let (nx, ny, nz) = (s.nx(), s.ny(), s.nz());
-        let at = |t: &Tensor<T>, x: usize, y: usize, z: usize, w: usize| {
-            t.at([x, y, z, w]).to_f64()
+        let at =
+            |t: &Tensor<T>, x: usize, y: usize, z: usize, w: usize| t.at([x, y, z, w]).to_f64();
+        let (y_lo, y_hi) = if ndim >= 2 {
+            (1, ny.saturating_sub(1))
+        } else {
+            (0, ny)
         };
-        let (y_lo, y_hi) = if ndim >= 2 { (1, ny.saturating_sub(1)) } else { (0, ny) };
-        let (z_lo, z_hi) = if ndim >= 3 { (1, nz.saturating_sub(1)) } else { (0, nz) };
+        let (z_lo, z_hi) = if ndim >= 3 {
+            (1, nz.saturating_sub(1))
+        } else {
+            (0, nz)
+        };
         for w4 in 0..s.nw() {
             if nx >= 3 && (ndim < 2 || ny >= 3) && (ndim < 3 || nz >= 3) {
                 for z in z_lo..z_hi {
@@ -163,12 +167,7 @@ pub fn assess_generic<T: Element>(
                         for dz in 0..sides[2] {
                             for dy in 0..sides[1] {
                                 for dx in 0..sides[0] {
-                                    let c = [
-                                        wx * step + dx,
-                                        wy * step + dy,
-                                        wz * step + dz,
-                                        w4,
-                                    ];
+                                    let c = [wx * step + dx, wy * step + dy, wz * step + dz, w4];
                                     m.absorb(orig.at(c).to_f64(), dec.at(c).to_f64());
                                 }
                             }
@@ -184,15 +183,7 @@ pub fn assess_generic<T: Element>(
         None
     };
 
-    let report = AnalysisReport::assemble(
-        s,
-        non_finite as u64,
-        p1,
-        hists,
-        p2.as_ref(),
-        ssim,
-        cfg,
-    );
+    let report = AnalysisReport::assemble(s, non_finite as u64, p1, hists, p2.as_ref(), ssim, cfg);
     Ok(Assessment {
         report,
         counters: Counters::default(),
@@ -222,7 +213,10 @@ mod tests {
     #[test]
     fn f64_assessment_produces_all_sections() {
         let (orig, dec) = f64_fields();
-        let cfg = AssessConfig { max_lag: 2, ..Default::default() };
+        let cfg = AssessConfig {
+            max_lag: 2,
+            ..Default::default()
+        };
         let a = assess_generic(&orig, &dec, &cfg).unwrap();
         assert!((a.report.p1.avg_abs_e() - 1.0).abs() < 1e-9);
         assert!(a.report.scalar(Metric::Psnr).unwrap() > 100.0);
@@ -236,7 +230,10 @@ mod tests {
         // An error of 1 part in 1e12 — invisible in f32, visible in f64.
         let orig = Tensor::from_fn(Shape::d2(32, 32), |[x, ..]| 1.0 + x as f64 * 1e-12);
         let dec = orig.map(|v| v + 1e-13);
-        let cfg = AssessConfig { max_lag: 1, ..Default::default() };
+        let cfg = AssessConfig {
+            max_lag: 1,
+            ..Default::default()
+        };
         let a = assess_generic(&orig, &dec, &cfg).unwrap();
         let mse = a.report.scalar(Metric::Mse).unwrap();
         assert!((mse - 1e-26).abs() < 1e-28, "mse {mse}");
@@ -248,7 +245,10 @@ mod tests {
             (x as f32 * 0.3).sin() + y as f32 * 0.01 + (z as f32 * 0.2).cos()
         });
         let dec = orig.map(|v| v + 0.001);
-        let cfg = AssessConfig { max_lag: 2, ..Default::default() };
+        let cfg = AssessConfig {
+            max_lag: 2,
+            ..Default::default()
+        };
         let generic = assess_generic(&orig, &dec, &cfg).unwrap();
         let serial = SerialZc.assess(&orig, &dec, &cfg).unwrap();
         let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-30);

@@ -210,7 +210,8 @@ pub(crate) fn validate(
     if orig.shape() != dec.shape() {
         return Err(AssessError::ShapeMismatch);
     }
-    cfg.validate().map_err(|e| AssessError::BadConfig(e.to_string()))?;
+    cfg.validate()
+        .map_err(|e| AssessError::BadConfig(e.to_string()))?;
     let nf = orig.iter().filter(|v| !v.is_finite()).count()
         + dec.iter().filter(|v| !v.is_finite()).count();
     Ok(nf as u64)

@@ -12,7 +12,9 @@ use crate::metrics::Pattern;
 use crate::report::AnalysisReport;
 use std::time::Instant;
 use zc_gpusim::{Counters, GpuSim};
-use zc_kernels::mo::{MoAutocorrKernel, MoDerivKernel, MoHistKernel, MoHistKind, MoP1Kernel, MoP1Metric};
+use zc_kernels::mo::{
+    MoAutocorrKernel, MoDerivKernel, MoHistKernel, MoHistKind, MoP1Kernel, MoP1Metric,
+};
 use zc_kernels::p3::SsimParams;
 use zc_kernels::{FieldPair, P1Histograms, P2Stats, SsimFusedKernel};
 
@@ -25,7 +27,9 @@ pub struct MoZc {
 
 impl Default for MoZc {
     fn default() -> Self {
-        MoZc { sim: GpuSim::v100() }
+        MoZc {
+            sim: GpuSim::v100(),
+        }
     }
 }
 
@@ -64,8 +68,17 @@ impl Executor for MoZc {
         let p1 = p1.expect("at least one scalar kernel ran");
         let hists = if sel.needs(Pattern::GlobalReduction) {
             let mut outs = Vec::new();
-            for kind in [MoHistKind::ErrPdf, MoHistKind::PwrPdf, MoHistKind::ValueHist] {
-                let k = MoHistKernel { fields: f, scalars: p1, kind, bins: cfg.bins };
+            for kind in [
+                MoHistKind::ErrPdf,
+                MoHistKind::PwrPdf,
+                MoHistKind::ValueHist,
+            ] {
+                let k = MoHistKernel {
+                    fields: f,
+                    scalars: p1,
+                    kind,
+                    bins: cfg.bins,
+                };
                 let r = self.sim.launch(&k, k.grid());
                 acc1.add(&self.sim, &k, &r);
                 counters.merge(&r.counters);
@@ -74,7 +87,11 @@ impl Executor for MoZc {
             let value_hist = outs.pop().expect("three histogram kernels");
             let rel_pdf = outs.pop().expect("three histogram kernels");
             let err_pdf = outs.pop().expect("three histogram kernels");
-            Some(P1Histograms { err_pdf, rel_pdf, value_hist })
+            Some(P1Histograms {
+                err_pdf,
+                rel_pdf,
+                value_hist,
+            })
         } else {
             None
         };
@@ -89,7 +106,11 @@ impl Executor for MoZc {
             // neighbourhood the fused kernel stages once.
             let mut stats = P2Stats::identity(cfg.max_lag);
             for order in [1usize, 2] {
-                let k = MoDerivKernel { fields: f, order, max_lag: cfg.max_lag };
+                let k = MoDerivKernel {
+                    fields: f,
+                    order,
+                    max_lag: cfg.max_lag,
+                };
                 let r = self.sim.launch(&k, k.grid());
                 acc2.add(&self.sim, &k, &r);
                 counters.merge(&r.counters);
@@ -126,7 +147,11 @@ impl Executor for MoZc {
                 k2: cfg.ssim.k2,
                 range: p1.value_range(),
             };
-            let k = SsimFusedKernel { fields: f, params, fifo_in_shared: false };
+            let k = SsimFusedKernel {
+                fields: f,
+                params,
+                fifo_in_shared: false,
+            };
             let r = self.sim.launch(&k, k.grid());
             acc3.add(&self.sim, &k, &r);
             counters.merge(&r.counters);
@@ -181,8 +206,14 @@ mod tests {
         let (ms, cs) = (mo.report.stencil.unwrap(), cu.report.stencil.unwrap());
         assert!(close(ms.avg_gradient_orig, cs.avg_gradient_orig));
         assert!(close(ms.autocorr.values[2], cs.autocorr.values[2]));
-        assert_eq!(mo.report.ssim.unwrap().windows, cu.report.ssim.unwrap().windows);
-        assert!(close(mo.report.ssim.unwrap().mean_ssim, cu.report.ssim.unwrap().mean_ssim));
+        assert_eq!(
+            mo.report.ssim.unwrap().windows,
+            cu.report.ssim.unwrap().windows
+        );
+        assert!(close(
+            mo.report.ssim.unwrap().mean_ssim,
+            cu.report.ssim.unwrap().mean_ssim
+        ));
     }
 
     #[test]

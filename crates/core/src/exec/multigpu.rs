@@ -32,12 +32,20 @@ pub struct MultiCuZc {
 impl MultiCuZc {
     /// NVLink-connected V100s.
     pub fn nvlink(gpus: u32) -> Self {
-        MultiCuZc { gpus, link: MultiGpuModel::nvlink(gpus), inner: CuZc::default() }
+        MultiCuZc {
+            gpus,
+            link: MultiGpuModel::nvlink(gpus),
+            inner: CuZc::default(),
+        }
     }
 
     /// PCIe-connected V100s.
     pub fn pcie(gpus: u32) -> Self {
-        MultiCuZc { gpus, link: MultiGpuModel::pcie(gpus), inner: CuZc::default() }
+        MultiCuZc {
+            gpus,
+            link: MultiGpuModel::pcie(gpus),
+            inner: CuZc::default(),
+        }
     }
 
     /// Halo bytes a device exchanges with one neighbour for a pattern.
@@ -127,7 +135,12 @@ mod tests {
         let cfg = AssessConfig::default();
         let single = CuZc::default().assess(&orig, &dec, &cfg).unwrap();
         let multi = MultiCuZc::nvlink(4).assess(&orig, &dec, &cfg).unwrap();
-        for m in [Metric::Psnr, Metric::Ssim, Metric::Autocorrelation, Metric::Mse] {
+        for m in [
+            Metric::Psnr,
+            Metric::Ssim,
+            Metric::Autocorrelation,
+            Metric::Mse,
+        ] {
             assert_eq!(single.report.scalar(m), multi.report.scalar(m), "{m}");
         }
     }
@@ -136,9 +149,18 @@ mod tests {
     fn more_gpus_reduce_modeled_time() {
         let (orig, dec) = fields();
         let cfg = AssessConfig::default();
-        let t1 = MultiCuZc::nvlink(1).assess(&orig, &dec, &cfg).unwrap().modeled_seconds;
-        let t2 = MultiCuZc::nvlink(2).assess(&orig, &dec, &cfg).unwrap().modeled_seconds;
-        let t4 = MultiCuZc::nvlink(4).assess(&orig, &dec, &cfg).unwrap().modeled_seconds;
+        let t1 = MultiCuZc::nvlink(1)
+            .assess(&orig, &dec, &cfg)
+            .unwrap()
+            .modeled_seconds;
+        let t2 = MultiCuZc::nvlink(2)
+            .assess(&orig, &dec, &cfg)
+            .unwrap()
+            .modeled_seconds;
+        let t4 = MultiCuZc::nvlink(4)
+            .assess(&orig, &dec, &cfg)
+            .unwrap()
+            .modeled_seconds;
         assert!(t2 < t1, "2 GPUs {t2} !< 1 GPU {t1}");
         assert!(t4 < t2, "4 GPUs {t4} !< 2 GPUs {t2}");
         // But never better than the ideal split.
@@ -158,8 +180,14 @@ mod tests {
     fn slower_interconnect_costs_more() {
         let (orig, dec) = fields();
         let cfg = AssessConfig::default();
-        let nv = MultiCuZc::nvlink(8).assess(&orig, &dec, &cfg).unwrap().modeled_seconds;
-        let pcie = MultiCuZc::pcie(8).assess(&orig, &dec, &cfg).unwrap().modeled_seconds;
+        let nv = MultiCuZc::nvlink(8)
+            .assess(&orig, &dec, &cfg)
+            .unwrap()
+            .modeled_seconds;
+        let pcie = MultiCuZc::pcie(8)
+            .assess(&orig, &dec, &cfg)
+            .unwrap()
+            .modeled_seconds;
         assert!(pcie >= nv);
     }
 }

@@ -25,7 +25,9 @@ pub struct OmpZc {
 
 impl Default for OmpZc {
     fn default() -> Self {
-        OmpZc { model: CpuModel::xeon_6148() }
+        OmpZc {
+            model: CpuModel::xeon_6148(),
+        }
     }
 }
 
@@ -195,7 +197,9 @@ mod tests {
             (x as f32 * 0.2).sin() + (y as f32 * 0.15).cos() + z as f32 * 0.01
         });
         let dec = orig.map(|v| v + 0.001);
-        let a = OmpZc::default().assess(&orig, &dec, &AssessConfig::default()).unwrap();
+        let a = OmpZc::default()
+            .assess(&orig, &dec, &AssessConfig::default())
+            .unwrap();
         assert!(a.modeled_seconds > 0.0);
         // SSIM is the most expensive pattern on the CPU (paper Fig. 11).
         assert!(a.pattern_times.p3 > a.pattern_times.p1);
@@ -205,7 +209,9 @@ mod tests {
     #[test]
     fn counters_reflect_metric_at_a_time_passes() {
         let (orig, dec) = fields();
-        let a = OmpZc::default().assess(&orig, &dec, &AssessConfig::default()).unwrap();
+        let a = OmpZc::default()
+            .assess(&orig, &dec, &AssessConfig::default())
+            .unwrap();
         // 17 p1 passes + 12 p2 passes + 1 p3 pass.
         assert_eq!(a.counters.launches, 17 + 12 + 1);
         let n = orig.len() as u64;

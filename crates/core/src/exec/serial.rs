@@ -78,7 +78,9 @@ mod tests {
             (x as f32 * 0.4).sin() + y as f32 * 0.02 + (z as f32 * 0.3).cos()
         });
         let dec = orig.map(|v| v + 0.002);
-        let a = SerialZc.assess(&orig, &dec, &AssessConfig::default()).unwrap();
+        let a = SerialZc
+            .assess(&orig, &dec, &AssessConfig::default())
+            .unwrap();
         assert!(a.report.histograms.is_some());
         assert!(a.report.stencil.is_some());
         assert!(a.report.ssim.is_some());
@@ -92,7 +94,9 @@ mod tests {
         let a = Tensor::<f32>::zeros(Shape::d2(4, 4));
         let b = Tensor::<f32>::zeros(Shape::d2(4, 5));
         assert_eq!(
-            SerialZc.assess(&a, &b, &AssessConfig::default()).unwrap_err(),
+            SerialZc
+                .assess(&a, &b, &AssessConfig::default())
+                .unwrap_err(),
             AssessError::ShapeMismatch
         );
     }
@@ -101,7 +105,10 @@ mod tests {
     fn invalid_config_is_rejected() {
         let t = Tensor::<f32>::zeros(Shape::d2(4, 4));
         let cfg = AssessConfig {
-            ssim: crate::config::SsimSettings { window: 1, ..Default::default() },
+            ssim: crate::config::SsimSettings {
+                window: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert!(matches!(

@@ -119,7 +119,11 @@ pub fn write_pgm_slice(path: &Path, t: &Tensor<f32>, z: usize) -> Result<(), IoE
     for y in 0..ny {
         for x in 0..nx {
             let v = t.at3(x, y, z);
-            let g = if v.is_finite() { ((v - mn) / range * 255.0) as u8 } else { 0 };
+            let g = if v.is_finite() {
+                ((v - mn) / range * 255.0) as u8
+            } else {
+                0
+            };
             w.write_all(&[g])?;
         }
     }
@@ -293,7 +297,10 @@ pub fn read_zcf<T: Element>(path: &Path) -> Result<Tensor<T>, ZcfError> {
     r.read_exact(&mut tag)?;
     let stored = String::from_utf8_lossy(&tag).to_string();
     if stored != T::TAG {
-        return Err(ZcfError::WrongType { stored, requested: T::TAG });
+        return Err(ZcfError::WrongType {
+            stored,
+            requested: T::TAG,
+        });
     }
     r.read_exact(&mut b1)?;
     let ndim = b1[0] as usize;
@@ -321,7 +328,10 @@ pub fn read_zcf<T: Element>(path: &Path) -> Result<Tensor<T>, ZcfError> {
     if r.read(&mut extra)? != 0 {
         return Err(ZcfError::BadHeader("trailing bytes after payload"));
     }
-    let data: Vec<T> = payload.chunks_exact(T::BYTES).map(T::from_le_slice).collect();
+    let data: Vec<T> = payload
+        .chunks_exact(T::BYTES)
+        .map(T::from_le_slice)
+        .collect();
     Ok(Tensor::from_vec(shape, data).expect("length checked"))
 }
 

@@ -37,6 +37,7 @@
 //! assert!(result.report.scalar(Metric::Ssim).unwrap() > 0.9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;

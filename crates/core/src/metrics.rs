@@ -145,8 +145,9 @@ impl Metric {
         match self {
             MinValue | MaxValue | ValueRange | MeanValue | Variance | Entropy | MinError
             | MaxError | AvgError | MaxAbsError | ErrorPdf | MinPwrError | MaxPwrError
-            | AvgPwrError | PwrErrorPdf | Mse | Rmse | Nrmse | Snr | Psnr
-            | PearsonCorrelation => Pattern::GlobalReduction,
+            | AvgPwrError | PwrErrorPdf | Mse | Rmse | Nrmse | Snr | Psnr | PearsonCorrelation => {
+                Pattern::GlobalReduction
+            }
             Derivative1 | Derivative2 | Divergence | Laplacian | Autocorrelation
             | DerivativeMse => Pattern::Stencil,
             Ssim => Pattern::SlidingWindow,
@@ -215,18 +216,25 @@ pub struct MetricSelection {
 impl MetricSelection {
     /// Everything (the paper's Fig. 10 configuration).
     pub fn all() -> Self {
-        MetricSelection { enabled: Metric::ALL.into_iter().collect() }
+        MetricSelection {
+            enabled: Metric::ALL.into_iter().collect(),
+        }
     }
 
     /// Nothing — build up with [`MetricSelection::with`].
     pub fn none() -> Self {
-        MetricSelection { enabled: BTreeSet::new() }
+        MetricSelection {
+            enabled: BTreeSet::new(),
+        }
     }
 
     /// Only the metrics of one pattern (the Fig. 11/12 configuration).
     pub fn pattern(p: Pattern) -> Self {
         MetricSelection {
-            enabled: Metric::ALL.into_iter().filter(|m| m.pattern() == p).collect(),
+            enabled: Metric::ALL
+                .into_iter()
+                .filter(|m| m.pattern() == p)
+                .collect(),
         }
     }
 
@@ -271,9 +279,16 @@ impl Default for MetricSelection {
 /// Render the paper's Table I from the registry.
 pub fn classification_table() -> String {
     let mut out = String::from("Pattern-oriented metrics classification (paper Table I)\n");
-    for p in [Pattern::GlobalReduction, Pattern::Stencil, Pattern::SlidingWindow] {
-        let members: Vec<&str> =
-            Metric::ALL.iter().filter(|m| m.pattern() == p).map(|m| m.key()).collect();
+    for p in [
+        Pattern::GlobalReduction,
+        Pattern::Stencil,
+        Pattern::SlidingWindow,
+    ] {
+        let members: Vec<&str> = Metric::ALL
+            .iter()
+            .filter(|m| m.pattern() == p)
+            .map(|m| m.key())
+            .collect();
         out.push_str(&format!("{:<18} | {}\n", p.label(), members.join(", ")));
     }
     out
@@ -314,8 +329,10 @@ mod tests {
         }
         // Category III: SSIM alone.
         assert_eq!(Metric::Ssim.pattern(), Pattern::SlidingWindow);
-        let p3: Vec<_> =
-            Metric::ALL.iter().filter(|m| m.pattern() == Pattern::SlidingWindow).collect();
+        let p3: Vec<_> = Metric::ALL
+            .iter()
+            .filter(|m| m.pattern() == Pattern::SlidingWindow)
+            .collect();
         assert_eq!(p3.len(), 1);
     }
 
@@ -340,7 +357,11 @@ mod tests {
     #[test]
     fn all_selection_needs_every_pattern() {
         let s = MetricSelection::all();
-        for p in [Pattern::GlobalReduction, Pattern::Stencil, Pattern::SlidingWindow] {
+        for p in [
+            Pattern::GlobalReduction,
+            Pattern::Stencil,
+            Pattern::SlidingWindow,
+        ] {
             assert!(s.needs(p));
         }
         assert_eq!(s.len(), Metric::ALL.len());

@@ -38,7 +38,9 @@ pub fn assess_compression(
     cfg: &AssessConfig,
 ) -> Result<Assessment, PipelineError> {
     let (dec, stats) = compressor.roundtrip(orig).map_err(PipelineError::Codec)?;
-    let mut a = executor.assess(orig, &dec, cfg).map_err(PipelineError::Assess)?;
+    let mut a = executor
+        .assess(orig, &dec, cfg)
+        .map_err(PipelineError::Assess)?;
     a.report = a.report.with_compression(stats);
     Ok(a)
 }
@@ -79,10 +81,7 @@ mod tests {
                     stats: Default::default(),
                 }
             }
-            fn decompress(
-                &self,
-                _c: &zc_compress::Compressed,
-            ) -> Result<Tensor<f32>, CodecError> {
+            fn decompress(&self, _c: &zc_compress::Compressed) -> Result<Tensor<f32>, CodecError> {
                 Err(CodecError::Corrupt("always broken"))
             }
         }

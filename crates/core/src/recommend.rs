@@ -106,7 +106,9 @@ pub fn recommend(
         let (dec, stats) = compressor
             .roundtrip(orig)
             .map_err(|e| RecommendError::Codec(name.to_string(), e))?;
-        let a = executor.assess(orig, &dec, cfg).map_err(RecommendError::Assess)?;
+        let a = executor
+            .assess(orig, &dec, cfg)
+            .map_err(RecommendError::Assess)?;
         let get = |m: Metric| a.report.scalar(m).unwrap_or(f64::NAN);
         let psnr = get(Metric::Psnr);
         let ssim = get(Metric::Ssim);
@@ -155,9 +157,11 @@ pub fn recommend(
         });
     }
     verdicts.sort_by(|a, b| {
-        b.passes
-            .cmp(&a.passes)
-            .then(b.ratio.partial_cmp(&a.ratio).unwrap_or(std::cmp::Ordering::Equal))
+        b.passes.cmp(&a.passes).then(
+            b.ratio
+                .partial_cmp(&a.ratio)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
     });
     Ok(verdicts)
 }
@@ -207,7 +211,10 @@ mod tests {
             ("sz rel=1e-5", &tight),
             ("zfp rate=2", &coarse),
         ];
-        let criteria = QualityCriteria { min_psnr_db: Some(60.0), ..Default::default() };
+        let criteria = QualityCriteria {
+            min_psnr_db: Some(60.0),
+            ..Default::default()
+        };
         let v = recommend(&f, &cands, &criteria, &AssessConfig::default(), &SerialZc).unwrap();
         // The coarse fixed-rate codec must fail the PSNR bar.
         let zfp = v.iter().find(|x| x.name.starts_with("zfp")).unwrap();
@@ -250,8 +257,10 @@ mod tests {
         let zfp = ZfpLikeCompressor::new(6.0);
         let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
         let cands: Vec<(&str, &dyn Compressor)> = vec![("zfp", &zfp), ("sz", &sz)];
-        let criteria =
-            QualityCriteria { max_autocorr_abs: Some(0.2), ..Default::default() };
+        let criteria = QualityCriteria {
+            max_autocorr_abs: Some(0.2),
+            ..Default::default()
+        };
         let v = recommend(&f, &cands, &criteria, &AssessConfig::default(), &SerialZc).unwrap();
         let sz_v = v.iter().find(|x| x.name == "sz").unwrap();
         assert!(

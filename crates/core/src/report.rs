@@ -3,8 +3,8 @@
 use crate::config::AssessConfig;
 use crate::metrics::{Metric, MetricSelection};
 use zc_compress::CompressionStats;
-use zc_kernels::{P1Histograms, P1Scalars, P2Stats};
 use zc_kernels::p3::SsimAcc;
+use zc_kernels::{P1Histograms, P1Scalars, P2Stats};
 use zc_tensor::Shape;
 
 /// Autocorrelation results for lags `1..=max_lag`.
@@ -88,9 +88,20 @@ impl AnalysisReport {
                 },
             }
         });
-        let ssim = ssim.map(|a| SsimReport { mean_ssim: a.mean(), windows: a.windows });
+        let ssim = ssim.map(|a| SsimReport {
+            mean_ssim: a.mean(),
+            windows: a.windows,
+        });
         let _ = cfg;
-        AnalysisReport { shape, non_finite, p1, histograms: hists, stencil, ssim, compression: None }
+        AnalysisReport {
+            shape,
+            non_finite,
+            p1,
+            histograms: hists,
+            stencil,
+            ssim,
+            compression: None,
+        }
     }
 
     /// Attach compression statistics.
@@ -101,7 +112,9 @@ impl AnalysisReport {
 
     /// Shannon entropy of the value distribution, if histograms were built.
     pub fn entropy_bits(&self) -> Option<f64> {
-        self.histograms.as_ref().map(|h| h.value_hist.entropy_bits())
+        self.histograms
+            .as_ref()
+            .map(|h| h.value_hist.entropy_bits())
     }
 
     /// Look up a scalar metric value by registry entry (`None` for
@@ -143,9 +156,7 @@ impl AnalysisReport {
             Ssim => return self.ssim.map(|s| s.mean_ssim),
             ErrorPdf | PwrErrorPdf => return None,
             CompressionRatio => return self.compression.map(|c| c.ratio()),
-            CompressionThroughput => {
-                return self.compression.map(|c| c.compress_throughput_gbs())
-            }
+            CompressionThroughput => return self.compression.map(|c| c.compress_throughput_gbs()),
             DecompressionThroughput => {
                 return self.compression.map(|c| c.decompress_throughput_gbs())
             }
@@ -155,9 +166,16 @@ impl AnalysisReport {
     /// Render a Z-checker-style text report of the enabled metrics.
     pub fn render(&self, selection: &MetricSelection) -> String {
         let mut out = String::new();
-        out.push_str(&format!("shape: {}   elements: {}\n", self.shape, self.shape.len()));
+        out.push_str(&format!(
+            "shape: {}   elements: {}\n",
+            self.shape,
+            self.shape.len()
+        ));
         if self.non_finite > 0 {
-            out.push_str(&format!("WARNING: {} non-finite input elements\n", self.non_finite));
+            out.push_str(&format!(
+                "WARNING: {} non-finite input elements\n",
+                self.non_finite
+            ));
         }
         for m in selection.iter() {
             if let Some(v) = self.scalar(m) {
@@ -166,7 +184,10 @@ impl AnalysisReport {
         }
         if let (true, Some(st)) = (selection.contains(Metric::Autocorrelation), &self.stencil) {
             for (i, v) in st.autocorr.values.iter().enumerate() {
-                out.push_str(&format!("autocorr(lag={:<2})            = {v:.6e}\n", i + 1));
+                out.push_str(&format!(
+                    "autocorr(lag={:<2})            = {v:.6e}\n",
+                    i + 1
+                ));
             }
         }
         if let (true, Some(ss)) = (selection.contains(Metric::Ssim), &self.ssim) {
@@ -197,7 +218,10 @@ mod tests {
             p1_fixture(),
             None,
             None,
-            Some(SsimAcc { sum: 1.8, windows: 2 }),
+            Some(SsimAcc {
+                sum: 1.8,
+                windows: 2,
+            }),
             &AssessConfig::default(),
         );
         assert_eq!(r.scalar(Metric::MinValue), Some(0.0));
@@ -236,6 +260,8 @@ mod tests {
             None,
             &AssessConfig::default(),
         );
-        assert!(r.render(&MetricSelection::all()).contains("WARNING: 3 non-finite"));
+        assert!(r
+            .render(&MetricSelection::all())
+            .contains("WARNING: 3 non-finite"));
     }
 }

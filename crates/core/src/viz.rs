@@ -26,7 +26,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// An inline SVG line/area chart over `(x, y)` points.
@@ -35,12 +37,16 @@ pub fn svg_line_chart(title: &str, xs: &[f64], ys: &[f64], x_label: &str) -> Str
     if xs.is_empty() {
         return format!("<p>{} — no data</p>", esc(title));
     }
-    let (x0, x1) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
-        (a.min(v), b.max(v))
-    });
-    let (mut y0, mut y1) = ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
-        (a.min(v), b.max(v))
-    });
+    let (x0, x1) = xs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
+    let (mut y0, mut y1) = ys
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
     if y1 <= y0 || y1.is_nan() || y0.is_nan() {
         y0 -= 0.5;
         y1 += 0.5;
@@ -48,8 +54,11 @@ pub fn svg_line_chart(title: &str, xs: &[f64], ys: &[f64], x_label: &str) -> Str
     let xr = if x1 > x0 { x1 - x0 } else { 1.0 };
     let sx = |v: f64| ML + (v - x0) / xr * (W - ML - MR);
     let sy = |v: f64| H - MB - (v - y0) / (y1 - y0) * (H - MB - MT);
-    let pts: Vec<String> =
-        xs.iter().zip(ys.iter()).map(|(&x, &y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+    let pts: Vec<String> = xs
+        .iter()
+        .zip(ys.iter())
+        .map(|(&x, &y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+        .collect();
     let mut out = String::new();
     out.push_str(&format!(
         "<figure><figcaption>{}</figcaption><svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\">",
@@ -134,7 +143,11 @@ pub fn svg_bar_chart(title: &str, labels: &[String], ys: &[f64]) -> String {
     }
     for (i, (&y, label)) in ys.iter().zip(labels.iter()).enumerate() {
         let x = ML + bw * i as f64 + bw * 0.15;
-        let (top, h) = if y >= 0.0 { (sy(y), zero_y - sy(y)) } else { (zero_y, sy(y) - zero_y) };
+        let (top, h) = if y >= 0.0 {
+            (sy(y), zero_y - sy(y))
+        } else {
+            (zero_y, sy(y) - zero_y)
+        };
         out.push_str(&format!(
             "<rect x=\"{x:.1}\" y=\"{top:.1}\" width=\"{:.1}\" height=\"{h:.1}\" fill=\"#2563ab\"/>",
             bw * 0.7
@@ -190,7 +203,11 @@ pub fn html_report(title: &str, a: &Assessment, sel: &MetricSelection) -> String
     // Distribution charts.
     if let Some(h) = &a.report.histograms {
         body.push_str("<h2>Distributions</h2>");
-        body.push_str(&histogram_chart("Compression error PDF", &h.err_pdf, "error"));
+        body.push_str(&histogram_chart(
+            "Compression error PDF",
+            &h.err_pdf,
+            "error",
+        ));
         if h.rel_pdf.total() > 0 {
             body.push_str(&histogram_chart(
                 "Pointwise-relative error PDF",
@@ -198,13 +215,18 @@ pub fn html_report(title: &str, a: &Assessment, sel: &MetricSelection) -> String
                 "|error / value|",
             ));
         }
-        body.push_str(&histogram_chart("Value distribution", &h.value_hist, "value"));
+        body.push_str(&histogram_chart(
+            "Value distribution",
+            &h.value_hist,
+            "value",
+        ));
     }
 
     // Autocorrelation stems.
     if let (true, Some(st)) = (sel.contains(Metric::Autocorrelation), &a.report.stencil) {
-        let labels: Vec<String> =
-            (1..=st.autocorr.values.len()).map(|l| l.to_string()).collect();
+        let labels: Vec<String> = (1..=st.autocorr.values.len())
+            .map(|l| l.to_string())
+            .collect();
         body.push_str("<h2>Error autocorrelation</h2>");
         body.push_str(&svg_bar_chart(
             "Autocorrelation by spatial lag",
@@ -276,7 +298,9 @@ mod tests {
             (x as f32 * 0.3).sin() + y as f32 * 0.02 + (z as f32 * 0.5).cos()
         });
         let dec = orig.map(|v| v + 0.002 * (v * 9.0).sin());
-        CuZc::default().assess(&orig, &dec, &AssessConfig::default()).unwrap()
+        CuZc::default()
+            .assess(&orig, &dec, &AssessConfig::default())
+            .unwrap()
     }
 
     #[test]
@@ -286,7 +310,11 @@ mod tests {
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains("</html>"));
         // One SVG per distribution + the autocorrelation stems.
-        assert!(html.matches("<svg").count() >= 4, "{}", html.matches("<svg").count());
+        assert!(
+            html.matches("<svg").count() >= 4,
+            "{}",
+            html.matches("<svg").count()
+        );
         assert!(html.contains("psnr"));
         assert!(html.contains("Autocorrelation"));
         assert!(html.contains("Regs/TB"));

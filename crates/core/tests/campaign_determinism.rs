@@ -13,9 +13,9 @@
 //! Kept as a single `#[test]` because the worker-count override is
 //! process-global.
 
+use zc_compress::{CompressorSpec, ErrorBound};
 use zc_core::campaign::{CampaignReport, CampaignSpec, FieldRef, FleetSpec};
 use zc_core::AssessConfig;
-use zc_compress::{CompressorSpec, ErrorBound};
 use zc_data::{AppDataset, GenOptions};
 
 /// SplitMix64 case generator (no external property-testing dependency).
@@ -40,7 +40,11 @@ fn draw_campaign(rng: &mut Rng) -> CampaignSpec {
     let opts = GenOptions::scaled(32).with_seed(rng.next() % 8);
     let n_fields = 1 + (rng.next() % 2) as usize;
     let fields = (0..dataset.field_count().min(n_fields))
-        .map(|index| FieldRef { dataset, index, opts })
+        .map(|index| FieldRef {
+            dataset,
+            index,
+            opts,
+        })
         .collect();
     let all_compressors = [
         CompressorSpec::Sz(ErrorBound::Rel(1e-3)),
@@ -52,7 +56,11 @@ fn draw_campaign(rng: &mut Rng) -> CampaignSpec {
     CampaignSpec {
         fields,
         compressors,
-        cfg: AssessConfig { max_lag: 3, bins: 32, ..Default::default() },
+        cfg: AssessConfig {
+            max_lag: 3,
+            bins: 32,
+            ..Default::default()
+        },
         fleet: FleetSpec::nvlink(rng.pick(&[1u32, 2, 4])),
     }
 }
@@ -96,7 +104,10 @@ fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, ctx: &str) {
         }
     }
     assert_eq!(a.totals, b.totals, "{ctx}: merged counters");
-    assert_eq!(a.fleet.busy_s, b.fleet.busy_s, "{ctx}: per-group busy seconds");
+    assert_eq!(
+        a.fleet.busy_s, b.fleet.busy_s,
+        "{ctx}: per-group busy seconds"
+    );
     for (name, va, vb) in [
         ("makespan", a.fleet.makespan_s, b.fleet.makespan_s),
         ("jobs_per_sec", a.fleet.jobs_per_sec, b.fleet.jobs_per_sec),

@@ -7,19 +7,27 @@
 //! completes — exercised here with the fault-injection codec
 //! (`CompressorSpec::FailDecode`), plus the empty-campaign edge cases.
 
+use zc_compress::{CompressorSpec, ErrorBound};
 use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, JobOutcome};
 use zc_core::AssessConfig;
-use zc_compress::{CompressorSpec, ErrorBound};
 use zc_data::{AppDataset, GenOptions};
 
 fn fields(dataset: AppDataset, n: usize) -> Vec<FieldRef> {
     (0..n.min(dataset.field_count()))
-        .map(|index| FieldRef { dataset, index, opts: GenOptions::scaled(32) })
+        .map(|index| FieldRef {
+            dataset,
+            index,
+            opts: GenOptions::scaled(32),
+        })
         .collect()
 }
 
 fn small_cfg() -> AssessConfig {
-    AssessConfig { max_lag: 3, bins: 32, ..Default::default() }
+    AssessConfig {
+        max_lag: 3,
+        bins: 32,
+        ..Default::default()
+    }
 }
 
 #[test]

@@ -17,9 +17,19 @@ fn tmpdir(tag: &str) -> PathBuf {
 #[test]
 fn demo_run_prints_a_full_report() {
     let out = cuzc().arg("--demo").output().expect("spawn cuzc");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for needle in ["psnr", "ssim", "autocorr", "compression_ratio", "modeled platform time"] {
+    for needle in [
+        "psnr",
+        "ssim",
+        "autocorr",
+        "compression_ratio",
+        "modeled platform time",
+    ] {
         assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
     }
 }
@@ -67,10 +77,17 @@ fn file_pipeline_with_explicit_decompressed_field() {
         .arg(&dec_path)
         .output()
         .expect("spawn cuzc");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // Constant error of 1e-3 (up to f32 rounding): parse avg_err back.
-    let avg_line = stdout.lines().find(|l| l.starts_with("avg_err")).expect("avg_err line");
+    let avg_line = stdout
+        .lines()
+        .find(|l| l.starts_with("avg_err"))
+        .expect("avg_err line");
     let value: f64 = avg_line.split('=').nth(1).unwrap().trim().parse().unwrap();
     assert!((value - 1e-3).abs() < 1e-6, "{avg_line}");
     std::fs::remove_dir_all(&dir).ok();
@@ -86,11 +103,17 @@ fn bad_arguments_fail_cleanly() {
     let out = cuzc().arg("--shape").output().unwrap();
     assert!(!out.status.success());
     // Bad shape.
-    let out = cuzc().args(["--input", "/nonexistent", "--shape", "axb"]).output().unwrap();
+    let out = cuzc()
+        .args(["--input", "/nonexistent", "--shape", "axb"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad shape"));
     // Missing input file.
-    let out = cuzc().args(["--input", "/nonexistent.f32", "--shape", "4x4x4"]).output().unwrap();
+    let out = cuzc()
+        .args(["--input", "/nonexistent.f32", "--shape", "4x4x4"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 

@@ -32,8 +32,9 @@ use zc_tensor::{Shape, Tensor};
 fn golden_pair() -> (Tensor<f32>, Tensor<f32>) {
     let shape = Shape::d3(32, 32, 32);
     let mut rng = Rng64::new(0x5EED_601D);
-    let orig: Vec<f32> =
-        (0..shape.len()).map(|_| rng.uniform_in(-1.0, 1.0) as f32).collect();
+    let orig: Vec<f32> = (0..shape.len())
+        .map(|_| rng.uniform_in(-1.0, 1.0) as f32)
+        .collect();
     let dec: Vec<f32> = orig
         .iter()
         .map(|&v| v + rng.uniform_in(-1e-3, 1e-3) as f32)
@@ -77,7 +78,9 @@ const GOLDEN_SCALARS: &[(Metric, f64)] = &[
 #[test]
 fn serial_scalars_match_golden_constants_exactly() {
     let (orig, dec) = golden_pair();
-    let a = SerialZc.assess(&orig, &dec, &AssessConfig::default()).unwrap();
+    let a = SerialZc
+        .assess(&orig, &dec, &AssessConfig::default())
+        .unwrap();
     for &(m, want) in GOLDEN_SCALARS {
         let got = a.report.scalar(m).unwrap_or_else(|| panic!("{m} missing"));
         assert_eq!(
@@ -93,7 +96,9 @@ fn serial_scalars_match_golden_constants_exactly() {
 #[ignore = "regenerates the golden constant block; run with --nocapture"]
 fn regen() {
     let (orig, dec) = golden_pair();
-    let a = SerialZc.assess(&orig, &dec, &AssessConfig::default()).unwrap();
+    let a = SerialZc
+        .assess(&orig, &dec, &AssessConfig::default())
+        .unwrap();
     println!("const GOLDEN_SCALARS: &[(Metric, f64)] = &[");
     for &(m, _) in GOLDEN_SCALARS {
         println!("    (Metric::{m:?}, {:?}),", a.report.scalar(m).unwrap());

@@ -12,6 +12,7 @@
 //! lines without network access. Swap in the real criterion by replacing
 //! the `path` dependency with a registry version where one is available.
 
+#![forbid(unsafe_code)]
 use std::time::{Duration, Instant};
 
 /// Re-exported hint barrier (criterion exposes its own `black_box`).
@@ -36,7 +37,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Compose an id from a function name and a parameter display value.
     pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
@@ -49,7 +52,11 @@ pub struct Criterion {
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 
@@ -142,7 +149,10 @@ fn report(group: &str, id: &str, ns: f64, throughput: Option<Throughput>) {
     };
     let rate = match throughput {
         Some(Throughput::Bytes(b)) => {
-            format!("  {:.3} GiB/s", b as f64 / (ns * 1e-9) / (1u64 << 30) as f64)
+            format!(
+                "  {:.3} GiB/s",
+                b as f64 / (ns * 1e-9) / (1u64 << 30) as f64
+            )
         }
         Some(Throughput::Elements(e)) => {
             format!("  {:.3} Melem/s", e as f64 / (ns * 1e-9) / 1e6)

@@ -38,20 +38,32 @@ pub struct GenOptions {
 impl GenOptions {
     /// Full-size datasets (paper shapes), default seed.
     pub fn full() -> Self {
-        GenOptions { scale: 1, scale_z: 1, seed: 0 }
+        GenOptions {
+            scale: 1,
+            scale_z: 1,
+            seed: 0,
+        }
     }
 
     /// Datasets scaled down by `scale` on every axis.
     pub fn scaled(scale: usize) -> Self {
         assert!(scale >= 1);
-        GenOptions { scale, scale_z: scale, seed: 0 }
+        GenOptions {
+            scale,
+            scale_z: scale,
+            seed: 0,
+        }
     }
 
     /// Benchmark scaling: x/y divided by `scale`, z by at most 2 (preserves
     /// the z-geometry the paper's per-dataset observations depend on).
     pub fn scaled_xy(scale: usize) -> Self {
         assert!(scale >= 1);
-        GenOptions { scale, scale_z: scale.min(2), seed: 0 }
+        GenOptions {
+            scale,
+            scale_z: scale.min(2),
+            seed: 0,
+        }
     }
 
     /// Same scale, different random instance.
@@ -81,8 +93,12 @@ type Entry = (&'static str, FieldKind, (f64, f64));
 
 impl AppDataset {
     /// The paper's four evaluation datasets, in presentation order.
-    pub const ALL: [AppDataset; 4] =
-        [AppDataset::Hurricane, AppDataset::Nyx, AppDataset::ScaleLetkf, AppDataset::Miranda];
+    pub const ALL: [AppDataset; 4] = [
+        AppDataset::Hurricane,
+        AppDataset::Nyx,
+        AppDataset::ScaleLetkf,
+        AppDataset::Miranda,
+    ];
 
     /// All datasets including the 2D CESM-ATM extension.
     pub const ALL_EXTENDED: [AppDataset; 5] = [
@@ -123,7 +139,8 @@ impl AppDataset {
 
     /// Shape after applying `opts.scale` / `opts.scale_z`.
     pub fn shape(self, opts: &GenOptions) -> Shape {
-        self.full_shape().scaled_down_axes([opts.scale, opts.scale, opts.scale_z, 1])
+        self.full_shape()
+            .scaled_down_axes([opts.scale, opts.scale, opts.scale_z, 1])
     }
 
     fn roster(self) -> &'static [Entry] {
@@ -221,21 +238,18 @@ impl AppDataset {
         assert!(steps >= 1);
         let (name, kind, range) = self.roster()[index];
         let s3 = self.shape(opts);
-        let shape = Shape::new(&[s3.nx(), s3.ny(), s3.nz(), steps])
-            .expect("catalog shapes are valid");
-        let data = synthesize_evolving(
-            kind,
-            self.field_seed(index, opts),
-            shape,
-            range,
-            Some(0.04),
-        );
+        let shape =
+            Shape::new(&[s3.nx(), s3.ny(), s3.nz(), steps]).expect("catalog shapes are valid");
+        let data =
+            synthesize_evolving(kind, self.field_seed(index, opts), shape, range, Some(0.04));
         Field { name, data }
     }
 
     /// Generate every field of the dataset.
     pub fn generate_all(self, opts: &GenOptions) -> Vec<Field> {
-        (0..self.field_count()).map(|i| self.generate_field(i, opts)).collect()
+        (0..self.field_count())
+            .map(|i| self.generate_field(i, opts))
+            .collect()
     }
 }
 
@@ -256,9 +270,15 @@ mod tests {
 
     #[test]
     fn paper_shapes_and_field_counts() {
-        assert_eq!(AppDataset::Hurricane.full_shape().dims(), [500, 500, 100, 1]);
+        assert_eq!(
+            AppDataset::Hurricane.full_shape().dims(),
+            [500, 500, 100, 1]
+        );
         assert_eq!(AppDataset::Nyx.full_shape().dims(), [512, 512, 512, 1]);
-        assert_eq!(AppDataset::ScaleLetkf.full_shape().dims(), [1200, 1200, 98, 1]);
+        assert_eq!(
+            AppDataset::ScaleLetkf.full_shape().dims(),
+            [1200, 1200, 98, 1]
+        );
         assert_eq!(AppDataset::Miranda.full_shape().dims(), [384, 384, 256, 1]);
         assert_eq!(AppDataset::Hurricane.field_count(), 13);
         assert_eq!(AppDataset::Nyx.field_count(), 6);
@@ -336,7 +356,10 @@ mod tests {
         let f = AppDataset::CesmAtm.generate_field(4, &GenOptions::scaled(32));
         assert!(!f.data.has_non_finite());
         let (mn, mx) = f.data.min_max().unwrap();
-        assert!(mn >= 215.0 - 1.0 && mx <= 315.0 + 1.0, "TS range [{mn},{mx}]");
+        assert!(
+            mn >= 215.0 - 1.0 && mx <= 315.0 + 1.0,
+            "TS range [{mn},{mx}]"
+        );
     }
 
     #[test]

@@ -139,7 +139,11 @@ pub fn synthesize_evolving(
             for x in 0..nx {
                 let uu = x as f64 * ix + t_off;
                 let unit = kind.eval(wseed, uu, vy, wz);
-                let t = if kind.signed() { (unit + 1.0) * 0.5 } else { unit };
+                let t = if kind.signed() {
+                    (unit + 1.0) * 0.5
+                } else {
+                    unit
+                };
                 chunk[x + y * nx] = (lo + (hi - lo) * t) as f32;
             }
         }
@@ -177,7 +181,10 @@ mod tests {
             let t = synthesize(kind, 3, s, (-50.0, 50.0));
             assert!(!t.has_non_finite(), "{kind:?}");
             let (mn, mx) = t.min_max().unwrap();
-            assert!(mn >= -50.0 - 1e-3 && mx <= 50.0 + 1e-3, "{kind:?}: [{mn},{mx}]");
+            assert!(
+                mn >= -50.0 - 1e-3 && mx <= 50.0 + 1e-3,
+                "{kind:?}: [{mn},{mx}]"
+            );
         }
     }
 
@@ -198,7 +205,10 @@ mod tests {
         let s = Shape::d3(32, 32, 16);
         let t = synthesize(FieldKind::LogClustered, 5, s, (0.0, 1.0));
         let (mn, mx) = t.min_max().unwrap();
-        assert!(mx / mn.max(1e-12) > 1e2, "dynamic range too small: {mn}..{mx}");
+        assert!(
+            mx / mn.max(1e-12) > 1e2,
+            "dynamic range too small: {mn}..{mx}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! assert!(!field.data.has_non_finite());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod catalog;

@@ -26,7 +26,13 @@ pub struct NoiseSpec {
 impl NoiseSpec {
     /// Convenience constructor with lacunarity 2 and gain 0.5.
     pub fn new(seed: u64, frequency: f64, octaves: u32) -> Self {
-        NoiseSpec { seed, frequency, octaves, lacunarity: 2.0, gain: 0.5 }
+        NoiseSpec {
+            seed,
+            frequency,
+            octaves,
+            lacunarity: 2.0,
+            gain: 0.5,
+        }
     }
 }
 
@@ -154,6 +160,11 @@ mod tests {
         };
         // Amplitude normalization damps the base octave in the 6-octave sum,
         // so the net fine-detail gain is moderate; 1.25x is the robust bound.
-        assert!(rough(6) > rough(1) * 1.25, "rough(6)={}, rough(1)={}", rough(6), rough(1));
+        assert!(
+            rough(6) > rough(1) * 1.25,
+            "rough(6)={}, rough(1)={}",
+            rough(6),
+            rough(1)
+        );
     }
 }

@@ -51,7 +51,9 @@ impl Rng64 {
     /// Seed via SplitMix64 expansion (the reference seeding procedure).
     pub fn new(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Rng64 { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+        Rng64 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
     }
 
     /// Next 64 random bits.

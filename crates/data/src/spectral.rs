@@ -36,7 +36,10 @@ fn c_mul(a: Complex, b: Complex) -> Complex {
 /// transform and the 1/N normalization.
 pub fn fft_1d(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "fft length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "fft length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -130,7 +133,11 @@ pub struct GrfSpec {
 impl GrfSpec {
     /// Kolmogorov-like turbulence spectrum.
     pub fn kolmogorov(seed: u64) -> Self {
-        GrfSpec { seed, alpha: -11.0 / 3.0, k_min: 1.0 }
+        GrfSpec {
+            seed,
+            alpha: -11.0 / 3.0,
+            k_min: 1.0,
+        }
     }
 }
 
@@ -149,7 +156,11 @@ pub fn gaussian_random_field(spec: &GrfSpec, shape: Shape) -> Tensor<f32> {
     let mut grid = vec![(0.0f64, 0.0f64); nx * ny * nz];
     let kfreq = |i: usize, n: usize| -> f64 {
         // Signed grid frequency: 0, 1, ..., n/2, -(n/2-1), ..., -1.
-        let k = if i <= n / 2 { i as isize } else { i as isize - n as isize };
+        let k = if i <= n / 2 {
+            i as isize
+        } else {
+            i as isize - n as isize
+        };
         k as f64
     };
     for z in 0..nz {
@@ -157,12 +168,15 @@ pub fn gaussian_random_field(spec: &GrfSpec, shape: Shape) -> Tensor<f32> {
             for x in 0..nx {
                 let (kx, ky, kz) = (kfreq(x, nx), kfreq(y, ny), kfreq(z, nz));
                 let k = (kx * kx + ky * ky + kz * kz).sqrt();
-                let amp = if k < spec.k_min { 0.0 } else { k.powf(spec.alpha / 2.0) };
+                let amp = if k < spec.k_min {
+                    0.0
+                } else {
+                    k.powf(spec.alpha / 2.0)
+                };
                 // Complex Gaussian mode. Hermitian symmetry is not imposed
                 // explicitly; taking the real part of the inverse transform
                 // is equivalent for a field with independent modes.
-                grid[x + nx * (y + ny * z)] =
-                    (rng.normal() * amp, rng.normal() * amp);
+                grid[x + nx * (y + ny * z)] = (rng.normal() * amp, rng.normal() * amp);
             }
         }
     }
@@ -204,7 +218,10 @@ mod tests {
             fft_1d(&mut data, false);
             fft_1d(&mut data, true);
             for (a, b) in orig.iter().zip(data.iter()) {
-                assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9, "n={n}");
+                assert!(
+                    (a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9,
+                    "n={n}"
+                );
             }
         }
     }
@@ -230,7 +247,10 @@ mod tests {
                 let ang = -std::f64::consts::TAU * (k * j) as f64 / 8.0;
                 acc = c_add(acc, c_mul(v, (ang.cos(), ang.sin())));
             }
-            assert!((acc.0 - f.0).abs() < 1e-9 && (acc.1 - f.1).abs() < 1e-9, "bin {k}");
+            assert!(
+                (acc.0 - f.0).abs() < 1e-9 && (acc.1 - f.1).abs() < 1e-9,
+                "bin {k}"
+            );
         }
     }
 
@@ -240,8 +260,7 @@ mod tests {
         let time_energy: f64 = orig.iter().map(|v| v.0 * v.0 + v.1 * v.1).sum();
         let mut freq = orig.clone();
         fft_1d(&mut freq, false);
-        let freq_energy: f64 =
-            freq.iter().map(|v| v.0 * v.0 + v.1 * v.1).sum::<f64>() / 128.0;
+        let freq_energy: f64 = freq.iter().map(|v| v.0 * v.0 + v.1 * v.1).sum::<f64>() / 128.0;
         assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
     }
 
@@ -276,7 +295,14 @@ mod tests {
         // Total variation (lag-1 differences) falls as α decreases.
         let shape = zc_tensor::Shape::d3(32, 32, 16);
         let tv = |alpha: f64| {
-            let t = gaussian_random_field(&GrfSpec { seed: 9, alpha, k_min: 1.0 }, shape);
+            let t = gaussian_random_field(
+                &GrfSpec {
+                    seed: 9,
+                    alpha,
+                    k_min: 1.0,
+                },
+                shape,
+            );
             let mut acc = 0.0f64;
             for z in 0..16 {
                 for y in 0..32 {

@@ -58,7 +58,11 @@ fn fbm_is_bounded_everywhere() {
         let v = fbm3(&NoiseSpec::new(seed, freq, oct), x, y, z);
         assert!((-1.0..=1.0).contains(&v), "case {case}: fbm = {v}");
         // Deterministic.
-        assert_eq!(v, fbm3(&NoiseSpec::new(seed, freq, oct), x, y, z), "case {case}");
+        assert_eq!(
+            v,
+            fbm3(&NoiseSpec::new(seed, freq, oct), x, y, z),
+            "case {case}"
+        );
     }
 }
 
@@ -68,8 +72,7 @@ fn generated_fields_are_finite_and_in_catalog_shape() {
     for case in 0..16 {
         let seed = rng.next();
         let ds = AppDataset::ALL[rng.usize(0, 4)];
-        let field_idx =
-            ((ds.field_count() - 1) as f64 * rng.f64(0.0, 1.0)) as usize;
+        let field_idx = ((ds.field_count() - 1) as f64 * rng.f64(0.0, 1.0)) as usize;
         let opts = GenOptions::scaled(32).with_seed(seed);
         let f = ds.generate_field(field_idx, &opts);
         assert_eq!(f.data.shape(), ds.shape(&opts), "case {case}");
@@ -85,8 +88,12 @@ fn seeds_decorrelate_instances() {
     let mut rng = Rng(0x5eed);
     for case in 0..8 {
         let seed = rng.next().max(1);
-        let a = AppDataset::Nyx.generate_field(0, &GenOptions::scaled(64)).data;
-        let b = AppDataset::Nyx.generate_field(0, &GenOptions::scaled(64).with_seed(seed)).data;
+        let a = AppDataset::Nyx
+            .generate_field(0, &GenOptions::scaled(64))
+            .data;
+        let b = AppDataset::Nyx
+            .generate_field(0, &GenOptions::scaled(64).with_seed(seed))
+            .data;
         assert_ne!(a.as_slice(), b.as_slice(), "case {case}");
     }
 }

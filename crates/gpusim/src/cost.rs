@@ -162,8 +162,8 @@ pub fn gpu_time(
     // --- roofline terms ----------------------------------------------------
     let mem_bw = dev.hbm_bw_gbs * 1e9 * calib.mem_eff * class_eff * util;
     let scatter_bw = dev.hbm_bw_gbs * 1e9 * calib.scatter_eff * util;
-    let mem_s = counters.global_bytes() as f64 / mem_bw
-        + counters.global_scatter_bytes as f64 / scatter_bw;
+    let mem_s =
+        counters.global_bytes() as f64 / mem_bw + counters.global_scatter_bytes as f64 / scatter_bw;
 
     let lane_ops = counters.lane_flops as f64
         + counters.special_ops as f64 * calib.special_lane_ops
@@ -235,7 +235,10 @@ pub struct CpuModel {
 impl CpuModel {
     /// Model for the paper's evaluation host.
     pub fn xeon_6148() -> Self {
-        CpuModel { spec: CpuSpec::xeon_6148(), calib: CpuCalib::default() }
+        CpuModel {
+            spec: CpuSpec::xeon_6148(),
+            calib: CpuCalib::default(),
+        }
     }
 
     /// Modeled wall-time of the counted work. The `launches` counter is
@@ -243,12 +246,15 @@ impl CpuModel {
     pub fn time(&self, counters: &Counters) -> ModeledTime {
         let mem_s = counters.global_bytes() as f64
             / (self.spec.stream_bw_gbs * 1e9 * self.calib.stream_eff);
-        let ops = counters.lane_flops as f64
-            + counters.special_ops as f64 * self.calib.special_ops_cost;
+        let ops =
+            counters.lane_flops as f64 + counters.special_ops as f64 * self.calib.special_ops_cost;
         let compute_s = ops / (self.spec.scalar_ops_rate() * self.calib.ipc_eff);
         let overhead_s = counters.launches as f64 * self.calib.pass_overhead_s;
-        let (work_s, bound) =
-            if mem_s >= compute_s { (mem_s, Bound::Memory) } else { (compute_s, Bound::Compute) };
+        let (work_s, bound) = if mem_s >= compute_s {
+            (mem_s, Bound::Memory)
+        } else {
+            (compute_s, Bound::Compute)
+        };
         ModeledTime {
             mem_s,
             compute_s,
@@ -269,7 +275,11 @@ mod tests {
     fn full_occ() -> Occupancy {
         occupancy(
             &DeviceSpec::v100(),
-            &KernelResources { regs_per_thread: 16, smem_per_block: 0, threads_per_block: 256 },
+            &KernelResources {
+                regs_per_thread: 16,
+                smem_per_block: 0,
+                threads_per_block: 256,
+            },
         )
     }
 
@@ -282,8 +292,14 @@ mod tests {
             launches: 1,
             ..Default::default()
         };
-        let t = gpu_time(&dev, &GpuCalib::default(), &counters, &full_occ(), 10_000,
-            KernelClass::GlobalReduction);
+        let t = gpu_time(
+            &dev,
+            &GpuCalib::default(),
+            &counters,
+            &full_occ(),
+            10_000,
+            KernelClass::GlobalReduction,
+        );
         assert_eq!(t.bound, Bound::Memory);
         // ~1 GiB at ~720 GB/s effective → ~1.5 ms.
         assert!(t.total_s > 1.0e-3 && t.total_s < 3.0e-3, "{}", t.total_s);
@@ -294,9 +310,27 @@ mod tests {
         let dev = DeviceSpec::v100();
         let calib = GpuCalib::default();
         let occ = full_occ();
-        let mk = |bytes: u64| Counters { global_read_bytes: bytes, launches: 1, ..Default::default() };
-        let t1 = gpu_time(&dev, &calib, &mk(1 << 28), &occ, 4096, KernelClass::GlobalReduction);
-        let t2 = gpu_time(&dev, &calib, &mk(1 << 31), &occ, 4096, KernelClass::GlobalReduction);
+        let mk = |bytes: u64| Counters {
+            global_read_bytes: bytes,
+            launches: 1,
+            ..Default::default()
+        };
+        let t1 = gpu_time(
+            &dev,
+            &calib,
+            &mk(1 << 28),
+            &occ,
+            4096,
+            KernelClass::GlobalReduction,
+        );
+        let t2 = gpu_time(
+            &dev,
+            &calib,
+            &mk(1 << 31),
+            &occ,
+            4096,
+            KernelClass::GlobalReduction,
+        );
         assert!(t2.total_s > 7.0 * t1.total_s);
     }
 
@@ -305,12 +339,19 @@ mod tests {
         let dev = DeviceSpec::v100();
         let calib = GpuCalib::default();
         let occ = full_occ();
-        let counters = Counters { lane_flops: 1 << 32, launches: 1, ..Default::default() };
+        let counters = Counters {
+            lane_flops: 1 << 32,
+            launches: 1,
+            ..Default::default()
+        };
         let big = gpu_time(&dev, &calib, &counters, &occ, 100_000, KernelClass::Generic);
         let small = gpu_time(&dev, &calib, &counters, &occ, 40, KernelClass::Generic);
         // 40 blocks fill half the SMs; the softened utilization model
         // degrades throughput by ~sqrt(busy).
-        assert!(small.total_s > 1.3 * big.total_s, "small grid should be slower");
+        assert!(
+            small.total_s > 1.3 * big.total_s,
+            "small grid should be slower"
+        );
         assert!(small.utilization < big.utilization);
     }
 
@@ -319,7 +360,11 @@ mod tests {
         let dev = DeviceSpec::v100();
         let calib = GpuCalib::default();
         let occ = full_occ();
-        let mk = |launches: u64| Counters { launches, lane_flops: 1000, ..Default::default() };
+        let mk = |launches: u64| Counters {
+            launches,
+            lane_flops: 1000,
+            ..Default::default()
+        };
         let one = gpu_time(&dev, &calib, &mk(1), &occ, 1000, KernelClass::Generic);
         let ten = gpu_time(&dev, &calib, &mk(10), &occ, 1000, KernelClass::Generic);
         assert!((ten.overhead_s - 10.0 * one.overhead_s).abs() < 1e-12);
@@ -330,10 +375,27 @@ mod tests {
         let dev = DeviceSpec::v100();
         let calib = GpuCalib::default();
         let occ = full_occ();
-        let counters =
-            Counters { lane_flops: 1 << 34, launches: 1, ..Default::default() };
-        let p1 = gpu_time(&dev, &calib, &counters, &occ, 50_000, KernelClass::GlobalReduction);
-        let p3 = gpu_time(&dev, &calib, &counters, &occ, 50_000, KernelClass::SlidingWindow);
+        let counters = Counters {
+            lane_flops: 1 << 34,
+            launches: 1,
+            ..Default::default()
+        };
+        let p1 = gpu_time(
+            &dev,
+            &calib,
+            &counters,
+            &occ,
+            50_000,
+            KernelClass::GlobalReduction,
+        );
+        let p3 = gpu_time(
+            &dev,
+            &calib,
+            &counters,
+            &occ,
+            50_000,
+            KernelClass::SlidingWindow,
+        );
         assert!(p3.compute_s > 10.0 * p1.compute_s);
     }
 

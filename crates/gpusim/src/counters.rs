@@ -89,7 +89,11 @@ mod tests {
 
     #[test]
     fn merge_sums_and_maxes() {
-        let mut a = Counters { global_read_bytes: 10, iters_per_thread: 5, ..Default::default() };
+        let mut a = Counters {
+            global_read_bytes: 10,
+            iters_per_thread: 5,
+            ..Default::default()
+        };
         let b = Counters {
             global_read_bytes: 3,
             global_write_bytes: 7,
@@ -105,9 +109,21 @@ mod tests {
     #[test]
     fn merged_equals_pairwise_merge() {
         let sets = [
-            Counters { global_read_bytes: 4, iters_per_thread: 9, ..Default::default() },
-            Counters { global_write_bytes: 6, launches: 2, ..Default::default() },
-            Counters { lane_flops: 11, iters_per_thread: 3, ..Default::default() },
+            Counters {
+                global_read_bytes: 4,
+                iters_per_thread: 9,
+                ..Default::default()
+            },
+            Counters {
+                global_write_bytes: 6,
+                launches: 2,
+                ..Default::default()
+            },
+            Counters {
+                lane_flops: 11,
+                iters_per_thread: 3,
+                ..Default::default()
+            },
         ];
         let m = Counters::merged(sets.iter());
         let s: Counters = sets.iter().copied().sum();

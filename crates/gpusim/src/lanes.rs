@@ -95,7 +95,13 @@ impl<T: Copy + Default> Lanes<T> {
     /// `__shfl_sync` broadcast: every masked lane receives lane `src`'s
     /// value.
     pub fn shfl_broadcast(&self, mask: u32, src: usize) -> Self {
-        Lanes::from_fn(|i| if mask & (1 << i) != 0 { self.0[src] } else { self.0[i] })
+        Lanes::from_fn(|i| {
+            if mask & (1 << i) != 0 {
+                self.0[src]
+            } else {
+                self.0[i]
+            }
+        })
     }
 
     /// Combine two lane vectors elementwise.

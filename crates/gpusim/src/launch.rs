@@ -4,6 +4,7 @@ use crate::block::BlockCtx;
 use crate::cost::{gpu_time, GpuCalib, ModeledTime};
 use crate::counters::Counters;
 use crate::occupancy::{occupancy, KernelResources, Occupancy};
+use crate::sanitizer::{self, SanitizeReport};
 use crate::spec::DeviceSpec;
 
 /// The computational-pattern class of a kernel (Table I of the paper),
@@ -32,6 +33,11 @@ pub trait BlockKernel: Sync {
     /// Final kernel output.
     type Output;
 
+    /// Kernel name used in sanitizer diagnostics and trace output.
+    fn name(&self) -> &'static str {
+        "unnamed-kernel"
+    }
+
     /// Compile-time resource usage (drives occupancy — Table II).
     fn resources(&self) -> KernelResources;
 
@@ -57,6 +63,10 @@ pub trait BlockKernel: Sync {
 impl<K: BlockKernel> BlockKernel for &K {
     type Partial = K::Partial;
     type Output = K::Output;
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 
     fn resources(&self) -> KernelResources {
         (**self).resources()
@@ -106,7 +116,10 @@ pub struct GpuSim {
 impl GpuSim {
     /// A V100 with default calibration (the paper's platform).
     pub fn v100() -> Self {
-        GpuSim { dev: DeviceSpec::v100(), calib: GpuCalib::default() }
+        GpuSim {
+            dev: DeviceSpec::v100(),
+            calib: GpuCalib::default(),
+        }
     }
 
     /// Launch `kernel` over `grid_blocks` thread blocks.
@@ -116,31 +129,102 @@ impl GpuSim {
     /// the finalize phase). Counters are merged across blocks; the modeled
     /// time is assembled from the merged counters, the occupancy result and
     /// the grid geometry.
-    pub fn launch<K: BlockKernel>(&self, kernel: &K, grid_blocks: usize) -> LaunchResult<K::Output> {
-        assert!(grid_blocks > 0, "empty grid");
-        let mut results: Vec<(Counters, K::Partial)> = zc_par::par_map(grid_blocks, |b| {
-            let mut ctx = BlockCtx::new();
-            let partial = kernel.run_block(b, &mut ctx);
-            debug_assert!(
-                ctx.shared_bytes() <= kernel.resources().smem_per_block as usize,
-                "block used {} shared bytes but declared {}",
-                ctx.shared_bytes(),
-                kernel.resources().smem_per_block
-            );
-            (ctx.counters, partial)
-        });
+    ///
+    /// When the sanitizer is globally enabled ([`sanitizer::set_enabled`] or
+    /// `ZC_SANITIZE=1`) the launch runs checked and publishes its
+    /// [`SanitizeReport`] to the global sink ([`sanitizer::drain`]);
+    /// sanitized execution is observation-only, so the returned result is
+    /// bit-identical either way.
+    pub fn launch<K: BlockKernel>(
+        &self,
+        kernel: &K,
+        grid_blocks: usize,
+    ) -> LaunchResult<K::Output> {
+        let (result, report) = self.launch_impl(kernel, grid_blocks, sanitizer::enabled());
+        if let Some(report) = report {
+            sanitizer::publish(&report);
+        }
+        result
+    }
 
-        let mut counters = Counters { launches: 1, ..Default::default() };
+    /// Launch `kernel` in checked (sanitized) mode regardless of the global
+    /// switch, returning the structured diagnostics alongside the result.
+    /// The report is **not** published to the global sink.
+    pub fn launch_checked<K: BlockKernel>(
+        &self,
+        kernel: &K,
+        grid_blocks: usize,
+    ) -> (LaunchResult<K::Output>, SanitizeReport) {
+        let (result, report) = self.launch_impl(kernel, grid_blocks, true);
+        (
+            result,
+            report.expect("sanitized launch always yields a report"),
+        )
+    }
+
+    fn launch_impl<K: BlockKernel>(
+        &self,
+        kernel: &K,
+        grid_blocks: usize,
+        sanitize: bool,
+    ) -> (LaunchResult<K::Output>, Option<SanitizeReport>) {
+        assert!(grid_blocks > 0, "empty grid");
+        let smem = kernel.resources().smem_per_block;
+        // Per-block sanitizer verdict: collected diagnostics + suppressed count.
+        type Verdict = Option<(Vec<sanitizer::Diag>, u64)>;
+        let mut results: Vec<(Counters, K::Partial, Verdict)> =
+            zc_par::par_map(grid_blocks, |b| {
+                let mut ctx = if sanitize {
+                    BlockCtx::sanitized(Some(b), smem)
+                } else {
+                    BlockCtx::new()
+                };
+                let partial = kernel.run_block(b, &mut ctx);
+                // Under the sanitizer the footprint check is a structured
+                // SmemOverflow diagnostic emitted at shared_alloc time.
+                if !sanitize {
+                    debug_assert!(
+                        ctx.shared_bytes() <= smem as usize,
+                        "block used {} shared bytes but declared {smem}",
+                        ctx.shared_bytes(),
+                    );
+                }
+                let verdict = ctx.finish_sanitize();
+                (ctx.counters, partial, verdict)
+            });
+
+        let mut counters = Counters {
+            launches: 1,
+            ..Default::default()
+        };
         let mut partials = Vec::with_capacity(grid_blocks);
-        for (c, p) in results.drain(..) {
+        let mut report = sanitize.then(|| SanitizeReport {
+            kernel: kernel.name().to_string(),
+            grid_blocks,
+            ..Default::default()
+        });
+        for (c, p, verdict) in results.drain(..) {
             counters.merge(&c);
             partials.push(p);
+            if let (Some(r), Some((diags, suppressed))) = (report.as_mut(), verdict) {
+                r.diags.extend(diags);
+                r.suppressed += suppressed;
+            }
         }
 
-        // Grid-level fold phase.
-        let mut fctx = BlockCtx::new();
+        // Grid-level fold phase (audited as its own "block" when checked).
+        let mut fctx = if sanitize {
+            BlockCtx::sanitized(None, smem)
+        } else {
+            BlockCtx::new()
+        };
         let output = kernel.finalize(&mut fctx, partials);
+        let fverdict = fctx.finish_sanitize();
         counters.merge(&fctx.counters);
+        if let (Some(r), Some((diags, suppressed))) = (report.as_mut(), fverdict) {
+            r.diags.extend(diags);
+            r.suppressed += suppressed;
+        }
         if kernel.cooperative() {
             counters.grid_syncs += 1;
         } else {
@@ -148,8 +232,24 @@ impl GpuSim {
         }
 
         let occ = occupancy(&self.dev, &kernel.resources());
-        let modeled = gpu_time(&self.dev, &self.calib, &counters, &occ, grid_blocks, kernel.class());
-        LaunchResult { output, counters, occupancy: occ, grid_blocks, modeled }
+        let modeled = gpu_time(
+            &self.dev,
+            &self.calib,
+            &counters,
+            &occ,
+            grid_blocks,
+            kernel.class(),
+        );
+        (
+            LaunchResult {
+                output,
+                counters,
+                occupancy: occ,
+                grid_blocks,
+                modeled,
+            },
+            report,
+        )
     }
 }
 
@@ -170,7 +270,11 @@ mod tests {
         type Output = f64;
 
         fn resources(&self) -> KernelResources {
-            KernelResources { regs_per_thread: 24, smem_per_block: 128, threads_per_block: 32 }
+            KernelResources {
+                regs_per_thread: 24,
+                smem_per_block: 128,
+                threads_per_block: 32,
+            }
         }
 
         fn class(&self) -> KernelClass {
@@ -214,7 +318,10 @@ mod tests {
         let data: Vec<f32> = (0..10_000).map(|i| (i % 7) as f32).collect();
         let expect: f64 = data.iter().map(|&v| v as f64).sum();
         let sim = GpuSim::v100();
-        let k = ChunkSum { data: &data, chunk: 1024 };
+        let k = ChunkSum {
+            data: &data,
+            chunk: 1024,
+        };
         let r = sim.launch(&k, data.len().div_ceil(1024));
         assert_eq!(r.output, expect);
     }
@@ -223,7 +330,10 @@ mod tests {
     fn counters_match_expected_traffic() {
         let data: Vec<f32> = vec![1.0; 4096];
         let sim = GpuSim::v100();
-        let k = ChunkSum { data: &data, chunk: 1024 };
+        let k = ChunkSum {
+            data: &data,
+            chunk: 1024,
+        };
         let r = sim.launch(&k, 4);
         // Every element read exactly once.
         assert_eq!(r.counters.global_read_bytes, 4096 * 4);
@@ -239,7 +349,10 @@ mod tests {
     fn launch_is_deterministic_despite_parallelism() {
         let data: Vec<f32> = (0..50_000).map(|i| (i as f32 * 0.001).sin()).collect();
         let sim = GpuSim::v100();
-        let k = ChunkSum { data: &data, chunk: 2048 };
+        let k = ChunkSum {
+            data: &data,
+            chunk: 2048,
+        };
         let r1 = sim.launch(&k, data.len().div_ceil(2048));
         let r2 = sim.launch(&k, data.len().div_ceil(2048));
         assert_eq!(r1.output, r2.output);
@@ -251,7 +364,10 @@ mod tests {
     fn modeled_time_is_positive_and_bounded() {
         let data: Vec<f32> = vec![0.5; 1 << 20];
         let sim = GpuSim::v100();
-        let k = ChunkSum { data: &data, chunk: 4096 };
+        let k = ChunkSum {
+            data: &data,
+            chunk: 4096,
+        };
         let r = sim.launch(&k, data.len() / 4096);
         assert!(r.modeled.total_s > 0.0);
         // 4 MiB cannot take longer than a millisecond on a V100 model.
@@ -282,12 +398,67 @@ mod tests {
         }
         let data: Vec<f32> = vec![1.0; 8192];
         let sim = GpuSim::v100();
-        let coop = sim.launch(&ChunkSum { data: &data, chunk: 1024 }, 8);
-        let non = sim.launch(&NonCoop(ChunkSum { data: &data, chunk: 1024 }), 8);
+        let coop = sim.launch(
+            &ChunkSum {
+                data: &data,
+                chunk: 1024,
+            },
+            8,
+        );
+        let non = sim.launch(
+            &NonCoop(ChunkSum {
+                data: &data,
+                chunk: 1024,
+            }),
+            8,
+        );
         assert_eq!(coop.counters.launches, 1);
         assert_eq!(coop.counters.grid_syncs, 1);
         assert_eq!(non.counters.launches, 2);
         assert_eq!(non.counters.grid_syncs, 0);
         assert_eq!(coop.output, non.output);
+    }
+
+    #[test]
+    fn checked_launch_is_observation_only_and_clean() {
+        let data: Vec<f32> = (0..10_000).map(|i| ((i % 13) as f32).cos()).collect();
+        let sim = GpuSim::v100();
+        let k = ChunkSum {
+            data: &data,
+            chunk: 1024,
+        };
+        let grid = data.len().div_ceil(1024);
+        let plain = sim.launch(&k, grid);
+        let (checked, report) = sim.launch_checked(&k, grid);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.grid_blocks, grid);
+        assert_eq!(plain.output.to_bits(), checked.output.to_bits());
+        assert_eq!(plain.counters, checked.counters);
+        assert_eq!(plain.modeled.total_s, checked.modeled.total_s);
+    }
+
+    #[test]
+    fn globally_enabled_sanitizer_publishes_to_sink() {
+        let data: Vec<f32> = vec![1.0; 2048];
+        let sim = GpuSim::v100();
+        let k = ChunkSum {
+            data: &data,
+            chunk: 1024,
+        };
+        sanitizer::set_enabled(true);
+        let r = sim.launch(&k, 2);
+        sanitizer::clear_override();
+        assert_eq!(r.output, 2048.0);
+        // Other tests may also publish while the override is on; just
+        // require that at least this launch was checked and clean.
+        let summary = sanitizer::drain();
+        assert!(summary.launches_checked >= 1);
+        assert!(
+            summary
+                .reports
+                .iter()
+                .all(|r| r.kernel != "unnamed-kernel" || r.is_clean()),
+            "toy kernel flagged: {summary:?}"
+        );
     }
 }

@@ -30,7 +30,14 @@
 //! reads each slice once, occupancy explains per-dataset speedup variance)
 //! are claims about these *counts*, which the simulator measures exactly
 //! while computing bit-identical metric values.
+//!
+//! A third, optional half is the [`sanitizer`]: a compute-sanitizer-style
+//! checked execution mode ([`GpuSim::launch_checked`], or `ZC_SANITIZE=1`
+//! for every launch) that shadows each instrumented access and reports
+//! races, uninitialized shared reads, out-of-bounds indices, divergent
+//! barriers and counter-charging bugs as structured diagnostics.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod block;
@@ -40,6 +47,7 @@ mod lanes;
 mod launch;
 mod multi;
 mod occupancy;
+pub mod sanitizer;
 mod spec;
 pub mod trace;
 
@@ -49,5 +57,6 @@ pub use lanes::{Lanes, WARP};
 pub use launch::{BlockKernel, GpuSim, KernelClass, LaunchResult};
 pub use multi::{MultiGpuModel, MultiGpuTime};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy};
+pub use sanitizer::{Diag, Hazard, SanitizeReport};
 pub use spec::{CpuSpec, DeviceSpec};
 pub use trace::{fmt_bytes, fmt_seconds, launch_summary};

@@ -25,13 +25,21 @@ impl MultiGpuModel {
     /// NVLink-class interconnect over `gpus` devices.
     pub fn nvlink(gpus: u32) -> Self {
         assert!(gpus >= 1);
-        MultiGpuModel { gpus, link_bw_gbs: 25.0, link_latency_s: 10.0e-6 }
+        MultiGpuModel {
+            gpus,
+            link_bw_gbs: 25.0,
+            link_latency_s: 10.0e-6,
+        }
     }
 
     /// PCIe-class interconnect over `gpus` devices.
     pub fn pcie(gpus: u32) -> Self {
         assert!(gpus >= 1);
-        MultiGpuModel { gpus, link_bw_gbs: 12.0, link_latency_s: 20.0e-6 }
+        MultiGpuModel {
+            gpus,
+            link_bw_gbs: 12.0,
+            link_latency_s: 20.0e-6,
+        }
     }
 }
 

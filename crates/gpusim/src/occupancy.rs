@@ -59,8 +59,14 @@ pub fn occupancy(dev: &DeviceSpec, res: &KernelResources) -> Occupancy {
     assert!(res.threads_per_block > 0, "empty thread block");
     // Unconstrained resources report "no limit" so they never win the
     // limiter attribution by coincidence.
-    let by_regs = dev.regs_per_sm.checked_div(res.regs_per_block()).unwrap_or(u32::MAX);
-    let by_smem = dev.smem_per_sm.checked_div(res.smem_per_block).unwrap_or(u32::MAX);
+    let by_regs = dev
+        .regs_per_sm
+        .checked_div(res.regs_per_block())
+        .unwrap_or(u32::MAX);
+    let by_smem = dev
+        .smem_per_sm
+        .checked_div(res.smem_per_block)
+        .unwrap_or(u32::MAX);
     // Thread slots are allocated at warp granularity: a 673-thread block
     // occupies 22 warps, so the resident-thread limit is warps-based.
     let max_warps = dev.max_threads_per_sm / dev.warp_size;
@@ -137,8 +143,11 @@ mod tests {
     #[test]
     fn block_limit_for_tiny_blocks() {
         let dev = DeviceSpec::v100();
-        let res =
-            KernelResources { regs_per_thread: 4, smem_per_block: 0, threads_per_block: 32 };
+        let res = KernelResources {
+            regs_per_thread: 4,
+            smem_per_block: 0,
+            threads_per_block: 32,
+        };
         let occ = occupancy(&dev, &res);
         assert_eq!(occ.blocks_per_sm, 32);
         assert_eq!(occ.limiter, Limiter::Blocks);

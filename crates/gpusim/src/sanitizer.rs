@@ -1,0 +1,755 @@
+//! `zc-sancheck` — a compute-sanitizer-style checked execution mode for the
+//! simulated GPU kernels.
+//!
+//! When a launch runs sanitized (explicitly via
+//! [`GpuSim::launch_checked`](crate::GpuSim::launch_checked), or implicitly
+//! for every launch once [`set_enabled`]`(true)` / `ZC_SANITIZE=1` is in
+//! effect), each [`BlockCtx`](crate::BlockCtx) carries a shadow state that
+//! mirrors every instrumented access and reports structured diagnostics
+//! instead of silent wrongness. Five detector families run, mapping onto the
+//! tools of NVIDIA's `compute-sanitizer`:
+//!
+//! * **racecheck** — write/write and read/write accesses to the same shared
+//!   word by *different simulated warps* within one barrier epoch
+//!   (`sync_threads` advances the epoch). Kernels attribute accesses to a
+//!   warp with [`BlockCtx::warp_begin`](crate::BlockCtx::warp_begin) /
+//!   [`BlockCtx::warp_end`](crate::BlockCtx::warp_end); accesses outside a
+//!   warp scope are block-uniform (e.g. histogram atomics) and never race.
+//! * **initcheck** — shared reads of words never written, which the
+//!   simulator's `vec![T::default()]` backing store would silently zero.
+//! * **memcheck** — out-of-bounds shared/global indices become diagnostics
+//!   naming kernel/block/buffer/index instead of raw slice panics, and the
+//!   `shared_alloc` footprint is checked against the kernel's declared
+//!   SMem/TB (the figure the Table II occupancy path consumes).
+//! * **synccheck** — `sync_threads` issued inside a warp scope (a divergent
+//!   barrier) and unbalanced `warp_begin`/`warp_end` pairs.
+//! * **charging audit** — every `charge_*`/access API also feeds a shadow
+//!   [`Counters`] tally; at block end the tally must be `==` to the charged
+//!   counters, turning the DESIGN.md §6.1.1 counter-equivalence invariant
+//!   into a runtime check that catches direct `ctx.counters` pokes and
+//!   uncharged `SharedBuf::as_slice` bulk views.
+//!
+//! Sanitized execution is **observation-only**: values returned, counters
+//! charged and modeled time are bit-identical to an unsanitized launch (see
+//! the property tests in `crates/kernels/tests/sanitize.rs`).
+
+use crate::counters::Counters;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Upper bound on detailed diagnostics retained per block; further hazards
+/// are counted but not materialized (mirrors compute-sanitizer's error cap).
+const MAX_DIAGS_PER_BLOCK: usize = 16;
+
+/// Upper bound on hazardous reports retained by the global sink.
+const MAX_SINK_REPORTS: usize = 64;
+
+/// Actor id used for accesses outside any `warp_begin`/`warp_end` scope:
+/// block-uniform work that by construction cannot race.
+const BLOCK_UNIFORM: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Hazard taxonomy
+// ---------------------------------------------------------------------------
+
+/// The class of a detected hazard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Hazard {
+    /// Two different warps wrote the same shared word in one barrier epoch.
+    RaceWriteWrite,
+    /// One warp read and another wrote the same shared word in one epoch.
+    RaceReadWrite,
+    /// A shared word was read before any write (the `Default` zero leaks).
+    UninitRead,
+    /// Shared-memory index past the end of its buffer.
+    OobShared,
+    /// Global-memory index past the end of the slice.
+    OobGlobal,
+    /// `shared_alloc` footprint exceeded the kernel's declared SMem/TB.
+    SmemOverflow,
+    /// `sync_threads` issued inside a warp scope — a divergent barrier.
+    DivergentSync,
+    /// `warp_begin` without matching `warp_end` (or vice versa).
+    UnbalancedWarpScope,
+    /// Raw `as_slice`/`as_mut_slice` views taken without a matching charge.
+    UnchargedAccess,
+    /// Charged counters differ from the shadow tally re-derived from the
+    /// access log (a direct `ctx.counters` poke or a miscounted batch).
+    ChargeMismatch,
+}
+
+impl Hazard {
+    /// The compute-sanitizer tool family this hazard belongs to.
+    pub fn tool(self) -> &'static str {
+        match self {
+            Hazard::RaceWriteWrite | Hazard::RaceReadWrite => "racecheck",
+            Hazard::UninitRead => "initcheck",
+            Hazard::OobShared | Hazard::OobGlobal | Hazard::SmemOverflow => "memcheck",
+            Hazard::DivergentSync | Hazard::UnbalancedWarpScope => "synccheck",
+            Hazard::UnchargedAccess | Hazard::ChargeMismatch => "chargecheck",
+        }
+    }
+
+    /// Stable short name (used in reports and test assertions).
+    pub fn name(self) -> &'static str {
+        match self {
+            Hazard::RaceWriteWrite => "race-write-write",
+            Hazard::RaceReadWrite => "race-read-write",
+            Hazard::UninitRead => "uninit-read",
+            Hazard::OobShared => "oob-shared",
+            Hazard::OobGlobal => "oob-global",
+            Hazard::SmemOverflow => "smem-overflow",
+            Hazard::DivergentSync => "divergent-sync",
+            Hazard::UnbalancedWarpScope => "unbalanced-warp-scope",
+            Hazard::UnchargedAccess => "uncharged-access",
+            Hazard::ChargeMismatch => "charge-mismatch",
+        }
+    }
+}
+
+/// One structured diagnostic: what happened, and exactly where.
+#[derive(Clone, Debug)]
+pub struct Diag {
+    /// Hazard class.
+    pub hazard: Hazard,
+    /// Block index, or `None` for the grid-level finalize phase.
+    pub block: Option<usize>,
+    /// Warp the offending access was attributed to (if any).
+    pub warp: Option<u32>,
+    /// Barrier epoch at detection time.
+    pub epoch: u32,
+    /// Shared-buffer id within the block (allocation order), if relevant.
+    pub buf: Option<usize>,
+    /// Element index within the buffer/slice, if relevant.
+    pub index: Option<usize>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.hazard.tool(), self.hazard.name())?;
+        match self.block {
+            Some(b) => write!(f, " block {b}")?,
+            None => write!(f, " grid-phase")?,
+        }
+        if let Some(w) = self.warp {
+            write!(f, " warp {w}")?;
+        }
+        write!(f, " epoch {}", self.epoch)?;
+        if let Some(b) = self.buf {
+            write!(f, " buf #{b}")?;
+        }
+        if let Some(i) = self.index {
+            write!(f, " word {i}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// The outcome of one sanitized launch.
+#[derive(Clone, Debug, Default)]
+pub struct SanitizeReport {
+    /// Kernel name (from [`BlockKernel::name`](crate::BlockKernel::name)).
+    pub kernel: String,
+    /// Grid size of the launch.
+    pub grid_blocks: usize,
+    /// Materialized diagnostics (capped per block; see `suppressed`).
+    pub diags: Vec<Diag>,
+    /// Hazards detected beyond the per-block diagnostic cap.
+    pub suppressed: u64,
+}
+
+impl SanitizeReport {
+    /// Whether the launch was hazard-free.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty() && self.suppressed == 0
+    }
+
+    /// Total hazards (materialized + suppressed).
+    pub fn hazards(&self) -> u64 {
+        self.diags.len() as u64 + self.suppressed
+    }
+
+    /// Number of diagnostics of a given class.
+    pub fn count(&self, hazard: Hazard) -> usize {
+        self.diags.iter().filter(|d| d.hazard == hazard).count()
+    }
+
+    /// Whether any diagnostic of the given class was recorded.
+    pub fn has(&self, hazard: Hazard) -> bool {
+        self.count(hazard) > 0
+    }
+
+    /// compute-sanitizer-style multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "========= ZC SANITIZER: kernel `{}` grid {}\n",
+            self.kernel, self.grid_blocks
+        );
+        if self.is_clean() {
+            s.push_str("========= no hazards\n");
+            return s;
+        }
+        for d in &self.diags {
+            s.push_str(&format!("========= {d}\n"));
+        }
+        s.push_str(&format!(
+            "========= {} hazard(s){}\n",
+            self.hazards(),
+            if self.suppressed > 0 {
+                format!(" ({} suppressed past the per-block cap)", self.suppressed)
+            } else {
+                String::new()
+            }
+        ));
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-block shadow state
+// ---------------------------------------------------------------------------
+
+/// Shadow word: last writer/reader as `(actor, epoch)` plus an init bit.
+#[derive(Clone, Copy, Default)]
+struct Word {
+    init: bool,
+    last_write: Option<(u32, u32)>,
+    last_read: Option<(u32, u32)>,
+}
+
+/// Shadow image of one [`SharedBuf`](crate::SharedBuf).
+struct ShadowBuf {
+    words: Vec<Word>,
+    /// Raw `as_slice`/`as_mut_slice` views taken on this buffer, bumped from
+    /// the buffer itself (shared via `Arc` so clones count too).
+    raw_views: Arc<AtomicU64>,
+}
+
+/// Shadow state carried by a sanitized [`BlockCtx`](crate::BlockCtx).
+///
+/// Crate-internal: kernels never see this type — they interact with it only
+/// through the `BlockCtx` access APIs.
+#[derive(Default)]
+pub(crate) struct SanState {
+    block: Option<usize>,
+    declared_smem: u32,
+    epoch: u32,
+    active_warp: Option<u32>,
+    bufs: Vec<ShadowBuf>,
+    /// Shadow tally mirroring every charge; compared `==` against the charged
+    /// counters at block end.
+    pub(crate) tally: Counters,
+    diags: Vec<Diag>,
+    suppressed: u64,
+}
+
+impl fmt::Debug for SanState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SanState")
+            .field("block", &self.block)
+            .field("epoch", &self.epoch)
+            .field("bufs", &self.bufs.len())
+            .field("diags", &self.diags.len())
+            .finish()
+    }
+}
+
+impl SanState {
+    pub(crate) fn new(block: Option<usize>, declared_smem: u32) -> Self {
+        SanState {
+            block,
+            declared_smem,
+            ..Default::default()
+        }
+    }
+
+    fn actor(&self) -> u32 {
+        self.active_warp.unwrap_or(BLOCK_UNIFORM)
+    }
+
+    fn diag(&mut self, hazard: Hazard, buf: Option<usize>, index: Option<usize>, detail: String) {
+        if self.diags.len() >= MAX_DIAGS_PER_BLOCK {
+            self.suppressed += 1;
+            return;
+        }
+        self.diags.push(Diag {
+            hazard,
+            block: self.block,
+            warp: self.active_warp,
+            epoch: self.epoch,
+            buf,
+            index,
+            detail,
+        });
+    }
+
+    // ---- warp scope / barriers ----------------------------------------
+
+    pub(crate) fn warp_begin(&mut self, w: u32) {
+        if self.active_warp.is_some() {
+            self.diag(
+                Hazard::UnbalancedWarpScope,
+                None,
+                None,
+                format!(
+                    "warp_begin({w}) while warp {} scope still open",
+                    self.actor()
+                ),
+            );
+        }
+        self.active_warp = Some(w);
+    }
+
+    pub(crate) fn warp_end(&mut self) {
+        if self.active_warp.is_none() {
+            self.diag(
+                Hazard::UnbalancedWarpScope,
+                None,
+                None,
+                "warp_end() without matching warp_begin".to_string(),
+            );
+        }
+        self.active_warp = None;
+    }
+
+    pub(crate) fn on_sync(&mut self) {
+        if let Some(w) = self.active_warp {
+            self.diag(
+                Hazard::DivergentSync,
+                None,
+                None,
+                format!("sync_threads() inside warp {w} scope — divergent barrier"),
+            );
+        }
+        self.epoch += 1;
+    }
+
+    // ---- shared-memory shadowing --------------------------------------
+
+    /// Register a new shared buffer; returns its id and the raw-view counter
+    /// the buffer itself will bump.
+    pub(crate) fn alloc_buf(
+        &mut self,
+        len: usize,
+        total_shared_bytes: usize,
+    ) -> (usize, Arc<AtomicU64>) {
+        let id = self.bufs.len();
+        if total_shared_bytes > self.declared_smem as usize {
+            self.diag(
+                Hazard::SmemOverflow,
+                Some(id),
+                None,
+                format!(
+                    "shared_alloc brings footprint to {total_shared_bytes} B, declared {} B/block",
+                    self.declared_smem
+                ),
+            );
+        }
+        let raw_views = Arc::new(AtomicU64::new(0));
+        self.bufs.push(ShadowBuf {
+            words: vec![Word::default(); len],
+            raw_views: Arc::clone(&raw_views),
+        });
+        (id, raw_views)
+    }
+
+    /// Whether buffer `id` is shadow-tracked by *this* block's state (a
+    /// buffer can legally cross contexts only in tests; shadowing is
+    /// skipped when the id or length disagrees rather than misattributed).
+    pub(crate) fn tracks(&self, id: usize, len: usize) -> bool {
+        self.bufs.get(id).is_some_and(|b| b.words.len() == len)
+    }
+
+    /// Whether `i` is a diagnosable OOB on buffer `buf` (emits the diag).
+    /// Returns `true` when the access must be dropped.
+    pub(crate) fn check_shared_oob(&mut self, buf: usize, len: usize, i: usize) -> bool {
+        if i < len {
+            return false;
+        }
+        self.diag(
+            Hazard::OobShared,
+            Some(buf),
+            Some(i),
+            format!("shared index {i} out of bounds for buffer of {len} words"),
+        );
+        true
+    }
+
+    pub(crate) fn oob_global(&mut self, i: usize, len: usize, what: &str) {
+        self.diag(
+            Hazard::OobGlobal,
+            None,
+            Some(i),
+            format!("global {what} index {i} out of bounds for slice of {len} elements"),
+        );
+    }
+
+    pub(crate) fn on_shared_write(&mut self, buf: usize, i: usize) {
+        let (actor, epoch) = (self.actor(), self.epoch);
+        let w = &mut self.bufs[buf].words[i];
+        let mut race: Option<(Hazard, u32)> = None;
+        if let Some((wa, we)) = w.last_write {
+            if we == epoch && wa != actor && wa != BLOCK_UNIFORM && actor != BLOCK_UNIFORM {
+                race = Some((Hazard::RaceWriteWrite, wa));
+            }
+        }
+        if race.is_none() {
+            if let Some((ra, re)) = w.last_read {
+                if re == epoch && ra != actor && ra != BLOCK_UNIFORM && actor != BLOCK_UNIFORM {
+                    race = Some((Hazard::RaceReadWrite, ra));
+                }
+            }
+        }
+        w.init = true;
+        w.last_write = Some((actor, epoch));
+        if let Some((hz, other)) = race {
+            self.diag(
+                hz,
+                Some(buf),
+                Some(i),
+                format!("warp {actor} wrote a word warp {other} touched in the same epoch"),
+            );
+        }
+    }
+
+    pub(crate) fn on_shared_read(&mut self, buf: usize, i: usize) {
+        let (actor, epoch) = (self.actor(), self.epoch);
+        let w = &mut self.bufs[buf].words[i];
+        let mut hazard: Option<(Hazard, String)> = None;
+        if !w.init {
+            hazard = Some((
+                Hazard::UninitRead,
+                format!("read of never-written shared word (Default-zero leak) by warp scope {actor:#x}"),
+            ));
+        } else if let Some((wa, we)) = w.last_write {
+            if we == epoch && wa != actor && wa != BLOCK_UNIFORM && actor != BLOCK_UNIFORM {
+                hazard = Some((
+                    Hazard::RaceReadWrite,
+                    format!("warp {actor} read a word warp {wa} wrote in the same epoch"),
+                ));
+            }
+        }
+        w.last_read = Some((actor, epoch));
+        if let Some((hz, detail)) = hazard {
+            self.diag(hz, Some(buf), Some(i), detail);
+        }
+    }
+
+    /// Shadow-mark a contiguous range of writes (the bulk form used by fast
+    /// paths that keep values outside the buffer, e.g. the p3 FIFO).
+    pub(crate) fn mark_writes(&mut self, buf: usize, start: usize, n: usize) {
+        let len = self.bufs[buf].words.len();
+        if start + n > len {
+            self.diag(
+                Hazard::OobShared,
+                Some(buf),
+                Some(start + n - 1),
+                format!(
+                    "bulk write range {start}..{} out of bounds for {len} words",
+                    start + n
+                ),
+            );
+            return;
+        }
+        for i in start..start + n {
+            self.on_shared_write(buf, i);
+        }
+    }
+
+    /// Shadow-mark a contiguous range of reads (bulk form of `on_shared_read`).
+    pub(crate) fn mark_reads(&mut self, buf: usize, start: usize, n: usize) {
+        let len = self.bufs[buf].words.len();
+        if start + n > len {
+            self.diag(
+                Hazard::OobShared,
+                Some(buf),
+                Some(start + n - 1),
+                format!(
+                    "bulk read range {start}..{} out of bounds for {len} words",
+                    start + n
+                ),
+            );
+            return;
+        }
+        for i in start..start + n {
+            self.on_shared_read(buf, i);
+        }
+    }
+
+    // ---- end-of-block verdict -----------------------------------------
+
+    /// Close out the block: scope balance, raw-view audit, charging audit.
+    /// `charged` is the block's actually-charged counters.
+    pub(crate) fn finish(mut self, charged: &Counters) -> (Vec<Diag>, u64) {
+        if let Some(w) = self.active_warp {
+            self.active_warp = None;
+            self.diag(
+                Hazard::UnbalancedWarpScope,
+                None,
+                None,
+                format!("warp {w} scope still open at block end"),
+            );
+        }
+        for b in 0..self.bufs.len() {
+            let n = self.bufs[b].raw_views.load(Ordering::Relaxed);
+            if n > 0 {
+                self.diag(
+                    Hazard::UnchargedAccess,
+                    Some(b),
+                    None,
+                    format!(
+                        "{n} raw as_slice/as_mut_slice view(s) taken — accesses through raw \
+                         views bypass charging; use sh_read/sh_write, sh_mark_reads/sh_mark_writes \
+                         or an explicit charge_shared"
+                    ),
+                );
+            }
+        }
+        if self.tally != *charged {
+            let detail = charge_mismatch_detail(&self.tally, charged);
+            self.diag(Hazard::ChargeMismatch, None, None, detail);
+        }
+        (self.diags, self.suppressed)
+    }
+}
+
+/// Field-by-field difference between the shadow tally and charged counters.
+fn charge_mismatch_detail(tally: &Counters, charged: &Counters) -> String {
+    let mut parts = Vec::new();
+    macro_rules! diff {
+        ($field:ident) => {
+            if tally.$field != charged.$field {
+                parts.push(format!(
+                    concat!(stringify!($field), " shadow {} vs charged {}"),
+                    tally.$field, charged.$field
+                ));
+            }
+        };
+    }
+    diff!(global_read_bytes);
+    diff!(global_write_bytes);
+    diff!(global_scatter_bytes);
+    diff!(shared_accesses);
+    diff!(lane_flops);
+    diff!(special_ops);
+    diff!(shuffles);
+    diff!(ballots);
+    diff!(syncs);
+    diff!(launches);
+    diff!(grid_syncs);
+    diff!(iters_per_thread);
+    if parts.is_empty() {
+        "counters differ (unknown field)".to_string()
+    } else {
+        format!(
+            "counters were mutated outside the charge APIs: {}",
+            parts.join(", ")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global enable + report sink
+// ---------------------------------------------------------------------------
+
+// 0 = follow ZC_SANITIZE env, 1 = forced off, 2 = forced on.
+static FORCE: AtomicU8 = AtomicU8::new(0);
+
+fn env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("ZC_SANITIZE")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                !v.is_empty() && v != "0" && v != "off" && v != "false"
+            })
+            .unwrap_or(false)
+    })
+}
+
+/// Programmatic override of the `ZC_SANITIZE` environment switch (the
+/// `cuzc --sanitize` path). `set_enabled(true)` makes every subsequent
+/// [`GpuSim::launch`](crate::GpuSim::launch) run checked and publish its
+/// report to the global sink.
+pub fn set_enabled(on: bool) {
+    FORCE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Drop any [`set_enabled`] override and fall back to the environment.
+pub fn clear_override() {
+    FORCE.store(0, Ordering::Relaxed);
+}
+
+/// Whether sanitized execution is globally enabled (override or env).
+pub fn enabled() -> bool {
+    match FORCE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => env_enabled(),
+    }
+}
+
+struct Sink {
+    launches: u64,
+    hazards: u64,
+    reports: Vec<SanitizeReport>,
+    dropped: u64,
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink {
+    launches: 0,
+    hazards: 0,
+    reports: Vec::new(),
+    dropped: 0,
+});
+
+/// Record a report in the global sink (done automatically by auto-sanitized
+/// launches; hazard-free reports only bump the checked-launch count).
+pub fn publish(report: &SanitizeReport) {
+    let mut s = SINK.lock().unwrap();
+    s.launches += 1;
+    if !report.is_clean() {
+        s.hazards += report.hazards();
+        if s.reports.len() < MAX_SINK_REPORTS {
+            s.reports.push(report.clone());
+        } else {
+            s.dropped += 1;
+        }
+    }
+}
+
+/// Everything the global sink accumulated since the last drain.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalSummary {
+    /// Launches that ran under the sanitizer.
+    pub launches_checked: u64,
+    /// Total hazards across those launches.
+    pub hazards: u64,
+    /// Hazardous reports (capped; see `dropped_reports`).
+    pub reports: Vec<SanitizeReport>,
+    /// Hazardous reports beyond the sink cap.
+    pub dropped_reports: u64,
+}
+
+impl GlobalSummary {
+    /// Whether every checked launch was hazard-free.
+    pub fn is_clean(&self) -> bool {
+        self.hazards == 0
+    }
+}
+
+/// Drain the global sink, resetting it.
+pub fn drain() -> GlobalSummary {
+    let mut s = SINK.lock().unwrap();
+    let out = GlobalSummary {
+        launches_checked: s.launches,
+        hazards: s.hazards,
+        reports: std::mem::take(&mut s.reports),
+        dropped_reports: s.dropped,
+    };
+    s.launches = 0;
+    s.hazards = 0;
+    s.dropped = 0;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn race_requires_two_distinct_warps_in_one_epoch() {
+        let mut s = SanState::new(Some(0), 1 << 20);
+        let (b, _) = s.alloc_buf(8, 32);
+        s.warp_begin(0);
+        s.on_shared_write(b, 3);
+        s.warp_end();
+        s.warp_begin(1);
+        s.on_shared_write(b, 3); // WW race, same epoch
+        s.warp_end();
+        s.on_sync();
+        s.warp_begin(2);
+        s.on_shared_write(b, 3); // new epoch — no race
+        s.warp_end();
+        let (diags, suppressed) = s.finish(&Counters::default());
+        assert_eq!(suppressed, 0);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].hazard, Hazard::RaceWriteWrite);
+        assert_eq!(diags[0].index, Some(3));
+    }
+
+    #[test]
+    fn block_uniform_accesses_never_race() {
+        let mut s = SanState::new(Some(0), 1 << 20);
+        let (b, _) = s.alloc_buf(4, 16);
+        s.on_shared_write(b, 0); // no warp scope
+        s.warp_begin(5);
+        s.on_shared_read(b, 0); // reads block-uniform write — fine
+        s.warp_end();
+        let (diags, _) = s.finish(&Counters::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn uninit_read_flagged_once_per_word_access() {
+        let mut s = SanState::new(Some(1), 1 << 20);
+        let (b, _) = s.alloc_buf(4, 16);
+        s.on_shared_read(b, 2);
+        let (diags, _) = s.finish(&Counters::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].hazard, Hazard::UninitRead);
+        assert_eq!(diags[0].block, Some(1));
+    }
+
+    #[test]
+    fn diag_cap_suppresses_overflow() {
+        let mut s = SanState::new(Some(0), 1 << 20);
+        let (b, _) = s.alloc_buf(64, 256);
+        for i in 0..40 {
+            s.on_shared_read(b, i); // 40 uninit reads
+        }
+        let (diags, suppressed) = s.finish(&Counters::default());
+        assert_eq!(diags.len(), MAX_DIAGS_PER_BLOCK);
+        assert_eq!(suppressed, 40 - MAX_DIAGS_PER_BLOCK as u64);
+    }
+
+    #[test]
+    fn charge_mismatch_names_the_field() {
+        let s = SanState::new(None, 0);
+        let poked = Counters {
+            shuffles: 7,
+            ..Default::default()
+        };
+        let (diags, _) = s.finish(&poked);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].hazard, Hazard::ChargeMismatch);
+        assert!(diags[0].detail.contains("shuffles"), "{}", diags[0].detail);
+    }
+
+    #[test]
+    fn report_render_mentions_tool_and_position() {
+        let report = SanitizeReport {
+            kernel: "toy".into(),
+            grid_blocks: 2,
+            diags: vec![Diag {
+                hazard: Hazard::RaceReadWrite,
+                block: Some(1),
+                warp: Some(3),
+                epoch: 2,
+                buf: Some(0),
+                index: Some(17),
+                detail: "x".into(),
+            }],
+            suppressed: 0,
+        };
+        let r = report.render();
+        assert!(r.contains("racecheck"), "{r}");
+        assert!(r.contains("block 1"), "{r}");
+        assert!(r.contains("word 17"), "{r}");
+        assert!(!report.is_clean());
+        assert!(report.has(Hazard::RaceReadWrite));
+    }
+}

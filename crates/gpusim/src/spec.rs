@@ -77,7 +77,12 @@ pub struct CpuSpec {
 impl CpuSpec {
     /// The paper's evaluation host CPU.
     pub fn xeon_6148() -> Self {
-        CpuSpec { name: "Xeon Gold 6148", cores: 20, clock_ghz: 2.40, stream_bw_gbs: 100.0 }
+        CpuSpec {
+            name: "Xeon Gold 6148",
+            cores: 20,
+            clock_ghz: 2.40,
+            stream_bw_gbs: 100.0,
+        }
     }
 
     /// Aggregate scalar issue rate in operations per second (one op per
@@ -96,7 +101,7 @@ mod tests {
         let d = DeviceSpec::v100();
         assert_eq!(d.sms, 80);
         assert_eq!(d.sms * d.fp32_lanes_per_sm, 5120); // paper: 5,120 cores
-        // ~15.7 TFLOPS FP32.
+                                                       // ~15.7 TFLOPS FP32.
         assert!((d.peak_flops() / 1e12 - 7.83).abs() < 0.1);
         assert!(d.peak_smem_bw() > 10e12);
     }

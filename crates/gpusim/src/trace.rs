@@ -122,8 +122,14 @@ mod tests {
             iters_per_thread: 977,
             ..Default::default()
         };
-        let t = gpu_time(&dev, &GpuCalib::default(), &counters, &occ, 100,
-            KernelClass::GlobalReduction);
+        let t = gpu_time(
+            &dev,
+            &GpuCalib::default(),
+            &counters,
+            &occ,
+            100,
+            KernelClass::GlobalReduction,
+        );
         let s = launch_summary("p1_fused", 100, &counters, &occ, &t);
         assert!(s.contains("p1_fused"));
         assert!(s.contains("grid 100 blocks"));

@@ -75,7 +75,10 @@ fn shuffle_reduction_tree_sums_all_lanes() {
             offset /= 2;
         }
         let direct: f64 = (0..WARP).map(|i| l.lane(i) as f64).sum();
-        assert!((acc.lane(0) - direct).abs() <= 1e-9 * direct.abs().max(1.0), "case {case}");
+        assert!(
+            (acc.lane(0) - direct).abs() <= 1e-9 * direct.abs().max(1.0),
+            "case {case}"
+        );
     }
 }
 
@@ -94,11 +97,17 @@ fn occupancy_never_exceeds_hardware_limits() {
         };
         let occ = occupancy(&dev, &res);
         assert!(occ.blocks_per_sm <= dev.max_blocks_per_sm, "case {case}");
-        assert!(occ.blocks_per_sm * threads <= dev.max_threads_per_sm + threads, "case {case}");
+        assert!(
+            occ.blocks_per_sm * threads <= dev.max_threads_per_sm + threads,
+            "case {case}"
+        );
         assert!(occ.fraction <= 1.0 + 1e-12, "case {case}");
         // Resource accounting: the resident blocks actually fit.
         if occ.blocks_per_sm > 0 {
-            assert!(occ.blocks_per_sm * res.regs_per_block() <= dev.regs_per_sm, "case {case}");
+            assert!(
+                occ.blocks_per_sm * res.regs_per_block() <= dev.regs_per_sm,
+                "case {case}"
+            );
             assert!(occ.blocks_per_sm * smem <= dev.smem_per_sm, "case {case}");
         }
     }
@@ -121,7 +130,10 @@ fn more_registers_never_increase_occupancy() {
                 },
             )
         };
-        assert!(mk(regs + 8).blocks_per_sm <= mk(regs).blocks_per_sm, "case {case}");
+        assert!(
+            mk(regs + 8).blocks_per_sm <= mk(regs).blocks_per_sm,
+            "case {case}"
+        );
     }
 }
 
@@ -136,7 +148,11 @@ fn gpu_time_is_monotone_in_every_counter() {
         let calib = GpuCalib::default();
         let occ = occupancy(
             &dev,
-            &KernelResources { regs_per_thread: 32, smem_per_block: 0, threads_per_block: 256 },
+            &KernelResources {
+                regs_per_thread: 32,
+                smem_per_block: 0,
+                threads_per_block: 256,
+            },
         );
         let base = Counters {
             global_read_bytes: bytes,

@@ -545,8 +545,16 @@ pub fn deriv1(get: impl FnMut(isize, isize, isize) -> f64) -> [f64; 3] {
 pub fn deriv1_nd(mut get: impl FnMut(isize, isize, isize) -> f64, ndim: usize) -> [f64; 3] {
     [
         (get(1, 0, 0) - get(-1, 0, 0)) / 2.0,
-        if ndim >= 2 { (get(0, 1, 0) - get(0, -1, 0)) / 2.0 } else { 0.0 },
-        if ndim >= 3 { (get(0, 0, 1) - get(0, 0, -1)) / 2.0 } else { 0.0 },
+        if ndim >= 2 {
+            (get(0, 1, 0) - get(0, -1, 0)) / 2.0
+        } else {
+            0.0
+        },
+        if ndim >= 3 {
+            (get(0, 0, 1) - get(0, 0, -1)) / 2.0
+        } else {
+            0.0
+        },
     ]
 }
 
@@ -562,8 +570,16 @@ pub fn deriv2_nd(mut get: impl FnMut(isize, isize, isize) -> f64, ndim: usize) -
     let c = get(0, 0, 0);
     [
         get(1, 0, 0) - 2.0 * c + get(-1, 0, 0),
-        if ndim >= 2 { get(0, 1, 0) - 2.0 * c + get(0, -1, 0) } else { 0.0 },
-        if ndim >= 3 { get(0, 0, 1) - 2.0 * c + get(0, 0, -1) } else { 0.0 },
+        if ndim >= 2 {
+            get(0, 1, 0) - 2.0 * c + get(0, -1, 0)
+        } else {
+            0.0
+        },
+        if ndim >= 3 {
+            get(0, 0, 1) - 2.0 * c + get(0, 0, -1)
+        } else {
+            0.0
+        },
     ]
 }
 
@@ -718,8 +734,9 @@ mod tests {
 
     #[test]
     fn p1_combine_equals_sequential_absorb() {
-        let pairs: Vec<(f64, f64)> =
-            (0..100).map(|i| (i as f64 * 0.7 - 30.0, i as f64 * 0.69 - 30.0)).collect();
+        let pairs: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64 * 0.7 - 30.0, i as f64 * 0.69 - 30.0))
+            .collect();
         let mut whole = P1Scalars::identity();
         for &(x, y) in &pairs {
             whole.absorb(x, y);
@@ -802,7 +819,11 @@ mod tests {
             let mut ys = [0f32; 32];
             for l in 0..32 {
                 let t = (r * 32 + l) as f32;
-                xs[l] = if (r + l) % 7 == 0 { 0.0 } else { (t * 0.37).sin() * 31.0 };
+                xs[l] = if (r + l) % 7 == 0 {
+                    0.0
+                } else {
+                    (t * 0.37).sin() * 31.0
+                };
                 ys[l] = xs[l] + 0.01 * (t * 1.3).cos();
             }
             rows.push((xs, ys, if r == 8 { 13 } else { 32 }));
@@ -868,7 +889,8 @@ mod tests {
     #[test]
     fn derivatives_of_linear_field_are_exact() {
         // f = 3x + 5y - 2z → ∇ = (3, 5, -2), Laplacian components 0.
-        let f = |dx: isize, dy: isize, dz: isize| 3.0 * dx as f64 + 5.0 * dy as f64 - 2.0 * dz as f64;
+        let f =
+            |dx: isize, dy: isize, dz: isize| 3.0 * dx as f64 + 5.0 * dy as f64 - 2.0 * dz as f64;
         let d1 = deriv1(f);
         assert_eq!(d1, [3.0, 5.0, -2.0]);
         let d2 = deriv2(f);

@@ -17,7 +17,12 @@ impl Histogram {
     /// bin 0 (Z-checker's behaviour for constant fields).
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        Histogram { lo, hi, bins: vec![0; bins], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Number of bins.
@@ -113,7 +118,10 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.bins.len()];
         }
-        self.bins.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Shannon entropy of the binned distribution, in bits.

@@ -19,6 +19,7 @@
 //! The shared accumulator math lives in [`acc`] so every executor agrees on
 //! metric definitions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod acc;
@@ -65,6 +66,10 @@ impl<K: HasReferencePath> BlockKernel for Reference<K> {
     type Partial = K::Partial;
     type Output = K::Output;
 
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
     fn resources(&self) -> KernelResources {
         self.0.resources()
     }
@@ -101,9 +106,15 @@ pub struct FieldPair<'a> {
 impl<'a> FieldPair<'a> {
     /// Pair two congruent tensors (panics on shape mismatch — callers
     /// validate shapes at the API boundary).
+    // charging-lint: exempt — these are `Tensor` (global-memory) views, not
+    // `SharedBuf` raw views; kernels charge reads against them explicitly.
     pub fn new(orig: &'a Tensor<f32>, dec: &'a Tensor<f32>) -> Self {
         assert_eq!(orig.shape(), dec.shape(), "field pair must be congruent");
-        FieldPair { orig: orig.as_slice(), dec: dec.as_slice(), shape: orig.shape() }
+        FieldPair {
+            orig: orig.as_slice(),
+            dec: dec.as_slice(),
+            shape: orig.shape(),
+        }
     }
 
     /// Total elements.

@@ -101,9 +101,17 @@ impl BlockKernel for MoP1Kernel<'_> {
     type Partial = P1Scalars;
     type Output = P1Scalars;
 
+    fn name(&self) -> &'static str {
+        "mo_p1"
+    }
+
     fn resources(&self) -> KernelResources {
         // Lean single-purpose kernels: full occupancy.
-        KernelResources { regs_per_thread: 24, smem_per_block: 256, threads_per_block: 256 }
+        KernelResources {
+            regs_per_thread: 24,
+            smem_per_block: 256,
+            threads_per_block: 256,
+        }
     }
 
     fn class(&self) -> KernelClass {
@@ -133,7 +141,7 @@ impl BlockKernel for MoP1Kernel<'_> {
             ctx.special(slab as u64);
         }
         // Warp + cross-warp reduction of ONE quantity (vs. 19 fused).
-        ctx.counters.shuffles += 5 + 3;
+        ctx.charge_shuffles(5 + 3);
         ctx.flops((5 + 3) * WARP as u64);
         ctx.sync_threads();
         ctx.g_write_raw(8);
@@ -168,7 +176,7 @@ impl HasReferencePath for MoP1Kernel<'_> {
         if self.metric.divides() {
             ctx.special(slab as u64);
         }
-        ctx.counters.shuffles += 5 + 3;
+        ctx.charge_shuffles(5 + 3);
         ctx.flops((5 + 3) * WARP as u64);
         ctx.sync_threads();
         ctx.g_write_raw(8);
@@ -211,7 +219,11 @@ impl MoHistKernel<'_> {
             MoHistKind::ErrPdf => Histogram::new(self.scalars.min_e, self.scalars.max_e, self.bins),
             MoHistKind::PwrPdf => Histogram::new(
                 0.0,
-                if self.scalars.n_rel > 0 { self.scalars.max_rel } else { 0.0 },
+                if self.scalars.n_rel > 0 {
+                    self.scalars.max_rel
+                } else {
+                    0.0
+                },
                 self.bins,
             ),
             MoHistKind::ValueHist => {
@@ -224,6 +236,10 @@ impl MoHistKernel<'_> {
 impl BlockKernel for MoHistKernel<'_> {
     type Partial = Histogram;
     type Output = Histogram;
+
+    fn name(&self) -> &'static str {
+        "mo_hist"
+    }
 
     fn resources(&self) -> KernelResources {
         KernelResources {
@@ -323,7 +339,9 @@ impl HasReferencePath for MoHistKernel<'_> {
                 }
             }
             ctx.flops(4);
-            ctx.counters.shared_accesses += 1;
+            // Block-uniform histogram bump (shared atomics, race-free by
+            // design — no warp attribution needed).
+            ctx.charge_shared(1);
         }
         ctx.sync_threads();
         ctx.g_write_raw(self.bins as u64 * 4);
@@ -359,9 +377,17 @@ impl BlockKernel for MoDerivKernel<'_> {
     type Partial = crate::acc::P2Stats;
     type Output = crate::acc::P2Stats;
 
+    fn name(&self) -> &'static str {
+        "mo_deriv"
+    }
+
     fn resources(&self) -> KernelResources {
         // Same 16x16 tiling discipline as the fused stencil kernel.
-        KernelResources { regs_per_thread: 9, smem_per_block: 8 * 1024, threads_per_block: 256 }
+        KernelResources {
+            regs_per_thread: 9,
+            smem_per_block: 8 * 1024,
+            threads_per_block: 256,
+        }
     }
 
     fn class(&self) -> KernelClass {
@@ -392,7 +418,7 @@ impl BlockKernel for MoDerivKernel<'_> {
         let tiles = (nx.div_ceil(16) * ny.div_ceil(16)) as u64;
         let halo = (18 * 18) as f64 / (16 * 16) as f64;
         ctx.g_read_raw((2.0 * 3.0 * 4.0 * slab as f64 * halo) as u64);
-        ctx.counters.shared_accesses += 2 * 3 * slab + 14 * slab;
+        ctx.charge_shared(2 * 3 * slab + 14 * slab);
         ctx.flops(20 * slab);
         ctx.special(2 * slab);
         ctx.note_iters(tiles * 4);
@@ -472,8 +498,16 @@ impl BlockKernel for MoAutocorrKernel<'_> {
     type Partial = crate::acc::P2Stats;
     type Output = crate::acc::P2Stats;
 
+    fn name(&self) -> &'static str {
+        "mo_autocorr"
+    }
+
     fn resources(&self) -> KernelResources {
-        KernelResources { regs_per_thread: 16, smem_per_block: 256, threads_per_block: 256 }
+        KernelResources {
+            regs_per_thread: 16,
+            smem_per_block: 256,
+            threads_per_block: 256,
+        }
     }
 
     fn class(&self) -> KernelClass {
@@ -505,9 +539,8 @@ impl BlockKernel for MoAutocorrKernel<'_> {
         for y in 0..y_max {
             let row = s.linear([0, y, z, w4]);
             for x in 0..nx - lag {
-                let e = |i: usize| {
-                    self.fields.orig[i] as f64 - self.fields.dec[i] as f64 - self.mean_e
-                };
+                let e =
+                    |i: usize| self.fields.orig[i] as f64 - self.fields.dec[i] as f64 - self.mean_e;
                 let mut nb = [0.0f64; 3];
                 let mut k = 0;
                 nb[k] = e(row + x + lag);
@@ -612,9 +645,14 @@ mod tests {
         let shape = Shape::d3(33, 17, 7);
         let (orig, dec) = fields(shape);
         let sim = GpuSim::v100();
-        let fused = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+        let fused = P1FusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+        };
         let want = sim.launch(&fused, fused.grid()).output;
-        let mo = MoP1Kernel { fields: FieldPair::new(&orig, &dec), metric: MoP1Metric::Mse };
+        let mo = MoP1Kernel {
+            fields: FieldPair::new(&orig, &dec),
+            metric: MoP1Metric::Mse,
+        };
         let got = sim.launch(&mo, mo.grid()).output;
         assert_eq!(got.n, want.n);
         let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-30);
@@ -627,11 +665,16 @@ mod tests {
         let shape = Shape::d3(64, 32, 8);
         let (orig, dec) = fields(shape);
         let sim = GpuSim::v100();
-        let fused = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+        let fused = P1FusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+        };
         let fused_bytes = sim.launch(&fused, fused.grid()).counters.global_read_bytes;
         let mut mo_bytes = 0u64;
         for m in MoP1Metric::SCALARS {
-            let k = MoP1Kernel { fields: FieldPair::new(&orig, &dec), metric: m };
+            let k = MoP1Kernel {
+                fields: FieldPair::new(&orig, &dec),
+                metric: m,
+            };
             mo_bytes += sim.launch(&k, k.grid()).counters.global_read_bytes;
         }
         // 8 scalar kernels each re-read the payload the fused kernel reads
@@ -649,7 +692,10 @@ mod tests {
         let shape = Shape::d3(16, 16, 4);
         let (orig, dec) = fields(shape);
         let sim = GpuSim::v100();
-        let k = MoP1Kernel { fields: FieldPair::new(&orig, &dec), metric: MoP1Metric::MinErr };
+        let k = MoP1Kernel {
+            fields: FieldPair::new(&orig, &dec),
+            metric: MoP1Metric::MinErr,
+        };
         let r = sim.launch(&k, k.grid());
         assert_eq!(r.counters.launches, 2);
         assert_eq!(r.counters.grid_syncs, 0);
@@ -660,7 +706,9 @@ mod tests {
         let shape = Shape::d3(20, 20, 5);
         let (orig, dec) = fields(shape);
         let sim = GpuSim::v100();
-        let fused = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+        let fused = P1FusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+        };
         let scalars = sim.launch(&fused, fused.grid()).output;
         let fk = crate::p1::P1HistKernel {
             fields: FieldPair::new(&orig, &dec),
@@ -694,14 +742,22 @@ mod tests {
             cooperative: true,
         };
         let want = sim.launch(&fused, fused.grid()).output;
-        let mo = MoDerivKernel { fields: FieldPair::new(&orig, &dec), order: 1, max_lag: 1 };
+        let mo = MoDerivKernel {
+            fields: FieldPair::new(&orig, &dec),
+            order: 1,
+            max_lag: 1,
+        };
         let got = sim.launch(&mo, mo.grid()).output;
         assert_eq!(got.n_interior, want.n_interior);
         let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-12);
         assert!(close(got.sum_grad_x, want.sum_grad_x));
         assert!(close(got.sum_grad_err2, want.sum_grad_err2));
         // The order-2 launch contributes no statistics (cost only).
-        let mo2 = MoDerivKernel { fields: FieldPair::new(&orig, &dec), order: 2, max_lag: 1 };
+        let mo2 = MoDerivKernel {
+            fields: FieldPair::new(&orig, &dec),
+            order: 2,
+            max_lag: 1,
+        };
         let got2 = sim.launch(&mo2, mo2.grid()).output;
         assert_eq!(got2.n_interior, 0);
     }

@@ -40,6 +40,10 @@ impl BlockKernel for P1FusedKernel<'_> {
     type Partial = P1Scalars;
     type Output = P1Scalars;
 
+    fn name(&self) -> &'static str {
+        "p1_fused"
+    }
+
     fn resources(&self) -> KernelResources {
         // 56 regs/thread × 256 threads ≈ the paper's 14k Regs/TB; the
         // cross-warp staging area is 8 warps × 19 quantities × 8 B ≈ 0.4 KB
@@ -69,7 +73,12 @@ impl BlockKernel for P1FusedKernel<'_> {
         let mut warp_partials = [P1Scalars::identity(); P1_WARPS];
         let thread_iters = nx.div_ceil(WARP) as u64 * ny.div_ceil(P1_WARPS) as u64;
         ctx.note_iters(thread_iters);
+        // Cross-warp staging area allocated up front so each warp's lane-0
+        // store can be attributed to its warp for race tracking.
+        let q = P1Scalars::QUANTITIES as usize;
+        let staging: zc_gpusim::SharedBuf<f64> = ctx.shared_alloc(P1_WARPS * q);
         for (w, wp) in warp_partials.iter_mut().enumerate() {
+            ctx.warp_begin(w);
             let mut lanes = LaneAccum::identity();
             let mut y = w;
             while y < ny {
@@ -92,23 +101,26 @@ impl BlockKernel for P1FusedKernel<'_> {
             ctx.charge_shuffles(5 * P1Scalars::QUANTITIES);
             ctx.flops(5 * P1Scalars::QUANTITIES * WARP as u64);
             *wp = lanes.warp_reduce();
+            // Lane 0 stages this warp's 19 quantities (Algorithm 1, line 9;
+            // values travel in the functional partials, the marks charge the
+            // traffic and feed race/init tracking).
+            ctx.sh_mark_writes(&staging, w * q, q);
+            ctx.warp_end();
         }
 
-        // Cross-warp reduction through shared memory (Algorithm 1,
-        // lines 9-15): each warp's lane 0 stages its 19 quantities and
-        // warp 0 reads them all back after the barrier — charged as one
-        // batched write + read total.
-        let _staging: zc_gpusim::SharedBuf<f64> =
-            ctx.shared_alloc(P1_WARPS * P1Scalars::QUANTITIES as usize);
-        ctx.charge_shared(2 * P1_WARPS as u64 * P1Scalars::QUANTITIES);
+        // Cross-warp reduction (Algorithm 1, lines 10-15): after the
+        // barrier, warp 0 reads every staged partial back.
         ctx.sync_threads();
+        ctx.warp_begin(0);
+        ctx.sh_mark_reads(&staging, 0, P1_WARPS * q);
+        ctx.warp_end();
         let mut block_acc = P1Scalars::identity();
         for wp in &warp_partials {
             block_acc.combine(wp);
         }
         ctx.charge_shuffles(3 * P1Scalars::QUANTITIES); // log2(8) steps
-        // Block partial goes to global memory for the cooperative fold
-        // (Algorithm 1, line 16).
+                                                        // Block partial goes to global memory for the cooperative fold
+                                                        // (Algorithm 1, line 16).
         ctx.g_write_raw(P1Scalars::QUANTITIES * 8);
         block_acc
     }
@@ -140,6 +152,7 @@ impl HasReferencePath for P1FusedKernel<'_> {
         let thread_iters = nx.div_ceil(WARP) as u64 * ny.div_ceil(P1_WARPS) as u64;
         ctx.note_iters(thread_iters);
         for (w, wp) in warp_partials.iter_mut().enumerate() {
+            ctx.warp_begin(w);
             let mut lanes = [P1Scalars::identity(); WARP];
             let mut y = w;
             while y < ny {
@@ -166,11 +179,12 @@ impl HasReferencePath for P1FusedKernel<'_> {
                     let other = lanes[l + offset];
                     lanes[l].combine(&other);
                 }
-                ctx.counters.shuffles += P1Scalars::QUANTITIES;
+                ctx.charge_shuffles(P1Scalars::QUANTITIES);
                 ctx.flops(P1Scalars::QUANTITIES * WARP as u64);
                 offset /= 2;
             }
             *wp = lanes[0];
+            ctx.warp_end();
         }
 
         // Cross-warp reduction through shared memory (Algorithm 1,
@@ -179,23 +193,27 @@ impl HasReferencePath for P1FusedKernel<'_> {
         let mut staging: zc_gpusim::SharedBuf<f64> =
             ctx.shared_alloc(P1_WARPS * P1Scalars::QUANTITIES as usize);
         for w in 0..P1_WARPS {
+            ctx.warp_begin(w);
             for q in 0..P1Scalars::QUANTITIES as usize {
                 // Stage quantity q of warp w (value itself travels in the
                 // functional partials; we charge the traffic).
                 ctx.sh_write(&mut staging, w * P1Scalars::QUANTITIES as usize + q, 0.0);
             }
+            ctx.warp_end();
         }
         ctx.sync_threads();
         let mut block_acc = P1Scalars::identity();
         for wp in &warp_partials {
             block_acc.combine(wp);
         }
-        for _ in 0..P1_WARPS * P1Scalars::QUANTITIES as usize {
-            ctx.counters.shared_accesses += 1; // warp-0 reads the staging
+        ctx.warp_begin(0);
+        for i in 0..P1_WARPS * P1Scalars::QUANTITIES as usize {
+            let _ = ctx.sh_read(&staging, i); // warp-0 reads the staging
         }
-        ctx.counters.shuffles += 3 * P1Scalars::QUANTITIES; // log2(8) steps
-        // Block partial goes to global memory for the cooperative fold
-        // (Algorithm 1, line 16).
+        ctx.warp_end();
+        ctx.charge_shuffles(3 * P1Scalars::QUANTITIES); // log2(8) steps
+                                                        // Block partial goes to global memory for the cooperative fold
+                                                        // (Algorithm 1, line 16).
         ctx.g_write_raw(P1Scalars::QUANTITIES * 8);
         block_acc
     }
@@ -236,7 +254,11 @@ impl P1HistKernel<'_> {
             err_pdf: Histogram::new(self.scalars.min_e, self.scalars.max_e, self.bins),
             rel_pdf: Histogram::new(
                 0.0,
-                if self.scalars.n_rel > 0 { self.scalars.max_rel } else { 0.0 },
+                if self.scalars.n_rel > 0 {
+                    self.scalars.max_rel
+                } else {
+                    0.0
+                },
                 self.bins,
             ),
             value_hist: Histogram::new(self.scalars.min_x, self.scalars.max_x, self.bins),
@@ -247,6 +269,10 @@ impl P1HistKernel<'_> {
 impl BlockKernel for P1HistKernel<'_> {
     type Partial = P1Histograms;
     type Output = P1Histograms;
+
+    fn name(&self) -> &'static str {
+        "p1_hist"
+    }
 
     fn resources(&self) -> KernelResources {
         // Three shared-memory histograms per block.
@@ -338,7 +364,9 @@ impl HasReferencePath for P1HistKernel<'_> {
             h.err_pdf.insert(e);
             h.value_hist.insert(x);
             ctx.flops(10); // binning arithmetic for three inserts
-            ctx.counters.shared_accesses += 3; // shared-memory atomics
+                           // Shared-memory atomics: block-uniform (every warp hits the
+                           // histogram concurrently but atomically, so no warp scope).
+            ctx.charge_shared(3);
             if x != 0.0 {
                 h.rel_pdf.insert((e / x).abs());
                 ctx.special(1);
@@ -378,7 +406,9 @@ mod tests {
         let shape = Shape::d3(70, 33, 9);
         let (orig, dec) = fields(shape);
         let sim = GpuSim::v100();
-        let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+        let k = P1FusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+        };
         let r = sim.launch(&k, k.grid());
         let want = reference(&orig, &dec);
         assert_eq!(r.output.n, want.n);
@@ -395,7 +425,9 @@ mod tests {
         let shape = Shape::d3(64, 32, 4);
         let (orig, dec) = fields(shape);
         let sim = GpuSim::v100();
-        let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+        let k = P1FusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+        };
         let r = sim.launch(&k, k.grid());
         // Two arrays, each element exactly once — the fusion claim.
         let payload = 2 * shape.len() as u64 * 4;
@@ -416,7 +448,9 @@ mod tests {
         let orig = Tensor::<f32>::zeros(shape);
         let dec = Tensor::<f32>::zeros(shape);
         let sim = GpuSim::v100();
-        let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+        let k = P1FusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+        };
         let r = sim.launch(&k, k.grid());
         assert_eq!(r.counters.iters_per_thread, 576);
     }
@@ -428,7 +462,9 @@ mod tests {
         let orig = Tensor::<f32>::zeros(shape);
         let dec = Tensor::<f32>::zeros(shape);
         let sim = GpuSim::v100();
-        let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+        let k = P1FusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+        };
         let r = sim.launch(&k, k.grid());
         assert_eq!(r.occupancy.blocks_per_sm, 4);
     }
@@ -439,7 +475,11 @@ mod tests {
         let (orig, dec) = fields(shape);
         let sim = GpuSim::v100();
         let scalars = reference(&orig, &dec);
-        let k = P1HistKernel { fields: FieldPair::new(&orig, &dec), scalars, bins: 64 };
+        let k = P1HistKernel {
+            fields: FieldPair::new(&orig, &dec),
+            scalars,
+            bins: 64,
+        };
         let r = sim.launch(&k, k.grid());
         assert_eq!(r.output.err_pdf.total(), shape.len() as u64);
         assert_eq!(r.output.value_hist.total(), shape.len() as u64);
@@ -453,7 +493,11 @@ mod tests {
         let orig = Tensor::from_fn(shape, |[x, ..]| x as f32);
         let scalars = reference(&orig, &orig);
         let sim = GpuSim::v100();
-        let k = P1HistKernel { fields: FieldPair::new(&orig, &orig), scalars, bins: 32 };
+        let k = P1HistKernel {
+            fields: FieldPair::new(&orig, &orig),
+            scalars,
+            bins: 32,
+        };
         let r = sim.launch(&k, k.grid());
         // All mass in bin 0 (degenerate zero-width error range).
         assert_eq!(r.output.err_pdf.counts()[0], shape.len() as u64);

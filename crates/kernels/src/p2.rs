@@ -18,10 +18,14 @@
 
 use crate::acc::{deriv1_nd, deriv2_nd, grad_mag, P2Stats};
 use crate::{FieldPair, HasReferencePath};
-use zc_gpusim::{BlockCtx, BlockKernel, KernelClass, KernelResources, SharedBuf};
+use zc_gpusim::{BlockCtx, BlockKernel, KernelClass, KernelResources, SharedBuf, WARP};
 
 /// Tile side length (threads per block = TILE²).
 pub const TILE: usize = 16;
+
+/// Warps per pattern-2 block (16×16 threads in 32-lane rows); staged tile
+/// row `ly` belongs to warp `(ly / 2) % P2_WARPS` for race attribution.
+const P2_WARPS: usize = TILE * TILE / WARP;
 
 /// The fused pattern-2 kernel for one stride.
 pub struct P2FusedKernel<'a> {
@@ -76,6 +80,10 @@ impl P2FusedKernel<'_> {
 impl BlockKernel for P2FusedKernel<'_> {
     type Partial = P2Stats;
     type Output = P2Stats;
+
+    fn name(&self) -> &'static str {
+        "p2_fused"
+    }
 
     fn resources(&self) -> KernelResources {
         // The kernel reserves shared memory for its worst launch (3 staged
@@ -165,7 +173,11 @@ impl BlockKernel for P2FusedKernel<'_> {
                     let hi = wdt.min(nx + 1 - tx0);
                     hi.saturating_sub(lo) as u64
                 };
-                let fresh = if tx == 0 { valid } else { valid.min(TILE as u64) };
+                let fresh = if tx == 0 {
+                    valid
+                } else {
+                    valid.min(TILE as u64)
+                };
                 ctx.charge_shared(2 * n_slices * n_rows * valid);
                 ctx.g_read_raw(2 * 4 * n_slices * n_rows * fresh);
                 ctx.sync_threads();
@@ -211,8 +223,7 @@ impl BlockKernel for P2FusedKernel<'_> {
                         let mut gq = [[0f64; TILE]; 2];
                         let mut dvq = [[0f64; TILE]; 2];
                         let mut lpq = [[0f64; TILE]; 2];
-                        for (f, arr) in
-                            [self.fields.orig, self.fields.dec].into_iter().enumerate()
+                        for (f, arr) in [self.fields.orig, self.fields.dec].into_iter().enumerate()
                         {
                             for i in 0..cnt {
                                 let x = tx0 + lx_lo + i;
@@ -379,6 +390,10 @@ impl HasReferencePath for P2FusedKernel<'_> {
                         if y < 0 || y >= ny as isize {
                             continue;
                         }
+                        // Staging is distributed over the block's warps by
+                        // row; the barrier below makes the handoff to the
+                        // consuming warps race-free.
+                        ctx.warp_begin((ly / 2) % P2_WARPS);
                         let mut valid = 0u64;
                         for lx in 0..wdt {
                             let x = tx0 as isize + lx as isize - 1;
@@ -396,8 +411,13 @@ impl HasReferencePath for P2FusedKernel<'_> {
                         }
                         // Fresh columns: everything for the row's first
                         // tile, at most TILE new columns afterwards.
-                        let fresh = if tx == 0 { valid } else { valid.min(TILE as u64) };
+                        let fresh = if tx == 0 {
+                            valid
+                        } else {
+                            valid.min(TILE as u64)
+                        };
                         ctx.g_read_raw(2 * 4 * fresh);
+                        ctx.warp_end();
                     }
                 }
                 ctx.sync_threads();
@@ -410,6 +430,9 @@ impl HasReferencePath for P2FusedKernel<'_> {
                     if y >= ny {
                         break;
                     }
+                    // Thread (lx, ly) sits in warp ly/2; its stencil gets
+                    // read rows other warps staged (cross-warp, next epoch).
+                    ctx.warp_begin(ly / 2);
                     for lx in 0..TILE {
                         let x = tx0 + lx;
                         if x >= nx {
@@ -483,6 +506,7 @@ impl HasReferencePath for P2FusedKernel<'_> {
                             stats.absorb_ac_nd(tau, e0, &nb[..k]);
                         }
                     }
+                    ctx.warp_end();
                 }
                 ctx.sync_threads();
             }
@@ -598,7 +622,12 @@ mod tests {
         assert_eq!(got.n_interior, want.n_interior);
         assert_eq!(got.ac_n, want.ac_n);
         let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-12);
-        assert!(close(got.sum_grad_x, want.sum_grad_x), "{} {}", got.sum_grad_x, want.sum_grad_x);
+        assert!(
+            close(got.sum_grad_x, want.sum_grad_x),
+            "{} {}",
+            got.sum_grad_x,
+            want.sum_grad_x
+        );
         assert!(close(got.sum_lap_y, want.sum_lap_y));
         assert!(close(got.max_grad_x, want.max_grad_x));
         for lag in 1..=3 {

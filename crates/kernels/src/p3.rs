@@ -39,7 +39,13 @@ pub struct SsimParams {
 impl SsimParams {
     /// The paper's settings with a given data range.
     pub fn paper_defaults(range: f64) -> Self {
-        SsimParams { wsize: 8, step: 1, k1: 0.01, k2: 0.03, range }
+        SsimParams {
+            wsize: 8,
+            step: 1,
+            k1: 0.01,
+            k2: 0.03,
+            range,
+        }
     }
 
     /// Concurrent x-windows per warp (`xNum = warpSize − wsize + step`).
@@ -122,10 +128,18 @@ impl BlockKernel for SsimFusedKernel<'_> {
     type Partial = SsimAcc;
     type Output = SsimAcc;
 
+    fn name(&self) -> &'static str {
+        "p3_ssim"
+    }
+
     fn resources(&self) -> KernelResources {
         // 86 regs × 128 threads ≈ the paper's 11k Regs/TB; the shared FIFO
         // (f32 moments) is ≈16 KB for the paper's window-8/step-1 setting.
-        let smem = if self.fifo_in_shared { (self.fifo_entries() * 4) as u32 } else { 256 };
+        let smem = if self.fifo_in_shared {
+            (self.fifo_entries() * 4) as u32
+        } else {
+            256
+        };
         KernelResources {
             regs_per_thread: 86,
             smem_per_block: smem,
@@ -219,8 +233,10 @@ impl SsimFusedKernel<'_> {
         if wy_base >= y_pos || nx < wsize || nz < wz_size || !(2..=WARP).contains(&wsize) {
             return SsimAcc::default();
         }
-        let y_wins: Vec<usize> =
-            (0..Y_NUM).map(|t| wy_base + t).filter(|&wy| wy < y_pos).collect();
+        let y_wins: Vec<usize> = (0..Y_NUM)
+            .map(|t| wy_base + t)
+            .filter(|&wy| wy < y_pos)
+            .collect();
         // Rows of y this block touches per slice.
         let row_lo = y_wins[0] * step;
         let row_hi = y_wins.last().unwrap() * step + wy_size; // exclusive
@@ -234,7 +250,7 @@ impl SsimFusedKernel<'_> {
         let fplane = self.fifo_entries() / WindowMoments::QUANTITIES as usize;
         let mut fifo = vec![0f64; self.fifo_entries()];
         let fifo_idx = |slot: usize, t: usize, lane: usize| (slot * Y_NUM + t) * x_num + lane;
-        let _shared: SharedBuf<f32> = if self.fifo_in_shared {
+        let shared: SharedBuf<f32> = if self.fifo_in_shared {
             ctx.shared_alloc(self.fifo_entries())
         } else {
             ctx.shared_alloc(64) // staging only
@@ -256,8 +272,7 @@ impl SsimFusedKernel<'_> {
         let mut i = 0usize;
         while i + wsize <= nx {
             // Valid windows this sweep: origin i + w·step, fully in range.
-            let wins_valid =
-                wins_per_iter.min((nx - wsize - i) / step + 1);
+            let wins_valid = wins_per_iter.min((nx - wsize - i) / step + 1);
             for k in 0..nz {
                 ctx.note_iters(1);
                 // ---- read one slice row-group and reduce along x --------
@@ -269,7 +284,7 @@ impl SsimFusedKernel<'_> {
                     // Per-lane products, then sliding sums via shfl_down
                     // chains (wsize−1 shuffles per quantity).
                     ctx.flops(3 * WARP as u64);
-                    ctx.counters.shuffles += (wsize as u64 - 1) * q;
+                    ctx.charge_shuffles((wsize as u64 - 1) * q);
                     ctx.flops((wsize as u64 - 1) * q * WARP as u64);
                     // Every touched index is < valid: the furthest access is
                     // (wins_valid-1)·step + wsize - 1 ≤ nx - i - 1.
@@ -295,19 +310,15 @@ impl SsimFusedKernel<'_> {
                         // to the reference), but the inner loop runs across
                         // independent windows at stride `step` — unit stride
                         // for the paper's step = 1, so it vectorizes.
-                        for (qi, arr) in
-                            [&xa, &x2a, &ya, &y2a, &xya].into_iter().enumerate()
-                        {
+                        for (qi, arr) in [&xa, &x2a, &ya, &y2a, &xya].into_iter().enumerate() {
                             let rb = qi * rplane + r * x_num;
                             if step == 1 {
                                 // Window w sums arr[w + dx] for ascending dx;
                                 // (wins_valid−1)·step + wsize ≤ WARP keeps
                                 // every row slice in bounds.
-                                sum_rows_into(
-                                    &mut row_sums[rb..rb + wins_valid],
-                                    wsize,
-                                    |dx| &arr[dx..dx + wins_valid],
-                                );
+                                sum_rows_into(&mut row_sums[rb..rb + wins_valid], wsize, |dx| {
+                                    &arr[dx..dx + wins_valid]
+                                });
                             } else {
                                 for w in 0..wins_valid {
                                     let lane = w * step;
@@ -339,8 +350,9 @@ impl SsimFusedKernel<'_> {
                     }
                 }
                 // ---- y reduction per window row-group -------------------
-                // (cross-warp, through shared memory in the real kernel).
-                ctx.counters.shared_accesses += (n_rows * wins_valid) as u64 * q;
+                // (cross-warp, through shared memory in the real kernel;
+                // block-uniform staging traffic charged in bulk).
+                ctx.charge_shared((n_rows * wins_valid) as u64 * q);
                 ctx.sync_threads();
                 let slot = k % wz_size;
                 for (t, &wy) in y_wins.iter().enumerate() {
@@ -357,9 +369,20 @@ impl SsimFusedKernel<'_> {
                 }
                 ctx.flops((y_wins.len() * wins_valid) as u64 * q * wy_size as u64);
                 // ---- FIFO store ----------------------------------------
+                // Warp t parks its y-window's five moment runs in its own
+                // FIFO rows; the marks charge the same total the bulk
+                // accounting did while feeding race/init tracking at the
+                // exact stored positions.
                 let store = (y_wins.len() * wins_valid) as u64 * q;
                 if self.fifo_in_shared {
-                    ctx.counters.shared_accesses += store;
+                    for t in 0..y_wins.len() {
+                        ctx.warp_begin(t);
+                        for qi in 0..WindowMoments::QUANTITIES as usize {
+                            let fb = qi * fplane + fifo_idx(slot, t, 0);
+                            ctx.sh_mark_writes(&shared, fb, wins_valid);
+                        }
+                        ctx.warp_end();
+                    }
                 } else {
                     // Per-window scattered spill to global memory.
                     ctx.g_scatter(store * 4);
@@ -368,7 +391,16 @@ impl SsimFusedKernel<'_> {
                 if k + 1 >= wz_size && (k + 1 - wz_size) % step == 0 {
                     let fold = (y_wins.len() * wins_valid) as u64 * q * wz_size as u64;
                     if self.fifo_in_shared {
-                        ctx.counters.shared_accesses += fold;
+                        for t in 0..y_wins.len() {
+                            ctx.warp_begin(t);
+                            for qi in 0..WindowMoments::QUANTITIES as usize {
+                                for sl in 0..wz_size {
+                                    let fb = qi * fplane + fifo_idx(sl, t, 0);
+                                    ctx.sh_mark_reads(&shared, fb, wins_valid);
+                                }
+                            }
+                            ctx.warp_end();
+                        }
                     } else {
                         ctx.g_scatter(fold * 4);
                     }
@@ -456,7 +488,11 @@ mod tests {
         let (orig, dec) = fields(shape);
         let p = SsimParams::paper_defaults(range_of(&orig));
         let sim = GpuSim::v100();
-        let k = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: true };
+        let k = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+            params: p,
+            fifo_in_shared: true,
+        };
         let got = sim.launch(&k, k.grid()).output;
         let want = reference(&orig, &dec, p);
         assert_eq!(got.windows, want.windows, "window count");
@@ -472,9 +508,19 @@ mod tests {
     fn strided_windows_match_reference() {
         let shape = Shape::d3(37, 25, 17);
         let (orig, dec) = fields(shape);
-        let p = SsimParams { wsize: 6, step: 3, k1: 0.01, k2: 0.03, range: range_of(&orig) };
+        let p = SsimParams {
+            wsize: 6,
+            step: 3,
+            k1: 0.01,
+            k2: 0.03,
+            range: range_of(&orig),
+        };
         let sim = GpuSim::v100();
-        let k = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: true };
+        let k = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+            params: p,
+            fifo_in_shared: true,
+        };
         let got = sim.launch(&k, k.grid()).output;
         let want = reference(&orig, &dec, p);
         assert_eq!(got.windows, want.windows);
@@ -487,7 +533,11 @@ mod tests {
         let (orig, _) = fields(shape);
         let p = SsimParams::paper_defaults(range_of(&orig));
         let sim = GpuSim::v100();
-        let k = SsimFusedKernel { fields: FieldPair::new(&orig, &orig), params: p, fifo_in_shared: true };
+        let k = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &orig),
+            params: p,
+            fifo_in_shared: true,
+        };
         let got = sim.launch(&k, k.grid()).output;
         assert!((got.mean() - 1.0).abs() < 1e-12);
     }
@@ -501,13 +551,25 @@ mod tests {
         let sim = GpuSim::v100();
         let s_mild = sim
             .launch(
-                &SsimFusedKernel { fields: FieldPair::new(&orig, &mild), params: p, fifo_in_shared: true },
-                SsimFusedKernel { fields: FieldPair::new(&orig, &mild), params: p, fifo_in_shared: true }.grid(),
+                &SsimFusedKernel {
+                    fields: FieldPair::new(&orig, &mild),
+                    params: p,
+                    fifo_in_shared: true,
+                },
+                SsimFusedKernel {
+                    fields: FieldPair::new(&orig, &mild),
+                    params: p,
+                    fifo_in_shared: true,
+                }
+                .grid(),
             )
             .output
             .mean();
-        let k_heavy =
-            SsimFusedKernel { fields: FieldPair::new(&orig, &heavy), params: p, fifo_in_shared: true };
+        let k_heavy = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &heavy),
+            params: p,
+            fifo_in_shared: true,
+        };
         let s_heavy = sim.launch(&k_heavy, k_heavy.grid()).output.mean();
         assert!(s_heavy < s_mild, "{s_heavy} !< {s_mild}");
     }
@@ -518,8 +580,16 @@ mod tests {
         let (orig, dec) = fields(shape);
         let p = SsimParams::paper_defaults(range_of(&orig));
         let sim = GpuSim::v100();
-        let with = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: true };
-        let without = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: false };
+        let with = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+            params: p,
+            fifo_in_shared: true,
+        };
+        let without = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+            params: p,
+            fifo_in_shared: false,
+        };
         let r_with = sim.launch(&with, with.grid());
         let r_without = sim.launch(&without, without.grid());
         assert_eq!(r_with.output, r_without.output);
@@ -543,11 +613,18 @@ mod tests {
         let (orig, dec) = fields(shape);
         let p = SsimParams::paper_defaults(range_of(&orig));
         let sim = GpuSim::v100();
-        let k = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: true };
+        let k = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+            params: p,
+            fifo_in_shared: true,
+        };
         let r = sim.launch(&k, k.grid());
         let payload = 2 * shape.len() as u64 * 4;
-        assert!(r.counters.global_read_bytes <= payload + payload / 4,
-            "read {} vs payload {payload}", r.counters.global_read_bytes);
+        assert!(
+            r.counters.global_read_bytes <= payload + payload / 4,
+            "read {} vs payload {payload}",
+            r.counters.global_read_bytes
+        );
     }
 
     #[test]
@@ -556,7 +633,11 @@ mod tests {
         let (orig, dec) = fields(shape);
         let p = SsimParams::paper_defaults(1.0);
         let sim = GpuSim::v100();
-        let k = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: true };
+        let k = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+            params: p,
+            fifo_in_shared: true,
+        };
         let got = sim.launch(&k, k.grid()).output;
         assert_eq!(got.windows, 0);
         assert_eq!(got.mean(), 1.0); // degenerate convention
@@ -567,7 +648,11 @@ mod tests {
         let shape = Shape::d3(64, 64, 16);
         let (orig, dec) = fields(shape);
         let p = SsimParams::paper_defaults(1.0);
-        let k = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: true };
+        let k = SsimFusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+            params: p,
+            fifo_in_shared: true,
+        };
         let r = k.resources();
         assert_eq!(r.regs_per_block(), 11_008); // "11k" in Table II
         assert_eq!(r.smem_per_block, 16_000); // "16KB" in Table II

@@ -21,7 +21,9 @@ fn p1_reads_exactly_both_payloads_plus_partials() {
     let shape = Shape::d3(96, 64, 10);
     let (orig, dec) = pair(shape);
     let sim = GpuSim::v100();
-    let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+    let k = P1FusedKernel {
+        fields: FieldPair::new(&orig, &dec),
+    };
     let r = sim.launch(&k, k.grid());
     let payload = 2 * shape.len() as u64 * 4;
     // Partial traffic: each block writes 19 f64 quantities once, block 0
@@ -39,7 +41,9 @@ fn p1_shuffle_count_is_blocks_times_tree_depth() {
     let shape = Shape::d3(64, 32, 7);
     let (orig, dec) = pair(shape);
     let sim = GpuSim::v100();
-    let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+    let k = P1FusedKernel {
+        fields: FieldPair::new(&orig, &dec),
+    };
     let r = sim.launch(&k, k.grid());
     // Per block: 8 warps × 5-step shfl tree × 19 quantities, plus the
     // 3-step cross-warp stage × 19.
@@ -54,7 +58,10 @@ fn mo_p1_traffic_is_a_clean_multiple_of_fused() {
     let sim = GpuSim::v100();
     let payload = 2 * shape.len() as u64 * 4;
     for metric in MoP1Metric::SCALARS {
-        let k = MoP1Kernel { fields: FieldPair::new(&orig, &dec), metric };
+        let k = MoP1Kernel {
+            fields: FieldPair::new(&orig, &dec),
+            metric,
+        };
         let r = sim.launch(&k, k.grid());
         // Each metric-oriented kernel re-reads the full payload.
         assert!(r.counters.global_read_bytes >= payload, "{metric:?}");
@@ -106,7 +113,11 @@ fn p3_fifo_reads_payload_about_once_per_x_sweep() {
     let (orig, dec) = pair(shape);
     let sim = GpuSim::v100();
     let p = SsimParams::paper_defaults(1.0);
-    let k = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: true };
+    let k = SsimFusedKernel {
+        fields: FieldPair::new(&orig, &dec),
+        params: p,
+        fifo_in_shared: true,
+    };
     let r = sim.launch(&k, k.grid());
     let payload = 2 * shape.len() as u64 * 4;
     // Two x-sweeps re-read the 32-lane spans; y row-groups overlap between
@@ -126,7 +137,11 @@ fn p3_no_fifo_scatter_matches_moment_count() {
     let (orig, dec) = pair(shape);
     let sim = GpuSim::v100();
     let p = SsimParams::paper_defaults(1.0);
-    let k = SsimFusedKernel { fields: FieldPair::new(&orig, &dec), params: p, fifo_in_shared: false };
+    let k = SsimFusedKernel {
+        fields: FieldPair::new(&orig, &dec),
+        params: p,
+        fifo_in_shared: false,
+    };
     let r = sim.launch(&k, k.grid());
     // Store: 5 moments per (window-column, y-window, slice);
     // fold: wsize x 5 per completed window. All scattered, 4 bytes each.
@@ -144,7 +159,9 @@ fn counters_are_independent_of_block_execution_order() {
     let shape = Shape::d3(48, 48, 12);
     let (orig, dec) = pair(shape);
     let sim = GpuSim::v100();
-    let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+    let k = P1FusedKernel {
+        fields: FieldPair::new(&orig, &dec),
+    };
     let a = sim.launch(&k, k.grid());
     let b = sim.launch(&k, k.grid());
     assert_eq!(a.counters, b.counters);

@@ -43,11 +43,18 @@ fn fields(shape: Shape, rng: &mut Rng) -> (Tensor<f32>, Tensor<f32>) {
     let mut orig = Vec::with_capacity(n);
     let mut dec = Vec::with_capacity(n);
     for _ in 0..n {
-        let x = if rng.next().is_multiple_of(12) { 0.0 } else { rng.f32() * 2.0 - 1.0 };
+        let x = if rng.next().is_multiple_of(12) {
+            0.0
+        } else {
+            rng.f32() * 2.0 - 1.0
+        };
         orig.push(x);
         dec.push(x + (rng.f32() - 0.5) * 0.01);
     }
-    (Tensor::from_vec(shape, orig).unwrap(), Tensor::from_vec(shape, dec).unwrap())
+    (
+        Tensor::from_vec(shape, orig).unwrap(),
+        Tensor::from_vec(shape, dec).unwrap(),
+    )
 }
 
 /// Random shapes exercising ragged x extents (not multiples of 32) and all
@@ -87,7 +94,9 @@ fn p1_fused_fast_path_matches_reference() {
     for round in 0..3 {
         for shape in shapes(&mut rng) {
             let (orig, dec) = fields(shape, &mut rng);
-            let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+            let k = P1FusedKernel {
+                fields: FieldPair::new(&orig, &dec),
+            };
             assert_paths_agree(&k, k.grid(), &format!("p1 {shape:?} round {round}"));
         }
     }
@@ -99,7 +108,9 @@ fn p1_fused_values_are_bit_identical() {
     let shape = Shape::d3(61, 19, 5);
     let (orig, dec) = fields(shape, &mut rng);
     let sim = GpuSim::v100();
-    let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+    let k = P1FusedKernel {
+        fields: FieldPair::new(&orig, &dec),
+    };
     let fast = sim.launch(&k, k.grid()).output;
     let refr = sim.launch(&Reference(&k), k.grid()).output;
     // Spot-check bit patterns of accumulated sums (stronger than ==).
@@ -118,7 +129,11 @@ fn p1_hist_fast_path_matches_reference() {
         let sim = GpuSim::v100();
         let kf = P1FusedKernel { fields: f };
         let scalars = sim.launch(&kf, kf.grid()).output;
-        let k = P1HistKernel { fields: f, scalars, bins: 48 };
+        let k = P1HistKernel {
+            fields: f,
+            scalars,
+            bins: 48,
+        };
         let grid = k.grid();
         let fast = sim.launch(&k, grid);
         let refr = sim.launch(&Reference(&k), grid);
@@ -152,11 +167,22 @@ fn p2_fused_fast_path_matches_reference() {
 #[test]
 fn p3_ssim_fast_path_matches_reference() {
     let mut rng = Rng(5);
-    let cases = [(8usize, 1usize, true), (6, 3, true), (4, 2, true), (8, 1, false)];
+    let cases = [
+        (8usize, 1usize, true),
+        (6, 3, true),
+        (4, 2, true),
+        (8, 1, false),
+    ];
     for shape in shapes(&mut rng) {
         let (orig, dec) = fields(shape, &mut rng);
         for &(wsize, step, fifo) in &cases {
-            let params = SsimParams { wsize, step, k1: 0.01, k2: 0.03, range: 2.0 };
+            let params = SsimParams {
+                wsize,
+                step,
+                k1: 0.01,
+                k2: 0.03,
+                range: 2.0,
+            };
             let k = SsimFusedKernel {
                 fields: FieldPair::new(&orig, &dec),
                 params,
@@ -177,7 +203,10 @@ fn mo_p1_fast_path_matches_reference() {
     for shape in shapes(&mut rng) {
         let (orig, dec) = fields(shape, &mut rng);
         for metric in MoP1Metric::SCALARS {
-            let k = MoP1Kernel { fields: FieldPair::new(&orig, &dec), metric };
+            let k = MoP1Kernel {
+                fields: FieldPair::new(&orig, &dec),
+                metric,
+            };
             assert_paths_agree(&k, k.grid(), &format!("moP1 {shape:?} {metric:?}"));
         }
     }
@@ -192,8 +221,17 @@ fn mo_hist_fast_path_matches_reference() {
         let sim = GpuSim::v100();
         let kf = P1FusedKernel { fields: f };
         let scalars = sim.launch(&kf, kf.grid()).output;
-        for kind in [MoHistKind::ErrPdf, MoHistKind::PwrPdf, MoHistKind::ValueHist] {
-            let k = MoHistKernel { fields: f, scalars, kind, bins: 32 };
+        for kind in [
+            MoHistKind::ErrPdf,
+            MoHistKind::PwrPdf,
+            MoHistKind::ValueHist,
+        ] {
+            let k = MoHistKernel {
+                fields: f,
+                scalars,
+                kind,
+                bins: 32,
+            };
             assert_paths_agree(&k, k.grid(), &format!("moHist {shape:?} {kind:?}"));
         }
     }

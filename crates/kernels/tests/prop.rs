@@ -54,7 +54,9 @@ fn p1_kernel_equals_scalar_reference() {
     for case in 0..48 {
         let (orig, dec) = rng.field_pair();
         let sim = GpuSim::v100();
-        let k = P1FusedKernel { fields: FieldPair::new(&orig, &dec) };
+        let k = P1FusedKernel {
+            fields: FieldPair::new(&orig, &dec),
+        };
         let got = sim.launch(&k, k.grid()).output;
         let mut want = P1Scalars::identity();
         for (&x, &y) in orig.iter().zip(dec.iter()) {
@@ -75,8 +77,9 @@ fn p1_combine_is_associative_within_tolerance() {
     let mut rng = Rng(0x9102);
     for case in 0..48 {
         let n = rng.usize(3, 200);
-        let vals: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.f64(-100.0, 100.0), rng.f64(-100.0, 100.0))).collect();
+        let vals: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.f64(-100.0, 100.0), rng.f64(-100.0, 100.0)))
+            .collect();
         let split = rng.usize(1, 100).min(vals.len() - 1);
         let mut whole = P1Scalars::identity();
         for &(x, y) in &vals {
@@ -111,7 +114,13 @@ fn ssim_kernel_equals_window_reference() {
             let (mn, mx) = orig.min_max().unwrap();
             (mx - mn) as f64
         };
-        let p = SsimParams { wsize, step, k1: 0.01, k2: 0.03, range };
+        let p = SsimParams {
+            wsize,
+            step,
+            k1: 0.01,
+            k2: 0.03,
+            range,
+        };
         let sim = GpuSim::v100();
         let k = SsimFusedKernel {
             fields: FieldPair::new(&orig, &dec),
@@ -137,9 +146,15 @@ fn ssim_kernel_equals_window_reference() {
             sum += m.ssim(range, 0.01, 0.03);
             count += 1;
         }
-        assert_eq!(got.windows, count, "case {case}: window count for w={wsize} s={step}");
+        assert_eq!(
+            got.windows, count,
+            "case {case}: window count for w={wsize} s={step}"
+        );
         if count > 0 {
-            assert!((got.mean() - sum / count as f64).abs() < 1e-9, "case {case}");
+            assert!(
+                (got.mean() - sum / count as f64).abs() < 1e-9,
+                "case {case}"
+            );
         }
     }
 }
@@ -173,8 +188,9 @@ fn window_moments_combine_matches_sequential() {
     let mut rng = Rng(0x9105);
     for case in 0..48 {
         let n = rng.usize(2, 100);
-        let vals: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.f64(-10.0, 10.0), rng.f64(-10.0, 10.0))).collect();
+        let vals: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.f64(-10.0, 10.0), rng.f64(-10.0, 10.0)))
+            .collect();
         let split = rng.usize(1, 50).min(vals.len() - 1);
         let mut whole = WindowMoments::default();
         for &(x, y) in &vals {

@@ -11,6 +11,7 @@
 //! same floating-point reduction order), which the simulator's
 //! "deterministic despite parallelism" tests rely on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
@@ -35,7 +36,9 @@ pub fn max_threads() -> usize {
     }
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
     })
 }
 

@@ -30,7 +30,10 @@ impl fmt::Display for ShapeError {
                 write!(f, "expected 1..={} dimensions, got {n}", crate::MAX_NDIM)
             }
             ShapeError::LenMismatch { expected, got } => {
-                write!(f, "buffer length {got} does not match shape element count {expected}")
+                write!(
+                    f,
+                    "buffer length {got} does not match shape element count {expected}"
+                )
             }
             ShapeError::ShapeMismatch => write!(f, "tensor shapes do not match"),
             ShapeError::OutOfBounds => write!(f, "requested region exceeds tensor bounds"),
@@ -48,7 +51,10 @@ mod tests {
     fn display_messages_are_informative() {
         assert!(ShapeError::ZeroExtent.to_string().contains("non-zero"));
         assert!(ShapeError::TooManyDims(9).to_string().contains('9'));
-        let e = ShapeError::LenMismatch { expected: 10, got: 3 };
+        let e = ShapeError::LenMismatch {
+            expected: 10,
+            got: 3,
+        };
         assert!(e.to_string().contains("10") && e.to_string().contains('3'));
     }
 }

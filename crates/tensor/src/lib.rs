@@ -36,6 +36,7 @@
 //! assert!(total > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod element;

@@ -87,7 +87,10 @@ impl Shape {
         }
         let mut dims = [1usize; MAX_NDIM];
         dims[..extents.len()].copy_from_slice(extents);
-        Ok(Shape { dims, ndim: extents.len() })
+        Ok(Shape {
+            dims,
+            ndim: extents.len(),
+        })
     }
 
     /// Number of *declared* dimensions (1–4).
@@ -174,7 +177,10 @@ impl Shape {
     /// Inverse of [`Shape::linear`]: the coordinate of a linear offset.
     #[inline]
     pub fn unlinear(&self, mut lin: usize) -> [usize; MAX_NDIM] {
-        debug_assert!(lin < self.len(), "offset {lin} out of bounds for shape {self}");
+        debug_assert!(
+            lin < self.len(),
+            "offset {lin} out of bounds for shape {self}"
+        );
         let [nx, ny, nz, _] = self.dims;
         let x = lin % nx;
         lin /= nx;
@@ -202,19 +208,28 @@ impl Shape {
                 *d = (*d / factor).max(1);
             }
         }
-        Shape { dims, ndim: self.ndim }
+        Shape {
+            dims,
+            ndim: self.ndim,
+        }
     }
 
     /// Shape with each axis divided by its own factor (clamped to ≥ 1).
     pub fn scaled_down_axes(&self, factors: [usize; MAX_NDIM]) -> Shape {
-        assert!(factors.iter().all(|&f| f > 0), "scale factors must be positive");
+        assert!(
+            factors.iter().all(|&f| f > 0),
+            "scale factors must be positive"
+        );
         let mut dims = self.dims;
         for (i, d) in dims.iter_mut().enumerate() {
             if i < self.ndim {
                 *d = (*d / factors[i]).max(1);
             }
         }
-        Shape { dims, ndim: self.ndim }
+        Shape {
+            dims,
+            ndim: self.ndim,
+        }
     }
 
     /// Total payload size in bytes for an element type of `elem_size` bytes.
@@ -270,7 +285,10 @@ mod tests {
 
     #[test]
     fn too_many_dims_rejected() {
-        assert_eq!(Shape::new(&[1, 2, 3, 4, 5]), Err(ShapeError::TooManyDims(5)));
+        assert_eq!(
+            Shape::new(&[1, 2, 3, 4, 5]),
+            Err(ShapeError::TooManyDims(5))
+        );
         assert_eq!(Shape::new(&[]), Err(ShapeError::TooManyDims(0)));
     }
 

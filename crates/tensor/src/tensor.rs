@@ -16,7 +16,10 @@ pub struct Tensor<T> {
 impl<T: Element> Tensor<T> {
     /// A tensor filled with `value`.
     pub fn full(shape: Shape, value: T) -> Self {
-        Tensor { shape, data: vec![value; shape.len()] }
+        Tensor {
+            shape,
+            data: vec![value; shape.len()],
+        }
     }
 
     /// A zero-filled tensor.
@@ -43,7 +46,10 @@ impl<T: Element> Tensor<T> {
     /// Wrap an existing buffer. Fails if the length doesn't match the shape.
     pub fn from_vec(shape: Shape, data: Vec<T>) -> Result<Self, ShapeError> {
         if data.len() != shape.len() {
-            return Err(ShapeError::LenMismatch { expected: shape.len(), got: data.len() });
+            return Err(ShapeError::LenMismatch {
+                expected: shape.len(),
+                got: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -126,7 +132,10 @@ impl<T: Element> Tensor<T> {
     /// Elementwise map into a new tensor (possibly of a different element
     /// type).
     pub fn map<U: Element>(&self, mut f: impl FnMut(T) -> U) -> Tensor<U> {
-        Tensor { shape: self.shape, data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Elementwise combination of two congruent tensors.
@@ -140,8 +149,16 @@ impl<T: Element> Tensor<T> {
         if self.shape != other.shape {
             return Err(ShapeError::ShapeMismatch);
         }
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { shape: self.shape, data })
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape,
+            data,
+        })
     }
 
     /// Pointwise difference `self - other` (the compression-error field).
@@ -200,7 +217,9 @@ mod tests {
     use super::*;
 
     fn ramp() -> Tensor<f32> {
-        Tensor::from_fn(Shape::d3(4, 3, 2), |[x, y, z, _]| (x + 4 * y + 12 * z) as f32)
+        Tensor::from_fn(Shape::d3(4, 3, 2), |[x, y, z, _]| {
+            (x + 4 * y + 12 * z) as f32
+        })
     }
 
     #[test]
@@ -231,7 +250,10 @@ mod tests {
     fn zip_map_requires_congruence() {
         let a = ramp();
         let b = Tensor::<f32>::zeros(Shape::d3(4, 3, 1));
-        assert_eq!(a.zip_map(&b, |x, y| x + y).unwrap_err(), ShapeError::ShapeMismatch);
+        assert_eq!(
+            a.zip_map(&b, |x, y| x + y).unwrap_err(),
+            ShapeError::ShapeMismatch
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@ impl<'a, T: Element> SlabView<'a, T> {
         }
         let start = s.linear([0, 0, z, w]);
         let len = s.slab_len();
-        Ok(SlabView { data: &t.as_slice()[start..start + len], nx: s.nx(), ny: s.ny() })
+        Ok(SlabView {
+            data: &t.as_slice()[start..start + len],
+            nx: s.nx(),
+            ny: s.ny(),
+        })
     }
 
     /// Slab extent along x.
@@ -113,7 +117,12 @@ impl<'a, T: Element> CubeView<'a, T> {
     #[inline]
     pub fn at(&self, x: usize, y: usize, z: usize) -> T {
         debug_assert!(x < self.size[0] && y < self.size[1] && z < self.size[2]);
-        self.t.at([self.origin[0] + x, self.origin[1] + y, self.origin[2] + z, self.w])
+        self.t.at([
+            self.origin[0] + x,
+            self.origin[1] + y,
+            self.origin[2] + z,
+            self.w,
+        ])
     }
 
     /// Copy the cube into a contiguous buffer (simulating the global→shared
@@ -152,7 +161,9 @@ mod tests {
     use crate::Shape;
 
     fn ramp() -> Tensor<f32> {
-        Tensor::from_fn(Shape::d3(5, 4, 3), |[x, y, z, _]| (x + 10 * y + 100 * z) as f32)
+        Tensor::from_fn(Shape::d3(5, 4, 3), |[x, y, z, _]| {
+            (x + 10 * y + 100 * z) as f32
+        })
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct WindowSpec {
 impl WindowSpec {
     /// A window spec; panics on zero size or step.
     pub fn new(size: usize, step: usize) -> Self {
-        assert!(size > 0 && step > 0, "window size and step must be positive");
+        assert!(
+            size > 0 && step > 0,
+            "window size and step must be positive"
+        );
         WindowSpec { size, step }
     }
 
@@ -67,8 +70,16 @@ impl Windows {
                 1
             }
         };
-        let counts = [scan(0, shape.nx()), scan(1, shape.ny()), scan(2, shape.nz())];
-        let next = if counts.contains(&0) { None } else { Some([0, 0, 0]) };
+        let counts = [
+            scan(0, shape.nx()),
+            scan(1, shape.ny()),
+            scan(2, shape.nz()),
+        ];
+        let next = if counts.contains(&0) {
+            None
+        } else {
+            Some([0, 0, 0])
+        };
         Windows { spec, counts, next }
     }
 
@@ -83,7 +94,11 @@ impl Iterator for Windows {
 
     fn next(&mut self) -> Option<Self::Item> {
         let pos = self.next?;
-        let item = [pos[0] * self.spec.step, pos[1] * self.spec.step, pos[2] * self.spec.step];
+        let item = [
+            pos[0] * self.spec.step,
+            pos[1] * self.spec.step,
+            pos[2] * self.spec.step,
+        ];
         // Advance odometer x → y → z.
         let mut p = pos;
         p[0] += 1;
@@ -95,7 +110,11 @@ impl Iterator for Windows {
                 p[2] += 1;
             }
         }
-        self.next = if p[2] == self.counts[2] { None } else { Some(p) };
+        self.next = if p[2] == self.counts[2] {
+            None
+        } else {
+            Some(p)
+        };
         Some(item)
     }
 
@@ -162,7 +181,13 @@ impl<'a, T: Element> CubeBlocks<'a, T> {
                 }
             }
         }
-        Ok(CubeBlocks { t, ssize, w, origins, pos: 0 })
+        Ok(CubeBlocks {
+            t,
+            ssize,
+            w,
+            origins,
+            pos: 0,
+        })
     }
 
     /// Total number of blocks.
@@ -246,8 +271,7 @@ mod tests {
             for z in 0..sz.saturating_sub(stride) {
                 for y in 0..sy.saturating_sub(stride) {
                     for x in 0..sx.saturating_sub(stride) {
-                        let idx =
-                            t.shape().linear([o[0] + x, o[1] + y, o[2] + z, 0]);
+                        let idx = t.shape().linear([o[0] + x, o[1] + y, o[2] + z, 0]);
                         seen[idx] += 1;
                     }
                 }

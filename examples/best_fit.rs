@@ -32,12 +32,24 @@ fn main() {
     ];
 
     for (label, criteria) in [
-        ("visualization-grade (PSNR ≥ 60 dB, SSIM ≥ 0.99)", QualityCriteria::visualization()),
-        ("analysis-grade (PSNR ≥ 80 dB, SSIM ≥ 0.999, white errors)", QualityCriteria::analysis()),
+        (
+            "visualization-grade (PSNR ≥ 60 dB, SSIM ≥ 0.99)",
+            QualityCriteria::visualization(),
+        ),
+        (
+            "analysis-grade (PSNR ≥ 80 dB, SSIM ≥ 0.999, white errors)",
+            QualityCriteria::analysis(),
+        ),
     ] {
         println!("criteria: {label}");
-        let ranking = recommend(&field.data, &candidates, &criteria, &AssessConfig::default(), &CuZc::default())
-            .expect("recommendation pipeline");
+        let ranking = recommend(
+            &field.data,
+            &candidates,
+            &criteria,
+            &AssessConfig::default(),
+            &CuZc::default(),
+        )
+        .expect("recommendation pipeline");
         print!("{}", render_ranking(&ranking));
         match ranking.iter().find(|v| v.passes) {
             Some(best) => println!("→ best fit: {} at {:.1}x\n", best.name, best.ratio),

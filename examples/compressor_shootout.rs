@@ -45,14 +45,24 @@ fn main() {
         let sz = SzCompressor::new(ErrorBound::Rel(rel));
         let (dec, stats) = sz.roundtrip(&field.data).expect("sz roundtrip");
         let (psnr, ssim) = assess_psnr_ssim(&field.data, &dec);
-        summary.push(format!("sz-like rel={rel:.0e}"), stats.bit_rate(4), psnr, stats.ratio());
+        summary.push(
+            format!("sz-like rel={rel:.0e}"),
+            stats.bit_rate(4),
+            psnr,
+            stats.ratio(),
+        );
         println!("sz-like  rel={rel:<8.0e} ssim={ssim:.6}");
     }
     for rate in [4.0, 8.0, 12.0, 16.0] {
         let zfp = ZfpLikeCompressor::new(rate);
         let (dec, stats) = zfp.roundtrip(&field.data).expect("zfp roundtrip");
         let (psnr, ssim) = assess_psnr_ssim(&field.data, &dec);
-        summary.push(format!("zfp-like rate={rate}"), stats.bit_rate(4), psnr, stats.ratio());
+        summary.push(
+            format!("zfp-like rate={rate}"),
+            stats.bit_rate(4),
+            psnr,
+            stats.ratio(),
+        );
         println!("zfp-like rate={rate:<7} ssim={ssim:.6}");
     }
 
@@ -60,7 +70,12 @@ fn main() {
         let bg = BitGroomCompressor::new(keep);
         let (dec, stats) = bg.roundtrip(&field.data).expect("bitgroom roundtrip");
         let (psnr, ssim) = assess_psnr_ssim(&field.data, &dec);
-        summary.push(format!("bitgroom keep={keep}"), stats.bit_rate(4), psnr, stats.ratio());
+        summary.push(
+            format!("bitgroom keep={keep}"),
+            stats.bit_rate(4),
+            psnr,
+            stats.ratio(),
+        );
         println!("bitgroom keep={keep:<5} ssim={ssim:.6}");
     }
 
@@ -68,7 +83,12 @@ fn main() {
     let lossless = LosslessCompressor::new();
     let (dec, stats) = lossless.roundtrip(&field.data).expect("lossless roundtrip");
     assert_eq!(dec.as_slice(), field.data.as_slice());
-    summary.push("lossless-huff", stats.bit_rate(4), f64::INFINITY, stats.ratio());
+    summary.push(
+        "lossless-huff",
+        stats.bit_rate(4),
+        f64::INFINITY,
+        stats.ratio(),
+    );
 
     println!("\n{}", summary.to_table());
     println!("reading: at matched PSNR the error-bounded codec needs fewer bits/value —");

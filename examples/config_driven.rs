@@ -6,7 +6,9 @@
 //! cargo run --release --example config_driven
 //! ```
 
-use cuz_checker::compress::{BitGroomCompressor, Compressor, LosslessCompressor, SzCompressor, ZfpLikeCompressor};
+use cuz_checker::compress::{
+    BitGroomCompressor, Compressor, LosslessCompressor, SzCompressor, ZfpLikeCompressor,
+};
 use cuz_checker::core::config::{parse, CompressorChoice};
 use cuz_checker::core::exec::make_executor;
 use cuz_checker::core::io::{read_raw, write_raw, Endianness};
@@ -32,7 +34,10 @@ rel_bound = 1e-3
 
 fn main() {
     let run = parse(CONFIG).expect("config parses");
-    println!("executor: {:?}   compressor: {:?}", run.executor, run.compressor);
+    println!(
+        "executor: {:?}   compressor: {:?}",
+        run.executor, run.compressor
+    );
 
     // Input engine: write the field to a raw binary file and read it back,
     // exactly how real SDRBench data enters the tool.
@@ -45,18 +50,18 @@ fn main() {
 
     // Run the configured compressor.
     let (dec, stats) = match run.compressor.expect("config names a compressor") {
-        CompressorChoice::Sz(bound) => {
-            SzCompressor::new(bound).roundtrip(&orig).expect("sz roundtrip")
-        }
-        CompressorChoice::Zfp(rate) => {
-            ZfpLikeCompressor::new(rate).roundtrip(&orig).expect("zfp roundtrip")
-        }
-        CompressorChoice::BitGroom(keep) => {
-            BitGroomCompressor::new(keep).roundtrip(&orig).expect("bitgroom roundtrip")
-        }
-        CompressorChoice::Lossless => {
-            LosslessCompressor::new().roundtrip(&orig).expect("lossless roundtrip")
-        }
+        CompressorChoice::Sz(bound) => SzCompressor::new(bound)
+            .roundtrip(&orig)
+            .expect("sz roundtrip"),
+        CompressorChoice::Zfp(rate) => ZfpLikeCompressor::new(rate)
+            .roundtrip(&orig)
+            .expect("zfp roundtrip"),
+        CompressorChoice::BitGroom(keep) => BitGroomCompressor::new(keep)
+            .roundtrip(&orig)
+            .expect("bitgroom roundtrip"),
+        CompressorChoice::Lossless => LosslessCompressor::new()
+            .roundtrip(&orig)
+            .expect("lossless roundtrip"),
     };
     println!("compression ratio: {:.1}x", stats.ratio());
 

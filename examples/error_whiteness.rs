@@ -28,7 +28,10 @@ fn autocorr_of(orig: &Tensor<f32>, dec: &Tensor<f32>) -> Vec<f64> {
 
 fn main() {
     let field = AppDataset::Miranda.generate_field(3, &GenOptions::scaled(8)); // velocityx
-    println!("error autocorrelation, {} velocityx (lags 1..10)\n", AppDataset::Miranda.name());
+    println!(
+        "error autocorrelation, {} velocityx (lags 1..10)\n",
+        AppDataset::Miranda.name()
+    );
 
     let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
     let (dec_sz, _) = sz.roundtrip(&field.data).unwrap();

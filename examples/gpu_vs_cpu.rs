@@ -20,9 +20,18 @@ fn main() {
 
     let executors: Vec<(&str, Assessment)> = vec![
         ("serial", SerialZc.assess(&field.data, &dec, &cfg).unwrap()),
-        ("ompZC", OmpZc::default().assess(&field.data, &dec, &cfg).unwrap()),
-        ("moZC", MoZc::default().assess(&field.data, &dec, &cfg).unwrap()),
-        ("cuZC", CuZc::default().assess(&field.data, &dec, &cfg).unwrap()),
+        (
+            "ompZC",
+            OmpZc::default().assess(&field.data, &dec, &cfg).unwrap(),
+        ),
+        (
+            "moZC",
+            MoZc::default().assess(&field.data, &dec, &cfg).unwrap(),
+        ),
+        (
+            "cuZC",
+            CuZc::default().assess(&field.data, &dec, &cfg).unwrap(),
+        ),
     ];
 
     // Metric agreement across executors.

@@ -25,12 +25,19 @@ fn main() {
         "{:>5} {:>12} {:>10} {:>12} {:>14}",
         "GPUs", "modeled (s)", "speedup", "efficiency", "PSNR (check)"
     );
-    let base = MultiCuZc::nvlink(1).assess(&field.data, &dec, &cfg).unwrap();
+    let base = MultiCuZc::nvlink(1)
+        .assess(&field.data, &dec, &cfg)
+        .unwrap();
     let t1 = base.modeled_seconds;
     for gpus in [1u32, 2, 4, 8] {
-        let a = MultiCuZc::nvlink(gpus).assess(&field.data, &dec, &cfg).unwrap();
+        let a = MultiCuZc::nvlink(gpus)
+            .assess(&field.data, &dec, &cfg)
+            .unwrap();
         // Functional identity across device counts.
-        assert_eq!(a.report.scalar(Metric::Psnr), base.report.scalar(Metric::Psnr));
+        assert_eq!(
+            a.report.scalar(Metric::Psnr),
+            base.report.scalar(Metric::Psnr)
+        );
         let speedup = t1 / a.modeled_seconds;
         println!(
             "{gpus:>5} {:>12.5} {:>9.2}x {:>11.1}% {:>14.6}",

@@ -43,8 +43,17 @@ fn main() {
     println!("\n--- analysis report ---");
     print!("{}", result.report.render(&MetricSelection::all()));
     println!("\nheadline metrics:");
-    for m in [Metric::Psnr, Metric::Nrmse, Metric::Ssim, Metric::PearsonCorrelation] {
-        println!("  {:<10} = {:.6}", m.key(), result.report.scalar(m).unwrap());
+    for m in [
+        Metric::Psnr,
+        Metric::Nrmse,
+        Metric::Ssim,
+        Metric::PearsonCorrelation,
+    ] {
+        println!(
+            "  {:<10} = {:.6}",
+            m.key(),
+            result.report.scalar(m).unwrap()
+        );
     }
     println!(
         "\nmodeled V100 assessment time: {:.3} ms ({} kernel launches, {} grid syncs)",

@@ -25,7 +25,14 @@ fn main() {
         "α", "ratio", "PSNR(dB)", "SSIM", "autocorr(1)", "avg|∇|"
     );
     for alpha in [-1.0, -2.0, -11.0 / 3.0, -5.0] {
-        let field = gaussian_random_field(&GrfSpec { seed: 77, alpha, k_min: 1.0 }, shape);
+        let field = gaussian_random_field(
+            &GrfSpec {
+                seed: 77,
+                alpha,
+                k_min: 1.0,
+            },
+            shape,
+        );
         let (dec, stats) = sz.roundtrip(&field).unwrap();
         let a = CuZc::default().assess(&field, &dec, &cfg).unwrap();
         println!(

@@ -21,17 +21,42 @@ fn assess_all(ds: AppDataset, field_idx: usize) -> Vec<(&'static str, Assessment
     let field = ds.generate_field(field_idx, &gen);
     let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
     let (dec, _) = sz.roundtrip(&field.data).expect("roundtrip");
-    let cfg = AssessConfig { max_lag: 4, ..Default::default() }; // keep the matrix fast; lags beyond 4 exercised elsewhere
+    let cfg = AssessConfig {
+        max_lag: 4,
+        ..Default::default()
+    }; // keep the matrix fast; lags beyond 4 exercised elsewhere
     vec![
         ("serial", SerialZc.assess(&field.data, &dec, &cfg).unwrap()),
-        ("ompZC", OmpZc::default().assess(&field.data, &dec, &cfg).unwrap()),
-        ("moZC", MoZc::default().assess(&field.data, &dec, &cfg).unwrap()),
-        ("cuZC", CuZc::default().assess(&field.data, &dec, &cfg).unwrap()),
+        (
+            "ompZC",
+            OmpZc::default().assess(&field.data, &dec, &cfg).unwrap(),
+        ),
+        (
+            "moZC",
+            MoZc::default().assess(&field.data, &dec, &cfg).unwrap(),
+        ),
+        (
+            "cuZC",
+            CuZc::default().assess(&field.data, &dec, &cfg).unwrap(),
+        ),
         // The §VI multi-GPU executor must stay value-equivalent at every
         // device count (the grid partition may not change any metric).
-        ("cuZC-multi2", MultiCuZc::nvlink(2).assess(&field.data, &dec, &cfg).unwrap()),
-        ("cuZC-multi3", MultiCuZc::pcie(3).assess(&field.data, &dec, &cfg).unwrap()),
-        ("cuZC-multi4", MultiCuZc::nvlink(4).assess(&field.data, &dec, &cfg).unwrap()),
+        (
+            "cuZC-multi2",
+            MultiCuZc::nvlink(2)
+                .assess(&field.data, &dec, &cfg)
+                .unwrap(),
+        ),
+        (
+            "cuZC-multi3",
+            MultiCuZc::pcie(3).assess(&field.data, &dec, &cfg).unwrap(),
+        ),
+        (
+            "cuZC-multi4",
+            MultiCuZc::nvlink(4)
+                .assess(&field.data, &dec, &cfg)
+                .unwrap(),
+        ),
     ]
 }
 
@@ -62,9 +87,24 @@ fn all_executors_agree_on_every_dataset() {
                 reference.report.histograms.as_ref().unwrap(),
                 a.report.histograms.as_ref().unwrap(),
             );
-            assert_eq!(rh.err_pdf.counts(), ah.err_pdf.counts(), "{} {name}", ds.name());
-            assert_eq!(rh.rel_pdf.counts(), ah.rel_pdf.counts(), "{} {name}", ds.name());
-            assert_eq!(rh.value_hist.counts(), ah.value_hist.counts(), "{} {name}", ds.name());
+            assert_eq!(
+                rh.err_pdf.counts(),
+                ah.err_pdf.counts(),
+                "{} {name}",
+                ds.name()
+            );
+            assert_eq!(
+                rh.rel_pdf.counts(),
+                ah.rel_pdf.counts(),
+                "{} {name}",
+                ds.name()
+            );
+            assert_eq!(
+                rh.value_hist.counts(),
+                ah.value_hist.counts(),
+                "{} {name}",
+                ds.name()
+            );
             // Full autocorrelation series.
             let (rs, as_) = (
                 &reference.report.stencil.as_ref().unwrap().autocorr.values,
@@ -112,7 +152,12 @@ fn identical_inputs_yield_perfect_scores_everywhere() {
         Box::new(MultiCuZc::nvlink(3)),
     ] {
         let a = ex.assess(&field.data, &field.data, &cfg).unwrap();
-        assert_eq!(a.report.scalar(Metric::Psnr).unwrap(), f64::INFINITY, "{}", ex.name());
+        assert_eq!(
+            a.report.scalar(Metric::Psnr).unwrap(),
+            f64::INFINITY,
+            "{}",
+            ex.name()
+        );
         assert_eq!(a.report.scalar(Metric::Mse).unwrap(), 0.0);
         assert!((a.report.scalar(Metric::Ssim).unwrap() - 1.0).abs() < 1e-12);
         assert_eq!(a.report.scalar(Metric::PearsonCorrelation).unwrap(), 1.0);
@@ -128,8 +173,14 @@ fn two_dimensional_cesm_fields_agree_across_executors() {
     let runs = assess_all(AppDataset::CesmAtm, 0);
     let serial = &runs[0].1;
     let st = serial.report.stencil.as_ref().unwrap();
-    assert!(st.avg_gradient_orig > 0.0, "2D derivatives must be computed");
-    assert!(serial.report.ssim.unwrap().windows > 0, "2D SSIM windows must exist");
+    assert!(
+        st.avg_gradient_orig > 0.0,
+        "2D derivatives must be computed"
+    );
+    assert!(
+        serial.report.ssim.unwrap().windows > 0,
+        "2D SSIM windows must exist"
+    );
     for (name, a) in &runs[1..] {
         for m in [
             Metric::Psnr,
@@ -161,7 +212,10 @@ fn one_dimensional_fields_agree_across_executors() {
     });
     let sz = SzCompressor::new(ErrorBound::Rel(1e-3));
     let (dec, _) = sz.roundtrip(&orig).unwrap();
-    let cfg = AssessConfig { max_lag: 3, ..Default::default() };
+    let cfg = AssessConfig {
+        max_lag: 3,
+        ..Default::default()
+    };
     let s = SerialZc.assess(&orig, &dec, &cfg).unwrap();
     assert!(s.report.stencil.as_ref().unwrap().avg_gradient_orig > 0.0);
     for ex in [

@@ -22,9 +22,14 @@ fn sz_pipeline_bound_is_visible_in_the_assessment() {
     let (dec, stats) = sz.roundtrip(&field.data).unwrap();
     assert!(stats.ratio() > 1.0);
 
-    let a = CuZc::default().assess(&field.data, &dec, &AssessConfig::default()).unwrap();
+    let a = CuZc::default()
+        .assess(&field.data, &dec, &AssessConfig::default())
+        .unwrap();
     let max_abs = a.report.scalar(Metric::MaxAbsError).unwrap();
-    assert!(max_abs <= rel * range * (1.0 + 1e-6), "bound violated: {max_abs}");
+    assert!(
+        max_abs <= rel * range * (1.0 + 1e-6),
+        "bound violated: {max_abs}"
+    );
     let psnr = a.report.scalar(Metric::Psnr).unwrap();
     let floor = 20.0 * (1.0 / (2.0 * rel)).log10();
     assert!(psnr >= floor, "psnr {psnr} below worst-case floor {floor}");
@@ -46,7 +51,10 @@ fn zfp_pipeline_degrades_gracefully_with_rate() {
         // the 16-bit per-block exponent header and edge-block padding
         // (this shape is not a multiple of 4 on every axis).
         let br = stats.bit_rate(4);
-        assert!(br >= rate && br <= rate * 1.6 + 1.0, "bit rate {br} for rate {rate}");
+        assert!(
+            br >= rate && br <= rate * 1.6 + 1.0,
+            "bit rate {br} for rate {rate}"
+        );
     }
 }
 
@@ -87,9 +95,7 @@ fn config_document_drives_the_full_run() {
     assert_eq!(run.executor, ExecutorKind::MoZc);
     let field = AppDataset::Nyx.generate_field(3, &GenOptions::scaled(16));
     let (dec, stats) = match run.compressor.unwrap() {
-        CompressorChoice::Zfp(rate) => {
-            ZfpLikeCompressor::new(rate).roundtrip(&field.data).unwrap()
-        }
+        CompressorChoice::Zfp(rate) => ZfpLikeCompressor::new(rate).roundtrip(&field.data).unwrap(),
         CompressorChoice::Sz(b) => SzCompressor::new(b).roundtrip(&field.data).unwrap(),
         other => panic!("unexpected compressor {other:?}"),
     };
@@ -120,7 +126,9 @@ fn four_dimensional_fields_assess_end_to_end() {
     });
     let sz = SzCompressor::new(ErrorBound::Abs(1e-3));
     let (dec, _) = sz.roundtrip(&t).unwrap();
-    let a = CuZc::default().assess(&t, &dec, &AssessConfig::default()).unwrap();
+    let a = CuZc::default()
+        .assess(&t, &dec, &AssessConfig::default())
+        .unwrap();
     assert!(a.report.scalar(Metric::Psnr).unwrap() > 40.0);
     assert!(a.report.ssim.unwrap().windows > 0);
 }
@@ -148,7 +156,10 @@ fn empty_metric_selection_is_effectively_a_noop_run() {
     use cuz_checker::tensor::Shape;
     let t = Tensor::from_fn(Shape::d3(16, 16, 8), |[x, ..]| x as f32);
     let dec = t.map(|v| v + 1e-3);
-    let cfg = AssessConfig { metrics: MetricSelection::none(), ..Default::default() };
+    let cfg = AssessConfig {
+        metrics: MetricSelection::none(),
+        ..Default::default()
+    };
     let a = CuZc::default().assess(&t, &dec, &cfg).unwrap();
     // The scalar pass always runs (it feeds everything else), but no
     // histograms, stencil, or SSIM work happens.
@@ -188,8 +199,13 @@ fn four_d_grids_partition_by_hyperslab() {
         (x + y) as f32 * 0.1 + z as f32 + w as f32 * 10.0
     });
     let dec = t.map(|v| v + 1e-3);
-    let a = CuZc::default().assess(&t, &dec, &AssessConfig::default()).unwrap();
-    let p1 = a.runs.iter().find(|r| r.pattern == cuz_checker::core::Pattern::GlobalReduction)
+    let a = CuZc::default()
+        .assess(&t, &dec, &AssessConfig::default())
+        .unwrap();
+    let p1 = a
+        .runs
+        .iter()
+        .find(|r| r.pattern == cuz_checker::core::Pattern::GlobalReduction)
         .unwrap();
     assert_eq!(p1.grid_blocks, 6 * 4);
 }

@@ -9,8 +9,15 @@ use zc_bench::paper;
 use zc_bench::{assess_dataset, DatasetResult, HarnessOpts};
 
 fn results() -> Vec<DatasetResult> {
-    let opts = HarnessOpts { scale: 16, max_fields: Some(1), ..Default::default() };
-    AppDataset::ALL.iter().map(|&ds| assess_dataset(ds, &opts)).collect()
+    let opts = HarnessOpts {
+        scale: 16,
+        max_fields: Some(1),
+        ..Default::default()
+    };
+    AppDataset::ALL
+        .iter()
+        .map(|&ds| assess_dataset(ds, &opts))
+        .collect()
 }
 
 #[test]
@@ -20,7 +27,11 @@ fn fig10_overall_ordering_and_bands() {
         let vs_mo = r.mozc.total() / r.cuzc.total();
         // Strict ordering: cuZC beats moZC beats ompZC.
         assert!(vs_mo > 1.0, "{}: cuZC must beat moZC", r.dataset.name());
-        assert!(vs_omp > vs_mo, "{}: ompZC must be slowest", r.dataset.name());
+        assert!(
+            vs_omp > vs_mo,
+            "{}: ompZC must be slowest",
+            r.dataset.name()
+        );
         // Band membership with slack (coarser functional scale than the
         // calibrated fig10 run).
         assert!(
@@ -39,7 +50,11 @@ fn fig10_overall_ordering_and_bands() {
 #[test]
 fn fig11_throughput_hierarchy() {
     for r in results() {
-        for p in [Pattern::GlobalReduction, Pattern::Stencil, Pattern::SlidingWindow] {
+        for p in [
+            Pattern::GlobalReduction,
+            Pattern::Stencil,
+            Pattern::SlidingWindow,
+        ] {
             let om = r.throughput_gbs(&r.ompzc, p);
             let mo = r.throughput_gbs(&r.mozc, p);
             let cu = r.throughput_gbs(&r.cuzc, p);
@@ -63,39 +78,68 @@ fn fig12_pattern_bands_loose() {
         let p1 = r.ompzc.p1 / r.cuzc.p1;
         let p2 = r.ompzc.p2 / r.cuzc.p2;
         let p3 = r.ompzc.p3 / r.cuzc.p3;
-        assert!(paper::P1_VS_OMPZC.contains_loose(p1, 2.0), "{}: p1 {p1}", r.dataset.name());
-        assert!(paper::P2_VS_OMPZC.contains_loose(p2, 2.0), "{}: p2 {p2}", r.dataset.name());
-        assert!(paper::P3_VS_OMPZC.contains_loose(p3, 2.0), "{}: p3 {p3}", r.dataset.name());
+        assert!(
+            paper::P1_VS_OMPZC.contains_loose(p1, 2.0),
+            "{}: p1 {p1}",
+            r.dataset.name()
+        );
+        assert!(
+            paper::P2_VS_OMPZC.contains_loose(p2, 2.0),
+            "{}: p2 {p2}",
+            r.dataset.name()
+        );
+        assert!(
+            paper::P3_VS_OMPZC.contains_loose(p3, 2.0),
+            "{}: p3 {p3}",
+            r.dataset.name()
+        );
         // Pattern-1 speedups are far larger than overall (paper Takeaway 1).
         let overall = r.ompzc.total() / r.cuzc.total();
-        assert!(p1 > 3.0 * overall, "{}: p1 {p1} vs overall {overall}", r.dataset.name());
+        assert!(
+            p1 > 3.0 * overall,
+            "{}: p1 {p1} vs overall {overall}",
+            r.dataset.name()
+        );
         // moZC bands.
         let m1 = r.mozc.p1 / r.cuzc.p1;
         let m2 = r.mozc.p2 / r.cuzc.p2;
         let m3 = r.mozc.p3 / r.cuzc.p3;
-        assert!(paper::P1_VS_MOZC.contains_loose(m1, 2.0), "{}: m1 {m1}", r.dataset.name());
-        assert!(paper::P2_VS_MOZC.contains_loose(m2, 1.5), "{}: m2 {m2}", r.dataset.name());
-        assert!(paper::P3_VS_MOZC.contains_loose(m3, 1.5), "{}: m3 {m3}", r.dataset.name());
+        assert!(
+            paper::P1_VS_MOZC.contains_loose(m1, 2.0),
+            "{}: m1 {m1}",
+            r.dataset.name()
+        );
+        assert!(
+            paper::P2_VS_MOZC.contains_loose(m2, 1.5),
+            "{}: m2 {m2}",
+            r.dataset.name()
+        );
+        assert!(
+            paper::P3_VS_MOZC.contains_loose(m3, 1.5),
+            "{}: m3 {m3}",
+            r.dataset.name()
+        );
     }
 }
 
 #[test]
 fn table2_per_dataset_structure() {
-    use zc_bench::fullscale::full_iters_per_thread;
     use cuz_checker::core::AssessConfig;
+    use zc_bench::fullscale::full_iters_per_thread;
     let cfg = AssessConfig::default();
     // Pattern-1 iters: Miranda smallest, SCALE-LETKF largest (Table II).
-    let it = |ds: AppDataset| {
-        full_iters_per_thread(Pattern::GlobalReduction, ds.full_shape(), &cfg)
-    };
+    let it =
+        |ds: AppDataset| full_iters_per_thread(Pattern::GlobalReduction, ds.full_shape(), &cfg);
     assert!(it(AppDataset::Miranda) < it(AppDataset::Hurricane));
     assert!(it(AppDataset::Hurricane) <= it(AppDataset::Nyx));
     assert!(it(AppDataset::Nyx) < it(AppDataset::ScaleLetkf));
     // Pattern-3: NYX deepest (observation (iii)).
-    let p3 = |ds: AppDataset| {
-        full_iters_per_thread(Pattern::SlidingWindow, ds.full_shape(), &cfg)
-    };
-    for other in [AppDataset::Hurricane, AppDataset::ScaleLetkf, AppDataset::Miranda] {
+    let p3 = |ds: AppDataset| full_iters_per_thread(Pattern::SlidingWindow, ds.full_shape(), &cfg);
+    for other in [
+        AppDataset::Hurricane,
+        AppDataset::ScaleLetkf,
+        AppDataset::Miranda,
+    ] {
         assert!(p3(AppDataset::Nyx) > p3(other));
     }
 }

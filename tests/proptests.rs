@@ -41,7 +41,11 @@ impl Rng {
 }
 
 fn small_cfg() -> AssessConfig {
-    AssessConfig { max_lag: 3, bins: 32, ..Default::default() }
+    AssessConfig {
+        max_lag: 3,
+        bins: 32,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -99,7 +103,10 @@ fn assessment_invariants_hold() {
             "case {case}"
         );
         let ssim = rep.scalar(Metric::Ssim).unwrap();
-        assert!((-1.0..=1.0 + 1e-12).contains(&ssim), "case {case}: ssim {ssim}");
+        assert!(
+            (-1.0..=1.0 + 1e-12).contains(&ssim),
+            "case {case}: ssim {ssim}"
+        );
         let pearson = rep.scalar(Metric::PearsonCorrelation).unwrap();
         assert!((-1.0..=1.0).contains(&pearson), "case {case}");
         let nrmse = rep.scalar(Metric::Nrmse).unwrap();
@@ -124,7 +131,10 @@ fn tighter_bounds_never_reduce_psnr() {
             let (dec, _) = sz.roundtrip(&orig).unwrap();
             let a = SerialZc.assess(&orig, &dec, &cfg).unwrap();
             let psnr = a.report.scalar(Metric::Psnr).unwrap();
-            assert!(psnr >= prev - 1e-9, "case {case} eb {eb}: psnr {psnr} < {prev}");
+            assert!(
+                psnr >= prev - 1e-9,
+                "case {case} eb {eb}: psnr {psnr} < {prev}"
+            );
             prev = psnr;
         }
     }
@@ -143,11 +153,17 @@ fn counters_scale_with_metric_selection() {
             ..small_cfg()
         };
         let partial = CuZc::default().assess(&orig, &dec, &p1_only).unwrap();
-        assert!(partial.counters.launches < full.counters.launches, "case {case}");
+        assert!(
+            partial.counters.launches < full.counters.launches,
+            "case {case}"
+        );
         assert!(
             partial.counters.global_read_bytes < full.counters.global_read_bytes,
             "case {case}"
         );
-        assert!(partial.modeled_seconds < full.modeled_seconds, "case {case}");
+        assert!(
+            partial.modeled_seconds < full.modeled_seconds,
+            "case {case}"
+        );
     }
 }
