@@ -5,8 +5,11 @@
 //! Emits `BENCH_hotpath.json` at the repository root (hand-rolled JSON, no
 //! serde) so before/after numbers can be compared across commits.
 //!
-//! Usage: `hotpath [--scale N]` — `--scale` divides the executor-comparison
-//! field's x/y extents (the fast-vs-reference field is fixed at 256³).
+//! Usage: `hotpath [--scale N] [--overlap]` — `--scale` divides the
+//! executor-comparison field's x/y extents (the fast-vs-reference field is
+//! fixed at 256³); `--overlap` additionally records the modeled end-to-end
+//! stream timeline (overlapped vs serialized transfer+compute makespan on
+//! the 256³ field) into `BENCH_overlap.json`.
 
 use std::time::Instant;
 use zc_bench::HarnessOpts;
@@ -41,7 +44,7 @@ fn main() {
     let opts = match HarnessOpts::from_args(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("hotpath: {e}\nusage: hotpath [--scale N]");
+            eprintln!("hotpath: {e}\nusage: hotpath [--scale N] [--overlap]");
             std::process::exit(2);
         }
     };
@@ -115,7 +118,43 @@ fn main() {
         san_summary.launches_checked
     );
 
-    // ---- 4. emit BENCH_hotpath.json at the repo root ---------------------
+    // ---- 4. stream-overlap timeline on the 256³ field (--overlap) --------
+    // The plan runner models H2D/compute/D2H as three engines with the
+    // pattern-1 scalar pass chunked against the upload; the overlapped
+    // makespan must beat the serialized sum strictly.
+    if opts.overlap {
+        let a = fast
+            .assess(&borig, &bdec, &bcfg)
+            .expect("assessment failed");
+        let e2e = a.e2e.expect("device executor models end-to-end time");
+        assert!(
+            e2e.overlapped_s < e2e.serialized_s,
+            "overlap did not win: {:.6e} !< {:.6e}",
+            e2e.overlapped_s,
+            e2e.serialized_s
+        );
+        eprintln!(
+            "stream overlap on {big_shape}: {:.4} ms overlapped vs {:.4} ms serialized ({:.1}% saved)",
+            e2e.overlapped_s * 1e3,
+            e2e.serialized_s * 1e3,
+            e2e.saving() * 100.0
+        );
+        let out = format!(
+            "{{\n  \"shape\": \"{big_shape}\",\n  \"h2d_s\": {:.6e},\n  \"d2h_s\": {:.6e},\n  \"compute_s\": {:.6e},\n  \"serialized_s\": {:.6e},\n  \"overlapped_s\": {:.6e},\n  \"saving\": {:.4}\n}}\n",
+            e2e.h2d_s,
+            e2e.d2h_s,
+            e2e.compute_s,
+            e2e.serialized_s,
+            e2e.overlapped_s,
+            e2e.saving(),
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_overlap.json");
+        std::fs::write(path, &out).expect("write BENCH_overlap.json");
+        println!("{out}");
+        eprintln!("wrote {path}");
+    }
+
+    // ---- 5. emit BENCH_hotpath.json at the repo root ---------------------
     let out = format!(
         "{{\n  \"executors\": {{\n    \"shape\": \"{exec_shape}\",\n    \"elements\": {},\n    \"max_lag\": {},\n    \"serialzc_wall_s\": {serial_s:.6},\n    \"ompzc_wall_s\": {omp_s:.6},\n    \"mozc_wall_s\": {mozc_s:.6},\n    \"cuzc_wall_s\": {cuzc_s:.6}\n  }},\n  \"fastpath\": {{\n    \"shape\": \"{big_shape}\",\n    \"elements\": {},\n    \"max_lag\": {},\n    \"cuzc_fast_wall_s\": {fast_s:.6},\n    \"cuzc_reference_wall_s\": {ref_s:.6},\n    \"speedup\": {speedup:.4}\n  }},\n  \"sanitizer\": {{\n    \"shape\": \"{exec_shape}\",\n    \"cuzc_sanitized_wall_s\": {san_s:.6},\n    \"overhead_vs_plain\": {san_overhead:.4},\n    \"launches_checked\": {}\n  }}\n}}\n",
         exec_shape.len(),

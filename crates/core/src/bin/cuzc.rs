@@ -17,7 +17,9 @@ use zc_compress::{
 use zc_core::config::{parse, CompressorChoice, RunConfig};
 use zc_core::exec::make_executor;
 use zc_core::io::{read_raw, write_pgm_slice, Endianness};
+use zc_core::metrics::{Metric, MetricSelection};
 use zc_core::output::{autocorr_csv, histogram_csv, scalars_csv};
+use zc_core::plan::AssessPlan;
 use zc_tensor::{Shape, Tensor};
 
 struct Args {
@@ -25,6 +27,7 @@ struct Args {
     decompressed: Option<PathBuf>,
     shape: Option<Shape>,
     config: Option<PathBuf>,
+    metrics: Option<String>,
     big_endian: bool,
     csv_dir: Option<PathBuf>,
     pgm: Option<PathBuf>,
@@ -39,6 +42,8 @@ const USAGE: &str = "usage: cuzc [options]
   --shape NXxNYxNZ[xNW]   field dimensions (x fastest-varying)
   --decompressed <file>   raw binary f32 field to assess against
   --config <file>         run configuration (Z-checker ini dialect)
+  --metrics <key,key,...> assess only these metrics (overrides the config
+                          selection; keys as in the report, e.g. psnr,ssim)
   --big-endian            input files are big-endian
   --csv-dir <dir>         also write scalars/pdf/autocorr CSVs there
   --pgm <file>            also write a mid-depth PGM slice of the input
@@ -54,12 +59,35 @@ fn parse_shape(s: &str) -> Result<Shape, String> {
     Shape::new(&dims).map_err(|e| format!("bad shape '{s}': {e}"))
 }
 
+/// Parse a `--metrics` list of comma-separated [`Metric::key`] names into a
+/// selection. An unknown key lists every valid key in the error.
+fn parse_metrics(spec: &str) -> Result<MetricSelection, String> {
+    let mut sel = MetricSelection::none();
+    for key in spec.split(',').map(str::trim).filter(|k| !k.is_empty()) {
+        match Metric::from_key(key) {
+            Some(m) => sel = sel.with(m),
+            None => {
+                let known: Vec<&str> = Metric::ALL.iter().map(|m| m.key()).collect();
+                return Err(format!(
+                    "unknown metric '{key}' (known: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    if sel.is_empty() {
+        return Err("--metrics needs at least one metric key".to_string());
+    }
+    Ok(sel)
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         input: None,
         decompressed: None,
         shape: None,
         config: None,
+        metrics: None,
         big_endian: false,
         csv_dir: None,
         pgm: None,
@@ -76,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
             "--decompressed" => args.decompressed = Some(PathBuf::from(val()?)),
             "--shape" => args.shape = Some(parse_shape(&val()?)?),
             "--config" => args.config = Some(PathBuf::from(val()?)),
+            "--metrics" => args.metrics = Some(val()?),
             "--big-endian" => args.big_endian = true,
             "--csv-dir" => args.csv_dir = Some(PathBuf::from(val()?)),
             "--pgm" => args.pgm = Some(PathBuf::from(val()?)),
@@ -107,7 +136,10 @@ fn load_config(args: &Args) -> Result<RunConfig, String> {
 
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
-    let run = load_config(&args)?;
+    let mut run = load_config(&args)?;
+    if let Some(spec) = &args.metrics {
+        run.assess.metrics = parse_metrics(spec)?;
+    }
     let endian = if args.big_endian {
         Endianness::Big
     } else {
@@ -175,10 +207,11 @@ fn run() -> Result<ExitCode, String> {
         }
     };
 
-    // Assess.
+    // Assess: lower the metric selection to a pass plan, run it.
     let executor = make_executor(run.executor);
+    let plan = AssessPlan::lower(&run.assess);
     let mut a = executor
-        .assess(&orig, &dec, &run.assess)
+        .run_plan(&plan, &orig, &dec, &run.assess)
         .map_err(|e| format!("assessment failed: {e}"))?;
     if let Some(stats) = comp_stats {
         a.report = a.report.with_compression(stats);
@@ -194,6 +227,15 @@ fn run() -> Result<ExitCode, String> {
             a.pattern_times.p1,
             a.pattern_times.p2,
             a.pattern_times.p3
+        );
+    }
+    if let Some(e2e) = &a.e2e {
+        println!(
+            "modeled end-to-end: {:.4} ms overlapped / {:.4} ms serialized (h2d {:.3e}s, d2h {:.3e}s)",
+            e2e.overlapped_s * 1e3,
+            e2e.serialized_s * 1e3,
+            e2e.h2d_s,
+            e2e.d2h_s
         );
     }
     for p in &a.profiles {

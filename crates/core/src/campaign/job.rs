@@ -4,8 +4,10 @@
 use crate::config::AssessConfig;
 use crate::exec::{Executor, MultiCuZc, PatternRun, PatternTimes};
 use crate::metrics::Metric;
+use crate::plan::AssessPlan;
 use zc_compress::CompressorSpec;
 use zc_data::{AppDataset, Field, GenOptions};
+use zc_gpusim::EndToEnd;
 use zc_tensor::Tensor;
 
 /// A catalog field by reference: dataset + roster index + generation
@@ -71,6 +73,9 @@ pub struct JobMetrics {
     pub pattern_times: PatternTimes,
     /// Per-pattern execution records (feed the campaign counter merge).
     pub runs: Vec<PatternRun>,
+    /// Modeled end-to-end time (transfer legs + compute) as overlapped
+    /// stream makespan vs serialized sum.
+    pub e2e: Option<EndToEnd>,
 }
 
 /// What happened to a job. Failures are data, not control flow: one failed
@@ -104,8 +109,8 @@ impl JobRecord {
     }
 }
 
-/// Execute one job: codec round-trip, then assessment on the group
-/// executor. Every error is captured into the outcome.
+/// Execute one job: codec round-trip, then lower the assessment plan and
+/// run it on the group executor. Every error is captured into the outcome.
 pub(super) fn run_job(
     orig: &Tensor<f32>,
     spec: &JobSpec,
@@ -117,7 +122,10 @@ pub(super) fn run_job(
         Ok(r) => r,
         Err(e) => return JobOutcome::Failed(format!("codec: {e}")),
     };
-    let a = match executor.assess(orig, &dec, cfg) {
+    // Jobs submit plans, not ad-hoc metric lists: the lowered pass DAG is
+    // what the device group schedules.
+    let plan = AssessPlan::lower(cfg);
+    let a = match executor.run_plan(&plan, orig, &dec, cfg) {
         Ok(a) => a,
         Err(e) => return JobOutcome::Failed(format!("assess: {e}")),
     };
@@ -134,6 +142,7 @@ pub(super) fn run_job(
         modeled_seconds: a.modeled_seconds,
         pattern_times: a.pattern_times,
         runs: a.runs,
+        e2e: a.e2e,
     }))
 }
 

@@ -6,14 +6,14 @@
 //! carrying the derivative metrics), collecting counters, occupancy
 //! profiles (Table II) and modeled times (Figs. 10–12).
 
-use super::{
-    validate, AssessError, Assessment, Executor, PatternProfile, PatternRun, PatternTimes,
-};
+use super::{AssessError, Assessment, Executor};
 use crate::config::AssessConfig;
-use crate::metrics::Pattern;
-use crate::report::AnalysisReport;
-use std::time::Instant;
-use zc_gpusim::{BlockKernel, Counters, GpuSim, LaunchResult};
+use crate::plan::{
+    AssessPlan, Pass, PassBackend, PassCtx, PassExecution, PassKind, PassLaunch, PassOutput,
+    PlanRunner,
+};
+use zc_gpusim::stream::HostLink;
+use zc_gpusim::{GpuSim, LaunchResult};
 use zc_kernels::p3::SsimParams;
 use zc_kernels::{
     FieldPair, HasReferencePath, P1FusedKernel, P1HistKernel, P2FusedKernel, P2Stats, Reference,
@@ -51,83 +51,88 @@ impl CuZc {
     }
 }
 
-/// Accumulates one pattern's launches into a Table-II profile row.
-pub(crate) struct PatternAcc {
-    pattern: Pattern,
-    regs: u32,
-    smem: u32,
-    iters: u64,
-    blocks_per_sm: u32,
-    tbs_per_sm: u32,
-    seconds: f64,
-    counters: Counters,
-    grid_blocks: usize,
-    resources: Option<zc_gpusim::KernelResources>,
-    class: zc_gpusim::KernelClass,
-}
-
-impl PatternAcc {
-    pub(crate) fn new(pattern: Pattern) -> Self {
-        PatternAcc {
-            pattern,
-            regs: 0,
-            smem: 0,
-            iters: 0,
-            blocks_per_sm: 0,
-            tbs_per_sm: 0,
-            seconds: 0.0,
-            counters: Counters::default(),
-            grid_blocks: 0,
-            resources: None,
-            class: zc_gpusim::KernelClass::Generic,
+impl PassBackend for CuZc {
+    fn run_pass(&self, pass: &Pass, ctx: &PassCtx<'_>) -> PassExecution {
+        let f = FieldPair::new(ctx.orig, ctx.dec);
+        let cfg = ctx.cfg;
+        let mut launches = Vec::new();
+        match pass.kind {
+            // ---- pattern 1: the fused scalar kernel ----------------------
+            // Always launched (the pass is scheduled even when auxiliary):
+            // μ/σ² feed pattern 2 and the dynamic range feeds pattern 3,
+            // exactly as in the real coordinator.
+            PassKind::P1Scalars => {
+                let k = P1FusedKernel { fields: f };
+                let r = self.launch(&k, k.grid());
+                launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                PassExecution {
+                    output: PassOutput::Scalars(r.output),
+                    launches,
+                }
+            }
+            // ---- pattern 1: the fused histogram kernel -------------------
+            PassKind::P1Hist => {
+                let k = P1HistKernel {
+                    fields: f,
+                    scalars: ctx.p1(),
+                    bins: cfg.bins,
+                };
+                let r = self.launch(&k, k.grid());
+                launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                PassExecution {
+                    output: PassOutput::Histograms(r.output),
+                    launches,
+                }
+            }
+            // ---- pattern 2: one fused stencil launch per stride ----------
+            PassKind::P2Stencil => {
+                let mut stats = P2Stats::identity(cfg.max_lag);
+                for stride in 1..=cfg.max_lag {
+                    let k = P2FusedKernel {
+                        fields: f,
+                        stride,
+                        mean_e: ctx.p1().mean_e(),
+                        max_lag: cfg.max_lag,
+                        derivatives: stride == 1,
+                        autocorr: true,
+                        cooperative: true,
+                    };
+                    let r = self.launch(&k, k.grid());
+                    launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                    stats.combine(&r.output);
+                }
+                PassExecution {
+                    output: PassOutput::Stencil(stats),
+                    launches,
+                }
+            }
+            // ---- pattern 3: the FIFO SSIM kernel -------------------------
+            PassKind::P3Ssim => {
+                let params = SsimParams {
+                    wsize: cfg.ssim.window,
+                    step: cfg.ssim.step,
+                    k1: cfg.ssim.k1,
+                    k2: cfg.ssim.k2,
+                    range: ctx.p1().value_range(),
+                };
+                let k = SsimFusedKernel {
+                    fields: f,
+                    params,
+                    fifo_in_shared: true,
+                };
+                let r = self.launch(&k, k.grid());
+                launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                PassExecution {
+                    output: PassOutput::Ssim(r.output),
+                    launches,
+                }
+            }
+            PassKind::CompressionMeta => unreachable!("meta pass is not executed"),
         }
     }
 
-    pub(crate) fn add<O>(&mut self, sim: &GpuSim, k: &impl BlockKernel, r: &LaunchResult<O>) {
-        let res = k.resources();
-        self.iters = self.iters.max(r.counters.iters_per_thread);
-        self.tbs_per_sm = self
-            .tbs_per_sm
-            .max(r.grid_blocks.div_ceil(sim.dev.sms as usize) as u32);
-        self.seconds += r.modeled.total_s;
-        self.counters.merge(&r.counters);
-        // Table II reports the pattern's *dominant* kernel (the fused
-        // scalar/stencil/SSIM one — always the largest register user), not
-        // a max over auxiliary launches.
-        if res.regs_per_block() >= self.regs || self.resources.is_none() {
-            self.regs = res.regs_per_block();
-            self.smem = self.smem.max(res.smem_per_block);
-            self.blocks_per_sm = r.occupancy.blocks_per_sm;
-            self.resources = Some(res);
-            self.grid_blocks = r.grid_blocks;
-            self.class = k.class();
-        }
-    }
-
-    pub(crate) fn run(&self) -> PatternRun {
-        PatternRun {
-            pattern: self.pattern,
-            counters: self.counters,
-            grid_blocks: self.grid_blocks,
-            resources: self.resources,
-            class: self.class,
-        }
-    }
-
-    pub(crate) fn seconds(&self) -> f64 {
-        self.seconds
-    }
-
-    pub(crate) fn profile(&self) -> PatternProfile {
-        PatternProfile {
-            pattern: self.pattern,
-            regs_per_tb: self.regs,
-            smem_per_tb: self.smem,
-            iters_per_thread: self.iters,
-            blocks_per_sm: self.blocks_per_sm,
-            tbs_per_sm: self.tbs_per_sm,
-            modeled_seconds: self.seconds,
-        }
+    fn transfer(&self) -> Option<HostLink> {
+        Some(HostLink::pcie())
     }
 }
 
@@ -136,111 +141,14 @@ impl Executor for CuZc {
         "cuZC"
     }
 
-    fn assess(
+    fn run_plan(
         &self,
+        plan: &AssessPlan,
         orig: &zc_tensor::Tensor<f32>,
         dec: &zc_tensor::Tensor<f32>,
         cfg: &AssessConfig,
     ) -> Result<Assessment, AssessError> {
-        let non_finite = validate(orig, dec, cfg)?;
-        let t0 = Instant::now();
-        let f = FieldPair::new(orig, dec);
-        let sel = &cfg.metrics;
-        let mut counters = Counters::default();
-        let mut times = PatternTimes::default();
-        let mut profiles = Vec::new();
-        let mut runs = Vec::new();
-
-        // ---- pattern 1: one fused scalar kernel (+ fused histograms) ----
-        // Always launched: μ/σ² feed pattern 2 and the dynamic range feeds
-        // pattern 3, exactly as in the real coordinator.
-        let mut acc1 = PatternAcc::new(Pattern::GlobalReduction);
-        let k_scalar = P1FusedKernel { fields: f };
-        let r_scalar = self.launch(&k_scalar, k_scalar.grid());
-        acc1.add(&self.sim, &k_scalar, &r_scalar);
-        counters.merge(&r_scalar.counters);
-        let p1 = r_scalar.output;
-        let hists = if sel.needs(Pattern::GlobalReduction) {
-            let k_hist = P1HistKernel {
-                fields: f,
-                scalars: p1,
-                bins: cfg.bins,
-            };
-            let r_hist = self.launch(&k_hist, k_hist.grid());
-            acc1.add(&self.sim, &k_hist, &r_hist);
-            counters.merge(&r_hist.counters);
-            Some(r_hist.output)
-        } else {
-            None
-        };
-        times.p1 = acc1.seconds();
-        profiles.push(acc1.profile());
-        runs.push(acc1.run());
-
-        // ---- pattern 2: one fused stencil launch per stride --------------
-        let p2 = if sel.needs(Pattern::Stencil) {
-            let mut acc2 = PatternAcc::new(Pattern::Stencil);
-            let mut stats = P2Stats::identity(cfg.max_lag);
-            for stride in 1..=cfg.max_lag {
-                let k = P2FusedKernel {
-                    fields: f,
-                    stride,
-                    mean_e: p1.mean_e(),
-                    max_lag: cfg.max_lag,
-                    derivatives: stride == 1,
-                    autocorr: true,
-                    cooperative: true,
-                };
-                let r = self.launch(&k, k.grid());
-                acc2.add(&self.sim, &k, &r);
-                counters.merge(&r.counters);
-                stats.combine(&r.output);
-            }
-            times.p2 = acc2.seconds();
-            profiles.push(acc2.profile());
-            runs.push(acc2.run());
-            Some(stats)
-        } else {
-            None
-        };
-
-        // ---- pattern 3: the FIFO SSIM kernel ------------------------------
-        let ssim = if sel.needs(Pattern::SlidingWindow) {
-            let mut acc3 = PatternAcc::new(Pattern::SlidingWindow);
-            let params = SsimParams {
-                wsize: cfg.ssim.window,
-                step: cfg.ssim.step,
-                k1: cfg.ssim.k1,
-                k2: cfg.ssim.k2,
-                range: p1.value_range(),
-            };
-            let k = SsimFusedKernel {
-                fields: f,
-                params,
-                fifo_in_shared: true,
-            };
-            let r = self.launch(&k, k.grid());
-            acc3.add(&self.sim, &k, &r);
-            counters.merge(&r.counters);
-            times.p3 = acc3.seconds();
-            profiles.push(acc3.profile());
-            runs.push(acc3.run());
-            Some(r.output)
-        } else {
-            None
-        };
-
-        let report =
-            AnalysisReport::assemble(orig.shape(), non_finite, p1, hists, p2.as_ref(), ssim, cfg);
-        Ok(Assessment {
-            report,
-            counters,
-            modeled_seconds: times.total(),
-            pattern_times: times,
-            wall_seconds: t0.elapsed().as_secs_f64(),
-            profiles,
-            runs,
-        })
+        PlanRunner::new(plan).run(self, orig, dec, cfg, None)
     }
 }
 
@@ -248,6 +156,7 @@ impl Executor for CuZc {
 mod tests {
     use super::*;
     use crate::exec::SerialZc;
+    use crate::metrics::Pattern;
     use zc_tensor::{Shape, Tensor};
 
     fn fields() -> (Tensor<f32>, Tensor<f32>) {

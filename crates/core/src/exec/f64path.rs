@@ -192,6 +192,7 @@ pub fn assess_generic<T: Element>(
         wall_seconds: t0.elapsed().as_secs_f64(),
         profiles: Vec::new(),
         runs: Vec::new(),
+        e2e: None,
     })
 }
 

@@ -1,15 +1,20 @@
 //! Executors — the "execution model + module coordinator" of Fig. 2.
 //!
-//! Four implementations of the same assessment contract:
+//! Five implementations of the same assessment contract. Since the plan-IR
+//! refactor, an executor is a [`crate::plan::PassBackend`] ("run one pass")
+//! plus, for the multi-GPU case, a [`crate::plan::DevicePlacement`] policy;
+//! ordering, dependency resolution, counter merging, profile construction
+//! and [`Assessment`] assembly live once in [`crate::plan::PlanRunner`]:
 //!
-//! | name | paper role | engine |
+//! | name | paper role | backend engine |
 //! |---|---|---|
-//! | [`SerialZc`] | ground-truth reference (§IV-B correctness check) | scalar loops |
+//! | [`SerialZc`] | ground-truth reference (§IV-B correctness check) | scalar loops, uncharged |
 //! | [`OmpZc`] | multithreaded CPU baseline "ompZC" | zc-par threads + Xeon cost model |
 //! | [`MoZc`] | metric-oriented GPU baseline "moZC" | per-metric kernels on `zc-gpusim` |
 //! | [`CuZc`] | the paper's pattern-oriented "cuZC" | fused pattern kernels on `zc-gpusim` |
+//! | [`MultiCuZc`] | §VI multi-GPU extension | the [`CuZc`] backend + device placement |
 //!
-//! All four produce the same metric *values* (to floating-point reduction
+//! All five produce the same metric *values* (to floating-point reduction
 //! tolerance); they differ in the counted work and the modeled time — which
 //! is exactly what Figs. 10–12 compare.
 
@@ -30,9 +35,10 @@ pub use serial::SerialZc;
 
 use crate::config::{AssessConfig, ExecutorKind};
 use crate::metrics::Pattern;
+use crate::plan::AssessPlan;
 use crate::report::AnalysisReport;
 use std::fmt;
-use zc_gpusim::{Counters, KernelClass, KernelResources};
+use zc_gpusim::{Counters, EndToEnd, KernelClass, KernelResources};
 use zc_tensor::Tensor;
 
 /// One pattern's aggregated execution record: the merged counters plus the
@@ -118,6 +124,10 @@ pub struct Assessment {
     pub profiles: Vec<PatternProfile>,
     /// Per-pattern execution records (all executors — figure harness).
     pub runs: Vec<PatternRun>,
+    /// Modeled end-to-end time including host↔device transfer legs, as an
+    /// overlapped stream makespan vs the serialized sum (device-resident
+    /// backends only; `None` for host executors).
+    pub e2e: Option<EndToEnd>,
 }
 
 impl Assessment {
@@ -158,17 +168,34 @@ impl fmt::Display for AssessError {
 impl std::error::Error for AssessError {}
 
 /// The assessment contract every executor implements.
+///
+/// The required method is [`Executor::run_plan`]: execute an
+/// already-lowered [`AssessPlan`]. [`Executor::assess`] is provided — it
+/// lowers the configuration and runs the plan, so `assess` is literally
+/// "lower, then schedule" for every executor.
 pub trait Executor {
     /// Executor name as used in the paper's figures.
     fn name(&self) -> &'static str;
 
-    /// Assess a field pair under a configuration.
+    /// Execute a lowered assessment plan on a field pair.
+    fn run_plan(
+        &self,
+        plan: &AssessPlan,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+    ) -> Result<Assessment, AssessError>;
+
+    /// Assess a field pair under a configuration (lower + run the plan).
     fn assess(
         &self,
         orig: &Tensor<f32>,
         dec: &Tensor<f32>,
         cfg: &AssessConfig,
-    ) -> Result<Assessment, AssessError>;
+    ) -> Result<Assessment, AssessError> {
+        let plan = AssessPlan::lower(cfg);
+        self.run_plan(&plan, orig, dec, cfg)
+    }
 }
 
 /// Instantiate an executor by configuration kind.
@@ -178,26 +205,6 @@ pub fn make_executor(kind: ExecutorKind) -> Box<dyn Executor> {
         ExecutorKind::MoZc => Box::new(MoZc::default()),
         ExecutorKind::OmpZc => Box::new(OmpZc::default()),
         ExecutorKind::Serial => Box::new(SerialZc),
-    }
-}
-
-/// Divide a counter set's additive quantities by `g` (per-device share of
-/// a grid-partitioned launch; launch structure is preserved by the caller).
-pub(crate) fn scale_div(c: &Counters, g: u64) -> Counters {
-    let d = |v: u64| v.div_ceil(g);
-    Counters {
-        global_read_bytes: d(c.global_read_bytes),
-        global_write_bytes: d(c.global_write_bytes),
-        global_scatter_bytes: d(c.global_scatter_bytes),
-        shared_accesses: d(c.shared_accesses),
-        lane_flops: d(c.lane_flops),
-        special_ops: d(c.special_ops),
-        shuffles: d(c.shuffles),
-        ballots: d(c.ballots),
-        syncs: d(c.syncs),
-        launches: c.launches,
-        grid_syncs: c.grid_syncs,
-        iters_per_thread: c.iters_per_thread,
     }
 }
 

@@ -5,18 +5,20 @@
 //! autocorrelation lag, and the no-FIFO SSIM. The values are identical to
 //! cuZC's; the traffic and launch counts are the metric-oriented design's.
 
-use super::cuzc::PatternAcc;
-use super::{validate, AssessError, Assessment, Executor, PatternTimes};
+use super::{AssessError, Assessment, Executor};
 use crate::config::AssessConfig;
-use crate::metrics::Pattern;
-use crate::report::AnalysisReport;
-use std::time::Instant;
-use zc_gpusim::{Counters, GpuSim};
+use crate::plan::{
+    AssessPlan, Pass, PassBackend, PassCtx, PassExecution, PassKind, PassLaunch, PassOutput,
+    PlanRunner,
+};
+use zc_gpusim::stream::HostLink;
+use zc_gpusim::GpuSim;
 use zc_kernels::mo::{
     MoAutocorrKernel, MoDerivKernel, MoHistKernel, MoHistKind, MoP1Kernel, MoP1Metric,
 };
 use zc_kernels::p3::SsimParams;
 use zc_kernels::{FieldPair, P1Histograms, P2Stats, SsimFusedKernel};
+use zc_tensor::Tensor;
 
 /// The metric-oriented GPU executor.
 #[derive(Clone, Debug)]
@@ -33,147 +35,133 @@ impl Default for MoZc {
     }
 }
 
+impl PassBackend for MoZc {
+    fn run_pass(&self, pass: &Pass, ctx: &PassCtx<'_>) -> PassExecution {
+        let f = FieldPair::new(ctx.orig, ctx.dec);
+        let cfg = ctx.cfg;
+        let mut launches = Vec::new();
+        match pass.kind {
+            // ---- pattern 1: one kernel per metric ------------------------
+            // The scalar moments are always needed (μ/σ²/range feed the
+            // other patterns); moZC obtains them from its per-metric
+            // kernels, so the launches happen even on an auxiliary pass.
+            PassKind::P1Scalars => {
+                let mut p1 = None;
+                for metric in MoP1Metric::SCALARS {
+                    let k = MoP1Kernel { fields: f, metric };
+                    let r = self.sim.launch(&k, k.grid());
+                    launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                    p1 = Some(r.output);
+                }
+                PassExecution {
+                    output: PassOutput::Scalars(p1.expect("at least one scalar kernel ran")),
+                    launches,
+                }
+            }
+            PassKind::P1Hist => {
+                let mut outs = Vec::new();
+                for kind in [
+                    MoHistKind::ErrPdf,
+                    MoHistKind::PwrPdf,
+                    MoHistKind::ValueHist,
+                ] {
+                    let k = MoHistKernel {
+                        fields: f,
+                        scalars: ctx.p1(),
+                        kind,
+                        bins: cfg.bins,
+                    };
+                    let r = self.sim.launch(&k, k.grid());
+                    launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                    outs.push(r.output);
+                }
+                let value_hist = outs.pop().expect("three histogram kernels");
+                let rel_pdf = outs.pop().expect("three histogram kernels");
+                let err_pdf = outs.pop().expect("three histogram kernels");
+                PassExecution {
+                    output: PassOutput::Histograms(P1Histograms {
+                        err_pdf,
+                        rel_pdf,
+                        value_hist,
+                    }),
+                    launches,
+                }
+            }
+            // ---- pattern 2: per-axis derivative passes + per-lag stencils
+            PassKind::P2Stencil => {
+                // Two derivative kernels (order 1 and 2), each re-staging
+                // the neighbourhood the fused kernel stages once.
+                let mut stats = P2Stats::identity(cfg.max_lag);
+                for order in [1usize, 2] {
+                    let k = MoDerivKernel {
+                        fields: f,
+                        order,
+                        max_lag: cfg.max_lag,
+                    };
+                    let r = self.sim.launch(&k, k.grid());
+                    launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                    stats.combine(&r.output);
+                }
+                // One direct-global stencil kernel per autocorrelation lag.
+                for lag in 1..=cfg.max_lag {
+                    let k = MoAutocorrKernel {
+                        fields: f,
+                        lag,
+                        mean_e: ctx.p1().mean_e(),
+                        max_lag: cfg.max_lag,
+                    };
+                    let r = self.sim.launch(&k, k.grid());
+                    launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                    stats.combine(&r.output);
+                }
+                PassExecution {
+                    output: PassOutput::Stencil(stats),
+                    launches,
+                }
+            }
+            // ---- pattern 3: SSIM without the FIFO buffer -----------------
+            PassKind::P3Ssim => {
+                let params = SsimParams {
+                    wsize: cfg.ssim.window,
+                    step: cfg.ssim.step,
+                    k1: cfg.ssim.k1,
+                    k2: cfg.ssim.k2,
+                    range: ctx.p1().value_range(),
+                };
+                let k = SsimFusedKernel {
+                    fields: f,
+                    params,
+                    fifo_in_shared: false,
+                };
+                let r = self.sim.launch(&k, k.grid());
+                launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                PassExecution {
+                    output: PassOutput::Ssim(r.output),
+                    launches,
+                }
+            }
+            PassKind::CompressionMeta => unreachable!("meta pass is not executed"),
+        }
+    }
+
+    fn transfer(&self) -> Option<HostLink> {
+        Some(HostLink::pcie())
+    }
+}
+
 impl Executor for MoZc {
     fn name(&self) -> &'static str {
         "moZC"
     }
 
-    fn assess(
+    fn run_plan(
         &self,
-        orig: &zc_tensor::Tensor<f32>,
-        dec: &zc_tensor::Tensor<f32>,
+        plan: &AssessPlan,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
         cfg: &AssessConfig,
     ) -> Result<Assessment, AssessError> {
-        let non_finite = validate(orig, dec, cfg)?;
-        let t0 = Instant::now();
-        let f = FieldPair::new(orig, dec);
-        let sel = &cfg.metrics;
-        let mut counters = Counters::default();
-        let mut times = PatternTimes::default();
-        let mut profiles = Vec::new();
-        let mut runs = Vec::new();
-
-        // ---- pattern 1: one kernel per metric ----------------------------
-        // The scalar moments are always needed (μ/σ²/range feed the other
-        // patterns); moZC obtains them from its per-metric kernels.
-        let mut acc1 = PatternAcc::new(Pattern::GlobalReduction);
-        let mut p1 = None;
-        for metric in MoP1Metric::SCALARS {
-            let k = MoP1Kernel { fields: f, metric };
-            let r = self.sim.launch(&k, k.grid());
-            acc1.add(&self.sim, &k, &r);
-            counters.merge(&r.counters);
-            p1 = Some(r.output);
-        }
-        let p1 = p1.expect("at least one scalar kernel ran");
-        let hists = if sel.needs(Pattern::GlobalReduction) {
-            let mut outs = Vec::new();
-            for kind in [
-                MoHistKind::ErrPdf,
-                MoHistKind::PwrPdf,
-                MoHistKind::ValueHist,
-            ] {
-                let k = MoHistKernel {
-                    fields: f,
-                    scalars: p1,
-                    kind,
-                    bins: cfg.bins,
-                };
-                let r = self.sim.launch(&k, k.grid());
-                acc1.add(&self.sim, &k, &r);
-                counters.merge(&r.counters);
-                outs.push(r.output);
-            }
-            let value_hist = outs.pop().expect("three histogram kernels");
-            let rel_pdf = outs.pop().expect("three histogram kernels");
-            let err_pdf = outs.pop().expect("three histogram kernels");
-            Some(P1Histograms {
-                err_pdf,
-                rel_pdf,
-                value_hist,
-            })
-        } else {
-            None
-        };
-        times.p1 = acc1.seconds();
-        profiles.push(acc1.profile());
-        runs.push(acc1.run());
-
-        // ---- pattern 2: per-axis derivative passes + per-lag stencils ----
-        let p2 = if sel.needs(Pattern::Stencil) {
-            let mut acc2 = PatternAcc::new(Pattern::Stencil);
-            // Two derivative kernels (order 1 and 2), each re-staging the
-            // neighbourhood the fused kernel stages once.
-            let mut stats = P2Stats::identity(cfg.max_lag);
-            for order in [1usize, 2] {
-                let k = MoDerivKernel {
-                    fields: f,
-                    order,
-                    max_lag: cfg.max_lag,
-                };
-                let r = self.sim.launch(&k, k.grid());
-                acc2.add(&self.sim, &k, &r);
-                counters.merge(&r.counters);
-                stats.combine(&r.output);
-            }
-            // One direct-global stencil kernel per autocorrelation lag.
-            for lag in 1..=cfg.max_lag {
-                let k = MoAutocorrKernel {
-                    fields: f,
-                    lag,
-                    mean_e: p1.mean_e(),
-                    max_lag: cfg.max_lag,
-                };
-                let r = self.sim.launch(&k, k.grid());
-                acc2.add(&self.sim, &k, &r);
-                counters.merge(&r.counters);
-                stats.combine(&r.output);
-            }
-            times.p2 = acc2.seconds();
-            profiles.push(acc2.profile());
-            runs.push(acc2.run());
-            Some(stats)
-        } else {
-            None
-        };
-
-        // ---- pattern 3: SSIM without the FIFO buffer ----------------------
-        let ssim = if sel.needs(Pattern::SlidingWindow) {
-            let mut acc3 = PatternAcc::new(Pattern::SlidingWindow);
-            let params = SsimParams {
-                wsize: cfg.ssim.window,
-                step: cfg.ssim.step,
-                k1: cfg.ssim.k1,
-                k2: cfg.ssim.k2,
-                range: p1.value_range(),
-            };
-            let k = SsimFusedKernel {
-                fields: f,
-                params,
-                fifo_in_shared: false,
-            };
-            let r = self.sim.launch(&k, k.grid());
-            acc3.add(&self.sim, &k, &r);
-            counters.merge(&r.counters);
-            times.p3 = acc3.seconds();
-            profiles.push(acc3.profile());
-            runs.push(acc3.run());
-            Some(r.output)
-        } else {
-            None
-        };
-
-        let report =
-            AnalysisReport::assemble(orig.shape(), non_finite, p1, hists, p2.as_ref(), ssim, cfg);
-        Ok(Assessment {
-            report,
-            counters,
-            modeled_seconds: times.total(),
-            pattern_times: times,
-            wall_seconds: t0.elapsed().as_secs_f64(),
-            profiles,
-            runs,
-        })
+        PlanRunner::new(plan).run(self, orig, dec, cfg, None)
     }
 }
 

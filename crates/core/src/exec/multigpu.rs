@@ -10,12 +10,11 @@
 //! all-reduce of the scalar partials — the paper's "fine-grained
 //! inter-GPU synchronization and communication".
 
-use super::{validate, AssessError, Assessment, Executor, PatternTimes};
+use super::{AssessError, Assessment, Executor};
 use crate::config::AssessConfig;
 use crate::exec::CuZc;
-use crate::metrics::Pattern;
-use zc_gpusim::cost::gpu_time;
-use zc_gpusim::{occupancy, MultiGpuModel};
+use crate::plan::{AssessPlan, DevicePlacement, PlanRunner};
+use zc_gpusim::MultiGpuModel;
 use zc_tensor::Tensor;
 
 /// The multi-device pattern-oriented executor.
@@ -48,18 +47,12 @@ impl MultiCuZc {
         }
     }
 
-    /// Halo bytes a device exchanges with one neighbour for a pattern.
-    fn halo_bytes(&self, pattern: Pattern, shape: zc_tensor::Shape, cfg: &AssessConfig) -> u64 {
-        let slab = shape.slab_len() as u64 * 4 * 2; // both fields
-        match pattern {
-            Pattern::GlobalReduction => 0,
-            // Stencil needs the largest lag's worth of neighbour slices.
-            Pattern::Stencil => slab * cfg.max_lag as u64,
-            // SSIM blocks own y ranges; neighbours share window ghost rows.
-            Pattern::SlidingWindow => {
-                (shape.nx() * shape.nz()) as u64 * 4 * 2 * (cfg.ssim.window as u64 - 1)
-            }
-            Pattern::CompressionMeta => 0,
+    /// The placement policy this executor applies over the shared plan.
+    fn placement(&self) -> DevicePlacement<'_> {
+        DevicePlacement {
+            gpus: self.gpus,
+            link: self.link,
+            sim: &self.inner.sim,
         }
     }
 }
@@ -69,49 +62,18 @@ impl Executor for MultiCuZc {
         "cuZC-multi"
     }
 
-    fn assess(
+    fn run_plan(
         &self,
+        plan: &AssessPlan,
         orig: &Tensor<f32>,
         dec: &Tensor<f32>,
         cfg: &AssessConfig,
     ) -> Result<Assessment, AssessError> {
-        validate(orig, dec, cfg)?;
-        let mut a = self.inner.assess(orig, dec, cfg)?;
-        if self.gpus <= 1 {
-            return Ok(a);
-        }
-        let g = self.gpus as u64;
-        let sim = &self.inner.sim;
-        let mut times = PatternTimes::default();
-        for run in &a.runs {
-            let Some(res) = run.resources else { continue };
-            // Each device executes its share of the grid: the makespan
-            // device holds ceil(grid / g) blocks and ~1/g of the counters.
-            let grid_d = (run.grid_blocks as u64).div_ceil(g) as usize;
-            let mut c = super::scale_div(&run.counters, g);
-            c.launches = run.counters.launches;
-            c.grid_syncs = run.counters.grid_syncs;
-            let occ = occupancy(&sim.dev, &res);
-            let t = gpu_time(&sim.dev, &sim.calib, &c, &occ, grid_d.max(1), run.class);
-            // Communication: halo exchange with up to two neighbours plus
-            // the ring all-reduce of scalar partials.
-            let halo = self.halo_bytes(run.pattern, orig.shape(), cfg);
-            let comm_s = if halo > 0 {
-                2.0 * (self.link.link_latency_s + halo as f64 / (self.link.link_bw_gbs * 1e9))
-            } else {
-                0.0
-            } + 2.0 * (g - 1) as f64 * self.link.link_latency_s;
-            let total = t.total_s + comm_s;
-            match run.pattern {
-                Pattern::GlobalReduction => times.p1 += total,
-                Pattern::Stencil => times.p2 += total,
-                Pattern::SlidingWindow => times.p3 += total,
-                Pattern::CompressionMeta => {}
-            }
-        }
-        a.pattern_times = times;
-        a.modeled_seconds = times.total();
-        Ok(a)
+        // Same backend, same plan, same passes as single-GPU cuZC — only
+        // the placement policy (grid partitioning + interconnect pricing)
+        // differs, so counters and metric values are identical by
+        // construction.
+        PlanRunner::new(plan).run(&self.inner, orig, dec, cfg, Some(&self.placement()))
     }
 }
 

@@ -6,11 +6,12 @@
 //! arithmetic per element — and converts the counters into modeled
 //! dual-socket-Xeon-6148 time via [`zc_gpusim::cost::CpuModel`].
 
-use super::{cpu_ref, validate, AssessError, Assessment, Executor, PatternRun, PatternTimes};
+use super::{cpu_ref, AssessError, Assessment, Executor};
 use crate::config::AssessConfig;
-use crate::metrics::Pattern;
-use crate::report::AnalysisReport;
-use std::time::Instant;
+use crate::plan::{
+    AssessPlan, Pass, PassBackend, PassCtx, PassExecution, PassKind, PassLaunch, PassOutput,
+    PlanRunner,
+};
 use zc_gpusim::cost::CpuModel;
 use zc_gpusim::{Counters, KernelClass};
 use zc_kernels::FieldPair;
@@ -38,12 +39,21 @@ const P1_SCALAR_PASSES: u64 = 14;
 const P1_HIST_PASSES: u64 = 3;
 
 impl OmpZc {
-    fn p1_counters(&self, n: u64) -> Counters {
+    fn p1_scalar_counters(&self, n: u64) -> Counters {
         Counters {
-            global_read_bytes: (P1_SCALAR_PASSES + P1_HIST_PASSES) * 8 * n,
-            lane_flops: P1_SCALAR_PASSES * 6 * n + P1_HIST_PASSES * 8 * n,
+            global_read_bytes: P1_SCALAR_PASSES * 8 * n,
+            lane_flops: P1_SCALAR_PASSES * 6 * n,
             special_ops: 4 * n, // the pwr-error passes divide
-            launches: P1_SCALAR_PASSES + P1_HIST_PASSES,
+            launches: P1_SCALAR_PASSES,
+            ..Default::default()
+        }
+    }
+
+    fn p1_hist_counters(&self, n: u64) -> Counters {
+        Counters {
+            global_read_bytes: P1_HIST_PASSES * 8 * n,
+            lane_flops: P1_HIST_PASSES * 8 * n,
+            launches: P1_HIST_PASSES,
             ..Default::default()
         }
     }
@@ -75,86 +85,77 @@ impl OmpZc {
     }
 }
 
+impl OmpZc {
+    /// One charged CPU pass: the modeled Z-checker cost of `c` as a single
+    /// launch record.
+    fn charge(&self, c: Counters, class: KernelClass) -> Vec<PassLaunch> {
+        let secs = self.model.time(&c).total_s;
+        vec![PassLaunch::from_cpu(c, secs, class)]
+    }
+}
+
+impl PassBackend for OmpZc {
+    fn run_pass(&self, pass: &Pass, ctx: &PassCtx<'_>) -> PassExecution {
+        let f = FieldPair::new(ctx.orig, ctx.dec);
+        let n = f.len() as u64;
+        match pass.kind {
+            // The scalar values are always computed (they feed the other
+            // patterns), but Z-checker's metric-at-a-time CPU cost is only
+            // charged when a pattern-1 scalar metric was actually asked for
+            // — an auxiliary scalar pass rides along for free.
+            PassKind::P1Scalars => PassExecution {
+                output: PassOutput::Scalars(cpu_ref::p1_scan_par(&f)),
+                launches: if pass.is_auxiliary() {
+                    Vec::new()
+                } else {
+                    self.charge(self.p1_scalar_counters(n), KernelClass::GlobalReduction)
+                },
+            },
+            PassKind::P1Hist => PassExecution {
+                output: PassOutput::Histograms(cpu_ref::histograms_par(
+                    &f,
+                    &ctx.p1(),
+                    ctx.cfg.bins,
+                )),
+                launches: self.charge(self.p1_hist_counters(n), KernelClass::GlobalReduction),
+            },
+            PassKind::P2Stencil => PassExecution {
+                output: PassOutput::Stencil(cpu_ref::p2_scan_par(
+                    &f,
+                    ctx.p1().mean_e(),
+                    ctx.cfg.max_lag,
+                )),
+                launches: self.charge(
+                    self.p2_counters(n, ctx.cfg.max_lag as u64),
+                    KernelClass::Stencil,
+                ),
+            },
+            PassKind::P3Ssim => {
+                let acc = cpu_ref::ssim_scan(&f, &ctx.cfg.ssim, ctx.p1().value_range(), true);
+                let c = self.p3_counters(n, acc.windows, ctx.cfg.ssim.window as u64);
+                PassExecution {
+                    output: PassOutput::Ssim(acc),
+                    launches: self.charge(c, KernelClass::SlidingWindow),
+                }
+            }
+            PassKind::CompressionMeta => unreachable!("meta pass is not executed"),
+        }
+    }
+}
+
 impl Executor for OmpZc {
     fn name(&self) -> &'static str {
         "ompZC"
     }
 
-    fn assess(
+    fn run_plan(
         &self,
+        plan: &AssessPlan,
         orig: &Tensor<f32>,
         dec: &Tensor<f32>,
         cfg: &AssessConfig,
     ) -> Result<Assessment, AssessError> {
-        let non_finite = validate(orig, dec, cfg)?;
-        let t0 = Instant::now();
-        let f = FieldPair::new(orig, dec);
-        let sel = &cfg.metrics;
-        let n = f.len() as u64;
-
-        let mut counters = Counters::default();
-        let mut times = PatternTimes::default();
-        let mut runs = Vec::new();
-
-        let p1 = cpu_ref::p1_scan_par(&f);
-        let hists = if sel.needs(Pattern::GlobalReduction) {
-            let c = self.p1_counters(n);
-            times.p1 = self.model.time(&c).total_s;
-            counters.merge(&c);
-            runs.push(PatternRun {
-                pattern: Pattern::GlobalReduction,
-                counters: c,
-                grid_blocks: 0,
-                resources: None,
-                class: KernelClass::GlobalReduction,
-            });
-            Some(cpu_ref::histograms_par(&f, &p1, cfg.bins))
-        } else {
-            None
-        };
-        let p2 = if sel.needs(Pattern::Stencil) {
-            let c = self.p2_counters(n, cfg.max_lag as u64);
-            times.p2 = self.model.time(&c).total_s;
-            counters.merge(&c);
-            runs.push(PatternRun {
-                pattern: Pattern::Stencil,
-                counters: c,
-                grid_blocks: 0,
-                resources: None,
-                class: KernelClass::Stencil,
-            });
-            Some(cpu_ref::p2_scan_par(&f, p1.mean_e(), cfg.max_lag))
-        } else {
-            None
-        };
-        let ssim = if sel.needs(Pattern::SlidingWindow) {
-            let acc = cpu_ref::ssim_scan(&f, &cfg.ssim, p1.value_range(), true);
-            let c = self.p3_counters(n, acc.windows, cfg.ssim.window as u64);
-            times.p3 = self.model.time(&c).total_s;
-            counters.merge(&c);
-            runs.push(PatternRun {
-                pattern: Pattern::SlidingWindow,
-                counters: c,
-                grid_blocks: 0,
-                resources: None,
-                class: KernelClass::SlidingWindow,
-            });
-            Some(acc)
-        } else {
-            None
-        };
-
-        let report =
-            AnalysisReport::assemble(orig.shape(), non_finite, p1, hists, p2.as_ref(), ssim, cfg);
-        Ok(Assessment {
-            report,
-            counters,
-            modeled_seconds: times.total(),
-            pattern_times: times,
-            wall_seconds: t0.elapsed().as_secs_f64(),
-            profiles: Vec::new(),
-            runs,
-        })
+        PlanRunner::new(plan).run(self, orig, dec, cfg, None)
     }
 }
 

@@ -4,12 +4,12 @@
 //! claim ("cuZ-Checker has the correct calculation on all assessment
 //! metrics by comparing it with the Z-checker's output").
 
-use super::{cpu_ref, validate, AssessError, Assessment, Executor, PatternTimes};
+use super::{AssessError, Assessment, Executor};
 use crate::config::AssessConfig;
-use crate::metrics::Pattern;
-use crate::report::AnalysisReport;
-use std::time::Instant;
-use zc_gpusim::Counters;
+use crate::exec::cpu_ref;
+use crate::plan::{
+    AssessPlan, Pass, PassBackend, PassCtx, PassExecution, PassKind, PassOutput, PlanRunner,
+};
 use zc_kernels::FieldPair;
 use zc_tensor::Tensor;
 
@@ -17,59 +17,56 @@ use zc_tensor::Tensor;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SerialZc;
 
+impl PassBackend for SerialZc {
+    fn run_pass(&self, pass: &Pass, ctx: &PassCtx<'_>) -> PassExecution {
+        let f = FieldPair::new(ctx.orig, ctx.dec);
+        let output = match pass.kind {
+            // The scalar pass always runs: every derived metric and both
+            // other patterns (autocorrelation's μ/σ², SSIM's dynamic range)
+            // need it.
+            PassKind::P1Scalars => PassOutput::Scalars(cpu_ref::p1_scan(&f)),
+            PassKind::P1Hist => {
+                PassOutput::Histograms(cpu_ref::histograms(&f, &ctx.p1(), ctx.cfg.bins))
+            }
+            PassKind::P2Stencil => {
+                PassOutput::Stencil(cpu_ref::p2_scan(&f, ctx.p1().mean_e(), ctx.cfg.max_lag))
+            }
+            PassKind::P3Ssim => PassOutput::Ssim(cpu_ref::ssim_scan(
+                &f,
+                &ctx.cfg.ssim,
+                ctx.p1().value_range(),
+                false,
+            )),
+            PassKind::CompressionMeta => unreachable!("meta pass is not executed"),
+        };
+        // Ground truth charges nothing: no counters, no modeled time.
+        PassExecution {
+            output,
+            launches: Vec::new(),
+        }
+    }
+}
+
 impl Executor for SerialZc {
     fn name(&self) -> &'static str {
         "serial"
     }
 
-    fn assess(
+    fn run_plan(
         &self,
+        plan: &AssessPlan,
         orig: &Tensor<f32>,
         dec: &Tensor<f32>,
         cfg: &AssessConfig,
     ) -> Result<Assessment, AssessError> {
-        let non_finite = validate(orig, dec, cfg)?;
-        let t0 = Instant::now();
-        let f = FieldPair::new(orig, dec);
-        let sel = &cfg.metrics;
-
-        // The scalar pass always runs: every derived metric and both other
-        // patterns (autocorrelation's μ/σ², SSIM's dynamic range) need it.
-        let p1 = cpu_ref::p1_scan(&f);
-        let hists = if sel.needs(Pattern::GlobalReduction) {
-            Some(cpu_ref::histograms(&f, &p1, cfg.bins))
-        } else {
-            None
-        };
-        let p2 = if sel.needs(Pattern::Stencil) {
-            Some(cpu_ref::p2_scan(&f, p1.mean_e(), cfg.max_lag))
-        } else {
-            None
-        };
-        let ssim = if sel.needs(Pattern::SlidingWindow) {
-            Some(cpu_ref::ssim_scan(&f, &cfg.ssim, p1.value_range(), false))
-        } else {
-            None
-        };
-
-        let report =
-            AnalysisReport::assemble(orig.shape(), non_finite, p1, hists, p2.as_ref(), ssim, cfg);
-        Ok(Assessment {
-            report,
-            counters: Counters::default(),
-            modeled_seconds: 0.0,
-            pattern_times: PatternTimes::default(),
-            wall_seconds: t0.elapsed().as_secs_f64(),
-            profiles: Vec::new(),
-            runs: Vec::new(),
-        })
+        PlanRunner::new(plan).run(self, orig, dec, cfg, None)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{Metric, MetricSelection};
+    use crate::metrics::{Metric, MetricSelection, Pattern};
     use zc_tensor::Shape;
 
     #[test]

@@ -8,9 +8,13 @@
 //! * [`metrics`] — the metric registry and the pattern classification
 //!   (Table I);
 //! * [`config`] — the configuration parser (Z-checker ini dialect);
+//! * [`plan`] — the assessment-plan IR: metric selection lowers to a DAG
+//!   of pattern passes, scheduled by one [`plan::PlanRunner`] behind every
+//!   executor;
 //! * [`exec`] — the execution models / module coordinator: the serial
 //!   reference, the multithreaded-CPU `ompZC`, the metric-oriented GPU
-//!   `moZC`, and the pattern-oriented GPU `cuZC`;
+//!   `moZC`, the pattern-oriented GPU `cuZC`, and its multi-device
+//!   placement `MultiCuZc` — each a [`plan::PassBackend`];
 //! * [`report`] — the analysis report (every metric value);
 //! * [`campaign`] — sharded multi-field batch assessment over the
 //!   simulated multi-GPU fleet (catalog × compressor sweep → aggregate
@@ -47,6 +51,7 @@ pub mod io;
 pub mod metrics;
 pub mod output;
 pub mod pipeline;
+pub mod plan;
 pub mod recommend;
 pub mod report;
 pub mod viz;
@@ -56,4 +61,5 @@ pub use config::{AssessConfig, ExecutorKind, RunConfig, SsimSettings};
 pub use exec::{Assessment, CuZc, Executor, MoZc, MultiCuZc, OmpZc, PatternProfile, SerialZc};
 pub use metrics::{Metric, MetricSelection, Pattern};
 pub use pipeline::assess_compression;
+pub use plan::{AssessPlan, PassKind, PlanRunner};
 pub use report::AnalysisReport;

@@ -5,6 +5,7 @@
 
 use crate::config::AssessConfig;
 use crate::exec::{AssessError, Assessment, Executor};
+use crate::plan::AssessPlan;
 use zc_compress::{CodecError, Compressor};
 use zc_tensor::Tensor;
 
@@ -31,6 +32,11 @@ impl std::error::Error for PipelineError {}
 /// Compress, decompress and assess in one step. The returned assessment's
 /// report carries the compression-performance metrics (ratio and both
 /// throughputs), so `report.scalar(Metric::CompressionRatio)` etc. work.
+///
+/// The assessment is lowered to an [`AssessPlan`] explicitly: when the
+/// selection includes the compression-meta metrics the plan carries the
+/// bookkeeping node, and its values attach here — the compressor, not a
+/// field pass, is their data source.
 pub fn assess_compression(
     orig: &Tensor<f32>,
     compressor: &dyn Compressor,
@@ -38,8 +44,9 @@ pub fn assess_compression(
     cfg: &AssessConfig,
 ) -> Result<Assessment, PipelineError> {
     let (dec, stats) = compressor.roundtrip(orig).map_err(PipelineError::Codec)?;
+    let plan = AssessPlan::lower(cfg);
     let mut a = executor
-        .assess(orig, &dec, cfg)
+        .run_plan(&plan, orig, &dec, cfg)
         .map_err(PipelineError::Assess)?;
     a.report = a.report.with_compression(stats);
     Ok(a)

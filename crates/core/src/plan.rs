@@ -1,0 +1,696 @@
+//! The assessment-plan IR — one scheduler behind every executor.
+//!
+//! The paper's core idea is that metric *selection* lowers to pattern
+//! *passes* (Table I → Algorithms 1–3). This module makes that lowering a
+//! first-class object instead of a convention each executor re-implements:
+//!
+//! 1. [`AssessPlan::lower`] turns a [`MetricSelection`] + [`AssessConfig`]
+//!    into a small DAG of [`Pass`] nodes — pattern-1 scalars, pattern-1
+//!    histograms (*depending on* the scalar min/max), the pattern-2
+//!    stencil, the pattern-3 SSIM window sweep, and the compression-meta
+//!    node — each tagged with its pattern, kernel class, input needs and
+//!    the metrics it serves.
+//! 2. A [`PassBackend`] knows how to execute *one* pass ("run this pass,
+//!    return partials + counters"). [`SerialZc`], [`OmpZc`], [`MoZc`] and
+//!    [`CuZc`] are each nothing more than a backend; [`MultiCuZc`] is the
+//!    [`CuZc`] backend plus a [`DevicePlacement`] policy.
+//! 3. [`PlanRunner`] owns everything the executors used to duplicate:
+//!    ordering, dependency resolution, counter merging, [`PatternRun`] /
+//!    [`PatternProfile`] construction, the modeled stream timeline
+//!    ([`zc_gpusim::stream`]) and the final [`Assessment`] assembly.
+//!
+//! The scalar pass is **always** scheduled, even when no pattern-1 metric
+//! is selected: its mean error feeds the pattern-2 autocorrelation and its
+//! value range feeds SSIM, exactly as in the real coordinator. A pass that
+//! serves no selected metric is *auxiliary* ([`Pass::is_auxiliary`]);
+//! backends that genuinely launch it (the GPU coordinators) still charge
+//! for it, while the metric-at-a-time CPU baseline computes the values for
+//! free as byproducts of the passes it does charge.
+//!
+//! [`SerialZc`]: crate::exec::SerialZc
+//! [`OmpZc`]: crate::exec::OmpZc
+//! [`MoZc`]: crate::exec::MoZc
+//! [`CuZc`]: crate::exec::CuZc
+//! [`MultiCuZc`]: crate::exec::MultiCuZc
+
+use crate::config::AssessConfig;
+use crate::exec::{validate, AssessError, Assessment, PatternProfile, PatternRun, PatternTimes};
+use crate::metrics::{Metric, MetricSelection, Pattern};
+use crate::report::AnalysisReport;
+use std::time::Instant;
+use zc_gpusim::cost::gpu_time;
+use zc_gpusim::stream::{EndToEnd, Engine, HostLink, Timeline};
+use zc_gpusim::{occupancy, Counters, GpuSim, KernelClass, KernelResources, MultiGpuModel};
+use zc_kernels::p3::SsimAcc;
+use zc_kernels::{P1Histograms, P1Scalars, P2Stats};
+use zc_tensor::Tensor;
+
+/// The five node kinds an assessment plan can contain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PassKind {
+    /// Fused pattern-1 scalar reductions (min/max/moments/errors).
+    P1Scalars,
+    /// Pattern-1 histograms — needs the scalar min/max first.
+    P1Hist,
+    /// Pattern-2 stencil sweep (derivatives + autocorrelation).
+    P2Stencil,
+    /// Pattern-3 sliding-window SSIM.
+    P3Ssim,
+    /// Compression-meta bookkeeping (ratio/throughputs) — no field pass.
+    CompressionMeta,
+}
+
+impl PassKind {
+    /// Every pass kind, in canonical schedule order.
+    pub const ALL: [PassKind; 5] = [
+        PassKind::P1Scalars,
+        PassKind::P1Hist,
+        PassKind::P2Stencil,
+        PassKind::P3Ssim,
+        PassKind::CompressionMeta,
+    ];
+
+    /// The pattern a pass belongs to.
+    pub fn pattern(self) -> Pattern {
+        match self {
+            PassKind::P1Scalars | PassKind::P1Hist => Pattern::GlobalReduction,
+            PassKind::P2Stencil => Pattern::Stencil,
+            PassKind::P3Ssim => Pattern::SlidingWindow,
+            PassKind::CompressionMeta => Pattern::CompressionMeta,
+        }
+    }
+
+    /// The cost-model kernel class of the pass.
+    pub fn class(self) -> KernelClass {
+        match self {
+            PassKind::P1Scalars | PassKind::P1Hist => KernelClass::GlobalReduction,
+            PassKind::P2Stencil => KernelClass::Stencil,
+            PassKind::P3Ssim => KernelClass::SlidingWindow,
+            PassKind::CompressionMeta => KernelClass::Generic,
+        }
+    }
+
+    /// The registry: which pass serves a metric. Total — every metric lands
+    /// in exactly one pass.
+    pub fn of(m: Metric) -> PassKind {
+        match m {
+            // The three distribution metrics need the binning pass; every
+            // other global reduction comes out of the fused scalar pass.
+            Metric::Entropy | Metric::ErrorPdf | Metric::PwrErrorPdf => PassKind::P1Hist,
+            _ => match m.pattern() {
+                Pattern::GlobalReduction => PassKind::P1Scalars,
+                Pattern::Stencil => PassKind::P2Stencil,
+                Pattern::SlidingWindow => PassKind::P3Ssim,
+                Pattern::CompressionMeta => PassKind::CompressionMeta,
+            },
+        }
+    }
+}
+
+/// One node of the lowered plan DAG.
+#[derive(Clone, Debug)]
+pub struct Pass {
+    /// Which pass.
+    pub kind: PassKind,
+    /// The pattern it belongs to (Table I classification).
+    pub pattern: Pattern,
+    /// The cost-model kernel class of its launches.
+    pub class: KernelClass,
+    /// Passes whose outputs this pass consumes (histograms need the scalar
+    /// min/max; the stencil needs μₑ; SSIM needs the value range).
+    pub deps: Vec<PassKind>,
+    /// The selected metrics this pass serves. Empty = auxiliary: scheduled
+    /// only because a dependent pass needs its output.
+    pub metrics: MetricSelection,
+    /// Whether the pass reads the two input field tensors.
+    pub reads_fields: bool,
+}
+
+impl Pass {
+    /// Does this pass serve no selected metric (dependency-only)?
+    pub fn is_auxiliary(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+/// A lowered assessment plan: [`Pass`] nodes in topological order.
+#[derive(Clone, Debug)]
+pub struct AssessPlan {
+    passes: Vec<Pass>,
+}
+
+impl AssessPlan {
+    /// Lower a configuration's metric selection into the pass DAG.
+    ///
+    /// * `P1Scalars` is always present (auxiliary if no scalar pattern-1
+    ///   metric is selected) — both other patterns depend on it.
+    /// * `P1Hist` is present iff a distribution metric (entropy, error
+    ///   PDF, pwr-error PDF) is selected, and depends on `P1Scalars`.
+    /// * `P2Stencil` / `P3Ssim` are present iff their pattern has a
+    ///   selected metric; both depend on `P1Scalars`.
+    /// * `CompressionMeta` is a dependency-free bookkeeping node.
+    pub fn lower(cfg: &AssessConfig) -> AssessPlan {
+        let sel = &cfg.metrics;
+        let served = |kind: PassKind| {
+            sel.iter()
+                .filter(|&m| PassKind::of(m) == kind)
+                .fold(MetricSelection::none(), MetricSelection::with)
+        };
+        let mut passes = Vec::new();
+        for kind in PassKind::ALL {
+            let metrics = served(kind);
+            let scheduled = match kind {
+                PassKind::P1Scalars => true,
+                _ => !metrics.is_empty(),
+            };
+            if !scheduled {
+                continue;
+            }
+            let deps = match kind {
+                PassKind::P1Scalars | PassKind::CompressionMeta => Vec::new(),
+                PassKind::P1Hist | PassKind::P2Stencil | PassKind::P3Ssim => {
+                    vec![PassKind::P1Scalars]
+                }
+            };
+            passes.push(Pass {
+                kind,
+                pattern: kind.pattern(),
+                class: kind.class(),
+                deps,
+                metrics,
+                reads_fields: kind != PassKind::CompressionMeta,
+            });
+        }
+        AssessPlan { passes }
+    }
+
+    /// The passes, in topological (schedule) order.
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// Look up a pass node by kind.
+    pub fn pass(&self, kind: PassKind) -> Option<&Pass> {
+        self.passes.iter().find(|p| p.kind == kind)
+    }
+
+    /// Is a pass scheduled at all?
+    pub fn contains(&self, kind: PassKind) -> bool {
+        self.pass(kind).is_some()
+    }
+}
+
+/// One modeled launch a backend performed for a pass: the counters plus
+/// the geometry the runner needs for profiles and re-modeling. CPU
+/// backends use `resources: None`, `grid_blocks: 0`.
+#[derive(Clone, Copy, Debug)]
+pub struct PassLaunch {
+    /// Execution counters of the launch.
+    pub counters: Counters,
+    /// Modeled seconds of the launch on the backend's platform model.
+    pub seconds: f64,
+    /// Grid size in thread blocks (0 for CPU passes).
+    pub grid_blocks: usize,
+    /// Kernel resource declaration (GPU backends).
+    pub resources: Option<KernelResources>,
+    /// Achieved concurrent blocks per SM (GPU backends).
+    pub blocks_per_sm: u32,
+    /// Thread blocks assigned per SM for this launch (GPU backends).
+    pub tbs_per_sm: u32,
+    /// Cost-model class of the launched kernel.
+    pub class: KernelClass,
+}
+
+impl PassLaunch {
+    /// Build a launch record from a simulated GPU kernel launch.
+    pub fn from_gpu<O>(
+        sim: &GpuSim,
+        k: &impl zc_gpusim::BlockKernel,
+        r: &zc_gpusim::LaunchResult<O>,
+    ) -> PassLaunch {
+        PassLaunch {
+            counters: r.counters,
+            seconds: r.modeled.total_s,
+            grid_blocks: r.grid_blocks,
+            resources: Some(k.resources()),
+            blocks_per_sm: r.occupancy.blocks_per_sm,
+            tbs_per_sm: r.grid_blocks.div_ceil(sim.dev.sms as usize) as u32,
+            class: k.class(),
+        }
+    }
+
+    /// Build a launch record from a modeled CPU pass.
+    pub fn from_cpu(counters: Counters, seconds: f64, class: KernelClass) -> PassLaunch {
+        PassLaunch {
+            counters,
+            seconds,
+            grid_blocks: 0,
+            resources: None,
+            blocks_per_sm: 0,
+            tbs_per_sm: 0,
+            class,
+        }
+    }
+}
+
+/// The functional result of one pass.
+#[derive(Clone, Debug)]
+pub enum PassOutput {
+    /// Pattern-1 scalar accumulators.
+    Scalars(P1Scalars),
+    /// Pattern-1 histograms.
+    Histograms(P1Histograms),
+    /// Pattern-2 stencil statistics.
+    Stencil(P2Stats),
+    /// Pattern-3 SSIM accumulator.
+    Ssim(SsimAcc),
+}
+
+/// What a backend returns for one executed pass.
+#[derive(Clone, Debug)]
+pub struct PassExecution {
+    /// The functional partials.
+    pub output: PassOutput,
+    /// The launches performed (empty for uncharged passes).
+    pub launches: Vec<PassLaunch>,
+}
+
+/// Read-only context a backend receives for each pass: the input tensors,
+/// the configuration, and the outputs of already-completed dependencies.
+pub struct PassCtx<'a> {
+    /// Original field.
+    pub orig: &'a Tensor<f32>,
+    /// Decompressed field.
+    pub dec: &'a Tensor<f32>,
+    /// Assessment configuration.
+    pub cfg: &'a AssessConfig,
+    /// The pattern-1 scalar output, once `P1Scalars` has run.
+    pub p1: Option<P1Scalars>,
+}
+
+impl PassCtx<'_> {
+    /// The pattern-1 scalars a dependent pass is guaranteed to have.
+    pub fn p1(&self) -> P1Scalars {
+        self.p1
+            .expect("plan topology guarantees P1Scalars runs before dependents")
+    }
+}
+
+/// An executor, reduced to its essence: run one pass of the plan.
+pub trait PassBackend {
+    /// Execute one pass, returning partials + counters.
+    fn run_pass(&self, pass: &Pass, ctx: &PassCtx<'_>) -> PassExecution;
+
+    /// The modeled host↔device link, for backends whose inputs must be
+    /// staged onto an accelerator (`None` = host-resident, no transfer
+    /// legs, no end-to-end timeline).
+    fn transfer(&self) -> Option<HostLink> {
+        None
+    }
+}
+
+/// A device-placement policy: grid-partition every pattern's launches over
+/// `gpus` devices connected by `link`, re-pricing compute on the per-device
+/// grid share and charging halo-exchange plus all-reduce communication
+/// (the paper's §VI multi-GPU extension).
+#[derive(Clone, Copy, Debug)]
+pub struct DevicePlacement<'a> {
+    /// Number of devices (1 = no-op).
+    pub gpus: u32,
+    /// Inter-device interconnect model.
+    pub link: MultiGpuModel,
+    /// The per-device simulator (cost calibration + device spec).
+    pub sim: &'a GpuSim,
+}
+
+impl DevicePlacement<'_> {
+    /// Halo bytes a device exchanges with one neighbour for a pattern.
+    fn halo_bytes(&self, pattern: Pattern, shape: zc_tensor::Shape, cfg: &AssessConfig) -> u64 {
+        let slab = shape.slab_len() as u64 * 4 * 2; // both fields
+        match pattern {
+            Pattern::GlobalReduction => 0,
+            // Stencil needs the largest lag's worth of neighbour slices.
+            Pattern::Stencil => slab * cfg.max_lag as u64,
+            // SSIM blocks own y ranges; neighbours share window ghost rows.
+            Pattern::SlidingWindow => {
+                (shape.nx() * shape.nz()) as u64 * 4 * 2 * (cfg.ssim.window as u64 - 1)
+            }
+            Pattern::CompressionMeta => 0,
+        }
+    }
+
+    /// Re-price the merged per-pattern runs on this placement.
+    fn pattern_times(
+        &self,
+        runs: &[PatternRun],
+        shape: zc_tensor::Shape,
+        cfg: &AssessConfig,
+    ) -> PatternTimes {
+        let g = self.gpus as u64;
+        let sim = self.sim;
+        let mut times = PatternTimes::default();
+        for run in runs {
+            let Some(res) = run.resources else { continue };
+            // Each device executes its share of the grid: the makespan
+            // device holds ceil(grid / g) blocks and ~1/g of the counters.
+            let grid_d = (run.grid_blocks as u64).div_ceil(g) as usize;
+            let c = run.counters.div_ceil_by(g);
+            let occ = occupancy(&sim.dev, &res);
+            let t = gpu_time(&sim.dev, &sim.calib, &c, &occ, grid_d.max(1), run.class);
+            // Communication: halo exchange with up to two neighbours plus
+            // the ring all-reduce of scalar partials.
+            let halo = self.halo_bytes(run.pattern, shape, cfg);
+            let comm_s = if halo > 0 {
+                2.0 * (self.link.link_latency_s + halo as f64 / (self.link.link_bw_gbs * 1e9))
+            } else {
+                0.0
+            } + 2.0 * (g - 1) as f64 * self.link.link_latency_s;
+            let total = t.total_s + comm_s;
+            match run.pattern {
+                Pattern::GlobalReduction => times.p1 += total,
+                Pattern::Stencil => times.p2 += total,
+                Pattern::SlidingWindow => times.p3 += total,
+                Pattern::CompressionMeta => {}
+            }
+        }
+        times
+    }
+}
+
+/// Accumulates one pattern's launches into a Table-II profile row plus a
+/// merged [`PatternRun`] record (moved here from the cuZC executor — the
+/// runner owns profile construction for every backend).
+struct PatternAcc {
+    pattern: Pattern,
+    regs: u32,
+    smem: u32,
+    iters: u64,
+    blocks_per_sm: u32,
+    tbs_per_sm: u32,
+    seconds: f64,
+    counters: Counters,
+    grid_blocks: usize,
+    resources: Option<KernelResources>,
+    class: KernelClass,
+    launches_seen: usize,
+}
+
+impl PatternAcc {
+    fn new(pattern: Pattern) -> Self {
+        PatternAcc {
+            pattern,
+            regs: 0,
+            smem: 0,
+            iters: 0,
+            blocks_per_sm: 0,
+            tbs_per_sm: 0,
+            seconds: 0.0,
+            counters: Counters::default(),
+            grid_blocks: 0,
+            resources: None,
+            class: KernelClass::Generic,
+            launches_seen: 0,
+        }
+    }
+
+    fn add(&mut self, l: &PassLaunch) {
+        self.launches_seen += 1;
+        self.iters = self.iters.max(l.counters.iters_per_thread);
+        self.tbs_per_sm = self.tbs_per_sm.max(l.tbs_per_sm);
+        self.seconds += l.seconds;
+        self.counters.merge(&l.counters);
+        match l.resources {
+            // Table II reports the pattern's *dominant* kernel (the fused
+            // scalar/stencil/SSIM one — always the largest register user),
+            // not a max over auxiliary launches.
+            Some(res) => {
+                if res.regs_per_block() >= self.regs || self.resources.is_none() {
+                    self.regs = res.regs_per_block();
+                    self.smem = self.smem.max(res.smem_per_block);
+                    self.blocks_per_sm = l.blocks_per_sm;
+                    self.resources = Some(res);
+                    self.grid_blocks = l.grid_blocks;
+                    self.class = l.class;
+                }
+            }
+            // CPU passes have no resource declaration; they still label the
+            // run with their pattern's class.
+            None => self.class = l.class,
+        }
+    }
+
+    fn run(&self) -> PatternRun {
+        PatternRun {
+            pattern: self.pattern,
+            counters: self.counters,
+            grid_blocks: self.grid_blocks,
+            resources: self.resources,
+            class: self.class,
+        }
+    }
+
+    fn profile(&self) -> PatternProfile {
+        PatternProfile {
+            pattern: self.pattern,
+            regs_per_tb: self.regs,
+            smem_per_tb: self.smem,
+            iters_per_thread: self.iters,
+            blocks_per_sm: self.blocks_per_sm,
+            tbs_per_sm: self.tbs_per_sm,
+            modeled_seconds: self.seconds,
+        }
+    }
+}
+
+/// How many chunks the input upload (and the chunkable pattern-1 scalar
+/// sweep) is pipelined into on the modeled timeline.
+const H2D_CHUNKS: usize = 8;
+
+/// Modeled result read-back bytes per pass (scalar partial sets are tiny;
+/// histograms are `3 × bins` 8-byte counters).
+fn d2h_bytes(kind: PassKind, cfg: &AssessConfig) -> u64 {
+    match kind {
+        PassKind::P1Scalars => 256,
+        PassKind::P1Hist => 3 * cfg.bins as u64 * 8,
+        PassKind::P2Stencil => (4 * cfg.max_lag as u64 + 16) * 8,
+        PassKind::P3Ssim => 16,
+        PassKind::CompressionMeta => 0,
+    }
+}
+
+/// The shared scheduler: drives any [`PassBackend`] through a lowered
+/// [`AssessPlan`] and assembles the [`Assessment`].
+pub struct PlanRunner<'a> {
+    plan: &'a AssessPlan,
+}
+
+impl<'a> PlanRunner<'a> {
+    /// A runner over a lowered plan.
+    pub fn new(plan: &'a AssessPlan) -> Self {
+        PlanRunner { plan }
+    }
+
+    /// Execute the plan on a backend, optionally re-pricing the modeled
+    /// times under a multi-device placement.
+    pub fn run(
+        &self,
+        backend: &dyn PassBackend,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+        placement: Option<&DevicePlacement<'_>>,
+    ) -> Result<Assessment, AssessError> {
+        let non_finite = validate(orig, dec, cfg)?;
+        let t0 = Instant::now();
+
+        let mut ctx = PassCtx {
+            orig,
+            dec,
+            cfg,
+            p1: None,
+        };
+        let mut accs = [
+            PatternAcc::new(Pattern::GlobalReduction),
+            PatternAcc::new(Pattern::Stencil),
+            PatternAcc::new(Pattern::SlidingWindow),
+        ];
+        let acc_index = |p: Pattern| match p {
+            Pattern::GlobalReduction => 0usize,
+            Pattern::Stencil => 1,
+            Pattern::SlidingWindow => 2,
+            Pattern::CompressionMeta => unreachable!("meta pass is not executed"),
+        };
+        let mut counters = Counters::default();
+        let mut pass_seconds: Vec<(PassKind, f64)> = Vec::new();
+        let mut hists = None;
+        let mut p2 = None;
+        let mut ssim = None;
+
+        let mut done: Vec<PassKind> = Vec::new();
+        for pass in self.plan.passes() {
+            if pass.pattern == Pattern::CompressionMeta {
+                // Bookkeeping node: ratio/throughputs attach later via
+                // `AnalysisReport::with_compression`, no field pass runs.
+                done.push(pass.kind);
+                continue;
+            }
+            debug_assert!(
+                pass.deps.iter().all(|d| done.contains(d)),
+                "plan not topologically ordered at {:?}",
+                pass.kind
+            );
+            let ex = backend.run_pass(pass, &ctx);
+            let mut secs = 0.0;
+            for l in &ex.launches {
+                counters.merge(&l.counters);
+                accs[acc_index(pass.pattern)].add(l);
+                secs += l.seconds;
+            }
+            pass_seconds.push((pass.kind, secs));
+            match ex.output {
+                PassOutput::Scalars(s) => ctx.p1 = Some(s),
+                PassOutput::Histograms(h) => hists = Some(h),
+                PassOutput::Stencil(s) => p2 = Some(s),
+                PassOutput::Ssim(s) => ssim = Some(s),
+            }
+            done.push(pass.kind);
+        }
+
+        let mut times = PatternTimes::default();
+        let mut profiles = Vec::new();
+        let mut runs = Vec::new();
+        for acc in &accs {
+            if acc.launches_seen == 0 {
+                continue;
+            }
+            match acc.pattern {
+                Pattern::GlobalReduction => times.p1 = acc.seconds,
+                Pattern::Stencil => times.p2 = acc.seconds,
+                Pattern::SlidingWindow => times.p3 = acc.seconds,
+                Pattern::CompressionMeta => {}
+            }
+            if acc.resources.is_some() {
+                profiles.push(acc.profile());
+            }
+            runs.push(acc.run());
+        }
+
+        // Device placement re-prices the merged per-pattern runs (compute
+        // share + halo/all-reduce communication). Counters, runs, profiles
+        // and metric values are placement-invariant by construction.
+        if let Some(p) = placement {
+            if p.gpus > 1 {
+                let placed = p.pattern_times(&runs, orig.shape(), cfg);
+                for (kind, secs) in pass_seconds.iter_mut() {
+                    let pattern = kind.pattern();
+                    let (old, new) = (times.of(pattern), placed.of(pattern));
+                    if old > 0.0 {
+                        *secs *= new / old;
+                    }
+                }
+                times = placed;
+            }
+        }
+
+        let e2e = backend
+            .transfer()
+            .filter(|_| times.total() > 0.0)
+            .map(|link| self.timeline(&link, orig, cfg, &pass_seconds));
+
+        let p1 = ctx
+            .p1
+            .expect("P1Scalars is always scheduled and always runs");
+        let report =
+            AnalysisReport::assemble(orig.shape(), non_finite, p1, hists, p2.as_ref(), ssim, cfg);
+        Ok(Assessment {
+            report,
+            counters,
+            modeled_seconds: times.total(),
+            pattern_times: times,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            profiles,
+            runs,
+            e2e,
+        })
+    }
+
+    /// Build the modeled copy/compute stream timeline for a device-resident
+    /// backend: both fields upload in [`H2D_CHUNKS`] pipelined chunks; the
+    /// chunkable scalar reduction starts as soon as its chunk has landed;
+    /// the dependent passes (histograms on stream 0, stencil on stream 1,
+    /// SSIM on stream 2) wait for the full upload plus the scalars; each
+    /// pass reads back its (tiny) partials over the D2H engine.
+    fn timeline(
+        &self,
+        link: &HostLink,
+        orig: &Tensor<f32>,
+        cfg: &AssessConfig,
+        pass_seconds: &[(PassKind, f64)],
+    ) -> EndToEnd {
+        let secs = |kind: PassKind| {
+            pass_seconds
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, s)| *s)
+        };
+        let mut tl = Timeline::new();
+        let field_bytes = orig.shape().len() as u64 * 4 * 2; // both fields
+        let chunk = field_bytes / H2D_CHUNKS as u64;
+        let mut h2d_ids = Vec::with_capacity(H2D_CHUNKS);
+        for i in 0..H2D_CHUNKS {
+            let bytes = if i + 1 == H2D_CHUNKS {
+                field_bytes - chunk * (H2D_CHUNKS as u64 - 1)
+            } else {
+                chunk
+            };
+            h2d_ids.push(tl.push(0, Engine::H2D, link.transfer_s(bytes), &[]));
+        }
+        let last_h2d = *h2d_ids.last().expect("at least one upload chunk");
+
+        let mut d2h_deps: Vec<(usize, PassKind, zc_gpusim::stream::EventId)> = Vec::new();
+        // Pattern-1 scalars: a reduction — chunkable, pipelined with the
+        // upload on stream 0.
+        let t_scalars = secs(PassKind::P1Scalars).unwrap_or(0.0);
+        let mut last_scalar = None;
+        if t_scalars > 0.0 {
+            for &h in &h2d_ids {
+                last_scalar =
+                    Some(tl.push(0, Engine::Compute, t_scalars / H2D_CHUNKS as f64, &[h]));
+            }
+            d2h_deps.push((0, PassKind::P1Scalars, last_scalar.expect("chunks > 0")));
+        }
+        let scalar_deps: Vec<zc_gpusim::stream::EventId> = match last_scalar {
+            Some(id) => vec![last_h2d, id],
+            None => vec![last_h2d],
+        };
+        // Histograms re-read the whole field and need the scalar min/max.
+        if let Some(t) = secs(PassKind::P1Hist).filter(|t| *t > 0.0) {
+            let id = tl.push(0, Engine::Compute, t, &scalar_deps);
+            d2h_deps.push((0, PassKind::P1Hist, id));
+        }
+        // Independent patterns on their own streams.
+        if let Some(t) = secs(PassKind::P2Stencil).filter(|t| *t > 0.0) {
+            let id = tl.push(1, Engine::Compute, t, &scalar_deps);
+            d2h_deps.push((1, PassKind::P2Stencil, id));
+        }
+        if let Some(t) = secs(PassKind::P3Ssim).filter(|t| *t > 0.0) {
+            let id = tl.push(2, Engine::Compute, t, &scalar_deps);
+            d2h_deps.push((2, PassKind::P3Ssim, id));
+        }
+        for (stream, kind, dep) in &d2h_deps {
+            tl.push(
+                *stream,
+                Engine::D2H,
+                link.transfer_s(d2h_bytes(*kind, cfg)),
+                &[*dep],
+            );
+        }
+        EndToEnd {
+            h2d_s: tl.engine_busy_s(Engine::H2D),
+            d2h_s: tl.engine_busy_s(Engine::D2H),
+            compute_s: tl.engine_busy_s(Engine::Compute),
+            serialized_s: tl.serialized_s(),
+            overlapped_s: tl.makespan_s(),
+        }
+    }
+}

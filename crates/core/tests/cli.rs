@@ -118,6 +118,51 @@ fn bad_arguments_fail_cleanly() {
 }
 
 #[test]
+fn metrics_flag_restricts_the_report() {
+    let out = cuzc()
+        .args(["--demo", "--metrics", "psnr,ssim"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("psnr"), "{stdout}");
+    assert!(stdout.contains("ssim"), "{stdout}");
+    // Unselected metrics are gone, and so is the pattern-2 pass entirely.
+    assert!(!stdout.contains("autocorr"), "{stdout}");
+    assert!(!stdout.contains("mse"), "{stdout}");
+    let p2_line = stdout
+        .lines()
+        .find(|l| l.contains("p2 "))
+        .expect("pattern time line");
+    assert!(p2_line.contains("p2 0.000e0s"), "{p2_line}");
+    // The device executor reports the modeled transfer+compute makespan.
+    assert!(stdout.contains("modeled end-to-end"), "{stdout}");
+}
+
+#[test]
+fn unknown_metric_key_lists_all_known_keys() {
+    let out = cuzc()
+        .args(["--demo", "--metrics", "psnr,definitely_not_a_metric"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown metric 'definitely_not_a_metric'"),
+        "{stderr}"
+    );
+    // The error enumerates every valid key.
+    for key in ["min_value", "psnr", "ssim", "autocorr", "compression_ratio"] {
+        assert!(stderr.contains(key), "missing '{key}' in:\n{stderr}");
+    }
+}
+
+#[test]
 fn help_is_available() {
     let out = cuzc().arg("--help").output().unwrap();
     // Help goes to stderr with a non-zero exit (it is an interrupted run).

@@ -1,0 +1,135 @@
+//! Plan-lowering tier: the metric → pass registry is complete and the
+//! lowered DAG has the shape the scheduler relies on.
+//!
+//! These tests pin the *structure* of [`AssessPlan::lower`] — which passes a
+//! selection schedules, their dependency edges, and the auxiliary-pass rule
+//! — independently of any executor. The differential tier
+//! (`plan_differential.rs`) pins what running those plans produces.
+
+use zc_core::metrics::{Metric, MetricSelection, Pattern};
+use zc_core::plan::{AssessPlan, PassKind};
+use zc_core::AssessConfig;
+
+fn cfg_with(sel: MetricSelection) -> AssessConfig {
+    AssessConfig {
+        metrics: sel,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_metric_belongs_to_exactly_one_pass() {
+    // The registry is total: each metric has a home pass, and the full
+    // lowering places it in exactly one pass's served-metric set.
+    let plan = AssessPlan::lower(&cfg_with(MetricSelection::all()));
+    for m in Metric::ALL {
+        let home = PassKind::of(m);
+        let serving: Vec<PassKind> = plan
+            .passes()
+            .iter()
+            .filter(|p| p.metrics.contains(m))
+            .map(|p| p.kind)
+            .collect();
+        assert_eq!(serving, [home], "{m} served by {serving:?}");
+        // The home pass computes in the metric's own pattern.
+        assert_eq!(home.pattern(), m.pattern(), "{m}");
+    }
+}
+
+#[test]
+fn full_selection_schedules_all_five_passes() {
+    let plan = AssessPlan::lower(&cfg_with(MetricSelection::all()));
+    for kind in PassKind::ALL {
+        assert!(plan.contains(kind), "{kind:?} missing from full plan");
+    }
+    assert_eq!(plan.passes().len(), PassKind::ALL.len());
+    // ... and MetricSelection::all() reaches all four paper patterns.
+    let patterns: std::collections::BTreeSet<Pattern> =
+        plan.passes().iter().map(|p| p.pattern).collect();
+    assert_eq!(patterns.len(), 4);
+}
+
+#[test]
+fn dependent_passes_wait_on_p1_scalars() {
+    // Histograms bin over P1 min/max, the stencil pass centers on mean_e,
+    // SSIM normalizes by the value range: all three depend on P1Scalars.
+    let plan = AssessPlan::lower(&cfg_with(MetricSelection::all()));
+    for kind in [PassKind::P1Hist, PassKind::P2Stencil, PassKind::P3Ssim] {
+        let pass = plan.pass(kind).unwrap();
+        assert_eq!(pass.deps, [PassKind::P1Scalars], "{kind:?}");
+    }
+    assert!(plan.pass(PassKind::P1Scalars).unwrap().deps.is_empty());
+    // Passes are emitted in dependency order: every dep precedes its user.
+    let mut seen = Vec::new();
+    for p in plan.passes() {
+        for d in &p.deps {
+            assert!(seen.contains(d), "{:?} before its dep {d:?}", p.kind);
+        }
+        seen.push(p.kind);
+    }
+}
+
+#[test]
+fn p1_scalars_is_always_scheduled_even_when_not_selected() {
+    // An SSIM-only selection still needs the value range from pattern 1.
+    let plan = AssessPlan::lower(&cfg_with(MetricSelection::none().with(Metric::Ssim)));
+    let p1 = plan.pass(PassKind::P1Scalars).expect("auxiliary P1");
+    assert!(p1.is_auxiliary());
+    assert!(p1.metrics.is_empty());
+    assert!(plan.contains(PassKind::P3Ssim));
+    assert!(!plan.contains(PassKind::P1Hist));
+    assert!(!plan.contains(PassKind::P2Stencil));
+    assert!(!plan.contains(PassKind::CompressionMeta));
+
+    // With a P1 metric selected the same pass is a real deliverable.
+    let plan = AssessPlan::lower(&cfg_with(MetricSelection::pattern(
+        Pattern::GlobalReduction,
+    )));
+    assert!(!plan.pass(PassKind::P1Scalars).unwrap().is_auxiliary());
+}
+
+#[test]
+fn histogram_pass_is_gated_on_histogram_metrics() {
+    // Scalar-only P1 selections (e.g. just PSNR) skip the histogram pass;
+    // any of the three distribution metrics schedules it.
+    let scalar_only = AssessPlan::lower(&cfg_with(MetricSelection::none().with(Metric::Psnr)));
+    assert!(!scalar_only.contains(PassKind::P1Hist));
+
+    for m in [Metric::Entropy, Metric::ErrorPdf, Metric::PwrErrorPdf] {
+        let plan = AssessPlan::lower(&cfg_with(MetricSelection::none().with(m)));
+        assert!(plan.contains(PassKind::P1Hist), "{m}");
+        assert_eq!(PassKind::of(m), PassKind::P1Hist);
+    }
+}
+
+#[test]
+fn pattern_selections_prune_unrelated_passes() {
+    let cases = [
+        (Pattern::Stencil, PassKind::P2Stencil),
+        (Pattern::SlidingWindow, PassKind::P3Ssim),
+        (Pattern::CompressionMeta, PassKind::CompressionMeta),
+    ];
+    for (pattern, kind) in cases {
+        let plan = AssessPlan::lower(&cfg_with(MetricSelection::pattern(pattern)));
+        assert!(plan.contains(kind), "{pattern:?}");
+        assert!(plan.contains(PassKind::P1Scalars), "{pattern:?}");
+        for other in [PassKind::P1Hist, PassKind::P2Stencil, PassKind::P3Ssim] {
+            if other != kind {
+                assert!(!plan.contains(other), "{pattern:?} kept {other:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn only_field_passes_read_the_fields() {
+    let plan = AssessPlan::lower(&cfg_with(MetricSelection::all()));
+    for p in plan.passes() {
+        assert_eq!(
+            p.reads_fields,
+            p.kind != PassKind::CompressionMeta,
+            "{:?}",
+            p.kind
+        );
+    }
+}

@@ -172,26 +172,25 @@ impl GpuSim {
         let smem = kernel.resources().smem_per_block;
         // Per-block sanitizer verdict: collected diagnostics + suppressed count.
         type Verdict = Option<(Vec<sanitizer::Diag>, u64)>;
-        let mut results: Vec<(Counters, K::Partial, Verdict)> =
-            zc_par::par_map(grid_blocks, |b| {
-                let mut ctx = if sanitize {
-                    BlockCtx::sanitized(Some(b), smem)
-                } else {
-                    BlockCtx::new()
-                };
-                let partial = kernel.run_block(b, &mut ctx);
-                // Under the sanitizer the footprint check is a structured
-                // SmemOverflow diagnostic emitted at shared_alloc time.
-                if !sanitize {
-                    debug_assert!(
-                        ctx.shared_bytes() <= smem as usize,
-                        "block used {} shared bytes but declared {smem}",
-                        ctx.shared_bytes(),
-                    );
-                }
-                let verdict = ctx.finish_sanitize();
-                (ctx.counters, partial, verdict)
-            });
+        let mut results: Vec<(Counters, K::Partial, Verdict)> = zc_par::par_map(grid_blocks, |b| {
+            let mut ctx = if sanitize {
+                BlockCtx::sanitized(Some(b), smem)
+            } else {
+                BlockCtx::new()
+            };
+            let partial = kernel.run_block(b, &mut ctx);
+            // Under the sanitizer the footprint check is a structured
+            // SmemOverflow diagnostic emitted at shared_alloc time.
+            if !sanitize {
+                debug_assert!(
+                    ctx.shared_bytes() <= smem as usize,
+                    "block used {} shared bytes but declared {smem}",
+                    ctx.shared_bytes(),
+                );
+            }
+            let verdict = ctx.finish_sanitize();
+            (ctx.counters, partial, verdict)
+        });
 
         let mut counters = Counters {
             launches: 1,

@@ -49,6 +49,7 @@ mod multi;
 mod occupancy;
 pub mod sanitizer;
 mod spec;
+pub mod stream;
 pub mod trace;
 
 pub use block::{BlockCtx, SharedBuf};
@@ -59,4 +60,5 @@ pub use multi::{MultiGpuModel, MultiGpuTime};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy};
 pub use sanitizer::{Diag, Hazard, SanitizeReport};
 pub use spec::{CpuSpec, DeviceSpec};
+pub use stream::{EndToEnd, Engine, HostLink, Timeline};
 pub use trace::{fmt_bytes, fmt_seconds, launch_summary};
