@@ -74,29 +74,43 @@ fn main() {
     // Per-field metrics table from the single-GPU NVLink report.
     println!("{}", reports[0].render_table());
     println!(
-        "{:<8} {:>5} {:>12} {:>14} {:>13} {:>12}",
-        "link", "GPUs", "jobs/sec", "assessed GB/s", "makespan (s)", "utilization"
+        "{:<8} {:>5} {:>12} {:>14} {:>13} {:>12} {:>21}",
+        "link",
+        "GPUs",
+        "jobs/sec",
+        "assessed GB/s",
+        "makespan (s)",
+        "utilization",
+        "h2d/compute/d2h busy"
     );
     let mut fleet_json = Vec::new();
     for (fleet, report) in fleets.iter().zip(&reports) {
         let f = &report.fleet;
+        let e = &f.engines;
         println!(
-            "{:<8} {:>5} {:>12.3} {:>14.3} {:>13.5} {:>11.1}%",
+            "{:<8} {:>5} {:>12.3} {:>14.3} {:>13.5} {:>11.1}% {:>6.1}% {:>6.1}% {:>5.1}%",
             fleet.link.label(),
             fleet.gpus,
             f.jobs_per_sec,
             f.assessed_gbs,
             f.makespan_s,
-            f.utilization * 100.0
+            f.utilization * 100.0,
+            e.h2d_fraction() * 100.0,
+            e.compute_fraction() * 100.0,
+            e.d2h_fraction() * 100.0,
         );
         fleet_json.push(format!(
-            "    {{\"link\": \"{}\", \"gpus\": {}, \"jobs_per_sec\": {:.6}, \"assessed_gbs\": {:.6}, \"makespan_s\": {:.8}, \"utilization\": {:.6}, \"completed\": {}, \"failed\": {}}}",
+            "    {{\"link\": \"{}\", \"gpus\": {}, \"jobs_per_sec\": {:.6}, \"assessed_gbs\": {:.6}, \"makespan_s\": {:.8}, \"utilization\": {:.6}, \"h2d_busy_fraction\": {:.6}, \"compute_busy_fraction\": {:.6}, \"d2h_busy_fraction\": {:.6}, \"transfer_bound\": {}, \"completed\": {}, \"failed\": {}}}",
             fleet.link.label(),
             fleet.gpus,
             f.jobs_per_sec,
             f.assessed_gbs,
             f.makespan_s,
             f.utilization,
+            e.h2d_fraction(),
+            e.compute_fraction(),
+            e.d2h_fraction(),
+            e.transfer_bound(),
             report.completed(),
             report.failures().len(),
         ));

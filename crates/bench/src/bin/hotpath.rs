@@ -118,36 +118,106 @@ fn main() {
         san_summary.launches_checked
     );
 
-    // ---- 4. stream-overlap timeline on the 256³ field (--overlap) --------
-    // The plan runner models H2D/compute/D2H as three engines with the
-    // pattern-1 scalar pass chunked against the upload; the overlapped
-    // makespan must beat the serialized sum strictly.
+    // ---- 4. slab-tiled stream-overlap timeline (--overlap) ---------------
+    // The plan runner breaks every pass into z-slab tiles flowing through
+    // the three-engine timeline: H2D of slab k+1 overlaps compute of slab
+    // k, per-tile D2H drains behind both, and downstream passes start as
+    // soon as their input slabs (plus stencil halo) have landed. Sweep the
+    // slab count on 256³, record the Auto heuristic's pick, and add an
+    // out-of-core row (512×256×256 against a 64 MiB device).
     if opts.overlap {
-        let a = fast
-            .assess(&borig, &bdec, &bcfg)
-            .expect("assessment failed");
-        let e2e = a.e2e.expect("device executor models end-to-end time");
-        assert!(
-            e2e.overlapped_s < e2e.serialized_s,
-            "overlap did not win: {:.6e} !< {:.6e}",
-            e2e.overlapped_s,
-            e2e.serialized_s
-        );
+        use zc_core::config::TilingPolicy;
+        let e2e_with = |policy: TilingPolicy| {
+            let cfg = AssessConfig {
+                tiling: policy,
+                ..bcfg.clone()
+            };
+            let a = fast.assess(&borig, &bdec, &cfg).expect("assessment failed");
+            a.e2e.expect("device executor models end-to-end time")
+        };
+        let mut rows = Vec::new();
+        for slabs in [1usize, 4, 16, 64] {
+            let e2e = e2e_with(TilingPolicy::Slabs(slabs));
+            eprintln!(
+                "stream overlap on {big_shape} @ {slabs:>2} slabs: {:.4} ms overlapped vs {:.4} ms serialized ({:.2}% saved)",
+                e2e.overlapped_s * 1e3,
+                e2e.serialized_s * 1e3,
+                e2e.saving() * 100.0
+            );
+            rows.push((slabs, e2e));
+        }
+        let pair_bytes = big_shape.len() as u64 * 4 * 2;
+        let auto_slabs = zc_core::plan::resolve_slabs(
+            TilingPolicy::Auto,
+            pair_bytes,
+            big_shape.nz() * big_shape.nw(),
+            Some(fast.sim.dev.mem_bytes),
+        )
+        .expect("auto slab resolution");
+        let auto = e2e_with(TilingPolicy::Auto);
         eprintln!(
-            "stream overlap on {big_shape}: {:.4} ms overlapped vs {:.4} ms serialized ({:.1}% saved)",
-            e2e.overlapped_s * 1e3,
-            e2e.serialized_s * 1e3,
-            e2e.saving() * 100.0
+            "auto policy chose {auto_slabs} slabs: {:.4} ms overlapped ({:.2}% saved)",
+            auto.overlapped_s * 1e3,
+            auto.saving() * 100.0
         );
-        let out = format!(
-            "{{\n  \"shape\": \"{big_shape}\",\n  \"h2d_s\": {:.6e},\n  \"d2h_s\": {:.6e},\n  \"compute_s\": {:.6e},\n  \"serialized_s\": {:.6e},\n  \"overlapped_s\": {:.6e},\n  \"saving\": {:.4}\n}}\n",
-            e2e.h2d_s,
-            e2e.d2h_s,
-            e2e.compute_s,
-            e2e.serialized_s,
-            e2e.overlapped_s,
-            e2e.saving(),
+        assert!(
+            auto.saving() > 0.05,
+            "tiled overlap saving on {big_shape} must exceed 5%, got {:.2}%",
+            auto.saving() * 100.0
         );
+
+        // Out-of-core: the same machinery assesses a pair larger than the
+        // device. 512×256×256 (256 MiB pair) against 64 MiB forces the
+        // resident window down to a handful of slabs.
+        let ooc_shape = Shape::d3(512, 256, 256);
+        let (oorig, odec) = make_fields(ooc_shape);
+        let ooc_mem: u64 = 64 << 20;
+        let mut ooc_exec = CuZc::default();
+        ooc_exec.sim.dev.mem_bytes = ooc_mem;
+        let ooc_slabs = zc_core::plan::resolve_slabs(
+            TilingPolicy::Auto,
+            ooc_shape.len() as u64 * 4 * 2,
+            ooc_shape.nz() * ooc_shape.nw(),
+            Some(ooc_mem),
+        )
+        .expect("out-of-core slab resolution");
+        let ooc = ooc_exec
+            .assess(&oorig, &odec, &bcfg)
+            .expect("out-of-core assessment failed")
+            .e2e
+            .expect("device executor models end-to-end time");
+        eprintln!(
+            "out-of-core {ooc_shape} on {} MiB device @ {ooc_slabs} slabs: {:.4} ms overlapped ({:.2}% saved)",
+            ooc_mem >> 20,
+            ooc.overlapped_s * 1e3,
+            ooc.saving() * 100.0
+        );
+
+        let mut out = format!("{{\n  \"shape\": \"{big_shape}\",\n  \"sweep\": [\n");
+        for (i, (slabs, e2e)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"slabs\": {slabs}, \"h2d_s\": {:.6e}, \"d2h_s\": {:.6e}, \"compute_s\": {:.6e}, \"serialized_s\": {:.6e}, \"overlapped_s\": {:.6e}, \"saving\": {:.4} }}{}\n",
+                e2e.h2d_s,
+                e2e.d2h_s,
+                e2e.compute_s,
+                e2e.serialized_s,
+                e2e.overlapped_s,
+                e2e.saving(),
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"auto\": {{ \"slabs\": {auto_slabs}, \"serialized_s\": {:.6e}, \"overlapped_s\": {:.6e}, \"saving\": {:.4} }},\n",
+            auto.serialized_s,
+            auto.overlapped_s,
+            auto.saving(),
+        ));
+        out.push_str(&format!(
+            "  \"out_of_core\": {{ \"shape\": \"{ooc_shape}\", \"device_mem_bytes\": {ooc_mem}, \"slabs\": {ooc_slabs}, \"serialized_s\": {:.6e}, \"overlapped_s\": {:.6e}, \"saving\": {:.4} }}\n}}\n",
+            ooc.serialized_s,
+            ooc.overlapped_s,
+            ooc.saving(),
+        ));
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_overlap.json");
         std::fs::write(path, &out).expect("write BENCH_overlap.json");
         println!("{out}");

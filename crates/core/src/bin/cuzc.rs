@@ -14,8 +14,8 @@ use std::process::ExitCode;
 use zc_compress::{
     BitGroomCompressor, Compressor, LosslessCompressor, SzCompressor, ZfpLikeCompressor,
 };
-use zc_core::config::{parse, CompressorChoice, RunConfig};
-use zc_core::exec::make_executor;
+use zc_core::config::{parse, CompressorChoice, RunConfig, TilingPolicy};
+use zc_core::exec::make_executor_with_device_mem;
 use zc_core::io::{read_raw, write_pgm_slice, Endianness};
 use zc_core::metrics::{Metric, MetricSelection};
 use zc_core::output::{autocorr_csv, histogram_csv, scalars_csv};
@@ -34,6 +34,8 @@ struct Args {
     html: Option<PathBuf>,
     trace: bool,
     sanitize: bool,
+    device_mem: Option<u64>,
+    slabs: Option<TilingPolicy>,
     demo: bool,
 }
 
@@ -51,12 +53,45 @@ const USAGE: &str = "usage: cuzc [options]
   --trace                 print profiler-style per-pattern launch summaries
   --sanitize              run simulated kernels under the zc-sancheck
                           sanitizer (also: ZC_SANITIZE=1); exit 3 on hazards
+  --device-mem <size>     simulated device memory (bytes, or KiB/MiB/GiB
+                          suffix); larger field pairs stream out-of-core
+  --slabs <n|auto|mono>   slab-tiling policy (overrides the config)
   --demo                  run on built-in synthetic data (no files needed)";
 
 fn parse_shape(s: &str) -> Result<Shape, String> {
     let dims: Result<Vec<usize>, _> = s.split('x').map(|p| p.parse::<usize>()).collect();
     let dims = dims.map_err(|_| format!("bad shape '{s}'"))?;
     Shape::new(&dims).map_err(|e| format!("bad shape '{s}': {e}"))
+}
+
+/// Parse a byte size: a plain integer, or one with a KiB/MiB/GiB suffix.
+fn parse_size(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (num, mult) = if let Some(p) = t.strip_suffix("GiB") {
+        (p, 1u64 << 30)
+    } else if let Some(p) = t.strip_suffix("MiB") {
+        (p, 1 << 20)
+    } else if let Some(p) = t.strip_suffix("KiB") {
+        (p, 1 << 10)
+    } else {
+        (t, 1)
+    };
+    num.trim()
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("bad size '{s}' (bytes, or KiB/MiB/GiB suffix)"))
+}
+
+/// Parse a `--slabs` policy: `auto`, `mono[lithic]`, or a slab count.
+fn parse_slabs(s: &str) -> Result<TilingPolicy, String> {
+    match s {
+        "auto" => Ok(TilingPolicy::Auto),
+        "mono" | "monolithic" => Ok(TilingPolicy::Monolithic),
+        n => match n.parse::<usize>() {
+            Ok(v) if v > 0 => Ok(TilingPolicy::Slabs(v)),
+            _ => Err(format!("bad slab policy '{s}' (n, auto, or mono)")),
+        },
+    }
 }
 
 /// Parse a `--metrics` list of comma-separated [`Metric::key`] names into a
@@ -94,6 +129,8 @@ fn parse_args() -> Result<Args, String> {
         html: None,
         trace: false,
         sanitize: false,
+        device_mem: None,
+        slabs: None,
         demo: false,
     };
     let mut it = std::env::args().skip(1);
@@ -111,6 +148,8 @@ fn parse_args() -> Result<Args, String> {
             "--html" => args.html = Some(PathBuf::from(val()?)),
             "--trace" => args.trace = true,
             "--sanitize" => args.sanitize = true,
+            "--device-mem" => args.device_mem = Some(parse_size(&val()?)?),
+            "--slabs" => args.slabs = Some(parse_slabs(&val()?)?),
             "--demo" => args.demo = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
@@ -139,6 +178,9 @@ fn run() -> Result<ExitCode, String> {
     let mut run = load_config(&args)?;
     if let Some(spec) = &args.metrics {
         run.assess.metrics = parse_metrics(spec)?;
+    }
+    if let Some(policy) = args.slabs {
+        run.assess.tiling = policy;
     }
     let endian = if args.big_endian {
         Endianness::Big
@@ -208,7 +250,27 @@ fn run() -> Result<ExitCode, String> {
     };
 
     // Assess: lower the metric selection to a pass plan, run it.
-    let executor = make_executor(run.executor);
+    let executor = make_executor_with_device_mem(run.executor, args.device_mem);
+    // Echo the slab schedule a device run will use (out-of-core fields
+    // stream; a Capacity error surfaces below with the same numbers).
+    let capacity = match run.executor {
+        zc_core::ExecutorKind::CuZc | zc_core::ExecutorKind::MoZc => Some(
+            args.device_mem
+                .unwrap_or_else(|| zc_gpusim::GpuSim::v100().dev.mem_bytes),
+        ),
+        _ => None,
+    };
+    if let Some(cap) = capacity {
+        let pair = orig.shape().len() as u64 * 4 * 2;
+        let planes = (orig.shape().nz() * orig.shape().nw()).max(1);
+        if let Ok(slabs) = zc_core::plan::resolve_slabs(run.assess.tiling, pair, planes, Some(cap))
+        {
+            eprintln!(
+                "tiling: {slabs} slab(s) for a {pair}-byte pair on a {cap}-byte device{}",
+                if pair > cap { " (out-of-core)" } else { "" }
+            );
+        }
+    }
     let plan = AssessPlan::lower(&run.assess);
     let mut a = executor
         .run_plan(&plan, &orig, &dec, &run.assess)

@@ -31,7 +31,7 @@ mod report;
 mod shard;
 
 pub use job::{FieldRef, JobMetrics, JobOutcome, JobRecord, JobSpec};
-pub use report::{CampaignReport, FleetUtilization, PatternTotals};
+pub use report::{CampaignReport, EngineBusy, FleetUtilization, PatternTotals};
 pub use shard::{FleetSpec, LinkKind, ShardPlan};
 
 use crate::config::AssessConfig;

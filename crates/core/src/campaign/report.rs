@@ -40,6 +40,65 @@ impl PatternTotals {
     }
 }
 
+/// Per-engine busy seconds summed across every completed job's stream
+/// timeline — the campaign-level view of [`zc_gpusim::stream::Timeline::engine_busy_s`].
+///
+/// The fractions divide by the summed per-job stream makespans, so they
+/// say *what the devices were doing while busy*: a campaign whose idle is
+/// transfer-bound shows a high H2D fraction with compute far below 1.0; a
+/// compute-bound one shows the opposite.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EngineBusy {
+    /// Host-to-device upload seconds.
+    pub h2d_s: f64,
+    /// Kernel compute seconds.
+    pub compute_s: f64,
+    /// Device-to-host partial-drain seconds.
+    pub d2h_s: f64,
+    /// Sum of the per-job overlapped stream makespans (the denominator of
+    /// the fraction methods).
+    pub span_s: f64,
+}
+
+impl EngineBusy {
+    fn absorb(&mut self, e: &zc_gpusim::EndToEnd) {
+        self.h2d_s += e.h2d_s;
+        self.compute_s += e.compute_s;
+        self.d2h_s += e.d2h_s;
+        self.span_s += e.overlapped_s;
+    }
+
+    fn fraction(&self, busy: f64) -> f64 {
+        if self.span_s > 0.0 {
+            busy / self.span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the streamed makespan the upload engine was busy.
+    pub fn h2d_fraction(&self) -> f64 {
+        self.fraction(self.h2d_s)
+    }
+
+    /// Fraction of the streamed makespan the compute engine was busy.
+    pub fn compute_fraction(&self) -> f64 {
+        self.fraction(self.compute_s)
+    }
+
+    /// Fraction of the streamed makespan the drain engine was busy.
+    pub fn d2h_fraction(&self) -> f64 {
+        self.fraction(self.d2h_s)
+    }
+
+    /// True when the copy engines outweigh compute — the fleet's idle is
+    /// transfer-bound and a faster link (or more overlap) pays off more
+    /// than more SMs.
+    pub fn transfer_bound(&self) -> bool {
+        self.h2d_s + self.d2h_s > self.compute_s
+    }
+}
+
 /// Modeled fleet-level throughput summary.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FleetUtilization {
@@ -58,6 +117,8 @@ pub struct FleetUtilization {
     pub jobs_per_sec: f64,
     /// Assessed field payload per modeled second, in GB/s.
     pub assessed_gbs: f64,
+    /// Per-engine busy split of the jobs' stream timelines.
+    pub engines: EngineBusy,
 }
 
 /// The aggregate result of a campaign run.
@@ -89,12 +150,16 @@ impl CampaignReport {
         let gather_s = link.link_latency_s + result_bytes(cfg) as f64 / (link.link_bw_gbs * 1e9);
         let mut busy_s = vec![0.0f64; groups];
         let mut totals = PatternTotals::default();
+        let mut engines = EngineBusy::default();
         let mut completed = 0usize;
         let mut payload_bytes = 0u64;
         for r in &jobs {
             if let Some(m) = r.metrics() {
                 busy_s[r.group as usize] += m.modeled_seconds + gather_s;
                 totals.absorb(&m.runs);
+                if let Some(e2e) = &m.e2e {
+                    engines.absorb(e2e);
+                }
                 completed += 1;
                 payload_bytes += r.spec.field.dataset.shape(&r.spec.field.opts).len() as u64 * 4;
             }
@@ -120,6 +185,7 @@ impl CampaignReport {
                 utilization,
                 jobs_per_sec,
                 assessed_gbs,
+                engines,
             },
         }
     }
@@ -177,6 +243,18 @@ impl CampaignReport {
             f.jobs_per_sec,
             f.assessed_gbs,
         ));
+        let e = &f.engines;
+        out.push_str(&format!(
+            "engines: h2d {:.1}% | compute {:.1}% | d2h {:.1}% busy ({}-bound)\n",
+            e.h2d_fraction() * 100.0,
+            e.compute_fraction() * 100.0,
+            e.d2h_fraction() * 100.0,
+            if e.transfer_bound() {
+                "transfer"
+            } else {
+                "compute"
+            },
+        ));
         out
     }
 }
@@ -232,5 +310,23 @@ mod tests {
         assert_eq!(table.matches("SCALE-LETKF/").count(), 6);
         assert!(table.contains("fleet: 2 GPUs"));
         assert!(table.contains("jobs/s"));
+        assert!(table.contains("engines: h2d"));
+    }
+
+    #[test]
+    fn engine_busy_splits_the_stream_makespan() {
+        let report = spec(FleetSpec::nvlink(2)).run().unwrap();
+        let e = report.fleet.engines;
+        // Every completed job modeled a stream timeline, so every engine
+        // saw traffic and no engine can be busier than the span.
+        assert!(e.span_s > 0.0);
+        for f in [e.h2d_fraction(), e.compute_fraction(), e.d2h_fraction()] {
+            assert!(f > 0.0 && f <= 1.0, "fraction {f}");
+        }
+        // Scale-32 fields are tiny: the fixed link latency on the copy
+        // legs dwarfs the modeled kernel time, so this campaign's idle is
+        // transfer-bound — exactly the diagnosis the split exists to make.
+        assert!(e.transfer_bound());
+        assert!(e.h2d_fraction() > e.compute_fraction());
     }
 }

@@ -47,6 +47,23 @@ impl Default for SsimSettings {
     }
 }
 
+/// How passes are split into z-slab tiles for streamed execution
+/// (DESIGN.md §6.8). Tiling never changes metric values or merged
+/// counters — it only refines the stream timeline and enables fields
+/// larger than the simulated device memory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TilingPolicy {
+    /// Pick automatically: monolithic for small fields, ~8 MiB pair slabs
+    /// for larger ones, forced tiling when the field pair exceeds device
+    /// memory (out-of-core).
+    #[default]
+    Auto,
+    /// Never tile. Out-of-core fields fail instead of streaming.
+    Monolithic,
+    /// Request this many slabs (clamped to the field's tileable extent).
+    Slabs(usize),
+}
+
 /// Full assessment configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AssessConfig {
@@ -58,6 +75,8 @@ pub struct AssessConfig {
     pub bins: usize,
     /// SSIM settings.
     pub ssim: SsimSettings,
+    /// Slab-tiling policy for streamed execution.
+    pub tiling: TilingPolicy,
 }
 
 impl Default for AssessConfig {
@@ -67,6 +86,7 @@ impl Default for AssessConfig {
             max_lag: 10,
             bins: 256,
             ssim: SsimSettings::default(),
+            tiling: TilingPolicy::default(),
         }
     }
 }
@@ -87,6 +107,9 @@ impl AssessConfig {
         }
         if self.max_lag == 0 || self.max_lag > 64 {
             return Err(ConfigError::Invalid("max_lag must be in 1..=64".into()));
+        }
+        if self.tiling == TilingPolicy::Slabs(0) {
+            return Err(ConfigError::Invalid("slab count must be positive".into()));
         }
         Ok(())
     }
@@ -227,6 +250,13 @@ pub fn parse(text: &str) -> Result<RunConfig, ConfigError> {
             }
             ("assess", "bins") => cfg.assess.bins = int(value)?,
             ("assess", "max_lag") => cfg.assess.max_lag = int(value)?,
+            ("assess", "tiling") => {
+                cfg.assess.tiling = match value {
+                    "auto" => TilingPolicy::Auto,
+                    "monolithic" => TilingPolicy::Monolithic,
+                    n => TilingPolicy::Slabs(int(n)?),
+                };
+            }
             ("ssim", "window") => cfg.assess.ssim.window = int(value)?,
             ("ssim", "step") => cfg.assess.ssim.step = int(value)?,
             ("ssim", "k1") => cfg.assess.ssim.k1 = num(value)?,
@@ -385,6 +415,33 @@ mod tests {
         ));
         assert!(matches!(
             parse("[compressor]\nkind = bitgroom\nkeep_bits = 40\n"),
+            Err(ConfigError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn tiling_policy_parses() {
+        assert_eq!(
+            parse("[assess]\ntiling = auto\n").unwrap().assess.tiling,
+            TilingPolicy::Auto
+        );
+        assert_eq!(
+            parse("[assess]\ntiling = monolithic\n")
+                .unwrap()
+                .assess
+                .tiling,
+            TilingPolicy::Monolithic
+        );
+        assert_eq!(
+            parse("[assess]\ntiling = 16\n").unwrap().assess.tiling,
+            TilingPolicy::Slabs(16)
+        );
+        assert!(matches!(
+            parse("[assess]\ntiling = 0\n"),
+            Err(ConfigError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse("[assess]\ntiling = sideways\n"),
             Err(ConfigError::Invalid(_))
         ));
     }

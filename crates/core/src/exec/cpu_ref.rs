@@ -11,30 +11,69 @@ use zc_kernels::acc::{deriv1_nd, deriv2_nd};
 use zc_kernels::p3::SsimAcc;
 use zc_kernels::{FieldPair, Histogram, P1Histograms, P1Scalars, P2Stats, WindowMoments};
 
+/// Split `n` sequential units into at most `slabs` contiguous ranges (the
+/// first `n % slabs` ranges are one unit longer). Slab-tiled dispatch
+/// iterates these in order with a carried accumulator, so any fold that
+/// was sequential-in-order stays **bit-identical** under tiling.
+pub fn slab_ranges(n: usize, slabs: usize) -> Vec<(usize, usize)> {
+    let slabs = slabs.clamp(1, n.max(1));
+    let base = n / slabs;
+    let rem = n % slabs;
+    let mut out = Vec::with_capacity(slabs);
+    let mut lo = 0;
+    for s in 0..slabs {
+        let hi = lo + base + usize::from(s < rem);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
 /// Serial fused pattern-1 scan.
 pub fn p1_scan(f: &FieldPair<'_>) -> P1Scalars {
+    p1_scan_tiled(f, 1)
+}
+
+/// Slab-tiled serial pattern-1 scan: one carried accumulator absorbs each
+/// z-slab in order — the absorb sequence is identical to the monolithic
+/// scan, so the result is bit-identical for every slab count.
+pub fn p1_scan_tiled(f: &FieldPair<'_>, slabs: usize) -> P1Scalars {
+    let plane = f.shape.slab_len().max(1);
     let mut acc = P1Scalars::identity();
-    for (&x, &y) in f.orig.iter().zip(f.dec.iter()) {
-        acc.absorb(x as f64, y as f64);
+    for (lo, hi) in slab_ranges(f.orig.len() / plane, slabs) {
+        let (lo, hi) = (lo * plane, hi * plane);
+        for (&x, &y) in f.orig[lo..hi].iter().zip(f.dec[lo..hi].iter()) {
+            acc.absorb(x as f64, y as f64);
+        }
     }
     acc
 }
 
 /// Parallel fused pattern-1 scan (one task per z-slab).
 pub fn p1_scan_par(f: &FieldPair<'_>) -> P1Scalars {
+    p1_scan_par_tiled(f, 1)
+}
+
+/// Slab-tiled parallel pattern-1 scan: plane tasks fork within each slab,
+/// partials combine in ascending plane order into a carried accumulator —
+/// the same combine sequence as the monolithic parallel scan.
+pub fn p1_scan_par_tiled(f: &FieldPair<'_>, slabs: usize) -> P1Scalars {
     let slab = f.shape.slab_len();
-    let parts = zc_par::par_map(f.orig.len().div_ceil(slab), |i| {
-        let lo = i * slab;
-        let hi = (lo + slab).min(f.orig.len());
-        let mut acc = P1Scalars::identity();
-        for (&x, &y) in f.orig[lo..hi].iter().zip(f.dec[lo..hi].iter()) {
-            acc.absorb(x as f64, y as f64);
-        }
-        acc
-    });
+    let tasks = f.orig.len().div_ceil(slab);
     let mut acc = P1Scalars::identity();
-    for p in &parts {
-        acc.combine(p);
+    for (t_lo, t_hi) in slab_ranges(tasks, slabs) {
+        let parts = zc_par::par_map(t_hi - t_lo, |j| {
+            let lo = (t_lo + j) * slab;
+            let hi = (lo + slab).min(f.orig.len());
+            let mut acc = P1Scalars::identity();
+            for (&x, &y) in f.orig[lo..hi].iter().zip(f.dec[lo..hi].iter()) {
+                acc.absorb(x as f64, y as f64);
+            }
+            acc
+        });
+        for p in &parts {
+            acc.combine(p);
+        }
     }
     acc
 }
@@ -55,10 +94,8 @@ fn make_histograms(scalars: &P1Scalars, bins: usize) -> P1Histograms {
     }
 }
 
-/// Serial histogram pass (bounds from the scalar pass).
-pub fn histograms(f: &FieldPair<'_>, scalars: &P1Scalars, bins: usize) -> P1Histograms {
-    let mut h = make_histograms(scalars, bins);
-    for (&x, &y) in f.orig.iter().zip(f.dec.iter()) {
+fn hist_insert(h: &mut P1Histograms, orig: &[f32], dec: &[f32]) {
+    for (&x, &y) in orig.iter().zip(dec.iter()) {
         let (x, y) = (x as f64, y as f64);
         h.err_pdf.insert(x - y);
         h.value_hist.insert(x);
@@ -66,31 +103,63 @@ pub fn histograms(f: &FieldPair<'_>, scalars: &P1Scalars, bins: usize) -> P1Hist
             h.rel_pdf.insert(((x - y) / x).abs());
         }
     }
+}
+
+/// Serial histogram pass (bounds from the scalar pass).
+pub fn histograms(f: &FieldPair<'_>, scalars: &P1Scalars, bins: usize) -> P1Histograms {
+    histograms_tiled(f, scalars, bins, 1)
+}
+
+/// Slab-tiled serial histogram pass — integer bin counts merge exactly, so
+/// any contiguous split reproduces the monolithic histograms bit-for-bit
+/// (bounds come from the already-complete scalar pass).
+pub fn histograms_tiled(
+    f: &FieldPair<'_>,
+    scalars: &P1Scalars,
+    bins: usize,
+    slabs: usize,
+) -> P1Histograms {
+    let plane = f.shape.slab_len().max(1);
+    let mut h = make_histograms(scalars, bins);
+    for (lo, hi) in slab_ranges(f.orig.len() / plane, slabs) {
+        hist_insert(
+            &mut h,
+            &f.orig[lo * plane..hi * plane],
+            &f.dec[lo * plane..hi * plane],
+        );
+    }
     h
 }
 
 /// Parallel histogram pass.
 pub fn histograms_par(f: &FieldPair<'_>, scalars: &P1Scalars, bins: usize) -> P1Histograms {
+    histograms_par_tiled(f, scalars, bins, 1)
+}
+
+/// Slab-tiled parallel histogram pass (plane tasks fork within each slab,
+/// counts merge in ascending plane order).
+pub fn histograms_par_tiled(
+    f: &FieldPair<'_>,
+    scalars: &P1Scalars,
+    bins: usize,
+    slabs: usize,
+) -> P1Histograms {
     let slab = f.shape.slab_len();
-    let parts = zc_par::par_map(f.orig.len().div_ceil(slab), |i| {
-        let lo = i * slab;
-        let hi = (lo + slab).min(f.orig.len());
-        let mut h = make_histograms(scalars, bins);
-        for (&x, &y) in f.orig[lo..hi].iter().zip(f.dec[lo..hi].iter()) {
-            let (x, y) = (x as f64, y as f64);
-            h.err_pdf.insert(x - y);
-            h.value_hist.insert(x);
-            if x != 0.0 {
-                h.rel_pdf.insert(((x - y) / x).abs());
-            }
-        }
-        h
-    });
+    let tasks = f.orig.len().div_ceil(slab);
     let mut acc = make_histograms(scalars, bins);
-    for h in &parts {
-        acc.err_pdf.merge(&h.err_pdf);
-        acc.rel_pdf.merge(&h.rel_pdf);
-        acc.value_hist.merge(&h.value_hist);
+    for (t_lo, t_hi) in slab_ranges(tasks, slabs) {
+        let parts = zc_par::par_map(t_hi - t_lo, |j| {
+            let lo = (t_lo + j) * slab;
+            let hi = (lo + slab).min(f.orig.len());
+            let mut h = make_histograms(scalars, bins);
+            hist_insert(&mut h, &f.orig[lo..hi], &f.dec[lo..hi]);
+            h
+        });
+        for h in &parts {
+            acc.err_pdf.merge(&h.err_pdf);
+            acc.rel_pdf.merge(&h.rel_pdf);
+            acc.value_hist.merge(&h.value_hist);
+        }
     }
     acc
 }
@@ -168,12 +237,28 @@ fn p2_plane(f: &FieldPair<'_>, mean_e: f64, max_lag: usize, z: usize, w4: usize)
     st
 }
 
+fn p2_planes(f: &FieldPair<'_>) -> Vec<(usize, usize)> {
+    let s = f.shape;
+    (0..s.nw())
+        .flat_map(|w| (0..s.nz()).map(move |z| (z, w)))
+        .collect()
+}
+
 /// Serial pattern-2 scan (derivatives + all autocorrelation lags).
 pub fn p2_scan(f: &FieldPair<'_>, mean_e: f64, max_lag: usize) -> P2Stats {
-    let s = f.shape;
+    p2_scan_tiled(f, mean_e, max_lag, 1)
+}
+
+/// Slab-tiled serial pattern-2 scan. Stencil reads inside `p2_plane`
+/// reach one z slice past the plane itself (derivative halo, lag reach for
+/// autocorrelation), so tiling changes only where the plane sequence is
+/// cut — the carried combine keeps the (w4-outer, z-inner) order and the
+/// result bit-identical.
+pub fn p2_scan_tiled(f: &FieldPair<'_>, mean_e: f64, max_lag: usize, slabs: usize) -> P2Stats {
+    let planes = p2_planes(f);
     let mut st = P2Stats::identity(max_lag);
-    for w4 in 0..s.nw() {
-        for z in 0..s.nz() {
+    for (lo, hi) in slab_ranges(planes.len(), slabs) {
+        for &(z, w4) in &planes[lo..hi] {
             st.combine(&p2_plane(f, mean_e, max_lag, z, w4));
         }
     }
@@ -182,17 +267,22 @@ pub fn p2_scan(f: &FieldPair<'_>, mean_e: f64, max_lag: usize) -> P2Stats {
 
 /// Parallel pattern-2 scan (one task per z plane).
 pub fn p2_scan_par(f: &FieldPair<'_>, mean_e: f64, max_lag: usize) -> P2Stats {
-    let s = f.shape;
-    let planes: Vec<(usize, usize)> = (0..s.nw())
-        .flat_map(|w| (0..s.nz()).map(move |z| (z, w)))
-        .collect();
-    let parts = zc_par::par_map(planes.len(), |i| {
-        let (z, w4) = planes[i];
-        p2_plane(f, mean_e, max_lag, z, w4)
-    });
+    p2_scan_par_tiled(f, mean_e, max_lag, 1)
+}
+
+/// Slab-tiled parallel pattern-2 scan: plane tasks fork within each slab,
+/// partials combine in ascending plane order into a carried accumulator.
+pub fn p2_scan_par_tiled(f: &FieldPair<'_>, mean_e: f64, max_lag: usize, slabs: usize) -> P2Stats {
+    let planes = p2_planes(f);
     let mut acc = P2Stats::identity(max_lag);
-    for p in &parts {
-        acc.combine(p);
+    for (lo, hi) in slab_ranges(planes.len(), slabs) {
+        let parts = zc_par::par_map(hi - lo, |i| {
+            let (z, w4) = planes[lo + i];
+            p2_plane(f, mean_e, max_lag, z, w4)
+        });
+        for p in &parts {
+            acc.combine(p);
+        }
     }
     acc
 }
@@ -253,6 +343,22 @@ impl Svt {
 /// SSIM over all windows via summed-volume tables. Serial or parallel over
 /// z window origins depending on `parallel`.
 pub fn ssim_scan(f: &FieldPair<'_>, ssim: &SsimSettings, range: f64, parallel: bool) -> SsimAcc {
+    ssim_scan_tiled(f, ssim, range, parallel, 1)
+}
+
+/// Slab-tiled SSIM scan: within each w4 component the z window rows fold
+/// in ascending order regardless of where slab boundaries fall, so the
+/// accumulation sequence (and hence every bit of the result) matches the
+/// monolithic scan. Window rows whose support straddles a slab boundary
+/// read the one-window halo (slices already resident from the previous
+/// slab in the streaming schedule).
+pub fn ssim_scan_tiled(
+    f: &FieldPair<'_>,
+    ssim: &SsimSettings,
+    range: f64,
+    parallel: bool,
+    slabs: usize,
+) -> SsimAcc {
     let s = f.shape;
     let (wsize, step) = (ssim.window, ssim.step);
     // The window only extends along declared axes (1D/2D SSIM parity).
@@ -292,22 +398,21 @@ pub fn ssim_scan(f: &FieldPair<'_>, ssim: &SsimSettings, range: f64, parallel: b
             }
             local
         };
-        let sub = if parallel {
-            zc_par::par_map(cz, fold_z)
-                .into_iter()
-                .fold(SsimAcc::default(), |a, b| SsimAcc {
-                    sum: a.sum + b.sum,
-                    windows: a.windows + b.windows,
-                })
-        } else {
-            let mut a = SsimAcc::default();
-            for wz in 0..cz {
-                let l = fold_z(wz);
-                a.sum += l.sum;
-                a.windows += l.windows;
+        let mut sub = SsimAcc::default();
+        for (lo, hi) in slab_ranges(cz, slabs) {
+            if parallel {
+                for l in zc_par::par_map(hi - lo, |i| fold_z(lo + i)) {
+                    sub.sum += l.sum;
+                    sub.windows += l.windows;
+                }
+            } else {
+                for wz in lo..hi {
+                    let l = fold_z(wz);
+                    sub.sum += l.sum;
+                    sub.windows += l.windows;
+                }
             }
-            a
-        };
+        }
         acc.sum += sub.sum;
         acc.windows += sub.windows;
     }
@@ -413,6 +518,58 @@ mod tests {
         let b = ssim_scan(&f, &settings, 2.0, true);
         assert_eq!(a.windows, b.windows);
         assert!((a.sum - b.sum).abs() < 1e-9 * a.sum.abs().max(1e-30));
+    }
+
+    #[test]
+    fn tiled_scans_are_bit_identical_to_monolithic() {
+        let (orig, dec) = fields(Shape::d3(18, 14, 13));
+        let f = FieldPair::new(&orig, &dec);
+        let mono = p1_scan(&f);
+        let hist = histograms(&f, &mono, 32);
+        let p2 = p2_scan(&f, mono.mean_e(), 3);
+        let ssim = ssim_scan(&f, &SsimSettings::default(), 2.0, false);
+        for slabs in [1usize, 2, 3, 5, 13, 64] {
+            assert_eq!(
+                p1_scan_tiled(&f, slabs).sum_e2.to_bits(),
+                mono.sum_e2.to_bits()
+            );
+            assert_eq!(
+                p1_scan_par_tiled(&f, slabs).sum_e2.to_bits(),
+                p1_scan_par(&f).sum_e2.to_bits()
+            );
+            let h = histograms_tiled(&f, &mono, 32, slabs);
+            assert_eq!(h.err_pdf.counts(), hist.err_pdf.counts());
+            assert_eq!(
+                histograms_par_tiled(&f, &mono, 32, slabs)
+                    .value_hist
+                    .counts(),
+                hist.value_hist.counts()
+            );
+            let t2 = p2_scan_tiled(&f, mono.mean_e(), 3, slabs);
+            assert_eq!(t2.sum_grad_x.to_bits(), p2.sum_grad_x.to_bits());
+            assert_eq!(
+                p2_scan_par_tiled(&f, mono.mean_e(), 3, slabs)
+                    .sum_grad_x
+                    .to_bits(),
+                p2_scan_par(&f, mono.mean_e(), 3).sum_grad_x.to_bits()
+            );
+            let t3 = ssim_scan_tiled(&f, &SsimSettings::default(), 2.0, false, slabs);
+            assert_eq!(t3.sum.to_bits(), ssim.sum.to_bits());
+            assert_eq!(t3.windows, ssim.windows);
+        }
+    }
+
+    #[test]
+    fn slab_ranges_cover_contiguously() {
+        for (n, slabs) in [(10usize, 3usize), (7, 7), (5, 9), (1, 4), (0, 3)] {
+            let r = slab_ranges(n, slabs);
+            assert_eq!(r.len(), slabs.clamp(1, n.max(1)));
+            assert_eq!(r.first().unwrap().0, 0);
+            assert_eq!(r.last().unwrap().1, n);
+            for w in r.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::plan::{
     PlanRunner,
 };
 use zc_gpusim::stream::HostLink;
-use zc_gpusim::{GpuSim, LaunchResult};
+use zc_gpusim::{GpuSim, LaunchResult, TileCharge};
 use zc_kernels::p3::SsimParams;
 use zc_kernels::{
     FieldPair, HasReferencePath, P1FusedKernel, P1HistKernel, P2FusedKernel, P2Stats, Reference,
@@ -49,12 +49,34 @@ impl CuZc {
             self.sim.launch(k, grid)
         }
     }
+
+    /// Launch a kernel slab-tiled (contiguous block ranges) when the plan
+    /// resolved more than one slab, monolithic otherwise. Tiled results are
+    /// bit-identical to monolithic by construction (`GpuSim::launch_tiled`);
+    /// the per-tile charges feed the streaming timeline.
+    fn launch_slabs<K: HasReferencePath>(
+        &self,
+        k: &K,
+        grid: usize,
+        slabs: usize,
+    ) -> (LaunchResult<K::Output>, Vec<TileCharge>) {
+        if slabs > 1 {
+            if self.reference_path {
+                self.sim.launch_tiled(&Reference(k), grid, slabs)
+            } else {
+                self.sim.launch_tiled(k, grid, slabs)
+            }
+        } else {
+            (self.launch(k, grid), Vec::new())
+        }
+    }
 }
 
 impl PassBackend for CuZc {
     fn run_pass(&self, pass: &Pass, ctx: &PassCtx<'_>) -> PassExecution {
         let f = FieldPair::new(ctx.orig, ctx.dec);
         let cfg = ctx.cfg;
+        let slabs = ctx.slabs;
         let mut launches = Vec::new();
         match pass.kind {
             // ---- pattern 1: the fused scalar kernel ----------------------
@@ -63,12 +85,11 @@ impl PassBackend for CuZc {
             // exactly as in the real coordinator.
             PassKind::P1Scalars => {
                 let k = P1FusedKernel { fields: f };
-                let r = self.launch(&k, k.grid());
+                let (r, tiles) = self.launch_slabs(&k, k.grid(), slabs);
                 launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
-                PassExecution {
-                    output: PassOutput::Scalars(r.output),
-                    launches,
-                }
+                let mut ex = PassExecution::new(PassOutput::Scalars(r.output), launches);
+                ex.fold_tiles(slabs, &tiles);
+                ex
             }
             // ---- pattern 1: the fused histogram kernel -------------------
             PassKind::P1Hist => {
@@ -77,16 +98,16 @@ impl PassBackend for CuZc {
                     scalars: ctx.p1(),
                     bins: cfg.bins,
                 };
-                let r = self.launch(&k, k.grid());
+                let (r, tiles) = self.launch_slabs(&k, k.grid(), slabs);
                 launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
-                PassExecution {
-                    output: PassOutput::Histograms(r.output),
-                    launches,
-                }
+                let mut ex = PassExecution::new(PassOutput::Histograms(r.output), launches);
+                ex.fold_tiles(slabs, &tiles);
+                ex
             }
             // ---- pattern 2: one fused stencil launch per stride ----------
             PassKind::P2Stencil => {
                 let mut stats = P2Stats::identity(cfg.max_lag);
+                let mut stride_tiles = Vec::new();
                 for stride in 1..=cfg.max_lag {
                     let k = P2FusedKernel {
                         fields: f,
@@ -97,14 +118,16 @@ impl PassBackend for CuZc {
                         autocorr: true,
                         cooperative: true,
                     };
-                    let r = self.launch(&k, k.grid());
+                    let (r, tiles) = self.launch_slabs(&k, k.grid(), slabs);
                     launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
                     stats.combine(&r.output);
+                    stride_tiles.push(tiles);
                 }
-                PassExecution {
-                    output: PassOutput::Stencil(stats),
-                    launches,
+                let mut ex = PassExecution::new(PassOutput::Stencil(stats), launches);
+                for tiles in &stride_tiles {
+                    ex.fold_tiles(slabs, tiles);
                 }
+                ex
             }
             // ---- pattern 3: the FIFO SSIM kernel -------------------------
             PassKind::P3Ssim => {
@@ -120,12 +143,11 @@ impl PassBackend for CuZc {
                     params,
                     fifo_in_shared: true,
                 };
-                let r = self.launch(&k, k.grid());
+                let (r, tiles) = self.launch_slabs(&k, k.grid(), slabs);
                 launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
-                PassExecution {
-                    output: PassOutput::Ssim(r.output),
-                    launches,
-                }
+                let mut ex = PassExecution::new(PassOutput::Ssim(r.output), launches);
+                ex.fold_tiles(slabs, &tiles);
+                ex
             }
             PassKind::CompressionMeta => unreachable!("meta pass is not executed"),
         }
@@ -133,6 +155,10 @@ impl PassBackend for CuZc {
 
     fn transfer(&self) -> Option<HostLink> {
         Some(HostLink::pcie())
+    }
+
+    fn device_capacity(&self) -> Option<u64> {
+        Some(self.sim.dev.mem_bytes)
     }
 }
 

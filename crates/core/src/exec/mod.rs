@@ -154,6 +154,15 @@ pub enum AssessError {
     ShapeMismatch,
     /// The configuration failed validation.
     BadConfig(String),
+    /// The field pair cannot be made resident under the backend's device
+    /// memory with the configured tiling policy (out-of-core requires slab
+    /// tiling; monolithic placement requires the whole pair to fit).
+    Capacity {
+        /// Bytes the configured placement would need resident at once.
+        required: u64,
+        /// Simulated device memory capacity in bytes.
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for AssessError {
@@ -161,6 +170,11 @@ impl fmt::Display for AssessError {
         match self {
             AssessError::ShapeMismatch => write!(f, "original/decompressed shape mismatch"),
             AssessError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            AssessError::Capacity { required, capacity } => write!(
+                f,
+                "field pair needs {required} resident bytes but the device has {capacity} \
+                 (enable slab tiling or reduce the field)"
+            ),
         }
     }
 }
@@ -200,9 +214,32 @@ pub trait Executor {
 
 /// Instantiate an executor by configuration kind.
 pub fn make_executor(kind: ExecutorKind) -> Box<dyn Executor> {
+    make_executor_with_device_mem(kind, None)
+}
+
+/// Instantiate an executor with the simulated device memory overridden
+/// (the CLI's `--device-mem`): fields whose pair exceeds it stream
+/// out-of-core through the slab-tiled schedule. Host executors have no
+/// device and ignore the override.
+pub fn make_executor_with_device_mem(
+    kind: ExecutorKind,
+    mem_bytes: Option<u64>,
+) -> Box<dyn Executor> {
     match kind {
-        ExecutorKind::CuZc => Box::new(CuZc::default()),
-        ExecutorKind::MoZc => Box::new(MoZc::default()),
+        ExecutorKind::CuZc => {
+            let mut e = CuZc::default();
+            if let Some(m) = mem_bytes {
+                e.sim.dev.mem_bytes = m;
+            }
+            Box::new(e)
+        }
+        ExecutorKind::MoZc => {
+            let mut e = MoZc::default();
+            if let Some(m) = mem_bytes {
+                e.sim.dev.mem_bytes = m;
+            }
+            Box::new(e)
+        }
         ExecutorKind::OmpZc => Box::new(OmpZc::default()),
         ExecutorKind::Serial => Box::new(SerialZc),
     }

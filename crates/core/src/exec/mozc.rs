@@ -12,7 +12,7 @@ use crate::plan::{
     PlanRunner,
 };
 use zc_gpusim::stream::HostLink;
-use zc_gpusim::GpuSim;
+use zc_gpusim::{BlockKernel, GpuSim, LaunchResult, TileCharge};
 use zc_kernels::mo::{
     MoAutocorrKernel, MoDerivKernel, MoHistKernel, MoHistKind, MoP1Kernel, MoP1Metric,
 };
@@ -35,11 +35,30 @@ impl Default for MoZc {
     }
 }
 
+impl MoZc {
+    /// Launch slab-tiled when the plan resolved more than one slab,
+    /// monolithic otherwise (results are bit-identical either way).
+    fn launch_slabs<K: BlockKernel>(
+        &self,
+        k: &K,
+        grid: usize,
+        slabs: usize,
+    ) -> (LaunchResult<K::Output>, Vec<TileCharge>) {
+        if slabs > 1 {
+            self.sim.launch_tiled(k, grid, slabs)
+        } else {
+            (self.sim.launch(k, grid), Vec::new())
+        }
+    }
+}
+
 impl PassBackend for MoZc {
     fn run_pass(&self, pass: &Pass, ctx: &PassCtx<'_>) -> PassExecution {
         let f = FieldPair::new(ctx.orig, ctx.dec);
         let cfg = ctx.cfg;
+        let slabs = ctx.slabs;
         let mut launches = Vec::new();
+        let mut kernel_tiles: Vec<Vec<TileCharge>> = Vec::new();
         match pass.kind {
             // ---- pattern 1: one kernel per metric ------------------------
             // The scalar moments are always needed (μ/σ²/range feed the
@@ -49,14 +68,19 @@ impl PassBackend for MoZc {
                 let mut p1 = None;
                 for metric in MoP1Metric::SCALARS {
                     let k = MoP1Kernel { fields: f, metric };
-                    let r = self.sim.launch(&k, k.grid());
+                    let (r, tiles) = self.launch_slabs(&k, k.grid(), slabs);
                     launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                    kernel_tiles.push(tiles);
                     p1 = Some(r.output);
                 }
-                PassExecution {
-                    output: PassOutput::Scalars(p1.expect("at least one scalar kernel ran")),
+                let mut ex = PassExecution::new(
+                    PassOutput::Scalars(p1.expect("at least one scalar kernel ran")),
                     launches,
+                );
+                for t in &kernel_tiles {
+                    ex.fold_tiles(slabs, t);
                 }
+                ex
             }
             PassKind::P1Hist => {
                 let mut outs = Vec::new();
@@ -71,21 +95,26 @@ impl PassBackend for MoZc {
                         kind,
                         bins: cfg.bins,
                     };
-                    let r = self.sim.launch(&k, k.grid());
+                    let (r, tiles) = self.launch_slabs(&k, k.grid(), slabs);
                     launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                    kernel_tiles.push(tiles);
                     outs.push(r.output);
                 }
                 let value_hist = outs.pop().expect("three histogram kernels");
                 let rel_pdf = outs.pop().expect("three histogram kernels");
                 let err_pdf = outs.pop().expect("three histogram kernels");
-                PassExecution {
-                    output: PassOutput::Histograms(P1Histograms {
+                let mut ex = PassExecution::new(
+                    PassOutput::Histograms(P1Histograms {
                         err_pdf,
                         rel_pdf,
                         value_hist,
                     }),
                     launches,
+                );
+                for t in &kernel_tiles {
+                    ex.fold_tiles(slabs, t);
                 }
+                ex
             }
             // ---- pattern 2: per-axis derivative passes + per-lag stencils
             PassKind::P2Stencil => {
@@ -98,8 +127,9 @@ impl PassBackend for MoZc {
                         order,
                         max_lag: cfg.max_lag,
                     };
-                    let r = self.sim.launch(&k, k.grid());
+                    let (r, tiles) = self.launch_slabs(&k, k.grid(), slabs);
                     launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                    kernel_tiles.push(tiles);
                     stats.combine(&r.output);
                 }
                 // One direct-global stencil kernel per autocorrelation lag.
@@ -110,14 +140,16 @@ impl PassBackend for MoZc {
                         mean_e: ctx.p1().mean_e(),
                         max_lag: cfg.max_lag,
                     };
-                    let r = self.sim.launch(&k, k.grid());
+                    let (r, tiles) = self.launch_slabs(&k, k.grid(), slabs);
                     launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
+                    kernel_tiles.push(tiles);
                     stats.combine(&r.output);
                 }
-                PassExecution {
-                    output: PassOutput::Stencil(stats),
-                    launches,
+                let mut ex = PassExecution::new(PassOutput::Stencil(stats), launches);
+                for t in &kernel_tiles {
+                    ex.fold_tiles(slabs, t);
                 }
+                ex
             }
             // ---- pattern 3: SSIM without the FIFO buffer -----------------
             PassKind::P3Ssim => {
@@ -133,12 +165,11 @@ impl PassBackend for MoZc {
                     params,
                     fifo_in_shared: false,
                 };
-                let r = self.sim.launch(&k, k.grid());
+                let (r, tiles) = self.launch_slabs(&k, k.grid(), slabs);
                 launches.push(PassLaunch::from_gpu(&self.sim, &k, &r));
-                PassExecution {
-                    output: PassOutput::Ssim(r.output),
-                    launches,
-                }
+                let mut ex = PassExecution::new(PassOutput::Ssim(r.output), launches);
+                ex.fold_tiles(slabs, &tiles);
+                ex
             }
             PassKind::CompressionMeta => unreachable!("meta pass is not executed"),
         }
@@ -146,6 +177,10 @@ impl PassBackend for MoZc {
 
     fn transfer(&self) -> Option<HostLink> {
         Some(HostLink::pcie())
+    }
+
+    fn device_capacity(&self) -> Option<u64> {
+        Some(self.sim.dev.mem_bytes)
     }
 }
 

@@ -98,45 +98,54 @@ impl PassBackend for OmpZc {
     fn run_pass(&self, pass: &Pass, ctx: &PassCtx<'_>) -> PassExecution {
         let f = FieldPair::new(ctx.orig, ctx.dec);
         let n = f.len() as u64;
+        // Slab-tiled dispatch: thread fork/join happens within each slab,
+        // partials combine through a carried accumulator in the monolithic
+        // order (bit-identical). The charged Z-checker cost stays the
+        // closed-form whole-field model — tiling changes scheduling, not
+        // the amount of work.
+        let s = ctx.slabs;
         match pass.kind {
             // The scalar values are always computed (they feed the other
             // patterns), but Z-checker's metric-at-a-time CPU cost is only
             // charged when a pattern-1 scalar metric was actually asked for
             // — an auxiliary scalar pass rides along for free.
-            PassKind::P1Scalars => PassExecution {
-                output: PassOutput::Scalars(cpu_ref::p1_scan_par(&f)),
-                launches: if pass.is_auxiliary() {
+            PassKind::P1Scalars => PassExecution::new(
+                PassOutput::Scalars(cpu_ref::p1_scan_par_tiled(&f, s)),
+                if pass.is_auxiliary() {
                     Vec::new()
                 } else {
                     self.charge(self.p1_scalar_counters(n), KernelClass::GlobalReduction)
                 },
-            },
-            PassKind::P1Hist => PassExecution {
-                output: PassOutput::Histograms(cpu_ref::histograms_par(
+            ),
+            PassKind::P1Hist => PassExecution::new(
+                PassOutput::Histograms(cpu_ref::histograms_par_tiled(
                     &f,
                     &ctx.p1(),
                     ctx.cfg.bins,
+                    s,
                 )),
-                launches: self.charge(self.p1_hist_counters(n), KernelClass::GlobalReduction),
-            },
-            PassKind::P2Stencil => PassExecution {
-                output: PassOutput::Stencil(cpu_ref::p2_scan_par(
+                self.charge(self.p1_hist_counters(n), KernelClass::GlobalReduction),
+            ),
+            PassKind::P2Stencil => PassExecution::new(
+                PassOutput::Stencil(cpu_ref::p2_scan_par_tiled(
                     &f,
                     ctx.p1().mean_e(),
                     ctx.cfg.max_lag,
+                    s,
                 )),
-                launches: self.charge(
+                self.charge(
                     self.p2_counters(n, ctx.cfg.max_lag as u64),
                     KernelClass::Stencil,
                 ),
-            },
+            ),
             PassKind::P3Ssim => {
-                let acc = cpu_ref::ssim_scan(&f, &ctx.cfg.ssim, ctx.p1().value_range(), true);
+                let acc =
+                    cpu_ref::ssim_scan_tiled(&f, &ctx.cfg.ssim, ctx.p1().value_range(), true, s);
                 let c = self.p3_counters(n, acc.windows, ctx.cfg.ssim.window as u64);
-                PassExecution {
-                    output: PassOutput::Ssim(acc),
-                    launches: self.charge(c, KernelClass::SlidingWindow),
-                }
+                PassExecution::new(
+                    PassOutput::Ssim(acc),
+                    self.charge(c, KernelClass::SlidingWindow),
+                )
             }
             PassKind::CompressionMeta => unreachable!("meta pass is not executed"),
         }

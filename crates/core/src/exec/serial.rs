@@ -20,30 +20,35 @@ pub struct SerialZc;
 impl PassBackend for SerialZc {
     fn run_pass(&self, pass: &Pass, ctx: &PassCtx<'_>) -> PassExecution {
         let f = FieldPair::new(ctx.orig, ctx.dec);
+        // Slab-tiled dispatch when the plan resolved more than one slab;
+        // the carried accumulators keep every value bit-identical to the
+        // monolithic scan (see cpu_ref's `_tiled` docs).
+        let s = ctx.slabs;
         let output = match pass.kind {
             // The scalar pass always runs: every derived metric and both
             // other patterns (autocorrelation's μ/σ², SSIM's dynamic range)
             // need it.
-            PassKind::P1Scalars => PassOutput::Scalars(cpu_ref::p1_scan(&f)),
+            PassKind::P1Scalars => PassOutput::Scalars(cpu_ref::p1_scan_tiled(&f, s)),
             PassKind::P1Hist => {
-                PassOutput::Histograms(cpu_ref::histograms(&f, &ctx.p1(), ctx.cfg.bins))
+                PassOutput::Histograms(cpu_ref::histograms_tiled(&f, &ctx.p1(), ctx.cfg.bins, s))
             }
-            PassKind::P2Stencil => {
-                PassOutput::Stencil(cpu_ref::p2_scan(&f, ctx.p1().mean_e(), ctx.cfg.max_lag))
-            }
-            PassKind::P3Ssim => PassOutput::Ssim(cpu_ref::ssim_scan(
+            PassKind::P2Stencil => PassOutput::Stencil(cpu_ref::p2_scan_tiled(
+                &f,
+                ctx.p1().mean_e(),
+                ctx.cfg.max_lag,
+                s,
+            )),
+            PassKind::P3Ssim => PassOutput::Ssim(cpu_ref::ssim_scan_tiled(
                 &f,
                 &ctx.cfg.ssim,
                 ctx.p1().value_range(),
                 false,
+                s,
             )),
             PassKind::CompressionMeta => unreachable!("meta pass is not executed"),
         };
         // Ground truth charges nothing: no counters, no modeled time.
-        PassExecution {
-            output,
-            launches: Vec::new(),
-        }
+        PassExecution::new(output, Vec::new())
     }
 }
 

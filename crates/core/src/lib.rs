@@ -57,7 +57,7 @@ pub mod report;
 pub mod viz;
 
 pub use campaign::{CampaignReport, CampaignSpec, FieldRef, FleetSpec, LinkKind};
-pub use config::{AssessConfig, ExecutorKind, RunConfig, SsimSettings};
+pub use config::{AssessConfig, ExecutorKind, RunConfig, SsimSettings, TilingPolicy};
 pub use exec::{Assessment, CuZc, Executor, MoZc, MultiCuZc, OmpZc, PatternProfile, SerialZc};
 pub use metrics::{Metric, MetricSelection, Pattern};
 pub use pipeline::assess_compression;

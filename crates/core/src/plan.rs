@@ -273,6 +273,39 @@ pub struct PassExecution {
     pub output: PassOutput,
     /// The launches performed (empty for uncharged passes).
     pub launches: Vec<PassLaunch>,
+    /// Per-slab seconds when the backend dispatched the pass as z-slab
+    /// tiles (summed across the pass's launches; empty = untiled). The
+    /// launches above stay merged-monolithic records — tiles only refine
+    /// the stream timeline, never counters or profiles.
+    pub tiles: Vec<f64>,
+}
+
+impl PassExecution {
+    /// An untiled execution (the monolithic path and all CPU backends).
+    pub fn new(output: PassOutput, launches: Vec<PassLaunch>) -> Self {
+        PassExecution {
+            output,
+            launches,
+            tiles: Vec::new(),
+        }
+    }
+
+    /// Fold one tiled launch's per-slab seconds into this pass's tile
+    /// vector of `slabs` entries. Launches whose grid held fewer tiles
+    /// than `slabs` spread their charge over the vector proportionally.
+    pub fn fold_tiles(&mut self, slabs: usize, tiles: &[zc_gpusim::TileCharge]) {
+        if tiles.is_empty() {
+            return;
+        }
+        if self.tiles.len() < slabs {
+            self.tiles.resize(slabs, 0.0);
+        }
+        let l = tiles.len();
+        let s = self.tiles.len();
+        for (i, t) in tiles.iter().enumerate() {
+            self.tiles[i * s / l] += t.seconds;
+        }
+    }
 }
 
 /// Read-only context a backend receives for each pass: the input tensors,
@@ -286,6 +319,10 @@ pub struct PassCtx<'a> {
     pub cfg: &'a AssessConfig,
     /// The pattern-1 scalar output, once `P1Scalars` has run.
     pub p1: Option<P1Scalars>,
+    /// Resolved z-slab tile count for this run (1 = monolithic). Backends
+    /// dispatch each pass slab-wise at this granularity, carrying their
+    /// reduction state across slabs.
+    pub slabs: usize,
 }
 
 impl PassCtx<'_> {
@@ -307,6 +344,75 @@ pub trait PassBackend {
     fn transfer(&self) -> Option<HostLink> {
         None
     }
+
+    /// Device (global) memory capacity in bytes, for backends that stage
+    /// fields onto an accelerator (`None` = host-resident, unconstrained).
+    /// Field pairs larger than this are assessed out-of-core: the slab
+    /// resolution forces enough tiles that the resident window fits.
+    fn device_capacity(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Target field-pair bytes per slab under [`TilingPolicy::Auto`] (~8 MiB
+/// keeps a 256³ pair at 16 slabs).
+///
+/// [`TilingPolicy::Auto`]: crate::config::TilingPolicy::Auto
+const SLAB_TARGET_BYTES: u64 = 8 << 20;
+
+/// Below this pair size the Auto policy stays monolithic: tiling a field
+/// whose upload lasts microseconds only adds per-event transfer latency.
+const AUTO_TILING_MIN_BYTES: u64 = 16 << 20;
+
+/// Out-of-core resident window, in slabs: the slab being computed, the
+/// next one prefetching, plus halo/eviction slack. The slab count is
+/// forced high enough that this window fits in device memory.
+const RESIDENT_SLABS: u64 = 4;
+
+/// Resolve a run's slab count from the tiling policy, the field-pair
+/// footprint, the tileable extent (z-planes × w), and the backend's device
+/// capacity. Degenerate inputs (1-plane fields, slab requests ≥ extent)
+/// clamp rather than fail; an out-of-core pair under a `Monolithic` policy
+/// (or one too large even for per-plane slabs) is an error.
+///
+/// Public so harnesses (the overlap bench, the CLI) can report the slab
+/// count a run will use without re-deriving the heuristic.
+pub fn resolve_slabs(
+    policy: crate::config::TilingPolicy,
+    pair_bytes: u64,
+    planes: usize,
+    capacity: Option<u64>,
+) -> Result<usize, AssessError> {
+    use crate::config::TilingPolicy;
+    let max_slabs = planes.max(1);
+    let wanted = match policy {
+        TilingPolicy::Monolithic => 1,
+        TilingPolicy::Slabs(n) => n.max(1),
+        TilingPolicy::Auto => {
+            if pair_bytes < AUTO_TILING_MIN_BYTES {
+                1
+            } else {
+                (pair_bytes / SLAB_TARGET_BYTES).clamp(2, 64) as usize
+            }
+        }
+    };
+    let mut slabs = wanted.clamp(1, max_slabs);
+    if let Some(cap) = capacity.filter(|&cap| pair_bytes > cap) {
+        // Out-of-core: RESIDENT_SLABS × ceil(pair / slabs) must fit.
+        let min_slabs = (pair_bytes * RESIDENT_SLABS).div_ceil(cap.max(1)) as usize;
+        if policy == TilingPolicy::Monolithic || min_slabs > max_slabs {
+            return Err(AssessError::Capacity {
+                required: if policy == TilingPolicy::Monolithic {
+                    pair_bytes
+                } else {
+                    pair_bytes.div_ceil(max_slabs as u64) * RESIDENT_SLABS
+                },
+                capacity: cap,
+            });
+        }
+        slabs = slabs.max(min_slabs);
+    }
+    Ok(slabs)
 }
 
 /// A device-placement policy: grid-partition every pattern's launches over
@@ -503,11 +609,18 @@ impl<'a> PlanRunner<'a> {
         let non_finite = validate(orig, dec, cfg)?;
         let t0 = Instant::now();
 
+        let pair_bytes = orig.shape().len() as u64 * 4 * 2; // both fields
+        let planes = (orig.shape().nz() * orig.shape().nw()).max(1);
+        let capacity = backend.device_capacity();
+        let slabs = resolve_slabs(cfg.tiling, pair_bytes, planes, capacity)?;
+        let out_of_core = capacity.is_some_and(|cap| pair_bytes > cap);
+
         let mut ctx = PassCtx {
             orig,
             dec,
             cfg,
             p1: None,
+            slabs,
         };
         let mut accs = [
             PatternAcc::new(Pattern::GlobalReduction),
@@ -522,6 +635,7 @@ impl<'a> PlanRunner<'a> {
         };
         let mut counters = Counters::default();
         let mut pass_seconds: Vec<(PassKind, f64)> = Vec::new();
+        let mut pass_tiles: Vec<(PassKind, Vec<f64>)> = Vec::new();
         let mut hists = None;
         let mut p2 = None;
         let mut ssim = None;
@@ -547,6 +661,9 @@ impl<'a> PlanRunner<'a> {
                 secs += l.seconds;
             }
             pass_seconds.push((pass.kind, secs));
+            if !ex.tiles.is_empty() {
+                pass_tiles.push((pass.kind, ex.tiles));
+            }
             match ex.output {
                 PassOutput::Scalars(s) => ctx.p1 = Some(s),
                 PassOutput::Histograms(h) => hists = Some(h),
@@ -588,6 +705,16 @@ impl<'a> PlanRunner<'a> {
                         *secs *= new / old;
                     }
                 }
+                // Tile durations scale with their pass.
+                for (kind, tiles) in pass_tiles.iter_mut() {
+                    let pattern = kind.pattern();
+                    let (old, new) = (times.of(pattern), placed.of(pattern));
+                    if old > 0.0 {
+                        for t in tiles.iter_mut() {
+                            *t *= new / old;
+                        }
+                    }
+                }
                 times = placed;
             }
         }
@@ -595,7 +722,21 @@ impl<'a> PlanRunner<'a> {
         let e2e = backend
             .transfer()
             .filter(|_| times.total() > 0.0)
-            .map(|link| self.timeline(&link, orig, cfg, &pass_seconds));
+            .map(|link| {
+                if slabs > 1 {
+                    self.timeline_tiled(
+                        &link,
+                        orig,
+                        cfg,
+                        &pass_seconds,
+                        &pass_tiles,
+                        slabs,
+                        out_of_core,
+                    )
+                } else {
+                    self.timeline(&link, orig, cfg, &pass_seconds)
+                }
+            });
 
         let p1 = ctx
             .p1
@@ -692,5 +833,288 @@ impl<'a> PlanRunner<'a> {
             serialized_s: tl.serialized_s(),
             overlapped_s: tl.makespan_s(),
         }
+    }
+
+    /// The slab-tiled dataflow timeline (DESIGN.md §6.8): the field pair
+    /// uploads one z-slab at a time; every pass's slab-`k` tile starts as
+    /// soon as the slabs it reads have landed, so H2D of slab *k+1*
+    /// overlaps compute of slab *k*, partial read-backs overlap both, and
+    /// downstream passes begin before upstream passes finish their last
+    /// slab:
+    ///
+    /// * P1 scalars tile *k* needs only upload slab *k* (stream 0);
+    /// * histogram tile *k* needs the *running* scalars (the latest P1
+    ///   tile so far) plus slab *k* — re-uploaded per tile when the field
+    ///   is out-of-core;
+    /// * the stencil tile *k* additionally needs its forward halo — the
+    ///   `max_lag` slices past the slab boundary, i.e. upload slabs up to
+    ///   *k + span* (stream 1);
+    /// * the SSIM FIFO consumes slices in z order, so tile *k* needs the
+    ///   running value range plus slab *k* (stream 2).
+    ///
+    /// Downstream tiles deliberately consume the **prefix** scalars — the
+    /// P1 tile covering their own slab, not the final one — modeling the
+    /// standard deferred-finalize streaming restructure (raw moments with
+    /// an end-of-stream fix-up; see §6.8). Waiting on the *last* P1 tile
+    /// would chain every heavy pass behind the complete upload and reduce
+    /// the schedule to the monolithic one.
+    ///
+    /// Compute events serialize on the single device's compute engine **in
+    /// push order**, so rounds are pushed interleaved by slab (P1[k],
+    /// hist[k], stencil[k], SSIM[k], then slab k+1) — pushing one pass's
+    /// full sweep first would serialize every later pass behind it.
+    /// Per-slab D2H events drain each pass's running partials.
+    #[allow(clippy::too_many_arguments)]
+    fn timeline_tiled(
+        &self,
+        link: &HostLink,
+        orig: &Tensor<f32>,
+        cfg: &AssessConfig,
+        pass_seconds: &[(PassKind, f64)],
+        pass_tiles: &[(PassKind, Vec<f64>)],
+        slabs: usize,
+        out_of_core: bool,
+    ) -> EndToEnd {
+        let shape = orig.shape();
+        let pair_bytes = shape.len() as u64 * 4 * 2;
+        let planes = (shape.nz() * shape.nw()).max(1);
+        // Slab k's upload bytes (even plane split, remainder up front —
+        // matching the contiguous block split in `launch_tiled`).
+        let slab_bytes = |k: usize| {
+            let base = planes / slabs;
+            let extra = usize::from(k < planes % slabs);
+            (base + extra) as u64 * shape.slab_len() as u64 * 4 * 2
+        };
+        debug_assert_eq!((0..slabs).map(slab_bytes).sum::<u64>(), pair_bytes);
+        // The stencil's forward halo, in slabs.
+        let span = cfg.max_lag.div_ceil((planes / slabs).max(1));
+
+        // A pass's per-slab durations: the backend's tile record, or an
+        // even split of its pass seconds when the backend didn't tile.
+        let tiles_of = |kind: PassKind| -> Option<Vec<f64>> {
+            let total = pass_seconds
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, s)| *s)
+                .filter(|s| *s > 0.0)?;
+            Some(
+                pass_tiles
+                    .iter()
+                    .find(|(k, _)| *k == kind)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| vec![total / slabs as f64; slabs]),
+            )
+        };
+        // Tile i of t maps onto upload slab floor-scaled into `slabs`.
+        let slab_of = |i: usize, t: usize| ((i + 1) * slabs).div_ceil(t) - 1;
+
+        // Copies live on their own streams: a compute tile enqueued on the
+        // stream its input upload used would serialize behind the *whole*
+        // upload queue (CUDA stream FIFO) — exactly the non-overlap this
+        // schedule exists to fix. Cross-stream ordering is done with event
+        // dependencies only.
+        const UPLOAD_STREAM: usize = 8;
+        const REUPLOAD_STREAM: usize = 9; // + pass stream
+        const DRAIN_STREAM: usize = 12; // + pass stream
+
+        let mut tl = Timeline::new();
+        let h2d: Vec<_> = (0..slabs)
+            .map(|k| {
+                tl.push(
+                    UPLOAD_STREAM,
+                    Engine::H2D,
+                    link.transfer_s(slab_bytes(k)),
+                    &[],
+                )
+            })
+            .collect();
+
+        // Per-tile partial read-back on a dedicated drain stream: tiny
+        // running partials leave the device while later tiles still compute.
+        let drain = |tl: &mut Timeline, stream, kind, events: &[zc_gpusim::stream::EventId]| {
+            if events.is_empty() {
+                return;
+            }
+            let bytes = (d2h_bytes(kind, cfg) / events.len() as u64).max(1);
+            for &ev in events {
+                tl.push(
+                    DRAIN_STREAM + stream,
+                    Engine::D2H,
+                    link.transfer_s(bytes),
+                    &[ev],
+                );
+            }
+        };
+
+        // Dependent passes: (kind, stream, forward halo in slabs).
+        struct Sched {
+            kind: PassKind,
+            stream: usize,
+            halo: usize,
+            tiles: Vec<f64>,
+            next: usize,
+            events: Vec<zc_gpusim::stream::EventId>,
+        }
+        let mut dependents: Vec<Sched> = [
+            (PassKind::P1Hist, 0usize, 0usize),
+            (PassKind::P2Stencil, 1, span),
+            (PassKind::P3Ssim, 2, 0),
+        ]
+        .into_iter()
+        .filter_map(|(kind, stream, halo)| {
+            Some(Sched {
+                kind,
+                stream,
+                halo,
+                tiles: tiles_of(kind)?,
+                next: 0,
+                events: Vec::new(),
+            })
+        })
+        .collect();
+
+        // Round k: the P1 tile for slab k runs as soon as the slab lands,
+        // then every dependent pass's slab-k tile follows, consuming the
+        // running scalars accumulated so far (`last_p1`).
+        let p1 = tiles_of(PassKind::P1Scalars).unwrap_or_default();
+        let mut p1_next = 0usize;
+        let mut p1_events = Vec::new();
+        let mut last_p1 = None;
+        for k in 0..slabs {
+            while p1_next < p1.len() && slab_of(p1_next, p1.len()) <= k {
+                let (i, t) = (p1_next, p1[p1_next]);
+                p1_next += 1;
+                if t <= 0.0 {
+                    continue;
+                }
+                let ev = tl.push(0, Engine::Compute, t, &[h2d[slab_of(i, p1.len())]]);
+                p1_events.push(ev);
+                last_p1 = Some(ev);
+            }
+            for s in dependents.iter_mut() {
+                while s.next < s.tiles.len() && slab_of(s.next, s.tiles.len()) <= k {
+                    let (i, t) = (s.next, s.tiles[s.next]);
+                    s.next += 1;
+                    if t <= 0.0 {
+                        continue;
+                    }
+                    let slab = slab_of(i, s.tiles.len())
+                        .saturating_add(s.halo)
+                        .min(slabs - 1);
+                    let mut deps = Vec::with_capacity(2);
+                    // All three need a P1 output (running min/max, μₑ,
+                    // value range — finalized after the stream drains).
+                    if let Some(p1) = last_p1 {
+                        deps.push(p1);
+                    }
+                    if out_of_core {
+                        // The slab was evicted after the P1 sweep:
+                        // re-upload it (and its halo) on this pass's copy
+                        // stream.
+                        let bytes = (slab_of(i, s.tiles.len())..=slab)
+                            .map(slab_bytes)
+                            .sum::<u64>();
+                        deps.push(tl.push(
+                            REUPLOAD_STREAM + s.stream,
+                            Engine::H2D,
+                            link.transfer_s(bytes),
+                            &[],
+                        ));
+                    } else {
+                        deps.push(h2d[slab]);
+                    }
+                    s.events.push(tl.push(s.stream, Engine::Compute, t, &deps));
+                }
+            }
+        }
+        drain(&mut tl, 0, PassKind::P1Scalars, &p1_events);
+        for s in &dependents {
+            drain(&mut tl, s.stream, s.kind, &s.events);
+        }
+
+        EndToEnd {
+            h2d_s: tl.engine_busy_s(Engine::H2D),
+            d2h_s: tl.engine_busy_s(Engine::D2H),
+            compute_s: tl.engine_busy_s(Engine::Compute),
+            serialized_s: tl.serialized_s(),
+            overlapped_s: tl.makespan_s(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_tensor::Shape;
+
+    /// The scheduling property the slab dataflow exists for: when per-slab
+    /// compute dwarfs the per-slab upload, the whole upload except the
+    /// first slab hides under compute — the makespan collapses to compute
+    /// plus one slab's transfer (plus the final partial drain).
+    #[test]
+    fn tiled_timeline_hides_the_upload_under_compute() {
+        let shape = Shape::d3(256, 256, 256);
+        let orig = Tensor::from_fn(shape, |_| 0.0f32);
+        let cfg = AssessConfig::default();
+        let link = HostLink::pcie();
+        let slabs = 16usize;
+        // Compute totals shaped like the 256³ cuZC run: SSIM dominates.
+        let pass_seconds = vec![
+            (PassKind::P1Scalars, 0.2e-3),
+            (PassKind::P1Hist, 0.2e-3),
+            (PassKind::P2Stencil, 5.6e-3),
+            (PassKind::P3Ssim, 147.4e-3),
+        ];
+        let plan = AssessPlan::lower(&cfg);
+        let e2e = PlanRunner::new(&plan).timeline_tiled(
+            &link,
+            &orig,
+            &cfg,
+            &pass_seconds,
+            &[],
+            slabs,
+            false,
+        );
+        assert!(e2e.overlapped_s <= e2e.serialized_s);
+        let first_slab = link.transfer_s((orig.shape().len() as u64 * 4 * 2).div_ceil(16));
+        let slack = 1e-3; // halo stalls + final drain
+        assert!(
+            e2e.overlapped_s <= e2e.compute_s + first_slab + slack,
+            "upload not hidden: makespan {:.4} ms vs compute {:.4} ms + slab {:.4} ms",
+            e2e.overlapped_s * 1e3,
+            e2e.compute_s * 1e3,
+            first_slab * 1e3
+        );
+        // And the saving the bench gates on: well over 5% vs serialized.
+        assert!(e2e.saving() > 0.05, "saving {:.4}", e2e.saving());
+    }
+
+    /// Out-of-core schedules re-upload every dependent pass's slabs, so
+    /// the H2D engine carries roughly four sweeps of the pair — the
+    /// timeline must reflect that rather than assuming residency.
+    #[test]
+    fn out_of_core_timeline_pays_for_reuploads() {
+        let shape = Shape::d3(64, 64, 64);
+        let orig = Tensor::from_fn(shape, |_| 0.0f32);
+        let cfg = AssessConfig::default();
+        let link = HostLink::pcie();
+        let pass_seconds = vec![
+            (PassKind::P1Scalars, 0.1e-3),
+            (PassKind::P1Hist, 0.1e-3),
+            (PassKind::P2Stencil, 1.0e-3),
+            (PassKind::P3Ssim, 4.0e-3),
+        ];
+        let plan = AssessPlan::lower(&cfg);
+        let runner = PlanRunner::new(&plan);
+        let resident = runner.timeline_tiled(&link, &orig, &cfg, &pass_seconds, &[], 16, false);
+        let ooc = runner.timeline_tiled(&link, &orig, &cfg, &pass_seconds, &[], 16, true);
+        assert!(
+            ooc.h2d_s > 3.0 * resident.h2d_s,
+            "ooc h2d {:.4} ms vs resident {:.4} ms",
+            ooc.h2d_s * 1e3,
+            resident.h2d_s * 1e3
+        );
+        assert!(ooc.overlapped_s >= resident.overlapped_s);
+        assert!(ooc.overlapped_s <= ooc.serialized_s);
     }
 }

@@ -104,6 +104,27 @@ pub struct LaunchResult<O> {
     pub modeled: ModeledTime,
 }
 
+/// One slab's share of a tiled launch (see [`GpuSim::launch_tiled`]): the
+/// contiguous block range it covered, the counters charged to it, and its
+/// modeled seconds. Merging every slab's counters reproduces the monolithic
+/// launch counters **exactly** — the launch fee is attributed to the first
+/// slab, the grid-fold (finalize) charges and the cooperative sync (or
+/// second launch) to the last.
+#[derive(Clone, Debug)]
+pub struct TileCharge {
+    /// First block of this slab's contiguous block range.
+    pub block_start: usize,
+    /// Number of blocks in the range.
+    pub blocks: usize,
+    /// Counters charged to this slab.
+    pub counters: Counters,
+    /// Modeled seconds for this slab, priced at the full grid's
+    /// utilization: tiled execution models a persistent stream pipeline
+    /// whose slab launches are enqueued back-to-back, so the device stays
+    /// at steady state between slabs instead of draining.
+    pub seconds: f64,
+}
+
 /// The simulated GPU device.
 #[derive(Clone, Debug)]
 pub struct GpuSim {
@@ -159,6 +180,217 @@ impl GpuSim {
         (
             result,
             report.expect("sanitized launch always yields a report"),
+        )
+    }
+
+    /// Launch `kernel` as `slabs` contiguous block ranges that stream
+    /// through the device in ascending order (z-slab tiling: one block per
+    /// z-plane in the P1/P2 grids, so a block range *is* a plane slab).
+    ///
+    /// Functionally this is the same launch — partials are collected in
+    /// global block order and folded by one deferred finalize — so the
+    /// output, merged counters and modeled time of the returned
+    /// [`LaunchResult`] are bit-identical to [`GpuSim::launch`]. The extra
+    /// [`TileCharge`] vector splits the charge per slab for the stream
+    /// timeline: per-slab counters (launch fee on the first slab, the
+    /// finalize and sync on the last) and per-slab seconds priced at the
+    /// full grid's steady-state utilization.
+    ///
+    /// `slabs` is clamped to `[1, grid_blocks]`; degenerate requests
+    /// (1-block grid, slab count ≥ grid) collapse to sensible tilings.
+    pub fn launch_tiled<K: BlockKernel>(
+        &self,
+        kernel: &K,
+        grid_blocks: usize,
+        slabs: usize,
+    ) -> (LaunchResult<K::Output>, Vec<TileCharge>) {
+        let (result, tiles, report) =
+            self.launch_tiled_impl(kernel, grid_blocks, slabs, sanitizer::enabled());
+        if let Some(report) = report {
+            sanitizer::publish(&report);
+        }
+        (result, tiles)
+    }
+
+    /// [`GpuSim::launch_tiled`] in checked (sanitized) mode regardless of
+    /// the global switch. On top of the per-block shadow audit (fresh
+    /// shadow state per block, so state resets between slabs by
+    /// construction), the tiled path cross-checks that merging the
+    /// per-slab charges reproduces the independently accumulated monolithic
+    /// charge — a broken slab-attribution would surface as a
+    /// [`Hazard::ChargeMismatch`](crate::Hazard::ChargeMismatch).
+    pub fn launch_tiled_checked<K: BlockKernel>(
+        &self,
+        kernel: &K,
+        grid_blocks: usize,
+        slabs: usize,
+    ) -> (LaunchResult<K::Output>, Vec<TileCharge>, SanitizeReport) {
+        let (result, tiles, report) = self.launch_tiled_impl(kernel, grid_blocks, slabs, true);
+        (
+            result,
+            tiles,
+            report.expect("sanitized launch always yields a report"),
+        )
+    }
+
+    fn launch_tiled_impl<K: BlockKernel>(
+        &self,
+        kernel: &K,
+        grid_blocks: usize,
+        slabs: usize,
+        sanitize: bool,
+    ) -> (
+        LaunchResult<K::Output>,
+        Vec<TileCharge>,
+        Option<SanitizeReport>,
+    ) {
+        assert!(grid_blocks > 0, "empty grid");
+        let slabs = slabs.clamp(1, grid_blocks);
+        let smem = kernel.resources().smem_per_block;
+        type Verdict = Option<(Vec<sanitizer::Diag>, u64)>;
+        let mut report = sanitize.then(|| SanitizeReport {
+            kernel: kernel.name().to_string(),
+            grid_blocks,
+            ..Default::default()
+        });
+        let mut partials = Vec::with_capacity(grid_blocks);
+        let mut tiles: Vec<TileCharge> = Vec::with_capacity(slabs);
+        // Independent accumulation of the monolithic charge (same merge
+        // order as `launch_impl`), cross-checked against the per-slab
+        // charges below.
+        let mut audit = Counters {
+            launches: 1,
+            ..Default::default()
+        };
+
+        // Even contiguous split: the first `rem` slabs are one block longer.
+        let base = grid_blocks / slabs;
+        let rem = grid_blocks % slabs;
+        let mut start = 0usize;
+        for s in 0..slabs {
+            let len = base + usize::from(s < rem);
+            let mut results: Vec<(Counters, K::Partial, Verdict)> = zc_par::par_map(len, |i| {
+                let b = start + i;
+                let mut ctx = if sanitize {
+                    BlockCtx::sanitized(Some(b), smem)
+                } else {
+                    BlockCtx::new()
+                };
+                let partial = kernel.run_block(b, &mut ctx);
+                if !sanitize {
+                    debug_assert!(
+                        ctx.shared_bytes() <= smem as usize,
+                        "block used {} shared bytes but declared {smem}",
+                        ctx.shared_bytes(),
+                    );
+                }
+                let verdict = ctx.finish_sanitize();
+                (ctx.counters, partial, verdict)
+            });
+            let mut tc = Counters::default();
+            if s == 0 {
+                // The slab that opens the stream pays the launch fee.
+                tc.launches = 1;
+            }
+            for (c, p, verdict) in results.drain(..) {
+                tc.merge(&c);
+                audit.merge(&c);
+                partials.push(p);
+                if let (Some(r), Some((diags, suppressed))) = (report.as_mut(), verdict) {
+                    r.diags.extend(diags);
+                    r.suppressed += suppressed;
+                }
+            }
+            tiles.push(TileCharge {
+                block_start: start,
+                blocks: len,
+                counters: tc,
+                seconds: 0.0,
+            });
+            start += len;
+        }
+
+        // Grid-level fold runs once, after the last slab; partials are in
+        // global block order, so the fold sees exactly what a monolithic
+        // launch would. Its charges land on the last slab.
+        let mut fctx = if sanitize {
+            BlockCtx::sanitized(None, smem)
+        } else {
+            BlockCtx::new()
+        };
+        let output = kernel.finalize(&mut fctx, partials);
+        let fverdict = fctx.finish_sanitize();
+        audit.merge(&fctx.counters);
+        if let (Some(r), Some((diags, suppressed))) = (report.as_mut(), fverdict) {
+            r.diags.extend(diags);
+            r.suppressed += suppressed;
+        }
+        let last = tiles.last_mut().expect("slabs >= 1");
+        last.counters.merge(&fctx.counters);
+        if kernel.cooperative() {
+            last.counters.grid_syncs += 1;
+            audit.grid_syncs += 1;
+        } else {
+            last.counters.launches += 1;
+            audit.launches += 1;
+        }
+
+        let occ = occupancy(&self.dev, &kernel.resources());
+        for t in tiles.iter_mut() {
+            // Full-grid utilization, the slab's own traffic and overheads.
+            t.seconds = gpu_time(
+                &self.dev,
+                &self.calib,
+                &t.counters,
+                &occ,
+                grid_blocks,
+                kernel.class(),
+            )
+            .total_s;
+        }
+
+        // Per-slab charge audit: the slab charges must re-merge to the
+        // monolithic charge accumulated independently above.
+        let counters = Counters::merged(tiles.iter().map(|t| &t.counters));
+        if counters != audit {
+            if let Some(r) = report.as_mut() {
+                r.diags.push(sanitizer::Diag {
+                    hazard: crate::sanitizer::Hazard::ChargeMismatch,
+                    block: None,
+                    warp: None,
+                    epoch: 0,
+                    buf: None,
+                    index: None,
+                    detail: format!(
+                        "tiled launch: merged per-slab charges disagree with \
+                         the monolithic charge ({slabs} slabs over {grid_blocks} blocks)"
+                    ),
+                });
+            }
+            debug_assert!(
+                false,
+                "tiled charge attribution lost or double-counted work"
+            );
+        }
+
+        let modeled = gpu_time(
+            &self.dev,
+            &self.calib,
+            &counters,
+            &occ,
+            grid_blocks,
+            kernel.class(),
+        );
+        (
+            LaunchResult {
+                output,
+                counters,
+                occupancy: occ,
+                grid_blocks,
+                modeled,
+            },
+            tiles,
+            report,
         )
     }
 
@@ -416,6 +648,70 @@ mod tests {
         assert_eq!(non.counters.launches, 2);
         assert_eq!(non.counters.grid_syncs, 0);
         assert_eq!(coop.output, non.output);
+    }
+
+    #[test]
+    fn tiled_launch_is_bit_identical_and_charges_sum() {
+        let data: Vec<f32> = (0..50_000).map(|i| (i as f32 * 0.01).cos()).collect();
+        let sim = GpuSim::v100();
+        let k = ChunkSum {
+            data: &data,
+            chunk: 1024,
+        };
+        let grid = data.len().div_ceil(1024);
+        let mono = sim.launch(&k, grid);
+        for slabs in [1usize, 3, 7, grid, grid + 5] {
+            let (tiled, tiles) = sim.launch_tiled(&k, grid, slabs);
+            assert_eq!(
+                mono.output.to_bits(),
+                tiled.output.to_bits(),
+                "slabs {slabs}"
+            );
+            assert_eq!(mono.counters, tiled.counters, "slabs {slabs}");
+            assert_eq!(mono.modeled.total_s, tiled.modeled.total_s, "slabs {slabs}");
+            assert_eq!(tiles.len(), slabs.min(grid));
+            assert_eq!(tiles.iter().map(|t| t.blocks).sum::<usize>(), grid);
+            assert_eq!(
+                Counters::merged(tiles.iter().map(|t| &t.counters)),
+                mono.counters,
+                "slabs {slabs}: per-slab charges must re-merge to monolithic"
+            );
+            // Contiguous ascending coverage.
+            let mut next = 0;
+            for t in &tiles {
+                assert_eq!(t.block_start, next);
+                assert!(t.blocks > 0);
+                assert!(t.seconds > 0.0);
+                next += t.blocks;
+            }
+            // Steady-state pricing: the slab times sum to the monolithic
+            // time up to per-slab roofline-bound selection — never less,
+            // never wildly more.
+            let sum: f64 = tiles.iter().map(|t| t.seconds).sum();
+            assert!(sum >= mono.modeled.total_s * 0.999, "slabs {slabs}: {sum}");
+            assert!(sum <= mono.modeled.total_s * 1.5, "slabs {slabs}: {sum}");
+        }
+    }
+
+    #[test]
+    fn tiled_checked_launch_is_clean_and_observation_only() {
+        let data: Vec<f32> = vec![0.25; 16_384];
+        let sim = GpuSim::v100();
+        let k = ChunkSum {
+            data: &data,
+            chunk: 1024,
+        };
+        let grid = 16;
+        let (plain, plain_tiles) = sim.launch_tiled(&k, grid, 4);
+        let (checked, checked_tiles, report) = sim.launch_tiled_checked(&k, grid, 4);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.grid_blocks, grid);
+        assert_eq!(plain.output.to_bits(), checked.output.to_bits());
+        assert_eq!(plain.counters, checked.counters);
+        for (a, b) in plain_tiles.iter().zip(&checked_tiles) {
+            assert_eq!(a.counters, b.counters);
+            assert_eq!(a.seconds, b.seconds);
+        }
     }
 
     #[test]

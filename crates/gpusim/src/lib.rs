@@ -55,7 +55,7 @@ pub mod trace;
 pub use block::{BlockCtx, SharedBuf};
 pub use counters::Counters;
 pub use lanes::{Lanes, WARP};
-pub use launch::{BlockKernel, GpuSim, KernelClass, LaunchResult};
+pub use launch::{BlockKernel, GpuSim, KernelClass, LaunchResult, TileCharge};
 pub use multi::{MultiGpuModel, MultiGpuTime};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy};
 pub use sanitizer::{Diag, Hazard, SanitizeReport};

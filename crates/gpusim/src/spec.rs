@@ -28,6 +28,9 @@ pub struct DeviceSpec {
     pub hbm_bw_gbs: f64,
     /// Shared-memory bytes per clock per SM.
     pub smem_bytes_per_clk_per_sm: f64,
+    /// Device (global) memory capacity in bytes. Fields whose resident
+    /// working set exceeds this must be assessed out-of-core (slab-tiled).
+    pub mem_bytes: u64,
 }
 
 impl DeviceSpec {
@@ -46,6 +49,7 @@ impl DeviceSpec {
             warp_size: 32,
             hbm_bw_gbs: 900.0,
             smem_bytes_per_clk_per_sm: 128.0,
+            mem_bytes: 32 * 1024 * 1024 * 1024,
         }
     }
 
@@ -104,6 +108,7 @@ mod tests {
                                                        // ~15.7 TFLOPS FP32.
         assert!((d.peak_flops() / 1e12 - 7.83).abs() < 0.1);
         assert!(d.peak_smem_bw() > 10e12);
+        assert_eq!(d.mem_bytes, 32 << 30); // paper: 32 GB HBM2
     }
 
     #[test]

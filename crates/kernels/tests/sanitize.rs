@@ -693,6 +693,133 @@ fn global_oob_read_is_diagnosed_not_a_panic() {
     assert_eq!(r.output, 2.5);
 }
 
+// ---------------------------------------------------------------------------
+// Tiled launches: production kernels stay clean slab-by-slab, per-slab
+// charges audit against the merged total, and a slab-halo bug is caught
+// ---------------------------------------------------------------------------
+
+#[test]
+fn production_kernels_are_sanitizer_clean_under_tiled_launch() {
+    let mut rng = Rng(0x5A16);
+    let sim = GpuSim::v100();
+    for shape in shapes(&mut rng) {
+        let (orig, dec) = fields(shape, &mut rng);
+        let f = FieldPair::new(&orig, &dec);
+        let k1 = P1FusedKernel { fields: f };
+        let k2 = P2FusedKernel {
+            fields: f,
+            stride: 1,
+            mean_e: 1.5e-4,
+            max_lag: 3,
+            derivatives: true,
+            autocorr: true,
+            cooperative: true,
+        };
+        for slabs in [2usize, 5] {
+            let (r1, t1, rep1) = sim.launch_tiled_checked(&k1, k1.grid(), slabs);
+            assert!(rep1.is_clean(), "p1 tiled {shape:?}:\n{}", rep1.render());
+            let (r2, t2, rep2) = sim.launch_tiled_checked(&k2, k2.grid(), slabs);
+            assert!(rep2.is_clean(), "p2 tiled {shape:?}:\n{}", rep2.render());
+            // The per-slab charge audit: tile charges merge to exactly the
+            // monolithic counters (checked internally too — a mismatch
+            // would be a ChargeMismatch diagnostic, failing is_clean).
+            for (r, tiles, mono) in [
+                (&r1.counters, &t1, sim.launch(&k1, k1.grid()).counters),
+                (&r2.counters, &t2, sim.launch(&k2, k2.grid()).counters),
+            ] {
+                assert_eq!(
+                    zc_gpusim::Counters::merged(tiles.iter().map(|t| &t.counters)),
+                    mono,
+                    "{shape:?}/slabs={slabs}: per-slab charges lost work"
+                );
+                assert_eq!(*r, mono, "{shape:?}/slabs={slabs}");
+            }
+        }
+    }
+}
+
+/// A tiled P2-style stencil whose slab halo is off by one: each plane block
+/// reads its own plane plus a one-plane halo, but the buggy variant reads
+/// the halo unconditionally — the final plane's halo read runs one plane
+/// past the field end. Exactly the bug class slab tiling introduces.
+struct SlabHaloMutant<'a> {
+    data: &'a [f32],
+    plane: usize,
+    bug: bool,
+}
+
+impl BlockKernel for SlabHaloMutant<'_> {
+    type Partial = f64;
+    type Output = f64;
+
+    fn name(&self) -> &'static str {
+        "mutant_slab_halo_off_by_one"
+    }
+
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            regs_per_thread: 32,
+            smem_per_block: 256,
+            threads_per_block: 128,
+        }
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Stencil
+    }
+
+    fn run_block(&self, b: usize, ctx: &mut BlockCtx) -> f64 {
+        let planes = self.data.len() / self.plane;
+        let mut s = 0.0;
+        for i in 0..self.plane {
+            s += ctx.g_read(self.data, b * self.plane + i) as f64;
+        }
+        // Halo: the first row of the next plane.
+        let halo = if self.bug {
+            b + 1 // BUG: runs past the last plane
+        } else {
+            (b + 1).min(planes - 1)
+        };
+        s += ctx.g_read(self.data, halo * self.plane) as f64;
+        s
+    }
+
+    fn finalize(&self, _ctx: &mut BlockCtx, partials: Vec<f64>) -> f64 {
+        partials.into_iter().sum()
+    }
+}
+
+#[test]
+fn slab_halo_off_by_one_is_caught_in_tiled_launch() {
+    let plane = 16;
+    let data = vec![1.25f32; 8 * plane];
+    let sim = GpuSim::v100();
+    let k = SlabHaloMutant {
+        data: &data,
+        plane,
+        bug: true,
+    };
+    // The bug lives in the last slab's final plane: the tiled run finds it.
+    let (_, tiles, report) = sim.launch_tiled_checked(&k, 8, 4);
+    assert_eq!(tiles.len(), 4);
+    assert!(report.has(Hazard::OobGlobal), "{}", report.render());
+    let d = report
+        .diags
+        .iter()
+        .find(|d| d.hazard == Hazard::OobGlobal)
+        .unwrap();
+    assert_eq!(d.index, Some(data.len()), "{}", report.render());
+    assert_eq!(d.block, Some(7), "{}", report.render());
+    // The clamped-halo variant is clean under the same tiling.
+    let fixed = SlabHaloMutant {
+        data: &data,
+        plane,
+        bug: false,
+    };
+    let (_, _, report) = sim.launch_tiled_checked(&fixed, 8, 4);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
 #[test]
 fn mutant_reports_render_with_tool_and_kernel_names() {
     let sim = GpuSim::v100();
