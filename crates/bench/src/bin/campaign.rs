@@ -2,19 +2,31 @@
 //! throughput of the simulated GPU fleet — jobs/sec and assessed GB/s at
 //! 1/2/4/8 devices, NVLink vs PCIe.
 //!
-//! The campaign is the (catalog × compressor-sweep) cross product over the
-//! paper's four datasets; jobs execute **once** and are re-sharded and
-//! re-aggregated per fleet (`CampaignSpec::run_on_fleets`), so the sweep
-//! costs one functional pass. Emits `BENCH_campaign.json` at the repo
-//! root (hand-rolled JSON, no serde).
+//! Three sections:
 //!
-//! Usage: `campaign [--scale N] [--fields K] [--rel-bound X]` — scale
-//! defaults to 4 (axes divided by 4), fields to 2 per dataset.
+//! 1. **Uniform** — the (catalog × compressor-sweep) cross product over the
+//!    paper's four datasets at one scale; jobs execute **once** and are
+//!    re-sharded and re-aggregated per fleet
+//!    (`CampaignSpec::run_on_fleets`), so the sweep costs one functional
+//!    pass.
+//! 2. **Mixed-size** — a deliberately heterogeneous campaign (a time-series
+//!    hog plus small snapshots) run under both schedulers; asserts the list
+//!    scheduler reaches ≥ 0.9 utilization at 8 GPUs and never loses to
+//!    round-robin on makespan.
+//! 3. **Progressive** — a recommend sweep with and without the
+//!    subsample-prepass early exit; asserts the pass/fail verdicts agree
+//!    while the assessed bytes shrink.
+//!
+//! Emits `BENCH_campaign.json` at the repo root (hand-rolled JSON, no
+//! serde). Usage: `campaign [--scale N] [--fields K] [--rel-bound X]` —
+//! scale defaults to 4 (axes divided by 4), fields to 2 per dataset.
 
 use zc_bench::HarnessOpts;
-use zc_compress::{CompressorSpec, ErrorBound};
-use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, LinkKind};
-use zc_core::AssessConfig;
+use zc_compress::{Compressor, CompressorSpec, ErrorBound, SzCompressor, ZfpLikeCompressor};
+use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, LinkKind, Scheduler};
+use zc_core::exec::CuZc;
+use zc_core::recommend::{recommend, recommend_progressive, ProgressivePolicy, QualityCriteria};
+use zc_core::{AssessConfig, TilingPolicy};
 use zc_data::{catalog_fields, AppDataset, GenOptions};
 
 fn main() {
@@ -29,11 +41,7 @@ fn main() {
     let gen = GenOptions::scaled_xy(opts.scale);
     let fields: Vec<FieldRef> = catalog_fields(&AppDataset::ALL)
         .filter(|&(_, index, _)| index < per_dataset)
-        .map(|(dataset, index, _)| FieldRef {
-            dataset,
-            index,
-            opts: gen,
-        })
+        .map(|(dataset, index, _)| FieldRef::new(dataset, index, gen))
         .collect();
     let compressors = vec![
         CompressorSpec::Sz(ErrorBound::Rel(opts.rel_bound)),
@@ -46,8 +54,10 @@ fn main() {
     let spec = CampaignSpec {
         fields,
         compressors: compressors.clone(),
-        cfg,
+        cfg: cfg.clone(),
         fleet: FleetSpec::nvlink(1),
+        scheduler: Scheduler::RoundRobin,
+        progressive: None,
     };
     let n_jobs = spec.jobs().len();
     eprintln!(
@@ -129,12 +139,20 @@ fn main() {
         );
     }
 
+    // ---- mixed-size section: list vs round-robin schedulers ------------
+    let mixed_json = run_mixed_section(opts.scale, &cfg, &gpu_counts);
+
+    // ---- progressive section: prepass-pruned recommend sweep -----------
+    let progressive_json = run_progressive_section(opts.scale, &cfg);
+
     let out = format!(
-        "{{\n  \"scale\": {},\n  \"fields_per_dataset\": {per_dataset},\n  \"jobs\": {n_jobs},\n  \"compressors\": [{}],\n  \"max_lag\": {},\n  \"fleets\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"scale\": {},\n  \"fields_per_dataset\": {per_dataset},\n  \"jobs\": {n_jobs},\n  \"compressors\": [{}],\n  \"max_lag\": {},\n  \"fleets\": [\n{}\n  ],\n  \"mixed_fleets\": [\n{}\n  ],\n  \"progressive\": {}\n}}\n",
         opts.scale,
         compressors.iter().map(|c| format!("\"{}\"", c.label())).collect::<Vec<_>>().join(", "),
         spec.cfg.max_lag,
         fleet_json.join(",\n"),
+        mixed_json.join(",\n"),
+        progressive_json,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
     std::fs::write(path, &out).expect("write BENCH_campaign.json");
@@ -156,4 +174,161 @@ fn main() {
             std::process::exit(3);
         }
     }
+}
+
+/// The deliberately heterogeneous campaign: one time-series hog (8 evolving
+/// Hurricane TC snapshots) next to small single snapshots, so round-robin's
+/// cost-blind placement leaves most groups idle while one grinds the hog.
+fn mixed_fields(scale: usize) -> Vec<FieldRef> {
+    let s2 = scale * 2;
+    vec![
+        FieldRef::timeseries(AppDataset::Hurricane, 9, GenOptions::scaled_xy(scale), 8),
+        FieldRef::new(AppDataset::ScaleLetkf, 0, GenOptions::scaled(s2)),
+        FieldRef::new(AppDataset::Nyx, 3, GenOptions::scaled(s2)),
+        FieldRef::new(AppDataset::Miranda, 0, GenOptions::scaled(s2)),
+        FieldRef::new(AppDataset::Hurricane, 5, GenOptions::scaled(s2)),
+    ]
+}
+
+fn run_mixed_section(scale: usize, cfg: &AssessConfig, gpu_counts: &[u32]) -> Vec<String> {
+    // Slab-tile every job so the scheduler can split the hog across
+    // groups; tiled execution is bit-identical to monolithic.
+    let cfg = AssessConfig {
+        tiling: TilingPolicy::Slabs(32),
+        ..cfg.clone()
+    };
+    let compressors = vec![
+        CompressorSpec::Sz(ErrorBound::Rel(1e-3)),
+        CompressorSpec::Zfp(12.0),
+    ];
+    let fleets: Vec<FleetSpec> = gpu_counts.iter().map(|&g| FleetSpec::nvlink(g)).collect();
+    println!(
+        "\nmixed-size campaign ({} jobs):\n{:<12} {:>5} {:>13} {:>15} {:>10} {:>12}",
+        mixed_fields(scale).len() * compressors.len(),
+        "scheduler",
+        "GPUs",
+        "makespan (s)",
+        "predicted (s)",
+        "pred err",
+        "utilization"
+    );
+    let mut json = Vec::new();
+    let mut by_sched = Vec::new();
+    for scheduler in [Scheduler::RoundRobin, Scheduler::List] {
+        let spec = CampaignSpec {
+            fields: mixed_fields(scale),
+            compressors: compressors.clone(),
+            cfg: cfg.clone(),
+            fleet: FleetSpec::nvlink(1),
+            scheduler,
+            progressive: None,
+        };
+        let reports = spec.run_on_fleets(&fleets).expect("mixed campaign run");
+        for (fleet, report) in fleets.iter().zip(&reports) {
+            let f = &report.fleet;
+            println!(
+                "{:<12} {:>5} {:>13.5} {:>15.5} {:>9.1}% {:>11.1}%",
+                scheduler.label(),
+                fleet.gpus,
+                f.makespan_s,
+                f.predicted_makespan_s,
+                f.makespan_rel_error * 100.0,
+                f.utilization * 100.0,
+            );
+            json.push(format!(
+                "    {{\"scheduler\": \"{}\", \"gpus\": {}, \"makespan_s\": {:.8}, \"predicted_makespan_s\": {:.8}, \"makespan_rel_error\": {:.6}, \"utilization\": {:.6}, \"jobs_per_sec\": {:.6}, \"completed\": {}}}",
+                scheduler.label(),
+                fleet.gpus,
+                f.makespan_s,
+                f.predicted_makespan_s,
+                f.makespan_rel_error,
+                f.utilization,
+                f.jobs_per_sec,
+                report.completed(),
+            ));
+        }
+        by_sched.push(reports);
+    }
+    // The tentpole claims, asserted: the list scheduler keeps 8 GPUs ≥ 90%
+    // busy on this mix, and never loses to round-robin on actual makespan.
+    let (rr, list) = (&by_sched[0], &by_sched[1]);
+    let at8 = &list[gpu_counts.len() - 1].fleet;
+    assert!(
+        at8.utilization >= 0.9,
+        "list scheduler utilization at 8 GPUs must be >= 0.9, got {:.3}",
+        at8.utilization
+    );
+    for (r, l) in rr.iter().zip(list.iter()) {
+        assert!(
+            l.fleet.makespan_s <= r.fleet.makespan_s * 1.05,
+            "list makespan {} must not exceed round-robin {} at {} GPUs",
+            l.fleet.makespan_s,
+            r.fleet.makespan_s,
+            l.fleet.gpus
+        );
+    }
+    json
+}
+
+fn run_progressive_section(scale: usize, cfg: &AssessConfig) -> String {
+    let field = AppDataset::Nyx
+        .generate_field(2, &GenOptions::scaled(scale * 2))
+        .data;
+    let c1 = SzCompressor::new(ErrorBound::Rel(1e-2));
+    let c2 = SzCompressor::new(ErrorBound::Rel(1e-3));
+    let c3 = SzCompressor::new(ErrorBound::Rel(1e-4));
+    let c4 = SzCompressor::new(ErrorBound::Rel(1e-5));
+    let c5 = ZfpLikeCompressor::new(4.0);
+    let c6 = ZfpLikeCompressor::new(16.0);
+    let candidates: Vec<(&str, &dyn Compressor)> = vec![
+        ("sz rel=1e-2", &c1),
+        ("sz rel=1e-3", &c2),
+        ("sz rel=1e-4", &c3),
+        ("sz rel=1e-5", &c4),
+        ("zfp rate=4", &c5),
+        ("zfp rate=16", &c6),
+    ];
+    let criteria = QualityCriteria {
+        min_psnr_db: Some(60.0),
+        ..Default::default()
+    };
+    let executor = CuZc::default();
+    let full = recommend(&field, &candidates, &criteria, cfg, &executor).expect("full sweep");
+    let policy = ProgressivePolicy::new(criteria);
+    let (prog, stats) = recommend_progressive(&field, &candidates, &policy, cfg, &executor)
+        .expect("progressive sweep");
+    let full_bytes = candidates.len() as u64 * field.shape().len() as u64 * 8;
+    println!(
+        "\nprogressive sweep: {}/{} candidates pruned by the prepass, {} -> {} bytes assessed",
+        stats.pruned, stats.candidates, full_bytes, stats.assessed_bytes
+    );
+    // The tentpole's soundness claim, asserted: pruning must not flip any
+    // accept/reject verdict, and it must actually save work.
+    for v in &full {
+        let p = prog
+            .iter()
+            .find(|p| p.name == v.name)
+            .expect("candidate present in both sweeps");
+        assert_eq!(
+            v.passes, p.passes,
+            "progressive verdict flipped for {}: full={} progressive={}",
+            v.name, v.passes, p.passes
+        );
+    }
+    assert!(
+        stats.assessed_bytes < full_bytes,
+        "progressive sweep must reduce assessed bytes: {} vs {full_bytes}",
+        stats.assessed_bytes
+    );
+    assert!(
+        stats.pruned > 0,
+        "expected at least one prepass-decided candidate"
+    );
+    format!(
+        "{{\"candidates\": {}, \"pruned\": {}, \"full_assessed_bytes\": {full_bytes}, \"progressive_assessed_bytes\": {}, \"bytes_saved_fraction\": {:.6}}}",
+        stats.candidates,
+        stats.pruned,
+        stats.assessed_bytes,
+        1.0 - stats.assessed_bytes as f64 / full_bytes as f64,
+    )
 }

@@ -7,6 +7,8 @@
 //! cuzc --input data.f32 --shape 100x500x500 --decompressed data.dec.f32
 //! cuzc --input data.f32 --shape 512x512x512 --config run.cfg
 //! cuzc --demo                        # self-contained demo on synthetic data
+//! cuzc --demo --fleet 8 --scheduler list --progressive
+//!                                    # demo campaign on a simulated fleet
 //! ```
 
 use std::path::PathBuf;
@@ -14,12 +16,14 @@ use std::process::ExitCode;
 use zc_compress::{
     BitGroomCompressor, Compressor, LosslessCompressor, SzCompressor, ZfpLikeCompressor,
 };
+use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, Scheduler};
 use zc_core::config::{parse, CompressorChoice, RunConfig, TilingPolicy};
 use zc_core::exec::make_executor_with_device_mem;
 use zc_core::io::{read_raw, write_pgm_slice, Endianness};
 use zc_core::metrics::{Metric, MetricSelection};
 use zc_core::output::{autocorr_csv, histogram_csv, scalars_csv};
 use zc_core::plan::AssessPlan;
+use zc_core::recommend::{ProgressivePolicy, QualityCriteria};
 use zc_tensor::{Shape, Tensor};
 
 struct Args {
@@ -37,6 +41,9 @@ struct Args {
     device_mem: Option<u64>,
     slabs: Option<TilingPolicy>,
     demo: bool,
+    fleet: Option<u32>,
+    scheduler: Scheduler,
+    progressive: bool,
 }
 
 const USAGE: &str = "usage: cuzc [options]
@@ -56,7 +63,13 @@ const USAGE: &str = "usage: cuzc [options]
   --device-mem <size>     simulated device memory (bytes, or KiB/MiB/GiB
                           suffix); larger field pairs stream out-of-core
   --slabs <n|auto|mono>   slab-tiling policy (overrides the config)
-  --demo                  run on built-in synthetic data (no files needed)";
+  --demo                  run on built-in synthetic data (no files needed)
+  --fleet <gpus>          with --demo: run a mixed-size demo campaign on a
+                          simulated fleet of this many GPUs
+  --scheduler <policy>    campaign job placement: round-robin (default) or
+                          list (cost-model LPT with oversized-job splitting)
+  --progressive           campaign prepass: early-exit jobs whose strided
+                          subsample is decidable far from the thresholds";
 
 fn parse_shape(s: &str) -> Result<Shape, String> {
     let dims: Result<Vec<usize>, _> = s.split('x').map(|p| p.parse::<usize>()).collect();
@@ -132,6 +145,9 @@ fn parse_args() -> Result<Args, String> {
         device_mem: None,
         slabs: None,
         demo: false,
+        fleet: None,
+        scheduler: Scheduler::default(),
+        progressive: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -151,6 +167,17 @@ fn parse_args() -> Result<Args, String> {
             "--device-mem" => args.device_mem = Some(parse_size(&val()?)?),
             "--slabs" => args.slabs = Some(parse_slabs(&val()?)?),
             "--demo" => args.demo = true,
+            "--fleet" => {
+                let v = val()?;
+                args.fleet = Some(
+                    v.parse::<u32>()
+                        .ok()
+                        .filter(|&g| g > 0)
+                        .ok_or_else(|| format!("bad fleet size '{v}' (positive GPU count)"))?,
+                );
+            }
+            "--scheduler" => args.scheduler = Scheduler::parse(&val()?)?,
+            "--progressive" => args.progressive = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
@@ -190,6 +217,14 @@ fn run() -> Result<ExitCode, String> {
     if args.sanitize {
         // ZC_SANITIZE=1 enables the same mode without the flag.
         zc_gpusim::sanitizer::set_enabled(true);
+    }
+    if let Some(gpus) = args.fleet {
+        if !args.demo {
+            return Err(format!(
+                "--fleet runs the built-in demo campaign; add --demo\n{USAGE}"
+            ));
+        }
+        return run_demo_campaign(gpus, &args, &run);
     }
 
     // Acquire the original field.
@@ -366,7 +401,12 @@ fn run() -> Result<ExitCode, String> {
         eprintln!("wrote {} (slice z={z})", pgm.display());
     }
 
-    // Sanitizer verdict: drain the global sink and fail loudly on hazards.
+    sanitizer_verdict()
+}
+
+/// Drain the sanitizer sink and fail loudly on hazards (exit 3); a no-op
+/// success when the sanitizer is off.
+fn sanitizer_verdict() -> Result<ExitCode, String> {
     if zc_gpusim::sanitizer::enabled() {
         let s = zc_gpusim::sanitizer::drain();
         for r in &s.reports {
@@ -387,6 +427,55 @@ fn run() -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The `--demo --fleet N` mode: a mixed-size campaign over the built-in
+/// catalog — a multi-step time series next to snapshots a fraction of its
+/// size — sharded by the selected scheduler over a simulated NVLink fleet.
+fn run_demo_campaign(gpus: u32, args: &Args, run: &RunConfig) -> Result<ExitCode, String> {
+    use zc_compress::{CompressorSpec, ErrorBound};
+    use zc_data::{AppDataset, GenOptions};
+    let spec = CampaignSpec {
+        fields: vec![
+            FieldRef::timeseries(AppDataset::Hurricane, 9, GenOptions::scaled(16), 4),
+            FieldRef::new(AppDataset::Nyx, 2, GenOptions::scaled(16)),
+            FieldRef::new(AppDataset::Miranda, 0, GenOptions::scaled(16)),
+            FieldRef::new(AppDataset::Hurricane, 5, GenOptions::scaled(16)),
+        ],
+        compressors: vec![
+            CompressorSpec::Sz(ErrorBound::Rel(1e-3)),
+            CompressorSpec::Zfp(12.0),
+        ],
+        cfg: zc_core::AssessConfig {
+            max_lag: 3,
+            bins: 32,
+            tiling: run.assess.tiling,
+            ..Default::default()
+        },
+        fleet: FleetSpec::nvlink(gpus),
+        scheduler: args.scheduler,
+        // The demo bar sits far below SZ-1e-3 / ZFP-12 quality, so every
+        // job's prepass is decidable and the campaign shows the prune.
+        progressive: args.progressive.then(|| {
+            ProgressivePolicy::new(QualityCriteria {
+                min_psnr_db: Some(40.0),
+                ..Default::default()
+            })
+        }),
+    };
+    eprintln!(
+        "demo campaign: {} jobs on {gpus} simulated GPUs ({} scheduler{})",
+        spec.fields.len() * spec.compressors.len(),
+        args.scheduler.label(),
+        if args.progressive {
+            ", progressive prepass"
+        } else {
+            ""
+        }
+    );
+    let report = spec.run().map_err(|e| format!("campaign failed: {e}"))?;
+    print!("{}", report.render_table());
+    sanitizer_verdict()
 }
 
 fn main() -> ExitCode {

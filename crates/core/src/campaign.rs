@@ -32,9 +32,11 @@ mod shard;
 
 pub use job::{FieldRef, JobMetrics, JobOutcome, JobRecord, JobSpec};
 pub use report::{CampaignReport, EngineBusy, FleetUtilization, PatternTotals};
-pub use shard::{FleetSpec, LinkKind, ShardPlan};
+pub use shard::{FleetSpec, LinkKind, Scheduler, ShardPlan};
 
 use crate::config::AssessConfig;
+use crate::plan::{estimate_job_cost, resolve_slabs, AssessPlan};
+use crate::recommend::ProgressivePolicy;
 use zc_compress::CompressorSpec;
 use zc_data::{AppDataset, GenOptions};
 
@@ -51,6 +53,12 @@ pub struct CampaignSpec {
     pub cfg: AssessConfig,
     /// The simulated GPU fleet.
     pub fleet: FleetSpec,
+    /// Job-placement policy over the fleet's device groups.
+    pub scheduler: Scheduler,
+    /// When set, every job runs the strided-subsample prepass first and
+    /// early-exits (metrics marked subsampled) if the policy already
+    /// decides its verdict.
+    pub progressive: Option<ProgressivePolicy>,
 }
 
 /// Campaign-level errors (per-job failures are *not* errors — they are
@@ -84,17 +92,15 @@ impl CampaignSpec {
         fleet: FleetSpec,
     ) -> Self {
         let fields = zc_data::catalog_fields(datasets)
-            .map(|(dataset, index, _)| FieldRef {
-                dataset,
-                index,
-                opts,
-            })
+            .map(|(dataset, index, _)| FieldRef::new(dataset, index, opts))
             .collect();
         CampaignSpec {
             fields,
             compressors,
             cfg,
             fleet,
+            scheduler: Scheduler::default(),
+            progressive: None,
         }
     }
 
@@ -169,12 +175,14 @@ impl CampaignSpec {
                 &jobs[i],
                 &executor,
                 &self.cfg,
+                self.progressive.as_ref(),
             )
         });
+        let (costs, splittable) = self.job_costs();
         Ok(fleets
             .iter()
             .map(|fleet| {
-                let plan = ShardPlan::round_robin(jobs.len(), fleet.groups());
+                let plan = self.scheduler.plan(&costs, &splittable, fleet.groups());
                 let records = jobs
                     .iter()
                     .zip(&outcomes)
@@ -185,9 +193,36 @@ impl CampaignSpec {
                         outcome: outcome.clone(),
                     })
                     .collect();
-                CampaignReport::aggregate(records, fleet, &self.cfg)
+                CampaignReport::aggregate(records, fleet, &self.cfg, &plan)
             })
             .collect())
+    }
+
+    /// Predicted per-job costs (seconds) and split limits (resolved slab
+    /// counts) the scheduler plans from — derived from each field's shape
+    /// and the lowered pass DAG alone, before any field data exists. Jobs
+    /// sharing a field share a cost (the codec config does not change the
+    /// modeled assessment work).
+    pub fn job_costs(&self) -> (Vec<f64>, Vec<usize>) {
+        let plan_ir = AssessPlan::lower(&self.cfg);
+        let link = self.fleet.link.model(self.fleet.gpus_per_job);
+        let per_field: Vec<(f64, usize)> = self
+            .fields
+            .iter()
+            .map(|f| {
+                let shape = f.shape();
+                let est =
+                    estimate_job_cost(&plan_ir, shape, &self.cfg, self.fleet.gpus_per_job, &link);
+                let pair_bytes = shape.len() as u64 * 4 * 2;
+                let planes = (shape.nz() * shape.nw()).max(1);
+                let slabs = resolve_slabs(self.cfg.tiling, pair_bytes, planes, None).unwrap_or(1);
+                (est.seconds, slabs)
+            })
+            .collect();
+        let jobs = self.jobs();
+        let costs = jobs.iter().map(|j| per_field[j.field_index].0).collect();
+        let splittable = jobs.iter().map(|j| per_field[j.field_index].1).collect();
+        (costs, splittable)
     }
 }
 

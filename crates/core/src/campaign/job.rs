@@ -2,16 +2,18 @@
 //! its isolated outcome.
 
 use crate::config::AssessConfig;
-use crate::exec::{Executor, MultiCuZc, PatternRun, PatternTimes};
+use crate::exec::{Assessment, Confidence, Executor, MultiCuZc, PatternRun, PatternTimes};
 use crate::metrics::Metric;
 use crate::plan::AssessPlan;
+use crate::recommend::ProgressivePolicy;
 use zc_compress::CompressorSpec;
 use zc_data::{AppDataset, Field, GenOptions};
 use zc_gpusim::EndToEnd;
-use zc_tensor::Tensor;
+use zc_tensor::{Shape, Tensor};
 
 /// A catalog field by reference: dataset + roster index + generation
-/// options. Cheap to clone; the data is synthesized on demand.
+/// options (+ an optional time-series extent). Cheap to clone; the data is
+/// synthesized on demand.
 #[derive(Clone, Debug)]
 pub struct FieldRef {
     /// Source dataset.
@@ -20,22 +22,69 @@ pub struct FieldRef {
     pub index: usize,
     /// Generation options (scale, seed).
     pub opts: GenOptions,
+    /// Time steps along the 4th axis (1 = a single 3D snapshot; >1
+    /// synthesizes an evolving series — the campaign's genuinely
+    /// heterogeneous "big" jobs).
+    pub steps: usize,
 }
 
 impl FieldRef {
+    /// A single-snapshot field reference.
+    pub fn new(dataset: AppDataset, index: usize, opts: GenOptions) -> Self {
+        FieldRef {
+            dataset,
+            index,
+            opts,
+            steps: 1,
+        }
+    }
+
+    /// A time-series reference: `steps` evolving snapshots stacked along
+    /// the 4th axis.
+    pub fn timeseries(dataset: AppDataset, index: usize, opts: GenOptions, steps: usize) -> Self {
+        FieldRef {
+            dataset,
+            index,
+            opts,
+            steps: steps.max(1),
+        }
+    }
+
     /// Field name within the dataset roster.
     pub fn name(&self) -> &'static str {
         self.dataset.field_name(self.index)
     }
 
-    /// `dataset/field` display name (e.g. `NYX/temperature`).
+    /// `dataset/field` display name (e.g. `NYX/temperature`), with an
+    /// `[xN]` suffix for time series.
     pub fn qualified_name(&self) -> String {
-        format!("{}/{}", self.dataset.name(), self.name())
+        if self.steps > 1 {
+            format!("{}/{}[x{}]", self.dataset.name(), self.name(), self.steps)
+        } else {
+            format!("{}/{}", self.dataset.name(), self.name())
+        }
+    }
+
+    /// The shape this reference will generate — available without
+    /// synthesizing the data (the cost estimator prices jobs from it).
+    pub fn shape(&self) -> Shape {
+        let s = self.dataset.shape(&self.opts);
+        if self.steps > 1 {
+            Shape::new(&[s.nx(), s.ny(), s.nz(), self.steps])
+                .expect("3D roster shape extends to 4D")
+        } else {
+            s
+        }
     }
 
     /// Synthesize the field data.
     pub fn generate(&self) -> Field {
-        self.dataset.generate_field(self.index, &self.opts)
+        if self.steps > 1 {
+            self.dataset
+                .generate_timeseries(self.index, self.steps, &self.opts)
+        } else {
+            self.dataset.generate_field(self.index, &self.opts)
+        }
     }
 }
 
@@ -76,6 +125,12 @@ pub struct JobMetrics {
     /// Modeled end-to-end time (transfer legs + compute) as overlapped
     /// stream makespan vs serialized sum.
     pub e2e: Option<EndToEnd>,
+    /// Whether the metrics come from a full-field assessment or a
+    /// progressive subsample prepass that early-exited.
+    pub confidence: Confidence,
+    /// Bytes of field data the assessment actually read (per input field;
+    /// a full job reads 8·len, a pruned one only its subsample).
+    pub assessed_bytes: u64,
 }
 
 /// What happened to a job. Failures are data, not control flow: one failed
@@ -111,26 +166,66 @@ impl JobRecord {
 
 /// Execute one job: codec round-trip, then lower the assessment plan and
 /// run it on the group executor. Every error is captured into the outcome.
+///
+/// With a progressive policy, a strided-subsample prepass runs first; if
+/// its estimates already decide the job's verdict far from every
+/// threshold, the full assessment is skipped and the metrics are the
+/// prepass estimates, marked [`Confidence::Subsampled`].
 pub(super) fn run_job(
     orig: &Tensor<f32>,
     spec: &JobSpec,
     executor: &MultiCuZc,
     cfg: &AssessConfig,
+    progressive: Option<&ProgressivePolicy>,
 ) -> JobOutcome {
     let codec = spec.compressor.build();
     let (dec, stats) = match codec.roundtrip(orig) {
         Ok(r) => r,
         Err(e) => return JobOutcome::Failed(format!("codec: {e}")),
     };
+    let pair_bytes = orig.shape().len() as u64 * 8;
+    let mut prepass_run = None;
+    if let Some(policy) = progressive {
+        let run = match executor.prepass(orig, &dec, policy.stride) {
+            Ok(r) => r,
+            Err(e) => return JobOutcome::Failed(format!("prepass: {e}")),
+        };
+        if policy.decide(&run.estimate).is_decided() {
+            let a = Assessment::from_prepass(orig.shape(), &run, cfg);
+            return JobOutcome::Done(Box::new(metrics_from(
+                a,
+                stats,
+                run.estimate.sampled_bytes(),
+            )));
+        }
+        prepass_run = Some(run);
+    }
     // Jobs submit plans, not ad-hoc metric lists: the lowered pass DAG is
     // what the device group schedules.
     let plan = AssessPlan::lower(cfg);
-    let a = match executor.run_plan(&plan, orig, &dec, cfg) {
+    let mut a = match executor.run_plan(&plan, orig, &dec, cfg) {
         Ok(a) => a,
         Err(e) => return JobOutcome::Failed(format!("assess: {e}")),
     };
+    let mut assessed = pair_bytes;
+    if let Some(run) = prepass_run {
+        // The frontier case pays for both: the prepass charge rides on top
+        // of the full assessment it failed to avoid.
+        a.modeled_seconds += run.modeled_seconds;
+        a.pattern_times.p1 += run.modeled_seconds;
+        assessed += run.estimate.sampled_bytes();
+    }
+    JobOutcome::Done(Box::new(metrics_from(a, stats, assessed)))
+}
+
+/// Fold an assessment + codec stats into the campaign metric snapshot.
+fn metrics_from(
+    a: Assessment,
+    stats: zc_compress::CompressionStats,
+    assessed_bytes: u64,
+) -> JobMetrics {
     let report = a.report.with_compression(stats);
-    JobOutcome::Done(Box::new(JobMetrics {
+    JobMetrics {
         psnr: report.scalar(Metric::Psnr).unwrap_or(f64::NAN),
         ssim: report.scalar(Metric::Ssim).unwrap_or(f64::NAN),
         mse: report.scalar(Metric::Mse).unwrap_or(f64::NAN),
@@ -143,7 +238,9 @@ pub(super) fn run_job(
         pattern_times: a.pattern_times,
         runs: a.runs,
         e2e: a.e2e,
-    }))
+        confidence: a.confidence,
+        assessed_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -152,11 +249,7 @@ mod tests {
     use zc_compress::ErrorBound;
 
     fn job(compressor: CompressorSpec) -> (Field, JobSpec) {
-        let field = FieldRef {
-            dataset: AppDataset::Miranda,
-            index: 0,
-            opts: GenOptions::scaled(32),
-        };
+        let field = FieldRef::new(AppDataset::Miranda, 0, GenOptions::scaled(32));
         let data = field.generate();
         (
             data,
@@ -177,7 +270,7 @@ mod tests {
             bins: 32,
             ..Default::default()
         };
-        let out = run_job(&f.data, &spec, &MultiCuZc::nvlink(1), &cfg);
+        let out = run_job(&f.data, &spec, &MultiCuZc::nvlink(1), &cfg, None);
         let JobOutcome::Done(m) = out else {
             panic!("job failed")
         };
@@ -185,13 +278,15 @@ mod tests {
         assert!(m.compression_ratio > 1.0);
         assert!(m.modeled_seconds > 0.0);
         assert!(!m.runs.is_empty());
+        assert_eq!(m.confidence, Confidence::Full);
+        assert_eq!(m.assessed_bytes, f.data.shape().len() as u64 * 8);
     }
 
     #[test]
     fn codec_failure_is_captured_not_propagated() {
         let (f, spec) = job(CompressorSpec::FailDecode);
         let cfg = AssessConfig::default();
-        let out = run_job(&f.data, &spec, &MultiCuZc::nvlink(1), &cfg);
+        let out = run_job(&f.data, &spec, &MultiCuZc::nvlink(1), &cfg, None);
         let JobOutcome::Failed(msg) = out else {
             panic!("expected failure")
         };

@@ -2,7 +2,7 @@
 //! per-field metrics table.
 
 use super::job::JobRecord;
-use super::shard::FleetSpec;
+use super::shard::{FleetSpec, ShardPlan};
 use crate::config::AssessConfig;
 use crate::exec::PatternRun;
 use crate::metrics::Pattern;
@@ -43,10 +43,13 @@ impl PatternTotals {
 /// Per-engine busy seconds summed across every completed job's stream
 /// timeline — the campaign-level view of [`zc_gpusim::stream::Timeline::engine_busy_s`].
 ///
-/// The fractions divide by the summed per-job stream makespans, so they
-/// say *what the devices were doing while busy*: a campaign whose idle is
-/// transfer-bound shows a high H2D fraction with compute far below 1.0; a
-/// compute-bound one shows the opposite.
+/// The fractions divide by the *schedule's* device-group-seconds
+/// (`groups × makespan`), so they are recomputed per fleet: the same jobs
+/// re-sharded over more groups with less balance show every engine less
+/// busy. (An earlier version summed the fleet-independent per-job
+/// makespans into `span_s`, which made the fractions identical across
+/// fleet sizes — the regression `engine_fractions_are_recomputed_per_schedule`
+/// pins the fix.)
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EngineBusy {
     /// Host-to-device upload seconds.
@@ -55,8 +58,8 @@ pub struct EngineBusy {
     pub compute_s: f64,
     /// Device-to-host partial-drain seconds.
     pub d2h_s: f64,
-    /// Sum of the per-job overlapped stream makespans (the denominator of
-    /// the fraction methods).
+    /// Total device-group-seconds of the schedule (`groups × makespan`) —
+    /// the denominator of the fraction methods.
     pub span_s: f64,
 }
 
@@ -65,7 +68,6 @@ impl EngineBusy {
         self.h2d_s += e.h2d_s;
         self.compute_s += e.compute_s;
         self.d2h_s += e.d2h_s;
-        self.span_s += e.overlapped_s;
     }
 
     fn fraction(&self, busy: f64) -> f64 {
@@ -119,6 +121,16 @@ pub struct FleetUtilization {
     pub assessed_gbs: f64,
     /// Per-engine busy split of the jobs' stream timelines.
     pub engines: EngineBusy,
+    /// The scheduler's cost-model-predicted makespan for this shard plan
+    /// (seconds; 0 when the plan carried no prediction).
+    pub predicted_makespan_s: f64,
+    /// Relative prediction error, `(predicted − actual) / actual` (0 when
+    /// either side is unavailable).
+    pub makespan_rel_error: f64,
+    /// Bytes of field data the assessments actually read: both fields in
+    /// full for full-resolution jobs, the subsample only for jobs that
+    /// early-exited through the progressive prepass.
+    pub assessed_bytes: u64,
 }
 
 /// The aggregate result of a campaign run.
@@ -139,11 +151,18 @@ fn result_bytes(cfg: &AssessConfig) -> u64 {
 }
 
 impl CampaignReport {
-    /// Aggregate job records into the campaign report.
+    /// Aggregate job records into the campaign report under a shard plan.
+    ///
+    /// A job's busy contribution to a group is its *overlapped stream
+    /// makespan* (upload + compute + drain — the whole span the device
+    /// group is occupied; falls back to compute-only for host executors),
+    /// scaled by the group's share of the job when the scheduler split it
+    /// along its slabs, plus the per-part result gather.
     pub(super) fn aggregate(
         jobs: Vec<JobRecord>,
         fleet: &FleetSpec,
         cfg: &AssessConfig,
+        plan: &ShardPlan,
     ) -> CampaignReport {
         let groups = fleet.groups() as usize;
         let link = fleet.link.model(fleet.gpus);
@@ -153,15 +172,24 @@ impl CampaignReport {
         let mut engines = EngineBusy::default();
         let mut completed = 0usize;
         let mut payload_bytes = 0u64;
+        let mut assessed_bytes = 0u64;
         for r in &jobs {
             if let Some(m) = r.metrics() {
-                busy_s[r.group as usize] += m.modeled_seconds + gather_s;
+                let span = m
+                    .e2e
+                    .as_ref()
+                    .map(|e| e.overlapped_s)
+                    .unwrap_or(m.modeled_seconds);
+                for &(g, share) in plan.shares_of(r.spec.id) {
+                    busy_s[g as usize] += share * span + gather_s;
+                }
                 totals.absorb(&m.runs);
                 if let Some(e2e) = &m.e2e {
                     engines.absorb(e2e);
                 }
                 completed += 1;
-                payload_bytes += r.spec.field.dataset.shape(&r.spec.field.opts).len() as u64 * 4;
+                payload_bytes += r.spec.field.shape().len() as u64 * 4;
+                assessed_bytes += m.assessed_bytes;
             }
         }
         let makespan_s = busy_s.iter().copied().fold(0.0, f64::max);
@@ -173,6 +201,15 @@ impl CampaignReport {
             )
         } else {
             (0.0, 0.0, 0.0)
+        };
+        // The engines' denominator is the schedule's total device-group
+        // seconds, so the busy fractions are per-fleet quantities.
+        engines.span_s = groups as f64 * makespan_s;
+        let predicted_makespan_s = plan.predicted_makespan();
+        let makespan_rel_error = if makespan_s > 0.0 && predicted_makespan_s > 0.0 {
+            (predicted_makespan_s - makespan_s) / makespan_s
+        } else {
+            0.0
         };
         CampaignReport {
             jobs,
@@ -186,6 +223,9 @@ impl CampaignReport {
                 jobs_per_sec,
                 assessed_gbs,
                 engines,
+                predicted_makespan_s,
+                makespan_rel_error,
+                assessed_bytes,
             },
         }
     }
@@ -216,7 +256,7 @@ impl CampaignReport {
         for j in &self.jobs {
             match &j.outcome {
                 super::job::JobOutcome::Done(m) => out.push_str(&format!(
-                    "{:<28} {:<18} {:>4} {:>9.3} {:>8.5} {:>8.2} {:>11.5}\n",
+                    "{:<28} {:<18} {:>4} {:>9.3} {:>8.5} {:>8.2} {:>11.5}{}\n",
                     j.spec.field.qualified_name(),
                     j.spec.compressor.label(),
                     j.group,
@@ -224,6 +264,11 @@ impl CampaignReport {
                     m.ssim,
                     m.compression_ratio,
                     m.modeled_seconds,
+                    if m.confidence == crate::exec::Confidence::Subsampled {
+                        " (subsampled)"
+                    } else {
+                        ""
+                    },
                 )),
                 super::job::JobOutcome::Failed(msg) => out.push_str(&format!(
                     "{:<28} {:<18} {:>4} FAILED: {msg}\n",
@@ -243,6 +288,13 @@ impl CampaignReport {
             f.jobs_per_sec,
             f.assessed_gbs,
         ));
+        if f.predicted_makespan_s > 0.0 {
+            out.push_str(&format!(
+                "schedule: predicted makespan {:.5} s ({:+.1}% vs actual)\n",
+                f.predicted_makespan_s,
+                f.makespan_rel_error * 100.0,
+            ));
+        }
         let e = &f.engines;
         out.push_str(&format!(
             "engines: h2d {:.1}% | compute {:.1}% | d2h {:.1}% busy ({}-bound)\n",
@@ -328,5 +380,26 @@ mod tests {
         // transfer-bound — exactly the diagnosis the split exists to make.
         assert!(e.transfer_bound());
         assert!(e.h2d_fraction() > e.compute_fraction());
+    }
+
+    #[test]
+    fn engine_fractions_are_recomputed_per_schedule() {
+        // Same jobs, two fleets: engine *busy* totals are identical, but
+        // the span each fraction divides by is the schedule's, so the
+        // fractions must differ. (A past bug summed per-job spans during
+        // absorb, which made every fleet report the same fractions.)
+        let s = spec(FleetSpec::nvlink(1));
+        let reports = s
+            .run_on_fleets(&[FleetSpec::nvlink(1), FleetSpec::nvlink(8)])
+            .unwrap();
+        let (one, eight) = (&reports[0].fleet.engines, &reports[1].fleet.engines);
+        assert_eq!(one.h2d_s.to_bits(), eight.h2d_s.to_bits());
+        assert_eq!(one.compute_s.to_bits(), eight.compute_s.to_bits());
+        // 8 groups holding 6 jobs leave engines idle that a single group
+        // keeps saturated: every fraction strictly drops.
+        assert!(eight.span_s > one.span_s);
+        assert!(eight.compute_fraction() < one.compute_fraction());
+        assert!(eight.h2d_fraction() < one.h2d_fraction());
+        assert!(eight.d2h_fraction() < one.d2h_fraction());
     }
 }

@@ -1,13 +1,20 @@
 //! Fleet description and the static shard plan.
 //!
 //! Sharding policy: the fleet's `gpus` devices are partitioned into
-//! `gpus / gpus_per_job` fixed device groups; campaign jobs are assigned
-//! round-robin by job id (`group = id % groups`). The plan is a pure
-//! function of `(job count, fleet)` — no load feedback, no work stealing —
-//! so a campaign schedules identically on every run and at every host
-//! worker count. Static partitioning costs some balance when job times
-//! vary, which the fleet-utilization section of the report makes visible
-//! instead of hiding.
+//! `gpus / gpus_per_job` fixed device groups; a [`Scheduler`] assigns the
+//! campaign jobs to groups *statically* before anything runs. Both
+//! policies are pure functions of their inputs — no load feedback, no work
+//! stealing — so a campaign schedules identically on every run and at
+//! every host worker count:
+//!
+//! * [`Scheduler::RoundRobin`] — the original cost-blind assignment,
+//!   `group = id % groups`. Balance degrades when job costs vary.
+//! * [`Scheduler::List`] — cost-model-driven LPT list scheduling: jobs are
+//!   placed longest-predicted-first onto the least-loaded group, and a job
+//!   predicted longer than the balanced per-group share is *split* across
+//!   groups along its slab tiling (each group assesses a share of the
+//!   slabs). The result is never predicted-worse than round-robin: the
+//!   scheduler prices both plans and keeps the better one.
 
 use crate::exec::{CuZc, MultiCuZc};
 use zc_gpusim::MultiGpuModel;
@@ -110,26 +117,180 @@ impl FleetSpec {
     }
 }
 
-/// The static job → device-group assignment.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ShardPlan {
-    groups: u32,
-    assignments: Vec<u32>,
+/// Campaign job-placement policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Cost-blind static round-robin by job id (the original policy).
+    #[default]
+    RoundRobin,
+    /// Cost-model-driven LPT list scheduling with oversized-job splitting;
+    /// falls back to the round-robin assignment when that one's predicted
+    /// makespan is lower, so `List` is never predicted-worse.
+    List,
 }
 
-impl ShardPlan {
-    /// Deterministic round-robin: job `i` runs on group `i % groups`.
-    pub fn round_robin(jobs: usize, groups: u32) -> ShardPlan {
-        assert!(groups >= 1, "shard plan needs at least one group");
-        ShardPlan {
-            groups,
-            assignments: (0..jobs).map(|i| (i % groups as usize) as u32).collect(),
+impl Scheduler {
+    /// Display label (also the CLI spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheduler::RoundRobin => "round-robin",
+            Scheduler::List => "list",
         }
     }
 
-    /// Group of job `i`.
+    /// Parse the CLI spelling.
+    pub fn parse(s: &str) -> Result<Scheduler, String> {
+        match s {
+            "round-robin" => Ok(Scheduler::RoundRobin),
+            "list" => Ok(Scheduler::List),
+            other => Err(format!(
+                "unknown scheduler '{other}' (expected round-robin|list)"
+            )),
+        }
+    }
+
+    /// Build the shard plan for `costs[i]` = job *i*'s predicted seconds
+    /// and `splittable[i]` = the most parts job *i* can split into (its
+    /// resolved slab count; 1 = unsplittable).
+    pub fn plan(self, costs: &[f64], splittable: &[usize], groups: u32) -> ShardPlan {
+        match self {
+            Scheduler::RoundRobin => ShardPlan::round_robin_priced(costs, groups),
+            Scheduler::List => {
+                let lpt = ShardPlan::lpt(costs, splittable, groups);
+                let rr = ShardPlan::round_robin_priced(costs, groups);
+                if lpt.predicted_makespan() <= rr.predicted_makespan() {
+                    lpt
+                } else {
+                    rr
+                }
+            }
+        }
+    }
+}
+
+/// The static job → device-group assignment. Each job maps to one or more
+/// `(group, share)` parts; shares sum to 1 per job (a job split along its
+/// slab tiling contributes `share × cost` of load to each group it lands
+/// on).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardPlan {
+    groups: u32,
+    assignments: Vec<Vec<(u32, f64)>>,
+    predicted_busy: Vec<f64>,
+}
+
+impl ShardPlan {
+    /// Deterministic round-robin with unit job costs: job `i` runs whole
+    /// on group `i % groups`.
+    pub fn round_robin(jobs: usize, groups: u32) -> ShardPlan {
+        ShardPlan::round_robin_priced(&vec![1.0; jobs], groups)
+    }
+
+    /// Round-robin assignment priced under per-job predicted costs — the
+    /// same placement as [`ShardPlan::round_robin`], with the predicted
+    /// per-group load recorded for makespan comparison.
+    pub fn round_robin_priced(costs: &[f64], groups: u32) -> ShardPlan {
+        assert!(groups >= 1, "shard plan needs at least one group");
+        let mut predicted_busy = vec![0.0f64; groups as usize];
+        let assignments = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let g = i % groups as usize;
+                predicted_busy[g] += c.max(0.0);
+                vec![(g as u32, 1.0)]
+            })
+            .collect();
+        ShardPlan {
+            groups,
+            assignments,
+            predicted_busy,
+        }
+    }
+
+    /// Longest-predicted-first list scheduling: jobs sorted by descending
+    /// cost (ties by ascending id) are placed on the least-loaded group. A
+    /// job whose cost exceeds the balanced per-group share — which would
+    /// bound the makespan all by itself — splits into up to
+    /// `min(splittable[i], 4 × groups)` even slab parts, each
+    /// list-scheduled independently.
+    fn lpt(costs: &[f64], splittable: &[usize], groups: u32) -> ShardPlan {
+        assert!(groups >= 1, "shard plan needs at least one group");
+        let g = groups as usize;
+        let total: f64 = costs.iter().map(|c| c.max(0.0)).sum();
+        let ideal = total / g as f64;
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by(|&a, &b| {
+            costs[b]
+                .partial_cmp(&costs[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut load = vec![0.0f64; g];
+        let mut assignments: Vec<Vec<(u32, f64)>> = vec![Vec::new(); costs.len()];
+        for i in order {
+            let c = costs[i].max(0.0);
+            // A job may span more groups than exist — parts landing on the
+            // same group merge — so the cap is the slab count, loosely
+            // bounded at 4·groups to keep part bookkeeping small.
+            let max_parts = splittable.get(i).copied().unwrap_or(1).clamp(1, 4 * g);
+            let parts = if c > ideal && ideal > 0.0 && max_parts > 1 {
+                // Aim for parts no bigger than an eighth of the balanced
+                // per-group share: the greedy placement's final imbalance
+                // is bounded by one part, so part size directly caps the
+                // utilization loss the splittable hogs can cause.
+                ((8.0 * c / ideal).ceil() as usize).min(max_parts)
+            } else {
+                1
+            };
+            for p in 0..parts {
+                // Exact unit sum: the last part absorbs the rounding.
+                let share = if p + 1 == parts {
+                    1.0 - (parts as f64 - 1.0) / parts as f64
+                } else {
+                    1.0 / parts as f64
+                };
+                let least = (0..g)
+                    .min_by(|&a, &b| {
+                        load[a]
+                            .partial_cmp(&load[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("at least one group");
+                load[least] += c * share;
+                // Merge parts landing on the same group.
+                match assignments[i]
+                    .iter_mut()
+                    .find(|(grp, _)| *grp == least as u32)
+                {
+                    Some((_, s)) => *s += share,
+                    None => assignments[i].push((least as u32, share)),
+                }
+            }
+        }
+        ShardPlan {
+            groups,
+            assignments,
+            predicted_busy: load,
+        }
+    }
+
+    /// Primary group of job `i`: the group holding its largest share
+    /// (first-assigned on ties) — what the report displays per job.
     pub fn group_of(&self, i: usize) -> u32 {
         self.assignments[i]
+            .iter()
+            .fold(None::<(u32, f64)>, |best, &(g, s)| match best {
+                Some((_, bs)) if bs >= s => best,
+                _ => Some((g, s)),
+            })
+            .map(|(g, _)| g)
+            .unwrap_or(0)
+    }
+
+    /// The `(group, share)` parts of job `i` (shares sum to 1).
+    pub fn shares_of(&self, i: usize) -> &[(u32, f64)] {
+        &self.assignments[i]
     }
 
     /// Number of groups.
@@ -137,11 +298,22 @@ impl ShardPlan {
         self.groups
     }
 
-    /// Jobs assigned to each group.
+    /// Predicted busy seconds per group under the costs this plan was
+    /// built from (unit costs for [`ShardPlan::round_robin`]).
+    pub fn predicted_busy(&self) -> &[f64] {
+        &self.predicted_busy
+    }
+
+    /// Predicted makespan: the busiest group's predicted load.
+    pub fn predicted_makespan(&self) -> f64 {
+        self.predicted_busy.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Jobs assigned to each group (by primary group).
     pub fn per_group_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.groups as usize];
-        for &g in &self.assignments {
-            counts[g as usize] += 1;
+        for i in 0..self.assignments.len() {
+            counts[self.group_of(i) as usize] += 1;
         }
         counts
     }
@@ -164,6 +336,52 @@ mod tests {
     fn empty_plan_is_fine() {
         let plan = ShardPlan::round_robin(0, 8);
         assert_eq!(plan.per_group_counts(), vec![0; 8]);
+    }
+
+    #[test]
+    fn lpt_beats_round_robin_on_a_skewed_campaign() {
+        // One huge job + seven tiny ones on 4 groups: round-robin piles
+        // two jobs per group regardless of cost; LPT isolates the hog.
+        let costs = [8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let ones = vec![1usize; costs.len()];
+        let rr = Scheduler::RoundRobin.plan(&costs, &ones, 4);
+        let list = Scheduler::List.plan(&costs, &ones, 4);
+        assert!(list.predicted_makespan() < rr.predicted_makespan());
+        assert_eq!(list.predicted_makespan(), 8.0);
+    }
+
+    #[test]
+    fn oversized_jobs_split_along_their_slabs() {
+        // A 12-second job on 4 groups (ideal share 15/4): unsplittable it
+        // bounds the makespan at 12; split across its 6 slabs it doesn't.
+        let costs = [12.0, 1.0, 1.0, 1.0];
+        let whole = Scheduler::List.plan(&costs, &[1, 1, 1, 1], 4);
+        assert_eq!(whole.predicted_makespan(), 12.0);
+        let split = Scheduler::List.plan(&costs, &[6, 1, 1, 1], 4);
+        assert!(split.predicted_makespan() < 12.0);
+        let shares: f64 = split.shares_of(0).iter().map(|(_, s)| s).sum();
+        assert!((shares - 1.0).abs() < 1e-12);
+        assert!(split.shares_of(0).len() > 1);
+    }
+
+    #[test]
+    fn list_is_never_predicted_worse_than_round_robin() {
+        // The arrival pattern where pure LPT loses to round-robin (RR gets
+        // 2+2+2 / 3+3 = 6, LPT gets 3+3 … 3+2+2 = 7): the fallback must
+        // keep the round-robin plan.
+        let costs = [2.0, 3.0, 2.0, 3.0, 2.0];
+        let ones = vec![1usize; costs.len()];
+        let rr = Scheduler::RoundRobin.plan(&costs, &ones, 2);
+        let list = Scheduler::List.plan(&costs, &ones, 2);
+        assert!(list.predicted_makespan() <= rr.predicted_makespan());
+    }
+
+    #[test]
+    fn scheduler_labels_round_trip() {
+        for s in [Scheduler::RoundRobin, Scheduler::List] {
+            assert_eq!(Scheduler::parse(s.label()), Ok(s));
+        }
+        assert!(Scheduler::parse("greedy").is_err());
     }
 
     #[test]

@@ -9,8 +9,8 @@
 use super::{AssessError, Assessment, Executor};
 use crate::config::AssessConfig;
 use crate::plan::{
-    AssessPlan, Pass, PassBackend, PassCtx, PassExecution, PassKind, PassLaunch, PassOutput,
-    PlanRunner,
+    gpu_prepass_charge, subsample_scan, AssessPlan, Pass, PassBackend, PassCtx, PassExecution,
+    PassKind, PassLaunch, PassOutput, PlanRunner, PrepassRun,
 };
 use zc_gpusim::stream::HostLink;
 use zc_gpusim::{GpuSim, LaunchResult, TileCharge};
@@ -175,6 +175,26 @@ impl Executor for CuZc {
         cfg: &AssessConfig,
     ) -> Result<Assessment, AssessError> {
         PlanRunner::new(plan).run(self, orig, dec, cfg, None)
+    }
+
+    /// The prepass on the pattern-oriented coordinator: the same fused P1
+    /// reduction, launched over the subsample as a strided gather.
+    fn prepass(
+        &self,
+        orig: &zc_tensor::Tensor<f32>,
+        dec: &zc_tensor::Tensor<f32>,
+        stride: usize,
+    ) -> Result<PrepassRun, AssessError> {
+        if orig.shape() != dec.shape() {
+            return Err(AssessError::ShapeMismatch);
+        }
+        let estimate = subsample_scan(orig, dec, stride);
+        let (counters, modeled_seconds) = gpu_prepass_charge(estimate.sampled(), stride);
+        Ok(PrepassRun {
+            estimate,
+            counters,
+            modeled_seconds,
+        })
     }
 }
 

@@ -193,6 +193,7 @@ pub fn assess_generic<T: Element>(
         profiles: Vec::new(),
         runs: Vec::new(),
         e2e: None,
+        confidence: crate::exec::Confidence::Full,
     })
 }
 

@@ -35,11 +35,11 @@ pub use serial::SerialZc;
 
 use crate::config::{AssessConfig, ExecutorKind};
 use crate::metrics::Pattern;
-use crate::plan::AssessPlan;
+use crate::plan::{subsample_scan, AssessPlan, PrepassRun};
 use crate::report::AnalysisReport;
 use std::fmt;
 use zc_gpusim::{Counters, EndToEnd, KernelClass, KernelResources};
-use zc_tensor::Tensor;
+use zc_tensor::{Shape, Tensor};
 
 /// One pattern's aggregated execution record: the merged counters plus the
 /// dominant launch geometry — enough for the benchmark harness to re-model
@@ -106,6 +106,28 @@ impl PatternTimes {
     }
 }
 
+/// How an assessment's metric values were obtained — full resolution, or
+/// estimated from the progressive strided-subsample prepass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Confidence {
+    /// Every selected metric was computed over the whole field.
+    #[default]
+    Full,
+    /// The values are subsample-prepass estimates: the job early-exited
+    /// because its verdict was already decidable far from the thresholds.
+    Subsampled,
+}
+
+impl Confidence {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Confidence::Full => "full",
+            Confidence::Subsampled => "subsampled",
+        }
+    }
+}
+
 /// The result of one assessment run.
 #[derive(Clone, Debug)]
 pub struct Assessment {
@@ -128,9 +150,46 @@ pub struct Assessment {
     /// overlapped stream makespan vs the serialized sum (device-resident
     /// backends only; `None` for host executors).
     pub e2e: Option<EndToEnd>,
+    /// Whether the metric values are full-resolution or subsample
+    /// estimates (progressive early exit).
+    pub confidence: Confidence,
 }
 
 impl Assessment {
+    /// An early-exit assessment assembled from a subsample prepass: the
+    /// pattern-1 scalars are the subsample estimates, every other report
+    /// section is absent, and the result is marked
+    /// [`Confidence::Subsampled`].
+    pub fn from_prepass(shape: Shape, run: &PrepassRun, cfg: &AssessConfig) -> Assessment {
+        let report =
+            AnalysisReport::assemble(shape, 0, run.estimate.scalars, None, None, None, cfg);
+        let runs = if run.counters.launches > 0 {
+            vec![PatternRun {
+                pattern: Pattern::GlobalReduction,
+                counters: run.counters,
+                grid_blocks: 0,
+                resources: None,
+                class: KernelClass::GlobalReduction,
+            }]
+        } else {
+            Vec::new()
+        };
+        Assessment {
+            report,
+            counters: run.counters,
+            modeled_seconds: run.modeled_seconds,
+            pattern_times: PatternTimes {
+                p1: run.modeled_seconds,
+                ..Default::default()
+            },
+            wall_seconds: 0.0,
+            profiles: Vec::new(),
+            runs,
+            e2e: None,
+            confidence: Confidence::Subsampled,
+        }
+    }
+
     /// Modeled assessment throughput in GB/s over one field's payload
     /// (the y-axis of Fig. 11).
     pub fn throughput_gbs(&self, pattern: Option<Pattern>) -> f64 {
@@ -209,6 +268,27 @@ pub trait Executor {
     ) -> Result<Assessment, AssessError> {
         let plan = AssessPlan::lower(cfg);
         self.run_plan(&plan, orig, dec, cfg)
+    }
+
+    /// Run the progressive strided-subsample pattern-1 prepass. The
+    /// estimate is always the shared host scan ([`subsample_scan`]) — bit
+    /// identical on every executor — while the modeled charge is the
+    /// backend's own (this default charges nothing; each executor
+    /// overrides it with its platform model's price for the scan).
+    fn prepass(
+        &self,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        stride: usize,
+    ) -> Result<PrepassRun, AssessError> {
+        if orig.shape() != dec.shape() {
+            return Err(AssessError::ShapeMismatch);
+        }
+        Ok(PrepassRun {
+            estimate: subsample_scan(orig, dec, stride),
+            counters: Counters::default(),
+            modeled_seconds: 0.0,
+        })
     }
 }
 

@@ -8,8 +8,8 @@
 use super::{AssessError, Assessment, Executor};
 use crate::config::AssessConfig;
 use crate::plan::{
-    AssessPlan, Pass, PassBackend, PassCtx, PassExecution, PassKind, PassLaunch, PassOutput,
-    PlanRunner,
+    gpu_prepass_charge, subsample_scan, AssessPlan, Pass, PassBackend, PassCtx, PassExecution,
+    PassKind, PassLaunch, PassOutput, PlanRunner, PrepassRun,
 };
 use zc_gpusim::stream::HostLink;
 use zc_gpusim::{BlockKernel, GpuSim, LaunchResult, TileCharge};
@@ -197,6 +197,27 @@ impl Executor for MoZc {
         cfg: &AssessConfig,
     ) -> Result<Assessment, AssessError> {
         PlanRunner::new(plan).run(self, orig, dec, cfg, None)
+    }
+
+    /// The prepass on the metric-oriented GPU baseline: one strided-gather
+    /// reduction launch, charged at the device's sector-wasteful strided
+    /// bandwidth.
+    fn prepass(
+        &self,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        stride: usize,
+    ) -> Result<PrepassRun, AssessError> {
+        if orig.shape() != dec.shape() {
+            return Err(AssessError::ShapeMismatch);
+        }
+        let estimate = subsample_scan(orig, dec, stride);
+        let (counters, modeled_seconds) = gpu_prepass_charge(estimate.sampled(), stride);
+        Ok(PrepassRun {
+            estimate,
+            counters,
+            modeled_seconds,
+        })
     }
 }
 

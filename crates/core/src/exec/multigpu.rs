@@ -13,7 +13,7 @@
 use super::{AssessError, Assessment, Executor};
 use crate::config::AssessConfig;
 use crate::exec::CuZc;
-use crate::plan::{AssessPlan, DevicePlacement, PlanRunner};
+use crate::plan::{AssessPlan, DevicePlacement, PlanRunner, PrepassRun};
 use zc_gpusim::MultiGpuModel;
 use zc_tensor::Tensor;
 
@@ -74,6 +74,25 @@ impl Executor for MultiCuZc {
         // differs, so counters and metric values are identical by
         // construction.
         PlanRunner::new(plan).run(&self.inner, orig, dec, cfg, Some(&self.placement()))
+    }
+
+    /// The group prepass: the single-device gather split across the gang
+    /// (compute divides, the tiny partial all-reduce rides the link). The
+    /// estimate itself is the shared host scan — identical to every other
+    /// executor's.
+    fn prepass(
+        &self,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        stride: usize,
+    ) -> Result<PrepassRun, AssessError> {
+        let mut run = self.inner.prepass(orig, dec, stride)?;
+        let g = self.gpus.max(1);
+        if g > 1 {
+            run.modeled_seconds =
+                run.modeled_seconds / g as f64 + 2.0 * (g - 1) as f64 * self.link.link_latency_s;
+        }
+        Ok(run)
     }
 }
 

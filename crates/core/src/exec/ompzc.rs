@@ -9,8 +9,8 @@
 use super::{cpu_ref, AssessError, Assessment, Executor};
 use crate::config::AssessConfig;
 use crate::plan::{
-    AssessPlan, Pass, PassBackend, PassCtx, PassExecution, PassKind, PassLaunch, PassOutput,
-    PlanRunner,
+    subsample_scan, AssessPlan, Pass, PassBackend, PassCtx, PassExecution, PassKind, PassLaunch,
+    PassOutput, PlanRunner, PrepassRun,
 };
 use zc_gpusim::cost::CpuModel;
 use zc_gpusim::{Counters, KernelClass};
@@ -165,6 +165,33 @@ impl Executor for OmpZc {
         cfg: &AssessConfig,
     ) -> Result<Assessment, AssessError> {
         PlanRunner::new(plan).run(self, orig, dec, cfg, None)
+    }
+
+    /// The prepass on the CPU baseline is one strided scalar sweep over the
+    /// subsample — priced on the same Xeon model as the full passes.
+    fn prepass(
+        &self,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        stride: usize,
+    ) -> Result<PrepassRun, AssessError> {
+        if orig.shape() != dec.shape() {
+            return Err(AssessError::ShapeMismatch);
+        }
+        let estimate = subsample_scan(orig, dec, stride);
+        let n = estimate.sampled();
+        let counters = Counters {
+            global_read_bytes: 8 * n,
+            lane_flops: 8 * n,
+            special_ops: 2 * n, // the relative-error divides
+            launches: 1,
+            ..Default::default()
+        };
+        Ok(PrepassRun {
+            estimate,
+            counters,
+            modeled_seconds: self.model.time(&counters).total_s,
+        })
     }
 }
 

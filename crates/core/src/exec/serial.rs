@@ -8,8 +8,10 @@ use super::{AssessError, Assessment, Executor};
 use crate::config::AssessConfig;
 use crate::exec::cpu_ref;
 use crate::plan::{
-    AssessPlan, Pass, PassBackend, PassCtx, PassExecution, PassKind, PassOutput, PlanRunner,
+    subsample_scan, AssessPlan, Pass, PassBackend, PassCtx, PassExecution, PassKind, PassOutput,
+    PlanRunner, PrepassRun,
 };
+use zc_gpusim::Counters;
 use zc_kernels::FieldPair;
 use zc_tensor::Tensor;
 
@@ -65,6 +67,24 @@ impl Executor for SerialZc {
         cfg: &AssessConfig,
     ) -> Result<Assessment, AssessError> {
         PlanRunner::new(plan).run(self, orig, dec, cfg, None)
+    }
+
+    /// Ground truth charges nothing for the prepass either: the shared
+    /// strided scan with zero counters and zero modeled time.
+    fn prepass(
+        &self,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        stride: usize,
+    ) -> Result<PrepassRun, AssessError> {
+        if orig.shape() != dec.shape() {
+            return Err(AssessError::ShapeMismatch);
+        }
+        Ok(PrepassRun {
+            estimate: subsample_scan(orig, dec, stride),
+            counters: Counters::default(),
+            modeled_seconds: 0.0,
+        })
     }
 }
 

@@ -56,7 +56,7 @@ pub mod recommend;
 pub mod report;
 pub mod viz;
 
-pub use campaign::{CampaignReport, CampaignSpec, FieldRef, FleetSpec, LinkKind};
+pub use campaign::{CampaignReport, CampaignSpec, FieldRef, FleetSpec, LinkKind, Scheduler};
 pub use config::{AssessConfig, ExecutorKind, RunConfig, SsimSettings, TilingPolicy};
 pub use exec::{Assessment, CuZc, Executor, MoZc, MultiCuZc, OmpZc, PatternProfile, SerialZc};
 pub use metrics::{Metric, MetricSelection, Pattern};

@@ -34,7 +34,9 @@
 //! [`MultiCuZc`]: crate::exec::MultiCuZc
 
 use crate::config::AssessConfig;
-use crate::exec::{validate, AssessError, Assessment, PatternProfile, PatternRun, PatternTimes};
+use crate::exec::{
+    validate, AssessError, Assessment, Confidence, PatternProfile, PatternRun, PatternTimes,
+};
 use crate::metrics::{Metric, MetricSelection, Pattern};
 use crate::report::AnalysisReport;
 use std::time::Instant;
@@ -43,7 +45,7 @@ use zc_gpusim::stream::{EndToEnd, Engine, HostLink, Timeline};
 use zc_gpusim::{occupancy, Counters, GpuSim, KernelClass, KernelResources, MultiGpuModel};
 use zc_kernels::p3::SsimAcc;
 use zc_kernels::{P1Histograms, P1Scalars, P2Stats};
-use zc_tensor::Tensor;
+use zc_tensor::{Shape, Tensor};
 
 /// The five node kinds an assessment plan can contain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -415,6 +417,203 @@ pub fn resolve_slabs(
     Ok(slabs)
 }
 
+/// Effective device rates the analytic job cost estimator prices counters
+/// at. Deliberately the *sustained* V100-class rates (post-occupancy, post
+/// launch ramp), not the peaks: the estimator prices whole passes, so
+/// sustained rates predict the calibrated kernel model far better.
+const EST_BW_BYTES_PER_S: f64 = 720e9;
+/// Sustained f64-lane arithmetic throughput for the estimator roofline.
+const EST_FLOPS_PER_S: f64 = 3.2e12;
+/// Fixed per-launch overhead the estimator charges.
+const EST_LAUNCH_S: f64 = 6.0e-6;
+
+/// A job-level cost prediction derived from a lowered [`AssessPlan`] and
+/// the field shape alone — no field data, no execution. The campaign list
+/// scheduler ranks and balances jobs on [`CostEstimate::seconds`].
+#[derive(Clone, Debug)]
+pub struct CostEstimate {
+    /// Estimated per-pass compute seconds, in plan order.
+    pub pass_seconds: Vec<(PassKind, f64)>,
+    /// Estimated bytes the passes read on-device.
+    pub bytes: u64,
+    /// Estimated lane flops across the passes.
+    pub flops: u64,
+    /// Sum of the estimated pass compute seconds.
+    pub compute_s: f64,
+    /// Predicted overlapped end-to-end makespan: the estimated pass
+    /// seconds pushed through the same stream-timeline model the executors
+    /// report `e2e` from, over the PCIe staging link they stage on.
+    pub seconds: f64,
+}
+
+/// Predict one job's assessment cost from its pass DAG: per-pass counter
+/// estimates (bytes + flops from the field shape and the configuration,
+/// mirroring the fused cuZC kernels' per-element work) are priced on an
+/// effective-rate roofline and overlapped through the stream-timeline
+/// model. `gpus > 1` models the ganged placement — compute divides across
+/// the group and the partial all-reduce rides `link`.
+pub fn estimate_job_cost(
+    plan: &AssessPlan,
+    shape: Shape,
+    cfg: &AssessConfig,
+    gpus: u32,
+    link: &MultiGpuModel,
+) -> CostEstimate {
+    let n = shape.len() as f64;
+    let window = cfg.ssim.window as f64;
+    let lags = cfg.max_lag as f64;
+    let g = gpus.max(1) as f64;
+    let mut pass_seconds = Vec::new();
+    let (mut bytes_total, mut flops_total) = (0u64, 0u64);
+    for pass in plan.passes() {
+        // Per-element work of the fused pattern kernels: both f32 fields
+        // stream through once per sweep (8 B/element); the stencil sweeps
+        // once per lag; the SSIM FIFO does ~window incremental updates per
+        // element.
+        let (bytes, flops, launches) = match pass.kind {
+            PassKind::P1Scalars => (8.0 * n, 30.0 * n, 1.0),
+            PassKind::P1Hist => (8.0 * n, 12.0 * n, 1.0),
+            PassKind::P2Stencil => (8.0 * n * lags, 24.0 * n * lags, lags.max(1.0)),
+            PassKind::P3Ssim => (8.0 * n, 11.0 * n * window, 1.0),
+            PassKind::CompressionMeta => continue,
+        };
+        let mut secs = (bytes / g / EST_BW_BYTES_PER_S).max(flops / g / EST_FLOPS_PER_S)
+            + launches * EST_LAUNCH_S;
+        if gpus > 1 {
+            // Ring all-reduce of the group's partials.
+            secs += 2.0 * (g - 1.0) * link.link_latency_s;
+        }
+        bytes_total += bytes as u64;
+        flops_total += flops as u64;
+        pass_seconds.push((pass.kind, secs));
+    }
+    let compute_s = pass_seconds.iter().map(|(_, s)| s).sum();
+    // The staging link is PCIe regardless of the intra-group interconnect
+    // — matching `CuZc::transfer`, so predictions share a basis with the
+    // per-job `e2e` the report aggregates.
+    let host = HostLink::pcie();
+    let pair_bytes = shape.len() as u64 * 4 * 2;
+    let planes = (shape.nz() * shape.nw()).max(1);
+    let slabs = resolve_slabs(cfg.tiling, pair_bytes, planes, None).unwrap_or(1);
+    let runner = PlanRunner::new(plan);
+    let e2e = if slabs > 1 {
+        runner.timeline_tiled(&host, shape, cfg, &pass_seconds, &[], slabs, false)
+    } else {
+        runner.timeline(&host, shape, cfg, &pass_seconds)
+    };
+    CostEstimate {
+        pass_seconds,
+        bytes: bytes_total,
+        flops: flops_total,
+        compute_s,
+        seconds: e2e.overlapped_s,
+    }
+}
+
+/// The strided-subsample pattern-1 prepass result (progressive
+/// assessment): fused P1 moments over every `stride`-th element in flat
+/// order. The scan itself is one shared host loop, so the estimate is
+/// bit-identical on every executor — only the modeled *charge* differs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrepassEstimate {
+    /// Fused pattern-1 moments over the subsample.
+    pub scalars: P1Scalars,
+    /// Flat-index stride the subsample was drawn at.
+    pub stride: usize,
+    /// Full field length the subsample was drawn from.
+    pub len: u64,
+}
+
+impl PrepassEstimate {
+    /// Number of sampled elements.
+    pub fn sampled(&self) -> u64 {
+        self.scalars.n
+    }
+
+    /// Bytes of field data the prepass read (both f32 fields).
+    pub fn sampled_bytes(&self) -> u64 {
+        self.sampled() * 8
+    }
+
+    /// PSNR estimate over the subsample, in dB.
+    pub fn psnr_db(&self) -> f64 {
+        self.scalars.psnr_db()
+    }
+
+    /// Maximum absolute error seen in the subsample — a *lower bound* of
+    /// the full-field maximum, so a violated absolute bound here is
+    /// violated at full resolution too.
+    pub fn max_abs_error(&self) -> f64 {
+        self.scalars.max_abs_e
+    }
+
+    /// Maximum pointwise-relative error seen in the subsample (lower
+    /// bound of the full-field maximum, like [`Self::max_abs_error`]).
+    pub fn max_pwr_error(&self) -> f64 {
+        self.scalars.max_rel
+    }
+
+    /// Value range of the sampled original data.
+    pub fn value_range(&self) -> f64 {
+        self.scalars.value_range()
+    }
+
+    /// Mean squared error over the subsample.
+    pub fn mse(&self) -> f64 {
+        self.scalars.mse()
+    }
+}
+
+/// One executed prepass: the shared estimate plus what the backend's
+/// platform model charges for the strided scan.
+#[derive(Clone, Copy, Debug)]
+pub struct PrepassRun {
+    /// The (executor-independent) subsample estimate.
+    pub estimate: PrepassEstimate,
+    /// Modeled execution counters of the scan on this backend.
+    pub counters: Counters,
+    /// Modeled seconds of the scan on this backend's platform model.
+    pub modeled_seconds: f64,
+}
+
+/// The shared host-side strided scan every executor's prepass hook wraps:
+/// element `0, stride, 2·stride, …` of both fields in flat order through
+/// the exact [`P1Scalars::absorb`] sequence — one fixed order, so the
+/// estimate carries no executor- or thread-count dependence.
+pub fn subsample_scan(orig: &Tensor<f32>, dec: &Tensor<f32>, stride: usize) -> PrepassEstimate {
+    let stride = stride.max(1);
+    let (a, b) = (orig.as_slice(), dec.as_slice());
+    let mut scalars = P1Scalars::identity();
+    let mut i = 0;
+    while i < a.len() {
+        scalars.absorb(a[i] as f64, b[i] as f64);
+        i += stride;
+    }
+    PrepassEstimate {
+        scalars,
+        stride,
+        len: a.len() as u64,
+    }
+}
+
+/// The modeled GPU charge for a strided-gather prepass over `sampled`
+/// elements: a strided read pulls whole 32-byte sectors, so the wasted
+/// bandwidth grows with the stride up to the 8-element sector width.
+/// Shared by the moZC and cuZC prepass hooks.
+pub(crate) fn gpu_prepass_charge(sampled: u64, stride: usize) -> (Counters, f64) {
+    let waste = stride.clamp(1, 8) as u64;
+    let c = Counters {
+        global_read_bytes: 8 * sampled * waste,
+        lane_flops: 30 * sampled,
+        launches: 1,
+        ..Default::default()
+    };
+    let secs = (c.global_read_bytes as f64 / EST_BW_BYTES_PER_S)
+        .max(c.lane_flops as f64 / EST_FLOPS_PER_S)
+        + EST_LAUNCH_S;
+    (c, secs)
+}
+
 /// A device-placement policy: grid-partition every pattern's launches over
 /// `gpus` devices connected by `link`, re-pricing compute on the per-device
 /// grid share and charging halo-exchange plus all-reduce communication
@@ -726,7 +925,7 @@ impl<'a> PlanRunner<'a> {
                 if slabs > 1 {
                     self.timeline_tiled(
                         &link,
-                        orig,
+                        orig.shape(),
                         cfg,
                         &pass_seconds,
                         &pass_tiles,
@@ -734,7 +933,7 @@ impl<'a> PlanRunner<'a> {
                         out_of_core,
                     )
                 } else {
-                    self.timeline(&link, orig, cfg, &pass_seconds)
+                    self.timeline(&link, orig.shape(), cfg, &pass_seconds)
                 }
             });
 
@@ -752,6 +951,7 @@ impl<'a> PlanRunner<'a> {
             profiles,
             runs,
             e2e,
+            confidence: Confidence::Full,
         })
     }
 
@@ -764,7 +964,7 @@ impl<'a> PlanRunner<'a> {
     fn timeline(
         &self,
         link: &HostLink,
-        orig: &Tensor<f32>,
+        shape: Shape,
         cfg: &AssessConfig,
         pass_seconds: &[(PassKind, f64)],
     ) -> EndToEnd {
@@ -775,7 +975,7 @@ impl<'a> PlanRunner<'a> {
                 .map(|(_, s)| *s)
         };
         let mut tl = Timeline::new();
-        let field_bytes = orig.shape().len() as u64 * 4 * 2; // both fields
+        let field_bytes = shape.len() as u64 * 4 * 2; // both fields
         let chunk = field_bytes / H2D_CHUNKS as u64;
         let mut h2d_ids = Vec::with_capacity(H2D_CHUNKS);
         for i in 0..H2D_CHUNKS {
@@ -868,14 +1068,13 @@ impl<'a> PlanRunner<'a> {
     fn timeline_tiled(
         &self,
         link: &HostLink,
-        orig: &Tensor<f32>,
+        shape: Shape,
         cfg: &AssessConfig,
         pass_seconds: &[(PassKind, f64)],
         pass_tiles: &[(PassKind, Vec<f64>)],
         slabs: usize,
         out_of_core: bool,
     ) -> EndToEnd {
-        let shape = orig.shape();
         let pair_bytes = shape.len() as u64 * 4 * 2;
         let planes = (shape.nz() * shape.nw()).max(1);
         // Slab k's upload bytes (even plane split, remainder up front —
@@ -1054,7 +1253,6 @@ mod tests {
     #[test]
     fn tiled_timeline_hides_the_upload_under_compute() {
         let shape = Shape::d3(256, 256, 256);
-        let orig = Tensor::from_fn(shape, |_| 0.0f32);
         let cfg = AssessConfig::default();
         let link = HostLink::pcie();
         let slabs = 16usize;
@@ -1068,7 +1266,7 @@ mod tests {
         let plan = AssessPlan::lower(&cfg);
         let e2e = PlanRunner::new(&plan).timeline_tiled(
             &link,
-            &orig,
+            shape,
             &cfg,
             &pass_seconds,
             &[],
@@ -1076,7 +1274,7 @@ mod tests {
             false,
         );
         assert!(e2e.overlapped_s <= e2e.serialized_s);
-        let first_slab = link.transfer_s((orig.shape().len() as u64 * 4 * 2).div_ceil(16));
+        let first_slab = link.transfer_s((shape.len() as u64 * 4 * 2).div_ceil(16));
         let slack = 1e-3; // halo stalls + final drain
         assert!(
             e2e.overlapped_s <= e2e.compute_s + first_slab + slack,
@@ -1095,7 +1293,6 @@ mod tests {
     #[test]
     fn out_of_core_timeline_pays_for_reuploads() {
         let shape = Shape::d3(64, 64, 64);
-        let orig = Tensor::from_fn(shape, |_| 0.0f32);
         let cfg = AssessConfig::default();
         let link = HostLink::pcie();
         let pass_seconds = vec![
@@ -1106,8 +1303,8 @@ mod tests {
         ];
         let plan = AssessPlan::lower(&cfg);
         let runner = PlanRunner::new(&plan);
-        let resident = runner.timeline_tiled(&link, &orig, &cfg, &pass_seconds, &[], 16, false);
-        let ooc = runner.timeline_tiled(&link, &orig, &cfg, &pass_seconds, &[], 16, true);
+        let resident = runner.timeline_tiled(&link, shape, &cfg, &pass_seconds, &[], 16, false);
+        let ooc = runner.timeline_tiled(&link, shape, &cfg, &pass_seconds, &[], 16, true);
         assert!(
             ooc.h2d_s > 3.0 * resident.h2d_s,
             "ooc h2d {:.4} ms vs resident {:.4} ms",

@@ -9,9 +9,10 @@
 //! candidates are ranked by compression ratio.
 
 use crate::config::AssessConfig;
-use crate::exec::{AssessError, Executor};
+use crate::exec::{AssessError, Confidence, Executor};
 use crate::metrics::Metric;
-use zc_compress::{CodecError, Compressor};
+use crate::plan::PrepassEstimate;
+use zc_compress::{CodecError, CompressionStats, Compressor};
 use zc_tensor::Tensor;
 
 /// Quality requirements a compressor configuration must satisfy.
@@ -70,6 +71,115 @@ pub struct Verdict {
     pub passes: bool,
     /// Human-readable criterion failures.
     pub failures: Vec<String>,
+    /// Whether this verdict came from a full assessment or a progressive
+    /// subsample prepass that was already decidable.
+    pub confidence: Confidence,
+}
+
+/// The progressive-assessment policy: a strided-subsample prepass estimates
+/// the pattern-1 scalars; candidates whose verdict is already decidable far
+/// from every threshold skip the full assessment.
+///
+/// Soundness: the subsample maxima (pointwise-relative and absolute error)
+/// are *lower bounds* of the full-field maxima, so a bound already violated
+/// on the subsample is certainly violated on the full field — rejection on
+/// that evidence never flips a verdict. PSNR pruning uses a symmetric
+/// margin instead; estimates inside the margin go to the full assessment
+/// ("frontier"), as does any candidate whose criteria include metrics the
+/// prepass cannot bound (SSIM, autocorrelation, error/range).
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressivePolicy {
+    /// The criteria the prepass prunes against.
+    pub criteria: QualityCriteria,
+    /// Subsample stride (every `stride`-th element in flat order).
+    pub stride: usize,
+    /// PSNR estimates within this many dB of `min_psnr_db` are frontier
+    /// cases and get the full assessment.
+    pub psnr_margin_db: f64,
+}
+
+impl ProgressivePolicy {
+    /// Default policy: stride 8, ±3 dB PSNR decision margin.
+    pub fn new(criteria: QualityCriteria) -> Self {
+        ProgressivePolicy {
+            criteria,
+            stride: 8,
+            psnr_margin_db: 3.0,
+        }
+    }
+
+    /// Decide a candidate from its prepass estimates.
+    pub fn decide(&self, est: &PrepassEstimate) -> PrepassDecision {
+        let c = &self.criteria;
+        // Sound rejections first: subsample maxima lower-bound the field's.
+        if let Some(max) = c.max_pwr_error {
+            let pwr = est.max_pwr_error();
+            if pwr > max {
+                return PrepassDecision::Reject(vec![format!(
+                    "max pwr err {pwr:.3e} > {max:.3e} (on subsample)"
+                )]);
+            }
+        }
+        let psnr = est.psnr_db();
+        if let Some(min) = c.min_psnr_db {
+            if psnr.is_nan() {
+                return PrepassDecision::Frontier;
+            }
+            if psnr < min - self.psnr_margin_db {
+                return PrepassDecision::Reject(vec![format!(
+                    "PSNR {psnr:.2} < {min:.2} dB (estimate, margin {:.1})",
+                    self.psnr_margin_db
+                )]);
+            }
+            if psnr < min + self.psnr_margin_db {
+                return PrepassDecision::Frontier;
+            }
+        }
+        // Accepting early requires every active criterion to be decidable
+        // from the prepass. SSIM/autocorrelation aren't estimated at all,
+        // and error/range is a ratio of two lower bounds (not monotone), so
+        // any of them forces the full assessment. A present-but-unviolated
+        // pwr-error bound also cannot be *cleared* from a lower bound.
+        if c.min_ssim.is_some()
+            || c.max_autocorr_abs.is_some()
+            || c.max_rel_range_error.is_some()
+            || c.max_pwr_error.is_some()
+        {
+            return PrepassDecision::Frontier;
+        }
+        PrepassDecision::Accept
+    }
+}
+
+/// What the prepass concluded about a candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PrepassDecision {
+    /// Every active criterion is cleared with margin; skip the full run.
+    Accept,
+    /// A criterion is certainly violated; skip the full run.
+    Reject(Vec<String>),
+    /// Too close to a threshold (or criteria the prepass cannot bound):
+    /// run the full assessment.
+    Frontier,
+}
+
+impl PrepassDecision {
+    /// True when the full assessment can be skipped.
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, PrepassDecision::Frontier)
+    }
+}
+
+/// Work accounting for a progressive recommendation sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Candidates considered.
+    pub candidates: usize,
+    /// Candidates decided by the prepass alone.
+    pub pruned: usize,
+    /// Field bytes actually read across all assessments (pair bytes for
+    /// full runs, subsample bytes for prepasses).
+    pub assessed_bytes: u64,
 }
 
 /// Errors from the recommendation pipeline.
@@ -106,56 +216,153 @@ pub fn recommend(
         let (dec, stats) = compressor
             .roundtrip(orig)
             .map_err(|e| RecommendError::Codec(name.to_string(), e))?;
-        let a = executor
-            .assess(orig, &dec, cfg)
-            .map_err(RecommendError::Assess)?;
-        let get = |m: Metric| a.report.scalar(m).unwrap_or(f64::NAN);
-        let psnr = get(Metric::Psnr);
-        let ssim = get(Metric::Ssim);
-        let ac1 = get(Metric::Autocorrelation);
-        let range = get(Metric::ValueRange).max(1e-300);
-        let mut failures = Vec::new();
-        // NaN metric values must count as failures, hence the ordering.
-        let fails_min = |v: f64, min: f64| v.is_nan() || v < min;
-        let fails_max = |v: f64, max: f64| v.is_nan() || v > max;
-        if let Some(min) = criteria.min_psnr_db {
-            if fails_min(psnr, min) {
-                failures.push(format!("PSNR {psnr:.2} < {min:.2} dB"));
-            }
-        }
-        if let Some(min) = criteria.min_ssim {
-            if fails_min(ssim, min) {
-                failures.push(format!("SSIM {ssim:.5} < {min}"));
-            }
-        }
-        if let Some(max) = criteria.max_autocorr_abs {
-            if fails_max(ac1.abs(), max) {
-                failures.push(format!("|autocorr(1)| {:.4} > {max}", ac1.abs()));
-            }
-        }
-        if let Some(max) = criteria.max_pwr_error {
-            let pwr = get(Metric::MaxPwrError);
-            if fails_max(pwr, max) {
-                failures.push(format!("max pwr err {pwr:.3e} > {max:.3e}"));
-            }
-        }
-        if let Some(max) = criteria.max_rel_range_error {
-            let rel = get(Metric::MaxAbsError) / range;
-            if fails_max(rel, max) {
-                failures.push(format!("max|e|/range {rel:.3e} > {max:.3e}"));
-            }
-        }
-        verdicts.push(Verdict {
-            name: name.to_string(),
-            ratio: stats.ratio(),
-            bit_rate: stats.bit_rate(4),
-            psnr_db: psnr,
-            ssim,
-            autocorr1: ac1,
-            passes: failures.is_empty(),
-            failures,
-        });
+        verdicts.push(full_verdict(
+            name, orig, &dec, &stats, criteria, cfg, executor,
+        )?);
     }
+    sort_verdicts(&mut verdicts);
+    Ok(verdicts)
+}
+
+/// Assess every candidate progressively: prepass first, full assessment
+/// only for frontier cases. Returns the ranked verdicts plus the work
+/// accounting. Decidable candidates keep their accept/reject outcome —
+/// only the metric precision (and the bytes read) differ from
+/// [`recommend`].
+pub fn recommend_progressive(
+    orig: &Tensor<f32>,
+    candidates: &[(&str, &dyn Compressor)],
+    policy: &ProgressivePolicy,
+    cfg: &AssessConfig,
+    executor: &dyn Executor,
+) -> Result<(Vec<Verdict>, SweepStats), RecommendError> {
+    let pair_bytes = orig.shape().len() as u64 * 8;
+    let mut verdicts = Vec::with_capacity(candidates.len());
+    let mut stats_out = SweepStats {
+        candidates: candidates.len(),
+        ..Default::default()
+    };
+    for (name, compressor) in candidates {
+        let (dec, stats) = compressor
+            .roundtrip(orig)
+            .map_err(|e| RecommendError::Codec(name.to_string(), e))?;
+        let run = executor
+            .prepass(orig, &dec, policy.stride)
+            .map_err(RecommendError::Assess)?;
+        stats_out.assessed_bytes += run.estimate.sampled_bytes();
+        match policy.decide(&run.estimate) {
+            PrepassDecision::Accept => {
+                stats_out.pruned += 1;
+                verdicts.push(subsampled_verdict(name, &stats, &run.estimate, Vec::new()));
+            }
+            PrepassDecision::Reject(failures) => {
+                stats_out.pruned += 1;
+                verdicts.push(subsampled_verdict(name, &stats, &run.estimate, failures));
+            }
+            PrepassDecision::Frontier => {
+                stats_out.assessed_bytes += pair_bytes;
+                verdicts.push(full_verdict(
+                    name,
+                    orig,
+                    &dec,
+                    &stats,
+                    &policy.criteria,
+                    cfg,
+                    executor,
+                )?);
+            }
+        }
+    }
+    sort_verdicts(&mut verdicts);
+    Ok((verdicts, stats_out))
+}
+
+/// Full-assessment verdict for one candidate (the shared criteria check).
+fn full_verdict(
+    name: &str,
+    orig: &Tensor<f32>,
+    dec: &Tensor<f32>,
+    stats: &CompressionStats,
+    criteria: &QualityCriteria,
+    cfg: &AssessConfig,
+    executor: &dyn Executor,
+) -> Result<Verdict, RecommendError> {
+    let a = executor
+        .assess(orig, dec, cfg)
+        .map_err(RecommendError::Assess)?;
+    let get = |m: Metric| a.report.scalar(m).unwrap_or(f64::NAN);
+    let psnr = get(Metric::Psnr);
+    let ssim = get(Metric::Ssim);
+    let ac1 = get(Metric::Autocorrelation);
+    let range = get(Metric::ValueRange).max(1e-300);
+    let mut failures = Vec::new();
+    // NaN metric values must count as failures, hence the ordering.
+    let fails_min = |v: f64, min: f64| v.is_nan() || v < min;
+    let fails_max = |v: f64, max: f64| v.is_nan() || v > max;
+    if let Some(min) = criteria.min_psnr_db {
+        if fails_min(psnr, min) {
+            failures.push(format!("PSNR {psnr:.2} < {min:.2} dB"));
+        }
+    }
+    if let Some(min) = criteria.min_ssim {
+        if fails_min(ssim, min) {
+            failures.push(format!("SSIM {ssim:.5} < {min}"));
+        }
+    }
+    if let Some(max) = criteria.max_autocorr_abs {
+        if fails_max(ac1.abs(), max) {
+            failures.push(format!("|autocorr(1)| {:.4} > {max}", ac1.abs()));
+        }
+    }
+    if let Some(max) = criteria.max_pwr_error {
+        let pwr = get(Metric::MaxPwrError);
+        if fails_max(pwr, max) {
+            failures.push(format!("max pwr err {pwr:.3e} > {max:.3e}"));
+        }
+    }
+    if let Some(max) = criteria.max_rel_range_error {
+        let rel = get(Metric::MaxAbsError) / range;
+        if fails_max(rel, max) {
+            failures.push(format!("max|e|/range {rel:.3e} > {max:.3e}"));
+        }
+    }
+    Ok(Verdict {
+        name: name.to_string(),
+        ratio: stats.ratio(),
+        bit_rate: stats.bit_rate(4),
+        psnr_db: psnr,
+        ssim,
+        autocorr1: ac1,
+        passes: failures.is_empty(),
+        failures,
+        confidence: Confidence::Full,
+    })
+}
+
+/// Verdict from prepass estimates alone (SSIM/autocorrelation are not
+/// estimated — they render as NaN).
+fn subsampled_verdict(
+    name: &str,
+    stats: &CompressionStats,
+    est: &PrepassEstimate,
+    failures: Vec<String>,
+) -> Verdict {
+    Verdict {
+        name: name.to_string(),
+        ratio: stats.ratio(),
+        bit_rate: stats.bit_rate(4),
+        psnr_db: est.psnr_db(),
+        ssim: f64::NAN,
+        autocorr1: f64::NAN,
+        passes: failures.is_empty(),
+        failures,
+        confidence: Confidence::Subsampled,
+    }
+}
+
+/// Passing candidates first, by descending compression ratio; failing
+/// candidates after, also by ratio.
+fn sort_verdicts(verdicts: &mut [Verdict]) {
     verdicts.sort_by(|a, b| {
         b.passes.cmp(&a.passes).then(
             b.ratio
@@ -163,7 +370,6 @@ pub fn recommend(
                 .unwrap_or(std::cmp::Ordering::Equal),
         )
     });
-    Ok(verdicts)
 }
 
 /// Render the ranking as an aligned text table.
@@ -173,6 +379,13 @@ pub fn render_ranking(verdicts: &[Verdict]) -> String {
         "candidate", "ratio", "bits/val", "PSNR(dB)", "SSIM", "pass"
     );
     for v in verdicts {
+        let mut notes = v.failures.join("; ");
+        if v.confidence == Confidence::Subsampled {
+            if !notes.is_empty() {
+                notes.push_str("; ");
+            }
+            notes.push_str("[subsampled]");
+        }
         out.push_str(&format!(
             "{:<24} {:>7.1}x {:>10.3} {:>10.2} {:>10.6} {:>8}  {}\n",
             v.name,
@@ -181,7 +394,7 @@ pub fn render_ranking(verdicts: &[Verdict]) -> String {
             v.psnr_db,
             v.ssim,
             if v.passes { "yes" } else { "NO" },
-            v.failures.join("; ")
+            notes
         ));
     }
     out
@@ -281,6 +494,7 @@ mod tests {
             autocorr1: 0.2,
             passes: false,
             failures: vec!["PSNR 50.00 < 60.00 dB".into()],
+            confidence: Confidence::Full,
         }];
         let t = render_ranking(&verdicts);
         assert!(t.contains("NO"));

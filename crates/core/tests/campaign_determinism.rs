@@ -14,7 +14,7 @@
 //! process-global.
 
 use zc_compress::{CompressorSpec, ErrorBound};
-use zc_core::campaign::{CampaignReport, CampaignSpec, FieldRef, FleetSpec};
+use zc_core::campaign::{CampaignReport, CampaignSpec, FieldRef, FleetSpec, Scheduler};
 use zc_core::AssessConfig;
 use zc_data::{AppDataset, GenOptions};
 
@@ -39,11 +39,16 @@ fn draw_campaign(rng: &mut Rng) -> CampaignSpec {
     let dataset = rng.pick(&AppDataset::ALL);
     let opts = GenOptions::scaled(32).with_seed(rng.next() % 8);
     let n_fields = 1 + (rng.next() % 2) as usize;
+    // The first drawn field is sometimes a 4D time series, so the
+    // determinism property covers the heterogeneous-size path too.
+    let steps = rng.pick(&[1usize, 1, 4]);
     let fields = (0..dataset.field_count().min(n_fields))
-        .map(|index| FieldRef {
-            dataset,
-            index,
-            opts,
+        .map(|index| {
+            if index == 0 {
+                FieldRef::timeseries(dataset, index, opts, steps)
+            } else {
+                FieldRef::new(dataset, index, opts)
+            }
         })
         .collect();
     let all_compressors = [
@@ -62,6 +67,8 @@ fn draw_campaign(rng: &mut Rng) -> CampaignSpec {
             ..Default::default()
         },
         fleet: FleetSpec::nvlink(rng.pick(&[1u32, 2, 4])),
+        scheduler: rng.pick(&[Scheduler::RoundRobin, Scheduler::List]),
+        progressive: None,
     }
 }
 
@@ -105,6 +112,10 @@ fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, ctx: &str) {
     }
     assert_eq!(a.totals, b.totals, "{ctx}: merged counters");
     assert_eq!(
+        a.fleet.assessed_bytes, b.fleet.assessed_bytes,
+        "{ctx}: assessed bytes"
+    );
+    assert_eq!(
         a.fleet.busy_s, b.fleet.busy_s,
         "{ctx}: per-group busy seconds"
     );
@@ -113,6 +124,16 @@ fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, ctx: &str) {
         ("jobs_per_sec", a.fleet.jobs_per_sec, b.fleet.jobs_per_sec),
         ("utilization", a.fleet.utilization, b.fleet.utilization),
         ("assessed_gbs", a.fleet.assessed_gbs, b.fleet.assessed_gbs),
+        (
+            "predicted_makespan",
+            a.fleet.predicted_makespan_s,
+            b.fleet.predicted_makespan_s,
+        ),
+        (
+            "makespan_rel_error",
+            a.fleet.makespan_rel_error,
+            b.fleet.makespan_rel_error,
+        ),
     ] {
         assert_eq!(va.to_bits(), vb.to_bits(), "{ctx}: fleet {name}");
     }

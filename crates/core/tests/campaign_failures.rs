@@ -8,17 +8,13 @@
 //! (`CompressorSpec::FailDecode`), plus the empty-campaign edge cases.
 
 use zc_compress::{CompressorSpec, ErrorBound};
-use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, JobOutcome};
+use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, JobOutcome, Scheduler};
 use zc_core::AssessConfig;
 use zc_data::{AppDataset, GenOptions};
 
 fn fields(dataset: AppDataset, n: usize) -> Vec<FieldRef> {
     (0..n.min(dataset.field_count()))
-        .map(|index| FieldRef {
-            dataset,
-            index,
-            opts: GenOptions::scaled(32),
-        })
+        .map(|index| FieldRef::new(dataset, index, GenOptions::scaled(32)))
         .collect()
 }
 
@@ -39,6 +35,8 @@ fn one_failing_codec_does_not_abort_the_campaign() {
             CompressorSpec::FailDecode,
         ],
         cfg: small_cfg(),
+        scheduler: Scheduler::default(),
+        progressive: None,
         fleet: FleetSpec::nvlink(2),
     };
     let report = spec.run().unwrap();
@@ -77,6 +75,8 @@ fn all_jobs_failing_still_produces_a_report() {
         fields: fields(AppDataset::Nyx, 2),
         compressors: vec![CompressorSpec::FailDecode],
         cfg: small_cfg(),
+        scheduler: Scheduler::default(),
+        progressive: None,
         fleet: FleetSpec::nvlink(4),
     };
     let report = spec.run().unwrap();
@@ -94,6 +94,8 @@ fn empty_catalog_campaign_is_a_clean_no_op() {
         fields: vec![],
         compressors: vec![CompressorSpec::Sz(ErrorBound::Rel(1e-3))],
         cfg: small_cfg(),
+        scheduler: Scheduler::default(),
+        progressive: None,
         fleet: FleetSpec::nvlink(4),
     };
     let report = spec.run().unwrap();
@@ -114,6 +116,8 @@ fn empty_compressor_sweep_is_a_clean_no_op() {
         fields: fields(AppDataset::Miranda, 2),
         compressors: vec![],
         cfg: small_cfg(),
+        scheduler: Scheduler::default(),
+        progressive: None,
         fleet: FleetSpec::nvlink(1),
     };
     let report = spec.run().unwrap();

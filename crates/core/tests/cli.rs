@@ -163,6 +163,61 @@ fn unknown_metric_key_lists_all_known_keys() {
 }
 
 #[test]
+fn fleet_flag_runs_the_demo_campaign() {
+    let out = cuzc()
+        .args(["--demo", "--fleet", "4", "--scheduler", "list"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The campaign table: mixed-size catalog fields on a 4-GPU fleet,
+    // with the scheduler's own makespan prediction.
+    assert!(stdout.contains("Hurricane/TC[x4]"), "{stdout}");
+    assert!(stdout.contains("fleet: 4 GPUs"), "{stdout}");
+    assert!(stdout.contains("schedule: predicted makespan"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("list scheduler"), "{stderr}");
+}
+
+#[test]
+fn progressive_campaign_marks_subsampled_rows() {
+    let out = cuzc()
+        .args(["--demo", "--fleet", "2", "--progressive"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(subsampled)"), "{stdout}");
+}
+
+#[test]
+fn fleet_mode_rejects_bad_arguments() {
+    // --fleet without --demo.
+    let out = cuzc().args(["--fleet", "4"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--demo"));
+    // Bad fleet size.
+    let out = cuzc().args(["--demo", "--fleet", "0"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad fleet size"));
+    // Unknown scheduler.
+    let out = cuzc()
+        .args(["--demo", "--fleet", "2", "--scheduler", "greedy"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scheduler"));
+}
+
+#[test]
 fn help_is_available() {
     let out = cuzc().arg("--help").output().unwrap();
     // Help goes to stderr with a non-zero exit (it is an interrupted run).

@@ -106,3 +106,109 @@ fn regen() {
     println!("];");
     println!("ssim windows = {}", a.report.ssim.unwrap().windows);
 }
+
+// ---------------------------------------------------------------------------
+// Progressive-prepass golden pins: the stride-8 subsample estimates on the
+// same fixed pair. The prepass is the basis of campaign early-exits, so its
+// estimates are pinned exactly too (same regen flow: the `regen_prepass`
+// ignored test prints the block).
+
+/// Stride used by the pinned prepass (the `ProgressivePolicy` default).
+const GOLDEN_PREPASS_STRIDE: usize = 8;
+
+/// (sampled count, PSNR dB, max |error|, max pwr error, value range, MSE).
+const GOLDEN_PREPASS: (u64, f64, f64, f64, f64, f64) = (
+    4096,
+    70.83711901483098,
+    0.0009998083114624023,
+    1.6268005119591866,
+    1.9992009401321411,
+    3.296104659803227e-7,
+);
+
+#[test]
+fn prepass_estimates_match_golden_constants_exactly() {
+    let (orig, dec) = golden_pair();
+    let run = SerialZc
+        .prepass(&orig, &dec, GOLDEN_PREPASS_STRIDE)
+        .unwrap();
+    let e = run.estimate;
+    let (sampled, psnr, max_abs, max_pwr, range, mse) = GOLDEN_PREPASS;
+    assert_eq!(e.sampled(), sampled);
+    for (name, got, want) in [
+        ("psnr_db", e.psnr_db(), psnr),
+        ("max_abs_error", e.max_abs_error(), max_abs),
+        ("max_pwr_error", e.max_pwr_error(), max_pwr),
+        ("value_range", e.value_range(), range),
+        ("mse", e.mse(), mse),
+    ] {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "prepass {name} drifted: got {got:?}, golden {want:?}"
+        );
+    }
+    // The estimate is executor-independent: the charged GPU prepass scans
+    // the identical host subsample.
+    let gpu = zc_core::exec::CuZc::default()
+        .prepass(&orig, &dec, GOLDEN_PREPASS_STRIDE)
+        .unwrap();
+    assert_eq!(gpu.estimate.psnr_db().to_bits(), e.psnr_db().to_bits());
+    assert!(gpu.modeled_seconds > 0.0 && run.modeled_seconds == 0.0);
+}
+
+/// On both sides of a PSNR threshold far from the estimate, the pruned
+/// (prepass-only) verdict must agree with the full assessment's verdict —
+/// the soundness contract progressive campaigns rely on.
+#[test]
+fn pruned_verdict_agrees_with_full_assessment_on_both_sides() {
+    use zc_core::recommend::{PrepassDecision, ProgressivePolicy, QualityCriteria};
+    let (orig, dec) = golden_pair();
+    let run = SerialZc
+        .prepass(&orig, &dec, GOLDEN_PREPASS_STRIDE)
+        .unwrap();
+    let full = SerialZc
+        .assess(&orig, &dec, &AssessConfig::default())
+        .unwrap();
+    let full_psnr = full.report.scalar(Metric::Psnr).unwrap();
+    // The golden pair sits near 70.8 dB; 40 and 100 are both far outside
+    // the ±3 dB decision margin.
+    for (min_psnr, expect_pass) in [(40.0, true), (100.0, false)] {
+        let policy = ProgressivePolicy::new(QualityCriteria {
+            min_psnr_db: Some(min_psnr),
+            ..Default::default()
+        });
+        let decision = policy.decide(&run.estimate);
+        let full_pass = full_psnr >= min_psnr;
+        assert_eq!(full_pass, expect_pass, "test premise at {min_psnr} dB");
+        match decision {
+            PrepassDecision::Accept => assert!(expect_pass, "accepted a failing candidate"),
+            PrepassDecision::Reject(_) => assert!(!expect_pass, "rejected a passing candidate"),
+            PrepassDecision::Frontier => {
+                panic!(
+                    "estimate {:.2} dB should be decidable at a {min_psnr} dB bar",
+                    run.estimate.psnr_db()
+                )
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "regenerates the prepass golden block; run with --nocapture"]
+fn regen_prepass() {
+    let (orig, dec) = golden_pair();
+    let e = SerialZc
+        .prepass(&orig, &dec, GOLDEN_PREPASS_STRIDE)
+        .unwrap()
+        .estimate;
+    println!(
+        "const GOLDEN_PREPASS: (u64, f64, f64, f64, f64, f64) = ({}, {:?}, {:?}, {:?}, {:?}, {:?});",
+        e.sampled(),
+        e.psnr_db(),
+        e.max_abs_error(),
+        e.max_pwr_error(),
+        e.value_range(),
+        e.mse()
+    );
+}

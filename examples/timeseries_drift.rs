@@ -6,7 +6,8 @@
 //! cargo run --release --example timeseries_drift
 //! ```
 
-use cuz_checker::compress::{Compressor, ErrorBound, SzCompressor};
+use cuz_checker::compress::{Compressor, CompressorSpec, ErrorBound, SzCompressor};
+use cuz_checker::core::campaign::{CampaignSpec, FieldRef, FleetSpec, Scheduler};
 use cuz_checker::core::config::AssessConfig;
 use cuz_checker::core::exec::Executor;
 use cuz_checker::core::{CuZc, Metric};
@@ -53,4 +54,40 @@ fn main() {
     }
     println!("\nsteady per-step quality = the compressor config can be trusted in-situ;");
     println!("a drifting row would flag a regime change worth re-tuning the bound for.");
+
+    // The same series as one *campaign job*: `FieldRef::timeseries` makes
+    // the whole evolution a single (8× oversized) field next to ordinary
+    // snapshots — exactly the size skew the cost-model list scheduler
+    // exists for. Round-robin pins the hog to one device group; `list`
+    // splits it along its slabs and levels the fleet.
+    println!("\n-- as a campaign (the series is one 8-step job) --");
+    let spec = |scheduler| CampaignSpec {
+        fields: vec![
+            FieldRef::timeseries(AppDataset::Hurricane, 9, GenOptions::scaled(8), steps),
+            FieldRef::new(AppDataset::Hurricane, 5, GenOptions::scaled(8)), // QVAPOR
+            FieldRef::new(AppDataset::Nyx, 2, GenOptions::scaled(16)),
+        ],
+        compressors: vec![CompressorSpec::Sz(ErrorBound::Rel(1e-3))],
+        cfg: AssessConfig {
+            max_lag: 3,
+            bins: 32,
+            // Slab tiling makes the oversized series splittable: the list
+            // scheduler can spread its slabs across idle groups.
+            tiling: cuz_checker::core::TilingPolicy::Slabs(8),
+            ..Default::default()
+        },
+        fleet: FleetSpec::nvlink(4),
+        scheduler,
+        progressive: None,
+    };
+    for scheduler in [Scheduler::RoundRobin, Scheduler::List] {
+        let report = spec(scheduler).run().expect("campaign");
+        let f = &report.fleet;
+        println!(
+            "{:>11}: makespan {:.5} s | utilization {:>5.1}%",
+            scheduler.label(),
+            f.makespan_s,
+            f.utilization * 100.0
+        );
+    }
 }
