@@ -38,6 +38,8 @@ struct Args {
     html: Option<PathBuf>,
     trace: bool,
     sanitize: bool,
+    verify: bool,
+    explain_plan: bool,
     device_mem: Option<u64>,
     slabs: Option<TilingPolicy>,
     demo: bool,
@@ -60,6 +62,12 @@ const USAGE: &str = "usage: cuzc [options]
   --trace                 print profiler-style per-pattern launch summaries
   --sanitize              run simulated kernels under the zc-sancheck
                           sanitizer (also: ZC_SANITIZE=1); exit 3 on hazards
+  --verify                statically verify the lowered plan (DAG shape,
+                          launch footprints, capacity, estimator honesty)
+                          and lint the kernel sources, then exit without
+                          assessing; exit 4 on error-severity diagnostics
+  --explain-plan          print the pass DAG, per-pass footprint/traffic
+                          table and resolved slab window, then exit
   --device-mem <size>     simulated device memory (bytes, or KiB/MiB/GiB
                           suffix); larger field pairs stream out-of-core
   --slabs <n|auto|mono>   slab-tiling policy (overrides the config)
@@ -142,6 +150,8 @@ fn parse_args() -> Result<Args, String> {
         html: None,
         trace: false,
         sanitize: false,
+        verify: false,
+        explain_plan: false,
         device_mem: None,
         slabs: None,
         demo: false,
@@ -164,6 +174,8 @@ fn parse_args() -> Result<Args, String> {
             "--html" => args.html = Some(PathBuf::from(val()?)),
             "--trace" => args.trace = true,
             "--sanitize" => args.sanitize = true,
+            "--verify" => args.verify = true,
+            "--explain-plan" => args.explain_plan = true,
             "--device-mem" => args.device_mem = Some(parse_size(&val()?)?),
             "--slabs" => args.slabs = Some(parse_slabs(&val()?)?),
             "--demo" => args.demo = true,
@@ -247,6 +259,13 @@ fn run() -> Result<ExitCode, String> {
             .ok_or_else(|| format!("--shape required\n{USAGE}"))?;
         read_raw(input, shape, endian).map_err(|e| format!("{}: {e}", input.display()))?
     };
+
+    // Static-analysis modes: --verify / --explain-plan work from the
+    // lowered plan and the original field's shape alone — no decompressed
+    // field is acquired and nothing executes.
+    if args.verify || args.explain_plan {
+        return run_static_analysis(&args, &run, orig.shape());
+    }
 
     // Acquire the decompressed field (from disk, or via the configured
     // compressor).
@@ -402,6 +421,81 @@ fn run() -> Result<ExitCode, String> {
     }
 
     sanitizer_verdict()
+}
+
+/// The `--verify` / `--explain-plan` modes: lower the plan, print its
+/// static footprint (explain), run the plan verifier plus the kernel
+/// lints (verify), and exit without assessing. Error-severity diagnostics
+/// exit 4 — distinct from usage errors (2) and sanitizer hazards (3).
+fn run_static_analysis(args: &Args, run: &RunConfig, shape: Shape) -> Result<ExitCode, String> {
+    use zc_core::plan::{footprint, verify, BackendCaps};
+    let plan = AssessPlan::lower(&run.assess);
+    let caps = BackendCaps::for_kind(run.executor, args.device_mem);
+
+    if args.explain_plan {
+        let fp = footprint(&plan, shape, &run.assess, &caps);
+        println!("assessment plan for {shape} ({:?} executor)", run.executor);
+        for p in &fp.passes {
+            let deps = if p.deps.is_empty() {
+                "-".to_string()
+            } else {
+                p.deps
+                    .iter()
+                    .map(|d| format!("{d:?}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let (smem, regs, threads) = match &p.resources {
+                Some(r) => (
+                    format!("{}", r.smem_per_block),
+                    format!("{}", r.regs_per_block()),
+                    format!("{}", r.threads_per_block),
+                ),
+                None => ("-".into(), "-".into(), "-".into()),
+            };
+            println!(
+                "  {:15} deps={:10} {}smem/TB={smem}B regs/TB={regs} threads/TB={threads} \
+                 est {:.2e} B / {:.2e} flops / {} launch(es)",
+                format!("{:?}", p.kind),
+                deps,
+                if p.auxiliary { "auxiliary " } else { "" },
+                p.est_bytes,
+                p.est_flops,
+                p.est_launches
+            );
+        }
+        match &fp.slabs {
+            Ok(slabs) => {
+                print!(
+                    "  slab window: {} slab(s) over {} plane(s), pair {} B",
+                    slabs, fp.planes, fp.pair_bytes
+                );
+                match fp.resident_bytes {
+                    Some(r) => println!(", resident window {r} B"),
+                    None => println!(" (host-resident)"),
+                }
+            }
+            Err(e) => println!("  slab window: unresolvable — {e}"),
+        }
+        if !args.verify {
+            return Ok(ExitCode::SUCCESS);
+        }
+    }
+
+    let mut diags = verify(&plan, shape, &run.assess, &caps);
+    match zc_lint::find_kernels_src() {
+        Some(src) => {
+            eprintln!("verify: linting kernel sources in {}", src.display());
+            diags.extend(zc_lint::lint_dir(&src).map_err(|e| format!("{}: {e}", src.display()))?);
+        }
+        None => eprintln!("verify: kernel sources not found — plan checks only"),
+    }
+    print!("{}", zc_lint::render_table(&diags));
+    Ok(if zc_lint::error_count(&diags) > 0 {
+        ExitCode::from(4)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// Drain the sanitizer sink and fail loudly on hazards (exit 3); a no-op

@@ -165,11 +165,31 @@ impl CampaignSpec {
             }
         }
         let jobs = self.jobs();
+        // Admission: statically verify every job's lowered plan against
+        // the fleet's device envelope before any field is generated or
+        // sharded. Jobs whose plan carries an error-severity diagnostic
+        // are recorded as failed without running (one verdict per field —
+        // jobs sharing a field share a plan and a shape).
+        let plan_ir = AssessPlan::lower(&self.cfg);
+        let caps = crate::plan::BackendCaps::v100();
+        let admission: Vec<Option<String>> = self
+            .fields
+            .iter()
+            .map(|f| {
+                crate::plan::verify(&plan_ir, f.shape(), &self.cfg, &caps)
+                    .iter()
+                    .find(|d| d.severity == zc_lint::Severity::Error)
+                    .map(|d| format!("admission: {}: {}", d.lint_id, d.message))
+            })
+            .collect();
         // Generate each field once up front (host-parallel, index-ordered),
         // not once per compressor config.
         let fields = zc_par::par_map(self.fields.len(), |i| self.fields[i].generate());
         let executor = self.fleet.executor();
         let outcomes = zc_par::par_map(jobs.len(), |i| {
+            if let Some(msg) = &admission[jobs[i].field_index] {
+                return JobOutcome::Failed(msg.clone());
+            }
             job::run_job(
                 &fields[jobs[i].field_index].data,
                 &jobs[i],

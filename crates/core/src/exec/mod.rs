@@ -221,7 +221,30 @@ pub enum AssessError {
         required: u64,
         /// Simulated device memory capacity in bytes.
         capacity: u64,
+        /// The pass whose footprint dominates the resident requirement
+        /// (from the plan verifier's static footprint computation; `None`
+        /// when the error predates lowering, e.g. a bare slab resolution).
+        pass: Option<crate::plan::PassKind>,
     },
+}
+
+impl AssessError {
+    /// Attribute a capacity error to the dominating pass (no-op for other
+    /// variants or when already attributed).
+    pub fn with_pass(self, kind: Option<crate::plan::PassKind>) -> AssessError {
+        match self {
+            AssessError::Capacity {
+                required,
+                capacity,
+                pass: None,
+            } => AssessError::Capacity {
+                required,
+                capacity,
+                pass: kind,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for AssessError {
@@ -229,11 +252,20 @@ impl fmt::Display for AssessError {
         match self {
             AssessError::ShapeMismatch => write!(f, "original/decompressed shape mismatch"),
             AssessError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
-            AssessError::Capacity { required, capacity } => write!(
-                f,
-                "field pair needs {required} resident bytes but the device has {capacity} \
-                 (enable slab tiling or reduce the field)"
-            ),
+            AssessError::Capacity {
+                required,
+                capacity,
+                pass,
+            } => {
+                write!(
+                    f,
+                    "field pair needs {required} resident bytes but the device has {capacity}"
+                )?;
+                if let Some(kind) = pass {
+                    write!(f, " (largest field pass: {kind:?})")?;
+                }
+                write!(f, " — enable slab tiling or reduce the field")
+            }
         }
     }
 }

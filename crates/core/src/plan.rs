@@ -33,6 +33,12 @@
 //! [`CuZc`]: crate::exec::CuZc
 //! [`MultiCuZc`]: crate::exec::MultiCuZc
 
+pub mod verify;
+pub use verify::{
+    footprint, verify, verify_estimate, verify_tile_schedule, BackendCaps, PassFootprint,
+    PlanFootprint,
+};
+
 use crate::config::AssessConfig;
 use crate::exec::{
     validate, AssessError, Assessment, Confidence, PatternProfile, PatternRun, PatternTimes,
@@ -183,6 +189,15 @@ impl AssessPlan {
                 reads_fields: kind != PassKind::CompressionMeta,
             });
         }
+        AssessPlan { passes }
+    }
+
+    /// Build a plan directly from pass nodes, bypassing the lowering
+    /// invariants — the verifier's seam for mutant plans `lower` can never
+    /// produce (cycles, orphaned dependencies, dead passes). Production
+    /// code lowers; anything built here should go through
+    /// [`verify::verify`] before it is trusted.
+    pub fn from_passes(passes: Vec<Pass>) -> AssessPlan {
         AssessPlan { passes }
     }
 
@@ -410,6 +425,7 @@ pub fn resolve_slabs(
                     pair_bytes.div_ceil(max_slabs as u64) * RESIDENT_SLABS
                 },
                 capacity: cap,
+                pass: None,
             });
         }
         slabs = slabs.max(min_slabs);
@@ -446,6 +462,33 @@ pub struct CostEstimate {
     pub seconds: f64,
 }
 
+/// The estimator's closed-form per-pass traffic: (bytes, flops, launches)
+/// for one pass over an `n`-element field under a configuration, `None`
+/// for passes that launch nothing. One function feeds both
+/// [`estimate_job_cost`] and the plan verifier's cross-check against the
+/// kernels' own declared models (`zc_kernels::traffic`) — so the
+/// estimator cannot silently undercharge a pass without
+/// `plan/undercharged-estimate` firing.
+pub fn pass_traffic_estimate(
+    kind: PassKind,
+    n: f64,
+    cfg: &AssessConfig,
+) -> Option<(f64, f64, f64)> {
+    let window = cfg.ssim.window as f64;
+    let lags = cfg.max_lag as f64;
+    // Per-element work of the fused pattern kernels: both f32 fields
+    // stream through once per sweep (8 B/element); the stencil sweeps
+    // once per lag; the SSIM FIFO does ~window incremental updates per
+    // element.
+    match kind {
+        PassKind::P1Scalars => Some((8.0 * n, 30.0 * n, 1.0)),
+        PassKind::P1Hist => Some((8.0 * n, 12.0 * n, 1.0)),
+        PassKind::P2Stencil => Some((8.0 * n * lags, 24.0 * n * lags, lags.max(1.0))),
+        PassKind::P3Ssim => Some((8.0 * n, 11.0 * n * window, 1.0)),
+        PassKind::CompressionMeta => None,
+    }
+}
+
 /// Predict one job's assessment cost from its pass DAG: per-pass counter
 /// estimates (bytes + flops from the field shape and the configuration,
 /// mirroring the fused cuZC kernels' per-element work) are priced on an
@@ -460,22 +503,12 @@ pub fn estimate_job_cost(
     link: &MultiGpuModel,
 ) -> CostEstimate {
     let n = shape.len() as f64;
-    let window = cfg.ssim.window as f64;
-    let lags = cfg.max_lag as f64;
     let g = gpus.max(1) as f64;
     let mut pass_seconds = Vec::new();
     let (mut bytes_total, mut flops_total) = (0u64, 0u64);
     for pass in plan.passes() {
-        // Per-element work of the fused pattern kernels: both f32 fields
-        // stream through once per sweep (8 B/element); the stencil sweeps
-        // once per lag; the SSIM FIFO does ~window incremental updates per
-        // element.
-        let (bytes, flops, launches) = match pass.kind {
-            PassKind::P1Scalars => (8.0 * n, 30.0 * n, 1.0),
-            PassKind::P1Hist => (8.0 * n, 12.0 * n, 1.0),
-            PassKind::P2Stencil => (8.0 * n * lags, 24.0 * n * lags, lags.max(1.0)),
-            PassKind::P3Ssim => (8.0 * n, 11.0 * n * window, 1.0),
-            PassKind::CompressionMeta => continue,
+        let Some((bytes, flops, launches)) = pass_traffic_estimate(pass.kind, n, cfg) else {
+            continue;
         };
         let mut secs = (bytes / g / EST_BW_BYTES_PER_S).max(flops / g / EST_FLOPS_PER_S)
             + launches * EST_LAUNCH_S;
@@ -811,7 +844,8 @@ impl<'a> PlanRunner<'a> {
         let pair_bytes = orig.shape().len() as u64 * 4 * 2; // both fields
         let planes = (orig.shape().nz() * orig.shape().nw()).max(1);
         let capacity = backend.device_capacity();
-        let slabs = resolve_slabs(cfg.tiling, pair_bytes, planes, capacity)?;
+        let slabs = resolve_slabs(cfg.tiling, pair_bytes, planes, capacity)
+            .map_err(|e| e.with_pass(verify::heaviest_field_pass(self.plan, orig.shape(), cfg)))?;
         let out_of_core = capacity.is_some_and(|cap| pair_bytes > cap);
 
         let mut ctx = PassCtx {

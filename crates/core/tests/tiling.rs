@@ -180,9 +180,16 @@ fn monolithic_policy_over_capacity_is_a_typed_error() {
         .assess(&orig, &dec, &cfg_with(TilingPolicy::Monolithic))
         .unwrap_err();
     match err {
-        AssessError::Capacity { required, capacity } => {
+        AssessError::Capacity {
+            required,
+            capacity,
+            pass,
+        } => {
             assert_eq!(required, orig.len() as u64 * 4 * 2);
             assert_eq!(capacity, 256 * 1024);
+            // The runtime path attributes the error to the heaviest
+            // field-reading pass — the stencil under the default metrics.
+            assert_eq!(pass, Some(zc_core::plan::PassKind::P2Stencil));
         }
         other => panic!("expected Capacity, got {other:?}"),
     }

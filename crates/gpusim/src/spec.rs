@@ -18,6 +18,10 @@ pub struct DeviceSpec {
     pub max_threads_per_sm: u32,
     /// Maximum resident thread blocks per SM.
     pub max_blocks_per_sm: u32,
+    /// Maximum threads in a single thread block (1024 on every CUDA
+    /// device since compute 2.0) — a launch-time hard limit, checked by
+    /// the plan verifier before any launch exists.
+    pub max_threads_per_block: u32,
     /// Shared memory per SM in bytes.
     pub smem_per_sm: u32,
     /// Shared memory limit per thread block in bytes.
@@ -44,6 +48,7 @@ impl DeviceSpec {
             regs_per_sm: 65_536,
             max_threads_per_sm: 2_048,
             max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
             smem_per_sm: 96 * 1024,
             smem_per_block: 48 * 1024,
             warp_size: 32,

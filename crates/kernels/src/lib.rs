@@ -28,6 +28,7 @@ pub mod mo;
 pub mod p1;
 pub mod p2;
 pub mod p3;
+pub mod traffic;
 
 pub use acc::{LaneAccum, P1Scalars, P2Stats, WindowMoments};
 pub use hist::Histogram;

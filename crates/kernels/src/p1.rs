@@ -36,6 +36,32 @@ impl P1FusedKernel<'_> {
     }
 }
 
+/// Shape-independent resource declaration of the fused pattern-1 scalar
+/// kernel — the plan verifier's static footprint for a `P1Scalars` launch.
+/// [`P1FusedKernel::resources`] delegates here so the static and instance
+/// declarations cannot drift.
+pub fn scalar_resources() -> KernelResources {
+    // 56 regs/thread × 256 threads ≈ the paper's 14k Regs/TB; the
+    // cross-warp staging area is 8 warps × 19 quantities × 8 B ≈ 0.4 KB
+    // SMem/TB (Table II, pattern-1 rows).
+    KernelResources {
+        regs_per_thread: 56,
+        smem_per_block: (P1_WARPS * P1Scalars::QUANTITIES as usize * 8) as u32,
+        threads_per_block: (WARP * P1_WARPS) as u32,
+    }
+}
+
+/// Shape-independent resource declaration of the pattern-1 histogram
+/// kernel at a given bin count ([`P1HistKernel::resources`] delegates
+/// here): three shared-memory histograms per block.
+pub fn hist_resources(bins: usize) -> KernelResources {
+    KernelResources {
+        regs_per_thread: 28,
+        smem_per_block: (3 * bins * 4) as u32,
+        threads_per_block: (WARP * P1_WARPS) as u32,
+    }
+}
+
 impl BlockKernel for P1FusedKernel<'_> {
     type Partial = P1Scalars;
     type Output = P1Scalars;
@@ -45,14 +71,7 @@ impl BlockKernel for P1FusedKernel<'_> {
     }
 
     fn resources(&self) -> KernelResources {
-        // 56 regs/thread × 256 threads ≈ the paper's 14k Regs/TB; the
-        // cross-warp staging area is 8 warps × 19 quantities × 8 B ≈ 0.4 KB
-        // SMem/TB (Table II, pattern-1 rows).
-        KernelResources {
-            regs_per_thread: 56,
-            smem_per_block: (P1_WARPS * P1Scalars::QUANTITIES as usize * 8) as u32,
-            threads_per_block: (WARP * P1_WARPS) as u32,
-        }
+        scalar_resources()
     }
 
     fn class(&self) -> KernelClass {
@@ -275,12 +294,7 @@ impl BlockKernel for P1HistKernel<'_> {
     }
 
     fn resources(&self) -> KernelResources {
-        // Three shared-memory histograms per block.
-        KernelResources {
-            regs_per_thread: 28,
-            smem_per_block: (3 * self.bins * 4) as u32,
-            threads_per_block: (WARP * P1_WARPS) as u32,
-        }
+        hist_resources(self.bins)
     }
 
     fn class(&self) -> KernelClass {

@@ -77,6 +77,25 @@ impl P2FusedKernel<'_> {
     }
 }
 
+/// Shape-independent resource declaration of a stencil launch whose staged
+/// tile carries a high-side halo of `halo` slices — the plan verifier
+/// prices a `P2Stencil` pass at `halo = max_lag` (its widest launch)
+/// before any field exists. [`P2FusedKernel::resources`] delegates here so
+/// the static and instance declarations cannot drift.
+pub fn stencil_resources(halo: usize) -> KernelResources {
+    // The kernel reserves shared memory for its worst launch (3 staged
+    // slices at the widest tile) so the allocation is stride-invariant
+    // — which is why the paper's Table II shows a constant ~17 KB
+    // SMem/TB for pattern 2. 9 regs × 256 threads ≈ the paper's 2.3k
+    // Regs/TB.
+    let w = TILE + 1 + halo.max(1);
+    KernelResources {
+        regs_per_thread: 9,
+        smem_per_block: (2 * 3 * w * w * 4) as u32,
+        threads_per_block: (TILE * TILE) as u32,
+    }
+}
+
 impl BlockKernel for P2FusedKernel<'_> {
     type Partial = P2Stats;
     type Output = P2Stats;
@@ -86,18 +105,7 @@ impl BlockKernel for P2FusedKernel<'_> {
     }
 
     fn resources(&self) -> KernelResources {
-        // The kernel reserves shared memory for its worst launch (3 staged
-        // slices at the widest tile) so the allocation is stride-invariant
-        // — which is why the paper's Table II shows a constant ~17 KB
-        // SMem/TB for pattern 2.
-        let w = self.tile_width();
-        let smem = (2 * 3 * w * w * 4) as u32;
-        // 9 regs × 256 threads ≈ the paper's 2.3k Regs/TB.
-        KernelResources {
-            regs_per_thread: 9,
-            smem_per_block: smem,
-            threads_per_block: (TILE * TILE) as u32,
-        }
+        stencil_resources(self.tile_width() - TILE - 1)
     }
 
     fn class(&self) -> KernelClass {
@@ -520,6 +528,9 @@ impl HasReferencePath for P2FusedKernel<'_> {
 
 /// Shared read via an immutable buffer handle (helper that charges the
 /// access while working around the borrow of the closure captures).
+// zc-lint: exempt(kernel/unscoped-shared) — every caller invokes this
+// inside its own warp_begin/warp_end scope; the scope just isn't visible
+// in this one-line helper.
 #[inline]
 fn shared_read(ctx: &mut BlockCtx, buf: &SharedBuf<f32>, i: usize) -> f32 {
     ctx.sh_read(buf, i)

@@ -124,6 +124,26 @@ impl SsimFusedKernel<'_> {
     }
 }
 
+/// Shape-independent resource declaration of the SSIM kernel for a window
+/// configuration — the plan verifier's static footprint for a `P3Ssim`
+/// launch. [`SsimFusedKernel::resources`] delegates here so the static and
+/// instance declarations cannot drift.
+pub fn ssim_resources(wsize: usize, step: usize, fifo_in_shared: bool) -> KernelResources {
+    // 86 regs × 128 threads ≈ the paper's 11k Regs/TB; the shared FIFO
+    // (f32 moments) is ≈16 KB for the paper's window-8/step-1 setting.
+    let x_num = (WARP + step).saturating_sub(wsize).clamp(1, WARP);
+    let entries = x_num * Y_NUM * wsize * WindowMoments::QUANTITIES as usize;
+    KernelResources {
+        regs_per_thread: 86,
+        smem_per_block: if fifo_in_shared {
+            (entries * 4) as u32
+        } else {
+            256
+        },
+        threads_per_block: (WARP * Y_NUM) as u32,
+    }
+}
+
 impl BlockKernel for SsimFusedKernel<'_> {
     type Partial = SsimAcc;
     type Output = SsimAcc;
@@ -133,18 +153,7 @@ impl BlockKernel for SsimFusedKernel<'_> {
     }
 
     fn resources(&self) -> KernelResources {
-        // 86 regs × 128 threads ≈ the paper's 11k Regs/TB; the shared FIFO
-        // (f32 moments) is ≈16 KB for the paper's window-8/step-1 setting.
-        let smem = if self.fifo_in_shared {
-            (self.fifo_entries() * 4) as u32
-        } else {
-            256
-        };
-        KernelResources {
-            regs_per_thread: 86,
-            smem_per_block: smem,
-            threads_per_block: (WARP * Y_NUM) as u32,
-        }
+        ssim_resources(self.params.wsize, self.params.step, self.fifo_in_shared)
     }
 
     fn class(&self) -> KernelClass {

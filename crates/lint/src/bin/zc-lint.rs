@@ -1,0 +1,70 @@
+//! `zc-lint` — run the kernel-source lints from the command line.
+//!
+//! ```text
+//! zc-lint --workspace-kernels     # lint crates/kernels/src (the CI gate)
+//! zc-lint path/to/file.rs ...     # lint specific files
+//! zc-lint --list                  # list the registered lints
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 on any error-severity
+//! finding, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use zc_lint::{error_count, find_kernels_src, lint_file, render_table, Diagnostic, LINTS};
+
+const USAGE: &str = "usage: zc-lint [--workspace-kernels | --list | <file.rs>...]
+  --workspace-kernels   lint every source of crates/kernels/src (locates the
+                        workspace from the current directory or the zc-lint
+                        crate's own location)
+  --list                list the registered lints and exit";
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err(USAGE.to_string());
+    }
+    if args.iter().any(|a| a == "--list") {
+        for l in LINTS {
+            println!("{:30} {}", l.id, l.description);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let files: Vec<PathBuf> = if args.iter().any(|a| a == "--workspace-kernels") {
+        let src = find_kernels_src()
+            .ok_or_else(|| "crates/kernels/src not found from here".to_string())?;
+        eprintln!("zc-lint: scanning {}", src.display());
+        zc_lint::rs_sources(&src).map_err(|e| format!("{}: {e}", src.display()))?
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    if files.is_empty() {
+        return Err("no source files to lint".to_string());
+    }
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for f in &files {
+        diags.extend(lint_file(f).map_err(|e| format!("{}: {e}", f.display()))?);
+    }
+    print!("{}", render_table(&diags));
+    eprintln!(
+        "zc-lint: {} file(s), {} lint(s), {} finding(s)",
+        files.len(),
+        LINTS.len(),
+        diags.len()
+    );
+    Ok(if error_count(&diags) > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
