@@ -23,7 +23,7 @@
 
 use zc_bench::HarnessOpts;
 use zc_compress::{Compressor, CompressorSpec, ErrorBound, SzCompressor, ZfpLikeCompressor};
-use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, LinkKind, Scheduler};
+use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, LinkKind, RecoveryPolicy, Scheduler};
 use zc_core::exec::CuZc;
 use zc_core::recommend::{recommend, recommend_progressive, ProgressivePolicy, QualityCriteria};
 use zc_core::{AssessConfig, TilingPolicy};
@@ -58,6 +58,7 @@ fn main() {
         fleet: FleetSpec::nvlink(1),
         scheduler: Scheduler::RoundRobin,
         progressive: None,
+        recovery: RecoveryPolicy::default(),
     };
     let n_jobs = spec.jobs().len();
     eprintln!(
@@ -76,6 +77,7 @@ fn main() {
                 gpus,
                 gpus_per_job: 1,
                 link,
+                faults: None,
             })
         })
         .collect();
@@ -222,6 +224,7 @@ fn run_mixed_section(scale: usize, cfg: &AssessConfig, gpu_counts: &[u32]) -> Ve
             fleet: FleetSpec::nvlink(1),
             scheduler,
             progressive: None,
+            recovery: RecoveryPolicy::default(),
         };
         let reports = spec.run_on_fleets(&fleets).expect("mixed campaign run");
         for (fleet, report) in fleets.iter().zip(&reports) {

@@ -25,10 +25,16 @@ pub enum CompressorSpec {
     BitGroom(u32),
     /// Lossless byte-plane Huffman.
     Lossless,
-    /// Fault injection: compresses normally (as lossless) but always fails
-    /// to decompress. Used by campaign failure-isolation tests — a campaign
-    /// containing one such job must complete every other job.
-    FailDecode,
+    /// Fault injection: compresses normally (as lossless) but fails to
+    /// decompress on a deterministic subset of streams — roughly one in
+    /// `every_nth`, selected by a seeded hash of the compressed payload,
+    /// so the *same* fields fail on every run. `every_nth == 1` is the
+    /// original always-failing codec; larger values let chaos campaigns
+    /// inject codec faults mid-sweep while most jobs still complete.
+    FailDecode {
+        /// Fail ~1/N of decode attempts (1 = always fail).
+        every_nth: u32,
+    },
 }
 
 impl CompressorSpec {
@@ -39,7 +45,9 @@ impl CompressorSpec {
             CompressorSpec::Zfp(rate) => Box::new(ZfpLikeCompressor::new(rate)),
             CompressorSpec::BitGroom(bits) => Box::new(BitGroomCompressor::new(bits)),
             CompressorSpec::Lossless => Box::new(LosslessCompressor::new()),
-            CompressorSpec::FailDecode => Box::new(FailDecode),
+            CompressorSpec::FailDecode { every_nth } => Box::new(FailDecode {
+                every_nth: every_nth.max(1),
+            }),
         }
     }
 
@@ -51,7 +59,8 @@ impl CompressorSpec {
             CompressorSpec::Zfp(rate) => format!("zfp(rate={rate})"),
             CompressorSpec::BitGroom(bits) => format!("bitgroom(bits={bits})"),
             CompressorSpec::Lossless => "lossless".to_string(),
-            CompressorSpec::FailDecode => "fail-decode".to_string(),
+            CompressorSpec::FailDecode { every_nth: 1 } => "fail-decode".to_string(),
+            CompressorSpec::FailDecode { every_nth } => format!("fail-decode(1/{every_nth})"),
         }
     }
 
@@ -69,7 +78,32 @@ impl CompressorSpec {
 }
 
 /// The fault-injection codec behind [`CompressorSpec::FailDecode`].
-struct FailDecode;
+struct FailDecode {
+    every_nth: u32,
+}
+
+impl FailDecode {
+    /// Deterministic per-stream selector: a SplitMix64-style hash of the
+    /// compressed payload (length plus a sparse byte sample, so huge
+    /// streams stay cheap to fingerprint). The same field under the same
+    /// upstream codec always hashes the same — the fault is a property of
+    /// the stream, not of execution order, which is what keeps chaos
+    /// campaigns bit-reproducible at any worker count.
+    fn stream_hash(c: &Compressed) -> u64 {
+        let mix = |v: u64| {
+            let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut h = mix(c.bytes.len() as u64);
+        let step = (c.bytes.len() / 64).max(1);
+        for (i, &b) in c.bytes.iter().step_by(step).enumerate() {
+            h = mix(h ^ ((b as u64) << 8) ^ i as u64);
+        }
+        h
+    }
+}
 
 impl Compressor for FailDecode {
     fn name(&self) -> &'static str {
@@ -82,8 +116,11 @@ impl Compressor for FailDecode {
         c
     }
 
-    fn decompress(&self, _c: &Compressed) -> Result<Tensor<f32>, CodecError> {
-        Err(CodecError::Corrupt("fault-injection codec never decodes"))
+    fn decompress(&self, c: &Compressed) -> Result<Tensor<f32>, CodecError> {
+        if Self::stream_hash(c).is_multiple_of(self.every_nth as u64) {
+            return Err(CodecError::Corrupt("fault-injection codec never decodes"));
+        }
+        LosslessCompressor::new().decompress(c)
     }
 }
 
@@ -115,8 +152,42 @@ mod tests {
 
     #[test]
     fn fail_decode_compresses_but_never_decodes() {
-        let c = CompressorSpec::FailDecode.build();
+        let c = CompressorSpec::FailDecode { every_nth: 1 }.build();
         let out = c.compress(&field());
         assert!(c.decompress(&out).is_err());
+        // every_nth == 0 clamps to the always-failing codec, not a panic.
+        let c0 = CompressorSpec::FailDecode { every_nth: 0 }.build();
+        assert!(c0.decompress(&c0.compress(&field())).is_err());
+    }
+
+    #[test]
+    fn seeded_fail_decode_is_deterministic_and_partial() {
+        // Many distinct fields through a 1-in-4 fault codec: some decode,
+        // some fail, and the verdict per field is identical on every run.
+        let c = CompressorSpec::FailDecode { every_nth: 4 }.build();
+        let mut failed = 0;
+        let mut decoded = 0;
+        for k in 0..32u32 {
+            let t = Tensor::from_fn(Shape::d3(8, 8, 8), |[x, y, z, _]| {
+                (x as f32 * 0.3 + k as f32).sin() + y as f32 * 0.05 - (z as f32 * 0.2).cos()
+            });
+            let out = c.compress(&t);
+            let first = c.decompress(&out).is_err();
+            let second = c.decompress(&out).is_err();
+            assert_eq!(first, second, "verdict must be stable per stream");
+            if first {
+                failed += 1;
+            } else {
+                decoded += 1;
+                // Surviving streams decode exactly (lossless carrier).
+                let rec = c.decompress(&out).unwrap();
+                assert_eq!(rec.as_slice(), t.as_slice());
+            }
+        }
+        assert!(
+            failed > 0,
+            "a 1/4 fault codec must fail somewhere in 32 fields"
+        );
+        assert!(decoded > 0, "a 1/4 fault codec must also decode somewhere");
     }
 }

@@ -9,6 +9,8 @@
 //! cuzc --demo                        # self-contained demo on synthetic data
 //! cuzc --demo --fleet 8 --scheduler list --progressive
 //!                                    # demo campaign on a simulated fleet
+//! cuzc --demo --fleet 8 --chaos 42:0.05
+//!                                    # same fleet under seeded device faults
 //! ```
 
 use std::path::PathBuf;
@@ -16,7 +18,7 @@ use std::process::ExitCode;
 use zc_compress::{
     BitGroomCompressor, Compressor, LosslessCompressor, SzCompressor, ZfpLikeCompressor,
 };
-use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, Scheduler};
+use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, RecoveryPolicy, Scheduler};
 use zc_core::config::{parse, CompressorChoice, RunConfig, TilingPolicy};
 use zc_core::exec::make_executor_with_device_mem;
 use zc_core::io::{read_raw, write_pgm_slice, Endianness};
@@ -46,6 +48,7 @@ struct Args {
     fleet: Option<u32>,
     scheduler: Scheduler,
     progressive: bool,
+    chaos: Option<(u64, u32)>,
 }
 
 const USAGE: &str = "usage: cuzc [options]
@@ -77,7 +80,11 @@ const USAGE: &str = "usage: cuzc [options]
   --scheduler <policy>    campaign job placement: round-robin (default) or
                           list (cost-model LPT with oversized-job splitting)
   --progressive           campaign prepass: early-exit jobs whose strided
-                          subsample is decidable far from the thresholds";
+                          subsample is decidable far from the thresholds
+  --chaos <seed>:<rate>   with --demo --fleet: inject seeded transient
+                          device faults at <rate> (a fraction, e.g. 0.05)
+                          and recover with retry/backoff rescheduling;
+                          exit 5 if any job is lost or the fleet dies";
 
 fn parse_shape(s: &str) -> Result<Shape, String> {
     let dims: Result<Vec<usize>, _> = s.split('x').map(|p| p.parse::<usize>()).collect();
@@ -101,6 +108,21 @@ fn parse_size(s: &str) -> Result<u64, String> {
         .parse::<u64>()
         .map(|v| v * mult)
         .map_err(|_| format!("bad size '{s}' (bytes, or KiB/MiB/GiB suffix)"))
+}
+
+/// Parse a `--chaos` spec: `<seed>:<rate>` where the rate is a fault
+/// probability per attempt as a fraction in `[0, 1]` (`0.05` = 5%).
+fn parse_chaos(s: &str) -> Result<(u64, u32), String> {
+    let bad = || format!("bad chaos spec '{s}' (expected <seed>:<rate>, e.g. 42:0.05)");
+    let (seed, rate) = s.split_once(':').ok_or_else(bad)?;
+    let seed = seed.trim().parse::<u64>().map_err(|_| bad())?;
+    let rate = rate.trim().parse::<f64>().map_err(|_| bad())?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "chaos rate {rate} out of range (fraction in [0, 1])"
+        ));
+    }
+    Ok((seed, (rate * 1000.0).round() as u32))
 }
 
 /// Parse a `--slabs` policy: `auto`, `mono[lithic]`, or a slab count.
@@ -158,6 +180,7 @@ fn parse_args() -> Result<Args, String> {
         fleet: None,
         scheduler: Scheduler::default(),
         progressive: false,
+        chaos: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -190,6 +213,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--scheduler" => args.scheduler = Scheduler::parse(&val()?)?,
             "--progressive" => args.progressive = true,
+            "--chaos" => args.chaos = Some(parse_chaos(&val()?)?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
@@ -237,6 +261,11 @@ fn run() -> Result<ExitCode, String> {
             ));
         }
         return run_demo_campaign(gpus, &args, &run);
+    }
+    if args.chaos.is_some() {
+        return Err(format!(
+            "--chaos injects faults into the demo fleet; add --demo --fleet <gpus>\n{USAGE}"
+        ));
     }
 
     // Acquire the original field.
@@ -529,6 +558,10 @@ fn sanitizer_verdict() -> Result<ExitCode, String> {
 fn run_demo_campaign(gpus: u32, args: &Args, run: &RunConfig) -> Result<ExitCode, String> {
     use zc_compress::{CompressorSpec, ErrorBound};
     use zc_data::{AppDataset, GenOptions};
+    let mut fleet = FleetSpec::nvlink(gpus);
+    if let Some((seed, rate_permille)) = args.chaos {
+        fleet = fleet.with_faults(zc_gpusim::FaultPlan::chaos(seed, rate_permille));
+    }
     let spec = CampaignSpec {
         fields: vec![
             FieldRef::timeseries(AppDataset::Hurricane, 9, GenOptions::scaled(16), 4),
@@ -546,7 +579,7 @@ fn run_demo_campaign(gpus: u32, args: &Args, run: &RunConfig) -> Result<ExitCode
             tiling: run.assess.tiling,
             ..Default::default()
         },
-        fleet: FleetSpec::nvlink(gpus),
+        fleet,
         scheduler: args.scheduler,
         // The demo bar sits far below SZ-1e-3 / ZFP-12 quality, so every
         // job's prepass is decidable and the campaign shows the prune.
@@ -556,20 +589,51 @@ fn run_demo_campaign(gpus: u32, args: &Args, run: &RunConfig) -> Result<ExitCode
                 ..Default::default()
             })
         }),
+        recovery: RecoveryPolicy::default(),
     };
     eprintln!(
-        "demo campaign: {} jobs on {gpus} simulated GPUs ({} scheduler{})",
+        "demo campaign: {} jobs on {gpus} simulated GPUs ({} scheduler{}{})",
         spec.fields.len() * spec.compressors.len(),
         args.scheduler.label(),
         if args.progressive {
             ", progressive prepass"
         } else {
             ""
+        },
+        match args.chaos {
+            Some((seed, rate)) => format!(", chaos seed {seed} @ {rate}\u{2030}"),
+            None => String::new(),
         }
     );
-    let report = spec.run().map_err(|e| format!("campaign failed: {e}"))?;
+    let report = match spec.run() {
+        Ok(r) => r,
+        // A fully dead fleet is a chaos verdict (exit 5), not a usage or
+        // internal error: the campaign engine did its job and reported
+        // that no recovery was possible.
+        Err(e @ zc_core::campaign::CampaignError::AllDevicesDead { .. }) => {
+            eprintln!("campaign failed: {e}");
+            return Ok(ExitCode::from(5));
+        }
+        Err(e) => return Err(format!("campaign failed: {e}")),
+    };
     print!("{}", report.render_table());
-    sanitizer_verdict()
+    let verdict = sanitizer_verdict()?;
+    if verdict != ExitCode::SUCCESS {
+        return Ok(verdict);
+    }
+    // Chaos verdict: a campaign that lost jobs to fault-retry exhaustion
+    // completed degraded — surface it as exit 5 so CI can gate on it.
+    if let Some(rec) = &report.recovery {
+        if rec.completion < 1.0 {
+            eprintln!(
+                "chaos: {} job(s) lost after retry exhaustion (completion {:.1}%)",
+                rec.lost_jobs,
+                rec.completion * 100.0
+            );
+            return Ok(ExitCode::from(5));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {

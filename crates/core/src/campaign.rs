@@ -27,10 +27,12 @@
 //!   so fleet totals stay consistent with single-job accounting.
 
 mod job;
+mod recover;
 mod report;
 mod shard;
 
 pub use job::{FieldRef, JobMetrics, JobOutcome, JobRecord, JobSpec};
+pub use recover::{RecoveryPolicy, RecoveryReport};
 pub use report::{CampaignReport, EngineBusy, FleetUtilization, PatternTotals};
 pub use shard::{FleetSpec, LinkKind, Scheduler, ShardPlan};
 
@@ -59,6 +61,9 @@ pub struct CampaignSpec {
     /// early-exits (metrics marked subsampled) if the policy already
     /// decides its verdict.
     pub progressive: Option<ProgressivePolicy>,
+    /// Retry/backoff policy for injected device faults — consulted only
+    /// when the fleet carries a non-null [`zc_gpusim::FaultPlan`].
+    pub recovery: RecoveryPolicy,
 }
 
 /// Campaign-level errors (per-job failures are *not* errors — they are
@@ -69,6 +74,13 @@ pub enum CampaignError {
     BadFleet(String),
     /// The shared assessment configuration failed validation.
     BadConfig(String),
+    /// Fault injection permanently killed every device group before the
+    /// campaign could finish — there is no surviving fleet to reschedule
+    /// onto. Always a typed error, never a panic or a hang.
+    AllDevicesDead {
+        /// How many device groups the fleet had (all of them died).
+        groups: u32,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -76,6 +88,10 @@ impl std::fmt::Display for CampaignError {
         match self {
             CampaignError::BadFleet(m) => write!(f, "bad fleet spec: {m}"),
             CampaignError::BadConfig(m) => write!(f, "bad assess config: {m}"),
+            CampaignError::AllDevicesDead { groups } => write!(
+                f,
+                "all {groups} device group(s) died; no surviving fleet to reschedule onto"
+            ),
         }
     }
 }
@@ -101,6 +117,7 @@ impl CampaignSpec {
             fleet,
             scheduler: Scheduler::default(),
             progressive: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -199,23 +216,37 @@ impl CampaignSpec {
             )
         });
         let (costs, splittable) = self.job_costs();
-        Ok(fleets
-            .iter()
-            .map(|fleet| {
-                let plan = self.scheduler.plan(&costs, &splittable, fleet.groups());
-                let records = jobs
-                    .iter()
-                    .zip(&outcomes)
-                    .enumerate()
-                    .map(|(i, (spec, outcome))| JobRecord {
-                        spec: spec.clone(),
-                        group: plan.group_of(i),
-                        outcome: outcome.clone(),
-                    })
-                    .collect();
-                CampaignReport::aggregate(records, fleet, &self.cfg, &plan)
-            })
-            .collect())
+        let mut reports = Vec::with_capacity(fleets.len());
+        for fleet in fleets {
+            let plan = self.scheduler.plan(&costs, &splittable, fleet.groups());
+            let records: Vec<JobRecord> = jobs
+                .iter()
+                .zip(&outcomes)
+                .enumerate()
+                .map(|(i, (spec, outcome))| JobRecord {
+                    spec: spec.clone(),
+                    group: plan.group_of(i),
+                    outcome: outcome.clone(),
+                    attempts: 1,
+                })
+                .collect();
+            // A fleet carrying a live fault plan aggregates through the
+            // chaos replay; a null (or absent) plan takes the original
+            // fault-free path — same bits, no simulation.
+            let report = match fleet.faults.as_ref().filter(|p| !p.is_null()) {
+                Some(faults) => recover::aggregate_with_faults(
+                    records,
+                    fleet,
+                    &self.cfg,
+                    &plan,
+                    &self.recovery,
+                    faults,
+                )?,
+                None => CampaignReport::aggregate(records, fleet, &self.cfg, &plan),
+            };
+            reports.push(report);
+        }
+        Ok(reports)
     }
 
     /// Predicted per-job costs (seconds) and split limits (resolved slab

@@ -152,6 +152,9 @@ pub struct JobRecord {
     pub group: u32,
     /// Result.
     pub outcome: JobOutcome,
+    /// Execution attempts across the job's shard parts (1 on a fault-free
+    /// fleet; retries after injected device faults raise it).
+    pub attempts: u32,
 }
 
 impl JobRecord {
@@ -284,7 +287,7 @@ mod tests {
 
     #[test]
     fn codec_failure_is_captured_not_propagated() {
-        let (f, spec) = job(CompressorSpec::FailDecode);
+        let (f, spec) = job(CompressorSpec::FailDecode { every_nth: 1 });
         let cfg = AssessConfig::default();
         let out = run_job(&f.data, &spec, &MultiCuZc::nvlink(1), &cfg, None);
         let JobOutcome::Failed(msg) = out else {

@@ -64,7 +64,7 @@ pub struct EngineBusy {
 }
 
 impl EngineBusy {
-    fn absorb(&mut self, e: &zc_gpusim::EndToEnd) {
+    pub(super) fn absorb(&mut self, e: &zc_gpusim::EndToEnd) {
         self.h2d_s += e.h2d_s;
         self.compute_s += e.compute_s;
         self.d2h_s += e.d2h_s;
@@ -142,11 +142,14 @@ pub struct CampaignReport {
     pub totals: PatternTotals,
     /// Fleet utilization / modeled throughput.
     pub fleet: FleetUtilization,
+    /// Fault-recovery accounting — `Some` only when the fleet carried a
+    /// non-null [`zc_gpusim::FaultPlan`] and the chaos simulation ran.
+    pub recovery: Option<super::recover::RecoveryReport>,
 }
 
 /// Bytes of result payload gathered from a device group per completed job:
 /// the scalar set, the autocorrelation series, and the three histograms.
-fn result_bytes(cfg: &AssessConfig) -> u64 {
+pub(super) fn result_bytes(cfg: &AssessConfig) -> u64 {
     (19 + cfg.max_lag as u64 + 3 * cfg.bins as u64) * 8
 }
 
@@ -227,6 +230,7 @@ impl CampaignReport {
                 makespan_rel_error,
                 assessed_bytes,
             },
+            recovery: None,
         }
     }
 
@@ -307,6 +311,22 @@ impl CampaignReport {
                 "compute"
             },
         ));
+        if let Some(r) = &self.recovery {
+            out.push_str(&format!(
+                "recovery: {} attempts | {} retries | {} reschedules | {} watchdog trips | \
+                 {} flaps | {} dead device(s) | {} lost job(s) | completion {:.1}% | \
+                 makespan {:+.1}% vs fault-free\n",
+                r.attempts,
+                r.retries,
+                r.reschedules,
+                r.watchdog_trips,
+                r.link_flaps,
+                r.dead_devices.len(),
+                r.lost_jobs,
+                r.completion * 100.0,
+                r.makespan_inflation * 100.0,
+            ));
+        }
         out
     }
 }

@@ -17,7 +17,7 @@
 //!   scheduler prices both plans and keeps the better one.
 
 use crate::exec::{CuZc, MultiCuZc};
-use zc_gpusim::MultiGpuModel;
+use zc_gpusim::{FaultPlan, MultiGpuModel};
 
 /// Interconnect family of the simulated fleet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +57,11 @@ pub struct FleetSpec {
     /// Interconnect family (drives intra-group halo/all-reduce costs and
     /// the per-job result-gather cost).
     pub link: LinkKind,
+    /// Seeded device-fault injection (`None` = the fleet never fails —
+    /// the original, fault-free model). With a plan, the campaign engine
+    /// simulates transient launch faults, hangs, link flaps and permanent
+    /// device deaths, and recovers via its retry/reschedule policy.
+    pub faults: Option<FaultPlan>,
 }
 
 impl FleetSpec {
@@ -66,6 +71,7 @@ impl FleetSpec {
             gpus,
             gpus_per_job: 1,
             link: LinkKind::NvLink,
+            faults: None,
         }
     }
 
@@ -75,12 +81,19 @@ impl FleetSpec {
             gpus,
             gpus_per_job: 1,
             link: LinkKind::Pcie,
+            faults: None,
         }
     }
 
     /// Gang `per_job` devices per job.
     pub fn ganged(mut self, per_job: u32) -> Self {
         self.gpus_per_job = per_job;
+        self
+    }
+
+    /// Inject the given fault plan into this fleet.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 

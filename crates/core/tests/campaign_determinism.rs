@@ -14,7 +14,9 @@
 //! process-global.
 
 use zc_compress::{CompressorSpec, ErrorBound};
-use zc_core::campaign::{CampaignReport, CampaignSpec, FieldRef, FleetSpec, Scheduler};
+use zc_core::campaign::{
+    CampaignReport, CampaignSpec, FieldRef, FleetSpec, RecoveryPolicy, Scheduler,
+};
 use zc_core::AssessConfig;
 use zc_data::{AppDataset, GenOptions};
 
@@ -58,6 +60,18 @@ fn draw_campaign(rng: &mut Rng) -> CampaignSpec {
     ];
     let n_comp = 1 + (rng.next() % 2) as usize;
     let compressors = (0..n_comp).map(|_| rng.pick(&all_compressors)).collect();
+    // Half the drawn campaigns run under a seeded fault plan, so the
+    // worker-count independence property covers the chaos replay too (the
+    // fault simulation is a post-functional pass, but its inputs must not
+    // depend on how many workers executed the jobs).
+    let mut fleet = FleetSpec::nvlink(rng.pick(&[1u32, 2, 4]));
+    if rng.next().is_multiple_of(2) {
+        fleet = fleet.with_faults(
+            zc_gpusim::FaultPlan::chaos(rng.next(), 30 + (rng.next() % 100) as u32)
+                .with_hangs((rng.next() % 20) as u32)
+                .with_flaps((rng.next() % 50) as u32),
+        );
+    }
     CampaignSpec {
         fields,
         compressors,
@@ -66,9 +80,10 @@ fn draw_campaign(rng: &mut Rng) -> CampaignSpec {
             bins: 32,
             ..Default::default()
         },
-        fleet: FleetSpec::nvlink(rng.pick(&[1u32, 2, 4])),
+        fleet,
         scheduler: rng.pick(&[Scheduler::RoundRobin, Scheduler::List]),
         progressive: None,
+        recovery: RecoveryPolicy::default(),
     }
 }
 
@@ -77,6 +92,7 @@ fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, ctx: &str) {
     assert_eq!(a.jobs.len(), b.jobs.len(), "{ctx}: job count");
     for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
         assert_eq!(ja.group, jb.group, "{ctx}: shard assignment");
+        assert_eq!(ja.attempts, jb.attempts, "{ctx}: attempt count");
         assert_eq!(
             ja.spec.compressor.label(),
             jb.spec.compressor.label(),
@@ -137,6 +153,7 @@ fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, ctx: &str) {
     ] {
         assert_eq!(va.to_bits(), vb.to_bits(), "{ctx}: fleet {name}");
     }
+    assert_eq!(a.recovery, b.recovery, "{ctx}: recovery report");
 }
 
 #[test]

@@ -8,9 +8,12 @@
 //! (`CompressorSpec::FailDecode`), plus the empty-campaign edge cases.
 
 use zc_compress::{CompressorSpec, ErrorBound};
-use zc_core::campaign::{CampaignSpec, FieldRef, FleetSpec, JobOutcome, Scheduler};
+use zc_core::campaign::{
+    CampaignError, CampaignSpec, FieldRef, FleetSpec, JobOutcome, RecoveryPolicy, Scheduler,
+};
 use zc_core::AssessConfig;
 use zc_data::{AppDataset, GenOptions};
+use zc_gpusim::FaultPlan;
 
 fn fields(dataset: AppDataset, n: usize) -> Vec<FieldRef> {
     (0..n.min(dataset.field_count()))
@@ -32,11 +35,12 @@ fn one_failing_codec_does_not_abort_the_campaign() {
         fields: fields(AppDataset::Hurricane, 3),
         compressors: vec![
             CompressorSpec::Sz(ErrorBound::Rel(1e-3)),
-            CompressorSpec::FailDecode,
+            CompressorSpec::FailDecode { every_nth: 1 },
         ],
         cfg: small_cfg(),
         scheduler: Scheduler::default(),
         progressive: None,
+        recovery: RecoveryPolicy::default(),
         fleet: FleetSpec::nvlink(2),
     };
     let report = spec.run().unwrap();
@@ -46,7 +50,10 @@ fn one_failing_codec_does_not_abort_the_campaign() {
     let failures = report.failures();
     assert_eq!(failures.len(), 3);
     for (job, msg) in &failures {
-        assert_eq!(job.spec.compressor, CompressorSpec::FailDecode);
+        assert_eq!(
+            job.spec.compressor,
+            CompressorSpec::FailDecode { every_nth: 1 }
+        );
         assert!(msg.contains("codec"), "failure must name the stage: {msg}");
         assert!(
             msg.contains("never decodes"),
@@ -73,10 +80,11 @@ fn one_failing_codec_does_not_abort_the_campaign() {
 fn all_jobs_failing_still_produces_a_report() {
     let spec = CampaignSpec {
         fields: fields(AppDataset::Nyx, 2),
-        compressors: vec![CompressorSpec::FailDecode],
+        compressors: vec![CompressorSpec::FailDecode { every_nth: 1 }],
         cfg: small_cfg(),
         scheduler: Scheduler::default(),
         progressive: None,
+        recovery: RecoveryPolicy::default(),
         fleet: FleetSpec::nvlink(4),
     };
     let report = spec.run().unwrap();
@@ -96,6 +104,7 @@ fn empty_catalog_campaign_is_a_clean_no_op() {
         cfg: small_cfg(),
         scheduler: Scheduler::default(),
         progressive: None,
+        recovery: RecoveryPolicy::default(),
         fleet: FleetSpec::nvlink(4),
     };
     let report = spec.run().unwrap();
@@ -111,6 +120,67 @@ fn empty_catalog_campaign_is_a_clean_no_op() {
 }
 
 #[test]
+fn retry_exhaustion_loses_jobs_but_never_the_campaign() {
+    // Every attempt takes a transient fault: each shard part burns its
+    // full retry budget and the job is recorded lost — an `Ok` report with
+    // failures, never an `Err`, a panic, or an unbounded retry loop.
+    let spec = CampaignSpec {
+        fields: fields(AppDataset::Nyx, 2),
+        compressors: vec![CompressorSpec::Sz(ErrorBound::Rel(1e-3))],
+        cfg: small_cfg(),
+        scheduler: Scheduler::default(),
+        progressive: None,
+        recovery: RecoveryPolicy::default(),
+        fleet: FleetSpec::nvlink(2).with_faults(FaultPlan::chaos(17, 1000)),
+    };
+    let report = spec.run().unwrap();
+    assert_eq!(report.completed(), 0);
+    assert_eq!(report.failures().len(), 2);
+    for (job, msg) in report.failures() {
+        assert!(msg.contains("retries"), "failure names the cause: {msg}");
+        // First attempt plus the full retry budget, per part.
+        assert_eq!(job.attempts, 1 + spec.recovery.max_retries);
+    }
+    let r = report.recovery.as_ref().expect("chaos replay ran");
+    assert_eq!(r.lost_jobs, 2);
+    assert_eq!(r.completion, 0.0);
+    // Lost jobs pollute nothing, but their burnt attempts stay charged.
+    assert_eq!(report.totals, Default::default());
+    assert!(report.fleet.busy_s.iter().sum::<f64>() > 0.0);
+}
+
+#[test]
+fn all_devices_dead_is_a_typed_error() {
+    // Both device groups are dead on arrival: there is no surviving fleet
+    // to reschedule onto, and the campaign must fail with the typed error
+    // — not a panic, not a hang, not a silently empty report.
+    let plan = FaultPlan::chaos(23, 0)
+        .with_dead_device(0)
+        .with_dead_device(1);
+    let spec = CampaignSpec {
+        fields: fields(AppDataset::Miranda, 2),
+        compressors: vec![CompressorSpec::Sz(ErrorBound::Rel(1e-3))],
+        cfg: small_cfg(),
+        scheduler: Scheduler::default(),
+        progressive: None,
+        recovery: RecoveryPolicy::default(),
+        fleet: FleetSpec::nvlink(2).with_faults(plan),
+    };
+    assert_eq!(
+        spec.run().unwrap_err(),
+        CampaignError::AllDevicesDead { groups: 2 }
+    );
+    // One surviving group out of two: degraded but alive — every job lands
+    // on the survivor and completes.
+    let mut spec = spec;
+    spec.fleet = FleetSpec::nvlink(2).with_faults(FaultPlan::chaos(23, 0).with_dead_device(0));
+    let report = spec.run().unwrap();
+    assert_eq!(report.completed(), report.jobs.len());
+    assert_eq!(report.fleet.busy_s[0], 0.0);
+    assert!(report.fleet.busy_s[1] > 0.0);
+}
+
+#[test]
 fn empty_compressor_sweep_is_a_clean_no_op() {
     let spec = CampaignSpec {
         fields: fields(AppDataset::Miranda, 2),
@@ -118,6 +188,7 @@ fn empty_compressor_sweep_is_a_clean_no_op() {
         cfg: small_cfg(),
         scheduler: Scheduler::default(),
         progressive: None,
+        recovery: RecoveryPolicy::default(),
         fleet: FleetSpec::nvlink(1),
     };
     let report = spec.run().unwrap();

@@ -22,7 +22,9 @@
 //!   host scan; only the modeled charge differs).
 
 use zc_compress::CompressorSpec;
-use zc_core::campaign::{CampaignReport, CampaignSpec, FieldRef, FleetSpec, Scheduler};
+use zc_core::campaign::{
+    CampaignReport, CampaignSpec, FieldRef, FleetSpec, RecoveryPolicy, Scheduler,
+};
 use zc_core::exec::{CuZc, Executor, MoZc, MultiCuZc, OmpZc, SerialZc};
 use zc_core::recommend::{ProgressivePolicy, QualityCriteria};
 use zc_core::AssessConfig;
@@ -135,6 +137,7 @@ fn mixed_spec(fleet: FleetSpec, scheduler: Scheduler) -> CampaignSpec {
         fleet,
         scheduler,
         progressive: None,
+        recovery: RecoveryPolicy::default(),
     }
 }
 

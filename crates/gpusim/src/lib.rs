@@ -43,6 +43,7 @@
 mod block;
 pub mod cost;
 mod counters;
+pub mod fault;
 mod lanes;
 mod launch;
 mod multi;
@@ -54,6 +55,7 @@ pub mod trace;
 
 pub use block::{BlockCtx, SharedBuf};
 pub use counters::Counters;
+pub use fault::{FaultDraw, FaultPlan};
 pub use lanes::{Lanes, WARP};
 pub use launch::{BlockKernel, GpuSim, KernelClass, LaunchResult, TileCharge};
 pub use multi::{MultiGpuModel, MultiGpuTime};

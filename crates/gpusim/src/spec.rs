@@ -35,6 +35,11 @@ pub struct DeviceSpec {
     /// Device (global) memory capacity in bytes. Fields whose resident
     /// working set exceeds this must be assessed out-of-core (slab-tiled).
     pub mem_bytes: u64,
+    /// Modeled watchdog (TDR-style) timeout in seconds: a hung launch
+    /// occupies the device for exactly this long before the driver
+    /// reclaims it — what a [`crate::fault::FaultDraw::Hang`] charges on
+    /// the campaign timeline.
+    pub watchdog_timeout_s: f64,
 }
 
 impl DeviceSpec {
@@ -55,6 +60,7 @@ impl DeviceSpec {
             hbm_bw_gbs: 900.0,
             smem_bytes_per_clk_per_sm: 128.0,
             mem_bytes: 32 * 1024 * 1024 * 1024,
+            watchdog_timeout_s: 2.0,
         }
     }
 
@@ -114,6 +120,7 @@ mod tests {
         assert!((d.peak_flops() / 1e12 - 7.83).abs() < 0.1);
         assert!(d.peak_smem_bw() > 10e12);
         assert_eq!(d.mem_bytes, 32 << 30); // paper: 32 GB HBM2
+        assert!(d.watchdog_timeout_s > 0.0); // TDR-style hang reclaim
     }
 
     #[test]

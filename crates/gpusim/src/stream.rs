@@ -60,6 +60,17 @@ impl HostLink {
     pub fn transfer_s(&self, bytes: u64) -> f64 {
         self.latency_s + bytes as f64 / (self.bw_gbs * 1e9)
     }
+
+    /// The same link while its PHY is flapping: bandwidth divided by
+    /// `factor` (legs cost `factor`× as long; latency is unchanged — flap
+    /// retraining throttles the data rate, it does not add per-message
+    /// setup). Used by the fault layer to re-price transfer legs.
+    pub fn degraded(self, factor: f64) -> HostLink {
+        HostLink {
+            bw_gbs: self.bw_gbs / factor.max(1.0),
+            latency_s: self.latency_s,
+        }
+    }
 }
 
 /// The hardware engine an event occupies. Events on the same engine
@@ -188,6 +199,24 @@ impl EndToEnd {
             1.0 - self.overlapped_s / self.serialized_s
         }
     }
+
+    /// This timeline re-priced as if every transfer leg ran over a link
+    /// flapping by `factor` (see [`HostLink::degraded`]): the H2D/D2H legs
+    /// cost `factor`× their healthy time, and the *extra* transfer seconds
+    /// are charged serially onto the makespan — a flapping link retrains
+    /// unpredictably, so the scheduler cannot plan overlap around the
+    /// slowdown. Compute time is untouched. `factor <= 1` is the identity.
+    pub fn repriced_transfers(&self, factor: f64) -> EndToEnd {
+        let f = factor.max(1.0);
+        let extra = (f - 1.0) * (self.h2d_s + self.d2h_s);
+        EndToEnd {
+            h2d_s: self.h2d_s * f,
+            d2h_s: self.d2h_s * f,
+            compute_s: self.compute_s,
+            serialized_s: self.serialized_s + extra,
+            overlapped_s: self.overlapped_s + extra,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +274,36 @@ mod tests {
         // Strictly better than the serialized sum 8.5.
         assert!(tl.makespan_s() < tl.serialized_s());
         assert_eq!(tl.engine_busy_s(Engine::Compute), 6.0);
+    }
+
+    #[test]
+    fn degraded_link_scales_bandwidth_only() {
+        let l = HostLink::nvlink();
+        let d = l.degraded(2.0);
+        assert_eq!(d.latency_s, l.latency_s);
+        assert_eq!(d.bw_gbs, l.bw_gbs / 2.0);
+        // factor <= 1 never *improves* the link.
+        assert_eq!(l.degraded(0.5).bw_gbs, l.bw_gbs);
+    }
+
+    #[test]
+    fn repriced_transfers_charges_the_extra_serially() {
+        let e = EndToEnd {
+            h2d_s: 1.0,
+            d2h_s: 0.5,
+            compute_s: 2.0,
+            serialized_s: 3.5,
+            overlapped_s: 2.8,
+        };
+        let r = e.repriced_transfers(2.0);
+        assert_eq!(r.h2d_s, 2.0);
+        assert_eq!(r.d2h_s, 1.0);
+        assert_eq!(r.compute_s, 2.0);
+        assert_eq!(r.serialized_s, 3.5 + 1.5);
+        assert_eq!(r.overlapped_s, 2.8 + 1.5);
+        // Identity at factor 1 (and below).
+        assert_eq!(e.repriced_transfers(1.0), e);
+        assert_eq!(e.repriced_transfers(0.3), e);
     }
 
     #[test]

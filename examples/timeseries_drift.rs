@@ -7,7 +7,7 @@
 //! ```
 
 use cuz_checker::compress::{Compressor, CompressorSpec, ErrorBound, SzCompressor};
-use cuz_checker::core::campaign::{CampaignSpec, FieldRef, FleetSpec, Scheduler};
+use cuz_checker::core::campaign::{CampaignSpec, FieldRef, FleetSpec, RecoveryPolicy, Scheduler};
 use cuz_checker::core::config::AssessConfig;
 use cuz_checker::core::exec::Executor;
 use cuz_checker::core::{CuZc, Metric};
@@ -79,6 +79,7 @@ fn main() {
         fleet: FleetSpec::nvlink(4),
         scheduler,
         progressive: None,
+        recovery: RecoveryPolicy::default(),
     };
     for scheduler in [Scheduler::RoundRobin, Scheduler::List] {
         let report = spec(scheduler).run().expect("campaign");
