@@ -255,6 +255,21 @@ fn run_mixed_section(scale: usize, cfg: &AssessConfig, gpu_counts: &[u32]) -> Ve
     // The tentpole claims, asserted: the list scheduler keeps 8 GPUs ≥ 90%
     // busy on this mix, and never loses to round-robin on actual makespan.
     let (rr, list) = (&by_sched[0], &by_sched[1]);
+    // Calibrated cost model: before the startup probe the raw estimator
+    // under-predicted this mix by 68-79% signed error; the uniform probe
+    // scale must keep every point inside a strictly tighter band.
+    for reports in &by_sched {
+        for r in reports.iter() {
+            let err = r.fleet.makespan_rel_error;
+            assert!(
+                err.abs() <= 0.65,
+                "calibrated makespan prediction error must stay within ±65% \
+                 (uncalibrated floor was -67.7%), got {:.1}% at {} GPUs",
+                err * 100.0,
+                r.fleet.gpus
+            );
+        }
+    }
     let at8 = &list[gpu_counts.len() - 1].fleet;
     assert!(
         at8.utilization >= 0.9,

@@ -1,0 +1,227 @@
+//! Serve-layer bench: sustained throughput of the resident assessment
+//! service (`zc-serve`) under a heavy, skewed synthetic trace.
+//!
+//! Two sections:
+//!
+//! 1. **Sustained** — one seeded trace replayed against fresh servers at
+//!    2/4/8 GPUs with the production admission settings (list scheduling,
+//!    tenant quotas, backlog watermark). Reports sustained jobs/sec,
+//!    cache full/partial hit rates, and p50/p99 modeled latency; asserts
+//!    the service completes work and that the skewed traffic produces
+//!    both full and partial cache hits.
+//! 2. **Repeat** — the cache-soundness acceptance check. The same trace
+//!    runs three ways with admission wide open (no refusals, so runs are
+//!    request-for-request comparable): a cache-disabled baseline, a cold
+//!    cached run, and a warm re-run on the already-populated server.
+//!    Asserts every completed request's PSNR is bit-identical across all
+//!    three, while assessed bytes strictly shrink baseline → cold → warm.
+//!
+//! Emits `BENCH_serve.json` at the repo root (hand-rolled JSON, no
+//! serde). Usage: `serve [--seed S] [--requests N]` — defaults 42 / 240.
+
+use zc_core::campaign::FleetSpec;
+use zc_serve::{RequestTrace, ServeConfig, ServeReport, Server, Verdict};
+
+fn parse_args() -> Result<(u64, usize), String> {
+    let mut seed = 42u64;
+    let mut count = 240usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--seed" => seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--requests" => count = val()?.parse().map_err(|e| format!("--requests: {e}"))?,
+            other => return Err(format!("unknown arg {other}")),
+        }
+    }
+    if count == 0 {
+        return Err("--requests must be > 0".into());
+    }
+    Ok((seed, count))
+}
+
+fn main() {
+    let (seed, count) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve: {e}\nusage: serve [--seed S] [--requests N]");
+            std::process::exit(2);
+        }
+    };
+    let trace = RequestTrace::synthetic(seed, count);
+    eprintln!("serve: {count} requests (seed {seed})");
+
+    // ---- sustained section: production admission, 2/4/8 GPUs -----------
+    let gpu_counts = [2u32, 4, 8];
+    println!(
+        "{:<6} {:>10} {:>9} {:>11} {:>9} {:>9} {:>10} {:>10} {:>12}",
+        "GPUs",
+        "completed",
+        "refused",
+        "jobs/s",
+        "p50 (ms)",
+        "p99 (ms)",
+        "hit rate",
+        "part rate",
+        "assessed MB"
+    );
+    let mut sustained_json = Vec::new();
+    for &gpus in &gpu_counts {
+        let mut server =
+            Server::new(ServeConfig::new(FleetSpec::nvlink(gpus))).expect("open service");
+        let r = server.run_trace(&trace);
+        let refused = r.saturated + r.quota_refused + r.admission_refused;
+        println!(
+            "{:<6} {:>10} {:>9} {:>11.1} {:>9.3} {:>9.3} {:>10.3} {:>10.3} {:>12.2}",
+            gpus,
+            r.completed,
+            refused,
+            r.jobs_per_sec,
+            r.p50_latency_s * 1e3,
+            r.p99_latency_s * 1e3,
+            r.cache.hit_rate(),
+            r.cache.partial_rate(),
+            r.assessed_bytes as f64 / 1e6,
+        );
+        // The service floors, asserted: work completes at a sustained
+        // rate and the skewed trace exercises both cache hit paths.
+        assert!(r.completed > 0, "no completions at {gpus} GPUs");
+        assert_eq!(r.failed, 0, "execution failures at {gpus} GPUs");
+        assert!(r.jobs_per_sec > 0.0, "zero throughput at {gpus} GPUs");
+        assert!(
+            r.cache.hits > 0,
+            "skewed trace produced no full cache hits at {gpus} GPUs"
+        );
+        assert!(
+            r.cache.partial_hits > 0,
+            "overlapping metric sets produced no partial hits at {gpus} GPUs"
+        );
+        assert!(
+            r.p99_latency_s >= r.p50_latency_s,
+            "latency percentiles out of order at {gpus} GPUs"
+        );
+        sustained_json.push(format!(
+            "    {{\"gpus\": {gpus}, \"completed\": {}, \"failed\": {}, \"saturated\": {}, \"quota_refused\": {}, \"admission_refused\": {}, \"jobs_per_sec\": {:.6}, \"p50_latency_s\": {:.8}, \"p99_latency_s\": {:.8}, \"hit_rate\": {:.6}, \"partial_rate\": {:.6}, \"assessed_bytes\": {}, \"makespan_s\": {:.8}}}",
+            r.completed,
+            r.failed,
+            r.saturated,
+            r.quota_refused,
+            r.admission_refused,
+            r.jobs_per_sec,
+            r.p50_latency_s,
+            r.p99_latency_s,
+            r.cache.hit_rate(),
+            r.cache.partial_rate(),
+            r.assessed_bytes,
+            r.makespan_s,
+        ));
+    }
+
+    // ---- repeat section: cache soundness on a repeated trace -----------
+    let repeat_json = run_repeat_section(&trace);
+
+    let out = format!(
+        "{{\n  \"seed\": {seed},\n  \"requests\": {count},\n  \"sustained\": [\n{}\n  ],\n  \"repeat\": {}\n}}\n",
+        sustained_json.join(",\n"),
+        repeat_json,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &out).expect("write BENCH_serve.json");
+    println!("{out}");
+    eprintln!("wrote {path}");
+
+    // Under ZC_SANITIZE=1 every simulated launch above ran checked; fail
+    // the bench (exit 3) if any kernel tripped the sanitizer.
+    if zc_gpusim::sanitizer::enabled() {
+        let s = zc_gpusim::sanitizer::drain();
+        for r in &s.reports {
+            eprint!("{}", r.render());
+        }
+        eprintln!(
+            "========= ZC SANITIZER: {} launch(es) checked, {} hazard(s)",
+            s.launches_checked, s.hazards
+        );
+        if !s.is_clean() {
+            std::process::exit(3);
+        }
+    }
+}
+
+/// Admission wide open so every trace request completes in every run and
+/// verdicts are comparable request-for-request.
+fn open_cfg(cache_entries: usize) -> ServeConfig {
+    ServeConfig {
+        tenant_quota: usize::MAX,
+        watermark_s: f64::INFINITY,
+        cache_entries,
+        ..ServeConfig::new(FleetSpec::nvlink(4))
+    }
+}
+
+/// Per-request PSNR bits of a fully-completed run.
+fn psnr_bits(report: &ServeReport) -> Vec<u64> {
+    report
+        .verdicts
+        .iter()
+        .map(|v| match v {
+            Verdict::Done { psnr_bits, .. } => *psnr_bits,
+            other => panic!("open-admission run refused/failed a request: {other:?}"),
+        })
+        .collect()
+}
+
+fn run_repeat_section(trace: &RequestTrace) -> String {
+    let mut no_cache = Server::new(open_cfg(0)).expect("open service");
+    let baseline = no_cache.run_trace(trace);
+
+    let mut cached = Server::new(open_cfg(256)).expect("open service");
+    let cold = cached.run_trace(trace);
+    let warm = cached.run_trace(trace);
+
+    println!(
+        "\nrepeated trace ({} requests): assessed bytes {} (no cache) -> {} (cold) -> {} (warm)",
+        trace.requests.len(),
+        baseline.assessed_bytes,
+        cold.assessed_bytes,
+        warm.assessed_bytes
+    );
+
+    // The acceptance claim, asserted: cache hits strictly reduce assessed
+    // bytes while every metric value stays bit-identical to a cold run.
+    let base_bits = psnr_bits(&baseline);
+    let cold_bits = psnr_bits(&cold);
+    let warm_bits = psnr_bits(&warm);
+    assert_eq!(
+        base_bits, cold_bits,
+        "cached cold run changed a PSNR bit vs the cache-disabled baseline"
+    );
+    assert_eq!(
+        cold_bits, warm_bits,
+        "warm re-run changed a PSNR bit vs the cold run"
+    );
+    assert!(
+        cold.assessed_bytes < baseline.assessed_bytes,
+        "cold cached run must assess fewer bytes than no-cache: {} vs {}",
+        cold.assessed_bytes,
+        baseline.assessed_bytes
+    );
+    assert!(
+        warm.assessed_bytes < cold.assessed_bytes,
+        "warm re-run must assess fewer bytes than the cold run: {} vs {}",
+        warm.assessed_bytes,
+        cold.assessed_bytes
+    );
+    assert!(
+        warm.cache.hit_rate() > cold.cache.hit_rate(),
+        "warm re-run must raise the cumulative hit rate"
+    );
+
+    format!(
+        "{{\"baseline_assessed_bytes\": {}, \"cold_assessed_bytes\": {}, \"warm_assessed_bytes\": {}, \"cold_hit_rate\": {:.6}, \"warm_hit_rate\": {:.6}, \"bit_identical\": true}}",
+        baseline.assessed_bytes,
+        cold.assessed_bytes,
+        warm.assessed_bytes,
+        cold.cache.hit_rate(),
+        warm.cache.hit_rate(),
+    )
+}

@@ -174,7 +174,7 @@ impl JobRecord {
 /// its estimates already decide the job's verdict far from every
 /// threshold, the full assessment is skipped and the metrics are the
 /// prepass estimates, marked [`Confidence::Subsampled`].
-pub(super) fn run_job(
+pub(crate) fn run_job(
     orig: &Tensor<f32>,
     spec: &JobSpec,
     executor: &MultiCuZc,
@@ -222,12 +222,36 @@ pub(super) fn run_job(
 }
 
 /// Fold an assessment + codec stats into the campaign metric snapshot.
-fn metrics_from(
+pub(crate) fn metrics_from(
     a: Assessment,
     stats: zc_compress::CompressionStats,
     assessed_bytes: u64,
 ) -> JobMetrics {
     let report = a.report.with_compression(stats);
+    metrics_from_report(
+        &report,
+        a.modeled_seconds,
+        a.pattern_times,
+        a.runs,
+        a.e2e,
+        a.confidence,
+        assessed_bytes,
+    )
+}
+
+/// Fold an already-assembled report (compression stats attached) plus the
+/// execution accounting into the metric snapshot. The engine calls this
+/// directly when the report is a cache merge rather than one run's output.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn metrics_from_report(
+    report: &crate::report::AnalysisReport,
+    modeled_seconds: f64,
+    pattern_times: PatternTimes,
+    runs: Vec<PatternRun>,
+    e2e: Option<EndToEnd>,
+    confidence: Confidence,
+    assessed_bytes: u64,
+) -> JobMetrics {
     JobMetrics {
         psnr: report.scalar(Metric::Psnr).unwrap_or(f64::NAN),
         ssim: report.scalar(Metric::Ssim).unwrap_or(f64::NAN),
@@ -237,11 +261,11 @@ fn metrics_from(
             .unwrap_or(f64::NAN),
         autocorr1: report.scalar(Metric::Autocorrelation),
         compression_ratio: report.scalar(Metric::CompressionRatio).unwrap_or(0.0),
-        modeled_seconds: a.modeled_seconds,
-        pattern_times: a.pattern_times,
-        runs: a.runs,
-        e2e: a.e2e,
-        confidence: a.confidence,
+        modeled_seconds,
+        pattern_times,
+        runs,
+        e2e,
+        confidence,
         assessed_bytes,
     }
 }

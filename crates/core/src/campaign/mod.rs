@@ -1,5 +1,13 @@
-//! Campaign engine — sharded multi-field batch assessment over the
+//! Campaign descriptions — sharded multi-field batch assessment over the
 //! simulated multi-GPU fleet.
+//!
+//! This module owns the campaign *description* layer: the spec types
+//! ([`CampaignSpec`], [`FieldRef`], [`FleetSpec`], [`Scheduler`]), the job
+//! cross product, and the report/aggregation types. The execution
+//! machinery — admission, field generation, job execution, shard planning
+//! and aggregation — lives in [`crate::engine`]; [`CampaignSpec::run`] is
+//! a convenience wrapper over it, exactly as the resident `zc-serve`
+//! service and the CLI are.
 //!
 //! Z-checker's original production shape (Di et al., IJHPCA 2017) is not
 //! "assess one field": it is "assess a whole archive of fields under every
@@ -26,8 +34,8 @@
 //!   pattern runs (sums everywhere, `max` for the serial iteration depth),
 //!   so fleet totals stay consistent with single-job accounting.
 
-mod job;
-mod recover;
+pub(crate) mod job;
+pub(crate) mod recover;
 mod report;
 mod shard;
 
@@ -161,92 +169,7 @@ impl CampaignSpec {
         &self,
         fleets: &[FleetSpec],
     ) -> Result<Vec<CampaignReport>, CampaignError> {
-        self.fleet.validate().map_err(CampaignError::BadFleet)?;
-        self.cfg
-            .validate()
-            .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
-        for fleet in fleets {
-            fleet.validate().map_err(CampaignError::BadFleet)?;
-            if fleet.gpus_per_job != self.fleet.gpus_per_job {
-                return Err(CampaignError::BadFleet(format!(
-                    "fleet sweep must share gpus_per_job (campaign: {}, fleet: {})",
-                    self.fleet.gpus_per_job, fleet.gpus_per_job
-                )));
-            }
-            if self.fleet.gpus_per_job > 1 && fleet.link != self.fleet.link {
-                return Err(CampaignError::BadFleet(
-                    "ganged jobs embed the link in the job model; \
-                     fleet sweep must share the link kind"
-                        .into(),
-                ));
-            }
-        }
-        let jobs = self.jobs();
-        // Admission: statically verify every job's lowered plan against
-        // the fleet's device envelope before any field is generated or
-        // sharded. Jobs whose plan carries an error-severity diagnostic
-        // are recorded as failed without running (one verdict per field —
-        // jobs sharing a field share a plan and a shape).
-        let plan_ir = AssessPlan::lower(&self.cfg);
-        let caps = crate::plan::BackendCaps::v100();
-        let admission: Vec<Option<String>> = self
-            .fields
-            .iter()
-            .map(|f| {
-                crate::plan::verify(&plan_ir, f.shape(), &self.cfg, &caps)
-                    .iter()
-                    .find(|d| d.severity == zc_lint::Severity::Error)
-                    .map(|d| format!("admission: {}: {}", d.lint_id, d.message))
-            })
-            .collect();
-        // Generate each field once up front (host-parallel, index-ordered),
-        // not once per compressor config.
-        let fields = zc_par::par_map(self.fields.len(), |i| self.fields[i].generate());
-        let executor = self.fleet.executor();
-        let outcomes = zc_par::par_map(jobs.len(), |i| {
-            if let Some(msg) = &admission[jobs[i].field_index] {
-                return JobOutcome::Failed(msg.clone());
-            }
-            job::run_job(
-                &fields[jobs[i].field_index].data,
-                &jobs[i],
-                &executor,
-                &self.cfg,
-                self.progressive.as_ref(),
-            )
-        });
-        let (costs, splittable) = self.job_costs();
-        let mut reports = Vec::with_capacity(fleets.len());
-        for fleet in fleets {
-            let plan = self.scheduler.plan(&costs, &splittable, fleet.groups());
-            let records: Vec<JobRecord> = jobs
-                .iter()
-                .zip(&outcomes)
-                .enumerate()
-                .map(|(i, (spec, outcome))| JobRecord {
-                    spec: spec.clone(),
-                    group: plan.group_of(i),
-                    outcome: outcome.clone(),
-                    attempts: 1,
-                })
-                .collect();
-            // A fleet carrying a live fault plan aggregates through the
-            // chaos replay; a null (or absent) plan takes the original
-            // fault-free path — same bits, no simulation.
-            let report = match fleet.faults.as_ref().filter(|p| !p.is_null()) {
-                Some(faults) => recover::aggregate_with_faults(
-                    records,
-                    fleet,
-                    &self.cfg,
-                    &plan,
-                    &self.recovery,
-                    faults,
-                )?,
-                None => CampaignReport::aggregate(records, fleet, &self.cfg, &plan),
-            };
-            reports.push(report);
-        }
-        Ok(reports)
+        crate::engine::run_campaign(self, fleets)
     }
 
     /// Predicted per-job costs (seconds) and split limits (resolved slab

@@ -133,7 +133,7 @@ struct AttemptPrice {
 /// bit-identical to [`CampaignReport::aggregate`] (same charges, same
 /// floating-point accumulation order) — the equivalence the chaos tier
 /// asserts.
-pub(super) fn aggregate_with_faults(
+pub(crate) fn aggregate_with_faults(
     records: Vec<JobRecord>,
     fleet: &FleetSpec,
     cfg: &AssessConfig,

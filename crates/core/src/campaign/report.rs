@@ -149,7 +149,7 @@ pub struct CampaignReport {
 
 /// Bytes of result payload gathered from a device group per completed job:
 /// the scalar set, the autocorrelation series, and the three histograms.
-pub(super) fn result_bytes(cfg: &AssessConfig) -> u64 {
+pub(crate) fn result_bytes(cfg: &AssessConfig) -> u64 {
     (19 + cfg.max_lag as u64 + 3 * cfg.bins as u64) * 8
 }
 
@@ -161,7 +161,7 @@ impl CampaignReport {
     /// group is occupied; falls back to compute-only for host executors),
     /// scaled by the group's share of the job when the scheduler split it
     /// along its slabs, plus the per-part result gather.
-    pub(super) fn aggregate(
+    pub(crate) fn aggregate(
         jobs: Vec<JobRecord>,
         fleet: &FleetSpec,
         cfg: &AssessConfig,

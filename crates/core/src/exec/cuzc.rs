@@ -177,6 +177,19 @@ impl Executor for CuZc {
         PlanRunner::new(plan).run(self, orig, dec, cfg, None)
     }
 
+    fn run_plan_seeded(
+        &self,
+        plan: &AssessPlan,
+        orig: &zc_tensor::Tensor<f32>,
+        dec: &zc_tensor::Tensor<f32>,
+        cfg: &AssessConfig,
+        seed: zc_kernels::P1Scalars,
+    ) -> Result<Assessment, AssessError> {
+        PlanRunner::new(plan)
+            .with_seed(seed)
+            .run(self, orig, dec, cfg, None)
+    }
+
     /// The prepass on the pattern-oriented coordinator: the same fused P1
     /// reduction, launched over the subsample as a strided gather.
     fn prepass(

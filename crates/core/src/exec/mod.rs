@@ -291,6 +291,21 @@ pub trait Executor {
         cfg: &AssessConfig,
     ) -> Result<Assessment, AssessError>;
 
+    /// Execute a lowered (typically residual) plan with already-computed
+    /// pattern-1 scalars fed forward through the plan's dependency edges
+    /// instead of recomputing them — the partial-cache-hit path (see
+    /// [`AssessPlan::residual`]). Because every dependent pass consumes
+    /// exactly the scalars a cold run would have produced, the resulting
+    /// sections are bit-identical to a cold full run's.
+    fn run_plan_seeded(
+        &self,
+        plan: &AssessPlan,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+        seed: zc_kernels::P1Scalars,
+    ) -> Result<Assessment, AssessError>;
+
     /// Assess a field pair under a configuration (lower + run the plan).
     fn assess(
         &self,

@@ -199,6 +199,19 @@ impl Executor for MoZc {
         PlanRunner::new(plan).run(self, orig, dec, cfg, None)
     }
 
+    fn run_plan_seeded(
+        &self,
+        plan: &AssessPlan,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+        seed: zc_kernels::P1Scalars,
+    ) -> Result<Assessment, AssessError> {
+        PlanRunner::new(plan)
+            .with_seed(seed)
+            .run(self, orig, dec, cfg, None)
+    }
+
     /// The prepass on the metric-oriented GPU baseline: one strided-gather
     /// reduction launch, charged at the device's sector-wasteful strided
     /// bandwidth.

@@ -76,6 +76,23 @@ impl Executor for MultiCuZc {
         PlanRunner::new(plan).run(&self.inner, orig, dec, cfg, Some(&self.placement()))
     }
 
+    fn run_plan_seeded(
+        &self,
+        plan: &AssessPlan,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+        seed: zc_kernels::P1Scalars,
+    ) -> Result<Assessment, AssessError> {
+        PlanRunner::new(plan).with_seed(seed).run(
+            &self.inner,
+            orig,
+            dec,
+            cfg,
+            Some(&self.placement()),
+        )
+    }
+
     /// The group prepass: the single-device gather split across the gang
     /// (compute divides, the tiny partial all-reduce rides the link). The
     /// estimate itself is the shared host scan — identical to every other

@@ -167,6 +167,19 @@ impl Executor for OmpZc {
         PlanRunner::new(plan).run(self, orig, dec, cfg, None)
     }
 
+    fn run_plan_seeded(
+        &self,
+        plan: &AssessPlan,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+        seed: zc_kernels::P1Scalars,
+    ) -> Result<Assessment, AssessError> {
+        PlanRunner::new(plan)
+            .with_seed(seed)
+            .run(self, orig, dec, cfg, None)
+    }
+
     /// The prepass on the CPU baseline is one strided scalar sweep over the
     /// subsample — priced on the same Xeon model as the full passes.
     fn prepass(

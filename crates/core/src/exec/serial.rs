@@ -69,6 +69,19 @@ impl Executor for SerialZc {
         PlanRunner::new(plan).run(self, orig, dec, cfg, None)
     }
 
+    fn run_plan_seeded(
+        &self,
+        plan: &AssessPlan,
+        orig: &Tensor<f32>,
+        dec: &Tensor<f32>,
+        cfg: &AssessConfig,
+        seed: zc_kernels::P1Scalars,
+    ) -> Result<Assessment, AssessError> {
+        PlanRunner::new(plan)
+            .with_seed(seed)
+            .run(self, orig, dec, cfg, None)
+    }
+
     /// Ground truth charges nothing for the prepass either: the shared
     /// strided scan with zero counters and zero modeled time.
     fn prepass(

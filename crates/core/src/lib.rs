@@ -46,6 +46,7 @@
 
 pub mod campaign;
 pub mod config;
+pub mod engine;
 pub mod exec;
 pub mod io;
 pub mod metrics;
@@ -58,6 +59,10 @@ pub mod viz;
 
 pub use campaign::{CampaignReport, CampaignSpec, FieldRef, FleetSpec, LinkKind, Scheduler};
 pub use config::{AssessConfig, ExecutorKind, RunConfig, SsimSettings, TilingPolicy};
+pub use engine::{
+    AssessRequest, BatchReport, CacheOutcome, CacheStats, CostCalibration, Engine, EngineError,
+    JobResult, JobTicket, ResultCache,
+};
 pub use exec::{Assessment, CuZc, Executor, MoZc, MultiCuZc, OmpZc, PatternProfile, SerialZc};
 pub use metrics::{Metric, MetricSelection, Pattern};
 pub use pipeline::assess_compression;

@@ -201,6 +201,29 @@ impl AssessPlan {
         AssessPlan { passes }
     }
 
+    /// Lower a configuration into the **residual** plan a partial cache
+    /// hit executes: the full lowering minus the passes whose outputs are
+    /// already available (`covered`).
+    ///
+    /// Dropping `P1Scalars` leaves its dependents with a dangling edge the
+    /// runner can only satisfy from a seed — run residual plans through
+    /// [`PlanRunner::with_seed`] (or [`Executor::run_plan_seeded`]) with
+    /// the cached scalars. Because every dependent pass consumes exactly
+    /// the `P1Scalars` values a cold run would have produced, the residual
+    /// sections are bit-identical to the cold full run's.
+    ///
+    /// [`Executor::run_plan_seeded`]: crate::exec::Executor::run_plan_seeded
+    pub fn residual(cfg: &AssessConfig, covered: &[PassKind]) -> AssessPlan {
+        let full = AssessPlan::lower(cfg);
+        AssessPlan {
+            passes: full
+                .passes
+                .into_iter()
+                .filter(|p| !covered.contains(&p.kind))
+                .collect(),
+        }
+    }
+
     /// The passes, in topological (schedule) order.
     pub fn passes(&self) -> &[Pass] {
         &self.passes
@@ -820,12 +843,24 @@ fn d2h_bytes(kind: PassKind, cfg: &AssessConfig) -> u64 {
 /// [`AssessPlan`] and assembles the [`Assessment`].
 pub struct PlanRunner<'a> {
     plan: &'a AssessPlan,
+    seed: Option<P1Scalars>,
 }
 
 impl<'a> PlanRunner<'a> {
     /// A runner over a lowered plan.
     pub fn new(plan: &'a AssessPlan) -> Self {
-        PlanRunner { plan }
+        PlanRunner { plan, seed: None }
+    }
+
+    /// Feed already-computed pattern-1 scalars forward through the plan's
+    /// dependency edges instead of recomputing them — the residual-plan
+    /// path of a partial cache hit. The seed satisfies the `P1Scalars`
+    /// dependency of every dependent pass (and the final report) exactly
+    /// as if the pass had run, so a residual plan lowered without
+    /// `P1Scalars` still assembles a complete report for its sections.
+    pub fn with_seed(mut self, p1: P1Scalars) -> Self {
+        self.seed = Some(p1);
+        self
     }
 
     /// Execute the plan on a backend, optionally re-pricing the modeled
@@ -852,7 +887,7 @@ impl<'a> PlanRunner<'a> {
             orig,
             dec,
             cfg,
-            p1: None,
+            p1: self.seed,
             slabs,
         };
         let mut accs = [
@@ -873,7 +908,12 @@ impl<'a> PlanRunner<'a> {
         let mut p2 = None;
         let mut ssim = None;
 
-        let mut done: Vec<PassKind> = Vec::new();
+        // A seeded run has the scalar dependency satisfied up front.
+        let mut done: Vec<PassKind> = if self.seed.is_some() {
+            vec![PassKind::P1Scalars]
+        } else {
+            Vec::new()
+        };
         for pass in self.plan.passes() {
             if pass.pattern == Pattern::CompressionMeta {
                 // Bookkeeping node: ratio/throughputs attach later via
@@ -973,7 +1013,7 @@ impl<'a> PlanRunner<'a> {
 
         let p1 = ctx
             .p1
-            .expect("P1Scalars is always scheduled and always runs");
+            .expect("P1Scalars is always scheduled (or seeded) and always runs");
         let report =
             AnalysisReport::assemble(orig.shape(), non_finite, p1, hists, p2.as_ref(), ssim, cfg);
         Ok(Assessment {

@@ -11,6 +11,8 @@
 //!                                    # demo campaign on a simulated fleet
 //! cuzc --demo --fleet 8 --chaos 42:0.05
 //!                                    # same fleet under seeded device faults
+//! cuzc --serve-demo --fleet 4 --requests 42:64
+//!                                    # resident service on a seeded trace
 //! ```
 
 use std::path::PathBuf;
@@ -46,9 +48,11 @@ struct Args {
     slabs: Option<TilingPolicy>,
     demo: bool,
     fleet: Option<u32>,
-    scheduler: Scheduler,
+    scheduler: Option<Scheduler>,
     progressive: bool,
     chaos: Option<(u64, u32)>,
+    serve_demo: bool,
+    requests: Option<(u64, usize)>,
 }
 
 const USAGE: &str = "usage: cuzc [options]
@@ -84,7 +88,15 @@ const USAGE: &str = "usage: cuzc [options]
   --chaos <seed>:<rate>   with --demo --fleet: inject seeded transient
                           device faults at <rate> (a fraction, e.g. 0.05)
                           and recover with retry/backoff rescheduling;
-                          exit 5 if any job is lost or the fleet dies";
+                          exit 5 if any job is lost or the fleet dies
+  --serve-demo            run the resident assessment service (engine
+                          session + content-addressed cache + quotas +
+                          backpressure) on a seeded synthetic trace and
+                          print the serve report; --fleet sizes the
+                          simulated fleet (default 4); exit 6 if the
+                          saturated service completed no requests
+  --requests <seed>:<count> with --serve-demo: trace seed and length
+                          (default 42:32)";
 
 fn parse_shape(s: &str) -> Result<Shape, String> {
     let dims: Result<Vec<usize>, _> = s.split('x').map(|p| p.parse::<usize>()).collect();
@@ -123,6 +135,20 @@ fn parse_chaos(s: &str) -> Result<(u64, u32), String> {
         ));
     }
     Ok((seed, (rate * 1000.0).round() as u32))
+}
+
+/// Parse a `--requests` spec: `<seed>:<count>` for the serve-demo trace.
+fn parse_requests(s: &str) -> Result<(u64, usize), String> {
+    let bad = || format!("bad requests spec '{s}' (expected <seed>:<count>, e.g. 42:64)");
+    let (seed, count) = s.split_once(':').ok_or_else(bad)?;
+    let seed = seed.trim().parse::<u64>().map_err(|_| bad())?;
+    let count = count
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&c| c > 0)
+        .ok_or_else(bad)?;
+    Ok((seed, count))
 }
 
 /// Parse a `--slabs` policy: `auto`, `mono[lithic]`, or a slab count.
@@ -178,9 +204,11 @@ fn parse_args() -> Result<Args, String> {
         slabs: None,
         demo: false,
         fleet: None,
-        scheduler: Scheduler::default(),
+        scheduler: None,
         progressive: false,
         chaos: None,
+        serve_demo: false,
+        requests: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -211,9 +239,11 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| format!("bad fleet size '{v}' (positive GPU count)"))?,
                 );
             }
-            "--scheduler" => args.scheduler = Scheduler::parse(&val()?)?,
+            "--scheduler" => args.scheduler = Some(Scheduler::parse(&val()?)?),
             "--progressive" => args.progressive = true,
             "--chaos" => args.chaos = Some(parse_chaos(&val()?)?),
+            "--serve-demo" => args.serve_demo = true,
+            "--requests" => args.requests = Some(parse_requests(&val()?)?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
@@ -253,6 +283,14 @@ fn run() -> Result<ExitCode, String> {
     if args.sanitize {
         // ZC_SANITIZE=1 enables the same mode without the flag.
         zc_gpusim::sanitizer::set_enabled(true);
+    }
+    if args.serve_demo {
+        return run_serve_demo(&args);
+    }
+    if args.requests.is_some() {
+        return Err(format!(
+            "--requests drives the serve demo; add --serve-demo\n{USAGE}"
+        ));
     }
     if let Some(gpus) = args.fleet {
         if !args.demo {
@@ -558,6 +596,7 @@ fn sanitizer_verdict() -> Result<ExitCode, String> {
 fn run_demo_campaign(gpus: u32, args: &Args, run: &RunConfig) -> Result<ExitCode, String> {
     use zc_compress::{CompressorSpec, ErrorBound};
     use zc_data::{AppDataset, GenOptions};
+    let scheduler = args.scheduler.unwrap_or_default();
     let mut fleet = FleetSpec::nvlink(gpus);
     if let Some((seed, rate_permille)) = args.chaos {
         fleet = fleet.with_faults(zc_gpusim::FaultPlan::chaos(seed, rate_permille));
@@ -580,7 +619,7 @@ fn run_demo_campaign(gpus: u32, args: &Args, run: &RunConfig) -> Result<ExitCode
             ..Default::default()
         },
         fleet,
-        scheduler: args.scheduler,
+        scheduler,
         // The demo bar sits far below SZ-1e-3 / ZFP-12 quality, so every
         // job's prepass is decidable and the campaign shows the prune.
         progressive: args.progressive.then(|| {
@@ -594,7 +633,7 @@ fn run_demo_campaign(gpus: u32, args: &Args, run: &RunConfig) -> Result<ExitCode
     eprintln!(
         "demo campaign: {} jobs on {gpus} simulated GPUs ({} scheduler{}{})",
         spec.fields.len() * spec.compressors.len(),
-        args.scheduler.label(),
+        scheduler.label(),
         if args.progressive {
             ", progressive prepass"
         } else {
@@ -632,6 +671,44 @@ fn run_demo_campaign(gpus: u32, args: &Args, run: &RunConfig) -> Result<ExitCode
             );
             return Ok(ExitCode::from(5));
         }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The `--serve-demo` mode: open a resident service session on a
+/// simulated fleet, replay a seeded synthetic request trace through the
+/// offer/batch/drain loop, and print the serve report. Exit 6 when a
+/// saturated service completed nothing — distinct from usage (2),
+/// sanitizer (3), verify (4) and chaos (5) verdicts.
+fn run_serve_demo(args: &Args) -> Result<ExitCode, String> {
+    use zc_serve::{RequestTrace, ServeConfig, Server};
+    let gpus = args.fleet.unwrap_or(4);
+    let (seed, count) = args.requests.unwrap_or((42, 32));
+    let mut cfg = ServeConfig::new(FleetSpec::nvlink(gpus));
+    // The service batches through the cost-model list scheduler by
+    // default; --scheduler overrides it.
+    if let Some(s) = args.scheduler {
+        cfg.scheduler = s;
+    }
+    eprintln!(
+        "serve demo: {count} requests (seed {seed}) on {gpus} simulated GPUs \
+         ({} scheduler, batch {}, quota {}/tenant, watermark {:.2}s)",
+        cfg.scheduler.label(),
+        cfg.batch,
+        cfg.tenant_quota,
+        cfg.watermark_s
+    );
+    let mut server = Server::new(cfg).map_err(|e| format!("serve: {e}"))?;
+    let trace = RequestTrace::synthetic(seed, count);
+    let report = server.run_trace(&trace);
+    print!("{}", report.render_table());
+    let verdict = sanitizer_verdict()?;
+    if verdict != ExitCode::SUCCESS {
+        return Ok(verdict);
+    }
+    if report.completed == 0 {
+        eprintln!("serve: saturated — no requests completed");
+        return Ok(ExitCode::from(6));
     }
     Ok(ExitCode::SUCCESS)
 }

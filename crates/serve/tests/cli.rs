@@ -227,6 +227,54 @@ fn help_is_available() {
 }
 
 #[test]
+fn serve_demo_runs_the_service_loop() {
+    let out = cuzc()
+        .args(["--serve-demo", "--fleet", "2", "--requests", "7:16"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "serve metric",
+        "completed",
+        "jobs/s (modeled)",
+        "cache hit rate",
+        "p99 latency (ms)",
+    ] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("16 requests (seed 7)"), "{stderr}");
+    assert!(stderr.contains("2 simulated GPUs"), "{stderr}");
+}
+
+#[test]
+fn serve_demo_rejects_bad_arguments() {
+    // Malformed trace spec.
+    let out = cuzc()
+        .args(["--serve-demo", "--requests", "nope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad requests spec"));
+    // Zero-length trace.
+    let out = cuzc()
+        .args(["--serve-demo", "--requests", "42:0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // --requests without --serve-demo.
+    let out = cuzc().args(["--requests", "7:16"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--serve-demo"));
+}
+
+#[test]
 fn trace_flag_prints_launch_summaries() {
     let out = cuzc().args(["--demo", "--trace"]).output().unwrap();
     assert!(out.status.success());
